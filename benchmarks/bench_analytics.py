@@ -1,0 +1,262 @@
+"""Experiment F2-AN — analyses on low-quality SID (Sec. 2.3.2).
+
+Claims measured:
+  * Uncertainty-aware clustering stays correct where noise grows.
+  * Online anomaly detection separates anomalous trips at low false alarms.
+  * Expected-support pattern mining suppresses noise patterns that certain
+    counting admits.
+  * Popular routes emerge from sparse fragments (transfer network).
+  * Co-evolving sensor groups are recovered from a driven field.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.analytics import (
+    MovementModel,
+    OnlineAnomalyDetector,
+    TransferNetwork,
+    UncertainTrajectoryClusterer,
+    cluster_crisp_trajectories,
+    clustering_agreement,
+    detection_rates,
+    find_coevolving_groups,
+    group_purity,
+    mine_frequent_sequences,
+    mine_frequent_sequences_certain,
+    route_overlap,
+    symbolize,
+)
+from repro.core import (
+    BBox,
+    GaussianLocation,
+    Point,
+    STSeries,
+    Trajectory,
+    TrajectoryPoint,
+    UncertainTrajectory,
+)
+from repro.synth import add_gaussian_noise, add_outliers, correlated_random_walk
+
+
+def _groups(rng, centers, per_group=4, noise=0.0):
+    trajs, labels = [], []
+    for g, (cx, cy) in enumerate(centers):
+        for _ in range(per_group):
+            start = Point(cx + rng.normal(0, 20), cy + rng.normal(0, 20))
+            t = correlated_random_walk(
+                rng, 30, BBox(0, 0, 2000, 2000), start=start, speed_mean=2, turn_sigma=0.1
+            )
+            if noise:
+                t = add_gaussian_noise(t, rng, noise)
+            trajs.append(t)
+            labels.append(g)
+    return trajs, np.array(labels)
+
+
+def test_clustering_under_uncertainty(rng, benchmark):
+    rows = []
+    for noise in (10.0, 60.0):
+        trajs, truth = _groups(np.random.default_rng(3), [(300, 300), (1600, 300), (900, 1600)], noise=noise)
+        crisp = clustering_agreement(
+            cluster_crisp_trajectories(trajs, 3, np.random.default_rng(0)), truth
+        )
+        uncertain_trajs = [
+            UncertainTrajectory(
+                [(p.t, GaussianLocation(p.point, noise)) for p in t], t.object_id
+            )
+            for t in trajs
+        ]
+        unc = clustering_agreement(
+            UncertainTrajectoryClusterer(3, np.random.default_rng(0), 8).fit_predict(
+                uncertain_trajs
+            ),
+            truth,
+        )
+        rows.append((noise, crisp, unc))
+    benchmark(cluster_crisp_trajectories, trajs, 3, np.random.default_rng(1))
+    print_table(
+        "F2-AN: trajectory clustering Rand index vs noise",
+        ["noise_sigma", "crisp", "uncertainty-aware"],
+        rows,
+    )
+    assert all(r[2] >= 0.9 for r in rows)
+
+
+def test_online_anomaly_detection(rng, benchmark):
+    box = BBox(0, 0, 600, 600)
+
+    def route_trip(r):
+        if r.random() < 0.5:
+            (x0, y0), (x1, y1) = (50, 300), (550, 300)
+        else:
+            (x0, y0), (x1, y1) = (300, 50), (300, 550)
+        pts = [
+            TrajectoryPoint(
+                x0 + (x1 - x0) * i / 59 + r.normal(0, 8),
+                y0 + (y1 - y0) * i / 59 + r.normal(0, 8),
+                float(i),
+            )
+            for i in range(60)
+        ]
+        return Trajectory(pts)
+
+    corpus = [route_trip(rng) for _ in range(40)]
+    model = MovementModel(box, 60.0).fit(corpus)
+    det = OnlineAnomalyDetector(model, window=4)
+    det.calibrate(corpus, 0.9995)
+    normal = [route_trip(rng) for _ in range(15)]
+    anomalous = [add_outliers(t, rng, 0.3, 400.0)[0] for t in corpus[:15]]
+    rates = detection_rates(det, normal, anomalous)
+    benchmark(det.windowed_scores, normal[0])
+    rows = [("TPR", rates["tpr"]), ("FPR", rates["fpr"])]
+    print_table("F2-AN: online trajectory anomaly detection", ["metric", "value"], rows)
+    assert rates["tpr"] >= 0.8
+    assert rates["fpr"] <= 0.3
+
+
+def test_probabilistic_pattern_mining(rng, benchmark):
+    box = BBox(0, 0, 1000, 1000)
+    route = [(1, 1), (2, 1), (3, 1)]
+
+    def route_traj(r, jitter):
+        pts = [
+            TrajectoryPoint(
+                cx * 100 + 50 + r.normal(0, jitter),
+                cy * 100 + 50 + r.normal(0, jitter),
+                i * 10.0,
+            )
+            for i, (cx, cy) in enumerate(route)
+        ]
+        return Trajectory(pts)
+
+    db = [symbolize(route_traj(rng, 8.0), box, 100, location_sigma=15.0) for _ in range(12)]
+    # Low-confidence ghost pattern: observations that are probably wrong.
+    from repro.analytics import UncertainSymbol
+
+    ghost = [
+        [UncertainSymbol((8, 8), 0.3), UncertainSymbol((8, 7), 0.3)] for _ in range(12)
+    ]
+    mined = benchmark(mine_frequent_sequences, db + ghost, 5.0, 3, 1)
+    certain = mine_frequent_sequences_certain(db + ghost, 5.0, 3, 1)
+    rows = [
+        ("true route mined (expected support)", tuple(route) in mined),
+        ("ghost pattern mined (expected support)", ((8, 8), (8, 7)) in mined),
+        ("ghost pattern mined (certain counting)", ((8, 8), (8, 7)) in certain),
+    ]
+    print_table("F2-AN: probabilistic frequent patterns", ["check", "value"], rows)
+    assert tuple(route) in mined
+    assert ((8, 8), (8, 7)) not in mined
+    assert ((8, 8), (8, 7)) in certain
+
+
+def test_popular_routes_from_fragments(rng, benchmark):
+    box = BBox(0, 0, 1000, 1000)
+    main = [(1, 1), (2, 1), (3, 1), (4, 1)]
+
+    def frag_traj(r):
+        cells = main[:3] if r.random() < 0.5 else main[1:]
+        pts = [
+            TrajectoryPoint(
+                cx * 100 + 50 + r.normal(0, 5), cy * 100 + 50 + r.normal(0, 5), i * 10.0
+            )
+            for i, (cx, cy) in enumerate(cells)
+        ]
+        return Trajectory(pts)
+
+    corpus = [frag_traj(rng) for _ in range(40)]
+    tn = TransferNetwork(box, 100).fit(corpus)
+    found = benchmark(tn.popular_route, Point(150, 150), Point(450, 150))
+    rows = [("route overlap with truth", route_overlap(found, main))]
+    print_table("F2-AN: popular route discovery", ["metric", "value"], rows)
+    assert route_overlap(found, main) == 1.0
+
+
+def test_coevolution_groups(rng, benchmark):
+    driver_a = np.cumsum(rng.normal(0, 1, 300))
+    driver_b = np.cumsum(rng.normal(0, 1, 300))
+    series = []
+    for i in range(3):
+        series.append(
+            STSeries(
+                f"a{i}", Point(10 * i, 0), np.arange(300.0),
+                driver_a + rng.normal(0, 0.05, 300),
+            )
+        )
+    for i in range(3):
+        series.append(
+            STSeries(
+                f"b{i}", Point(500 + 10 * i, 500), np.arange(300.0),
+                driver_b + rng.normal(0, 0.05, 300),
+            )
+        )
+    series.append(
+        STSeries("lone", Point(900, 900), np.arange(300.0), np.cumsum(rng.normal(0, 1, 300)))
+    )
+    groups = benchmark(find_coevolving_groups, series, 0.7, 200.0)
+    purity = group_purity(groups, [{0, 1, 2}, {3, 4, 5}])
+    rows = [("groups found", len(groups)), ("purity", purity)]
+    print_table("F2-AN: co-evolving sensor discovery", ["metric", "value"], rows)
+    assert purity == 1.0
+    assert all(6 not in g for g in groups)
+
+
+def test_continuous_similarity_monitoring(rng, benchmark):
+    """Incremental evaluation for evolving SID [123]: the sliding-window
+    off-route monitor flags detours online, with O(1) updates that match
+    the from-scratch recomputation exactly."""
+    import time
+
+    from repro.analytics import ContinuousSimilarityMonitor
+
+    box = BBox(0, 0, 1000, 1000)
+
+    def corridor_trip(r, n=60):
+        pts = [
+            TrajectoryPoint(
+                50.0 + i * 15.0 + r.normal(0, 5), 300.0 + r.normal(0, 10), float(i)
+            )
+            for i in range(n)
+        ]
+        return Trajectory(pts)
+
+    reference = [corridor_trip(rng) for _ in range(10)]
+    monitor = ContinuousSimilarityMonitor(reference, box, 100.0, window=15, threshold=0.5)
+
+    normal = corridor_trip(rng)
+    detour = correlated_random_walk(rng, 60, BBox(0, 800, 1000, 1000), speed_mean=8)
+    normal_flags = sum(
+        monitor.observe("normal", p.point).is_outlier for p in normal.points[20:]
+    )
+    detour_last = None
+    for p in detour:
+        detour_last = monitor.observe("detour", p.point)
+
+    # Exactness + speed of incremental maintenance.
+    exact = all(
+        abs(monitor.current_distance(oid) - monitor.recompute_from_scratch(oid)) < 1e-12
+        for oid in ("normal", "detour")
+    )
+    walk = correlated_random_walk(rng, 200, box)
+    start = time.perf_counter()
+    for p in walk:
+        monitor.observe("speed", p.point)
+    incremental_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for p in walk:
+        monitor.observe("speed2", p.point)
+        monitor.recompute_from_scratch("speed2")
+    scratch_s = time.perf_counter() - start
+    benchmark(monitor.observe, "bench", Point(500, 300))
+    rows = [
+        ("normal trip false alarms (post warm-up)", normal_flags),
+        ("detour flagged at stream end", bool(detour_last.is_outlier)),
+        ("incremental == from-scratch", exact),
+        ("update time incremental vs recompute (ms/200 pts)",
+         f"{incremental_s * 1000:.2f} vs {scratch_s * 1000:.2f}"),
+    ]
+    print_table("F2-AN: continuous similarity monitoring", ["metric", "value"], rows)
+    assert normal_flags == 0
+    assert detour_last.is_outlier
+    assert exact

@@ -1,0 +1,160 @@
+"""Experiment F2-FC — fault correction (Sec. 2.2.4).
+
+Claims measured:
+  * Symbolic-trajectory FC: probabilistic (HMM) cleansing dominates both
+    raw streams and window smoothing across false-negative/positive rates.
+  * STID FC: spike repair and long-fault (stuck-at) repair via temporal vs
+    cross-sensor routes; timestamp repair under temporal constraints.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.cleaning import (
+    CorridorHMMCleaner,
+    cross_sensor_repair,
+    detect_spikes,
+    detect_stuck,
+    epoch_accuracy,
+    isotonic_repair,
+    order_violations,
+    raw_reader_sequence,
+    repair_quality,
+    repair_rmse,
+    repair_with_interpolation,
+    window_smooth,
+)
+from repro.core import Point
+from repro.synth import (
+    CorridorWorld,
+    SmoothField,
+    skew_timestamps,
+    spike_values,
+    stuck_sensor,
+)
+
+
+def test_rfid_cleaning_across_fault_rates(rng, benchmark):
+    rows = []
+    for p_detect, p_cross in ((0.9, 0.05), (0.75, 0.15), (0.6, 0.25)):
+        raw_acc, win_acc, hmm_acc = [], [], []
+        for seed in range(6):
+            r = np.random.default_rng(seed)
+            world = CorridorWorld(8, dwell_min=4, dwell_max=8)
+            visits = world.ground_truth(r)
+            readings = world.observe(visits, r, p_detect, p_cross)
+            total = world.total_epochs(visits)
+            raw_acc.append(epoch_accuracy(raw_reader_sequence(readings, total), visits))
+            win_acc.append(
+                epoch_accuracy(window_smooth(readings, 8, total, 5), visits)
+            )
+            hmm_acc.append(
+                epoch_accuracy(
+                    CorridorHMMCleaner(8, p_detect, p_cross).clean(readings, total),
+                    visits,
+                )
+            )
+        rows.append(
+            (
+                f"fn={1-p_detect:.2f}/fp={p_cross:.2f}",
+                float(np.mean(raw_acc)),
+                float(np.mean(win_acc)),
+                float(np.mean(hmm_acc)),
+            )
+        )
+    world = CorridorWorld(8)
+    visits = world.ground_truth(rng)
+    readings = world.observe(visits, rng, 0.75, 0.15)
+    benchmark(
+        CorridorHMMCleaner(8, 0.75, 0.15).clean, readings, world.total_epochs(visits)
+    )
+    print_table(
+        "F2-FC: RFID epoch accuracy by fault level",
+        ["fault level", "raw", "window", "HMM"],
+        rows,
+    )
+    for _, raw, win, hmm in rows:
+        assert hmm >= win >= raw - 0.02
+    # Cleaning gain grows with fault rate.
+    assert rows[-1][3] - rows[-1][1] > rows[0][3] - rows[0][1] - 0.05
+
+
+def test_stid_value_repair(rng, box, benchmark):
+    field = SmoothField(rng, box, n_bumps=3, length_scale=400)
+    times = np.arange(0, 900, 30.0)
+    sites = [Point(500, 500), Point(520, 505), Point(480, 495), Point(510, 520)]
+    series = field.sample_sensors(sites, times, rng, noise_sigma=0.2)
+    target = series[0]
+    truth = np.array([field.value(sites[0], t) for t in times])
+
+    # Spike faults: temporal route suffices.
+    spiked, spike_idx = spike_values(target, rng, 0.1, magnitude=20.0)
+    detected = detect_spikes(spiked, 7, 3.0)
+    fixed_t = repair_with_interpolation(spiked, detected)
+
+    # Long stuck fault: cross-sensor route required.
+    stuck = stuck_sensor(target, start=8, length=10)
+    stuck_idx = detect_stuck(stuck, min_run=5)
+    fixed_temporal = repair_with_interpolation(stuck, stuck_idx)
+    fixed_cross = benchmark(cross_sensor_repair, stuck, series[1:], stuck_idx)
+
+    rows = [
+        ("spikes: faulty", repair_rmse(spiked, truth, spike_idx)),
+        ("spikes: temporal repair", repair_rmse(fixed_t, truth, spike_idx)),
+        ("stuck: faulty", repair_rmse(stuck, truth, stuck_idx)),
+        ("stuck: temporal repair", repair_rmse(fixed_temporal, truth, stuck_idx)),
+        ("stuck: cross-sensor repair", repair_rmse(fixed_cross, truth, stuck_idx)),
+    ]
+    print_table("F2-FC: STID value repair RMSE at fault positions", ["case", "rmse"], rows)
+    assert repair_rmse(fixed_t, truth, spike_idx) < repair_rmse(spiked, truth, spike_idx)
+    assert repair_rmse(fixed_cross, truth, stuck_idx) < repair_rmse(
+        fixed_temporal, truth, stuck_idx
+    ) + 0.2
+
+
+def test_timestamp_repair(rng, benchmark):
+    truth = np.arange(0, 200, 1.0)
+    skewed, _ = skew_timestamps(truth, rng, rate=0.3, max_shift=5.0)
+    repaired = benchmark(isotonic_repair, skewed)
+    rows = [
+        ("skewed", order_violations(skewed), repair_quality(skewed, truth)["rmse"]),
+        ("isotonic repair", order_violations(repaired), repair_quality(repaired, truth)["rmse"]),
+    ]
+    print_table(
+        "F2-FC: timestamp repair", ["timestamps", "order violations", "rmse vs truth"], rows
+    )
+    assert order_violations(repaired) == 0
+    assert (
+        repair_quality(repaired, truth)["rmse"] <= repair_quality(skewed, truth)["rmse"]
+    )
+
+
+def test_screen_speed_constraint_repair(rng, benchmark):
+    """SCREEN-style sequential cleaning [121]: rate constraints repair
+    spikes with minimal change; clean readings pass through untouched."""
+    from repro.cleaning import screen_repair, speed_violations
+
+    t = np.arange(300.0)
+    truth = np.sin(t / 15.0) * 4.0 + 20.0  # |rate| <= ~0.27
+    vals = truth.copy()
+    idx = sorted(rng.choice(np.arange(1, 300), 20, replace=False))
+    vals[idx] += rng.choice([-1.0, 1.0], 20) * 15.0
+    repaired = benchmark(screen_repair, t, vals, -0.5, 0.5)
+    untouched = sorted(set(range(300)) - set(idx))
+    rows = [
+        ("violations", speed_violations(t, vals, -0.5, 0.5),
+         speed_violations(t, repaired, -0.5, 0.5)),
+        ("rmse at faults", float(np.sqrt(np.mean((vals[idx] - truth[idx]) ** 2))),
+         float(np.sqrt(np.mean((repaired[idx] - truth[idx]) ** 2)))),
+    ]
+    print_table(
+        "F2-FC: SCREEN speed-constraint repair", ["metric", "faulty", "repaired"], rows
+    )
+    assert speed_violations(t, repaired, -0.5, 0.5) == 0
+    assert np.sqrt(np.mean((repaired[idx] - truth[idx]) ** 2)) < np.sqrt(
+        np.mean((vals[idx] - truth[idx]) ** 2)
+    ) / 3
+    # Clean stretches stay (almost) untouched: SCREEN changes only what the
+    # constraint forces (fault neighborhoods included).
+    assert float(np.mean(np.abs(repaired[untouched] - vals[untouched]))) < 0.5

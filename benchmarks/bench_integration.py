@@ -1,0 +1,137 @@
+"""Experiment F2-DI — data integration (Sec. 2.2.5).
+
+Claims measured:
+  * Semantic DI: stay/POI annotation turns raw traces interpretable
+    (stay detection F1, interpretability ratio).
+  * Traj+traj DI: entity linking across ID systems recovers identity, and
+    degrades gracefully with view quality.
+  * Traj+STID DI: attachment enriches trips with accurate exposure values.
+  * STID+STID DI: fusion beats each single source and completes coverage.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.core import Point, interpretability_ratio, records_from_series
+from repro.integration import (
+    attach_records,
+    attachment_coverage,
+    build_semantic_trajectory,
+    detect_stay_points,
+    fuse_grids,
+    fuse_series,
+    fusion_gain,
+    link_entities,
+    linking_accuracy,
+    stay_detection_scores,
+)
+from repro.synth import (
+    SmoothField,
+    add_gaussian_noise,
+    add_sensor_bias,
+    correlated_random_walk,
+    drop_points,
+    fleet,
+    generate_pois,
+    random_sensor_sites,
+    stop_and_go_walk,
+)
+
+
+def test_semantic_annotation(rng, big_box, benchmark):
+    traj, stops = stop_and_go_walk(
+        rng, big_box, n_stops=4, move_points=25, stop_points=30, stop_jitter=2.0
+    )
+    pois = generate_pois(rng, 25, big_box)
+    stays = benchmark(detect_stay_points, traj, 30.0, 15.0)
+    scores = stay_detection_scores(stays, [(s.start_index, s.end_index) for s in stops])
+    episodes = build_semantic_trajectory(traj, pois, 30.0, 15.0, 5000.0)
+    raw_interp = interpretability_ratio([None] * len(traj))
+    sem_interp = interpretability_ratio(
+        [e.label if e.kind == "stay" else "move" for e in episodes]
+    )
+    rows = [
+        ("stay detection precision", scores["precision"]),
+        ("stay detection recall", scores["recall"]),
+        ("interpretability raw", raw_interp),
+        ("interpretability annotated", sem_interp),
+    ]
+    print_table("F2-DI: semantic annotation", ["metric", "value"], rows)
+    assert scores["f1"] > 0.8
+    assert sem_interp > raw_interp
+
+
+def test_entity_linking_vs_quality(rng, big_box, benchmark):
+    base = fleet(rng, 10, 120, big_box, speed_mean=8)
+    rows = []
+    accs = []
+    for noise, drop in ((10.0, 0.2), (150.0, 0.7), (600.0, 0.9)):
+        r = np.random.default_rng(11)
+        view = [add_gaussian_noise(drop_points(t, r, drop), r, noise) for t in base]
+        perm = list(r.permutation(10))
+        shuffled = [view[i] for i in perm]
+        truth = {i: perm.index(i) for i in range(10)}
+        links = link_entities(base, shuffled, big_box, 150.0, 60.0)
+        acc = linking_accuracy(links, truth)
+        rows.append((f"noise={noise:.0f} drop={drop}", acc))
+        accs.append(acc)
+    benchmark(link_entities, base, base, big_box, 150.0, 60.0)
+    print_table("F2-DI: entity linking accuracy vs view quality", ["view", "accuracy"], rows)
+    assert accs[0] >= 0.9
+    assert accs[0] >= accs[-1]
+
+
+def test_trajectory_stid_attachment(rng, big_box, benchmark):
+    field = SmoothField(rng, big_box, n_bumps=4, length_scale=300)
+    sites = random_sensor_sites(rng, 40, big_box)
+    series = field.sample_sensors(sites, np.arange(0, 300, 30.0), rng, noise_sigma=0.2)
+    records = records_from_series(series)
+    trip = correlated_random_walk(rng, 150, big_box, speed_mean=8)
+    enriched = benchmark(attach_records, trip, records, 500.0, 600.0, 0.5)
+    errs = [
+        abs(e.value - field.value(Point(e.x, e.y), e.t))
+        for e in enriched
+        if e.support > 0
+    ]
+    rows = [
+        ("coverage", attachment_coverage(enriched)),
+        ("mean abs value error", float(np.mean(errs))),
+    ]
+    print_table("F2-DI: trajectory+STID attachment", ["metric", "value"], rows)
+    assert attachment_coverage(enriched) > 0.95
+    assert np.mean(errs) < 3.0
+
+
+def test_stid_fusion(rng, box, benchmark):
+    field = SmoothField(rng, box, n_bumps=3)
+    site = Point(500, 500)
+    times = np.arange(0, 600, 30.0)
+    truth = np.array([field.value(site, t) for t in times])
+    reference = field.sample_sensors([site], times, rng, noise_sigma=0.5)[0]
+    cheap = add_sensor_bias(
+        field.sample_sensors([site], times, rng, noise_sigma=2.0)[0], 5.0
+    )
+    fused = benchmark(
+        fuse_series, [reference, cheap], times, [0.5, 2.0], True
+    )
+    gain = fusion_gain(truth, cheap.values, fused.values)
+    ref_rmse = float(np.sqrt(np.mean((reference.values - truth) ** 2)))
+    rows = [
+        ("cheap sensor alone", gain["single_rmse"]),
+        ("reference alone", ref_rmse),
+        ("debiased fusion", gain["fused_rmse"]),
+    ]
+    print_table("F2-DI: STID+STID fusion RMSE", ["source", "rmse"], rows)
+    assert gain["fused_rmse"] < gain["single_rmse"]
+    assert gain["fused_rmse"] <= ref_rmse + 0.1
+
+    # Grid fusion completes coverage.
+    g1 = field.truth_grid(250, 300, 0, 600)
+    g2 = g1.copy()
+    g1.values[np.random.default_rng(1).random(g1.values.shape) < 0.5] = np.nan
+    g2.values[np.random.default_rng(2).random(g2.values.shape) < 0.5] = np.nan
+    fused_grid = fuse_grids(g1, g2)
+    assert fused_grid.missing_fraction() < min(
+        g1.missing_fraction(), g2.missing_fraction()
+    )

@@ -1,0 +1,137 @@
+"""Experiment LEARN — the learning-paradigm axis of Figure 2, measured.
+
+One working instance per paradigm the tutorial lists for mitigating low DQ
+in learning, each with the claim it carries:
+
+  * Semi-supervised co-training [22]: two sensing views + unlabeled cells
+    beat the scarce labels alone.
+  * Transfer learning [116]: a related source region fixes target data
+    scarcity; abundant target data overrides the prior.
+  * Multi-task learning [83, 132]: sharing strength across related tasks
+    beats independent fitting when per-task data is scarce.
+  * Reinforcement learning [98, 99, 106]: an adaptive sampling policy
+    dominates every fixed interval on regime-switching signals.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.learning import (
+    AdaptiveSamplingAgent,
+    CentroidClassifier,
+    CoTrainingClassifier,
+    MultiTaskRidge,
+    TransferRidge,
+    fit_ridge,
+    predict_ridge,
+    regime_switching_signal,
+    rmse,
+    target_only_ridge,
+)
+
+
+def test_cotraining(rng, benchmark):
+    def world(r, n_per=150):
+        xa = np.vstack(
+            [r.normal([0, 0, 0, 0], 1.2, (n_per, 4)), r.normal([2, 2, 0, 0], 1.2, (n_per, 4))]
+        )
+        xb = np.vstack(
+            [r.normal([0, 0, 0, 0], 1.2, (n_per, 4)), r.normal([0, 0, 2, 2], 1.2, (n_per, 4))]
+        )
+        y = np.array([0] * n_per + [1] * n_per)
+        perm = r.permutation(2 * n_per)
+        return xa[perm], xb[perm], y[perm]
+
+    base_accs, co_accs = [], []
+    for seed in range(6):
+        r = np.random.default_rng(seed)
+        xa, xb, y = world(r)
+        labeled = (
+            list(np.flatnonzero(y[:200] == 0)[:2])
+            + list(np.flatnonzero(y[:200] == 1)[:2])
+        )
+        base = CentroidClassifier().fit(xa[:200][labeled], y[:200][labeled])
+        base_accs.append(base.accuracy(xa[200:], y[200:]))
+        co = CoTrainingClassifier().fit(xa[:200], xb[:200], y[:200], labeled)
+        co_accs.append(co.accuracy(xa[200:], xb[200:], y[200:]))
+    benchmark(
+        CoTrainingClassifier().fit, xa[:200], xb[:200], y[:200], labeled
+    )
+    rows = [
+        ("supervised only (4 labels)", float(np.mean(base_accs))),
+        ("co-training (+196 unlabeled)", float(np.mean(co_accs))),
+    ]
+    print_table("LEARN: semi-supervised co-training accuracy", ["model", "accuracy"], rows)
+    assert np.mean(co_accs) > np.mean(base_accs)
+
+
+def test_transfer_learning(rng, benchmark):
+    w = np.array([2.0, -1.0, 0.5, 0.0, 1.0])
+    xs = rng.normal(0, 1, (300, 5))
+    ys = xs @ w + 3.0 + rng.normal(0, 0.3, 300)
+    rows = []
+    for n_target in (5, 20, 100):
+        w_t = w + rng.normal(0, 0.1, 5)
+        xt = rng.normal(0, 1, (n_target, 5))
+        yt = xt @ w_t + 3.2 + rng.normal(0, 0.3, n_target)
+        xv = rng.normal(0, 1, (200, 5))
+        yv = xv @ w_t + 3.2
+        transfer = TransferRidge(1.0, 20.0).fit_source(xs, ys).fit_target(xt, yt)
+        only = target_only_ridge(xt, yt)
+        rows.append(
+            (n_target, rmse(yv, predict_ridge(only, xv)), rmse(yv, transfer.predict(xv)))
+        )
+    benchmark(TransferRidge(1.0, 20.0).fit_source, xs, ys)
+    print_table(
+        "LEARN: transfer vs target-only RMSE by target-sample count",
+        ["target samples", "target-only", "transfer"],
+        rows,
+    )
+    assert rows[0][2] < rows[0][1]  # scarce data: transfer wins
+    assert rows[-1][1] < rows[0][1]  # more data helps the baseline
+
+
+def test_multitask_learning(rng, benchmark):
+    w0 = rng.normal(0, 1, 4)
+    train, test = {}, {}
+    for t in range(6):
+        wt = w0 + rng.normal(0, 0.2, 4)
+        x = rng.normal(0, 1, (8, 4))
+        xv = rng.normal(0, 1, (150, 4))
+        train[f"task{t}"] = (x, x @ wt + rng.normal(0, 0.2, 8))
+        test[f"task{t}"] = (xv, xv @ wt)
+    mt = benchmark(MultiTaskRidge(1.0, 5.0).fit, train)
+    independent = float(
+        np.mean(
+            [
+                rmse(test[n][1], predict_ridge(fit_ridge(*train[n], 1.0), test[n][0]))
+                for n in train
+            ]
+        )
+    )
+    rows = [
+        ("independent ridges (8 samples/task)", independent),
+        ("multi-task shared+deviation", mt.task_rmse(test)),
+    ]
+    print_table("LEARN: multi-task vs independent RMSE", ["model", "rmse"], rows)
+    assert mt.task_rmse(test) < independent
+
+
+def test_rl_adaptive_sampling(rng, benchmark):
+    train = [regime_switching_signal(np.random.default_rng(s)) for s in range(6)]
+    test = [regime_switching_signal(np.random.default_rng(100 + s)) for s in range(3)]
+    agent = AdaptiveSamplingAgent().train(train, np.random.default_rng(0))
+    benchmark(agent.evaluate, test[0])
+    rows = []
+    for skip in agent.actions:
+        cost = float(np.mean([agent.evaluate_fixed(s, skip).total_cost for s in test]))
+        rows.append((f"fixed interval {skip}", cost))
+    adaptive = float(np.mean([agent.evaluate(s).total_cost for s in test]))
+    rows.append(("RL adaptive policy " + str(agent.policy()), adaptive))
+    print_table(
+        "LEARN: adaptive sampling total cost (samples + error)",
+        ["policy", "cost"],
+        rows,
+    )
+    assert all(adaptive < cost for _, cost in rows[:-1])

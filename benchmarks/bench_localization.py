@@ -1,0 +1,125 @@
+"""Experiment F2-LR — location refinement families (Sec. 2.2.1).
+
+Claims measured:
+  * Ensemble LR: aggregating candidates (WkNN) beats the single best match;
+    fusing independent sources beats each single source.
+  * Motion-based LR: Bayes filters exploit dynamics to cut error further;
+    the offline smoother beats the online filter.
+  * Collaborative LR: joint denoising removes shared bias; iterative
+    optimization reduces random error using peer ranges.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.core import BBox, Point, accuracy_error
+from repro.localization import (
+    FingerprintLocalizer,
+    KalmanFilter2D,
+    PeerRange,
+    SourceEstimate,
+    gauss_newton,
+    inverse_variance_fusion,
+    iterative_refine,
+    joint_denoise,
+    particle_refine,
+)
+from repro.synth import (
+    RadioMap,
+    add_gaussian_noise,
+    correlated_random_walk,
+    deploy_access_points,
+    measure_ranges,
+    measure_vector,
+)
+
+
+def test_ensemble_lr(rng, benchmark):
+    box = BBox(0, 0, 400, 400)
+    aps = deploy_access_points(rng, 8, box)
+    radio_map = RadioMap.survey(aps, box, 50.0, rng, samples_per_point=10)
+    loc = FingerprintLocalizer(radio_map, k=4)
+    anchors = [Point(0, 0), Point(400, 0), Point(0, 400), Point(400, 400)]
+
+    nn_err, wknn_err, tri_err, fused_err = [], [], [], []
+    for _ in range(60):
+        p = Point(rng.uniform(50, 350), rng.uniform(50, 350))
+        scan = measure_vector(aps, p, rng, noise_db=5.0)
+        nn_err.append(loc.estimate_nn(scan).distance_to(p))
+        wknn = loc.estimate(scan)
+        wknn_err.append(wknn.distance_to(p))
+        ranges = measure_ranges(anchors, p, rng, noise_m=8.0)
+        tri = gauss_newton(ranges)
+        tri_err.append(tri.distance_to(p))
+        fused = inverse_variance_fusion(
+            [
+                SourceEstimate("fingerprint", wknn, float(np.mean(wknn_err) or 30.0)),
+                SourceEstimate("ranging", tri, float(np.mean(tri_err) or 8.0)),
+            ]
+        )
+        fused_err.append(fused.mean().distance_to(p))
+
+    benchmark(loc.estimate, measure_vector(aps, Point(200, 200), rng, 5.0))
+    rows = [
+        ("NN fingerprint (single result)", float(np.mean(nn_err))),
+        ("WkNN fingerprint (ensemble)", float(np.mean(wknn_err))),
+        ("WLS trilateration (single source)", float(np.mean(tri_err))),
+        ("inverse-variance fusion (multi-source)", float(np.mean(fused_err))),
+    ]
+    print_table("F2-LR: ensemble LR mean error (m)", ["method", "error"], rows)
+    assert np.mean(wknn_err) < np.mean(nn_err)
+    assert np.mean(fused_err) < min(np.mean(wknn_err), np.mean(tri_err)) + 1.0
+
+
+def test_motion_based_lr(rng, box, benchmark):
+    truth = correlated_random_walk(rng, 250, box, speed_mean=5, speed_sigma=1)
+    noisy = add_gaussian_noise(truth, rng, 12.0)
+    kf = KalmanFilter2D(1.0, 12.0)
+    filtered = kf.filter(noisy).trajectory()
+    smoothed = benchmark(lambda: kf.smooth(noisy).trajectory())
+    particles = particle_refine(noisy, rng, 12.0, n_particles=500)
+    rows = [
+        ("raw observations", accuracy_error(noisy, truth)),
+        ("Kalman filter (online)", accuracy_error(filtered, truth)),
+        ("RTS smoother (offline)", accuracy_error(smoothed, truth)),
+        ("particle filter", accuracy_error(particles, truth)),
+    ]
+    print_table("F2-LR: motion-based LR mean error (m)", ["method", "error"], rows)
+    assert accuracy_error(filtered, truth) < accuracy_error(noisy, truth)
+    assert accuracy_error(smoothed, truth) < accuracy_error(filtered, truth)
+    assert accuracy_error(particles, truth) < accuracy_error(noisy, truth)
+
+
+def test_collaborative_lr(rng, benchmark):
+    n = 12
+    truth = [Point(rng.uniform(0, 500), rng.uniform(0, 500)) for _ in range(n)]
+    # Scenario A: shared systematic bias + small noise.
+    biased = [
+        Point(p.x + 18.0 + rng.normal(0, 1.5), p.y - 9.0 + rng.normal(0, 1.5))
+        for p in truth
+    ]
+    denoised = joint_denoise(biased, [0, 1, 2], truth[:3])
+    # Scenario B: random errors + peer ranges.
+    noisy = [Point(p.x + rng.normal(0, 10), p.y + rng.normal(0, 10)) for p in truth]
+    ranges = [
+        PeerRange(i, j, truth[i].distance_to(truth[j]) + rng.normal(0, 0.5))
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    refined = benchmark(
+        iterative_refine, noisy, ranges, anchor_weight=0.05, n_iter=200
+    )
+
+    def err(estimates):
+        return float(np.mean([a.distance_to(b) for a, b in zip(estimates, truth)]))
+
+    rows = [
+        ("shared-bias observations", err(biased)),
+        ("joint denoising", err(denoised)),
+        ("random-error observations", err(noisy)),
+        ("iterative optimization", err(refined)),
+    ]
+    print_table("F2-LR: collaborative LR mean error (m)", ["method", "error"], rows)
+    assert err(denoised) < err(biased) / 3
+    assert err(refined) < err(noisy)

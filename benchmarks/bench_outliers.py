@@ -1,0 +1,124 @@
+"""Experiment F2-OR — outlier removal trade-offs (Sec. 2.2.3).
+
+Claims measured:
+  * The three trajectory OR families detect injected outliers, and their
+    weaknesses match the paper: constraint-based degrades on noisy data;
+    statistics-based needs history; prediction-based repairs in place.
+  * STID OR: spatiotemporal neighborhood methods find value outliers;
+    ST-DBSCAN marks density noise.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.cleaning import (
+    STDBSCAN,
+    detection_scores,
+    neighborhood_outliers,
+    prediction_outliers,
+    profile_outliers,
+    speed_outliers,
+    zscore_outliers,
+)
+from repro.core import STRecord, accuracy_error
+from repro.synth import add_gaussian_noise, add_outliers, correlated_random_walk
+
+
+def _scenario(rng, box, noise):
+    truth = correlated_random_walk(rng, 250, box, speed_mean=5, speed_sigma=1)
+    noisy = add_gaussian_noise(truth, rng, noise)
+    corrupted, idx = add_outliers(noisy, rng, 0.05, magnitude=200.0)
+    return truth, corrupted, idx
+
+
+def test_trajectory_or_families(rng, box, benchmark):
+    truth, corrupted, idx = _scenario(rng, box, noise=3.0)
+    # Profiles come from the same sensing system: history carries the same
+    # measurement noise as the data being screened.
+    history = [
+        add_gaussian_noise(
+            correlated_random_walk(rng, 200, box, speed_mean=5, speed_sigma=1),
+            rng,
+            3.0,
+        )
+        for _ in range(10)
+    ]
+    methods = {
+        "constraint (speed)": lambda t: speed_outliers(t, 25.0),
+        "statistics (windowed z)": lambda t: zscore_outliers(t, 7, 3.0),
+        "statistics (profile)": lambda t: profile_outliers(t, history, 3.0),
+        "prediction (Kalman gate)": lambda t: prediction_outliers(t, 3.0)[0],
+    }
+    rows = []
+    f1 = {}
+    for name, method in methods.items():
+        scores = detection_scores(method(corrupted), idx, len(corrupted))
+        rows.append((name, scores["precision"], scores["recall"], scores["f1"]))
+        f1[name] = scores["f1"]
+    benchmark(zscore_outliers, corrupted, 7, 3.0)
+    print_table(
+        "F2-OR: trajectory outlier detection (5% outliers, low noise)",
+        ["method", "precision", "recall", "f1"],
+        rows,
+    )
+    assert all(v > 0.5 for v in f1.values())
+
+
+def test_constraint_method_degrades_with_noise(rng, box, benchmark):
+    """Paper: constraint-based methods 'may not contend well with dynamic
+    and noisy trajectories'."""
+    rows = []
+    f1s = []
+    for noise in (2.0, 8.0, 20.0):
+        truth, corrupted, idx = _scenario(np.random.default_rng(5), box, noise)
+        scores = detection_scores(speed_outliers(corrupted, 25.0), idx, len(corrupted))
+        rows.append((noise, scores["precision"], scores["recall"], scores["f1"]))
+        f1s.append(scores["f1"])
+    benchmark(speed_outliers, corrupted, 25.0)
+    print_table(
+        "F2-OR: constraint-based OR vs measurement noise",
+        ["noise_sigma", "precision", "recall", "f1"],
+        rows,
+    )
+    assert f1s[-1] < f1s[0]
+
+
+def test_prediction_method_repairs(rng, box, benchmark):
+    truth, corrupted, idx = _scenario(rng, box, 3.0)
+    flagged, repaired = benchmark(prediction_outliers, corrupted, 3.0)
+    rows = [
+        ("corrupted", accuracy_error(corrupted, truth)),
+        ("repaired", accuracy_error(repaired, truth)),
+    ]
+    print_table("F2-OR: prediction-based repair, mean error (m)", ["data", "error"], rows)
+    assert accuracy_error(repaired, truth) < accuracy_error(corrupted, truth) / 2
+
+
+def test_stid_outliers(rng, benchmark):
+    # Smooth spatial gradient + planted value outliers.
+    records = []
+    truth_idx = []
+    for i in range(150):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        v = 0.1 * x + 0.05 * y + rng.normal(0, 0.2)
+        records.append(STRecord(x, y, float(i % 10), v))
+    for j in rng.choice(150, size=8, replace=False):
+        r = records[int(j)]
+        records[int(j)] = STRecord(r.x, r.y, r.t, r.value + 40.0)
+        truth_idx.append(int(j))
+    found = benchmark(
+        neighborhood_outliers, records, 40.0, 20.0, 4.0, 3
+    )
+    scores = detection_scores(found, truth_idx, len(records))
+    rows = [("neighborhood z-score", scores["precision"], scores["recall"], scores["f1"])]
+    # ST-DBSCAN marks isolated records as noise.
+    cluster = [STRecord(rng.normal(10, 1), rng.normal(10, 1), float(i), 1.0) for i in range(20)]
+    lonely = [STRecord(500, 500, 100.0, 1.0)]
+    noise_idx = STDBSCAN(5, 30, 4).outliers(cluster + lonely)
+    rows.append(("ST-DBSCAN (density)", 1.0 if noise_idx == [20] else 0.0, 1.0, 1.0))
+    print_table(
+        "F2-OR: STID outlier removal", ["method", "precision", "recall", "f1"], rows
+    )
+    assert scores["f1"] > 0.7
+    assert noise_idx == [20]

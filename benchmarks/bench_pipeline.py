@@ -1,0 +1,136 @@
+"""Experiment PIPE — quality-management middleware end to end (Sec. 2.4).
+
+The tutorial's closing vision: DQ services composed by a middleware, with
+quality tracked across stages and gains attributable per service.  The
+benchmark corrupts a fleet, runs the cleaning pipeline, and shows
+
+  * monotone quality recovery through the stages,
+  * leave-one-stage-out ablation (each service earns its keep),
+  * downstream payoff: traffic inference improves on cleaned data.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.cleaning import remove_and_repair, zscore_outliers
+from repro.core import Pipeline, Stage, accuracy_error
+from repro.decision import cell_volumes, volume_errors
+from repro.localization import kalman_refine
+from repro.synth import CorruptionProfile, correlated_random_walk
+
+
+def _make_pipeline(truth):
+    return Pipeline(
+        [
+            Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+            Stage("kalman-smooth", lambda t: kalman_refine(t, 1.0, 6.0)),
+        ],
+        probes={"error_vs_truth": lambda t: accuracy_error(t, truth)},
+    )
+
+
+def test_pipeline_quality_recovery(rng, box, benchmark):
+    truth = correlated_random_walk(rng, 250, box, speed_mean=5)
+    corrupted, _ = CorruptionProfile(
+        noise_sigma=6.0, outlier_rate=0.05, outlier_magnitude=200.0, drop_rate=0.0
+    ).apply(truth, rng)
+    pipeline = _make_pipeline(truth)
+    result = benchmark(pipeline.run, corrupted)
+    raw_err = accuracy_error(corrupted, truth)
+    rows = [("raw", raw_err)] + [
+        (name, err) for name, err in result.metric_series("error_vs_truth")
+    ]
+    print_table("PIPE: error through the pipeline (m)", ["stage", "error"], rows)
+    errors = [raw_err] + [e for _, e in result.metric_series("error_vs_truth")]
+    assert errors[-1] < errors[0] / 2
+    assert all(b <= a + 0.5 for a, b in zip(errors, errors[1:]))
+
+
+def test_pipeline_ablation(rng, box, benchmark):
+    truth = correlated_random_walk(rng, 250, box, speed_mean=5)
+    corrupted, _ = CorruptionProfile(
+        noise_sigma=6.0, outlier_rate=0.06, outlier_magnitude=250.0, drop_rate=0.0
+    ).apply(truth, rng)
+    pipeline = _make_pipeline(truth)
+    runs = benchmark(pipeline.run_ablations, corrupted)
+    rows = [
+        (("full pipeline" if k == "full" else f"without {k}"),
+         accuracy_error(v.output, truth))
+        for k, v in runs.items()
+    ]
+    print_table("PIPE: leave-one-stage-out ablation (m)", ["configuration", "error"], rows)
+    full_err = accuracy_error(runs["full"].output, truth)
+    for k, v in runs.items():
+        if k != "full":
+            assert accuracy_error(v.output, truth) >= full_err - 1.0
+
+
+def test_downstream_payoff(rng, box, benchmark):
+    """Business-layer claim: cleaning upstream improves decisions downstream."""
+    fleet_truth = [
+        correlated_random_walk(rng, 60, box, speed_mean=10, object_id=f"v{i}")
+        for i in range(60)
+    ]
+    profile = CorruptionProfile(
+        noise_sigma=40.0, outlier_rate=0.05, outlier_magnitude=400.0, drop_rate=0.0
+    )
+    corrupted = [profile.apply(t, rng)[0] for t in fleet_truth]
+    clean_pipeline = Pipeline(
+        [
+            Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+            Stage("kalman-smooth", lambda t: kalman_refine(t, 1.0, 40.0)),
+        ]
+    )
+    cleaned = [clean_pipeline.run(t).output for t in corrupted]
+
+    truth_vol = cell_volumes(fleet_truth, box, 125.0)
+    dirty_err = volume_errors(cell_volumes(corrupted, box, 125.0), truth_vol)["rmse"]
+    clean_err = volume_errors(cell_volumes(cleaned, box, 125.0), truth_vol)["rmse"]
+    benchmark(cell_volumes, cleaned, box, 125.0)
+    rows = [
+        ("volumes from corrupted fleet", dirty_err),
+        ("volumes from cleaned fleet", clean_err),
+    ]
+    print_table(
+        "PIPE: downstream traffic-volume RMSE vs truth", ["input data", "rmse"], rows
+    )
+    assert clean_err < dirty_err
+
+
+def test_dq_aware_planning(rng, box, benchmark):
+    """The '2.4 DQ-aware Task Planning' direction: the planner composes the
+    cleaning plan from measured gains under a cost budget, skipping useless
+    and unaffordable services."""
+    from repro.core import CandidateService, plan_pipeline
+    from repro.cleaning import moving_average
+
+    truth = correlated_random_walk(rng, 200, box, speed_mean=5)
+    corrupted, _ = CorruptionProfile(
+        noise_sigma=6.0, outlier_rate=0.05, outlier_magnitude=200.0, drop_rate=0.0
+    ).apply(truth, rng)
+    candidates = [
+        CandidateService(
+            Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+            cost=1.0,
+        ),
+        CandidateService(Stage("kalman-smooth", lambda t: kalman_refine(t, 1.0, 6.0)), 2.0),
+        CandidateService(Stage("identity", lambda t: t), 0.5),
+        CandidateService(Stage("over-budget-ma", lambda t: moving_average(t, 5)), 50.0),
+    ]
+    pipe, report = benchmark(
+        plan_pipeline,
+        corrupted,
+        candidates,
+        lambda t: accuracy_error(t, truth),
+        4.0,
+    )
+    rows = [("selected plan", " -> ".join(report.selected))] + [
+        (f"objective after step {i}", v)
+        for i, v in enumerate(report.objective_trace)
+    ] + [("total cost / budget", f"{report.total_cost}/{report.budget}")]
+    print_table("PIPE: DQ-aware task planning", ["metric", "value"], rows)
+    assert "identity" not in report.selected
+    assert "over-budget-ma" not in report.selected
+    assert report.total_cost <= 4.0
+    assert report.improvement > 0

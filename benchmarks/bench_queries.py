@@ -1,0 +1,211 @@
+"""Experiment F2-Q — queries over low-quality SID (Sec. 2.3.1).
+
+Claims measured:
+  * Uncertainty: bound-based pruning answers threshold queries exactly
+    while skipping most exact-probability evaluations (speed).
+  * Unsampled-time models: beads never exclude the true position; the
+    alibi query proves absence correctly.
+  * Dynamics: indexes beat scans; safe regions cut communication by
+    orders of magnitude at identical answers.
+  * Skew: median partitioning balances load where uniform tiling fails.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.core import GaussianLocation, Point, UncertainPoint
+from repro.querying import (
+    GridIndex,
+    NaiveRangeMonitor,
+    RTree,
+    SafeRegionRangeMonitor,
+    bead_at,
+    brute_force_range,
+    build_entries,
+    grid_partition,
+    kd_partition,
+    load_imbalance,
+    probabilistic_range_query,
+    probabilistic_range_query_naive,
+    skewed_points,
+)
+from repro.synth import correlated_random_walk, fleet
+
+
+def test_probabilistic_pruning(rng, box, benchmark):
+    objects = [
+        UncertainPoint(
+            f"o{i}",
+            GaussianLocation(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000)), rng.uniform(5, 30)
+            ),
+        )
+        for i in range(400)
+    ]
+    q = Point(500, 500)
+
+    start = time.perf_counter()
+    naive = probabilistic_range_query_naive(objects, q, 120.0, 0.5)
+    naive_s = time.perf_counter() - start
+    hits, stats = benchmark(probabilistic_range_query, objects, q, 120.0, 0.5)
+    start = time.perf_counter()
+    probabilistic_range_query(objects, q, 120.0, 0.5)
+    pruned_s = time.perf_counter() - start
+
+    rows = [
+        ("naive (exact everywhere)", len(naive), 0.0, naive_s * 1000),
+        ("bound-based pruning", len(hits), stats.pruning_ratio, pruned_s * 1000),
+    ]
+    print_table(
+        "F2-Q: probabilistic range query (threshold 0.5)",
+        ["strategy", "answers", "pruning ratio", "time_ms"],
+        rows,
+    )
+    assert sorted(hits) == sorted(naive)
+    assert stats.pruning_ratio > 0.7
+    assert pruned_s < naive_s
+
+
+def test_bead_soundness(rng, box, benchmark):
+    dense = correlated_random_walk(rng, 100, box, speed_mean=6, interval=2.0)
+    sparse = dense.downsample(8)
+    v_max = float(dense.speeds().max()) * 1.2 + 1.0
+    misses = 0
+    checks = 0
+    for t in np.linspace(sparse.times[0], sparse.times[-1], 40):
+        bead = bead_at(sparse, float(t), v_max)
+        checks += 1
+        if not bead.contains(dense.position_at(float(t))):
+            misses += 1
+    benchmark(bead_at, sparse, float(sparse.times[1] + 1.0), v_max)
+    rows = [("bead contains truth", f"{checks - misses}/{checks}")]
+    print_table("F2-Q: space-time prism soundness", ["check", "result"], rows)
+    assert misses == 0
+
+
+def test_index_vs_scan(rng, box, benchmark):
+    points = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(5000)]
+    entries = build_entries(points)
+    tree = RTree(entries, leaf_capacity=16)
+    grid = GridIndex(box, 50.0)
+    for e in entries:
+        grid.insert(e)
+    q, radius = Point(400, 600), 60.0
+
+    def timed(fn):
+        start = time.perf_counter()
+        for _ in range(20):
+            out = fn()
+        return out, (time.perf_counter() - start) / 20 * 1000
+
+    scan_out, scan_ms = timed(lambda: brute_force_range(entries, q, radius))
+    tree_out, tree_ms = timed(lambda: tree.range_query(q, radius))
+    grid_out, grid_ms = timed(lambda: grid.range_query(q, radius))
+    benchmark(tree.range_query, q, radius)
+    rows = [
+        ("linear scan", len(scan_out), scan_ms),
+        ("R-tree", len(tree_out), tree_ms),
+        ("grid index", len(grid_out), grid_ms),
+    ]
+    print_table(
+        "F2-Q: range query over 5k points", ["access method", "answers", "time_ms"], rows
+    )
+    assert sorted(tree_out) == sorted(scan_out) == sorted(grid_out)
+    assert tree_ms < scan_ms and grid_ms < scan_ms
+
+
+def test_safe_regions(rng, box, benchmark):
+    objects = fleet(rng, 20, 150, box, speed_mean=4)
+    center = Point(500, 500)
+    safe = SafeRegionRangeMonitor(center, 200.0)
+    naive = NaiveRangeMonitor(center, 200.0)
+    for step in range(150):
+        for t in objects:
+            safe.observe(t.object_id, t[step].point)
+            naive.observe(t.object_id, t[step].point)
+    assert safe.answer() == naive.answer()
+    rows = [
+        ("naive re-evaluation", naive.stats.messages_sent, naive.stats.message_ratio()),
+        ("safe regions", safe.stats.messages_sent, safe.stats.message_ratio()),
+    ]
+    safe_ratio = safe.stats.message_ratio()
+    benchmark(safe.observe, "bench-obj", Point(0, 0))
+    print_table(
+        "F2-Q: continuous range query communication",
+        ["protocol", "messages", "msg ratio"],
+        rows,
+    )
+    assert safe_ratio < 0.1
+
+
+def test_partitioning_under_skew(rng, box, benchmark):
+    points = skewed_points(rng, 3000, box, n_hotspots=3, hotspot_sigma=40.0)
+    grid_parts = grid_partition(points, box, 4)
+    kd_parts = benchmark(kd_partition, points, box, 16)
+    rows = [
+        ("uniform grid (16 tiles)", load_imbalance(grid_parts)),
+        ("kd median split (16 parts)", load_imbalance(kd_parts)),
+    ]
+    print_table(
+        "F2-Q: load imbalance on skewed SID (max/mean)", ["partitioner", "imbalance"], rows
+    )
+    assert load_imbalance(kd_parts) < load_imbalance(grid_parts) / 2
+
+
+def test_probabilistic_count_aggregate(rng, box, benchmark):
+    """Uncertain COUNT [131]: exact Poisson-binomial vs Monte-Carlo."""
+    from repro.querying import (
+        membership_probabilities,
+        expected_count,
+        prob_count_at_least,
+        probabilistic_count_query,
+    )
+
+    objects = [
+        UncertainPoint(
+            f"o{i}",
+            GaussianLocation(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000)), rng.uniform(10, 30)
+            ),
+        )
+        for i in range(200)
+    ]
+    q = Point(500, 500)
+    probs = membership_probabilities(objects, q, 200.0)
+    mc = np.array([(rng.random(200) < probs).sum() for _ in range(3000)])
+    k = int(round(expected_count(probs)))
+    exact = prob_count_at_least(probs, k)
+    empirical = float(np.mean(mc >= k))
+    benchmark(probabilistic_count_query, objects, q, 200.0, k)
+    rows = [
+        ("E[count] exact / MC", expected_count(probs), float(mc.mean())),
+        (f"P(count >= {k}) exact / MC", exact, empirical),
+    ]
+    print_table("F2-Q: uncertain COUNT aggregate", ["quantity", "exact", "monte-carlo"], rows)
+    assert abs(exact - empirical) < 0.03
+    assert abs(expected_count(probs) - mc.mean()) < 0.5
+
+
+def test_predictive_range_query(rng, box, benchmark):
+    """Predictive queries on Markov grids [129]: the model finds objects
+    that *will* plausibly be in the region, pruning the hopeless."""
+    from repro.querying import GridMobilityModel, predictive_range_query
+
+    corpus = fleet(rng, 25, 80, box, speed_mean=8)
+    model = GridMobilityModel(box, 100.0, step_time=5.0, v_max=15.0).fit(corpus)
+    center = Point(500, 500)
+    positions = {"near": Point(520, 480), "edge": Point(250, 500), "far": Point(50, 50)}
+    hits = benchmark(
+        predictive_range_query, model, positions, center, 200.0, 15.0, 0.15
+    )
+    ids = {oid for oid, _ in hits}
+    rows = [(oid, dict(hits).get(oid, 0.0)) for oid in positions]
+    print_table(
+        "F2-Q: predictive range query (horizon 15 s, threshold 0.15)",
+        ["object", "P(in region at t+15)"],
+        rows,
+    )
+    assert "near" in ids and "far" not in ids

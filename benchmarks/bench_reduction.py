@@ -1,0 +1,181 @@
+"""Experiment F2-DR — data reduction (Sec. 2.2.6).
+
+Claims measured:
+  * Error-bounded simplification: ratio/error trade-off curves; TD-TR and
+    the online algorithms honor the SED bound while DP (perpendicular
+    bound) does not; offline beats online at equal epsilon.
+  * Network-constrained compression reaches far higher byte ratios than
+    geometric simplification.
+  * STID reduction: lossless ratio on smooth series; LTC ratio/error
+    trade-off; prediction-based suppression saves messages but is
+    sensitive to the predictor's robustness (constant vs linear on noise).
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.reduction import (
+    DeadReckoningReporter,
+    SquishE,
+    compress_series_lossless,
+    compress_trip,
+    compression_ratio,
+    decompress_trip,
+    douglas_peucker,
+    ltc_compress,
+    max_sed_error,
+    opening_window,
+    series_byte_ratio,
+    suppress_constant,
+    suppress_linear,
+    td_tr,
+)
+from repro.synth import RoadNetwork, correlated_random_walk
+
+
+def test_simplification_tradeoff(rng, big_box, benchmark):
+    traj = correlated_random_walk(rng, 600, big_box, speed_mean=8, turn_sigma=0.25)
+    algorithms = {
+        "DP (offline, perp bound)": douglas_peucker,
+        "TD-TR (offline, SED bound)": td_tr,
+        "OPW (online, SED bound)": lambda t, e: opening_window(t, e),
+        "SQUISH-E (online, SED bound)": lambda t, e: SquishE(e).simplify(t),
+    }
+    rows = []
+    for eps in (5.0, 15.0, 40.0):
+        for name, algo in algorithms.items():
+            out = algo(traj, eps)
+            rows.append(
+                (name, eps, compression_ratio(traj, out), max_sed_error(traj, out))
+            )
+    benchmark(td_tr, traj, 15.0)
+    print_table(
+        "F2-DR: simplification ratio/error trade-off",
+        ["algorithm", "epsilon", "ratio", "max SED"],
+        rows,
+    )
+    by_algo = {}
+    for name, eps, ratio, sed in rows:
+        by_algo.setdefault(name, []).append((eps, ratio, sed))
+    # SED-bounded algorithms honor epsilon at every level.
+    for name in list(algorithms)[1:]:
+        assert all(sed <= eps + 1e-6 for eps, _, sed in by_algo[name]), name
+    # Ratio grows with epsilon for every algorithm.
+    for name, curve in by_algo.items():
+        ratios = [r for _, r, _ in curve]
+        assert ratios == sorted(ratios), name
+    # The [70] distinction: DP's perpendicular bound is NOT an SED bound —
+    # somewhere on the sweep its time-synchronized error exceeds epsilon.
+    assert any(sed > eps for eps, _, sed in by_algo["DP (offline, perp bound)"])
+
+
+def test_dead_reckoning_messages(rng, big_box, benchmark):
+    traj = correlated_random_walk(rng, 500, big_box, speed_mean=8)
+    rows = []
+    counts = []
+    for thr in (5.0, 20.0, 60.0):
+        sent = DeadReckoningReporter(thr).run(traj)
+        rows.append((thr, len(sent), len(sent) / len(traj)))
+        counts.append(len(sent))
+    benchmark(DeadReckoningReporter(20.0).run, traj)
+    print_table(
+        "F2-DR: dead-reckoning reporting",
+        ["threshold_m", "messages", "message_ratio"],
+        rows,
+    )
+    assert counts[0] > counts[1] > counts[2]
+
+
+def test_network_constrained_compression(rng, benchmark):
+    net = RoadNetwork.grid(8, 8, 250.0)
+    route = net.random_route(rng, min_edges=10)
+    traj = net.trajectory_along_path(route, speed=12.0, interval=1.0)
+    geometric = td_tr(traj, 10.0)
+    trip = benchmark(compress_trip, net, route, traj, 10.0)
+    restored = decompress_trip(net, trip)
+    rows = [
+        ("raw (x,y,t) float64", len(traj) * 24, 1.0),
+        ("TD-TR eps=10 (geometric)", len(geometric) * 24, len(traj) / len(geometric)),
+        ("network-constrained codec", trip.n_bytes, trip.byte_ratio()),
+    ]
+    print_table(
+        "F2-DR: vehicle trip compression", ["representation", "bytes", "byte ratio"], rows
+    )
+    assert trip.byte_ratio() > len(traj) / len(geometric)
+    assert len(restored) >= 2
+
+
+def test_stid_codecs(rng, benchmark):
+    t = np.arange(1000.0)
+    smooth = np.round(np.sin(t / 60.0) * 6 + 20 + np.cumsum(rng.normal(0, 0.05, 1000)), 2)
+    blob = benchmark(compress_series_lossless, smooth, 100.0)
+    rows = [("lossless (delta+Rice)", series_byte_ratio(smooth, blob), 0.0)]
+    for eps in (0.1, 0.5, 2.0):
+        knots = ltc_compress(t, smooth, eps)
+        ratio = len(smooth) * 8 / (len(knots) * 16)
+        rows.append((f"LTC eps={eps}", ratio, eps))
+    print_table(
+        "F2-DR: STID series compression",
+        ["codec", "byte ratio", "max error bound"],
+        rows,
+    )
+    assert rows[0][1] > 3.0  # lossless beats raw floats
+    assert rows[3][1] > rows[1][1]  # lossy ratio grows with tolerance
+
+
+def test_prediction_suppression_robustness(rng, benchmark):
+    """Paper: prediction-based reduction is 'challenged by the robustness
+    ... of prediction models' — predictor choice flips the winner with the
+    signal character."""
+    t = np.arange(600.0)
+    trending = 0.2 * t + 5.0
+    noisy = 20.0 + np.where(rng.random(600) < 0.5, 0.6, -0.6)
+    rows = []
+    for name, signal in (("trending", trending), ("noisy", noisy)):
+        c = suppress_constant(signal, 1.0)
+        l = suppress_linear(t, signal, 1.0)
+        rows.append((name, c.message_ratio(), l.message_ratio()))
+    benchmark(suppress_constant, trending, 1.0)
+    print_table(
+        "F2-DR: suppression message ratio by predictor",
+        ["signal", "constant predictor", "linear predictor"],
+        rows,
+    )
+    trend_row, noise_row = rows
+    assert trend_row[2] < trend_row[1]  # linear wins on trends
+    assert noise_row[1] <= noise_row[2]  # constant at least ties on noise
+
+
+def test_binary_trajectory_codec(rng, big_box, benchmark):
+    """The simplification-vs-compression distinction: binary coding stacks
+    a further factor on top of error-bounded point dropping."""
+    from repro.reduction import (
+        decode_trajectory,
+        encode_trajectory,
+        simplify_then_encode,
+        trajectory_byte_ratio,
+    )
+
+    traj = correlated_random_walk(rng, 500, big_box, speed_mean=8)
+    plain = benchmark(encode_trajectory, traj, 10.0, 10.0)
+    staged = simplify_then_encode(traj, 10.0, 10.0, 10.0)
+    restored = decode_trajectory(staged)
+    rows = [
+        ("raw float64", len(traj) * 24, 1.0, 0.0),
+        ("binary codec alone", len(plain), trajectory_byte_ratio(traj, plain), 0.08),
+        (
+            "TD-TR eps=10 + binary codec",
+            len(staged),
+            len(traj) * 24 / len(staged),
+            max_sed_error(traj, restored),
+        ),
+    ]
+    print_table(
+        "F2-DR: free-space binary trajectory compression",
+        ["representation", "bytes", "ratio", "max SED error"],
+        rows,
+    )
+    assert trajectory_byte_ratio(traj, plain) > 4.0
+    assert len(staged) < len(plain) / 2
+    assert max_sed_error(traj, restored) <= 10.2

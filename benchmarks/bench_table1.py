@@ -1,0 +1,129 @@
+"""Experiment T1 — Table 1 of the paper, measured.
+
+The paper's Table 1 maps SID characteristics to the quality issues they
+cause (arrows).  Here each characteristic is *injected* into clean ground
+truth and every DQ dimension is *measured* before and after; the test
+asserts exactly the arrows the paper claims.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.core import (
+    Dimension,
+    STRecord,
+    assess_trajectory,
+    completeness,
+    data_volume,
+    mean_latency,
+    redundancy_ratio,
+    staleness,
+    time_sparsity,
+    value_consistency_ratio,
+)
+from repro.synth import (
+    add_gaussian_noise,
+    add_outliers,
+    correlated_random_walk,
+    delay_arrivals,
+    drop_points,
+    duplicate_records,
+    skew_timestamps,
+)
+
+MAX_SPEED = 15.0
+
+
+def _clean_truth(rng, box):
+    return correlated_random_walk(rng, 300, box, speed_mean=5, speed_sigma=1)
+
+
+def test_row_noisy_and_erroneous(rng, box, benchmark):
+    """Noisy/erroneous -> ↓precision, ↓accuracy, ↓consistency."""
+    truth = _clean_truth(rng, box)
+    noisy, _ = add_outliers(add_gaussian_noise(truth, rng, 15.0), rng, 0.05, 200.0)
+    base = assess_trajectory(truth, truth=truth, max_speed=MAX_SPEED)
+    rep = benchmark(assess_trajectory, noisy, truth=truth, max_speed=MAX_SPEED)
+    degraded = set(rep.degraded_dimensions(base))
+    rows = [
+        (d.value, base.values.get(d, float("nan")), rep.values.get(d, float("nan")),
+         "DEGRADED" if d in degraded else "-")
+        for d in (Dimension.PRECISION, Dimension.ACCURACY, Dimension.CONSISTENCY)
+    ]
+    print_table(
+        "T1 row: noisy and erroneous", ["dimension", "clean", "corrupted", "arrow"], rows
+    )
+    assert {Dimension.PRECISION, Dimension.ACCURACY, Dimension.CONSISTENCY} <= degraded
+
+
+def test_row_temporally_discrete(rng, box, benchmark):
+    """Temporally discrete -> ↑time sparsity, ↓completeness, ↑staleness."""
+    truth = _clean_truth(rng, box)
+    sparse = benchmark(drop_points, truth, rng, 0.6)
+    t0, t1 = truth.times[0], truth.times[-1]
+    rows = [
+        ("time_sparsity", time_sparsity(truth), time_sparsity(sparse)),
+        (
+            "completeness",
+            completeness(truth.times, t0, t1, 1.0),
+            completeness(sparse.times, t0, t1, 1.0),
+        ),
+    ]
+    print_table("T1 row: temporally discrete", ["dimension", "clean", "sparse"], rows)
+    assert time_sparsity(sparse) > time_sparsity(truth)
+    assert completeness(sparse.times, t0, t1, 1.0) < completeness(truth.times, t0, t1, 1.0)
+    # Staleness: the freshest record ages with the sampling gap.
+    recs_dense = [STRecord(p.x, p.y, p.t, 0.0, "s") for p in truth]
+    recs_sparse = [STRecord(p.x, p.y, p.t, 0.0, "s") for p in sparse if p.t <= t1 - 20]
+    assert staleness(recs_sparse, t1) >= staleness(recs_dense, t1)
+
+
+def test_row_decentralized_heterogeneous(rng, benchmark):
+    """Decentralized/heterogeneous -> ↓consistency, ↑latency."""
+    times = np.arange(0, 300, 1.0)
+    # Two sensors observing the same constant phenomenon, one biased.
+    recs_consistent = [STRecord(0, 0, t, 20.0, "a") for t in times] + [
+        STRecord(5, 0, t, 20.2, "b") for t in times
+    ]
+    recs_biased = [STRecord(0, 0, t, 20.0, "a") for t in times] + [
+        STRecord(5, 0, t, 28.0, "b") for t in times
+    ]
+    cons_ok = value_consistency_ratio(recs_consistent, 50.0, 2.0)
+    cons_bad = value_consistency_ratio(recs_biased, 50.0, 2.0)
+    arrivals = benchmark(delay_arrivals, times, rng, 3.0)
+    lat_network = mean_latency(times, arrivals)
+    rows = [
+        ("consistency", cons_ok, cons_bad),
+        ("latency", 0.0, lat_network),
+    ]
+    print_table(
+        "T1 row: decentralized and heterogeneous", ["dimension", "ideal", "IoT"], rows
+    )
+    assert cons_bad < cons_ok
+    assert lat_network > 0.5
+
+
+def test_row_voluminous_duplicated(rng, benchmark):
+    """Voluminous/duplicated -> ↑redundancy, ↑data volume."""
+    times = np.arange(0, 200, 1.0)
+    recs = [STRecord(0, 0, t, 1.0, "s") for t in times]
+    dup = benchmark(duplicate_records, recs, rng, 0.5)
+    rows = [
+        ("redundancy", redundancy_ratio(recs, 1.0, 0.5), redundancy_ratio(dup, 1.0, 0.5)),
+        ("data_volume", data_volume(recs), data_volume(dup)),
+    ]
+    print_table("T1 row: voluminous and duplicated", ["dimension", "clean", "dup"], rows)
+    assert redundancy_ratio(dup, 1.0, 0.5) > redundancy_ratio(recs, 1.0, 0.5)
+    assert data_volume(dup) > data_volume(recs)
+
+
+def test_row_dynamic_clock_disorder(rng, benchmark):
+    """Dynamic devices -> disordered timestamps (consistency issue)."""
+    times = np.arange(0, 200, 1.0)
+    skewed, _ = benchmark(skew_timestamps, times, rng, 0.3, 5.0)
+    from repro.cleaning import order_violations
+
+    rows = [("order_violations", order_violations(times), order_violations(skewed))]
+    print_table("T1 row: dynamic (clock skew)", ["dimension", "clean", "skewed"], rows)
+    assert order_violations(skewed) > 0

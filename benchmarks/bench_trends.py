@@ -1,0 +1,190 @@
+"""Experiment TREND — the emerging trends of Sec. 2.4, measured.
+
+The tutorial closes with trends the taxonomy points toward.  Each is built
+here and its defining trade-off measured:
+
+  * Privacy-preserving computing [117]: exact outsourced queries with
+    (near-)zero geometric leakage to the server.
+  * Quality-driven stream processing [48]: the completeness/latency knob of
+    out-of-order aggregation.
+  * Edge/fog computing [130, 62]: tier-by-tier volume reduction at a
+    bounded reconstruction error.
+  * Federated learning [55, 75]: centralized-level accuracy with no raw
+    data sharing; fixes per-user data scarcity.
+  * Similarity search at scale [111]: lower-bound pruning preserves exact
+    answers while skipping most expensive comparisons.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.analytics import SimilaritySearch
+from repro.core import Point
+from repro.decision import (
+    evaluate_accuracy,
+    split_stream,
+    train_centralized,
+    train_federated,
+    train_local_only,
+)
+from repro.querying import (
+    GridShuffleScheme,
+    OutsourcedStore,
+    PrivateQueryClient,
+    StreamEvent,
+    distance_leakage,
+    run_stream,
+)
+from repro.reduction import EdgeNode, cloud_only_baseline
+from repro.synth import (
+    CheckInWorld,
+    SmoothField,
+    add_gaussian_noise,
+    fleet,
+    generate_pois,
+    random_sensor_sites,
+)
+
+
+def test_private_outsourced_queries(rng, box, benchmark):
+    scheme = GridShuffleScheme(box, 16, b"owner-secret")
+    store = OutsourcedStore(16, box)
+    client = PrivateQueryClient(scheme, store)
+    points = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(500)]
+    client.upload(points)
+    exact = 0
+    for _ in range(10):
+        q = Point(rng.uniform(100, 900), rng.uniform(100, 900))
+        r = float(rng.uniform(50, 150))
+        hits = sorted(client.range_query(q, r))
+        truth = sorted(i for i, p in enumerate(points) if p.distance_to(q) <= r)
+        exact += hits == truth
+    leak = distance_leakage(scheme, points, rng)
+    benchmark(client.range_query, Point(500, 500), 100.0)
+    rows = [("exact answers", f"{exact}/10"), ("distance leakage |corr|", leak)]
+    print_table("TREND: privacy-preserving outsourced queries", ["metric", "value"], rows)
+    assert exact == 10
+    assert leak < 0.3
+
+
+def test_quality_driven_streams(rng, benchmark):
+    events = [
+        StreamEvent(float(t), float(t) + rng.exponential(5.0), float(t % 7))
+        for t in range(400)
+    ]
+    rows = []
+    comp, lat = [], []
+    for lateness in (0.0, 10.0, 40.0):
+        agg = run_stream(events, 10.0, lateness)
+        rows.append((lateness, agg.completeness(), agg.mean_result_latency()))
+        comp.append(agg.completeness())
+        lat.append(agg.mean_result_latency())
+    benchmark(run_stream, events, 10.0, 10.0)
+    print_table(
+        "TREND: out-of-order aggregation (quality-driven)",
+        ["allowed lateness (s)", "completeness", "result latency (s)"],
+        rows,
+    )
+    assert comp == sorted(comp) and lat == sorted(lat)
+    assert comp[-1] == 1.0
+
+
+def test_edge_tier_reduction(rng, box, benchmark):
+    field = SmoothField(rng, box, n_bumps=4)
+    sites = random_sensor_sites(rng, 10, box)
+    series = field.sample_sensors(sites, np.arange(0, 2000, 10.0), rng, noise_sigma=0.1)
+    raw = cloud_only_baseline(series)
+    node = EdgeNode(tolerance=0.5)
+    result = benchmark(node.run, series)
+    rows = [
+        ("device -> cloud (no edge)", raw.payload_bytes, 1.0),
+        (
+            "device -> edge (suppression)",
+            result.device_to_edge.payload_bytes,
+            raw.payload_bytes / max(1, result.device_to_edge.payload_bytes),
+        ),
+        (
+            "edge -> cloud (batched codec)",
+            result.edge_to_cloud.payload_bytes,
+            result.reduction_vs_raw(raw.records),
+        ),
+    ]
+    print_table(
+        "TREND: edge/fog tiered reduction (tolerance 0.5)",
+        ["hop", "bytes", "reduction vs raw"],
+        rows,
+    )
+    assert result.max_error(series) <= 0.5 + 1e-9
+    assert result.reduction_vs_raw(raw.records) > 10.0
+
+
+def test_federated_mobility_model(rng, big_box, benchmark):
+    pois = generate_pois(rng, 30, big_box)
+    world = CheckInWorld(
+        rng, pois, n_users=10, distance_scale=200.0, preference_concentration=0.3
+    )
+    stream = world.simulate(rng, 100)
+    train, test = split_stream(stream, 0.7)
+    fed = benchmark(train_federated, train, len(pois))
+    cen = train_centralized(train, len(pois))
+    acc_fed = evaluate_accuracy(fed, test, 5)["hit@5"]
+    acc_cen = evaluate_accuracy(cen, test, 5)["hit@5"]
+    local_accs = []
+    for user in range(5):
+        own = [c for c in test if c.user_id == user]
+        if len(own) >= 3:
+            local = train_local_only(train, len(pois), user)
+            local_accs.append(evaluate_accuracy(local, own, 5)["hit@5"])
+    rows = [
+        ("local only (mean of 5 users)", float(np.mean(local_accs))),
+        ("federated (no raw sharing)", acc_fed),
+        ("centralized (raw pooling)", acc_cen),
+    ]
+    print_table("TREND: federated next-location, hit@5", ["training", "accuracy"], rows)
+    assert acc_fed == acc_cen  # exact aggregation
+    assert acc_fed >= np.mean(local_accs)
+
+
+def test_similarity_search_pruning(rng, big_box, benchmark):
+    corpus = fleet(rng, 40, 60, big_box, speed_mean=5)
+    query = add_gaussian_noise(corpus[11], rng, 5.0)
+    search = SimilaritySearch(corpus)
+    got, stats = benchmark(search.knn, query, 5)
+    brute = search.knn_brute_force(query, 5)
+    rows = [
+        ("answers match brute force", got == brute),
+        ("pruning ratio", stats.pruning_ratio),
+        ("refined / corpus", f"{stats.refined}/{stats.candidates}"),
+    ]
+    print_table("TREND: trajectory similarity search", ["metric", "value"], rows)
+    assert got == brute
+    assert stats.pruning_ratio > 0.3
+
+
+def test_synthetic_trajectory_generation(rng, box, benchmark):
+    """Privacy-preserving generation [23, 76]: synthetic traces keep the
+    aggregate mobility statistics while copying no individual."""
+    from repro.analytics import (
+        MarkovTrajectoryGenerator,
+        nearest_real_distance,
+        visit_distribution_divergence,
+    )
+
+    corpus = fleet(rng, 25, 60, box, speed_mean=6)
+    gen = MarkovTrajectoryGenerator(box, 100.0).fit(corpus)
+    synth = benchmark(gen.sample_many, rng, 25, 60)
+    p = gen.visit_distribution(corpus)
+    q = gen.visit_distribution(synth)
+    uniform = np.full_like(p, 1.0 / len(p))
+    js_synth = visit_distribution_divergence(p, q)
+    js_uniform = visit_distribution_divergence(p, uniform)
+    min_copy = min(nearest_real_distance(s, corpus) for s in synth[:8])
+    rows = [
+        ("JS(real, synthetic)", js_synth),
+        ("JS(real, uniform) [no-utility baseline]", js_uniform),
+        ("min distance to any real trace (m)", min_copy),
+    ]
+    print_table("TREND: privacy-aware trajectory generation", ["metric", "value"], rows)
+    assert js_synth < js_uniform  # utility preserved
+    assert min_copy > 10.0  # nobody copied

@@ -1,0 +1,151 @@
+"""Experiment F2-UE — uncertainty elimination (Sec. 2.2.2).
+
+Claims measured:
+  * Trajectory UE: smoothing cuts volatility; inference-based route
+    recovery beats straight-line densification on sparse network data;
+    calibration unifies heterogeneous views of the same route.
+  * STID UE: spatiotemporal interpolation restores unsampled values, and
+    its error grows as the spatiotemporal range covered expands (the
+    degradation the paper notes).
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.cleaning import (
+    GaussianProcessInterpolator,
+    calibrate_nearest,
+    grid_anchors,
+    idw_interpolate,
+    moving_average,
+    recover_route,
+)
+from repro.core import Point, accuracy_error, records_from_series, synchronized_error
+from repro.localization import kalman_refine
+from repro.synth import (
+    RoadNetwork,
+    SmoothField,
+    add_gaussian_noise,
+    correlated_random_walk,
+    random_sensor_sites,
+)
+
+
+def test_trajectory_smoothing(rng, box, benchmark):
+    truth = correlated_random_walk(rng, 250, box, speed_mean=5)
+    noisy = add_gaussian_noise(truth, rng, 10.0)
+    ma = benchmark(moving_average, noisy, 5)
+    kalman = kalman_refine(noisy, 1.0, 10.0)
+    rows = [
+        ("raw", accuracy_error(noisy, truth)),
+        ("moving average", accuracy_error(ma, truth)),
+        ("Kalman smoother", accuracy_error(kalman, truth)),
+    ]
+    print_table("F2-UE: smoothing-based UE, mean error (m)", ["method", "error"], rows)
+    assert accuracy_error(ma, truth) < accuracy_error(noisy, truth)
+    assert accuracy_error(kalman, truth) < accuracy_error(noisy, truth)
+
+
+def test_route_recovery_vs_sampling_rate(rng, benchmark):
+    """Inference-based UE restores sparse trajectories; gain grows with
+    sparsity (low-sampling-rate setting of [137])."""
+    net = RoadNetwork.grid(8, 8, 250.0)
+    route = net.random_route(rng, min_edges=9)
+    truth = net.trajectory_along_path(route, speed=12.0, interval=1.0)
+    rows = []
+    gains = []
+    for keep_every in (5, 10, 20):
+        sparse = add_gaussian_noise(truth.downsample(keep_every), rng, 8.0)
+        recovered = recover_route(net, sparse)
+        err_linear = synchronized_error(truth, sparse)
+        err_recovered = synchronized_error(truth, recovered)
+        rows.append((keep_every, err_linear, err_recovered))
+        gains.append(err_linear - err_recovered)
+    benchmark(recover_route, net, add_gaussian_noise(truth.downsample(10), rng, 8.0))
+    print_table(
+        "F2-UE: route recovery vs sampling (sync error, m)",
+        ["keep_every", "linear interp", "network recovery"],
+        rows,
+    )
+    assert all(r[2] < r[1] for r in rows)  # recovery wins at every rate
+
+
+def test_calibration_unifies_views(rng, box, benchmark):
+    truth = correlated_random_walk(rng, 150, box, speed_mean=5)
+    view_a = add_gaussian_noise(truth, rng, 10.0)
+    view_b = add_gaussian_noise(truth, rng, 10.0)
+    anchors = grid_anchors(box, 40.0)
+    cal_a = benchmark(calibrate_nearest, view_a, anchors)
+    cal_b = calibrate_nearest(view_b, anchors)
+    agree_raw = np.mean(
+        [1.0 if (p.x, p.y) == (q.x, q.y) else 0.0 for p, q in zip(view_a, view_b)]
+    )
+    agree_cal = np.mean(
+        [1.0 if (p.x, p.y) == (q.x, q.y) else 0.0 for p, q in zip(cal_a, cal_b)]
+    )
+    rows = [("raw views", float(agree_raw)), ("calibrated views", float(agree_cal))]
+    print_table(
+        "F2-UE: calibration, fraction of identical representations",
+        ["representation", "agreement"],
+        rows,
+    )
+    assert agree_cal > agree_raw
+
+
+def test_interpolation_degrades_with_range(rng, big_box, benchmark):
+    """The paper: 'interpolation performance degrades with the expansion of
+    the spatiotemporal range covered'.  Fixed sensor count over growing
+    regions -> growing error."""
+    from repro.core import BBox
+
+    # One field over the full region with texture everywhere, so growing
+    # the covered sub-range dilutes sensor density without changing the
+    # phenomenon's local difficulty.
+    field = SmoothField(
+        np.random.default_rng(7), big_box, n_bumps=40, length_scale=150, amplitude=8
+    )
+    rows = []
+    errors = []
+    for side in (500.0, 1000.0, 2000.0):
+        region = BBox(0, 0, side, side)
+        sites = random_sensor_sites(np.random.default_rng(8), 25, region)
+        series = field.sample_sensors(
+            sites, np.arange(0, 600, 60.0), np.random.default_rng(9), noise_sigma=0.3
+        )
+        records = records_from_series(series)
+        qrng = np.random.default_rng(10)
+        errs = []
+        for _ in range(60):
+            q = Point(qrng.uniform(0, side), qrng.uniform(0, side))
+            t = float(qrng.uniform(0, 540))
+            est = idw_interpolate(records, q, t, time_scale=0.5)
+            errs.append(abs(est - field.value(q, t)))
+        rows.append((int(side), float(np.mean(errs))))
+        errors.append(float(np.mean(errs)))
+    benchmark(idw_interpolate, records, Point(250, 250), 300.0)
+    print_table(
+        "F2-UE: IDW error vs region side (25 sensors fixed)",
+        ["region_side_m", "mean_abs_error"],
+        rows,
+    )
+    assert errors[-1] > errors[0]  # degradation with range
+
+
+def test_gp_vs_idw(rng, box, benchmark):
+    field = SmoothField(rng, box, n_bumps=4, length_scale=250)
+    sites = random_sensor_sites(rng, 30, box)
+    series = field.sample_sensors(sites, np.arange(0, 600, 60.0), rng, noise_sigma=0.3)
+    records = records_from_series(series)
+    gp = GaussianProcessInterpolator(250, 600, 5.0, 0.3).fit(records)
+    idw_err, gp_err = [], []
+    for _ in range(25):
+        q = Point(rng.uniform(100, 900), rng.uniform(100, 900))
+        t = float(rng.uniform(50, 550))
+        truth = field.value(q, t)
+        idw_err.append(abs(idw_interpolate(records, q, t, time_scale=0.5) - truth))
+        gp_err.append(abs(gp.predict(q, t)[0] - truth))
+    benchmark(gp.predict, Point(500, 500), 300.0)
+    rows = [("IDW", float(np.mean(idw_err))), ("GP (kriging)", float(np.mean(gp_err)))]
+    print_table("F2-UE: STID interpolation mean abs error", ["method", "error"], rows)
+    assert np.mean(gp_err) <= np.mean(idw_err) + 0.2

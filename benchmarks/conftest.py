@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures and table printing.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+computes the claim table (printed with ``-s``), asserts the *direction* of
+the paper's claim, and times the core operation via pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BBox
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Pretty-print a result table (visible with ``pytest -s``)."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2022)
+
+
+@pytest.fixture
+def box():
+    return BBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture
+def big_box():
+    return BBox(0.0, 0.0, 2000.0, 2000.0)

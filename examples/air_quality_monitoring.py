@@ -1,0 +1,88 @@
+"""Air-quality monitoring: heterogeneous low-cost sensors -> fault
+correction -> fusion -> interpolation -> personal exposure.
+
+The environmental-sensing storyline ([60, 85]): a network of cheap sensors
+with spikes, stuck readings, and calibration bias observes a pollution
+field.  STID fault correction (Sec. 2.2.4) repairs the series, fusion
+(Sec. 2.2.5) merges sources, interpolation (Sec. 2.2.2) completes the map,
+and a commuter's trajectory is enriched with exposure (Traj+STID DI).
+
+Run:  python examples/air_quality_monitoring.py
+"""
+
+import numpy as np
+
+from repro.cleaning import (
+    cross_sensor_repair,
+    detect_spikes,
+    detect_stuck,
+    fill_grid,
+    repair_with_interpolation,
+)
+from repro.core import Point, STGrid, grid_rmse, records_from_series
+from repro.integration import attach_records, attachment_coverage, exposure_integral
+from repro.synth import (
+    SmoothField,
+    add_sensor_bias,
+    correlated_random_walk,
+    random_sensor_sites,
+    spike_values,
+    stuck_sensor,
+)
+from repro.core import BBox
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    city = BBox(0, 0, 2000, 2000)
+
+    # 1. The latent pollution field and a 30-sensor network sampling it.
+    field = SmoothField(rng, city, n_bumps=6, length_scale=350.0, amplitude=12.0)
+    sites = random_sensor_sites(rng, 30, city)
+    times = np.arange(0, 1800, 60.0)
+    series = field.sample_sensors(sites, times, rng, noise_sigma=0.4)
+
+    # 2. Realistic device faults on three sensors.
+    series[0], spike_idx = spike_values(series[0], rng, rate=0.1, magnitude=25.0)
+    series[1] = stuck_sensor(series[1], start=5, length=12)
+    series[2] = add_sensor_bias(series[2], 6.0)
+    print(f"{len(series)} sensors, {len(times)} epochs; faults on sensors 0, 1, 2")
+
+    # 3. Fault correction: detect and repair per fault type.
+    found_spikes = detect_spikes(series[0], window=7, threshold=3.0)
+    series[0] = repair_with_interpolation(series[0], found_spikes)
+    print(f"sensor 0: {len(found_spikes)} spikes repaired (injected {len(spike_idx)})")
+
+    found_stuck = detect_stuck(series[1], min_run=5)
+    series[1] = cross_sensor_repair(series[1], series[3:8], found_stuck)
+    print(f"sensor 1: {len(found_stuck)} stuck readings rebuilt from neighbors")
+
+    # 4. Rasterize to a city grid and fill unobserved cells (interpolation).
+    records = records_from_series(series)
+    observed_grid = STGrid.from_records(records, cell_size=250.0, t_step=300.0, bbox=city)
+    completed = fill_grid(observed_grid, method="idw", time_scale=0.5)
+    n_steps = observed_grid.shape[0]
+    truth_grid = field.truth_grid(
+        250.0, 300.0, observed_grid.t_start, observed_grid.t_start + n_steps * 300.0
+    )
+    print("\ncity pollution map:")
+    print(f"  cells unobserved before interpolation: {observed_grid.missing_fraction():.0%}")
+    print(f"  after interpolation:                   {completed.missing_fraction():.0%}")
+    print(f"  map RMSE vs latent field:              {grid_rmse(truth_grid, completed):.2f}")
+
+    # 5. Personal exposure of a commuter crossing the city.
+    commute = correlated_random_walk(rng, 200, city, speed_mean=10.0, object_id="cyclist")
+    enriched = attach_records(commute, records, space_window=500.0, time_window=600.0,
+                              time_scale=0.5)
+    true_exposure = sum(
+        0.5 * (field.value(a.point, a.t) + field.value(b.point, b.t)) * (b.t - a.t)
+        for a, b in zip(commute.points, commute.points[1:])
+    )
+    print("\ncommuter exposure (time-integrated concentration):")
+    print(f"  coverage of trip by sensor data: {attachment_coverage(enriched):.0%}")
+    print(f"  estimated exposure: {exposure_integral(enriched):10.0f}")
+    print(f"  true exposure:      {true_exposure:10.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Smart-city decisions from low-quality SID (Sec. 2.3.3).
+
+Three decision tasks consuming corrupted spatial IoT data:
+
+  * next-location prediction from an incomplete check-in stream,
+  * POI recommendation under mis-mapped check-ins, where deconvolving the
+    mis-mapping beats naive counting,
+  * crowdsourcing task assignment with uncertain worker positions, where
+    the expected-completion assignment beats the point-estimate baseline.
+
+Run:  python examples/smart_city_decisions.py
+"""
+
+import numpy as np
+
+from repro.core import BBox, GaussianLocation, Point
+from repro.decision import (
+    MarkovNextLocation,
+    NaiveRecommender,
+    Task,
+    UncertainCheckinRecommender,
+    Worker,
+    assign_expected,
+    assign_naive,
+    evaluate_accuracy,
+    hit_rate,
+    realized_completions,
+    split_stream,
+)
+from repro.synth import CheckInWorld, corrupt_checkins, generate_pois
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    city = BBox(0, 0, 2000, 2000)
+
+    # A city of POIs and users with distance-discounted preferences.
+    pois = generate_pois(rng, 50, city)
+    # Peaked category preferences + wide mobility: the regime where the
+    # *category* signal drives decisions, so mis-mapping corruption bites.
+    world = CheckInWorld(
+        rng, pois, n_users=15, distance_scale=500.0, preference_concentration=0.15
+    )
+    stream = world.simulate(rng, visits_per_user=120)
+    train, test = split_stream(stream, 0.7)
+    print(f"{len(pois)} POIs, {world.n_users} users, {len(stream)} check-ins")
+
+    # --- 1. Next-location prediction vs training-data quality -------------
+    print("\nnext-location prediction (hit@5 on held-out transitions):")
+    for drop in (0.0, 0.5):
+        dirty = corrupt_checkins(train, world, rng, drop_rate=drop, mismap_rate=drop / 2)
+        model = MarkovNextLocation(len(pois)).fit(dirty)
+        acc = evaluate_accuracy(model, test, k=5)
+        print(f"  training drop rate {drop:.0%}: hit@5 = {acc['hit@5']:.3f}")
+
+    # --- 2. POI recommendation under mis-mapped check-ins -----------------
+    # Averaged over several corruption draws: single draws are noisy.
+    naive_hits, aware_hits = [], []
+    for seed in range(5):
+        r = np.random.default_rng(seed)
+        dirty = corrupt_checkins(train, world, r, 0.0, mismap_rate=0.6, mismap_radius=500.0)
+        naive_hits.append(hit_rate(NaiveRecommender(pois).fit(dirty), test, 5))
+        aware_hits.append(
+            hit_rate(
+                UncertainCheckinRecommender(
+                    pois, mismap_radius=500.0, mismap_rate=0.6
+                ).fit(dirty),
+                test,
+                5,
+            )
+        )
+    print("\nPOI recommendation with 60% mis-mapped training check-ins (mean hit@5):")
+    print(f"  naive category counting:     {np.mean(naive_hits):.3f}")
+    print(f"  uncertainty deconvolution:   {np.mean(aware_hits):.3f}")
+
+    # --- 3. DQ-aware spatial task assignment ------------------------------
+    true_pos = {i: Point(rng.uniform(0, 2000), rng.uniform(0, 2000)) for i in range(15)}
+    # Tasks pop up in the vicinity of the workforce (as dispatch queues do),
+    # so most assignments are contestable rather than hopeless.
+    tasks = [
+        Task(
+            i,
+            Point(
+                float(np.clip(true_pos[i].x + rng.normal(0, 200), 0, 2000)),
+                float(np.clip(true_pos[i].y + rng.normal(0, 200), 0, 2000)),
+            ),
+            radius=150.0,
+        )
+        for i in range(15)
+    ]
+    workers = [
+        Worker(
+            i,
+            GaussianLocation(
+                Point(true_pos[i].x + rng.normal(0, 100), true_pos[i].y + rng.normal(0, 100)),
+                100.0,
+            ),
+        )
+        for i in range(15)
+    ]
+    aware_done = realized_completions(assign_expected(workers, tasks), true_pos, tasks)
+    naive_done = realized_completions(assign_naive(workers, tasks), true_pos, tasks)
+    print("\nspatial crowdsourcing (15 tasks, stale worker positions):")
+    print(f"  point-estimate assignment completed:    {naive_done} tasks")
+    print(f"  expected-completion assignment completed: {aware_done} tasks")
+
+
+if __name__ == "__main__":
+    main()

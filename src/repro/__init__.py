@@ -1,0 +1,49 @@
+"""repro — Spatial IoT data quality: management and exploitation.
+
+A library-scale reproduction of the SIGMOD 2022 tutorial *Spatial Data
+Quality in the IoT Era* (Li, Tang, Lu, Cheema, Jensen).  Sub-packages follow
+the tutorial's taxonomy (Figure 2):
+
+* :mod:`repro.core` — SID data model and DQ dimension metrics (Sec. 2.1),
+* :mod:`repro.synth` — synthetic IoT worlds and quality-issue injectors,
+* :mod:`repro.localization` — location refinement (Sec. 2.2.1),
+* :mod:`repro.cleaning` — uncertainty elimination, outlier removal, fault
+  correction (Sec. 2.2.2-2.2.4),
+* :mod:`repro.integration` — semantic and non-semantic data integration
+  (Sec. 2.2.5),
+* :mod:`repro.reduction` — trajectory and STID reduction (Sec. 2.2.6),
+* :mod:`repro.querying` — queries over low-quality SID (Sec. 2.3.1),
+* :mod:`repro.analytics` — analyses on low-quality SID (Sec. 2.3.2),
+* :mod:`repro.decision` — decision-making using low-quality SID (Sec. 2.3.3).
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    analytics,
+    cleaning,
+    core,
+    decision,
+    indoor,
+    integration,
+    learning,
+    localization,
+    querying,
+    reduction,
+    synth,
+)
+
+__all__ = [
+    "analytics",
+    "cleaning",
+    "core",
+    "decision",
+    "indoor",
+    "integration",
+    "learning",
+    "localization",
+    "querying",
+    "reduction",
+    "synth",
+    "__version__",
+]

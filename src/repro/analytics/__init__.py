@@ -1,0 +1,92 @@
+"""Analyses on low-quality SID (Sec. 2.3.2)."""
+
+from .anomaly import (
+    LegScore,
+    MovementModel,
+    OnlineAnomalyDetector,
+    detection_rates,
+)
+from .clustering import (
+    UncertainTrajectoryClusterer,
+    cluster_crisp_trajectories,
+    clustering_agreement,
+    crisp_trajectory_distance,
+    dbscan,
+    expected_trajectory_distance,
+    kmedoids,
+)
+from .coevolution import (
+    change_series,
+    coevolution_matrix,
+    find_coevolving_groups,
+    group_purity,
+    lagged_correlation,
+)
+from .patterns import (
+    UncertainSymbol,
+    mine_frequent_sequences,
+    mine_frequent_sequences_certain,
+    pattern_precision_recall,
+    symbolize,
+)
+from .generation import (
+    MarkovTrajectoryGenerator,
+    nearest_real_distance,
+    visit_distribution_divergence,
+)
+from .routes import TransferNetwork, route_overlap
+from .streaming import (
+    ContinuousSimilarityMonitor,
+    MonitorUpdate,
+    cell_signature,
+    signature_distance,
+)
+from .similarity import (
+    SearchStats,
+    SimilaritySearch,
+    bbox_lower_bound,
+    dtw_distance,
+    edr_distance,
+    frechet_distance,
+    hausdorff_distance,
+)
+
+__all__ = [
+    "LegScore",
+    "MovementModel",
+    "OnlineAnomalyDetector",
+    "detection_rates",
+    "UncertainTrajectoryClusterer",
+    "cluster_crisp_trajectories",
+    "clustering_agreement",
+    "crisp_trajectory_distance",
+    "dbscan",
+    "expected_trajectory_distance",
+    "kmedoids",
+    "change_series",
+    "coevolution_matrix",
+    "find_coevolving_groups",
+    "group_purity",
+    "lagged_correlation",
+    "UncertainSymbol",
+    "mine_frequent_sequences",
+    "mine_frequent_sequences_certain",
+    "pattern_precision_recall",
+    "symbolize",
+    "TransferNetwork",
+    "route_overlap",
+    "ContinuousSimilarityMonitor",
+    "MonitorUpdate",
+    "cell_signature",
+    "signature_distance",
+    "SearchStats",
+    "SimilaritySearch",
+    "bbox_lower_bound",
+    "dtw_distance",
+    "edr_distance",
+    "frechet_distance",
+    "hausdorff_distance",
+    "MarkovTrajectoryGenerator",
+    "nearest_real_distance",
+    "visit_distribution_divergence",
+]

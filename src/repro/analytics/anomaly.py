@@ -1,0 +1,156 @@
+"""Online trajectory anomaly detection (Sec. 2.3.2, [16, 19, 109, 76]).
+
+Detects anomalous trips *as they stream in*: a movement model is learned
+from a historical corpus (cell-to-cell transition statistics plus per-cell
+speed profiles, the "driving behavior modeling" of [109]); incoming legs
+are scored by their negative log-likelihood and a trip is flagged when its
+windowed score exceeds a threshold calibrated on the corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox
+from ..core.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class LegScore:
+    """Per-leg anomaly evidence."""
+
+    index: int
+    transition_nll: float
+    speed_z: float
+
+    @property
+    def combined(self) -> float:
+        return self.transition_nll + abs(self.speed_z)
+
+
+class MovementModel:
+    """Grid transition + speed statistics learned from normal trajectories."""
+
+    def __init__(self, bbox: BBox, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.bbox = bbox
+        self.cell_size = cell_size
+        self._transitions: dict[tuple[int, int], dict[tuple[int, int], int]] = {}
+        self._speeds: dict[tuple[int, int], list[float]] = {}
+        self._n_cells_seen: set[tuple[int, int]] = set()
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (
+            int((x - self.bbox.min_x) / self.cell_size),
+            int((y - self.bbox.min_y) / self.cell_size),
+        )
+
+    def fit(self, corpus: list[Trajectory]) -> "MovementModel":
+        """Learn transitions and speed profiles from a trajectory corpus."""
+        for traj in corpus:
+            self.partial_fit(traj)
+        return self
+
+    def partial_fit(self, traj: Trajectory) -> None:
+        """Incremental update — the online-learning mode of [109]."""
+        xyt = traj.as_xyt()
+        for i in range(len(traj) - 1):
+            c1 = self._cell_of(xyt[i, 0], xyt[i, 1])
+            c2 = self._cell_of(xyt[i + 1, 0], xyt[i + 1, 1])
+            self._transitions.setdefault(c1, {}).setdefault(c2, 0)
+            self._transitions[c1][c2] += 1
+            dt = xyt[i + 1, 2] - xyt[i, 2]
+            if dt > 0:
+                speed = math.hypot(
+                    xyt[i + 1, 0] - xyt[i, 0], xyt[i + 1, 1] - xyt[i, 1]
+                ) / dt
+                self._speeds.setdefault(c1, []).append(speed)
+            self._n_cells_seen.add(c1)
+            self._n_cells_seen.add(c2)
+
+    def transition_nll(self, c1: tuple[int, int], c2: tuple[int, int]) -> float:
+        """Laplace-smoothed -log P(c2 | c1)."""
+        outgoing = self._transitions.get(c1, {})
+        total = sum(outgoing.values())
+        vocab = max(1, len(self._n_cells_seen))
+        p = (outgoing.get(c2, 0) + 1.0) / (total + vocab)
+        return -math.log(p)
+
+    def speed_z(self, c1: tuple[int, int], speed: float) -> float:
+        """Z-score of ``speed`` under the cell's learned speed profile."""
+        samples = self._speeds.get(c1, [])
+        if len(samples) < 3:
+            return 0.0  # no profile: neutral evidence
+        mu = float(np.mean(samples))
+        sigma = float(np.std(samples)) or 1e-9
+        return (speed - mu) / sigma
+
+    def score_leg(self, traj: Trajectory, i: int) -> LegScore:
+        """Anomaly evidence of leg ``i -> i+1``: transition NLL + speed z."""
+        a, b = traj[i], traj[i + 1]
+        c1 = self._cell_of(a.x, a.y)
+        c2 = self._cell_of(b.x, b.y)
+        dt = b.t - a.t
+        speed = a.distance_to(b) / dt if dt > 0 else 0.0
+        return LegScore(i, self.transition_nll(c1, c2), self.speed_z(c1, speed))
+
+
+class OnlineAnomalyDetector:
+    """Streams a trip through the movement model with a sliding-score window."""
+
+    def __init__(
+        self, model: MovementModel, window: int = 5, threshold: float | None = None
+    ) -> None:
+        self.model = model
+        self.window = max(1, window)
+        self.threshold = threshold
+
+    def calibrate(self, corpus: list[Trajectory], quantile: float = 0.99) -> float:
+        """Set the alarm threshold from the corpus's own windowed scores."""
+        scores = []
+        for traj in corpus:
+            scores.extend(self.windowed_scores(traj))
+        if not scores:
+            raise ValueError("corpus produced no scores")
+        self.threshold = float(np.quantile(scores, quantile))
+        return self.threshold
+
+    def windowed_scores(self, traj: Trajectory) -> list[float]:
+        """Sliding-window mean of per-leg anomaly scores along the trip."""
+        legs = [self.model.score_leg(traj, i).combined for i in range(len(traj) - 1)]
+        out = []
+        for i in range(len(legs)):
+            lo = max(0, i - self.window + 1)
+            out.append(float(np.mean(legs[lo : i + 1])))
+        return out
+
+    def first_alarm(self, traj: Trajectory) -> int | None:
+        """Leg index of the first alarm, or None (requires calibration)."""
+        if self.threshold is None:
+            raise RuntimeError("call calibrate() or set threshold first")
+        for i, s in enumerate(self.windowed_scores(traj)):
+            if s > self.threshold:
+                return i
+        return None
+
+    def is_anomalous(self, traj: Trajectory) -> bool:
+        """Whether any windowed score of the trip crosses the threshold."""
+        return self.first_alarm(traj) is not None
+
+
+def detection_rates(
+    detector: OnlineAnomalyDetector,
+    normal: list[Trajectory],
+    anomalous: list[Trajectory],
+) -> dict[str, float]:
+    """True/false positive rates over labeled trip sets."""
+    tp = sum(1 for t in anomalous if detector.is_anomalous(t))
+    fp = sum(1 for t in normal if detector.is_anomalous(t))
+    return {
+        "tpr": tp / len(anomalous) if anomalous else 0.0,
+        "fpr": fp / len(normal) if normal else 0.0,
+    }

@@ -1,0 +1,204 @@
+"""Clustering under uncertainty and at scale (Sec. 2.3.2, [88, 105]).
+
+* :func:`dbscan` — density clustering of crisp points (the shared engine),
+* :class:`UncertainTrajectoryClusterer` — clustering *uncertain*
+  trajectories [88]: pairwise dissimilarity is the *expected* distance under
+  each trajectory's uncertainty model (Monte-Carlo), clustered with
+  k-medoids; compared against the naive variant that clusters the noisy
+  means directly,
+* :func:`kmedoids` — the PAM-style partitioner both variants share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..core.trajectory import Trajectory
+from ..core.uncertain import UncertainTrajectory
+
+
+def dbscan(
+    points: list[Point], eps: float, min_samples: int
+) -> np.ndarray:
+    """Plain planar DBSCAN; labels, -1 = noise."""
+    n = len(points)
+    labels = np.full(n, -1, dtype=int)
+    if n == 0:
+        return labels
+    xs = np.array([p.x for p in points])
+    ys = np.array([p.y for p in points])
+
+    def neighbors(i: int) -> np.ndarray:
+        d = np.hypot(xs - xs[i], ys - ys[i])
+        mask = d <= eps
+        mask[i] = False
+        return np.flatnonzero(mask)
+
+    visited = np.zeros(n, dtype=bool)
+    cluster = 0
+    for i in range(n):
+        if visited[i]:
+            continue
+        visited[i] = True
+        nbrs = neighbors(i)
+        if len(nbrs) + 1 < min_samples:
+            continue
+        labels[i] = cluster
+        queue = list(nbrs)
+        while queue:
+            j = queue.pop()
+            if labels[j] == -1:
+                labels[j] = cluster
+            if visited[j]:
+                continue
+            visited[j] = True
+            nbrs_j = neighbors(j)
+            if len(nbrs_j) + 1 >= min_samples:
+                queue.extend(k for k in nbrs_j if not visited[k] or labels[k] == -1)
+        cluster += 1
+    return labels
+
+
+def kmedoids(
+    dissimilarity: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iter: int = 50,
+    n_init: int = 5,
+) -> tuple[np.ndarray, list[int]]:
+    """PAM-style k-medoids on a precomputed dissimilarity matrix.
+
+    Runs ``n_init`` random restarts and keeps the assignment with the
+    lowest total within-cluster cost (single restarts are prone to poor
+    local optima).  Returns ``(labels, medoid_indices)``.
+    """
+    n = dissimilarity.shape[0]
+    if dissimilarity.shape != (n, n):
+        raise ValueError("dissimilarity must be square")
+    if not 1 <= k <= n:
+        raise ValueError("k must be in [1, n]")
+
+    def one_run() -> tuple[float, np.ndarray, list[int]]:
+        medoids = list(rng.choice(n, size=k, replace=False))
+        for _ in range(max_iter):
+            labels = np.argmin(dissimilarity[:, medoids], axis=1)
+            new_medoids = []
+            for c in range(k):
+                members = np.flatnonzero(labels == c)
+                if members.size == 0:
+                    new_medoids.append(medoids[c])
+                    continue
+                costs = dissimilarity[np.ix_(members, members)].sum(axis=1)
+                new_medoids.append(int(members[int(np.argmin(costs))]))
+            if new_medoids == medoids:
+                break
+            medoids = new_medoids
+        labels = np.argmin(dissimilarity[:, medoids], axis=1)
+        cost = float(dissimilarity[np.arange(n), np.array(medoids)[labels]].sum())
+        return cost, labels, medoids
+
+    best = min((one_run() for _ in range(max(1, n_init))), key=lambda r: r[0])
+    return best[1], best[2]
+
+
+def crisp_trajectory_distance(a: Trajectory, b: Trajectory, n_samples: int = 20) -> float:
+    """Mean distance between the two trajectories at shared sampled times."""
+    t0 = max(a.times[0], b.times[0])
+    t1 = min(a.times[-1], b.times[-1])
+    if t1 <= t0:
+        # Disjoint spans: fall back to distance of trajectory centroids.
+        ca = Point(
+            float(np.mean([p.x for p in a])), float(np.mean([p.y for p in a]))
+        )
+        cb = Point(
+            float(np.mean([p.x for p in b])), float(np.mean([p.y for p in b]))
+        )
+        return ca.distance_to(cb)
+    ts = np.linspace(t0, t1, n_samples)
+    return float(
+        np.mean([a.position_at(float(t)).distance_to(b.position_at(float(t))) for t in ts])
+    )
+
+
+def expected_trajectory_distance(
+    a: UncertainTrajectory,
+    b: UncertainTrajectory,
+    rng: np.random.Generator,
+    n_draws: int = 16,
+) -> float:
+    """Expected mean distance under both trajectories' uncertainty.
+
+    Monte-Carlo over location pdfs at the shared timestamps; the estimator
+    of [88]'s expected-distance dissimilarity.
+    """
+    common = sorted(set(a.times) & set(b.times))
+    if not common:
+        return crisp_trajectory_distance(a.expected_trajectory(), b.expected_trajectory())
+    total = 0.0
+    for t in common:
+        loc_a = dict(iter(a))[t]
+        loc_b = dict(iter(b))[t]
+        sa = loc_a.sample(rng, n_draws)
+        sb = loc_b.sample(rng, n_draws)
+        total += float(np.mean(np.hypot(sa[:, 0] - sb[:, 0], sa[:, 1] - sb[:, 1])))
+    return total / len(common)
+
+
+class UncertainTrajectoryClusterer:
+    """k-medoids over expected distances between uncertain trajectories."""
+
+    def __init__(self, k: int, rng: np.random.Generator, n_draws: int = 16) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.rng = rng
+        self.n_draws = n_draws
+
+    def dissimilarity_matrix(self, trajs: list[UncertainTrajectory]) -> np.ndarray:
+        """Pairwise expected distances between the uncertain trajectories."""
+        n = len(trajs)
+        d = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                d[i, j] = d[j, i] = expected_trajectory_distance(
+                    trajs[i], trajs[j], self.rng, self.n_draws
+                )
+        return d
+
+    def fit_predict(self, trajs: list[UncertainTrajectory]) -> np.ndarray:
+        """Cluster labels from k-medoids over expected distances."""
+        labels, _ = kmedoids(self.dissimilarity_matrix(trajs), self.k, self.rng)
+        return labels
+
+
+def cluster_crisp_trajectories(
+    trajs: list[Trajectory], k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Naive baseline: k-medoids over crisp (noisy-mean) distances."""
+    n = len(trajs)
+    d = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d[i, j] = d[j, i] = crisp_trajectory_distance(trajs[i], trajs[j])
+    labels, _ = kmedoids(d, k, rng)
+    return labels
+
+
+def clustering_agreement(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index between two labelings (1.0 = identical partitions)."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError("labelings must align")
+    n = len(a)
+    if n < 2:
+        return 1.0
+    agree = 0
+    total = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += 1
+            if (a[i] == a[j]) == (b[i] == b[j]):
+                agree += 1
+    return agree / total

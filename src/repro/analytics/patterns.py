@@ -1,0 +1,190 @@
+"""Probabilistic frequent pattern mining over uncertain SID (Sec. 2.3.2,
+[64, 134, 102]).
+
+Trajectories are symbolized into grid-cell sequences; location uncertainty
+makes each symbol *existentially uncertain* (a probability the object was
+really in that cell).  Mining then targets patterns whose **expected
+support** crosses the threshold — the standard U-Apriori relaxation used by
+[134, 64] — rather than counting noisy symbols as certain.
+
+* :func:`symbolize` — trajectory -> (cell, probability) sequence,
+* :func:`mine_frequent_sequences` — level-wise expected-support mining of
+  contiguous cell subsequences with a gap constraint,
+* :func:`mine_frequent_sequences_certain` — the naive baseline ignoring the
+  probabilities (treats every observation as true).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox
+from ..core.trajectory import Trajectory
+from ..core.uncertain import UncertainLocation
+
+
+Cell = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class UncertainSymbol:
+    """One symbolized observation: the cell and its existential probability."""
+
+    cell: Cell
+    probability: float
+
+
+def symbolize(
+    traj: Trajectory,
+    bbox: BBox,
+    cell_size: float,
+    location_sigma: float = 0.0,
+) -> list[UncertainSymbol]:
+    """Map samples to cells with membership probabilities.
+
+    With ``location_sigma > 0`` the probability is the Gaussian mass of the
+    sample's error model inside its assigned cell (cheap 1-D product
+    approximation); with 0 the symbols are certain.
+    """
+    from scipy import stats
+
+    out = []
+    for p in traj:
+        xi = int((p.x - bbox.min_x) / cell_size)
+        yi = int((p.y - bbox.min_y) / cell_size)
+        if location_sigma <= 0:
+            prob = 1.0
+        else:
+            x0 = bbox.min_x + xi * cell_size
+            y0 = bbox.min_y + yi * cell_size
+            px = stats.norm.cdf(x0 + cell_size, p.x, location_sigma) - stats.norm.cdf(
+                x0, p.x, location_sigma
+            )
+            py = stats.norm.cdf(y0 + cell_size, p.y, location_sigma) - stats.norm.cdf(
+                y0, p.y, location_sigma
+            )
+            prob = float(px * py)
+        out.append(UncertainSymbol((xi, yi), prob))
+    return out
+
+
+def _dedupe_consecutive(symbols: list[UncertainSymbol]) -> list[UncertainSymbol]:
+    """Collapse runs in the same cell (keep the max-probability witness)."""
+    out: list[UncertainSymbol] = []
+    for s in symbols:
+        if out and out[-1].cell == s.cell:
+            if s.probability > out[-1].probability:
+                out[-1] = s
+        else:
+            out.append(s)
+    return out
+
+
+def _sequence_support(
+    sequence: tuple[Cell, ...], symbols: list[UncertainSymbol], max_gap: int
+) -> float:
+    """Max probability of an embedding of ``sequence`` in one symbol list.
+
+    Dynamic programming over match positions; each symbol contributes its
+    existential probability multiplicatively (independence assumption, as
+    in [134]); consecutive matches may skip up to ``max_gap`` symbols.
+    """
+    best = 0.0
+    n = len(symbols)
+    # dp[j] = best probability of matching prefix ending at symbol j.
+    for start in range(n):
+        if symbols[start].cell != sequence[0]:
+            continue
+        prob = symbols[start].probability
+        pos = start
+        ok = True
+        for target in sequence[1:]:
+            found = None
+            for j in range(pos + 1, min(n, pos + 2 + max_gap)):
+                if symbols[j].cell == target:
+                    found = j
+                    break
+            if found is None:
+                ok = False
+                break
+            prob *= symbols[found].probability
+            pos = found
+        if ok:
+            best = max(best, prob)
+    return best
+
+
+def mine_frequent_sequences(
+    database: list[list[UncertainSymbol]],
+    min_expected_support: float,
+    max_length: int = 4,
+    max_gap: int = 1,
+) -> dict[tuple[Cell, ...], float]:
+    """Level-wise mining of cell sequences by expected support.
+
+    Expected support of a pattern = sum over records of the (best-embedding)
+    probability that the record contains it.  Apriori pruning applies
+    because extending a pattern can only lower each record's probability.
+    """
+    if min_expected_support <= 0:
+        raise ValueError("min_expected_support must be positive")
+    db = [_dedupe_consecutive(s) for s in database]
+    # Level 1.
+    singles: dict[tuple[Cell, ...], float] = {}
+    for symbols in db:
+        best_per_cell: dict[Cell, float] = {}
+        for s in symbols:
+            best_per_cell[s.cell] = max(best_per_cell.get(s.cell, 0.0), s.probability)
+        for cell, p in best_per_cell.items():
+            singles[(cell,)] = singles.get((cell,), 0.0) + p
+    frequent = {
+        seq: sup for seq, sup in singles.items() if sup >= min_expected_support
+    }
+    result = dict(frequent)
+    current = list(frequent)
+    length = 1
+    while current and length < max_length:
+        length += 1
+        candidates: set[tuple[Cell, ...]] = set()
+        frequent_cells = {seq[0] for seq in frequent if len(seq) == 1} | {
+            c for seq in current for c in seq
+        }
+        for seq in current:
+            for cell in frequent_cells:
+                candidates.add(seq + (cell,))
+        next_level: dict[tuple[Cell, ...], float] = {}
+        for cand in candidates:
+            support = sum(_sequence_support(cand, symbols, max_gap) for symbols in db)
+            if support >= min_expected_support:
+                next_level[cand] = support
+        result.update(next_level)
+        current = list(next_level)
+    return result
+
+
+def mine_frequent_sequences_certain(
+    database: list[list[UncertainSymbol]],
+    min_support: float,
+    max_length: int = 4,
+    max_gap: int = 1,
+) -> dict[tuple[Cell, ...], float]:
+    """Baseline: same mining with every probability forced to 1."""
+    certain = [
+        [UncertainSymbol(s.cell, 1.0) for s in symbols] for symbols in database
+    ]
+    return mine_frequent_sequences(certain, min_support, max_length, max_gap)
+
+
+def pattern_precision_recall(
+    mined: dict[tuple[Cell, ...], float], truth: set[tuple[Cell, ...]], min_length: int = 2
+) -> dict[str, float]:
+    """Compare mined pattern set (length >= min_length) against ground truth."""
+    found = {seq for seq in mined if len(seq) >= min_length}
+    truth_long = {seq for seq in truth if len(seq) >= min_length}
+    tp = len(found & truth_long)
+    precision = tp / len(found) if found else (1.0 if not truth_long else 0.0)
+    recall = tp / len(truth_long) if truth_long else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

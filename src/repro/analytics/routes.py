@@ -1,0 +1,103 @@
+"""Popular-route discovery from uncertain trajectories (Sec. 2.3.2, [107]).
+
+Following Wei et al. [107]: low-sampling-rate trajectories are aggregated
+into a *transfer network* of grid cells whose edges carry transition
+probabilities; the most popular route between two places is the maximum
+probability path through that network — recoverable even though no single
+input trajectory was densely sampled.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from ..core.geometry import BBox, Point
+from ..core.trajectory import Trajectory
+
+Cell = tuple[int, int]
+
+
+class TransferNetwork:
+    """Grid transfer network aggregated from (possibly sparse) trajectories."""
+
+    def __init__(self, bbox: BBox, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.bbox = bbox
+        self.cell_size = cell_size
+        self.graph = nx.DiGraph()
+
+    def cell_of(self, p: Point) -> Cell:
+        """Grid cell containing point ``p``."""
+        return (
+            int((p.x - self.bbox.min_x) / self.cell_size),
+            int((p.y - self.bbox.min_y) / self.cell_size),
+        )
+
+    def cell_center(self, c: Cell) -> Point:
+        """Planar center of a grid cell."""
+        return Point(
+            self.bbox.min_x + (c[0] + 0.5) * self.cell_size,
+            self.bbox.min_y + (c[1] + 0.5) * self.cell_size,
+        )
+
+    def add_trajectory(self, traj: Trajectory) -> None:
+        """Accumulate the trajectory's cell transitions (dedupe repeats)."""
+        cells: list[Cell] = []
+        for p in traj:
+            c = self.cell_of(p.point)
+            if not cells or cells[-1] != c:
+                cells.append(c)
+        for a, b in zip(cells, cells[1:]):
+            if self.graph.has_edge(a, b):
+                self.graph[a][b]["count"] += 1
+            else:
+                self.graph.add_edge(a, b, count=1)
+
+    def fit(self, corpus: list[Trajectory]) -> "TransferNetwork":
+        """Aggregate a trajectory corpus and normalize transition weights."""
+        for t in corpus:
+            self.add_trajectory(t)
+        self._finalize()
+        return self
+
+    def _finalize(self) -> None:
+        """Convert counts to transition probabilities and -log costs."""
+        for node in self.graph.nodes:
+            total = sum(d["count"] for _, _, d in self.graph.out_edges(node, data=True))
+            for _, succ, d in self.graph.out_edges(node, data=True):
+                p = d["count"] / total
+                d["probability"] = p
+                d["cost"] = -math.log(p)
+
+    def popular_route(self, origin: Point, destination: Point) -> list[Cell]:
+        """Maximum-probability cell route (min sum of -log transition probs)."""
+        src = self.cell_of(origin)
+        dst = self.cell_of(destination)
+        if src not in self.graph or dst not in self.graph:
+            raise ValueError("origin or destination cell unseen in the corpus")
+        return nx.shortest_path(self.graph, src, dst, weight="cost")
+
+    def route_probability(self, route: list[Cell]) -> float:
+        """Product of transition probabilities along the route."""
+        p = 1.0
+        for a, b in zip(route, route[1:]):
+            if not self.graph.has_edge(a, b):
+                return 0.0
+            p *= self.graph[a][b]["probability"]
+        return p
+
+    def route_points(self, route: list[Cell]) -> list[Point]:
+        """Cell-center geometry of a cell route."""
+        return [self.cell_center(c) for c in route]
+
+
+def route_overlap(route_a: list[Cell], route_b: list[Cell]) -> float:
+    """Jaccard overlap of the two routes' cell sets (route quality metric)."""
+    sa, sb = set(route_a), set(route_b)
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)

@@ -1,0 +1,100 @@
+"""Uncertainty elimination, outlier removal, fault correction (Sec. 2.2.2-4)."""
+
+from .calibration import (
+    calibrate_nearest,
+    calibrate_weighted,
+    grid_anchors,
+    mine_anchors,
+)
+from .interpolation import (
+    GaussianProcessInterpolator,
+    fill_grid,
+    idw_interpolate,
+    temporal_interpolate,
+)
+from .map_matching import HMMMapMatcher, MatchResult, MatchedPoint, recover_route
+from .outliers import (
+    detection_scores,
+    heading_outliers,
+    prediction_outliers,
+    profile_outliers,
+    remove_and_repair,
+    remove_points,
+    speed_outliers,
+    zscore_outliers,
+)
+from .rfid import (
+    CorridorHMMCleaner,
+    epoch_accuracy,
+    raw_reader_sequence,
+    visits_from_sequence,
+    window_smooth,
+)
+from .screen import screen_repair, screen_repair_series, speed_violations
+from .smoothing import (
+    exponential_smoothing,
+    heading_aware_smoothing,
+    median_filter,
+    moving_average,
+)
+from .st_outliers import STDBSCAN, neighborhood_outliers, temporal_outliers
+from .timestamps import (
+    constrained_repair,
+    isotonic_repair,
+    order_violations,
+    repair_quality,
+)
+from .value_repair import (
+    cross_sensor_repair,
+    detect_spikes,
+    detect_stuck,
+    repair_rmse,
+    repair_with_interpolation,
+)
+
+__all__ = [
+    "calibrate_nearest",
+    "calibrate_weighted",
+    "grid_anchors",
+    "mine_anchors",
+    "GaussianProcessInterpolator",
+    "fill_grid",
+    "idw_interpolate",
+    "temporal_interpolate",
+    "HMMMapMatcher",
+    "MatchResult",
+    "MatchedPoint",
+    "recover_route",
+    "detection_scores",
+    "heading_outliers",
+    "prediction_outliers",
+    "profile_outliers",
+    "remove_and_repair",
+    "remove_points",
+    "speed_outliers",
+    "zscore_outliers",
+    "CorridorHMMCleaner",
+    "epoch_accuracy",
+    "raw_reader_sequence",
+    "visits_from_sequence",
+    "window_smooth",
+    "screen_repair",
+    "screen_repair_series",
+    "speed_violations",
+    "exponential_smoothing",
+    "heading_aware_smoothing",
+    "median_filter",
+    "moving_average",
+    "STDBSCAN",
+    "neighborhood_outliers",
+    "temporal_outliers",
+    "constrained_repair",
+    "isotonic_repair",
+    "order_violations",
+    "repair_quality",
+    "cross_sensor_repair",
+    "detect_spikes",
+    "detect_stuck",
+    "repair_rmse",
+    "repair_with_interpolation",
+]

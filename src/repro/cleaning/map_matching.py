@@ -1,0 +1,250 @@
+"""HMM map matching and route recovery — inference-based trajectory UE
+(Sec. 2.2.2, [108, 137]).
+
+Noisy, sparsely sampled vehicle trajectories are restored by exploiting the
+explicit spatial constraint of the road network:
+
+* :class:`HMMMapMatcher` implements the standard hidden-Markov map matcher
+  (Gaussian emission around candidate edge projections; transition favoring
+  route distance ≈ straight-line distance) decoded with Viterbi.
+* :func:`recover_route` completes the path between consecutive matched
+  points with network shortest paths — turning low-sampling-rate input into
+  a full route, the "route recovery" task of [108].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.geometry import Point, project_point_to_segment
+from ..core.trajectory import Trajectory, TrajectoryPoint
+from ..synth.road_network import RoadNetwork
+
+
+@dataclass(frozen=True)
+class MatchedPoint:
+    """One matched sample: the chosen edge, projected position, and time."""
+
+    edge: tuple[int, int]
+    position: Point
+    t: float
+
+
+@dataclass
+class MatchResult:
+    """Viterbi-matched samples plus the recovered node-level route."""
+
+    matched: list[MatchedPoint]
+    route: list[int]
+
+    def trajectory(self, object_id: str = "") -> Trajectory:
+        """The matched samples as a crisp trajectory."""
+        return Trajectory(
+            [TrajectoryPoint(m.position.x, m.position.y, m.t) for m in self.matched],
+            object_id,
+        )
+
+
+class HMMMapMatcher:
+    """Hidden-Markov map matcher over a :class:`RoadNetwork`."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        emission_sigma: float = 10.0,
+        transition_beta: float = 30.0,
+        candidate_radius: float = 50.0,
+        max_candidates: int = 6,
+    ) -> None:
+        if emission_sigma <= 0 or transition_beta <= 0 or candidate_radius <= 0:
+            raise ValueError("sigma, beta, radius must be positive")
+        self.network = network
+        self.emission_sigma = emission_sigma
+        self.transition_beta = transition_beta
+        self.candidate_radius = candidate_radius
+        self.max_candidates = max_candidates
+        self._edges = list(network.graph.edges)
+        self._build_edge_index()
+
+    def _build_edge_index(self) -> None:
+        """Bucket edges into a uniform grid for O(local) candidate lookup.
+
+        Cell size equals the candidate radius; an edge is registered in
+        every cell its (slightly expanded) bounding box overlaps, so a 3x3
+        neighborhood query is guaranteed to see every edge within the
+        radius of any point in the center cell.
+        """
+        bbox = self.network.bbox().expand(self.candidate_radius)
+        self._index_origin = (bbox.min_x, bbox.min_y)
+        self._index_cell = self.candidate_radius
+        self._edge_cells: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for u, v in self._edges:
+            a, b = self.network.positions[u], self.network.positions[v]
+            x0 = int((min(a.x, b.x) - bbox.min_x) / self._index_cell)
+            x1 = int((max(a.x, b.x) - bbox.min_x) / self._index_cell)
+            y0 = int((min(a.y, b.y) - bbox.min_y) / self._index_cell)
+            y1 = int((max(a.y, b.y) - bbox.min_y) / self._index_cell)
+            for xi in range(x0, x1 + 1):
+                for yi in range(y0, y1 + 1):
+                    self._edge_cells.setdefault((xi, yi), []).append((u, v))
+
+    # -- candidate generation -------------------------------------------------
+
+    def _nearby_edges(self, p: Point) -> list[tuple[int, int]]:
+        """Edges registered in the 3x3 index neighborhood of ``p``."""
+        xi = int((p.x - self._index_origin[0]) / self._index_cell)
+        yi = int((p.y - self._index_origin[1]) / self._index_cell)
+        seen: set[tuple[int, int]] = set()
+        out: list[tuple[int, int]] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for edge in self._edge_cells.get((xi + dx, yi + dy), []):
+                    if edge not in seen:
+                        seen.add(edge)
+                        out.append(edge)
+        return out
+
+    def _candidates(self, p: Point) -> list[tuple[tuple[int, int], Point, float]]:
+        """Edges within the candidate radius: ``(edge, projection, distance)``."""
+        cands = []
+        for u, v in self._nearby_edges(p):
+            a, b = self.network.positions[u], self.network.positions[v]
+            q, _ = project_point_to_segment(p, a, b)
+            d = p.distance_to(q)
+            if d <= self.candidate_radius:
+                cands.append(((u, v), q, d))
+        cands.sort(key=lambda c: c[2])
+        if not cands:
+            # Fall back to the globally nearest edge so matching never fails.
+            cands = [self.network.snap(p)]
+        return cands[: self.max_candidates]
+
+    def _route_distance(self, e1: tuple[int, int], q1: Point, e2: tuple[int, int], q2: Point) -> float:
+        """Network distance between projections on two (possibly equal) edges."""
+        if set(e1) == set(e2):
+            return q1.distance_to(q2)
+        best = math.inf
+        for n1 in e1:
+            for n2 in e2:
+                try:
+                    d = nx.shortest_path_length(
+                        self.network.graph, n1, n2, weight="length"
+                    )
+                except nx.NetworkXNoPath:
+                    continue
+                total = q1.distance_to(self.network.positions[n1]) + d + q2.distance_to(
+                    self.network.positions[n2]
+                )
+                best = min(best, total)
+        return best
+
+    # -- decoding ----------------------------------------------------------------
+
+    def match(self, traj: Trajectory) -> MatchResult:
+        """Viterbi decoding of the most probable edge sequence."""
+        if len(traj) == 0:
+            raise ValueError("empty trajectory")
+        layers = [self._candidates(p.point) for p in traj]
+        n = len(traj)
+        # log emission: Gaussian in projection distance.
+        log_e = [
+            np.array([-0.5 * (c[2] / self.emission_sigma) ** 2 for c in layer])
+            for layer in layers
+        ]
+        scores = [log_e[0]]
+        back: list[np.ndarray] = []
+        for t in range(1, n):
+            straight = traj[t - 1].point.distance_to(traj[t].point)
+            prev_layer, cur_layer = layers[t - 1], layers[t]
+            s = np.full((len(prev_layer), len(cur_layer)), -math.inf)
+            for i, (e1, q1, _) in enumerate(prev_layer):
+                for j, (e2, q2, _) in enumerate(cur_layer):
+                    route = self._route_distance(e1, q1, e2, q2)
+                    if not math.isfinite(route):
+                        continue
+                    # Newson-Krumm: exponential penalty on |route - straight|.
+                    s[i, j] = -abs(route - straight) / self.transition_beta
+            total = scores[-1][:, None] + s
+            back.append(np.argmax(total, axis=0))
+            scores.append(total[back[-1], np.arange(len(cur_layer))] + log_e[t])
+        # Backtrack.
+        path_idx = [int(np.argmax(scores[-1]))]
+        for t in range(n - 1, 0, -1):
+            path_idx.append(int(back[t - 1][path_idx[-1]]))
+        path_idx.reverse()
+        matched = [
+            MatchedPoint(layers[t][j][0], layers[t][j][1], traj[t].t)
+            for t, j in enumerate(path_idx)
+        ]
+        return MatchResult(matched, self._stitch_route(matched))
+
+    def _stitch_route(self, matched: list[MatchedPoint]) -> list[int]:
+        """Connect matched edges into a node-level route via shortest paths."""
+        route: list[int] = []
+        for prev, cur in zip(matched, matched[1:]):
+            if set(prev.edge) == set(cur.edge):
+                continue
+            start = min(
+                prev.edge, key=lambda nid: self.network.positions[nid].distance_to(cur.position)
+            )
+            end = min(
+                cur.edge, key=lambda nid: self.network.positions[nid].distance_to(prev.position)
+            )
+            try:
+                seg = self.network.shortest_path(start, end)
+            except nx.NetworkXNoPath:
+                seg = [start, end]
+            if route and seg and route[-1] == seg[0]:
+                seg = seg[1:]
+            route.extend(seg)
+        return route
+
+
+def recover_route(
+    network: RoadNetwork,
+    traj: Trajectory,
+    matcher: HMMMapMatcher | None = None,
+    speed_hint: float | None = None,
+) -> Trajectory:
+    """Restore a dense network-constrained trajectory from sparse samples.
+
+    Matches the sparse samples, fills the gaps with network shortest paths,
+    and re-times the recovered geometry assuming uniform speed per gap
+    (``speed_hint`` overrides the implied speed when provided).
+    """
+    matcher = matcher or HMMMapMatcher(network)
+    result = matcher.match(traj)
+    m = result.matched
+    if len(m) < 2:
+        return result.trajectory(traj.object_id)
+    points: list[TrajectoryPoint] = [TrajectoryPoint(m[0].position.x, m[0].position.y, m[0].t)]
+    for prev, cur in zip(m, m[1:]):
+        # Geometry of the gap: projections plus intermediate route nodes.
+        geometry = [prev.position]
+        if set(prev.edge) != set(cur.edge):
+            start = min(
+                prev.edge, key=lambda nid: network.positions[nid].distance_to(cur.position)
+            )
+            end = min(
+                cur.edge, key=lambda nid: network.positions[nid].distance_to(prev.position)
+            )
+            try:
+                seg = network.shortest_path(start, end)
+            except nx.NetworkXNoPath:
+                seg = []
+            geometry.extend(network.positions[nid] for nid in seg)
+        geometry.append(cur.position)
+        # Distribute time along the geometry proportionally to length.
+        total = sum(a.distance_to(b) for a, b in zip(geometry, geometry[1:]))
+        dt = cur.t - prev.t
+        acc = 0.0
+        for a, b in zip(geometry, geometry[1:]):
+            acc += a.distance_to(b)
+            t = prev.t + (dt * acc / total if total > 0 else dt)
+            if t > points[-1].t + 1e-9:
+                points.append(TrajectoryPoint(b.x, b.y, min(t, cur.t)))
+    return Trajectory(points, traj.object_id)

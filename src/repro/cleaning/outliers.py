@@ -1,0 +1,233 @@
+"""Trajectory point outlier removal (Sec. 2.2.3).
+
+The tutorial's three method families, each with the trade-off it names:
+
+* **Constraint-based** [113, 138]: flag points violating motion constraints
+  from neighborhood information — struggles with very noisy trajectories.
+* **Statistics-based** [86]: flag points anomalous under a statistical
+  profile — restricted by the availability of history (profile data).
+* **Prediction-based** [121]: flag points that disagree with a model
+  prediction and *repair* them with the predicted value — depends on
+  trustworthy input to keep the model on track.
+
+All detectors return sorted point indices; :func:`remove_and_repair`
+rebuilds a clean trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory, TrajectoryPoint
+from ..localization.kalman import KalmanFilter2D
+
+
+# ---------------------------------------------------------------------------
+# Constraint-based
+# ---------------------------------------------------------------------------
+
+
+def speed_outliers(traj: Trajectory, max_speed: float) -> list[int]:
+    """Points unreachable within the speed limit from *both* neighbors.
+
+    A point is flagged when the leg into it and the leg out of it both imply
+    speeds above ``max_speed`` — the single-spike signature.  Using both
+    sides avoids cascading flags after a genuine fast segment.
+    """
+    n = len(traj)
+    if n < 3:
+        return []
+    speeds = traj.speeds()
+    flagged = []
+    for i in range(1, n - 1):
+        if speeds[i - 1] > max_speed and speeds[i] > max_speed:
+            flagged.append(i)
+    return flagged
+
+
+def heading_outliers(traj: Trajectory, max_turn: float = 2.8) -> list[int]:
+    """Points producing an out-and-back heading reversal (spike signature).
+
+    A spike shows as two consecutive near-reversals: in->spike and
+    spike->out directions differ by almost pi.
+    """
+    n = len(traj)
+    if n < 3:
+        return []
+    headings = traj.headings()
+    flagged = []
+    for i in range(1, n - 1):
+        turn = abs(float(headings[i] - headings[i - 1]))
+        turn = min(turn, 2.0 * np.pi - turn)
+        if turn > max_turn:
+            flagged.append(i)
+    return flagged
+
+
+# ---------------------------------------------------------------------------
+# Statistics-based
+# ---------------------------------------------------------------------------
+
+
+def zscore_outliers(
+    traj: Trajectory, window: int = 7, threshold: float = 3.0
+) -> list[int]:
+    """Points far from their windowed median, in robust z-score units.
+
+    The deviation scale is the median absolute deviation (MAD) of all
+    windowed residuals, so the profile comes from the trajectory itself —
+    with a short trajectory (little history) the MAD estimate degrades,
+    which is exactly the limitation the tutorial notes for this family.
+    """
+    n = len(traj)
+    if n < 3:
+        return []
+    half = max(1, window // 2)
+    xyt = traj.as_xyt()
+    residuals = np.empty(n)
+    for i in range(n):
+        lo, hi = max(0, i - half), min(n, i + half + 1)
+        mx = float(np.median(xyt[lo:hi, 0]))
+        my = float(np.median(xyt[lo:hi, 1]))
+        residuals[i] = float(np.hypot(xyt[i, 0] - mx, xyt[i, 1] - my))
+    mad = float(np.median(np.abs(residuals - np.median(residuals))))
+    scale = 1.4826 * mad if mad > 1e-12 else float(np.std(residuals)) or 1e-12
+    center = float(np.median(residuals))
+    return [i for i in range(n) if (residuals[i] - center) / scale > threshold]
+
+
+def profile_outliers(
+    traj: Trajectory,
+    history: list[Trajectory],
+    threshold: float = 3.0,
+) -> list[int]:
+    """Points whose implied speed is anomalous under a historical profile.
+
+    The profile is the speed distribution pooled over ``history``
+    trajectories (mean/std).  Without history this method cannot run —
+    callers should fall back to :func:`zscore_outliers`.
+    """
+    if not history:
+        raise ValueError("statistics-based OR needs historical trajectories")
+    pooled = np.concatenate([h.speeds() for h in history if len(h) >= 2])
+    if pooled.size == 0:
+        raise ValueError("history contains no usable legs")
+    mu, sigma = float(pooled.mean()), float(pooled.std() or 1e-12)
+    speeds = traj.speeds()
+    anomalous_leg = [(s - mu) / sigma > threshold for s in speeds]
+    # A position spike makes *both* legs touching it anomalous; requiring
+    # both avoids flagging the innocent far endpoint of a single fast leg.
+    return [
+        i
+        for i in range(1, len(traj) - 1)
+        if anomalous_leg[i - 1] and anomalous_leg[i]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Prediction-based
+# ---------------------------------------------------------------------------
+
+
+def prediction_outliers(
+    traj: Trajectory,
+    measurement_sigma: float = 5.0,
+    process_sigma: float = 1.0,
+    gate: float = 5.0,
+    max_consecutive_rejections: int = 3,
+) -> tuple[list[int], Trajectory]:
+    """Kalman innovation gating: detect and *repair* outliers in one pass.
+
+    A point whose innovation (observation minus one-step prediction) exceeds
+    ``gate`` standard deviations is flagged and replaced by the prediction —
+    the repair step the tutorial attributes to prediction-based methods.
+    After ``max_consecutive_rejections`` rejections in a row the next
+    observation is accepted unconditionally: without this reset the filter
+    free-runs on its own predictions and diverges (the "trustworthy input"
+    caveat the tutorial notes for prediction-based methods).
+    Returns ``(outlier_indices, repaired_trajectory)``.
+    """
+    n = len(traj)
+    if n == 0:
+        raise ValueError("empty trajectory")
+    kf = KalmanFilter2D(process_sigma, measurement_sigma)
+    xyt = traj.as_xyt()
+    h = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0]])
+    r = np.eye(2) * measurement_sigma**2
+    state = np.array([xyt[0, 0], xyt[0, 1], 0.0, 0.0])
+    cov = np.diag([measurement_sigma**2, measurement_sigma**2, 100.0, 100.0])
+    flagged: list[int] = []
+    repaired = [traj[0]]
+    consecutive = 0
+    for i in range(1, n):
+        dt = float(xyt[i, 2] - xyt[i - 1, 2])
+        f, q = kf._f_q(dt)
+        state = f @ state
+        cov = f @ cov @ f.T + q
+        z = xyt[i, :2]
+        innov = z - h @ state
+        s = h @ cov @ h.T + r
+        # Mahalanobis distance of the innovation.
+        m2 = float(innov @ np.linalg.solve(s, innov))
+        if m2 > gate**2 and consecutive < max_consecutive_rejections:
+            flagged.append(i)
+            consecutive += 1
+            z = h @ state  # repair: replace the observation by the prediction
+            innov = np.zeros(2)
+        else:
+            consecutive = 0
+        gain = cov @ h.T @ np.linalg.inv(s)
+        state = state + gain @ innov
+        cov = (np.eye(4) - gain @ h) @ cov
+        repaired.append(TrajectoryPoint(float(z[0]), float(z[1]), float(xyt[i, 2])))
+    return flagged, Trajectory(repaired, traj.object_id)
+
+
+# ---------------------------------------------------------------------------
+# Removal / repair helpers and scoring
+# ---------------------------------------------------------------------------
+
+
+def remove_points(traj: Trajectory, indices: list[int]) -> Trajectory:
+    """Drop the flagged points."""
+    drop = set(indices)
+    return Trajectory(
+        [p for i, p in enumerate(traj) if i not in drop], traj.object_id
+    )
+
+
+def remove_and_repair(traj: Trajectory, indices: list[int]) -> Trajectory:
+    """Replace flagged points by linear interpolation between clean neighbors.
+
+    Keeps the sample count and timestamps intact (unlike removal), which
+    downstream per-point consumers often require.
+    """
+    drop = set(indices)
+    clean = remove_points(traj, indices)
+    if len(clean) < 2:
+        return traj
+    out = []
+    for i, p in enumerate(traj):
+        if i in drop and clean.times[0] <= p.t <= clean.times[-1]:
+            q = clean.position_at(p.t)
+            out.append(TrajectoryPoint(q.x, q.y, p.t))
+        else:
+            out.append(p)
+    return Trajectory(out, traj.object_id)
+
+
+def detection_scores(
+    flagged: list[int], truth: list[int], n_points: int
+) -> dict[str, float]:
+    """Precision / recall / F1 of outlier detection against injected truth."""
+    fset, tset = set(flagged), set(truth)
+    tp = len(fset & tset)
+    # No detections -> vacuously perfect precision (no false positives).
+    precision = tp / len(fset) if fset else 1.0
+    recall = tp / len(tset) if tset else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,71 @@
+"""Speed-constraint sequential value repair — SCREEN-style (Sec. 2.2.3,
+[121]).
+
+Zhang et al. [121] clean sequential sensor values under *speed constraints*:
+the true phenomenon cannot change faster than ``s_max`` (nor fall faster
+than ``s_min``) per unit time, so any reading outside the window reachable
+from its repaired predecessor is an error and is repaired with the minimal
+change that restores feasibility.
+
+* :func:`screen_repair` — the online minimal-change repair,
+* :func:`speed_violations` — count of constraint violations (before/after
+  comparison),
+* :func:`screen_repair_series` — convenience wrapper over
+  :class:`~repro.core.stid.STSeries`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stid import STSeries
+
+
+def screen_repair(
+    times: np.ndarray,
+    values: np.ndarray,
+    s_min: float,
+    s_max: float,
+) -> np.ndarray:
+    """Online minimal-change repair under rate constraints.
+
+    Enforces ``s_min <= (v[i] - v[i-1]) / (t[i] - t[i-1]) <= s_max`` by
+    clamping each value into the window reachable from the *repaired*
+    predecessor — the streaming greedy of [121], which is optimal per step
+    under the L1 minimal-change objective.
+    """
+    if s_max < s_min:
+        raise ValueError("need s_min <= s_max")
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must align")
+    if t.size > 1 and not np.all(np.diff(t) > 0):
+        raise ValueError("times must be strictly increasing")
+    out = v.copy()
+    for i in range(1, len(out)):
+        dt = t[i] - t[i - 1]
+        lo = out[i - 1] + s_min * dt
+        hi = out[i - 1] + s_max * dt
+        out[i] = min(max(out[i], lo), hi)
+    return out
+
+
+def speed_violations(
+    times: np.ndarray, values: np.ndarray, s_min: float, s_max: float
+) -> int:
+    """Number of adjacent pairs violating the rate constraints."""
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if len(t) < 2:
+        return 0
+    rates = np.diff(v) / np.diff(t)
+    return int(np.sum((rates < s_min - 1e-12) | (rates > s_max + 1e-12)))
+
+
+def screen_repair_series(
+    series: STSeries, s_min: float, s_max: float
+) -> STSeries:
+    """SCREEN repair applied to a sensor series (returns a new series)."""
+    repaired = screen_repair(series.times, series.values, s_min, s_max)
+    return series.with_values(repaired)

@@ -1,0 +1,98 @@
+"""Smoothing-based trajectory uncertainty elimination (Sec. 2.2.2, [138]).
+
+Exploits the *temporal autocorrelation* of consecutive samples to mitigate
+measurement volatility.  Three classical smoothers over trajectory
+coordinates; for the model-based alternative see
+:func:`repro.localization.kalman.kalman_refine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+
+def _smooth_columns(traj: Trajectory, smooth_1d) -> Trajectory:
+    xyt = traj.as_xyt()
+    xs = smooth_1d(xyt[:, 0])
+    ys = smooth_1d(xyt[:, 1])
+    return Trajectory(
+        [
+            TrajectoryPoint(float(x), float(y), float(t))
+            for x, y, t in zip(xs, ys, xyt[:, 2])
+        ],
+        traj.object_id,
+    )
+
+
+def moving_average(traj: Trajectory, window: int = 5) -> Trajectory:
+    """Centered moving-average smoother (shrinking window at the borders)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    half = window // 2
+
+    def smooth(col: np.ndarray) -> np.ndarray:
+        n = len(col)
+        out = np.empty(n)
+        for i in range(n):
+            lo, hi = max(0, i - half), min(n, i + half + 1)
+            out[i] = col[lo:hi].mean()
+        return out
+
+    return _smooth_columns(traj, smooth)
+
+
+def median_filter(traj: Trajectory, window: int = 5) -> Trajectory:
+    """Centered moving-median smoother — robust to isolated gross errors."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    half = window // 2
+
+    def smooth(col: np.ndarray) -> np.ndarray:
+        n = len(col)
+        out = np.empty(n)
+        for i in range(n):
+            lo, hi = max(0, i - half), min(n, i + half + 1)
+            out[i] = np.median(col[lo:hi])
+        return out
+
+    return _smooth_columns(traj, smooth)
+
+
+def exponential_smoothing(traj: Trajectory, alpha: float = 0.3) -> Trajectory:
+    """Causal exponential smoother (suitable for streaming: one pass, O(1) state)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+
+    def smooth(col: np.ndarray) -> np.ndarray:
+        out = np.empty_like(col)
+        acc = col[0]
+        for i, v in enumerate(col):
+            acc = alpha * v + (1.0 - alpha) * acc
+            out[i] = acc
+        return out
+
+    return _smooth_columns(traj, smooth)
+
+
+def heading_aware_smoothing(
+    traj: Trajectory, window: int = 5, turn_threshold: float = 1.0
+) -> Trajectory:
+    """Moving average that preserves sharp turns.
+
+    Points where the local heading change exceeds ``turn_threshold`` radians
+    are kept unsmoothed so corners are not rounded away — the spatial
+    counterpart of edge-preserving filtering.
+    """
+    smoothed = moving_average(traj, window)
+    if len(traj) < 3:
+        return smoothed
+    headings = traj.headings()
+    out = list(smoothed.points)
+    for i in range(1, len(traj) - 1):
+        turn = abs(float(headings[i] - headings[i - 1]))
+        turn = min(turn, 2.0 * np.pi - turn)
+        if turn > turn_threshold:
+            out[i] = traj[i]
+    return Trajectory(out, traj.object_id)

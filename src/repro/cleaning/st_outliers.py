@@ -1,0 +1,195 @@
+"""Spatiotemporal outlier removal for STID (Sec. 2.2.3, [4, 14, 6]).
+
+A *spatiotemporal outlier* is a record whose thematic value deviates clearly
+from other records in its spatial and temporal neighborhood.  Following the
+tutorial's discussion:
+
+* :func:`neighborhood_outliers` — the neighborhood-based approach derived
+  from ST-DBSCAN [14]: compare each record's value with its space-time
+  neighbors,
+* :class:`STDBSCAN` — full density clustering with separate spatial and
+  temporal radii; noise points are outliers,
+* :func:`temporal_outliers` — per-sensor time-series outliers (the tutorial
+  notes trajectory point outliers are a special case of temporal OR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stid import STRecord, STSeries
+
+
+def _neighbor_mask(
+    records: list[STRecord], i: int, eps_space: float, eps_time: float
+) -> np.ndarray:
+    xs = np.array([r.x for r in records])
+    ys = np.array([r.y for r in records])
+    ts = np.array([r.t for r in records])
+    d = np.hypot(xs - records[i].x, ys - records[i].y)
+    mask = (d <= eps_space) & (np.abs(ts - records[i].t) <= eps_time)
+    mask[i] = False
+    return mask
+
+
+def neighborhood_outliers(
+    records: list[STRecord],
+    eps_space: float,
+    eps_time: float,
+    threshold: float = 3.0,
+    min_neighbors: int = 3,
+) -> list[int]:
+    """Records deviating from their space-time neighborhood mean.
+
+    Deviation is measured against the neighborhood *median* (robust to
+    contamination of the context by other outliers) and scored in units of
+    the global robust residual scale (MAD over all neighborhood residuals);
+    records with fewer than ``min_neighbors`` neighbors are skipped
+    (insufficient context).
+    """
+    n = len(records)
+    if n == 0:
+        return []
+    values = np.array([r.value for r in records])
+    residuals = np.full(n, np.nan)
+    for i in range(n):
+        mask = _neighbor_mask(records, i, eps_space, eps_time)
+        if mask.sum() >= min_neighbors:
+            residuals[i] = values[i] - float(np.median(values[mask]))
+    valid = ~np.isnan(residuals)
+    if not valid.any():
+        return []
+    mad = float(np.median(np.abs(residuals[valid] - np.median(residuals[valid]))))
+    scale = 1.4826 * mad if mad > 1e-12 else float(np.nanstd(residuals)) or 1e-12
+    return [
+        i
+        for i in range(n)
+        if valid[i] and abs(residuals[i]) / scale > threshold
+    ]
+
+
+class STDBSCAN:
+    """ST-DBSCAN [14]: density clustering with spatial + temporal radii.
+
+    Labels: cluster ids ``0..k-1``; ``-1`` marks noise (the outliers).
+    An optional value radius ``eps_value`` additionally requires thematic
+    similarity for neighborhood membership, as in the original algorithm.
+    """
+
+    def __init__(
+        self,
+        eps_space: float,
+        eps_time: float,
+        min_samples: int = 5,
+        eps_value: float | None = None,
+    ) -> None:
+        if eps_space <= 0 or eps_time <= 0 or min_samples < 1:
+            raise ValueError("radii must be positive, min_samples >= 1")
+        self.eps_space = eps_space
+        self.eps_time = eps_time
+        self.min_samples = min_samples
+        self.eps_value = eps_value
+
+    def fit_predict(self, records: list[STRecord]) -> np.ndarray:
+        """Cluster labels per record; ``-1`` marks noise (outliers)."""
+        n = len(records)
+        labels = np.full(n, -1, dtype=int)
+        if n == 0:
+            return labels
+        xs = np.array([r.x for r in records])
+        ys = np.array([r.y for r in records])
+        ts = np.array([r.t for r in records])
+        vs = np.array([r.value for r in records])
+
+        def neighbors(i: int) -> np.ndarray:
+            d = np.hypot(xs - xs[i], ys - ys[i])
+            mask = (d <= self.eps_space) & (np.abs(ts - ts[i]) <= self.eps_time)
+            if self.eps_value is not None:
+                mask &= np.abs(vs - vs[i]) <= self.eps_value
+            mask[i] = False
+            return np.flatnonzero(mask)
+
+        visited = np.zeros(n, dtype=bool)
+        cluster = 0
+        for i in range(n):
+            if visited[i]:
+                continue
+            visited[i] = True
+            seeds = neighbors(i)
+            if len(seeds) + 1 < self.min_samples:
+                continue  # stays noise unless absorbed later
+            labels[i] = cluster
+            queue = list(seeds)
+            while queue:
+                j = queue.pop()
+                if labels[j] == -1:
+                    labels[j] = cluster
+                if visited[j]:
+                    continue
+                visited[j] = True
+                nbrs = neighbors(j)
+                if len(nbrs) + 1 >= self.min_samples:
+                    queue.extend(k for k in nbrs if not visited[k] or labels[k] == -1)
+            cluster += 1
+        return labels
+
+    def outliers(self, records: list[STRecord]) -> list[int]:
+        """Indices of records labeled as density noise."""
+        labels = self.fit_predict(records)
+        return [i for i, lbl in enumerate(labels) if lbl == -1]
+
+
+def temporal_outliers(
+    series: STSeries, window: int = 7, threshold: float = 3.0
+) -> list[int]:
+    """Per-sensor temporal outliers by robust windowed z-score on values.
+
+    Each sample is scored against two local models of its window (sample
+    itself excluded) and must deviate from *both* to be flagged:
+
+    * the windowed **median** — robust to heavy contamination but biased on
+      trending windows (it flags curvature/border points of smooth series),
+    * a **Theil-Sen line** (median of pairwise slopes) — follows trends but
+      breaks when a nearby spike contaminates too many pairs.
+
+    Each residual is scored against its own MAD scale, floored at a small
+    fraction of the series' robust spread so ultra-smooth series do not
+    flag their curvature extremes.
+    """
+    values = series.values
+    times = series.times
+    n = len(values)
+    if n < 3:
+        return []
+    half = max(1, window // 2)
+
+    med_res = np.zeros(n)
+    line_res = np.zeros(n)
+    for i in range(n):
+        lo, hi = max(0, i - half), min(n, i + half + 1)
+        idx = [j for j in range(lo, hi) if j != i]
+        if len(idx) < 2:
+            continue
+        tx = times[idx]
+        vy = values[idx]
+        med_res[i] = values[i] - float(np.median(vy))
+        slopes = [
+            (vy[b] - vy[a]) / (tx[b] - tx[a])
+            for a in range(len(idx))
+            for b in range(a + 1, len(idx))
+            if tx[b] != tx[a]
+        ]
+        slope = float(np.median(slopes)) if slopes else 0.0
+        intercept = float(np.median(vy - slope * tx))
+        line_res[i] = values[i] - (intercept + slope * times[i])
+
+    value_mad = float(np.median(np.abs(values - np.median(values))))
+    floor = 0.05 * 1.4826 * value_mad
+
+    def exceeds(res: np.ndarray) -> np.ndarray:
+        mad = float(np.median(np.abs(res - np.median(res))))
+        scale = max(1.4826 * mad, floor, 1e-12)
+        return np.abs(res) / scale > threshold
+
+    both = exceeds(med_res) & exceeds(line_res)
+    return [i for i in range(n) if both[i]]

@@ -1,0 +1,115 @@
+"""STID thematic-value fault correction (Sec. 2.2.4, [90]).
+
+Repairs *faulty thematic values* in sensor series using the spatiotemporal
+dependencies the tutorial highlights: temporal autocorrelation within a
+series and cross-sensor spatial correlation between neighbors.
+
+* :func:`detect_spikes` / :func:`repair_with_interpolation` — temporal
+  route: flag values inconsistent with their own series, repair by linear
+  interpolation over clean samples,
+* :func:`detect_stuck` — constant-run (stuck-at) fault detection,
+* :func:`cross_sensor_repair` — spatial route: rebuild a faulty sensor's
+  values from neighboring sensors via inverse-distance weighting, usable
+  even when the sensor is wrong for a long stretch (where temporal
+  interpolation fails).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stid import STSeries
+from .st_outliers import temporal_outliers
+
+
+def detect_spikes(series: STSeries, window: int = 7, threshold: float = 3.0) -> list[int]:
+    """Spike faults = temporal outliers of the value series."""
+    return temporal_outliers(series, window, threshold)
+
+
+def detect_stuck(series: STSeries, min_run: int = 5, tol: float = 1e-9) -> list[int]:
+    """Indices inside constant runs of length >= ``min_run`` (stuck-at faults).
+
+    The first sample of a run is considered genuine (the sensor did read
+    that value once); the repeats are flagged.
+    """
+    values = series.values
+    n = len(values)
+    flagged: list[int] = []
+    run_start = 0
+    for i in range(1, n + 1):
+        if i < n and abs(values[i] - values[run_start]) <= tol:
+            continue
+        run_len = i - run_start
+        if run_len >= min_run:
+            flagged.extend(range(run_start + 1, i))
+        run_start = i
+    return flagged
+
+
+def repair_with_interpolation(series: STSeries, fault_indices: list[int]) -> STSeries:
+    """Replace faulty values by linear interpolation over clean samples.
+
+    Faults at the borders are replaced by the nearest clean value.
+    """
+    faults = set(fault_indices)
+    times = series.times
+    values = series.values
+    clean = [i for i in range(len(values)) if i not in faults]
+    if not clean:
+        return series
+    repaired = values.copy()
+    clean_t = times[clean]
+    clean_v = values[clean]
+    for i in sorted(faults):
+        if i < 0 or i >= len(values):
+            raise IndexError(f"fault index {i} outside series")
+        repaired[i] = float(np.interp(times[i], clean_t, clean_v))
+    return series.with_values(repaired)
+
+
+def cross_sensor_repair(
+    faulty: STSeries,
+    neighbors: list[STSeries],
+    fault_indices: list[int],
+    power: float = 2.0,
+) -> STSeries:
+    """Rebuild faulty readings from spatially neighboring sensors (IDW).
+
+    A per-sensor offset (median difference on clean samples) is removed
+    first, so heterogeneous calibration between devices does not leak into
+    the repair — the bias-aware fusion step of [85].
+    """
+    if not neighbors:
+        raise ValueError("need at least one neighbor series")
+    faults = set(fault_indices)
+    clean_idx = [i for i in range(len(faulty)) if i not in faults]
+    times = faulty.times
+    values = faulty.values
+    # Neighbor estimates at our timestamps, bias-corrected on clean samples.
+    estimates = []
+    weights = []
+    for nb in neighbors:
+        d = faulty.location.distance_to(nb.location)
+        w = 1.0 / max(d, 1e-6) ** power
+        est = np.interp(times, nb.times, nb.values)
+        if clean_idx:
+            offset = float(np.median(values[clean_idx] - est[clean_idx]))
+        else:
+            offset = 0.0
+        estimates.append(est + offset)
+        weights.append(w)
+    est = np.average(np.stack(estimates), axis=0, weights=np.array(weights))
+    repaired = values.copy()
+    for i in sorted(faults):
+        repaired[i] = float(est[i])
+    return faulty.with_values(repaired)
+
+
+def repair_rmse(repaired: STSeries, truth: np.ndarray, indices: list[int]) -> float:
+    """RMSE of the repaired values against truth, at the repaired indices."""
+    if not indices:
+        return 0.0
+    r = repaired.values[indices]
+    g = np.asarray(truth, dtype=float)[indices]
+    return float(np.sqrt(np.mean((r - g) ** 2)))

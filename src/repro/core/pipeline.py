@@ -1,0 +1,116 @@
+"""Quality-management middleware (Sec. 2.4 of the tutorial).
+
+The tutorial's closing direction is a *Quality Management Middleware for
+SID*: a layer that coordinates individual DQ services (refinement, cleaning,
+integration, reduction) into an application-facing pipeline.  This module
+provides that coordination layer:
+
+* :class:`Stage` — a named, pure data-in/data-out DQ operator,
+* :class:`Pipeline` — an ordered composition with provenance recording,
+* :class:`PipelineResult` — output plus a per-stage trace (timings and
+  optional quality reports) for DQ-aware task planning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Stage(Generic[T]):
+    """One DQ service: a name plus a pure transformation.
+
+    ``fn`` must not mutate its input; all operators in this package follow
+    that convention, so any of them can be lifted into a stage directly.
+    """
+
+    name: str
+    fn: Callable[[T], T]
+
+    def __call__(self, data: T) -> T:
+        return self.fn(data)
+
+
+@dataclass
+class StageTrace:
+    """Provenance of one stage execution."""
+
+    name: str
+    seconds: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineResult(Generic[T]):
+    """Final output plus the ordered execution trace."""
+
+    output: T
+    trace: list[StageTrace]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.trace)
+
+    def metric_series(self, metric: str) -> list[tuple[str, float]]:
+        """``(stage, value)`` pairs for one probe metric across stages."""
+        return [(t.name, t.metrics[metric]) for t in self.trace if metric in t.metrics]
+
+
+class Pipeline(Generic[T]):
+    """Ordered composition of DQ stages with optional quality probes.
+
+    ``probes`` maps metric names to functions evaluated on the intermediate
+    data after every stage, producing the quality trajectory through the
+    pipeline — the information a DQ-aware task planner needs to decide which
+    services are worth their cost.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage[T]],
+        probes: dict[str, Callable[[T], float]] | None = None,
+    ) -> None:
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage names must be unique, got {names}")
+        self._stages = list(stages)
+        self._probes = dict(probes or {})
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self._stages]
+
+    def add_stage(self, stage: Stage[T]) -> "Pipeline[T]":
+        """Return a new pipeline with ``stage`` appended."""
+        return Pipeline(self._stages + [stage], self._probes)
+
+    def run(self, data: T) -> PipelineResult[T]:
+        """Execute all stages in order, recording provenance."""
+        trace: list[StageTrace] = []
+        current = data
+        for stage in self._stages:
+            start = time.perf_counter()
+            current = stage(current)
+            elapsed = time.perf_counter() - start
+            metrics = {name: float(probe(current)) for name, probe in self._probes.items()}
+            trace.append(StageTrace(stage.name, elapsed, metrics))
+        return PipelineResult(current, trace)
+
+    def run_ablations(self, data: T) -> dict[str, PipelineResult[T]]:
+        """Run the pipeline once per leave-one-stage-out configuration.
+
+        Returns a mapping from the omitted stage name to that run's result
+        (plus key ``"full"`` for the complete pipeline) — the measurement a
+        planner uses to attribute quality gains to individual DQ services.
+        """
+        results: dict[str, PipelineResult[T]] = {"full": self.run(data)}
+        for skip in self.stage_names:
+            reduced = Pipeline(
+                [s for s in self._stages if s.name != skip], self._probes
+            )
+            results[skip] = reduced.run(data)
+        return results

@@ -1,0 +1,103 @@
+"""DQ-aware task planning (Sec. 2.4 future direction).
+
+The tutorial's open issue: *"DQ-aware Task Planning, which lays the
+foundation for efficient coordination of multiple DQ-related services."*
+This module implements the planning primitive: given candidate DQ services
+with costs, a measurable objective, and a cost budget, select and order the
+stages that best improve the objective — by measuring them on a calibration
+sample rather than trusting declared capabilities.
+
+* :class:`CandidateService` — a stage plus its declared unit cost,
+* :func:`plan_pipeline` — greedy forward selection maximizing objective
+  improvement per cost on the sample,
+* :class:`PlanReport` — which services were chosen, in what order, and the
+  measured objective trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from .pipeline import Pipeline, Stage
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CandidateService(Generic[T]):
+    """A DQ service offered to the planner: a stage and its cost."""
+
+    stage: Stage[T]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError("cost must be positive")
+
+
+@dataclass
+class PlanReport(Generic[T]):
+    """The planner's decision record."""
+
+    selected: list[str] = field(default_factory=list)
+    objective_trace: list[float] = field(default_factory=list)  # incl. baseline
+    total_cost: float = 0.0
+    budget: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Objective reduction achieved by the selected plan."""
+        if len(self.objective_trace) < 2:
+            return 0.0
+        return self.objective_trace[0] - self.objective_trace[-1]
+
+
+def plan_pipeline(
+    sample: T,
+    candidates: list[CandidateService[T]],
+    objective: Callable[[T], float],
+    budget: float,
+    min_gain: float = 0.0,
+) -> tuple[Pipeline[T], PlanReport[T]]:
+    """Greedy DQ-service selection under a cost budget.
+
+    ``objective`` maps data to a *lower-is-better* quality score (e.g.
+    error vs. a calibration truth, or a jitter/consistency proxy when no
+    truth exists).  Each round the planner tries every affordable remaining
+    service appended to the current plan, measures the objective on the
+    sample, and commits the service with the best gain-per-cost — stopping
+    when nothing improves by more than ``min_gain``.
+
+    Returns the planned :class:`Pipeline` plus the decision report.
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    names = [c.stage.name for c in candidates]
+    if len(set(names)) != len(names):
+        raise ValueError("candidate service names must be unique")
+    remaining = list(candidates)
+    chosen: list[CandidateService[T]] = []
+    current_data = sample
+    current_score = float(objective(sample))
+    report = PlanReport(budget=budget, objective_trace=[current_score])
+    while remaining:
+        best: tuple[float, CandidateService[T], T, float] | None = None
+        for cand in remaining:
+            if report.total_cost + cand.cost > budget:
+                continue
+            trial_data = cand.stage(current_data)
+            trial_score = float(objective(trial_data))
+            gain = current_score - trial_score
+            efficiency = gain / cand.cost
+            if gain > min_gain and (best is None or efficiency > best[0]):
+                best = (efficiency, cand, trial_data, trial_score)
+        if best is None:
+            break
+        _, cand, current_data, current_score = best
+        chosen.append(cand)
+        remaining.remove(cand)
+        report.selected.append(cand.stage.name)
+        report.objective_trace.append(current_score)
+        report.total_cost += cand.cost
+    return Pipeline([c.stage for c in chosen]), report

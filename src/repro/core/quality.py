@@ -1,0 +1,371 @@
+"""Data-quality dimensions and metrics (the tutorial's SID quality framework).
+
+Sec. 2.1 of the tutorial groups the major DQ dimensions of spatial IoT data
+into three requirement classes:
+
+* *accurate and reliable* — Precision, Accuracy, Consistency;
+* *comprehensive and informative* — Time Sparsity, Space Coverage,
+  Completeness, Redundancy;
+* *easy to use* — Latency, Staleness, Data Volume, Truth Volume,
+  Resolution, Interpretability.
+
+This module gives each dimension an operational metric so that Table 1 of
+the paper (characteristic -> quality-issue arrows) can be *measured* rather
+than asserted: `benchmarks/bench_table1.py` injects each characteristic with
+:mod:`repro.synth.corrupt` and checks the direction of the metric change.
+
+Metric polarity follows the paper's arrow notation: for each dimension we
+report the *raw* quantity named by the dimension (e.g. ``time_sparsity`` is
+the mean sampling gap, where larger = sparser = worse; ``accuracy`` is mean
+positional error where larger = worse).  :data:`HIGH_IS_BAD` records the
+polarity so reports can be compared mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .geometry import BBox, Point
+from .stid import STRecord
+from .trajectory import Trajectory
+
+
+class Dimension(str, Enum):
+    """The 13 DQ dimensions of the tutorial's framework."""
+
+    PRECISION = "precision"
+    ACCURACY = "accuracy"
+    CONSISTENCY = "consistency"
+    TIME_SPARSITY = "time_sparsity"
+    SPACE_COVERAGE = "space_coverage"
+    COMPLETENESS = "completeness"
+    REDUNDANCY = "redundancy"
+    LATENCY = "latency"
+    STALENESS = "staleness"
+    DATA_VOLUME = "data_volume"
+    TRUTH_VOLUME = "truth_volume"
+    RESOLUTION = "resolution"
+    INTERPRETABILITY = "interpretability"
+
+
+#: Polarity of each raw metric: True when a larger value means worse quality.
+HIGH_IS_BAD: dict[Dimension, bool] = {
+    Dimension.PRECISION: True,  # reported as jitter (m); more jitter = less precise
+    Dimension.ACCURACY: True,  # reported as mean error (m)
+    Dimension.CONSISTENCY: False,  # fraction of constraint-satisfying legs
+    Dimension.TIME_SPARSITY: True,  # mean sampling gap (s)
+    Dimension.SPACE_COVERAGE: False,  # fraction of region cells observed
+    Dimension.COMPLETENESS: False,  # fraction of expected samples present
+    Dimension.REDUNDANCY: True,  # fraction of near-duplicate records
+    Dimension.LATENCY: True,  # mean arrival delay (s)
+    Dimension.STALENESS: True,  # mean age of freshest record (s)
+    Dimension.DATA_VOLUME: True,  # record count (a burden dimension in the paper)
+    Dimension.TRUTH_VOLUME: False,  # fraction of records with ground truth
+    Dimension.RESOLUTION: False,  # 1 / spatial granularity (1/m)
+    Dimension.INTERPRETABILITY: False,  # fraction of semantically annotated records
+}
+
+
+# ---------------------------------------------------------------------------
+# Accurate & reliable
+# ---------------------------------------------------------------------------
+
+
+def precision_jitter(traj: Trajectory, window: int = 5) -> float:
+    """Measurement jitter (m): mean second-difference deviation.
+
+    Precision in the paper's sense is *repeatability* of measurements; for a
+    trajectory, the deviation of each interior point from the midpoint of
+    its two neighbors isolates high-frequency sensor scatter from genuine
+    (smooth) motion: it is exactly zero for uniform motion and grows
+    monotonically with measurement noise.  ``window`` is accepted for API
+    stability but the estimator is the 3-point second difference.
+    """
+    n = len(traj)
+    if n < 3:
+        return 0.0
+    xyt = traj.as_xyt()
+    mid_x = (xyt[:-2, 0] + xyt[2:, 0]) / 2.0
+    mid_y = (xyt[:-2, 1] + xyt[2:, 1]) / 2.0
+    devs = np.hypot(xyt[1:-1, 0] - mid_x, xyt[1:-1, 1] - mid_y)
+    return float(np.mean(devs))
+
+
+def accuracy_error(estimate: Trajectory, truth: Trajectory) -> float:
+    """Mean positional error (m) against time-aligned ground truth.
+
+    The estimate's samples are compared with the truth's interpolated
+    position at the same timestamps; estimate times outside the truth span
+    are ignored.
+    """
+    t0, t1 = truth.times[0], truth.times[-1]
+    errs = [
+        p.point.distance_to(truth.position_at(p.t))
+        for p in estimate
+        if t0 <= p.t <= t1
+    ]
+    if not errs:
+        return float("nan")
+    return float(np.mean(errs))
+
+
+def consistency_ratio(
+    traj: Trajectory, max_speed: float, max_accel: float | None = None
+) -> float:
+    """Fraction of legs satisfying physical motion constraints (1 = consistent).
+
+    A leg is consistent when its implied speed is below ``max_speed`` and,
+    when ``max_accel`` is given, the speed change rate between consecutive
+    legs is below ``max_accel``.
+    """
+    speeds = traj.speeds()
+    if speeds.size == 0:
+        return 1.0
+    ok = speeds <= max_speed
+    if max_accel is not None and speeds.size >= 2:
+        dt = traj.sampling_intervals()
+        accel_ok = np.abs(np.diff(speeds)) / dt[1:] <= max_accel
+        ok = ok & np.concatenate([[True], accel_ok])
+    return float(np.mean(ok))
+
+
+def value_consistency_ratio(
+    records: Sequence[STRecord], neighbor_radius: float, max_value_gap: float
+) -> float:
+    """Fraction of STID records agreeing with their spatial neighbors.
+
+    A record is consistent when its value differs from the mean of its
+    spatial neighbors (within ``neighbor_radius``, same-ish time ignored)
+    by at most ``max_value_gap``.  Records with no neighbors count as
+    consistent.
+    """
+    if not records:
+        return 1.0
+    pts = np.array([[r.x, r.y] for r in records])
+    vals = np.array([r.value for r in records])
+    consistent = 0
+    for i in range(len(records)):
+        d = np.hypot(pts[:, 0] - pts[i, 0], pts[:, 1] - pts[i, 1])
+        mask = (d <= neighbor_radius) & (d > 0)
+        if not mask.any() or abs(vals[i] - float(vals[mask].mean())) <= max_value_gap:
+            consistent += 1
+    return consistent / len(records)
+
+
+# ---------------------------------------------------------------------------
+# Comprehensive & informative
+# ---------------------------------------------------------------------------
+
+
+def time_sparsity(traj: Trajectory) -> float:
+    """Mean sampling gap in seconds (larger = sparser)."""
+    gaps = traj.sampling_intervals()
+    if gaps.size == 0:
+        return float("inf")
+    return float(np.mean(gaps))
+
+
+def completeness(
+    observed_times: Sequence[float],
+    t_start: float,
+    t_end: float,
+    expected_interval: float,
+) -> float:
+    """Fraction of expected sampling slots containing at least one sample.
+
+    The expected schedule is one sample per ``expected_interval`` seconds
+    over ``[t_start, t_end]``.
+    """
+    if t_end <= t_start or expected_interval <= 0:
+        raise ValueError("need a positive span and interval")
+    n_slots = int(np.ceil((t_end - t_start) / expected_interval))
+    filled = set()
+    for t in observed_times:
+        if t_start <= t <= t_end:
+            filled.add(min(n_slots - 1, int((t - t_start) / expected_interval)))
+    return len(filled) / n_slots
+
+
+def space_coverage(
+    points: Iterable[Point], region: BBox, cell_size: float
+) -> float:
+    """Fraction of region grid cells containing at least one observation."""
+    nx = max(1, int(np.ceil(region.width / cell_size)))
+    ny = max(1, int(np.ceil(region.height / cell_size)))
+    seen: set[tuple[int, int]] = set()
+    for p in points:
+        if not region.contains(p):
+            continue
+        xi = min(nx - 1, int((p.x - region.min_x) / cell_size))
+        yi = min(ny - 1, int((p.y - region.min_y) / cell_size))
+        seen.add((xi, yi))
+    return len(seen) / (nx * ny)
+
+
+def redundancy_ratio(
+    records: Sequence[STRecord], space_eps: float, time_eps: float
+) -> float:
+    """Fraction of records that duplicate an earlier record.
+
+    A record is a duplicate when another record from the same source lies
+    within ``space_eps`` meters and ``time_eps`` seconds earlier in the list.
+    """
+    if not records:
+        return 0.0
+    dup = 0
+    kept: list[STRecord] = []
+    for r in records:
+        is_dup = any(
+            k.source == r.source
+            and abs(k.t - r.t) <= time_eps
+            and np.hypot(k.x - r.x, k.y - r.y) <= space_eps
+            for k in kept
+        )
+        if is_dup:
+            dup += 1
+        else:
+            kept.append(r)
+    return dup / len(records)
+
+
+# ---------------------------------------------------------------------------
+# Easy to use
+# ---------------------------------------------------------------------------
+
+
+def mean_latency(event_times: Sequence[float], arrival_times: Sequence[float]) -> float:
+    """Mean delay (s) between measurement time and arrival at the consumer."""
+    if len(event_times) != len(arrival_times):
+        raise ValueError("event and arrival sequences must have equal length")
+    if len(event_times) == 0:
+        return 0.0
+    delays = np.asarray(arrival_times, dtype=float) - np.asarray(event_times, dtype=float)
+    if (delays < 0).any():
+        raise ValueError("arrival before event time")
+    return float(np.mean(delays))
+
+
+def staleness(records: Sequence[STRecord], now: float) -> float:
+    """Mean age (s) of the freshest record per source at wall time ``now``."""
+    latest: dict[str, float] = {}
+    for r in records:
+        latest[r.source] = max(latest.get(r.source, -np.inf), r.t)
+    if not latest:
+        return float("inf")
+    ages = [now - t for t in latest.values()]
+    return float(np.mean(ages))
+
+
+def data_volume(records: Sequence) -> int:
+    """Record count (the paper treats excessive volume as a burden)."""
+    return len(records)
+
+
+def truth_volume(records: Sequence, labeled: Sequence[bool]) -> float:
+    """Fraction of records accompanied by ground truth (verifiability)."""
+    if len(records) != len(labeled):
+        raise ValueError("records and labels must align")
+    if not records:
+        return 0.0
+    return float(np.mean(np.asarray(labeled, dtype=bool)))
+
+
+def spatial_resolution(cell_size: float) -> float:
+    """Resolution as inverse granularity (1/m): finer cells = higher resolution."""
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    return 1.0 / cell_size
+
+
+def interpretability_ratio(annotations: Sequence[str | None]) -> float:
+    """Fraction of records carrying a semantic annotation."""
+    if not annotations:
+        return 0.0
+    return sum(1 for a in annotations if a) / len(annotations)
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QualityReport:
+    """A measured value per DQ dimension, with paper polarity attached."""
+
+    values: dict[Dimension, float] = field(default_factory=dict)
+
+    def __getitem__(self, dim: Dimension) -> float:
+        return self.values[dim]
+
+    def __contains__(self, dim: Dimension) -> bool:
+        return dim in self.values
+
+    def set(self, dim: Dimension, value: float) -> None:
+        """Record a measured value for one DQ dimension."""
+        self.values[dim] = float(value)
+
+    def degraded_dimensions(self, baseline: "QualityReport", tol: float = 1e-9) -> list[Dimension]:
+        """Dimensions measurably *worse* here than in ``baseline``.
+
+        Worse respects polarity: a higher jitter, or a lower coverage, both
+        count as degradation.  This is the mechanical reading of Table 1's
+        arrows.
+        """
+        worse = []
+        for dim, val in self.values.items():
+            if dim not in baseline.values:
+                continue
+            base = baseline.values[dim]
+            delta = val - base
+            if HIGH_IS_BAD[dim] and delta > tol:
+                worse.append(dim)
+            elif not HIGH_IS_BAD[dim] and delta < -tol:
+                worse.append(dim)
+        return worse
+
+    def to_rows(self) -> list[tuple[str, float, str]]:
+        """``(dimension, value, polarity)`` rows for tabular printing."""
+        return [
+            (dim.value, val, "high=bad" if HIGH_IS_BAD[dim] else "high=good")
+            for dim, val in sorted(self.values.items(), key=lambda kv: kv[0].value)
+        ]
+
+
+def assess_trajectory(
+    traj: Trajectory,
+    truth: Trajectory | None = None,
+    max_speed: float = 50.0,
+    region: BBox | None = None,
+    coverage_cell: float = 100.0,
+    expected_interval: float | None = None,
+) -> QualityReport:
+    """Convenience one-call assessment of a trajectory's DQ dimensions."""
+    report = QualityReport()
+    report.set(Dimension.PRECISION, precision_jitter(traj))
+    report.set(Dimension.CONSISTENCY, consistency_ratio(traj, max_speed))
+    report.set(Dimension.TIME_SPARSITY, time_sparsity(traj))
+    report.set(Dimension.DATA_VOLUME, float(len(traj)))
+    if truth is not None and len(traj) > 0:
+        report.set(Dimension.ACCURACY, accuracy_error(traj, truth))
+        report.set(
+            Dimension.COMPLETENESS,
+            completeness(
+                traj.times,
+                truth.times[0],
+                truth.times[-1],
+                expected_interval
+                if expected_interval is not None
+                else float(np.median(truth.sampling_intervals()) or 1.0),
+            ),
+        )
+    if region is not None:
+        report.set(
+            Dimension.SPACE_COVERAGE,
+            space_coverage((p.point for p in traj), region, coverage_cell),
+        )
+    return report

@@ -1,0 +1,257 @@
+"""Spatiotemporal IoT data (STID) model.
+
+STID is the tutorial's second SID special case: *general sensory values with
+temporal and spatial references* — e.g. an air-quality reading at a sensor
+site.  Three containers are provided:
+
+* :class:`STRecord` — one thematic measurement at a location/time,
+* :class:`STSeries` — the time series of one fixed sensor,
+* :class:`STGrid` — a regular space-time raster used by interpolation,
+  fusion, and reduction operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .geometry import BBox, Point
+
+
+@dataclass(frozen=True, slots=True)
+class STRecord:
+    """A single spatiotemporal measurement.
+
+    ``value`` is the thematic attribute (temperature, PM2.5, ...);
+    ``source`` identifies the producing device, enabling multi-source
+    integration and per-device bias analysis.
+    """
+
+    x: float
+    y: float
+    t: float
+    value: float
+    source: str = ""
+
+    @property
+    def point(self) -> Point:
+        return Point(self.x, self.y)
+
+
+class STSeries:
+    """Time series of one stationary sensor (fixed location, ordered times)."""
+
+    __slots__ = ("sensor_id", "location", "_times", "_values")
+
+    def __init__(
+        self,
+        sensor_id: str,
+        location: Point,
+        times: Sequence[float],
+        values: Sequence[float],
+    ) -> None:
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        ts = np.asarray(times, dtype=float)
+        if ts.size > 1 and not np.all(np.diff(ts) > 0):
+            raise ValueError("times must be strictly increasing")
+        self.sensor_id = sensor_id
+        self.location = location
+        self._times = ts
+        self._values = np.asarray(values, dtype=float)
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __iter__(self) -> Iterator[STRecord]:
+        for t, v in zip(self._times, self._values):
+            yield STRecord(self.location.x, self.location.y, float(t), float(v), self.sensor_id)
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (must be inside the span)."""
+        if self._times.size == 0:
+            raise ValueError("empty series")
+        if t < self._times[0] or t > self._times[-1]:
+            raise ValueError("time outside series span")
+        return float(np.interp(t, self._times, self._values))
+
+    def slice_time(self, t_start: float, t_end: float) -> "STSeries":
+        """Sub-series with ``t_start <= t <= t_end``."""
+        mask = (self._times >= t_start) & (self._times <= t_end)
+        return STSeries(self.sensor_id, self.location, self._times[mask], self._values[mask])
+
+    def with_values(self, values: Sequence[float]) -> "STSeries":
+        """Copy with the value column replaced (same times/location)."""
+        return STSeries(self.sensor_id, self.location, self._times, values)
+
+    def records(self) -> list[STRecord]:
+        """The series as a list of :class:`STRecord`."""
+        return list(self)
+
+
+class STGrid:
+    """A regular raster over space and time holding one thematic variable.
+
+    Cells are indexed ``grid[ti, yi, xi]``; missing measurements are NaN.
+    The grid is the working representation for spatiotemporal interpolation
+    (Sec. 2.2.2), ST outlier removal (2.2.3), and STID fusion (2.2.5).
+    """
+
+    __slots__ = ("bbox", "t_start", "cell_size", "t_step", "values")
+
+    def __init__(
+        self,
+        bbox: BBox,
+        t_start: float,
+        cell_size: float,
+        t_step: float,
+        shape: tuple[int, int, int],
+        values: np.ndarray | None = None,
+    ) -> None:
+        if cell_size <= 0 or t_step <= 0:
+            raise ValueError("cell_size and t_step must be positive")
+        self.bbox = bbox
+        self.t_start = t_start
+        self.cell_size = cell_size
+        self.t_step = t_step
+        if values is None:
+            values = np.full(shape, np.nan)
+        if values.shape != shape:
+            raise ValueError(f"values shape {values.shape} != declared {shape}")
+        self.values = values.astype(float)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    @classmethod
+    def empty(
+        cls,
+        bbox: BBox,
+        t_start: float,
+        t_end: float,
+        cell_size: float,
+        t_step: float,
+    ) -> "STGrid":
+        if cell_size <= 0 or t_step <= 0:
+            raise ValueError("cell_size and t_step must be positive")
+        nx = max(1, int(math.ceil(bbox.width / cell_size)))
+        ny = max(1, int(math.ceil(bbox.height / cell_size)))
+        nt = max(1, int(math.ceil((t_end - t_start) / t_step)))
+        return cls(bbox, t_start, cell_size, t_step, (nt, ny, nx))
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[STRecord],
+        cell_size: float,
+        t_step: float,
+        bbox: BBox | None = None,
+    ) -> "STGrid":
+        """Rasterize records; cells with several records hold their mean."""
+        recs = list(records)
+        if not recs:
+            raise ValueError("no records to rasterize")
+        if bbox is None:
+            bbox = BBox.from_points(r.point for r in recs)
+        t0 = min(r.t for r in recs)
+        t1 = max(r.t for r in recs)
+        grid = cls.empty(bbox, t0, t1 + t_step, cell_size, t_step)
+        sums = np.zeros(grid.shape)
+        counts = np.zeros(grid.shape)
+        for r in recs:
+            idx = grid.cell_index(r.point, r.t)
+            if idx is None:
+                continue
+            sums[idx] += r.value
+            counts[idx] += 1
+        with np.errstate(invalid="ignore"):
+            grid.values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return grid
+
+    # -- indexing ---------------------------------------------------------------
+
+    def cell_index(self, p: Point, t: float) -> tuple[int, int, int] | None:
+        """``(ti, yi, xi)`` of the cell containing ``(p, t)``, or None if outside."""
+        nt, ny, nx = self.shape
+        xi = math.floor((p.x - self.bbox.min_x) / self.cell_size)
+        yi = math.floor((p.y - self.bbox.min_y) / self.cell_size)
+        ti = math.floor((t - self.t_start) / self.t_step)
+        # Points exactly on the max border belong to the last cell.
+        if xi == nx and p.x == self.bbox.max_x:
+            xi -= 1
+        if yi == ny and p.y == self.bbox.max_y:
+            yi -= 1
+        if 0 <= xi < nx and 0 <= yi < ny and 0 <= ti < nt:
+            return ti, yi, xi
+        return None
+
+    def cell_center(self, ti: int, yi: int, xi: int) -> tuple[Point, float]:
+        """Spatial center and mid-time of a cell."""
+        p = Point(
+            self.bbox.min_x + (xi + 0.5) * self.cell_size,
+            self.bbox.min_y + (yi + 0.5) * self.cell_size,
+        )
+        return p, self.t_start + (ti + 0.5) * self.t_step
+
+    def value_at(self, p: Point, t: float) -> float:
+        """Cell value at ``(p, t)``; NaN when the cell is unmeasured/outside."""
+        idx = self.cell_index(p, t)
+        if idx is None:
+            return float("nan")
+        return float(self.values[idx])
+
+    # -- whole-grid views ---------------------------------------------------------
+
+    def missing_fraction(self) -> float:
+        """Fraction of NaN cells."""
+        return float(np.isnan(self.values).mean())
+
+    def observed_records(self) -> list[STRecord]:
+        """All non-NaN cells as records at their cell centers."""
+        out: list[STRecord] = []
+        nt, ny, nx = self.shape
+        for ti in range(nt):
+            for yi in range(ny):
+                for xi in range(nx):
+                    v = self.values[ti, yi, xi]
+                    if not np.isnan(v):
+                        p, t = self.cell_center(ti, yi, xi)
+                        out.append(STRecord(p.x, p.y, t, float(v)))
+        return out
+
+    def copy(self) -> "STGrid":
+        """Deep copy (values array included)."""
+        return STGrid(
+            self.bbox, self.t_start, self.cell_size, self.t_step, self.shape, self.values.copy()
+        )
+
+
+def records_from_series(series: Iterable[STSeries]) -> list[STRecord]:
+    """Flatten several sensor series into one record list."""
+    out: list[STRecord] = []
+    for s in series:
+        out.extend(s.records())
+    return out
+
+
+def grid_rmse(truth: STGrid, estimate: STGrid) -> float:
+    """RMSE over cells where both grids hold values."""
+    if truth.shape != estimate.shape:
+        raise ValueError("grid shapes differ")
+    mask = ~np.isnan(truth.values) & ~np.isnan(estimate.values)
+    if not mask.any():
+        return float("nan")
+    diff = truth.values[mask] - estimate.values[mask]
+    return float(np.sqrt(np.mean(diff**2)))

@@ -1,0 +1,353 @@
+"""Uncertain location models.
+
+Sec. 2.3.1 of the tutorial organizes query processing by the *type of
+location uncertainty*: an inaccurate location at a sampled time is a pdf —
+continuous (closed form) or discrete (weighted samples) — and a location at
+an *unsampled* time is a distribution referenced to neighboring samples
+(uniform disk, velocity cone, Markov grids...).  This module provides the
+pdf types; the unsampled-time models live in
+:mod:`repro.querying.uncertain_trajectory`.
+
+All models implement the :class:`UncertainLocation` protocol:
+
+* ``mean()`` — expected position,
+* ``sample(rng, n)`` — Monte-Carlo draws,
+* ``prob_within(center, radius)`` — probability mass inside a disk,
+* ``prob_in_bbox(box)`` — probability mass inside a rectangle,
+* ``support_bbox(confidence)`` — a box holding at least ``confidence`` mass,
+  used by query processors for pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+from scipy import stats
+
+from .geometry import BBox, Point
+
+
+@runtime_checkable
+class UncertainLocation(Protocol):
+    """Structural protocol implemented by every uncertain-location model."""
+
+    def mean(self) -> Point:
+        """Expected position of the location pdf."""
+        ...
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Monte-Carlo draws from the pdf; ``(n, 2)`` array."""
+        ...
+
+    def prob_within(self, center: Point, radius: float) -> float:
+        """Probability mass inside a disk."""
+        ...
+
+    def prob_in_bbox(self, box: BBox) -> float:
+        """Probability mass inside a rectangle."""
+        ...
+
+    def support_bbox(self, confidence: float = 0.997) -> BBox:
+        """A box holding at least ``confidence`` probability mass."""
+        ...
+
+
+@dataclass(frozen=True)
+class GaussianLocation:
+    """Bivariate Gaussian pdf; the canonical continuous location model."""
+
+    center: Point
+    sigma_x: float
+    sigma_y: float = -1.0  # set equal to sigma_x when negative (isotropic)
+    rho: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_x <= 0:
+            raise ValueError("sigma_x must be positive")
+        if self.sigma_y < 0:
+            object.__setattr__(self, "sigma_y", self.sigma_x)
+        if self.sigma_y <= 0:
+            raise ValueError("sigma_y must be positive")
+        if not -1.0 < self.rho < 1.0:
+            raise ValueError("rho must be in (-1, 1)")
+
+    def mean(self) -> Point:
+        """The distribution mean (the center point)."""
+        return self.center
+
+    def covariance(self) -> np.ndarray:
+        """The 2x2 covariance matrix."""
+        cxy = self.rho * self.sigma_x * self.sigma_y
+        return np.array([[self.sigma_x**2, cxy], [cxy, self.sigma_y**2]])
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` positions; ``(n, 2)`` array."""
+        return rng.multivariate_normal(
+            [self.center.x, self.center.y], self.covariance(), size=n
+        )
+
+    def pdf(self, p: Point) -> float:
+        """Density at point ``p``."""
+        return float(
+            stats.multivariate_normal.pdf(
+                [p.x, p.y], mean=[self.center.x, self.center.y], cov=self.covariance()
+            )
+        )
+
+    def prob_within(self, center: Point, radius: float) -> float:
+        """Mass inside the disk; exact for isotropic, MC otherwise."""
+        if self.rho == 0.0 and self.sigma_x == self.sigma_y:
+            # Distance from disk center to Gaussian mean, in sigma units:
+            # the squared radius follows a noncentral chi-square with 2 dof.
+            d = self.center.distance_to(center) / self.sigma_x
+            r = radius / self.sigma_x
+            return float(stats.ncx2.cdf(r**2, df=2, nc=d**2))
+        return self._mc_prob(lambda pts: _inside_disk(pts, center, radius))
+
+    def prob_in_bbox(self, box: BBox) -> float:
+        """Mass inside the box (product form when axes independent)."""
+        if self.rho == 0.0:
+            px = stats.norm.cdf(box.max_x, self.center.x, self.sigma_x) - stats.norm.cdf(
+                box.min_x, self.center.x, self.sigma_x
+            )
+            py = stats.norm.cdf(box.max_y, self.center.y, self.sigma_y) - stats.norm.cdf(
+                box.min_y, self.center.y, self.sigma_y
+            )
+            return float(px * py)
+        return self._mc_prob(lambda pts: _inside_bbox(pts, box))
+
+    def support_bbox(self, confidence: float = 0.997) -> BBox:
+        """Axis-aligned box holding at least ``confidence`` mass."""
+        z = _support_z(confidence)
+        return BBox(
+            self.center.x - z * self.sigma_x,
+            self.center.y - z * self.sigma_y,
+            self.center.x + z * self.sigma_x,
+            self.center.y + z * self.sigma_y,
+        )
+
+    def _mc_prob(self, predicate, n: int = 4096) -> float:
+        rng = np.random.default_rng(0)  # deterministic quadrature fallback
+        pts = self.sample(rng, n)
+        return float(np.mean(predicate(pts)))
+
+
+@dataclass(frozen=True)
+class DiscreteLocation:
+    """Weighted location samples — the discrete pdf case of Sec. 2.3.1.
+
+    This is the natural output of particle filters and of fingerprint
+    positioning with candidate cells.
+    """
+
+    points: tuple[Point, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) == 0:
+            raise ValueError("need at least one sample")
+        if len(self.points) != len(self.weights):
+            raise ValueError("points and weights must have equal length")
+        total = sum(self.weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("weights must be non-negative")
+        if abs(total - 1.0) > 1e-9:
+            object.__setattr__(
+                self, "weights", tuple(w / total for w in self.weights)
+            )
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[Point]) -> "DiscreteLocation":
+        """Equal-weight samples."""
+        n = len(samples)
+        return cls(tuple(samples), tuple([1.0 / n] * n))
+
+    def mean(self) -> Point:
+        """Probability-weighted mean position."""
+        x = sum(p.x * w for p, w in zip(self.points, self.weights))
+        y = sum(p.y * w for p, w in zip(self.points, self.weights))
+        return Point(x, y)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` positions by weighted resampling; ``(n, 2)`` array."""
+        idx = rng.choice(len(self.points), size=n, p=np.array(self.weights))
+        return np.array([[self.points[i].x, self.points[i].y] for i in idx])
+
+    def prob_within(self, center: Point, radius: float) -> float:
+        """Total weight of samples inside the disk (exact)."""
+        return float(
+            sum(
+                w
+                for p, w in zip(self.points, self.weights)
+                if p.distance_to(center) <= radius
+            )
+        )
+
+    def prob_in_bbox(self, box: BBox) -> float:
+        """Total weight of samples inside the box (exact)."""
+        return float(
+            sum(w for p, w in zip(self.points, self.weights) if box.contains(p))
+        )
+
+    def support_bbox(self, confidence: float = 0.997) -> BBox:
+        """Bounding box of the sample support (holds all mass)."""
+        return BBox.from_points(self.points)
+
+    def map_point(self) -> Point:
+        """Maximum a-posteriori sample (highest weight)."""
+        i = int(np.argmax(self.weights))
+        return self.points[i]
+
+
+@dataclass(frozen=True)
+class UniformDiskLocation:
+    """Uniform pdf over a disk — the classical imprecise-location region model."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    def mean(self) -> Point:
+        """The disk center."""
+        return self.center
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Uniform draws over the disk; ``(n, 2)`` array."""
+        r = self.radius * np.sqrt(rng.random(n))
+        theta = rng.random(n) * 2.0 * math.pi
+        return np.column_stack(
+            [self.center.x + r * np.cos(theta), self.center.y + r * np.sin(theta)]
+        )
+
+    def prob_within(self, center: Point, radius: float) -> float:
+        """Mass inside a query disk = lens area / disk area (exact)."""
+        d = self.center.distance_to(center)
+        r1, r2 = self.radius, radius
+        if d >= r1 + r2:
+            return 0.0
+        if d <= abs(r2 - r1):
+            # One disk inside the other.
+            return 1.0 if r2 >= r1 else (r2 / r1) ** 2
+        lens = _lens_area(r1, r2, d)
+        return float(lens / (math.pi * r1 * r1))
+
+    def prob_in_bbox(self, box: BBox) -> float:
+        """Mass inside the box (deterministic grid quadrature)."""
+        if not box.intersects(self.support_bbox()):
+            return 0.0
+        # Fine deterministic grid quadrature over the disk's bbox.
+        n = 128
+        xs = np.linspace(self.center.x - self.radius, self.center.x + self.radius, n)
+        ys = np.linspace(self.center.y - self.radius, self.center.y + self.radius, n)
+        gx, gy = np.meshgrid(xs, ys)
+        in_disk = (gx - self.center.x) ** 2 + (gy - self.center.y) ** 2 <= self.radius**2
+        in_box = (
+            (gx >= box.min_x) & (gx <= box.max_x) & (gy >= box.min_y) & (gy <= box.max_y)
+        )
+        disk_cells = int(in_disk.sum())
+        if disk_cells == 0:
+            return 0.0
+        return float((in_disk & in_box).sum() / disk_cells)
+
+    def support_bbox(self, confidence: float = 0.997) -> BBox:
+        """The disk's bounding box (holds all mass)."""
+        return BBox(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+
+@lru_cache(maxsize=64)
+def _support_z(confidence: float) -> float:
+    """Per-axis z multiplier for a joint-coverage support box.
+
+    Each axis must hold sqrt(confidence) mass so the product (independent
+    axes when rho=0) reaches the target.  The 1.001 inflation keeps the
+    "at least confidence" contract safe against floating-point rounding in
+    the quantile/cdf round trip.  Cached: query processors call this for
+    every object with the same confidence, and the bound must stay far
+    cheaper than an exact probability evaluation for pruning to pay off.
+    """
+    per_axis = math.sqrt(confidence)
+    return float(stats.norm.ppf(0.5 + per_axis / 2.0)) * 1.001
+
+
+def _lens_area(r1: float, r2: float, d: float) -> float:
+    """Area of intersection of two disks with radii r1, r2 at distance d."""
+    a1 = r1 * r1 * math.acos((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1))
+    a2 = r2 * r2 * math.acos((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2))
+    a3 = 0.5 * math.sqrt(
+        max(0.0, (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
+    )
+    return a1 + a2 - a3
+
+
+def _inside_disk(pts: np.ndarray, center: Point, radius: float) -> np.ndarray:
+    return (pts[:, 0] - center.x) ** 2 + (pts[:, 1] - center.y) ** 2 <= radius**2
+
+
+def _inside_bbox(pts: np.ndarray, box: BBox) -> np.ndarray:
+    return (
+        (pts[:, 0] >= box.min_x)
+        & (pts[:, 0] <= box.max_x)
+        & (pts[:, 1] >= box.min_y)
+        & (pts[:, 1] <= box.max_y)
+    )
+
+
+@dataclass(frozen=True)
+class UncertainPoint:
+    """An uncertain object: identity + location pdf (+ timestamp)."""
+
+    object_id: str
+    location: UncertainLocation
+    t: float = 0.0
+
+
+class UncertainTrajectory:
+    """A time-ordered sequence of uncertain locations for one object."""
+
+    __slots__ = ("object_id", "_entries")
+
+    def __init__(
+        self, entries: Sequence[tuple[float, UncertainLocation]], object_id: str = ""
+    ) -> None:
+        ents = list(entries)
+        for (t0, _), (t1, _) in zip(ents, ents[1:]):
+            if t1 <= t0:
+                raise ValueError("timestamps must be strictly increasing")
+        self.object_id = object_id
+        self._entries: tuple[tuple[float, UncertainLocation], ...] = tuple(ents)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, i: int) -> tuple[float, UncertainLocation]:
+        return self._entries[i]
+
+    @property
+    def times(self) -> list[float]:
+        return [t for t, _ in self._entries]
+
+    def expected_trajectory(self):
+        """Collapse to a crisp trajectory through the per-time means."""
+        from .trajectory import Trajectory, TrajectoryPoint
+
+        return Trajectory(
+            [TrajectoryPoint(loc.mean().x, loc.mean().y, t) for t, loc in self._entries],
+            self.object_id,
+        )

@@ -1,0 +1,69 @@
+"""Decision-making using low-quality SID (Sec. 2.3.3)."""
+
+from .federated import (
+    ClientUpdate,
+    FederatedClient,
+    FederatedServer,
+    train_centralized,
+    train_federated,
+    train_local_only,
+)
+from .next_location import MarkovNextLocation, evaluate_accuracy, split_stream
+from .recommend import (
+    NaiveRecommender,
+    UncertainCheckinRecommender,
+    hit_rate,
+)
+from .site_selection import (
+    PUSiteSelector,
+    ranking_quality,
+    site_features,
+    visits_from_fleet,
+)
+from .task_assign import (
+    Task,
+    Worker,
+    assign_expected,
+    assign_naive,
+    expected_completions,
+    reach_probability,
+    realized_completions,
+)
+from .traffic import (
+    cell_volumes,
+    naive_scaling,
+    sample_fleet,
+    smoothed_inference,
+    volume_errors,
+)
+
+__all__ = [
+    "ClientUpdate",
+    "FederatedClient",
+    "FederatedServer",
+    "train_centralized",
+    "train_federated",
+    "train_local_only",
+    "MarkovNextLocation",
+    "evaluate_accuracy",
+    "split_stream",
+    "NaiveRecommender",
+    "UncertainCheckinRecommender",
+    "hit_rate",
+    "PUSiteSelector",
+    "ranking_quality",
+    "site_features",
+    "visits_from_fleet",
+    "Task",
+    "Worker",
+    "assign_expected",
+    "assign_naive",
+    "expected_completions",
+    "reach_probability",
+    "realized_completions",
+    "cell_volumes",
+    "naive_scaling",
+    "sample_fleet",
+    "smoothed_inference",
+    "volume_errors",
+]

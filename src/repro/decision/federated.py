@@ -1,0 +1,119 @@
+"""Federated learning for mobility prediction (Sec. 2.3.3 / 2.4, [55, 75]).
+
+The tutorial's decentralization trend: users' raw check-ins stay on their
+devices; only *model updates* are shared.  For the Markov next-location
+model this is exact — the global model is the count-weighted average of
+per-client transition statistics — so the federated model matches the
+centralized one while no check-in ever leaves its owner, and clients with
+little data still benefit from the federation (the data-scarcity claim of
+[55]).
+
+Differential-privacy-style noise can be added to each client's update to
+study the privacy/utility trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..synth.checkins import CheckIn
+from .next_location import MarkovNextLocation
+
+
+@dataclass
+class ClientUpdate:
+    """What one client shares: transition counts, nothing else.
+
+    ``counts[prev_poi][next_poi] = n`` — aggregated, with optional noise;
+    raw timestamps and visit orders never leave the device.
+    """
+
+    counts: dict[int, dict[int, float]]
+
+
+class FederatedClient:
+    """A device holding one user's private check-in history."""
+
+    def __init__(self, user_id: int, checkins: list[CheckIn]) -> None:
+        self.user_id = user_id
+        self._checkins = sorted(
+            (c for c in checkins if c.user_id == user_id), key=lambda c: c.t
+        )
+
+    def local_update(
+        self, rng: np.random.Generator | None = None, noise_scale: float = 0.0
+    ) -> ClientUpdate:
+        """Compute the shareable transition counts (optionally noised)."""
+        counts: dict[int, dict[int, float]] = {}
+        for prev, cur in zip(self._checkins, self._checkins[1:]):
+            row = counts.setdefault(prev.poi_id, {})
+            row[cur.poi_id] = row.get(cur.poi_id, 0.0) + 1.0
+        if noise_scale > 0.0:
+            if rng is None:
+                raise ValueError("noise requires an rng")
+            for row in counts.values():
+                for key in row:
+                    row[key] = max(0.0, row[key] + rng.laplace(0.0, noise_scale))
+        return ClientUpdate(counts)
+
+    def n_transitions(self) -> int:
+        """Number of local transitions (the client's update weight)."""
+        return max(0, len(self._checkins) - 1)
+
+
+class FederatedServer:
+    """Aggregates client updates into one shared (non-personalized) model."""
+
+    def __init__(self, n_pois: int, alpha: float = 0.1) -> None:
+        self.n_pois = n_pois
+        self.alpha = alpha
+        self._counts: dict[int, dict[int, float]] = {}
+
+    def aggregate(self, updates: list[ClientUpdate]) -> None:
+        """Add client updates into the global transition counts."""
+        for update in updates:
+            for prev, row in update.counts.items():
+                target = self._counts.setdefault(prev, {})
+                for nxt, n in row.items():
+                    target[nxt] = target.get(nxt, 0.0) + n
+
+    def model(self) -> MarkovNextLocation:
+        """Materialize the aggregated counts as a global Markov model."""
+        m = MarkovNextLocation(self.n_pois, personalized=False, alpha=self.alpha)
+        for prev, row in self._counts.items():
+            key = m._key(0, prev)
+            m._counts[key] = dict(row)
+        return m
+
+
+def train_federated(
+    checkins: list[CheckIn],
+    n_pois: int,
+    rng: np.random.Generator | None = None,
+    noise_scale: float = 0.0,
+) -> MarkovNextLocation:
+    """One federation round over all users present in ``checkins``."""
+    users = sorted({c.user_id for c in checkins})
+    server = FederatedServer(n_pois)
+    server.aggregate(
+        [
+            FederatedClient(u, checkins).local_update(rng, noise_scale)
+            for u in users
+        ]
+    )
+    return server.model()
+
+
+def train_centralized(checkins: list[CheckIn], n_pois: int) -> MarkovNextLocation:
+    """The privacy-free upper bound: pool all raw check-ins."""
+    return MarkovNextLocation(n_pois, personalized=False).fit(checkins)
+
+
+def train_local_only(
+    checkins: list[CheckIn], n_pois: int, user_id: int
+) -> MarkovNextLocation:
+    """The no-sharing lower bound: each user learns alone."""
+    own = [c for c in checkins if c.user_id == user_id]
+    return MarkovNextLocation(n_pois, personalized=False).fit(own)

@@ -1,0 +1,107 @@
+"""Next-location prediction from check-in streams (Sec. 2.3.3, [53, 23, 126]).
+
+A first-order Markov predictor over POIs with Laplace smoothing — the
+classical member of the prediction family the tutorial reviews — plus the
+*incremental learning* mode ([53]: real-time location prediction on
+streams): the model updates per observed transition, so it tracks
+evolving behavior without retraining.
+
+The DQ angle (exercised by ``benchmarks/bench_decision.py``): accuracy
+degrades under check-in corruption and recovers when the training stream is
+cleaned first.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..synth.checkins import CheckIn
+
+
+class MarkovNextLocation:
+    """Per-user first-order Markov model over POI transitions.
+
+    With ``personalized=False`` a single global transition table is shared —
+    the fallback for cold-start users.
+    """
+
+    def __init__(self, n_pois: int, personalized: bool = True, alpha: float = 0.1) -> None:
+        if n_pois < 1:
+            raise ValueError("need at least one POI")
+        if alpha <= 0:
+            raise ValueError("alpha (smoothing) must be positive")
+        self.n_pois = n_pois
+        self.personalized = personalized
+        self.alpha = alpha
+        self._counts: dict[tuple[int, int], dict[int, float]] = defaultdict(dict)
+        self._last_poi: dict[int, int] = {}
+
+    def _key(self, user_id: int, poi: int) -> tuple[int, int]:
+        return (user_id if self.personalized else -1, poi)
+
+    def update(self, checkin: CheckIn) -> None:
+        """Incremental single-transition update (streaming mode)."""
+        prev = self._last_poi.get(checkin.user_id)
+        if prev is not None:
+            key = self._key(checkin.user_id, prev)
+            self._counts[key][checkin.poi_id] = (
+                self._counts[key].get(checkin.poi_id, 0.0) + 1.0
+            )
+        self._last_poi[checkin.user_id] = checkin.poi_id
+
+    def fit(self, checkins: list[CheckIn]) -> "MarkovNextLocation":
+        """Batch training: replay the (time-sorted) check-in stream."""
+        for c in sorted(checkins, key=lambda c: (c.user_id, c.t)):
+            self.update(c)
+        return self
+
+    def distribution(self, user_id: int, current_poi: int) -> np.ndarray:
+        """Smoothed next-POI distribution."""
+        counts = self._counts.get(self._key(user_id, current_poi), {})
+        probs = np.full(self.n_pois, self.alpha)
+        for poi, c in counts.items():
+            probs[poi] += c
+        return probs / probs.sum()
+
+    def predict_topk(self, user_id: int, current_poi: int, k: int = 5) -> list[int]:
+        """The ``k`` most probable next POIs, best first."""
+        dist = self.distribution(user_id, current_poi)
+        return list(np.argsort(-dist)[:k])
+
+
+def evaluate_accuracy(
+    model: MarkovNextLocation, test: list[CheckIn], k: int = 5
+) -> dict[str, float]:
+    """Hit@1 and Hit@k over consecutive test transitions per user."""
+    by_user: dict[int, list[CheckIn]] = defaultdict(list)
+    for c in sorted(test, key=lambda c: c.t):
+        by_user[c.user_id].append(c)
+    hits1 = hitsk = total = 0
+    for user, seq in by_user.items():
+        for prev, cur in zip(seq, seq[1:]):
+            topk = model.predict_topk(user, prev.poi_id, k)
+            total += 1
+            if topk and topk[0] == cur.poi_id:
+                hits1 += 1
+            if cur.poi_id in topk:
+                hitsk += 1
+    if total == 0:
+        return {"hit@1": 0.0, f"hit@{k}": 0.0, "transitions": 0.0}
+    return {
+        "hit@1": hits1 / total,
+        f"hit@{k}": hitsk / total,
+        "transitions": float(total),
+    }
+
+
+def split_stream(
+    checkins: list[CheckIn], train_fraction: float = 0.7
+) -> tuple[list[CheckIn], list[CheckIn]]:
+    """Chronological train/test split of a check-in stream."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    ordered = sorted(checkins, key=lambda c: c.t)
+    cut = int(len(ordered) * train_fraction)
+    return ordered[:cut], ordered[cut:]

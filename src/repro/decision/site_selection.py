@@ -1,0 +1,134 @@
+"""Positive-unlabeled site selection (Sec. 2.3.3, [18]).
+
+ToiletBuilder [18] selects locations for new public facilities when only
+*positive* examples exist (sites already built) and everything else is
+unlabeled — not negative.  This module implements the classical centroid
+PU scorer over spatial features:
+
+* :func:`site_features` — feature vectors for candidate sites from the
+  surrounding SID (visit density at several radii, POI mix),
+* :class:`PUSiteSelector` — standardize features, score candidates by
+  similarity to the positive prototype, with the "reliable negatives"
+  refinement step of two-stage PU learning,
+* :func:`ranking_quality` — held-out evaluation: do hidden positives rank
+  above random?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..core.trajectory import Trajectory
+
+
+def site_features(
+    candidates: list[Point],
+    visits: list[Point],
+    radii: tuple[float, ...] = (100.0, 300.0, 600.0),
+) -> np.ndarray:
+    """``(n_candidates, len(radii))`` visit counts within each radius.
+
+    Visit density at multiple scales is the workhorse feature of facility
+    placement: demand nearby, demand in the catchment, demand in the
+    district.
+    """
+    if not candidates:
+        raise ValueError("no candidate sites")
+    vx = np.array([v.x for v in visits])
+    vy = np.array([v.y for v in visits])
+    feats = np.zeros((len(candidates), len(radii)))
+    for i, c in enumerate(candidates):
+        if len(visits) == 0:
+            continue
+        d = np.hypot(vx - c.x, vy - c.y)
+        for j, r in enumerate(radii):
+            feats[i, j] = float((d <= r).sum())
+    return feats
+
+
+def visits_from_fleet(trajectories: list[Trajectory]) -> list[Point]:
+    """Flatten a fleet's samples into visit points (demand evidence)."""
+    return [p.point for t in trajectories for p in t]
+
+
+@dataclass
+class PUSiteSelector:
+    """Two-stage centroid PU scorer.
+
+    Stage 1: standardize features over all candidates; the positive
+    prototype is the mean of the labeled positives.  Stage 2: candidates
+    *farthest* from the prototype become reliable negatives; the final
+    score is the difference of similarities to the positive and negative
+    prototypes — higher = more facility-like.
+    """
+
+    negative_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.negative_fraction < 1.0:
+            raise ValueError("negative_fraction must be in (0, 1)")
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._pos_proto: np.ndarray | None = None
+        self._neg_proto: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, positive_indices: list[int]) -> "PUSiteSelector":
+        """Standardize features and build positive/reliable-negative prototypes."""
+        x = np.asarray(features, dtype=float)
+        if not positive_indices:
+            raise ValueError("need at least one positive example")
+        if max(positive_indices) >= len(x) or min(positive_indices) < 0:
+            raise ValueError("positive index out of range")
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        z = (x - self._mean) / self._std
+        self._pos_proto = z[positive_indices].mean(axis=0)
+        # Reliable negatives: unlabeled candidates farthest from positives.
+        unlabeled = [i for i in range(len(x)) if i not in set(positive_indices)]
+        d = np.linalg.norm(z[unlabeled] - self._pos_proto, axis=1)
+        n_neg = max(1, int(len(unlabeled) * self.negative_fraction))
+        far = np.argsort(d)[-n_neg:]
+        self._neg_proto = z[[unlabeled[int(i)] for i in far]].mean(axis=0)
+        return self
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Facility-likeness score per candidate (higher = better site)."""
+        if self._pos_proto is None:
+            raise RuntimeError("call fit() first")
+        z = (np.asarray(features, dtype=float) - self._mean) / self._std
+        d_pos = np.linalg.norm(z - self._pos_proto, axis=1)
+        d_neg = np.linalg.norm(z - self._neg_proto, axis=1)
+        return d_neg - d_pos
+
+    def rank(self, features: np.ndarray, exclude: set[int] | None = None) -> list[int]:
+        """Candidate indices best-first, optionally excluding known sites."""
+        s = self.scores(features)
+        order = [int(i) for i in np.argsort(-s)]
+        if exclude:
+            order = [i for i in order if i not in exclude]
+        return order
+
+
+def ranking_quality(
+    ranking: list[int], hidden_positives: set[int]
+) -> float:
+    """Mean normalized rank of hidden positives (1 = all ranked first).
+
+    0.5 is random; the PU claim is beating it substantially.
+    """
+    if not hidden_positives:
+        raise ValueError("no hidden positives to score")
+    n = len(ranking)
+    if n < 2:
+        return 1.0
+    positions = {cand: pos for pos, cand in enumerate(ranking)}
+    scores = [
+        1.0 - positions[h] / (n - 1) for h in hidden_positives if h in positions
+    ]
+    if not scores:
+        raise ValueError("hidden positives missing from the ranking")
+    return float(np.mean(scores))

@@ -1,0 +1,36 @@
+"""Symbolic indoor space: tracking, cleansing, and queries ([114, 118, 102])."""
+
+from .queries import (
+    euclidean_knn,
+    expected_room_occupancy,
+    indoor_knn,
+    rooms_within_distance,
+    stop_by_patterns,
+)
+from .space import Door, IndoorSpace, Room, grid_floor
+from .tracking import (
+    RoomHMMTracker,
+    RoomReading,
+    observe_rooms,
+    raw_room_sequence,
+    sequence_accuracy,
+    simulate_room_walk,
+)
+
+__all__ = [
+    "euclidean_knn",
+    "expected_room_occupancy",
+    "indoor_knn",
+    "rooms_within_distance",
+    "stop_by_patterns",
+    "Door",
+    "IndoorSpace",
+    "Room",
+    "grid_floor",
+    "RoomHMMTracker",
+    "RoomReading",
+    "observe_rooms",
+    "raw_room_sequence",
+    "sequence_accuracy",
+    "simulate_room_walk",
+]

@@ -1,0 +1,126 @@
+"""Indoor queries over symbolic, uncertain positions ([114, 118, 102]).
+
+Query processing where the metric is *walking distance* and positions are
+rooms (possibly uncertain after cleansing):
+
+* :func:`indoor_knn` — k nearest objects by walking distance (Euclidean
+  kNN is wrong indoors: a neighbor behind a wall may be far on foot),
+* :func:`rooms_within_distance` — the indoor range primitive of [114],
+* :func:`expected_room_occupancy` — probabilistic room counts from
+  uncertain symbolic positions (per-object room posteriors), the indoor
+  counterpart of the uncertain COUNT aggregate,
+* :func:`stop_by_patterns` — frequent stop-by room sequences from symbolic
+  trajectories, the mining task of Teng et al. [102].
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..core.geometry import Point
+from .space import IndoorSpace
+
+
+def indoor_knn(
+    space: IndoorSpace,
+    objects: dict[str, Point],
+    query: Point,
+    k: int,
+) -> list[tuple[str, float]]:
+    """The k nearest objects by walking distance: ``(object_id, distance)``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    scored = []
+    for oid, pos in objects.items():
+        try:
+            d = space.walking_distance(query, pos)
+        except ValueError:
+            continue  # outside the space or unreachable
+        scored.append((oid, d))
+    scored.sort(key=lambda x: x[1])
+    return scored[:k]
+
+
+def euclidean_knn(
+    objects: dict[str, Point], query: Point, k: int
+) -> list[tuple[str, float]]:
+    """The (indoor-naive) Euclidean baseline."""
+    scored = sorted(
+        ((oid, query.distance_to(pos)) for oid, pos in objects.items()),
+        key=lambda x: x[1],
+    )
+    return scored[:k]
+
+
+def rooms_within_distance(
+    space: IndoorSpace, origin: Point, max_distance: float
+) -> list[str]:
+    """Rooms whose center is reachable within ``max_distance`` on foot."""
+    out = []
+    for room_id, room in space.rooms.items():
+        try:
+            if space.walking_distance(origin, room.center) <= max_distance:
+                out.append(room_id)
+        except ValueError:
+            continue
+    return sorted(out)
+
+
+def expected_room_occupancy(
+    posteriors: dict[str, dict[str, float]]
+) -> dict[str, float]:
+    """Expected object count per room from per-object room posteriors.
+
+    ``posteriors[object_id][room_id] = P(object in room)``.  Linearity of
+    expectation makes the aggregate exact regardless of dependence between
+    rooms within one object's posterior.
+    """
+    occupancy: dict[str, float] = {}
+    for oid, post in posteriors.items():
+        total = sum(post.values())
+        if total <= 0:
+            raise ValueError(f"posterior of {oid} has no mass")
+        for room, p in post.items():
+            occupancy[room] = occupancy.get(room, 0.0) + p / total
+    return occupancy
+
+
+def stop_by_patterns(
+    symbolic_trajectories: list[list[str]],
+    min_dwell: int = 2,
+    min_support: int = 2,
+    max_length: int = 3,
+) -> dict[tuple[str, ...], int]:
+    """Frequent stop-by room sequences (Teng et al. [102]).
+
+    A *stop* is a room occupied for at least ``min_dwell`` consecutive
+    epochs; each trajectory reduces to its stop sequence, and contiguous
+    stop subsequences of length <= ``max_length`` with support >=
+    ``min_support`` (distinct trajectories) are returned with their counts.
+    """
+    if min_dwell < 1 or min_support < 1:
+        raise ValueError("min_dwell and min_support must be >= 1")
+    stop_seqs: list[list[str]] = []
+    for seq in symbolic_trajectories:
+        stops: list[str] = []
+        run_room: str | None = None
+        run_len = 0
+        for room in seq + [None]:  # sentinel flushes the last run
+            if room == run_room:
+                run_len += 1
+                continue
+            if run_room is not None and run_len >= min_dwell:
+                if not stops or stops[-1] != run_room:
+                    stops.append(run_room)
+            run_room, run_len = room, 1
+        stop_seqs.append(stops)
+    counts: Counter[tuple[str, ...]] = Counter()
+    for stops in stop_seqs:
+        seen: set[tuple[str, ...]] = set()
+        for length in range(1, max_length + 1):
+            for i in range(len(stops) - length + 1):
+                seen.add(tuple(stops[i : i + length]))
+        counts.update(seen)
+    return {pat: n for pat, n in counts.items() if n >= min_support}

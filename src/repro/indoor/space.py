@@ -1,0 +1,184 @@
+"""Symbolic indoor space model (Sec. 2.3.1, [114]; substrate for
+[57, 58, 102, 118]).
+
+Indoor SID is *symbolic*: positions are rooms, not coordinates, and
+distance is *walking* distance through doors, not Euclidean.  This module
+provides the space model those techniques presuppose:
+
+* :class:`Room` / :class:`Door` / :class:`IndoorSpace` — rooms as
+  rectangles, doors as connection points, with the door-graph topology,
+* ``room_of`` — symbolic positioning of a coordinate,
+* ``walking_distance`` — shortest path through doors (the indoor metric),
+* :func:`grid_floor` — a synthetic office floor for experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.geometry import BBox, Point
+
+
+@dataclass(frozen=True)
+class Room:
+    """A rectangular room with a symbolic id."""
+
+    room_id: str
+    bbox: BBox
+
+    @property
+    def center(self) -> Point:
+        return self.bbox.center
+
+    def contains(self, p: Point) -> bool:
+        """Whether the point lies inside the room's rectangle."""
+        return self.bbox.contains(p)
+
+
+@dataclass(frozen=True)
+class Door:
+    """A connection point between two rooms (or a room and a corridor)."""
+
+    room_a: str
+    room_b: str
+    position: Point
+
+
+class IndoorSpace:
+    """Rooms + doors, with walking-distance computation over the door graph."""
+
+    def __init__(self, rooms: list[Room], doors: list[Door]) -> None:
+        if not rooms:
+            raise ValueError("need at least one room")
+        self.rooms = {r.room_id: r for r in rooms}
+        if len(self.rooms) != len(rooms):
+            raise ValueError("duplicate room ids")
+        for d in doors:
+            if d.room_a not in self.rooms or d.room_b not in self.rooms:
+                raise ValueError(f"door references unknown room: {d}")
+        self.doors = list(doors)
+        # Symbolic adjacency graph (room-level topology).
+        self.topology = nx.Graph()
+        self.topology.add_nodes_from(self.rooms)
+        for d in doors:
+            self.topology.add_edge(d.room_a, d.room_b)
+        # Door graph for metric walking distance: nodes are doors; two
+        # doors connect when they serve a common room (straight-line walk
+        # inside the room).
+        self._door_graph = nx.Graph()
+        for i, d in enumerate(self.doors):
+            self._door_graph.add_node(i, position=d.position)
+        for i, j in itertools.combinations(range(len(self.doors)), 2):
+            shared = {self.doors[i].room_a, self.doors[i].room_b} & {
+                self.doors[j].room_a,
+                self.doors[j].room_b,
+            }
+            if shared:
+                w = self.doors[i].position.distance_to(self.doors[j].position)
+                self._door_graph.add_edge(i, j, weight=w)
+
+    # -- symbolic positioning --------------------------------------------------
+
+    def room_of(self, p: Point) -> str | None:
+        """The room containing ``p`` (None if outside every room)."""
+        for room in self.rooms.values():
+            if room.contains(p):
+                return room.room_id
+        return None
+
+    def doors_of(self, room_id: str) -> list[int]:
+        """Indices of the doors serving a room."""
+        return [
+            i
+            for i, d in enumerate(self.doors)
+            if room_id in (d.room_a, d.room_b)
+        ]
+
+    def adjacent_rooms(self, room_id: str) -> list[str]:
+        """Rooms connected to ``room_id`` by at least one door."""
+        return sorted(self.topology.neighbors(room_id))
+
+    # -- metric ------------------------------------------------------------------
+
+    def walking_distance(self, a: Point, b: Point) -> float:
+        """Shortest walking distance from ``a`` to ``b`` through doors.
+
+        Raises ``ValueError`` when either point lies outside every room or
+        no door path connects the two rooms.
+        """
+        room_a = self.room_of(a)
+        room_b = self.room_of(b)
+        if room_a is None or room_b is None:
+            raise ValueError("point outside the indoor space")
+        if room_a == room_b:
+            return a.distance_to(b)
+        best = math.inf
+        doors_a = self.doors_of(room_a)
+        doors_b = self.doors_of(room_b)
+        if not doors_a or not doors_b:
+            raise ValueError("room without doors")
+        # Dijkstra over the door graph from each entry door.
+        for da in doors_a:
+            lengths = nx.single_source_dijkstra_path_length(
+                self._door_graph, da, weight="weight"
+            )
+            for db in doors_b:
+                if db not in lengths:
+                    continue
+                total = (
+                    a.distance_to(self.doors[da].position)
+                    + lengths[db]
+                    + self.doors[db].position.distance_to(b)
+                )
+                best = min(best, total)
+        if not math.isfinite(best):
+            raise ValueError(f"no walking path between {room_a} and {room_b}")
+        return best
+
+    def room_path(self, room_a: str, room_b: str) -> list[str]:
+        """Shortest symbolic room sequence between two rooms."""
+        return nx.shortest_path(self.topology, room_a, room_b)
+
+
+def grid_floor(n_rows: int, n_cols: int, room_size: float = 10.0) -> IndoorSpace:
+    """A synthetic office floor: a grid of rooms with doors in shared walls."""
+    if n_rows < 1 or n_cols < 1 or room_size <= 0:
+        raise ValueError("invalid floor dimensions")
+    rooms = []
+    for r in range(n_rows):
+        for c in range(n_cols):
+            rooms.append(
+                Room(
+                    f"r{r}-{c}",
+                    BBox(
+                        c * room_size,
+                        r * room_size,
+                        (c + 1) * room_size,
+                        (r + 1) * room_size,
+                    ),
+                )
+            )
+    doors = []
+    for r in range(n_rows):
+        for c in range(n_cols):
+            if c + 1 < n_cols:  # door in the east wall
+                doors.append(
+                    Door(
+                        f"r{r}-{c}",
+                        f"r{r}-{c + 1}",
+                        Point((c + 1) * room_size, (r + 0.5) * room_size),
+                    )
+                )
+            if r + 1 < n_rows:  # door in the north wall
+                doors.append(
+                    Door(
+                        f"r{r}-{c}",
+                        f"r{r + 1}-{c}",
+                        Point((c + 0.5) * room_size, (r + 1) * room_size),
+                    )
+                )
+    return IndoorSpace(rooms, doors)

@@ -1,0 +1,51 @@
+"""Data integration (Sec. 2.2.5): semantic and non-semantic."""
+
+from .attach import (
+    EnrichedPoint,
+    attach_records,
+    attachment_coverage,
+    exposure_integral,
+)
+from .entity_linking import (
+    link_entities,
+    linking_accuracy,
+    signature_similarity,
+    st_signature,
+)
+from .fusion import (
+    debias_series,
+    estimate_bias,
+    fuse_grids,
+    fuse_series,
+    fusion_gain,
+)
+from .semantic import (
+    Episode,
+    StayPoint,
+    annotate_with_pois,
+    build_semantic_trajectory,
+    detect_stay_points,
+    stay_detection_scores,
+)
+
+__all__ = [
+    "EnrichedPoint",
+    "attach_records",
+    "attachment_coverage",
+    "exposure_integral",
+    "link_entities",
+    "linking_accuracy",
+    "signature_similarity",
+    "st_signature",
+    "debias_series",
+    "estimate_bias",
+    "fuse_grids",
+    "fuse_series",
+    "fusion_gain",
+    "Episode",
+    "StayPoint",
+    "annotate_with_pois",
+    "build_semantic_trajectory",
+    "detect_stay_points",
+    "stay_detection_scores",
+]

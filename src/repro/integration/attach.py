@@ -1,0 +1,83 @@
+"""Trajectory + STID attachment (Sec. 2.2.5, [125]).
+
+Attaches spatiotemporal measurements (air quality, temperature, ...) to
+trajectory points by space-time proximity, producing an *enriched
+trajectory* — e.g. the pollutant exposure profile of a trip.  This is the
+tutorial's Trajectory+STID non-semantic integration case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.stid import STRecord
+from ..core.trajectory import Trajectory
+from ..cleaning.interpolation import idw_interpolate
+
+
+@dataclass(frozen=True)
+class EnrichedPoint:
+    """A trajectory point plus the attached thematic value (and confidence)."""
+
+    x: float
+    y: float
+    t: float
+    value: float
+    support: int  # number of records within the attachment window
+
+
+def attach_records(
+    traj: Trajectory,
+    records: list[STRecord],
+    space_window: float = 300.0,
+    time_window: float = 600.0,
+    time_scale: float = 1.0,
+) -> list[EnrichedPoint]:
+    """Attach an IDW thematic estimate to every trajectory point.
+
+    Only records within the space/time window contribute; points with no
+    records in range receive NaN with support 0 (the caller decides whether
+    to interpolate or drop).
+    """
+    xs = np.array([r.x for r in records])
+    ys = np.array([r.y for r in records])
+    ts = np.array([r.t for r in records])
+    out: list[EnrichedPoint] = []
+    for p in traj:
+        if len(records) == 0:
+            out.append(EnrichedPoint(p.x, p.y, p.t, float("nan"), 0))
+            continue
+        mask = (
+            (np.hypot(xs - p.x, ys - p.y) <= space_window)
+            & (np.abs(ts - p.t) <= time_window)
+        )
+        nearby = [records[i] for i in np.flatnonzero(mask)]
+        if not nearby:
+            out.append(EnrichedPoint(p.x, p.y, p.t, float("nan"), 0))
+            continue
+        v = idw_interpolate(nearby, p.point, p.t, time_scale=time_scale, k=8)
+        out.append(EnrichedPoint(p.x, p.y, p.t, v, len(nearby)))
+    return out
+
+
+def exposure_integral(enriched: list[EnrichedPoint]) -> float:
+    """Time integral of the attached value along the trip (trapezoid rule).
+
+    NaN segments (no supporting measurements) contribute zero — the
+    conservative reading for exposure-style accumulations.
+    """
+    total = 0.0
+    for a, b in zip(enriched, enriched[1:]):
+        if np.isnan(a.value) or np.isnan(b.value):
+            continue
+        total += 0.5 * (a.value + b.value) * (b.t - a.t)
+    return total
+
+
+def attachment_coverage(enriched: list[EnrichedPoint]) -> float:
+    """Fraction of trajectory points that received a measurement."""
+    if not enriched:
+        return 0.0
+    return sum(1 for e in enriched if e.support > 0) / len(enriched)

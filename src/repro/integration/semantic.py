@@ -1,0 +1,164 @@
+"""Semantic data integration for trajectories (Sec. 2.2.5, [113, 58, 57]).
+
+Annotates raw location traces with concepts so they become directly
+interpretable: dwell episodes are detected as *stay points* and labeled
+with the enclosing/nearest POI; the remaining samples form *move* episodes.
+The result is a *semantic trajectory* — the stop/move model of [113].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..core.trajectory import Trajectory
+from ..synth.checkins import POI
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A detected dwell: index span, centroid, and duration."""
+
+    start_index: int
+    end_index: int
+    centroid: Point
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One annotated trajectory segment: ``kind`` is ``"stay"`` or ``"move"``."""
+
+    kind: str
+    start_index: int
+    end_index: int
+    label: str | None = None
+    place: Point | None = None
+
+
+def detect_stay_points(
+    traj: Trajectory, distance_threshold: float = 50.0, time_threshold: float = 300.0
+) -> list[StayPoint]:
+    """Classical stay-point detection (Li/Zheng style).
+
+    A maximal run of samples all within ``distance_threshold`` of the run's
+    first sample, spanning at least ``time_threshold`` seconds, yields a
+    stay point at the run centroid.
+    """
+    n = len(traj)
+    stays: list[StayPoint] = []
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n and traj[i].distance_to(traj[j]) <= distance_threshold:
+            j += 1
+        # Samples i .. j-1 stay near sample i.
+        if j - 1 > i and traj[j - 1].t - traj[i].t >= time_threshold:
+            xs = [traj[k].x for k in range(i, j)]
+            ys = [traj[k].y for k in range(i, j)]
+            stays.append(
+                StayPoint(
+                    i,
+                    j - 1,
+                    Point(float(np.mean(xs)), float(np.mean(ys))),
+                    traj[i].t,
+                    traj[j - 1].t,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stays
+
+
+def annotate_with_pois(
+    stays: list[StayPoint], pois: list[POI], max_distance: float = 100.0
+) -> list[tuple[StayPoint, POI | None]]:
+    """Label each stay with the nearest POI within ``max_distance``."""
+    out: list[tuple[StayPoint, POI | None]] = []
+    for s in stays:
+        best: POI | None = None
+        best_d = max_distance
+        for poi in pois:
+            d = s.centroid.distance_to(poi.location)
+            if d <= best_d:
+                best, best_d = poi, d
+        out.append((s, best))
+    return out
+
+
+def build_semantic_trajectory(
+    traj: Trajectory,
+    pois: list[POI],
+    distance_threshold: float = 50.0,
+    time_threshold: float = 300.0,
+    max_poi_distance: float = 100.0,
+) -> list[Episode]:
+    """The full stop/move annotation pipeline.
+
+    Returns ordered episodes covering the whole trajectory; stays carry the
+    nearest-POI category as their label (or ``"unknown"``).
+    """
+    stays = detect_stay_points(traj, distance_threshold, time_threshold)
+    labeled = annotate_with_pois(stays, pois, max_poi_distance)
+    episodes: list[Episode] = []
+    cursor = 0
+    for stay, poi in labeled:
+        if stay.start_index > cursor:
+            episodes.append(Episode("move", cursor, stay.start_index - 1))
+        episodes.append(
+            Episode(
+                "stay",
+                stay.start_index,
+                stay.end_index,
+                poi.category if poi else "unknown",
+                stay.centroid,
+            )
+        )
+        cursor = stay.end_index + 1
+    if cursor < len(traj):
+        episodes.append(Episode("move", cursor, len(traj) - 1))
+    return episodes
+
+
+def stay_detection_scores(
+    detected: list[StayPoint],
+    truth_spans: list[tuple[int, int]],
+    overlap: float = 0.5,
+) -> dict[str, float]:
+    """Precision/recall/F1 of stay detection against ground-truth index spans.
+
+    A truth span counts as recovered when some detected stay overlaps at
+    least ``overlap`` of it; a detected stay is correct when it overlaps
+    some truth span by at least ``overlap`` of the *detected* span.
+    """
+
+    def frac_overlap(a: tuple[int, int], b: tuple[int, int], base: tuple[int, int]) -> float:
+        lo = max(a[0], b[0])
+        hi = min(a[1], b[1])
+        width = base[1] - base[0] + 1
+        return max(0, hi - lo + 1) / width if width > 0 else 0.0
+
+    det_spans = [(s.start_index, s.end_index) for s in detected]
+    tp_truth = sum(
+        1
+        for ts in truth_spans
+        if any(frac_overlap(ts, ds, ts) >= overlap for ds in det_spans)
+    )
+    tp_det = sum(
+        1
+        for ds in det_spans
+        if any(frac_overlap(ds, ts, ds) >= overlap for ts in truth_spans)
+    )
+    # No detections -> vacuously perfect precision (no false positives).
+    precision = tp_det / len(det_spans) if det_spans else 1.0
+    recall = tp_truth / len(truth_spans) if truth_spans else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

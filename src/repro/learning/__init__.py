@@ -1,0 +1,41 @@
+"""Learning paradigms for low-quality SID (the tutorial's technique axis).
+
+Figure 2's *learning paradigm* viewpoint, one working instance each:
+
+* semi-supervised co-training over two sensing views [22]
+  (:mod:`cotraining`),
+* transfer learning across regions with a proximal source prior [116]
+  (:mod:`transfer`),
+* multi-task learning with shared + per-task components [83, 132]
+  (:mod:`multitask`),
+* reinforcement learning for adaptive device sampling [98, 99, 106]
+  (:mod:`rl_sampling`).
+
+Unsupervised (EM-style deconvolution) lives in
+:mod:`repro.decision.recommend`; federated learning in
+:mod:`repro.decision.federated`.
+"""
+
+from .cotraining import CentroidClassifier, CoTrainingClassifier
+from .multitask import MultiTaskRidge
+from .ridge import fit_ridge, predict_ridge, rmse
+from .rl_sampling import (
+    AdaptiveSamplingAgent,
+    SamplingRun,
+    regime_switching_signal,
+)
+from .transfer import TransferRidge, target_only_ridge
+
+__all__ = [
+    "CentroidClassifier",
+    "CoTrainingClassifier",
+    "MultiTaskRidge",
+    "fit_ridge",
+    "predict_ridge",
+    "rmse",
+    "AdaptiveSamplingAgent",
+    "SamplingRun",
+    "regime_switching_signal",
+    "TransferRidge",
+    "target_only_ridge",
+]

@@ -1,0 +1,137 @@
+"""Semi-supervised co-training over two sensing views (Sec. 2.1 learning
+paradigms, [22]).
+
+Chen et al. [22] estimate fine-grained urban air quality with *ensemble
+semi-supervised learning*: labels (monitoring stations) are scarce, but two
+independent feature views of each cell exist, and classifiers trained on
+each view teach one another with their most confident predictions on
+unlabeled cells.
+
+* :class:`CentroidClassifier` — the simple, margin-producing base learner,
+* :class:`CoTrainingClassifier` — the two-view loop: per round, each view's
+  model labels its most confident unlabeled cells for the *other* view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class CentroidClassifier:
+    """Nearest-class-centroid classifier with a distance-margin confidence."""
+
+    def __init__(self) -> None:
+        self._centroids: dict[int, np.ndarray] = {}
+
+    @property
+    def classes(self) -> list[int]:
+        return sorted(self._centroids)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CentroidClassifier":
+        """Compute one centroid per class."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError("features and labels must align")
+        if len(np.unique(y)) < 2:
+            raise ValueError("need at least two classes")
+        self._centroids = {int(c): x[y == c].mean(axis=0) for c in np.unique(y)}
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Nearest-centroid labels for ``x``."""
+        labels, _ = self.predict_with_margin(x)
+        return labels
+
+    def predict_with_margin(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Labels plus confidence = gap between the two nearest centroids."""
+        if not self._centroids:
+            raise RuntimeError("call fit() first")
+        x = np.asarray(x, dtype=float)
+        classes = self.classes
+        d = np.stack(
+            [np.linalg.norm(x - self._centroids[c], axis=1) for c in classes], axis=1
+        )
+        order = np.argsort(d, axis=1)
+        labels = np.array([classes[i] for i in order[:, 0]])
+        if len(classes) > 1:
+            margin = d[np.arange(len(x)), order[:, 1]] - d[np.arange(len(x)), order[:, 0]]
+        else:
+            margin = -d[:, 0]
+        return labels, margin
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct predictions on labeled data."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+
+@dataclass
+class CoTrainingClassifier:
+    """Two-view co-training with confident-margin pseudo-labeling.
+
+    ``n_rounds`` rounds; each round, each view's classifier pseudo-labels
+    its ``per_round`` most confident unlabeled examples for the other
+    view's training set.
+    """
+
+    n_rounds: int = 10
+    per_round: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_rounds < 1 or self.per_round < 1:
+            raise ValueError("n_rounds and per_round must be >= 1")
+        self.model_a = CentroidClassifier()
+        self.model_b = CentroidClassifier()
+
+    def fit(
+        self,
+        view_a: np.ndarray,
+        view_b: np.ndarray,
+        labels: np.ndarray,
+        labeled_indices: list[int],
+    ) -> "CoTrainingClassifier":
+        """Run the co-training rounds from the labeled seed set."""
+        xa = np.asarray(view_a, dtype=float)
+        xb = np.asarray(view_b, dtype=float)
+        y = np.asarray(labels)
+        if not (len(xa) == len(xb) == len(y)):
+            raise ValueError("views and labels must align")
+        if not labeled_indices:
+            raise ValueError("need labeled examples")
+        train_a: dict[int, int] = {i: int(y[i]) for i in labeled_indices}
+        train_b: dict[int, int] = {i: int(y[i]) for i in labeled_indices}
+        pool = [i for i in range(len(y)) if i not in set(labeled_indices)]
+        for _ in range(self.n_rounds):
+            self.model_a.fit(xa[sorted(train_a)], np.array([train_a[i] for i in sorted(train_a)]))
+            self.model_b.fit(xb[sorted(train_b)], np.array([train_b[i] for i in sorted(train_b)]))
+            self._teach(self.model_a, xa, pool, train_b)
+            self._teach(self.model_b, xb, pool, train_a)
+        self.model_a.fit(xa[sorted(train_a)], np.array([train_a[i] for i in sorted(train_a)]))
+        self.model_b.fit(xb[sorted(train_b)], np.array([train_b[i] for i in sorted(train_b)]))
+        return self
+
+    def _teach(
+        self,
+        teacher: CentroidClassifier,
+        teacher_view: np.ndarray,
+        pool: list[int],
+        student_train: dict[int, int],
+    ) -> None:
+        candidates = [i for i in pool if i not in student_train]
+        if not candidates:
+            return
+        preds, margins = teacher.predict_with_margin(teacher_view[candidates])
+        for o in np.argsort(-margins)[: self.per_round]:
+            student_train[candidates[int(o)]] = int(preds[int(o)])
+
+    def predict(self, view_a: np.ndarray, view_b: np.ndarray) -> np.ndarray:
+        """Joint prediction: the view with the larger margin decides."""
+        la, ma = self.model_a.predict_with_margin(np.asarray(view_a, dtype=float))
+        lb, mb = self.model_b.predict_with_margin(np.asarray(view_b, dtype=float))
+        return np.where(ma >= mb, la, lb)
+
+    def accuracy(self, view_a: np.ndarray, view_b: np.ndarray, y: np.ndarray) -> float:
+        """Joint-prediction accuracy on labeled data."""
+        return float(np.mean(self.predict(view_a, view_b) == np.asarray(y)))

@@ -1,0 +1,104 @@
+"""Multi-task learning for related spatial prediction tasks (Sec. 2.3.3,
+[83, 132]).
+
+Nguyen et al. [83] predict per-field yields with spatial-temporal
+multi-task learning: tasks (fields/regions) are related, so sharing
+statistical strength beats learning each alone when per-task data is
+scarce.  The linear instance:
+
+    w_task = w_shared + v_task
+    min sum_t ||X_t (w0 + v_t) - y_t||^2
+        + lambda0 ||w0||^2 + lambda1 sum_t ||v_t||^2
+
+solved by alternating least squares (each subproblem is a ridge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ridge import _design, rmse
+
+
+class MultiTaskRidge:
+    """Shared + per-task ridge, fitted by alternating least squares.
+
+    ``lambda0`` regularizes the shared component; ``lambda1`` the per-task
+    deviations — large ``lambda1`` collapses to one pooled model, small
+    ``lambda1`` to independent models.
+    """
+
+    def __init__(
+        self, lambda0: float = 1.0, lambda1: float = 10.0, n_iter: int = 20
+    ) -> None:
+        if lambda0 < 0 or lambda1 < 0:
+            raise ValueError("regularizers must be non-negative")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.lambda0 = lambda0
+        self.lambda1 = lambda1
+        self.n_iter = n_iter
+        self._w0: np.ndarray | None = None
+        self._v: dict[str, np.ndarray] = {}
+
+    def fit(
+        self, tasks: dict[str, tuple[np.ndarray, np.ndarray]]
+    ) -> "MultiTaskRidge":
+        """``tasks[name] = (X, y)``."""
+        if not tasks:
+            raise ValueError("need at least one task")
+        designs = {}
+        targets = {}
+        dim = None
+        for name, (x, y) in tasks.items():
+            d = _design(x)
+            y = np.asarray(y, dtype=float)
+            if len(d) != len(y):
+                raise ValueError(f"task {name}: features and targets must align")
+            if dim is None:
+                dim = d.shape[1]
+            elif d.shape[1] != dim:
+                raise ValueError("all tasks must share the feature dimension")
+            designs[name], targets[name] = d, y
+        assert dim is not None
+        w0 = np.zeros(dim)
+        v = {name: np.zeros(dim) for name in tasks}
+        reg0 = self.lambda0 * np.eye(dim)
+        reg0[-1, -1] = 0.0
+        reg1 = self.lambda1 * np.eye(dim)
+        for _ in range(self.n_iter):
+            # Shared step: ridge on pooled residuals.
+            a = sum(designs[n].T @ designs[n] for n in tasks) + reg0
+            b = sum(
+                designs[n].T @ (targets[n] - designs[n] @ v[n]) for n in tasks
+            )
+            w0 = np.linalg.solve(a, b)
+            # Per-task step.
+            for n in tasks:
+                a_t = designs[n].T @ designs[n] + reg1
+                b_t = designs[n].T @ (targets[n] - designs[n] @ w0)
+                v[n] = np.linalg.solve(a_t, b_t)
+        self._w0 = w0
+        self._v = v
+        return self
+
+    def predict(self, task: str, x: np.ndarray) -> np.ndarray:
+        """Predictions of one task's (shared + deviation) model."""
+        if self._w0 is None:
+            raise RuntimeError("call fit() first")
+        if task not in self._v:
+            raise KeyError(f"unknown task {task!r}")
+        return _design(x) @ (self._w0 + self._v[task])
+
+    def predict_shared(self, x: np.ndarray) -> np.ndarray:
+        """Prediction for an unseen task: the shared component alone."""
+        if self._w0 is None:
+            raise RuntimeError("call fit() first")
+        return _design(x) @ self._w0
+
+    def task_rmse(self, tasks: dict[str, tuple[np.ndarray, np.ndarray]]) -> float:
+        """Mean RMSE across held-out task data."""
+        scores = [
+            rmse(y, self.predict(name, x)) for name, (x, y) in tasks.items()
+        ]
+        return float(np.mean(scores))

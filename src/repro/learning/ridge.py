@@ -1,0 +1,47 @@
+"""Shared linear building blocks for the learning-paradigm modules.
+
+A tiny closed-form ridge regressor (with intercept) — the base learner that
+the transfer and multi-task modules compose.  Pure numpy; no external ML
+dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _design(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("features must be 2-D (n_samples, n_features)")
+    return np.column_stack([x, np.ones(len(x))])
+
+
+def fit_ridge(x: np.ndarray, y: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Closed-form ridge weights (last entry is the intercept).
+
+    The intercept is not regularized.
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    d = _design(x)
+    y = np.asarray(y, dtype=float)
+    if len(d) != len(y):
+        raise ValueError("features and targets must align")
+    reg = alpha * np.eye(d.shape[1])
+    reg[-1, -1] = 0.0  # free intercept
+    return np.linalg.solve(d.T @ d + reg, d.T @ y)
+
+
+def predict_ridge(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Predictions of a :func:`fit_ridge` model."""
+    return _design(x) @ np.asarray(weights, dtype=float)
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root-mean-square error between two aligned arrays."""
+    a = np.asarray(y_true, dtype=float)
+    b = np.asarray(y_pred, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("shapes differ")
+    return float(np.sqrt(np.mean((a - b) ** 2)))

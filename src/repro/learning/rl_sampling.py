@@ -1,0 +1,155 @@
+"""Reinforcement learning for adaptive device sampling (Sec. 2.3.3 / 2.4,
+[98, 99, 106]).
+
+The tutorial lists RL for "dynamics in sequential decision-making" — here
+the canonical IoT instance: a device chooses its *sampling interval*
+online.  Dense sampling wastes energy on calm signals; sparse sampling
+misses volatile episodes.  A tabular Q-learner over a volatility-bucket
+state learns to stretch the interval when the signal is calm and tighten
+it when it turns — beating every fixed interval.
+
+Semi-Markov detail: actions span different durations, so the learner uses
+the *per-time-step cost density* as its reward, not the raw per-decision
+cost (raw costs would bias it toward short skips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def regime_switching_signal(
+    rng: np.random.Generator,
+    n: int = 4000,
+    segment: int = 400,
+    calm_sigma: float = 0.02,
+    volatile_sigma: float = 1.0,
+) -> np.ndarray:
+    """A random walk alternating calm and volatile regimes every ``segment``."""
+    if n < 2 or segment < 1:
+        raise ValueError("need n >= 2 and segment >= 1")
+    values = np.empty(n)
+    v = 0.0
+    volatile = False
+    for i in range(n):
+        if i % segment == 0:
+            volatile = not volatile
+        v += rng.normal(0.0, volatile_sigma if volatile else calm_sigma)
+        values[i] = v
+    return values
+
+
+@dataclass
+class SamplingRun:
+    """Outcome of replaying a policy over one signal."""
+
+    total_cost: float
+    samples_taken: int
+
+
+class AdaptiveSamplingAgent:
+    """Tabular Q-learning over volatility states and skip-length actions.
+
+    * state: EMA of observed per-step change, bucketed into ``n_states``,
+    * action: the next sampling skip from ``actions``,
+    * cost: 1 per sample + ``err_penalty`` x max linear-interpolation error
+      over the skipped span; reward = −cost/skip (per-step density).
+    """
+
+    def __init__(
+        self,
+        actions: tuple[int, ...] = (1, 2, 4, 8),
+        n_states: int = 4,
+        err_penalty: float = 10.0,
+        state_scale: float = 0.15,
+        ema: float = 0.6,
+        alpha: float = 0.1,
+        gamma: float = 0.8,
+    ) -> None:
+        if not actions or min(actions) < 1:
+            raise ValueError("actions must be positive skip lengths")
+        if n_states < 2:
+            raise ValueError("need at least two states")
+        self.actions = tuple(actions)
+        self.n_states = n_states
+        self.err_penalty = err_penalty
+        self.state_scale = state_scale
+        self.ema = ema
+        self.alpha = alpha
+        self.gamma = gamma
+        self.q = np.zeros((n_states, len(actions)))
+
+    def _bucket(self, vol_ema: float) -> int:
+        return min(self.n_states - 1, int(vol_ema / self.state_scale))
+
+    def _episode(
+        self,
+        signal: np.ndarray,
+        rng: np.random.Generator | None,
+        epsilon: float,
+        learn: bool,
+        forced_action: int | None = None,
+    ) -> SamplingRun:
+        i, total, samples = 0, 0.0, 1  # first sample is free
+        vol_ema, state = 0.0, 0
+        n = len(signal)
+        while i < n - 1:
+            if forced_action is not None:
+                a = forced_action
+            elif rng is not None and rng.random() < epsilon:
+                a = int(rng.integers(len(self.actions)))
+            else:
+                a = int(np.argmax(self.q[state]))
+            skip = self.actions[a]
+            j = min(i + skip, n - 1)
+            xs = np.arange(i, j + 1)
+            interp = np.interp(xs, [i, j], [signal[i], signal[j]])
+            err = float(np.max(np.abs(interp - signal[i : j + 1])))
+            cost = 1.0 + self.err_penalty * err
+            total += cost
+            samples += 1
+            inst = abs(signal[j] - signal[i]) / skip + err / skip
+            vol_ema = self.ema * vol_ema + (1.0 - self.ema) * inst
+            next_state = self._bucket(vol_ema)
+            if learn:
+                density = cost / skip
+                target = -density + self.gamma * float(np.max(self.q[next_state]))
+                self.q[state, a] += self.alpha * (target - self.q[state, a])
+            state = next_state
+            i = j
+        return SamplingRun(total, samples)
+
+    def train(
+        self,
+        signals: list[np.ndarray],
+        rng: np.random.Generator,
+        n_episodes: int = 120,
+        epsilon_start: float = 0.6,
+        epsilon_min: float = 0.05,
+    ) -> "AdaptiveSamplingAgent":
+        """Epsilon-greedy Q-learning over the training signals."""
+        if not signals:
+            raise ValueError("need training signals")
+        decay_span = max(1, int(n_episodes * 0.75))
+        for ep in range(n_episodes):
+            eps = max(epsilon_min, epsilon_start * (1.0 - ep / decay_span))
+            self._episode(signals[ep % len(signals)], rng, eps, learn=True)
+        return self
+
+    def evaluate(self, signal: np.ndarray) -> SamplingRun:
+        """Replay the greedy policy (no exploration, no learning)."""
+        return self._episode(signal, None, 0.0, learn=False)
+
+    def evaluate_fixed(self, signal: np.ndarray, skip: int) -> SamplingRun:
+        """Baseline: a fixed sampling interval."""
+        if skip not in self.actions:
+            raise ValueError(f"skip {skip} not among actions {self.actions}")
+        return self._episode(
+            signal, None, 0.0, learn=False, forced_action=self.actions.index(skip)
+        )
+
+    def policy(self) -> list[int]:
+        """The learned skip per volatility state."""
+        return [self.actions[int(a)] for a in np.argmax(self.q, axis=1)]

@@ -1,0 +1,71 @@
+"""Transfer learning across regions (Sec. 2.3.3, [116]).
+
+Yao et al. [116] predict spatial-temporal variables in a data-poor target
+city by transferring knowledge from data-rich source cities.  The linear
+instance of that idea: fit the source model, then fit the target with a
+*proximal* penalty pulling its weights toward the source —
+
+    min ||X_t w - y_t||^2 + alpha ||w||^2 + beta ||w - w_source||^2
+
+With few target samples the source prior dominates (borrowed knowledge);
+with many, the data overrides it — exactly the bias/variance trade the
+tutorial describes for "limited availability and bias of data".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ridge import _design, fit_ridge, predict_ridge
+
+
+class TransferRidge:
+    """Ridge regression with a source-model proximal prior."""
+
+    def __init__(self, alpha: float = 1.0, beta: float = 10.0) -> None:
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        self.alpha = alpha
+        self.beta = beta
+        self._source_w: np.ndarray | None = None
+        self._w: np.ndarray | None = None
+
+    def fit_source(self, x: np.ndarray, y: np.ndarray) -> "TransferRidge":
+        """Learn the source-domain model (data-rich region)."""
+        self._source_w = fit_ridge(x, y, self.alpha)
+        return self
+
+    def fit_target(self, x: np.ndarray, y: np.ndarray) -> "TransferRidge":
+        """Adapt to the target domain with the proximal source prior."""
+        if self._source_w is None:
+            raise RuntimeError("call fit_source() first")
+        d = _design(x)
+        y = np.asarray(y, dtype=float)
+        if len(d) != len(y):
+            raise ValueError("features and targets must align")
+        if d.shape[1] != len(self._source_w):
+            raise ValueError("target features incompatible with the source model")
+        reg = (self.alpha + self.beta) * np.eye(d.shape[1])
+        reg[-1, -1] = self.beta  # intercept: only the proximal term
+        rhs = d.T @ y + self.beta * self._source_w
+        self._w = np.linalg.solve(d.T @ d + reg, rhs)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predictions of the adapted model (source model if not yet adapted)."""
+        if self._w is not None:
+            return predict_ridge(self._w, x)
+        if self._source_w is not None:  # zero-shot transfer
+            return predict_ridge(self._source_w, x)
+        raise RuntimeError("model not fitted")
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("call fit_target() first")
+        return self._w.copy()
+
+
+def target_only_ridge(x: np.ndarray, y: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """The no-transfer baseline: plain ridge on the target sample."""
+    return fit_ridge(x, y, alpha)

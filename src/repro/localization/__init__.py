@@ -1,0 +1,42 @@
+"""Location refinement (Sec. 2.2.1): ensemble, motion-based, collaborative."""
+
+from .collaborative import PeerRange, iterative_refine, joint_denoise, range_stress
+from .fingerprint import FingerprintLocalizer
+from .fusion import (
+    SourceEstimate,
+    inverse_variance_fusion,
+    median_fusion,
+    reliability_weighted_fusion,
+)
+from .hmm import GridHMM
+from .kalman import KalmanFilter2D, KalmanResult, kalman_refine
+from .particle import (
+    ParticleFilter2D,
+    particle_refine,
+    position_likelihood,
+    range_likelihood,
+)
+from .trilateration import gauss_newton, linear_least_squares, residual_rms
+
+__all__ = [
+    "PeerRange",
+    "iterative_refine",
+    "joint_denoise",
+    "range_stress",
+    "FingerprintLocalizer",
+    "SourceEstimate",
+    "inverse_variance_fusion",
+    "median_fusion",
+    "reliability_weighted_fusion",
+    "GridHMM",
+    "KalmanFilter2D",
+    "KalmanResult",
+    "kalman_refine",
+    "ParticleFilter2D",
+    "particle_refine",
+    "position_likelihood",
+    "range_likelihood",
+    "gauss_newton",
+    "linear_least_squares",
+    "residual_rms",
+]

@@ -1,0 +1,104 @@
+"""Collaborative LR — refining many objects' positions together (Sec. 2.2.1).
+
+The tutorial identifies two sub-families:
+
+* **Joint denoising** [127]: assume a *systematic* error shared by all
+  objects observed through the same infrastructure, estimate it under a
+  statistical hypothesis and subtract it.  Implemented here with reference
+  tags: stationary objects of known position whose apparent displacement at
+  each epoch estimates the common bias.
+* **Iterative optimization** [24]: assume *random* per-object errors and
+  refine a batch of positions so they agree with inter-object distance
+  measurements (peer ranging), by iterative least squares — each iteration
+  reduces the residual stress, pulling the batch toward geometric
+  consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import Point
+
+
+@dataclass(frozen=True)
+class PeerRange:
+    """A measured distance between objects ``i`` and ``j`` (batch indices)."""
+
+    i: int
+    j: int
+    distance: float
+
+
+def joint_denoise(
+    observed: list[Point],
+    reference_indices: list[int],
+    reference_truth: list[Point],
+) -> list[Point]:
+    """Remove the systematic offset estimated from reference objects.
+
+    ``observed`` holds every object's measured position at one epoch;
+    ``reference_indices`` name the objects whose true positions
+    (``reference_truth``) are known.  The common bias is the mean apparent
+    displacement of the references; all positions are corrected by it.
+    """
+    if len(reference_indices) != len(reference_truth):
+        raise ValueError("reference indices and truths must align")
+    if not reference_indices:
+        raise ValueError("need at least one reference object")
+    dx = float(
+        np.mean([observed[i].x - t.x for i, t in zip(reference_indices, reference_truth)])
+    )
+    dy = float(
+        np.mean([observed[i].y - t.y for i, t in zip(reference_indices, reference_truth)])
+    )
+    return [Point(p.x - dx, p.y - dy) for p in observed]
+
+
+def iterative_refine(
+    observed: list[Point],
+    peer_ranges: list[PeerRange],
+    anchor_weight: float = 0.5,
+    n_iter: int = 50,
+    step: float = 0.5,
+) -> list[Point]:
+    """Batch refinement against peer-range measurements.
+
+    Minimizes ``sum_pairs (||p_i - p_j|| - d_ij)^2 +
+    anchor_weight * sum_i ||p_i - obs_i||^2`` by damped gradient descent.
+    The anchor term keeps the solution in the observed frame (peer ranges
+    alone fix geometry only up to rigid motion).
+    """
+    n = len(observed)
+    for r in peer_ranges:
+        if not (0 <= r.i < n and 0 <= r.j < n) or r.i == r.j:
+            raise ValueError(f"bad peer range indices ({r.i}, {r.j})")
+        if r.distance < 0:
+            raise ValueError("negative measured distance")
+    pos = np.array([[p.x, p.y] for p in observed], dtype=float)
+    obs = pos.copy()
+    for _ in range(n_iter):
+        grad = 2.0 * anchor_weight * (pos - obs)
+        for r in peer_ranges:
+            diff = pos[r.i] - pos[r.j]
+            dist = float(np.linalg.norm(diff))
+            if dist < 1e-9:
+                continue
+            coeff = 2.0 * (dist - r.distance) / dist
+            grad[r.i] += coeff * diff
+            grad[r.j] -= coeff * diff
+        pos -= step * grad / max(1.0, len(peer_ranges))
+    return [Point(float(x), float(y)) for x, y in pos]
+
+
+def range_stress(positions: list[Point], peer_ranges: list[PeerRange]) -> float:
+    """Mean squared disagreement between positions and measured peer ranges."""
+    if not peer_ranges:
+        return 0.0
+    res = [
+        (positions[r.i].distance_to(positions[r.j]) - r.distance) ** 2
+        for r in peer_ranges
+    ]
+    return float(np.mean(res))

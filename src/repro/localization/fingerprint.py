@@ -1,0 +1,58 @@
+"""Fingerprint positioning — single-source Ensemble LR (Sec. 2.2.1, [31]).
+
+Weighted k-nearest-neighbor (WkNN) matching of an observed RSSI vector
+against an offline radio map.  The *ensemble* aspect: the positioning
+function produces a set of candidate results (the k matched reference
+points), which are aggregated — here by inverse-signal-distance weighting —
+into the final estimate.  The full candidate set is also exposed as a
+:class:`~repro.core.uncertain.DiscreteLocation` so downstream probabilistic
+query processing can keep the uncertainty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..core.uncertain import DiscreteLocation
+from ..synth.sensors import RadioMap
+
+
+class FingerprintLocalizer:
+    """WkNN positioning over a surveyed radio map."""
+
+    def __init__(self, radio_map: RadioMap, k: int = 4) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > len(radio_map):
+            raise ValueError("k exceeds number of reference points")
+        self.radio_map = radio_map
+        self.k = k
+
+    def candidates(self, rssi: np.ndarray) -> DiscreteLocation:
+        """The k best-matching reference points with normalized weights.
+
+        Weight of candidate i is ``1 / (eps + d_i)`` where ``d_i`` is the
+        Euclidean distance in signal space.
+        """
+        rssi = np.asarray(rssi, dtype=float)
+        if rssi.shape != (self.radio_map.fingerprints.shape[1],):
+            raise ValueError(
+                f"observation has {rssi.shape} entries, map expects "
+                f"{self.radio_map.fingerprints.shape[1]}"
+            )
+        dists = np.linalg.norm(self.radio_map.fingerprints - rssi, axis=1)
+        order = np.argsort(dists)[: self.k]
+        weights = 1.0 / (1e-6 + dists[order])
+        points = tuple(self.radio_map.reference_points[i] for i in order)
+        return DiscreteLocation(points, tuple(float(w) for w in weights))
+
+    def estimate(self, rssi: np.ndarray) -> Point:
+        """Point estimate: the weighted centroid of the k candidates."""
+        return self.candidates(rssi).mean()
+
+    def estimate_nn(self, rssi: np.ndarray) -> Point:
+        """Plain nearest-neighbor baseline (k = 1, no aggregation)."""
+        rssi = np.asarray(rssi, dtype=float)
+        dists = np.linalg.norm(self.radio_map.fingerprints - rssi, axis=1)
+        return self.radio_map.reference_points[int(np.argmin(dists))]

@@ -1,0 +1,80 @@
+"""Multi-source location fusion — the fusing step of Ensemble LR (Sec. 2.2.1).
+
+Combines position estimates produced by *independent positioning processes*
+(e.g. fingerprinting + trilateration + dead reckoning) into a single, more
+accurate estimate.  The optimal combination under Gaussian errors is
+inverse-variance weighting; a covariance-free fallback weights sources by a
+caller-provided reliability score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..core.uncertain import GaussianLocation
+
+
+@dataclass(frozen=True)
+class SourceEstimate:
+    """One positioning process's output: a point and its error std-dev (m)."""
+
+    source: str
+    position: Point
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+
+def inverse_variance_fusion(estimates: list[SourceEstimate]) -> GaussianLocation:
+    """Fuse independent Gaussian estimates by inverse-variance weighting.
+
+    The fused mean is the precision-weighted average; the fused variance is
+    the harmonic combination ``1 / sum(1/sigma_i^2)`` — never larger than
+    the best single source, which is the formal version of the tutorial's
+    claim that multi-source methods "fuse results for more accurate
+    location".
+    """
+    if not estimates:
+        raise ValueError("need at least one estimate")
+    precisions = np.array([1.0 / e.sigma**2 for e in estimates])
+    total = precisions.sum()
+    x = sum(p * e.position.x for p, e in zip(precisions, estimates)) / total
+    y = sum(p * e.position.y for p, e in zip(precisions, estimates)) / total
+    fused_sigma = float(np.sqrt(1.0 / total))
+    return GaussianLocation(Point(float(x), float(y)), fused_sigma)
+
+
+def reliability_weighted_fusion(
+    positions: list[Point], reliabilities: list[float]
+) -> Point:
+    """Covariance-free fusion: weighted centroid by reliability scores.
+
+    Used when sources report a quality score (e.g. residual RMS inverted)
+    rather than a calibrated variance.
+    """
+    if len(positions) != len(reliabilities):
+        raise ValueError("positions and reliabilities must align")
+    if not positions:
+        raise ValueError("need at least one position")
+    w = np.asarray(reliabilities, dtype=float)
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("reliabilities must be non-negative with positive sum")
+    w = w / w.sum()
+    x = float(sum(wi * p.x for wi, p in zip(w, positions)))
+    y = float(sum(wi * p.y for wi, p in zip(w, positions)))
+    return Point(x, y)
+
+
+def median_fusion(positions: list[Point]) -> Point:
+    """Component-wise median — a robust fusion baseline for outlier sources."""
+    if not positions:
+        raise ValueError("need at least one position")
+    return Point(
+        float(np.median([p.x for p in positions])),
+        float(np.median([p.y for p in positions])),
+    )

@@ -1,0 +1,150 @@
+"""Grid HMM tracking — motion-based LR via probabilistic graph models
+(Sec. 2.2.1, [30]; the Markov-grid machinery is reused by predictive
+uncertain queries [129]).
+
+Space is discretized into grid cells; the object's cell sequence is a
+first-order Markov chain whose transitions favor staying or moving to
+adjacent cells within a speed budget.  Observations are noisy positions with
+Gaussian emission around cell centers.  Viterbi decoding returns the most
+probable cell path; the forward algorithm returns per-step posteriors for
+uncertainty-aware consumers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.geometry import BBox, Point
+from ..core.trajectory import Trajectory, TrajectoryPoint
+from ..core.uncertain import DiscreteLocation
+
+_LOG_EPS = -1e18
+
+
+class GridHMM:
+    """First-order Markov model over a regular spatial grid."""
+
+    def __init__(
+        self,
+        bbox: BBox,
+        cell_size: float,
+        max_speed: float,
+        emission_sigma: float,
+    ) -> None:
+        if cell_size <= 0 or max_speed <= 0 or emission_sigma <= 0:
+            raise ValueError("cell_size, max_speed, emission_sigma must be positive")
+        self.bbox = bbox
+        self.cell_size = cell_size
+        self.max_speed = max_speed
+        self.emission_sigma = emission_sigma
+        self.nx = max(1, int(math.ceil(bbox.width / cell_size)))
+        self.ny = max(1, int(math.ceil(bbox.height / cell_size)))
+        self.n_cells = self.nx * self.ny
+        centers_x = bbox.min_x + (np.arange(self.nx) + 0.5) * cell_size
+        centers_y = bbox.min_y + (np.arange(self.ny) + 0.5) * cell_size
+        gx, gy = np.meshgrid(centers_x, centers_y)
+        self._centers = np.column_stack([gx.ravel(), gy.ravel()])  # (n_cells, 2)
+
+    # -- model pieces -----------------------------------------------------------
+
+    def cell_center(self, cell: int) -> Point:
+        """Planar center of grid cell ``cell``."""
+        return Point(float(self._centers[cell, 0]), float(self._centers[cell, 1]))
+
+    def _log_emissions(self, obs: np.ndarray) -> np.ndarray:
+        """(T, n_cells) log N(obs_t | center_c, sigma^2 I)."""
+        d2 = (
+            (obs[:, None, 0] - self._centers[None, :, 0]) ** 2
+            + (obs[:, None, 1] - self._centers[None, :, 1]) ** 2
+        )
+        return -0.5 * d2 / self.emission_sigma**2
+
+    def _reachable(self, dt: float) -> np.ndarray:
+        """(n_cells, n_cells) log transition matrix for a step of ``dt``.
+
+        Uniform over cells within ``max_speed * dt`` (plus one cell of
+        slack), log-eps elsewhere — the spatial-constraint prior.
+        """
+        radius = self.max_speed * max(dt, 1e-9) + self.cell_size
+        d = np.hypot(
+            self._centers[:, None, 0] - self._centers[None, :, 0],
+            self._centers[:, None, 1] - self._centers[None, :, 1],
+        )
+        ok = d <= radius
+        with np.errstate(divide="ignore"):
+            logp = np.where(ok, 0.0, _LOG_EPS)
+        # Normalize rows (uniform over reachable set).
+        counts = ok.sum(axis=1, keepdims=True)
+        logp = logp - np.log(np.maximum(counts, 1))
+        return logp
+
+    # -- inference -----------------------------------------------------------------
+
+    def viterbi(self, traj: Trajectory) -> list[int]:
+        """Most probable cell sequence for the observed trajectory."""
+        if len(traj) == 0:
+            raise ValueError("empty trajectory")
+        obs = traj.as_xyt()
+        log_b = self._log_emissions(obs[:, :2])
+        t_steps = len(traj)
+        delta = log_b[0] - math.log(self.n_cells)
+        back = np.zeros((t_steps, self.n_cells), dtype=int)
+        for t in range(1, t_steps):
+            dt = float(obs[t, 2] - obs[t - 1, 2])
+            log_a = self._reachable(dt)
+            scores = delta[:, None] + log_a
+            back[t] = np.argmax(scores, axis=0)
+            delta = scores[back[t], np.arange(self.n_cells)] + log_b[t]
+        path = [int(np.argmax(delta))]
+        for t in range(t_steps - 1, 0, -1):
+            path.append(int(back[t, path[-1]]))
+        path.reverse()
+        return path
+
+    def forward_posteriors(self, traj: Trajectory) -> np.ndarray:
+        """(T, n_cells) filtering posteriors P(cell_t | obs_1..t)."""
+        obs = traj.as_xyt()
+        log_b = self._log_emissions(obs[:, :2])
+        alpha = _normalize_log(log_b[0] - math.log(self.n_cells))
+        out = [alpha]
+        for t in range(1, len(traj)):
+            dt = float(obs[t, 2] - obs[t - 1, 2])
+            log_a = self._reachable(dt)
+            pred = _log_matvec(log_a, out[-1])
+            out.append(_normalize_log(pred + log_b[t]))
+        return np.exp(np.stack(out))
+
+    def refine(self, traj: Trajectory) -> Trajectory:
+        """Refined trajectory through the Viterbi cell centers."""
+        path = self.viterbi(traj)
+        return Trajectory(
+            [
+                TrajectoryPoint(*self.cell_center(c), p.t)
+                for c, p in zip(path, traj.points)
+            ],
+            traj.object_id,
+        )
+
+    def posterior_location(self, traj: Trajectory, step: int) -> DiscreteLocation:
+        """Per-step posterior as a discrete pdf over cell centers."""
+        post = self.forward_posteriors(traj)[step]
+        keep = post > 1e-6
+        pts = tuple(
+            Point(float(x), float(y)) for x, y in self._centers[keep]
+        )
+        return DiscreteLocation(pts, tuple(float(w) for w in post[keep]))
+
+
+def _normalize_log(logp: np.ndarray) -> np.ndarray:
+    m = logp.max()
+    p = np.exp(logp - m)
+    return np.log(p / p.sum()) + 0.0  # normalized log-probabilities
+
+
+def _log_matvec(log_a: np.ndarray, log_v: np.ndarray) -> np.ndarray:
+    """log(sum_i exp(log_v_i + log_a_ij)) for each j, stably."""
+    s = log_v[:, None] + log_a
+    m = s.max(axis=0)
+    return m + np.log(np.exp(s - m[None, :]).sum(axis=0))

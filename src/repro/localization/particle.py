@@ -1,0 +1,166 @@
+"""Particle filtering — motion-based LR for non-Gaussian settings
+(Sec. 2.2.1; also the engine behind particle-based uncertain queries [118]).
+
+A sequential Monte-Carlo tracker with a random-walk-with-velocity motion
+model and a pluggable observation likelihood.  Two ready-made likelihoods:
+
+* :func:`position_likelihood` — Gaussian around an observed position,
+* :func:`range_likelihood` — product of Gaussians over anchor ranges, which
+  lets the filter consume raw ranging measurements directly (no
+  intermediate trilateration fix).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.geometry import BBox, Point
+from ..core.trajectory import Trajectory, TrajectoryPoint
+from ..core.uncertain import DiscreteLocation
+from ..synth.sensors import RangingObservation
+
+Likelihood = Callable[[np.ndarray], np.ndarray]
+"""Maps an (n, 2) array of particle positions to unnormalized weights."""
+
+
+def position_likelihood(observed: Point, sigma: float) -> Likelihood:
+    """Gaussian likelihood of particles given a noisy position observation."""
+
+    def fn(particles: np.ndarray) -> np.ndarray:
+        d2 = (particles[:, 0] - observed.x) ** 2 + (particles[:, 1] - observed.y) ** 2
+        return np.exp(-0.5 * d2 / sigma**2)
+
+    return fn
+
+
+def range_likelihood(
+    observations: Sequence[RangingObservation], sigma: float
+) -> Likelihood:
+    """Joint Gaussian likelihood over several anchor-range measurements."""
+
+    def fn(particles: np.ndarray) -> np.ndarray:
+        log_w = np.zeros(len(particles))
+        for obs in observations:
+            d = np.hypot(
+                particles[:, 0] - obs.anchor.x, particles[:, 1] - obs.anchor.y
+            )
+            log_w += -0.5 * ((d - obs.distance) / sigma) ** 2
+        log_w -= log_w.max()
+        return np.exp(log_w)
+
+    return fn
+
+
+class ParticleFilter2D:
+    """SIR particle filter with velocity-propagating particles.
+
+    Particle state is ``[x, y, vx, vy]``; systematic resampling keeps the
+    effective sample size above ``resample_threshold * n_particles``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_particles: int = 500,
+        process_sigma: float = 1.0,
+        velocity_sigma: float = 1.0,
+        resample_threshold: float = 0.5,
+    ) -> None:
+        if n_particles < 2:
+            raise ValueError("need at least 2 particles")
+        self.rng = rng
+        self.n = n_particles
+        self.process_sigma = process_sigma
+        self.velocity_sigma = velocity_sigma
+        self.resample_threshold = resample_threshold
+        self.particles: np.ndarray | None = None
+        self.weights: np.ndarray | None = None
+
+    def initialize(self, region: BBox) -> None:
+        """Spread particles uniformly over ``region`` with zero velocity."""
+        xs = self.rng.uniform(region.min_x, region.max_x, self.n)
+        ys = self.rng.uniform(region.min_y, region.max_y, self.n)
+        self.particles = np.column_stack([xs, ys, np.zeros(self.n), np.zeros(self.n)])
+        self.weights = np.full(self.n, 1.0 / self.n)
+
+    def initialize_at(self, p: Point, sigma: float) -> None:
+        """Spread particles as a Gaussian cloud around a known start."""
+        xy = self.rng.normal([p.x, p.y], sigma, size=(self.n, 2))
+        self.particles = np.column_stack([xy, np.zeros((self.n, 2))])
+        self.weights = np.full(self.n, 1.0 / self.n)
+
+    def predict(self, dt: float) -> None:
+        """Propagate particles by their velocity plus process noise."""
+        self._require_init()
+        p = self.particles
+        p[:, 0] += p[:, 2] * dt + self.rng.normal(0, self.process_sigma, self.n)
+        p[:, 1] += p[:, 3] * dt + self.rng.normal(0, self.process_sigma, self.n)
+        p[:, 2] += self.rng.normal(0, self.velocity_sigma, self.n)
+        p[:, 3] += self.rng.normal(0, self.velocity_sigma, self.n)
+
+    def update(self, likelihood: Likelihood) -> None:
+        """Reweight by the observation likelihood and resample if degenerate."""
+        self._require_init()
+        w = self.weights * likelihood(self.particles[:, :2])
+        total = w.sum()
+        if total <= 0 or not np.isfinite(total):
+            # Observation killed all particles: reset weights, keep spread.
+            w = np.full(self.n, 1.0 / self.n)
+        else:
+            w = w / total
+        self.weights = w
+        ess = 1.0 / float(np.sum(w**2))
+        if ess < self.resample_threshold * self.n:
+            self._systematic_resample()
+
+    def _systematic_resample(self) -> None:
+        positions = (self.rng.random() + np.arange(self.n)) / self.n
+        cumulative = np.cumsum(self.weights)
+        cumulative[-1] = 1.0
+        idx = np.searchsorted(cumulative, positions)
+        self.particles = self.particles[idx]
+        self.weights = np.full(self.n, 1.0 / self.n)
+
+    def estimate(self) -> Point:
+        """Weighted-mean position estimate."""
+        self._require_init()
+        x = float(np.average(self.particles[:, 0], weights=self.weights))
+        y = float(np.average(self.particles[:, 1], weights=self.weights))
+        return Point(x, y)
+
+    def posterior(self, max_samples: int = 100) -> DiscreteLocation:
+        """The particle cloud as a discrete pdf (subsampled for compactness)."""
+        self._require_init()
+        idx = np.argsort(self.weights)[::-1][:max_samples]
+        pts = tuple(Point(float(px), float(py)) for px, py in self.particles[idx, :2])
+        return DiscreteLocation(pts, tuple(float(w) for w in self.weights[idx]))
+
+    def _require_init(self) -> None:
+        if self.particles is None or self.weights is None:
+            raise RuntimeError("call initialize()/initialize_at() first")
+
+
+def particle_refine(
+    traj: Trajectory,
+    rng: np.random.Generator,
+    measurement_sigma: float = 5.0,
+    n_particles: int = 500,
+    process_sigma: float = 2.0,
+) -> Trajectory:
+    """Refine a noisy position trajectory with a particle filter."""
+    if len(traj) == 0:
+        raise ValueError("empty trajectory")
+    pf = ParticleFilter2D(rng, n_particles, process_sigma)
+    first = traj[0]
+    pf.initialize_at(first.point, measurement_sigma)
+    out = [TrajectoryPoint(*pf.estimate(), first.t)]
+    prev_t = first.t
+    for p in traj.points[1:]:
+        pf.predict(p.t - prev_t)
+        pf.update(position_likelihood(p.point, measurement_sigma))
+        est = pf.estimate()
+        out.append(TrajectoryPoint(est.x, est.y, p.t))
+        prev_t = p.t
+    return Trajectory(out, traj.object_id)

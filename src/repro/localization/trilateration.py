@@ -1,0 +1,90 @@
+"""Range-based positioning — multi-source Ensemble LR (Sec. 2.2.1, [21]).
+
+Estimates a position from distance measurements to known anchors
+(ToF/ToA/RSSI-ranging).  Two solvers are provided:
+
+* :func:`linear_least_squares` — the classical linearization obtained by
+  subtracting one range equation from the others (closed form, fast, less
+  robust to noise),
+* :func:`gauss_newton` — iterative nonlinear least squares with optional
+  per-measurement weights, the "weighted least squares" fusion of [21].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..synth.sensors import RangingObservation
+
+
+def linear_least_squares(observations: list[RangingObservation]) -> Point:
+    """Closed-form trilateration by linearizing against the last anchor."""
+    if len(observations) < 3:
+        raise ValueError("need at least 3 ranges for a 2-D fix")
+    ref = observations[-1]
+    xr, yr, dr = ref.anchor.x, ref.anchor.y, ref.distance
+    rows, rhs = [], []
+    for obs in observations[:-1]:
+        xi, yi, di = obs.anchor.x, obs.anchor.y, obs.distance
+        rows.append([2.0 * (xi - xr), 2.0 * (yi - yr)])
+        rhs.append(xi**2 - xr**2 + yi**2 - yr**2 + dr**2 - di**2)
+    a = np.array(rows)
+    b = np.array(rhs)
+    sol, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return Point(float(sol[0]), float(sol[1]))
+
+
+def gauss_newton(
+    observations: list[RangingObservation],
+    weights: np.ndarray | None = None,
+    initial: Point | None = None,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+) -> Point:
+    """Weighted nonlinear least-squares position fix.
+
+    Minimizes ``sum_i w_i (||p - a_i|| - d_i)^2`` starting from ``initial``
+    (default: the linear solution, falling back to the anchor centroid).
+    """
+    if len(observations) < 3:
+        raise ValueError("need at least 3 ranges for a 2-D fix")
+    if weights is None:
+        weights = np.ones(len(observations))
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (len(observations),):
+        raise ValueError("one weight per observation required")
+    if initial is None:
+        try:
+            initial = linear_least_squares(observations)
+        except np.linalg.LinAlgError:
+            initial = Point(
+                float(np.mean([o.anchor.x for o in observations])),
+                float(np.mean([o.anchor.y for o in observations])),
+            )
+    p = np.array([initial.x, initial.y], dtype=float)
+    anchors = np.array([[o.anchor.x, o.anchor.y] for o in observations])
+    dists = np.array([o.distance for o in observations])
+    for _ in range(max_iter):
+        delta = p[None, :] - anchors
+        ranges = np.linalg.norm(delta, axis=1)
+        ranges = np.maximum(ranges, 1e-9)
+        residuals = ranges - dists
+        jac = delta / ranges[:, None]
+        w = weights[:, None]
+        jtj = jac.T @ (w * jac)
+        jtr = jac.T @ (weights * residuals)
+        try:
+            step = np.linalg.solve(jtj, jtr)
+        except np.linalg.LinAlgError:
+            break
+        p = p - step
+        if float(np.linalg.norm(step)) < tol:
+            break
+    return Point(float(p[0]), float(p[1]))
+
+
+def residual_rms(observations: list[RangingObservation], p: Point) -> float:
+    """RMS of range residuals at ``p`` — a self-estimate of fix quality."""
+    res = [p.distance_to(o.anchor) - o.distance for o in observations]
+    return float(np.sqrt(np.mean(np.square(res))))

@@ -1,0 +1,104 @@
+"""Queries over low-quality SID (Sec. 2.3.1)."""
+
+from .distributed import (
+    Partition,
+    PartitionedStore,
+    grid_partition,
+    kd_partition,
+    load_imbalance,
+    skewed_points,
+)
+from .index import (
+    GridIndex,
+    IndexEntry,
+    RTree,
+    brute_force_knn,
+    brute_force_range,
+    build_entries,
+)
+from .probabilistic import (
+    KnnResult,
+    QueryStats,
+    expected_distance_knn,
+    probabilistic_bbox_query,
+    probabilistic_knn,
+    probabilistic_range_query,
+    probabilistic_range_query_naive,
+)
+from .aggregates import (
+    count_distribution,
+    count_variance,
+    expected_count,
+    membership_probabilities,
+    prob_count_at_least,
+    probabilistic_count_query,
+)
+from .out_of_order import (
+    StreamEvent,
+    WatermarkAggregator,
+    WindowResult,
+    run_stream,
+)
+from .predictive import GridMobilityModel, predictive_range_query
+from .privacy import (
+    GridShuffleScheme,
+    OutsourcedStore,
+    PrivateQueryClient,
+    TransformedPoint,
+    distance_leakage,
+)
+from .streams import MonitorStats, NaiveRangeMonitor, SafeRegionRangeMonitor
+from .uncertain_trajectory import (
+    Bead,
+    MarkovBridge,
+    alibi_query,
+    bead_at,
+    uniform_disk_at,
+)
+
+__all__ = [
+    "count_distribution",
+    "count_variance",
+    "expected_count",
+    "membership_probabilities",
+    "prob_count_at_least",
+    "probabilistic_count_query",
+    "GridMobilityModel",
+    "predictive_range_query",
+    "Partition",
+    "PartitionedStore",
+    "grid_partition",
+    "kd_partition",
+    "load_imbalance",
+    "skewed_points",
+    "GridIndex",
+    "IndexEntry",
+    "RTree",
+    "brute_force_knn",
+    "brute_force_range",
+    "build_entries",
+    "KnnResult",
+    "QueryStats",
+    "expected_distance_knn",
+    "probabilistic_bbox_query",
+    "probabilistic_knn",
+    "probabilistic_range_query",
+    "probabilistic_range_query_naive",
+    "StreamEvent",
+    "WatermarkAggregator",
+    "WindowResult",
+    "run_stream",
+    "GridShuffleScheme",
+    "OutsourcedStore",
+    "PrivateQueryClient",
+    "TransformedPoint",
+    "distance_leakage",
+    "MonitorStats",
+    "NaiveRangeMonitor",
+    "SafeRegionRangeMonitor",
+    "Bead",
+    "MarkovBridge",
+    "alibi_query",
+    "bead_at",
+    "uniform_disk_at",
+]

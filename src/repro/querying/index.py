@@ -1,0 +1,219 @@
+"""Spatial indexes for query processing over massive SID (Sec. 2.3.1).
+
+Pure-Python implementations of the two workhorse access methods:
+
+* :class:`GridIndex` — a uniform grid for point data (cheap build, good for
+  uniform distributions),
+* :class:`RTree` — an STR-bulk-loaded R-tree with best-first kNN (robust to
+  skew),
+* :func:`brute_force_range` / :func:`brute_force_knn` — the baselines every
+  index is validated against in the property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox, Point
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """An indexed item: a point with the caller's payload id."""
+
+    point: Point
+    item_id: int
+
+
+def brute_force_range(entries: list[IndexEntry], center: Point, radius: float) -> list[int]:
+    """All item ids within ``radius`` of ``center`` (linear scan)."""
+    return [e.item_id for e in entries if e.point.distance_to(center) <= radius]
+
+
+def brute_force_knn(entries: list[IndexEntry], center: Point, k: int) -> list[int]:
+    """Ids of the k nearest items (linear scan)."""
+    ranked = sorted(entries, key=lambda e: e.point.distance_to(center))
+    return [e.item_id for e in ranked[:k]]
+
+
+class GridIndex:
+    """Uniform grid over a fixed region; cells hold entry lists."""
+
+    def __init__(self, region: BBox, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.region = region
+        self.cell_size = cell_size
+        self.nx = max(1, int(math.ceil(region.width / cell_size)))
+        self.ny = max(1, int(math.ceil(region.height / cell_size)))
+        self._cells: dict[tuple[int, int], list[IndexEntry]] = {}
+        self._count = 0
+
+    def _cell_of(self, p: Point) -> tuple[int, int]:
+        xi = min(self.nx - 1, max(0, int((p.x - self.region.min_x) / self.cell_size)))
+        yi = min(self.ny - 1, max(0, int((p.y - self.region.min_y) / self.cell_size)))
+        return xi, yi
+
+    def insert(self, entry: IndexEntry) -> None:
+        """Add one entry to its cell's bucket."""
+        self._cells.setdefault(self._cell_of(entry.point), []).append(entry)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def range_query(self, center: Point, radius: float) -> list[int]:
+        """Ids within the disk; visits only cells overlapping its bbox."""
+        x0 = int((center.x - radius - self.region.min_x) / self.cell_size)
+        x1 = int((center.x + radius - self.region.min_x) / self.cell_size)
+        y0 = int((center.y - radius - self.region.min_y) / self.cell_size)
+        y1 = int((center.y + radius - self.region.min_y) / self.cell_size)
+        out = []
+        for xi in range(max(0, x0), min(self.nx - 1, x1) + 1):
+            for yi in range(max(0, y0), min(self.ny - 1, y1) + 1):
+                for e in self._cells.get((xi, yi), []):
+                    if e.point.distance_to(center) <= radius:
+                        out.append(e.item_id)
+        return out
+
+    def knn(self, center: Point, k: int) -> list[int]:
+        """k nearest by ring expansion around the query cell."""
+        if self._count == 0 or k < 1:
+            return []
+        cx, cy = self._cell_of(center)
+        best: list[tuple[float, int]] = []
+        ring = 0
+        max_ring = max(self.nx, self.ny)
+        while ring <= max_ring:
+            found_any = False
+            for xi in range(cx - ring, cx + ring + 1):
+                for yi in range(cy - ring, cy + ring + 1):
+                    if max(abs(xi - cx), abs(yi - cy)) != ring:
+                        continue
+                    if not (0 <= xi < self.nx and 0 <= yi < self.ny):
+                        continue
+                    for e in self._cells.get((xi, yi), []):
+                        found_any = True
+                        heapq.heappush(best, (-e.point.distance_to(center), e.item_id))
+                        if len(best) > k:
+                            heapq.heappop(best)
+            # Stop when the k-th distance is closed by the explored rings.
+            if len(best) >= k:
+                kth = -best[0][0]
+                if kth <= ring * self.cell_size:
+                    break
+            if not found_any and len(best) >= k:
+                break
+            ring += 1
+        return [item for _, item in sorted(((-d, i) for d, i in best))]
+
+
+class _Node:
+    __slots__ = ("bbox", "children", "entries")
+
+    def __init__(self, bbox: BBox, children: list["_Node"] | None, entries: list[IndexEntry] | None):
+        self.bbox = bbox
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class RTree:
+    """STR (Sort-Tile-Recursive) bulk-loaded R-tree."""
+
+    def __init__(self, entries: list[IndexEntry], leaf_capacity: int = 16) -> None:
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be >= 2")
+        self.leaf_capacity = leaf_capacity
+        self._size = len(entries)
+        self.root = self._bulk_load(list(entries)) if entries else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bulk_load(self, entries: list[IndexEntry]) -> _Node:
+        # Build leaves via STR tiling.
+        n = len(entries)
+        cap = self.leaf_capacity
+        n_leaves = math.ceil(n / cap)
+        n_slices = max(1, math.ceil(math.sqrt(n_leaves)))
+        entries.sort(key=lambda e: e.point.x)
+        slice_size = math.ceil(n / n_slices)
+        leaves: list[_Node] = []
+        for i in range(0, n, slice_size):
+            strip = sorted(entries[i : i + slice_size], key=lambda e: e.point.y)
+            for j in range(0, len(strip), cap):
+                chunk = strip[j : j + cap]
+                bbox = BBox.from_points(e.point for e in chunk)
+                leaves.append(_Node(bbox, None, chunk))
+        # Pack upward until a single root remains.
+        level = leaves
+        while len(level) > 1:
+            level.sort(key=lambda nd: (nd.bbox.center.x, nd.bbox.center.y))
+            parents = []
+            for i in range(0, len(level), cap):
+                chunk = level[i : i + cap]
+                bbox = chunk[0].bbox
+                for nd in chunk[1:]:
+                    bbox = bbox.union(nd.bbox)
+                parents.append(_Node(bbox, chunk, None))
+            level = parents
+        return level[0]
+
+    def range_query(self, center: Point, radius: float) -> list[int]:
+        """Ids within the disk, pruning subtrees by bbox min-distance."""
+        if self.root is None:
+            return []
+        out: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.bbox.min_distance_to(center) > radius:
+                continue
+            if node.is_leaf:
+                for e in node.entries:  # type: ignore[union-attr]
+                    if e.point.distance_to(center) <= radius:
+                        out.append(e.item_id)
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return out
+
+    def knn(self, center: Point, k: int) -> list[int]:
+        """Best-first kNN over the tree (Hjaltason-Samet)."""
+        if self.root is None or k < 1:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, object]] = [
+            (self.root.bbox.min_distance_to(center), next(counter), self.root)
+        ]
+        out: list[int] = []
+        while heap and len(out) < k:
+            dist, _, obj = heapq.heappop(heap)
+            if isinstance(obj, _Node):
+                if obj.is_leaf:
+                    for e in obj.entries:  # type: ignore[union-attr]
+                        heapq.heappush(
+                            heap, (e.point.distance_to(center), next(counter), e)
+                        )
+                else:
+                    for child in obj.children:  # type: ignore[union-attr]
+                        heapq.heappush(
+                            heap,
+                            (child.bbox.min_distance_to(center), next(counter), child),
+                        )
+            else:  # an IndexEntry surfaced: it is the next nearest item
+                out.append(obj.item_id)  # type: ignore[union-attr]
+        return out
+
+
+def build_entries(points: list[Point]) -> list[IndexEntry]:
+    """Wrap points as entries ids 0..n-1."""
+    return [IndexEntry(p, i) for i, p in enumerate(points)]

@@ -1,0 +1,188 @@
+"""Privacy-preserving outsourced spatial queries (Sec. 2.3.1 / 2.4, [117]).
+
+The tutorial's *data decentralization* obstacle: a data owner wants an
+untrusted server to answer spatial queries over private locations.
+Following the spatial-transformation approach of Yiu et al. [117], the
+owner applies a keyed, distance-distorting transformation before upload;
+the server indexes and answers queries in the transformed space; the owner
+maps candidate results back and refines locally.
+
+:class:`GridShuffleScheme` implements the classical cell-shuffling
+transform: space is tiled, tiles are permuted with a secret key (and points
+jittered inside tiles deterministically), so global geometry — and thus the
+owner's whereabouts — is hidden from the server, while cell-level lookups
+stay exact.  The scheme trades *server-side work* for privacy: the server
+can only retrieve candidate tiles, never prune by true distance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox, Point
+
+
+@dataclass(frozen=True)
+class TransformedPoint:
+    """A point as stored by the untrusted server (no true geometry)."""
+
+    x: float
+    y: float
+    item_id: int
+
+
+class GridShuffleScheme:
+    """Keyed cell-permutation transform for private point outsourcing.
+
+    The region is tiled into ``n x n`` cells.  A pseudorandom permutation
+    derived from ``key`` maps each true cell to a shuffled cell; a point is
+    re-embedded at the same within-cell offset of its shuffled cell.  Range
+    queries are answered by transforming the *cells overlapping the query*
+    and retrieving their contents; refinement happens client-side.
+    """
+
+    def __init__(self, region: BBox, n_cells_per_side: int, key: bytes) -> None:
+        if n_cells_per_side < 2:
+            raise ValueError("need at least a 2x2 grid")
+        if not key:
+            raise ValueError("empty key")
+        self.region = region
+        self.n = n_cells_per_side
+        self._cell_w = region.width / self.n
+        self._cell_h = region.height / self.n
+        self._perm = self._keyed_permutation(key)
+        self._inv = np.argsort(self._perm)
+
+    def _keyed_permutation(self, key: bytes) -> np.ndarray:
+        seed = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+        rng = np.random.default_rng(seed)
+        return rng.permutation(self.n * self.n)
+
+    # -- coordinate maps -------------------------------------------------------
+
+    def _cell_of(self, p: Point) -> int:
+        xi = min(self.n - 1, max(0, int((p.x - self.region.min_x) / self._cell_w)))
+        yi = min(self.n - 1, max(0, int((p.y - self.region.min_y) / self._cell_h)))
+        return yi * self.n + xi
+
+    def _cell_origin(self, cell: int) -> tuple[float, float]:
+        yi, xi = divmod(cell, self.n)
+        return (
+            self.region.min_x + xi * self._cell_w,
+            self.region.min_y + yi * self._cell_h,
+        )
+
+    def transform(self, p: Point, item_id: int) -> TransformedPoint:
+        """Owner-side: encode a private point for upload."""
+        cell = self._cell_of(p)
+        ox, oy = self._cell_origin(cell)
+        # Points exactly on the region's max border clamp into the last
+        # cell; keep their offset strictly inside the cell so the inverse
+        # map resolves the same (shuffled) cell.
+        dx = min(p.x - ox, self._cell_w * (1.0 - 1e-12))
+        dy = min(p.y - oy, self._cell_h * (1.0 - 1e-12))
+        tx_cell = int(self._perm[cell])
+        nx, ny = self._cell_origin(tx_cell)
+        return TransformedPoint(nx + dx, ny + dy, item_id)
+
+    def recover(self, tp: TransformedPoint) -> Point:
+        """Owner-side: decode a stored point back to true coordinates."""
+        shuffled_cell = self._cell_of(Point(tp.x, tp.y))
+        true_cell = int(self._inv[shuffled_cell])
+        sx, sy = self._cell_origin(shuffled_cell)
+        ox, oy = self._cell_origin(true_cell)
+        return Point(ox + (tp.x - sx), oy + (tp.y - sy))
+
+    def query_cells(self, center: Point, radius: float) -> list[int]:
+        """Owner-side: the *transformed* cell ids the server must fetch."""
+        x0 = int((center.x - radius - self.region.min_x) / self._cell_w)
+        x1 = int((center.x + radius - self.region.min_x) / self._cell_w)
+        y0 = int((center.y - radius - self.region.min_y) / self._cell_h)
+        y1 = int((center.y + radius - self.region.min_y) / self._cell_h)
+        cells = []
+        for yi in range(max(0, y0), min(self.n - 1, y1) + 1):
+            for xi in range(max(0, x0), min(self.n - 1, x1) + 1):
+                cells.append(int(self._perm[yi * self.n + xi]))
+        return cells
+
+
+class OutsourcedStore:
+    """The untrusted server: stores transformed points, serves cell fetches.
+
+    It never sees the key, true coordinates, or the query geometry — only
+    opaque cell ids, so its view of the data is a bag of shuffled tiles.
+    """
+
+    def __init__(self, n_cells_per_side: int, region: BBox) -> None:
+        self.n = n_cells_per_side
+        self.region = region
+        self._cell_w = region.width / self.n
+        self._cell_h = region.height / self.n
+        self._cells: dict[int, list[TransformedPoint]] = {}
+        self.cells_fetched = 0
+
+    def upload(self, points: list[TransformedPoint]) -> None:
+        """Index transformed points by their (shuffled) cell."""
+        for tp in points:
+            xi = min(self.n - 1, max(0, int((tp.x - self.region.min_x) / self._cell_w)))
+            yi = min(self.n - 1, max(0, int((tp.y - self.region.min_y) / self._cell_h)))
+            self._cells.setdefault(yi * self.n + xi, []).append(tp)
+
+    def fetch_cells(self, cell_ids: list[int]) -> list[TransformedPoint]:
+        """Return the transformed points stored in the requested cells."""
+        self.cells_fetched += len(cell_ids)
+        out: list[TransformedPoint] = []
+        for c in cell_ids:
+            out.extend(self._cells.get(c, []))
+        return out
+
+
+class PrivateQueryClient:
+    """Owner-side protocol driver: upload, query, refine."""
+
+    def __init__(self, scheme: GridShuffleScheme, store: OutsourcedStore) -> None:
+        self.scheme = scheme
+        self.store = store
+        self._truth: dict[int, Point] = {}
+
+    def upload(self, points: list[Point]) -> None:
+        """Transform and upload the owner's private points."""
+        self._truth = dict(enumerate(points))
+        self.store.upload(
+            [self.scheme.transform(p, i) for i, p in enumerate(points)]
+        )
+
+    def range_query(self, center: Point, radius: float) -> list[int]:
+        """Exact private range query: fetch candidate tiles, refine locally."""
+        candidates = self.store.fetch_cells(self.scheme.query_cells(center, radius))
+        hits = []
+        for tp in candidates:
+            true_point = self.scheme.recover(tp)
+            if true_point.distance_to(center) <= radius:
+                hits.append(tp.item_id)
+        return hits
+
+
+def distance_leakage(
+    scheme: GridShuffleScheme, points: list[Point], rng: np.random.Generator, n_pairs: int = 500
+) -> float:
+    """Privacy proxy: |corr| between true and transformed pair distances.
+
+    Near 0 means the server's view of pairwise geometry carries (almost) no
+    information about true proximity beyond same-cell co-location.
+    """
+    if len(points) < 2:
+        return 0.0
+    transformed = [scheme.transform(p, i) for i, p in enumerate(points)]
+    true_d, tx_d = [], []
+    for _ in range(n_pairs):
+        i, j = rng.choice(len(points), size=2, replace=False)
+        true_d.append(points[int(i)].distance_to(points[int(j)]))
+        a, b = transformed[int(i)], transformed[int(j)]
+        tx_d.append(float(np.hypot(a.x - b.x, a.y - b.y)))
+    if np.std(true_d) < 1e-12 or np.std(tx_d) < 1e-12:
+        return 0.0
+    return float(abs(np.corrcoef(true_d, tx_d)[0, 1]))

@@ -1,0 +1,81 @@
+"""Data reduction (Sec. 2.2.6): trajectory and STID compression."""
+
+from .edge import (
+    EdgeNode,
+    EdgeRunResult,
+    TierTraffic,
+    cloud_only_baseline,
+)
+from .online import (
+    DeadReckoningReporter,
+    SquishE,
+    opening_window,
+    reconstruct_dead_reckoning,
+)
+from .road import (
+    CompressedTrip,
+    along_route_error,
+    compress_trip,
+    decode_route,
+    decompress_trip,
+    encode_route,
+)
+from .simplify import (
+    compression_ratio,
+    douglas_peucker,
+    max_perpendicular_error,
+    max_sed_error,
+    td_tr,
+    uniform_simplify,
+)
+from .stid_codec import (
+    LTCKnot,
+    compress_series_lossless,
+    decompress_series_lossless,
+    ltc_compress,
+    ltc_decompress,
+    series_byte_ratio,
+)
+from .suppression import SuppressionResult, suppress_constant, suppress_linear
+from .traj_codec import (
+    decode_trajectory,
+    encode_trajectory,
+    simplify_then_encode,
+    trajectory_byte_ratio,
+)
+
+__all__ = [
+    "EdgeNode",
+    "EdgeRunResult",
+    "TierTraffic",
+    "cloud_only_baseline",
+    "DeadReckoningReporter",
+    "SquishE",
+    "opening_window",
+    "reconstruct_dead_reckoning",
+    "CompressedTrip",
+    "along_route_error",
+    "compress_trip",
+    "decode_route",
+    "decompress_trip",
+    "encode_route",
+    "compression_ratio",
+    "douglas_peucker",
+    "max_perpendicular_error",
+    "max_sed_error",
+    "td_tr",
+    "uniform_simplify",
+    "LTCKnot",
+    "compress_series_lossless",
+    "decompress_series_lossless",
+    "ltc_compress",
+    "ltc_decompress",
+    "series_byte_ratio",
+    "SuppressionResult",
+    "suppress_constant",
+    "suppress_linear",
+    "decode_trajectory",
+    "encode_trajectory",
+    "simplify_then_encode",
+    "trajectory_byte_ratio",
+]

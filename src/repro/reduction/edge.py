@@ -1,0 +1,135 @@
+"""Edge/fog-tier data reduction (Sec. 2.4 trend, [62, 130, 9]).
+
+The tutorial's edge-computing trend: push DQ work toward data sources so
+the cloud receives less, later-but-lighter data.  This module simulates a
+three-tier pipeline
+
+    devices --(suppression)--> edge node --(batch codec)--> cloud
+
+and accounts bytes at each hop, so the volume/latency trade-off the
+tutorial attributes to edge computing is measurable:
+
+* each device runs prediction-based suppression (only surprising readings
+  travel to the edge),
+* the edge batches surviving readings per flush interval and ships them
+  losslessly compressed,
+* the cloud reconstructs every device's series within the device tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.stid import STSeries
+from .stid_codec import compress_series_lossless, decompress_series_lossless
+from .suppression import suppress_constant
+
+#: bytes of one uncompressed reading on the wire: (device id, t, value).
+RAW_RECORD_BYTES = 2 + 8 + 8
+
+
+@dataclass
+class TierTraffic:
+    """Byte accounting for one hop of the pipeline."""
+
+    records: int = 0
+    payload_bytes: int = 0
+
+
+@dataclass
+class EdgeRunResult:
+    """Outcome of a device->edge->cloud simulation."""
+
+    device_to_edge: TierTraffic
+    edge_to_cloud: TierTraffic
+    reconstructions: dict[str, np.ndarray]
+
+    def reduction_vs_raw(self, n_raw_records: int) -> float:
+        """Total raw bytes / bytes that reached the cloud."""
+        raw = n_raw_records * RAW_RECORD_BYTES
+        return raw / max(1, self.edge_to_cloud.payload_bytes)
+
+    def max_error(self, series: list[STSeries]) -> float:
+        """Worst reconstruction error across all devices."""
+        worst = 0.0
+        for s in series:
+            recon = self.reconstructions[s.sensor_id]
+            worst = max(worst, float(np.max(np.abs(recon - s.values))))
+        return worst
+
+
+class EdgeNode:
+    """One fog node serving several devices.
+
+    ``tolerance`` is each device's suppression tolerance — the per-sample
+    reconstruction error bound at the cloud.  ``flush_every`` readings the
+    edge packs pending (t, value) pairs per device and ships one compressed
+    batch (``quantization_scale`` sets the lossless grid).
+    """
+
+    def __init__(
+        self,
+        tolerance: float,
+        flush_every: int = 32,
+        quantization_scale: float = 100.0,
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.tolerance = tolerance
+        self.flush_every = flush_every
+        self.quantization_scale = quantization_scale
+
+    def run(self, series: list[STSeries]) -> EdgeRunResult:
+        """Simulate the full pipeline for stationary-sensor series."""
+        device_edge = TierTraffic()
+        edge_cloud = TierTraffic()
+        reconstructions: dict[str, np.ndarray] = {}
+        for s in series:
+            # Tier 1: device-side suppression.
+            result = suppress_constant(s.values, self.tolerance)
+            sent_idx = np.flatnonzero(result.sent_mask)
+            device_edge.records += len(sent_idx)
+            device_edge.payload_bytes += len(sent_idx) * RAW_RECORD_BYTES
+
+            # Tier 2: edge batches + lossless codec per flush.
+            sent_times = s.times[sent_idx]
+            sent_values = s.values[sent_idx]
+            shipped_chunks: list[bytes] = []
+            for start in range(0, len(sent_idx), self.flush_every):
+                chunk_t = sent_times[start : start + self.flush_every]
+                chunk_v = sent_values[start : start + self.flush_every]
+                blob_t = compress_series_lossless(chunk_t, self.quantization_scale)
+                blob_v = compress_series_lossless(chunk_v, self.quantization_scale)
+                shipped_chunks.append(blob_t + blob_v)
+                edge_cloud.records += len(chunk_t)
+                edge_cloud.payload_bytes += len(blob_t) + len(blob_v)
+
+            # Tier 3: cloud reconstructs by holding the last received value.
+            recon = self._reconstruct(s.times, sent_times, sent_values)
+            reconstructions[s.sensor_id] = recon
+        return EdgeRunResult(device_edge, edge_cloud, reconstructions)
+
+    def _reconstruct(
+        self, all_times: np.ndarray, sent_times: np.ndarray, sent_values: np.ndarray
+    ) -> np.ndarray:
+        """Hold-last-value reconstruction at every original timestamp."""
+        recon = np.empty(len(all_times))
+        j = -1
+        for i, t in enumerate(all_times):
+            while j + 1 < len(sent_times) and sent_times[j + 1] <= t:
+                j += 1
+            recon[i] = sent_values[max(j, 0)] if len(sent_values) else np.nan
+        return recon
+
+
+def cloud_only_baseline(series: list[STSeries]) -> TierTraffic:
+    """Every raw reading shipped straight to the cloud (no edge tier)."""
+    traffic = TierTraffic()
+    for s in series:
+        traffic.records += len(s)
+        traffic.payload_bytes += len(s) * RAW_RECORD_BYTES
+    return traffic

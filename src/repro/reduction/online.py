@@ -1,0 +1,187 @@
+"""Online trajectory simplification (Sec. 2.2.6, [54, 69, 73, 82]).
+
+One-pass algorithms suited to resource-constrained IoT devices — the
+tutorial's *online* DR branch.  Implemented:
+
+* :func:`opening_window` — keep a window open while every buffered point
+  stays within the SED bound of the window chord (OPW-TR [54]),
+* :class:`DeadReckoningReporter` — report a point only when the actual
+  position drifts more than a threshold from the last reported
+  linear-motion prediction (the device-side suppression primitive),
+* :class:`SquishE` — SQUISH-E(ε) [82]: a bounded-priority-queue compressor
+  whose priorities accumulate discarded-neighbor error, guaranteeing an
+  SED bound while running online.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from ..core.geometry import synchronized_euclidean_distance
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+
+def opening_window(traj: Trajectory, epsilon: float) -> Trajectory:
+    """OPW-TR: greedy windows bounded by SED ``epsilon`` (one pass)."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    n = len(traj)
+    if n <= 2:
+        return traj
+    kept = [traj[0]]
+    anchor = 0
+    i = 2
+    while i < n:
+        a, b = traj[anchor], traj[i]
+        ok = all(
+            synchronized_euclidean_distance(
+                traj[j].point, traj[j].t, a.point, a.t, b.point, b.t
+            )
+            <= epsilon
+            for j in range(anchor + 1, i)
+        )
+        if not ok:
+            kept.append(traj[i - 1])
+            anchor = i - 1
+        i += 1
+    kept.append(traj[n - 1])
+    return Trajectory(kept, traj.object_id)
+
+
+class DeadReckoningReporter:
+    """Device-side dead reckoning: transmit only on prediction failure.
+
+    After each report the device (and the server, symmetrically) predicts
+    linear motion at the last reported velocity; a new report is sent when
+    the true position deviates more than ``threshold``.  ``reported()``
+    returns what the server received, and :func:`reconstruct` rebuilds the
+    server-side estimate for error accounting.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self._reports: list[TrajectoryPoint] = []
+        self._velocity: tuple[float, float] = (0.0, 0.0)
+
+    def offer(self, p: TrajectoryPoint) -> bool:
+        """Process one sample; returns True when it was transmitted."""
+        if not self._reports:
+            self._reports.append(p)
+            return True
+        last = self._reports[-1]
+        dt = p.t - last.t
+        pred_x = last.x + self._velocity[0] * dt
+        pred_y = last.y + self._velocity[1] * dt
+        if ((p.x - pred_x) ** 2 + (p.y - pred_y) ** 2) ** 0.5 > self.threshold:
+            if dt > 0:
+                self._velocity = ((p.x - last.x) / dt, (p.y - last.y) / dt)
+            self._reports.append(p)
+            return True
+        return False
+
+    def run(self, traj: Trajectory) -> Trajectory:
+        """Feed a whole trajectory (resets state); returns the transmitted subset."""
+        self._reports = []
+        self._velocity = (0.0, 0.0)
+        for p in traj:
+            self.offer(p)
+        return self.reported(traj.object_id)
+
+    def reported(self, object_id: str = "") -> Trajectory:
+        """The transmitted samples as a trajectory."""
+        return Trajectory(self._reports, object_id)
+
+
+def reconstruct_dead_reckoning(
+    reports: Trajectory, at_times: list[float]
+) -> list[tuple[float, float]]:
+    """Server-side reconstruction: extrapolate each report at its velocity.
+
+    Returns ``(x, y)`` per query time.  Between report k and k+1 the server
+    runs the velocity in effect after report k (estimated from the previous
+    leg), matching the device's prediction rule.
+    """
+    out = []
+    pts = reports.points
+    for t in at_times:
+        # Find the last report at or before t.
+        k = 0
+        for i, p in enumerate(pts):
+            if p.t <= t:
+                k = i
+        base = pts[k]
+        if k == 0:
+            vx = vy = 0.0
+        else:
+            prev = pts[k - 1]
+            dt = base.t - prev.t
+            vx = (base.x - prev.x) / dt if dt > 0 else 0.0
+            vy = (base.y - prev.y) / dt if dt > 0 else 0.0
+        dt = t - base.t
+        out.append((base.x + vx * dt, base.y + vy * dt))
+    return out
+
+
+class SquishE:
+    """SQUISH-E(ε): online priority-queue simplification with an SED bound.
+
+    Each buffered point carries a priority = the SED it would introduce if
+    removed, plus the accumulated priority of previously removed neighbors.
+    Points are evicted while the minimum priority stays <= ``epsilon``,
+    so the final buffer guarantees ``max SED <= epsilon``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+
+    def simplify(self, traj: Trajectory) -> Trajectory:
+        """Run the priority-queue eviction; returns the SED-bounded subset."""
+        n = len(traj)
+        if n <= 2:
+            return traj
+        pts = list(traj.points)
+        # Doubly linked structure over indices.
+        prev = list(range(-1, n - 1))
+        nxt = list(range(1, n + 1))
+        inherited = [0.0] * n
+        alive = [True] * n
+        counter = itertools.count()
+        heap: list[tuple[float, int, int]] = []
+
+        def sed_if_removed(i: int) -> float:
+            a, b = pts[prev[i]], pts[nxt[i]]
+            return synchronized_euclidean_distance(
+                pts[i].point, pts[i].t, a.point, a.t, b.point, b.t
+            )
+
+        def push(i: int) -> None:
+            pri = inherited[i] + sed_if_removed(i)
+            heapq.heappush(heap, (pri, next(counter), i))
+
+        for i in range(1, n - 1):
+            push(i)
+        while heap:
+            pri, _, i = heapq.heappop(heap)
+            if not alive[i] or prev[i] < 0 or nxt[i] >= n:
+                continue
+            # Skip stale entries (priority changed since push).
+            current = inherited[i] + sed_if_removed(i)
+            if abs(current - pri) > 1e-12:
+                continue
+            if pri > self.epsilon:
+                break
+            # Remove i; neighbors inherit its priority.
+            alive[i] = False
+            p, q = prev[i], nxt[i]
+            nxt[p], prev[q] = q, p
+            for j in (p, q):
+                if 0 < j < n - 1 and alive[j]:
+                    inherited[j] = max(inherited[j], pri)
+                    push(j)
+        kept = [pts[i] for i in range(n) if alive[i]]
+        return Trajectory(kept, traj.object_id)

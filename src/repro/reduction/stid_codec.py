@@ -1,0 +1,261 @@
+"""STID compression codecs (Sec. 2.2.6, [101, 56]).
+
+* **Lossless**: quantize-to-grid + delta + Golomb-Rice coding, the scheme
+  of [101] (phasor-angle compression) generalized to any sensor series.
+  Exact round trip at the declared quantization scale.
+* **Lossy**: Lightweight Temporal Compression (LTC, [56]) — an online
+  piecewise-linear approximation with a hard per-sample error bound,
+  achieving much higher ratios at bounded precision loss.
+
+Also exports the bit-level primitives (varint, zigzag, Golomb-Rice) reused
+by the road-network trajectory codec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.stid import STSeries
+
+
+# ---------------------------------------------------------------------------
+# Bit/byte primitives
+# ---------------------------------------------------------------------------
+
+
+class BitWriter:
+    """Append-only bit buffer (MSB-first within each byte)."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_pos = 0  # bits used in the last byte
+
+    def write_bit(self, bit: int) -> None:
+        if self._bit_pos == 0:
+            self._bytes.append(0)
+        if bit:
+            self._bytes[-1] |= 1 << (7 - self._bit_pos)
+        self._bit_pos = (self._bit_pos + 1) % 8
+
+    def write_bits(self, value: int, n_bits: int) -> None:
+        for i in range(n_bits - 1, -1, -1):
+            self.write_bit((value >> i) & 1)
+
+    def write_unary(self, value: int) -> None:
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitWriter` buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        byte_i, bit_i = divmod(self._pos, 8)
+        if byte_i >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_i] >> (7 - bit_i)) & 1
+
+    def read_bits(self, n_bits: int) -> int:
+        v = 0
+        for _ in range(n_bits):
+            v = (v << 1) | self.read_bit()
+        return v
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+
+def zigzag_encode(v: int) -> int:
+    """Map signed ints to unsigned: 0,-1,1,-2,... -> 0,1,2,3,..."""
+    return (v << 1) ^ (v >> 63) if v >= 0 else ((-v) << 1) - 1
+
+
+def zigzag_decode(u: int) -> int:
+    return (u >> 1) if (u & 1) == 0 else -((u + 1) >> 1)
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise ValueError("varint encodes non-negative integers")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def golomb_rice_encode(values: list[int], k: int, writer: BitWriter) -> None:
+    """Rice-code non-negative integers with parameter ``k`` (divisor 2^k)."""
+    for v in values:
+        if v < 0:
+            raise ValueError("Rice coding takes non-negative integers")
+        writer.write_unary(v >> k)
+        if k:
+            writer.write_bits(v & ((1 << k) - 1), k)
+
+
+def golomb_rice_decode(reader: BitReader, n: int, k: int) -> list[int]:
+    out = []
+    for _ in range(n):
+        q = reader.read_unary()
+        r = reader.read_bits(k) if k else 0
+        out.append((q << k) | r)
+    return out
+
+
+def optimal_rice_k(values: list[int]) -> int:
+    """Rice parameter near log2(mean) — the standard heuristic."""
+    if not values:
+        return 0
+    mean = max(1.0, float(np.mean(values)))
+    return max(0, int(math.floor(math.log2(mean))))
+
+
+# ---------------------------------------------------------------------------
+# Lossless series codec
+# ---------------------------------------------------------------------------
+
+
+def compress_series_lossless(values: np.ndarray, scale: float = 100.0) -> bytes:
+    """Quantize to 1/scale units, delta-encode, Rice-code.
+
+    Round-trips exactly at the quantization grid: callers choosing
+    ``scale=100`` keep two decimals.  Header: count, scale (fixed 8 bytes),
+    first value, Rice k.
+    """
+    vals = np.asarray(values, dtype=float)
+    q = np.round(vals * scale).astype(np.int64)
+    header = bytearray()
+    encode_varint(len(q), header)
+    header.extend(np.float64(scale).tobytes())
+    if len(q) == 0:
+        return bytes(header)
+    encode_varint(zigzag_encode(int(q[0])), header)
+    deltas = [zigzag_encode(int(d)) for d in np.diff(q)]
+    k = optimal_rice_k(deltas)
+    header.append(k)
+    writer = BitWriter()
+    golomb_rice_encode(deltas, k, writer)
+    return bytes(header) + writer.getvalue()
+
+
+def decompress_series_lossless(data: bytes) -> np.ndarray:
+    """Inverse of :func:`compress_series_lossless` (exact at the grid)."""
+    n, pos = decode_varint(data, 0)
+    scale = float(np.frombuffer(data[pos : pos + 8], dtype=np.float64)[0])
+    pos += 8
+    if n == 0:
+        return np.zeros(0)
+    first_z, pos = decode_varint(data, pos)
+    first = zigzag_decode(first_z)
+    k = data[pos]
+    pos += 1
+    reader = BitReader(data[pos:])
+    deltas = [zigzag_decode(u) for u in golomb_rice_decode(reader, n - 1, k)]
+    q = np.concatenate([[first], first + np.cumsum(deltas)]) if n > 1 else np.array([first])
+    return q.astype(float) / scale
+
+
+# ---------------------------------------------------------------------------
+# Lossy: Lightweight Temporal Compression (LTC)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LTCKnot:
+    """A retained (time, value) vertex of the piecewise-linear approximation."""
+
+    t: float
+    value: float
+
+
+def ltc_compress(times: np.ndarray, values: np.ndarray, epsilon: float) -> list[LTCKnot]:
+    """Online piecewise-linear compression with per-sample bound ``epsilon``.
+
+    Maintains the cone of line slopes through the current anchor that keep
+    every intermediate sample within ``epsilon``; emits a knot when the cone
+    empties.  Every original sample is reproducible within ``epsilon``.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    n = len(t)
+    if n != len(v):
+        raise ValueError("times and values must align")
+    if n == 0:
+        return []
+    if n == 1:
+        return [LTCKnot(float(t[0]), float(v[0]))]
+    knots = [LTCKnot(float(t[0]), float(v[0]))]
+    anchor_t, anchor_v = float(t[0]), float(v[0])
+    lo, hi = -math.inf, math.inf
+    last_inside = (float(t[1]), float(v[1]))
+    for i in range(1, n):
+        dt = float(t[i]) - anchor_t
+        if dt <= 0:
+            raise ValueError("times must be strictly increasing")
+        s_lo = (float(v[i]) - epsilon - anchor_v) / dt
+        s_hi = (float(v[i]) + epsilon - anchor_v) / dt
+        new_lo, new_hi = max(lo, s_lo), min(hi, s_hi)
+        if new_lo > new_hi:
+            # Cone empty: close the segment at the previous sample.
+            knots.append(LTCKnot(last_inside[0], last_inside[1]))
+            anchor_t, anchor_v = last_inside
+            dt = float(t[i]) - anchor_t
+            lo = (float(v[i]) - epsilon - anchor_v) / dt
+            hi = (float(v[i]) + epsilon - anchor_v) / dt
+        else:
+            lo, hi = new_lo, new_hi
+        # Midpoint-of-cone value at the current time, guaranteed in-bound.
+        mid = anchor_v + 0.5 * (lo + hi) * (float(t[i]) - anchor_t)
+        last_inside = (float(t[i]), mid)
+    knots.append(LTCKnot(last_inside[0], last_inside[1]))
+    return knots
+
+
+def ltc_decompress(knots: list[LTCKnot], at_times: np.ndarray) -> np.ndarray:
+    """Evaluate the piecewise-linear approximation at ``at_times``."""
+    if not knots:
+        raise ValueError("no knots")
+    kt = np.array([k.t for k in knots])
+    kv = np.array([k.value for k in knots])
+    return np.interp(np.asarray(at_times, dtype=float), kt, kv)
+
+
+def series_byte_ratio(values: np.ndarray, compressed: bytes) -> float:
+    """Raw float64 bytes / compressed bytes."""
+    raw = len(np.asarray(values, dtype=float)) * 8
+    return raw / max(1, len(compressed))

@@ -1,0 +1,106 @@
+"""Prediction-based STID reduction (Sec. 2.2.6, [130]).
+
+Reduces the communication volume between IoT nodes: the device and the
+server run the *same* predictor; the device transmits a reading only when
+the prediction misses by more than a tolerance, so the server can
+reconstruct every suppressed reading within the tolerance.
+
+The tutorial's caveat — "prediction-based approaches are challenged by the
+robustness and timeliness of prediction models" — is directly measurable
+here: a constant predictor degrades on trending signals, a linear predictor
+on noisy ones (see ``benchmarks/bench_reduction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SuppressionResult:
+    """Outcome of a device-server suppression run."""
+
+    sent_mask: np.ndarray  # bool per sample: transmitted?
+    reconstruction: np.ndarray  # server-side value per sample
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self.sent_mask.sum())
+
+    def message_ratio(self) -> float:
+        """Fraction of samples actually transmitted (lower = better)."""
+        return self.messages_sent / max(1, len(self.sent_mask))
+
+    def reconstruction_rmse(self, truth: np.ndarray) -> float:
+        """RMSE of the server-side reconstruction against the true values."""
+        diff = self.reconstruction - np.asarray(truth, dtype=float)
+        return float(np.sqrt(np.mean(diff**2)))
+
+    def max_error(self, truth: np.ndarray) -> float:
+        """Worst absolute reconstruction error against the true values."""
+        return float(np.max(np.abs(self.reconstruction - np.asarray(truth, dtype=float))))
+
+
+def suppress_constant(values: np.ndarray, tolerance: float) -> SuppressionResult:
+    """Constant ("last value") predictor: send when drift exceeds tolerance.
+
+    The server holds the last transmitted value; reconstruction error is
+    bounded by ``tolerance`` for every sample.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    v = np.asarray(values, dtype=float)
+    n = len(v)
+    sent = np.zeros(n, dtype=bool)
+    recon = np.empty(n)
+    if n == 0:
+        return SuppressionResult(sent, recon)
+    last = v[0]
+    sent[0] = True
+    recon[0] = last
+    for i in range(1, n):
+        if abs(v[i] - last) > tolerance:
+            last = v[i]
+            sent[i] = True
+        recon[i] = last
+    return SuppressionResult(sent, recon)
+
+
+def suppress_linear(
+    times: np.ndarray, values: np.ndarray, tolerance: float
+) -> SuppressionResult:
+    """Linear (dead-reckoning) predictor over the last two transmissions.
+
+    Both sides extrapolate the line through the last two sent samples; the
+    device transmits when the true value escapes the tolerance tube.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    n = len(v)
+    if n != len(t):
+        raise ValueError("times and values must align")
+    sent = np.zeros(n, dtype=bool)
+    recon = np.empty(n)
+    if n == 0:
+        return SuppressionResult(sent, recon)
+    sent_points: list[tuple[float, float]] = [(t[0], v[0])]
+    sent[0] = True
+    recon[0] = v[0]
+    for i in range(1, n):
+        if len(sent_points) >= 2:
+            (t1, v1), (t2, v2) = sent_points[-2], sent_points[-1]
+            slope = (v2 - v1) / (t2 - t1) if t2 > t1 else 0.0
+            pred = v2 + slope * (t[i] - t2)
+        else:
+            pred = sent_points[-1][1]
+        if abs(v[i] - pred) > tolerance:
+            sent_points.append((float(t[i]), float(v[i])))
+            sent[i] = True
+            recon[i] = v[i]
+        else:
+            recon[i] = pred
+    return SuppressionResult(sent, recon)

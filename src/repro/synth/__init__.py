@@ -1,0 +1,86 @@
+"""Synthetic ground-truth generators and quality-issue injectors.
+
+The paper's techniques target real IoT deployments; here every deployment is
+replaced by a seeded generator with exact ground truth (see DESIGN.md,
+"Substitutions").  Sub-modules:
+
+* :mod:`walks` — moving-object motion processes,
+* :mod:`road_network` — synthetic road graphs and network-constrained trips,
+* :mod:`sensors` — RSSI propagation, fingerprint maps, ranging anchors,
+* :mod:`fields` — smooth spatiotemporal scalar fields (STID ground truth),
+* :mod:`rfid` — symbolic-trajectory (RFID corridor) simulation,
+* :mod:`checkins` — POI visits for the decision layer,
+* :mod:`corrupt` — one injector per Table 1 characteristic.
+"""
+
+from .checkins import POI, CheckIn, CheckInWorld, corrupt_checkins, generate_pois
+from .corrupt import (
+    CorruptionProfile,
+    add_gaussian_noise,
+    add_outliers,
+    add_sensor_bias,
+    delay_arrivals,
+    drop_interval,
+    drop_points,
+    duplicate_records,
+    skew_timestamps,
+    spike_values,
+    stuck_sensor,
+)
+from .fields import SmoothField, random_sensor_sites, records_with_truth
+from .rfid import CorridorWorld, RawReading, ZoneVisit, readings_by_epoch
+from .road_network import RoadEdge, RoadNetwork
+from .sensors import (
+    AccessPoint,
+    RadioMap,
+    RangingObservation,
+    deploy_access_points,
+    measure_ranges,
+    measure_vector,
+)
+from .walks import (
+    StopSegment,
+    correlated_random_walk,
+    fleet,
+    stop_and_go_walk,
+    waypoint_walk,
+)
+
+__all__ = [
+    "POI",
+    "CheckIn",
+    "CheckInWorld",
+    "corrupt_checkins",
+    "generate_pois",
+    "CorruptionProfile",
+    "add_gaussian_noise",
+    "add_outliers",
+    "add_sensor_bias",
+    "delay_arrivals",
+    "drop_interval",
+    "drop_points",
+    "duplicate_records",
+    "skew_timestamps",
+    "spike_values",
+    "stuck_sensor",
+    "SmoothField",
+    "random_sensor_sites",
+    "records_with_truth",
+    "CorridorWorld",
+    "RawReading",
+    "ZoneVisit",
+    "readings_by_epoch",
+    "RoadEdge",
+    "RoadNetwork",
+    "AccessPoint",
+    "RadioMap",
+    "RangingObservation",
+    "deploy_access_points",
+    "measure_ranges",
+    "measure_vector",
+    "StopSegment",
+    "correlated_random_walk",
+    "fleet",
+    "stop_and_go_walk",
+    "waypoint_walk",
+]

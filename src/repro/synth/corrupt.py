@@ -1,0 +1,232 @@
+"""Quality-issue injectors, one per SID characteristic of Table 1.
+
+Each injector degrades clean ground truth along exactly one characteristic
+so that (a) cleaning operators can be scored against known corruption and
+(b) `benchmarks/bench_table1.py` can verify the paper's
+characteristic→quality-issue arrows by measuring DQ dimensions before and
+after injection.
+
+All injectors are pure: they return new objects plus, where useful, the
+ground-truth corruption labels (e.g. outlier indices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.stid import STRecord, STSeries
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+
+# ---------------------------------------------------------------------------
+# Characteristic: noisy and erroneous
+# ---------------------------------------------------------------------------
+
+
+def add_gaussian_noise(
+    traj: Trajectory, rng: np.random.Generator, sigma: float
+) -> Trajectory:
+    """Independent Gaussian position noise on every sample (GPS-style error)."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    return traj.map_points(
+        lambda p: TrajectoryPoint(
+            p.x + rng.normal(0, sigma), p.y + rng.normal(0, sigma), p.t
+        )
+    )
+
+
+def add_outliers(
+    traj: Trajectory,
+    rng: np.random.Generator,
+    rate: float = 0.05,
+    magnitude: float = 200.0,
+) -> tuple[Trajectory, list[int]]:
+    """Replace a random ``rate`` fraction of points with gross position errors.
+
+    Returns the corrupted trajectory and the ground-truth outlier indices.
+    Endpoints are spared so constraint-based detectors have anchors.
+    """
+    n = len(traj)
+    if n < 3 or rate <= 0:
+        return traj, []
+    candidates = list(range(1, n - 1))
+    k = min(len(candidates), max(1, int(round(rate * n))))
+    idx = sorted(rng.choice(candidates, size=k, replace=False).tolist())
+    chosen = set(idx)
+    points = []
+    for i, p in enumerate(traj):
+        if i in chosen:
+            theta = rng.uniform(0, 2 * np.pi)
+            r = magnitude * (0.5 + rng.random())
+            points.append(
+                TrajectoryPoint(p.x + r * np.cos(theta), p.y + r * np.sin(theta), p.t)
+            )
+        else:
+            points.append(p)
+    return Trajectory(points, traj.object_id), idx
+
+
+# ---------------------------------------------------------------------------
+# Characteristic: temporally discrete (sparsity, incompleteness, staleness)
+# ---------------------------------------------------------------------------
+
+
+def drop_points(
+    traj: Trajectory, rng: np.random.Generator, rate: float
+) -> Trajectory:
+    """Randomly drop a ``rate`` fraction of interior samples."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("rate must be in [0, 1)")
+    n = len(traj)
+    if n <= 2:
+        return traj
+    keep = [0] + [
+        i for i in range(1, n - 1) if rng.random() >= rate
+    ] + [n - 1]
+    return Trajectory([traj[i] for i in keep], traj.object_id)
+
+
+def drop_interval(traj: Trajectory, t_start: float, t_end: float) -> Trajectory:
+    """Remove every sample inside ``[t_start, t_end]`` (sensor blackout)."""
+    points = [p for p in traj if not (t_start <= p.t <= t_end)]
+    return Trajectory(points, traj.object_id)
+
+
+# ---------------------------------------------------------------------------
+# Characteristic: voluminous and duplicated
+# ---------------------------------------------------------------------------
+
+
+def duplicate_records(
+    records: list[STRecord],
+    rng: np.random.Generator,
+    rate: float = 0.3,
+    time_jitter: float = 0.1,
+) -> list[STRecord]:
+    """Re-emit a ``rate`` fraction of records with tiny time jitter.
+
+    Models at-least-once IoT transport, which produces near-duplicate
+    redundant messages.
+    """
+    out = list(records)
+    n_dup = int(round(rate * len(records)))
+    if n_dup == 0 or not records:
+        return out
+    idx = rng.choice(len(records), size=n_dup, replace=True)
+    for i in idx:
+        r = records[int(i)]
+        out.append(STRecord(r.x, r.y, r.t + rng.uniform(0, time_jitter), r.value, r.source))
+    out.sort(key=lambda r: r.t)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Characteristic: decentralized / dynamic (latency, disorder, clock skew)
+# ---------------------------------------------------------------------------
+
+
+def delay_arrivals(
+    event_times: np.ndarray,
+    rng: np.random.Generator,
+    mean_delay: float = 2.0,
+) -> np.ndarray:
+    """Exponential network delays: returns arrival times (>= event times)."""
+    if mean_delay < 0:
+        raise ValueError("mean_delay must be non-negative")
+    return np.asarray(event_times, dtype=float) + rng.exponential(
+        mean_delay, size=len(event_times)
+    )
+
+
+def skew_timestamps(
+    times: np.ndarray,
+    rng: np.random.Generator,
+    rate: float = 0.2,
+    max_shift: float = 5.0,
+) -> tuple[np.ndarray, list[int]]:
+    """Shift a fraction of timestamps, possibly breaking temporal order.
+
+    Models unsynchronized device clocks — the input that timestamp repair
+    (Sec. 2.2.4, [95]) must fix.  Returns corrupted times and the indices of
+    the shifted entries.
+    """
+    t = np.asarray(times, dtype=float).copy()
+    n = len(t)
+    k = int(round(rate * n))
+    if k == 0:
+        return t, []
+    idx = sorted(rng.choice(n, size=k, replace=False).tolist())
+    for i in idx:
+        t[i] += rng.uniform(-max_shift, max_shift)
+    return t, idx
+
+
+# ---------------------------------------------------------------------------
+# Characteristic: faulty thematic values (STID FC targets)
+# ---------------------------------------------------------------------------
+
+
+def spike_values(
+    series: STSeries,
+    rng: np.random.Generator,
+    rate: float = 0.05,
+    magnitude: float = 10.0,
+) -> tuple[STSeries, list[int]]:
+    """Inject additive spikes into a sensor series; returns fault indices."""
+    values = series.values
+    n = len(values)
+    k = max(1, int(round(rate * n))) if rate > 0 and n > 0 else 0
+    if k == 0:
+        return series, []
+    idx = sorted(rng.choice(n, size=min(k, n), replace=False).tolist())
+    for i in idx:
+        values[i] += magnitude * rng.choice([-1.0, 1.0]) * (0.5 + rng.random())
+    return series.with_values(values), idx
+
+
+def stuck_sensor(series: STSeries, start: int, length: int) -> STSeries:
+    """Freeze the series at index ``start`` for ``length`` readings (stuck fault)."""
+    values = series.values
+    end = min(len(values), start + length)
+    if start < 0 or start >= len(values):
+        raise ValueError("start outside series")
+    values[start:end] = values[start]
+    return series.with_values(values)
+
+
+def add_sensor_bias(series: STSeries, bias: float) -> STSeries:
+    """Constant calibration offset (inter-source inconsistency)."""
+    return series.with_values(series.values + bias)
+
+
+# ---------------------------------------------------------------------------
+# Composite corruption profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorruptionProfile:
+    """A bundle of corruption parameters applied in one call.
+
+    Used by the end-to-end pipeline experiments to produce "field-quality"
+    trajectories: noise + outliers + dropout in one pass.
+    """
+
+    noise_sigma: float = 5.0
+    outlier_rate: float = 0.03
+    outlier_magnitude: float = 150.0
+    drop_rate: float = 0.2
+
+    def apply(
+        self, traj: Trajectory, rng: np.random.Generator
+    ) -> tuple[Trajectory, list[int]]:
+        """Corrupt ``traj``; outlier indices refer to the *post-drop* trajectory."""
+        out = drop_points(traj, rng, self.drop_rate)
+        out = add_gaussian_noise(out, rng, self.noise_sigma)
+        out, outlier_idx = add_outliers(
+            out, rng, self.outlier_rate, self.outlier_magnitude
+        )
+        return out, outlier_idx

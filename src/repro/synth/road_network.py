@@ -1,0 +1,176 @@
+"""Synthetic road networks and network-constrained motion.
+
+Substitute for real maps (OSM): a planar graph with per-edge geometry, built
+on :mod:`networkx`.  Map matching (Sec. 2.2.2), network-constrained
+compression (2.2.6), and route recovery all operate on this substrate —
+they require only topology plus edge geometry, which synthetic grids
+provide with exact ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.geometry import BBox, Point, point_along_polyline, polyline_length
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True)
+class RoadEdge:
+    """A directed road segment between two node ids with straight geometry."""
+
+    u: int
+    v: int
+    geometry: tuple[Point, Point]
+
+    @property
+    def length(self) -> float:
+        return self.geometry[0].distance_to(self.geometry[1])
+
+
+class RoadNetwork:
+    """A planar road graph with node coordinates and Euclidean edge weights.
+
+    The graph is undirected for routing; edges are traversable both ways.
+    """
+
+    def __init__(self, graph: nx.Graph, positions: dict[int, Point]) -> None:
+        for n in graph.nodes:
+            if n not in positions:
+                raise ValueError(f"node {n} has no position")
+        self.graph = graph
+        self.positions = positions
+        for u, v in graph.edges:
+            graph.edges[u, v]["length"] = positions[u].distance_to(positions[v])
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def grid(cls, n_rows: int, n_cols: int, spacing: float = 500.0) -> "RoadNetwork":
+        """A Manhattan-style grid network."""
+        g = nx.Graph()
+        positions: dict[int, Point] = {}
+        for r in range(n_rows):
+            for c in range(n_cols):
+                nid = r * n_cols + c
+                positions[nid] = Point(c * spacing, r * spacing)
+                g.add_node(nid)
+        for r in range(n_rows):
+            for c in range(n_cols):
+                nid = r * n_cols + c
+                if c + 1 < n_cols:
+                    g.add_edge(nid, nid + 1)
+                if r + 1 < n_rows:
+                    g.add_edge(nid, nid + n_cols)
+        return cls(g, positions)
+
+    @classmethod
+    def random_geometric(
+        cls, rng: np.random.Generator, n_nodes: int, bbox: BBox, radius: float
+    ) -> "RoadNetwork":
+        """Random geometric graph restricted to its largest connected component."""
+        pts = {
+            i: Point(rng.uniform(bbox.min_x, bbox.max_x), rng.uniform(bbox.min_y, bbox.max_y))
+            for i in range(n_nodes)
+        }
+        g = nx.Graph()
+        g.add_nodes_from(pts)
+        ids = list(pts)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                if pts[a].distance_to(pts[b]) <= radius:
+                    g.add_edge(a, b)
+        if g.number_of_nodes() == 0:
+            raise ValueError("empty network")
+        giant = max(nx.connected_components(g), key=len)
+        g = g.subgraph(giant).copy()
+        return cls(g, {n: pts[n] for n in g.nodes})
+
+    # -- views -----------------------------------------------------------------
+
+    def bbox(self) -> BBox:
+        """Bounding box of all node positions."""
+        return BBox.from_points(self.positions.values())
+
+    def edges(self) -> list[RoadEdge]:
+        """All edges with their geometry."""
+        return [
+            RoadEdge(u, v, (self.positions[u], self.positions[v]))
+            for u, v in self.graph.edges
+        ]
+
+    def edge_length(self, u: int, v: int) -> float:
+        """Euclidean length of edge ``(u, v)``."""
+        return float(self.graph.edges[u, v]["length"])
+
+    def nearest_node(self, p: Point) -> int:
+        """Node id closest to point ``p``."""
+        return min(self.positions, key=lambda n: self.positions[n].distance_to(p))
+
+    # -- routing -----------------------------------------------------------------
+
+    def shortest_path(self, u: int, v: int) -> list[int]:
+        """Node sequence of the shortest path by Euclidean length."""
+        return nx.shortest_path(self.graph, u, v, weight="length")
+
+    def path_length(self, path: list[int]) -> float:
+        """Total Euclidean length of a node path."""
+        return sum(self.edge_length(a, b) for a, b in zip(path, path[1:]))
+
+    def path_geometry(self, path: list[int]) -> list[Point]:
+        """Node positions along a path."""
+        return [self.positions[n] for n in path]
+
+    def random_route(
+        self, rng: np.random.Generator, min_edges: int = 5
+    ) -> list[int]:
+        """Shortest path between two random nodes at least ``min_edges`` apart."""
+        nodes = list(self.graph.nodes)
+        for _ in range(100):
+            u, v = rng.choice(nodes, size=2, replace=False)
+            path = self.shortest_path(int(u), int(v))
+            if len(path) - 1 >= min_edges:
+                return path
+        raise RuntimeError("could not find a long enough route; grow the network")
+
+    # -- trajectories on the network ----------------------------------------------
+
+    def trajectory_along_path(
+        self,
+        path: list[int],
+        speed: float = 10.0,
+        interval: float = 1.0,
+        object_id: str = "veh",
+        t_start: float = 0.0,
+    ) -> Trajectory:
+        """Uniform-speed traversal of ``path``, sampled every ``interval`` s."""
+        geometry = self.path_geometry(path)
+        total = polyline_length(geometry)
+        if total == 0:
+            raise ValueError("degenerate path")
+        duration = total / speed
+        ts = np.arange(0.0, duration + 1e-9, interval)
+        points = [
+            TrajectoryPoint(*point_along_polyline(geometry, speed * float(t)), t_start + float(t))
+            for t in ts
+        ]
+        return Trajectory(points, object_id)
+
+    def snap(self, p: Point) -> tuple[tuple[int, int], Point, float]:
+        """Closest edge to ``p``: ``((u, v), projected point, distance)``."""
+        best: tuple[tuple[int, int], Point, float] | None = None
+        for u, v in self.graph.edges:
+            a, b = self.positions[u], self.positions[v]
+            from ..core.geometry import project_point_to_segment
+
+            q, _ = project_point_to_segment(p, a, b)
+            d = p.distance_to(q)
+            if best is None or d < best[2]:
+                best = ((u, v), q, d)
+        if best is None:
+            raise ValueError("network has no edges")
+        return best

@@ -1,0 +1,131 @@
+"""Wireless positioning substrates: RSSI propagation, fingerprints, ranging.
+
+Real IoT localization stacks observe radio measurements (WiFi/BLE RSSI,
+time-of-flight ranges).  This module simulates those observation channels
+with the standard log-distance path-loss model so that the Location
+Refinement family (Sec. 2.2.1) can be exercised with known ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox, Point
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A fixed radio transmitter with log-distance path-loss parameters."""
+
+    ap_id: str
+    location: Point
+    tx_power_dbm: float = -30.0
+    path_loss_exponent: float = 2.5
+
+    def expected_rssi(self, p: Point) -> float:
+        """Noise-free RSSI (dBm) at ``p`` under log-distance path loss."""
+        d = max(1.0, self.location.distance_to(p))
+        return self.tx_power_dbm - 10.0 * self.path_loss_exponent * math.log10(d)
+
+    def measure_rssi(self, p: Point, rng: np.random.Generator, noise_db: float = 4.0) -> float:
+        """RSSI with log-normal shadowing noise."""
+        return self.expected_rssi(p) + rng.normal(0.0, noise_db)
+
+    def distance_from_rssi(self, rssi: float) -> float:
+        """Invert the path-loss model (used by ranging-based positioning)."""
+        return 10.0 ** ((self.tx_power_dbm - rssi) / (10.0 * self.path_loss_exponent))
+
+
+def deploy_access_points(
+    rng: np.random.Generator,
+    n_aps: int,
+    bbox: BBox,
+    tx_power_dbm: float = -30.0,
+    path_loss_exponent: float = 2.5,
+) -> list[AccessPoint]:
+    """Uniformly random AP deployment over ``bbox``."""
+    return [
+        AccessPoint(
+            f"ap-{i}",
+            Point(rng.uniform(bbox.min_x, bbox.max_x), rng.uniform(bbox.min_y, bbox.max_y)),
+            tx_power_dbm,
+            path_loss_exponent,
+        )
+        for i in range(n_aps)
+    ]
+
+
+def measure_vector(
+    aps: list[AccessPoint], p: Point, rng: np.random.Generator, noise_db: float = 4.0
+) -> np.ndarray:
+    """One RSSI observation vector (one entry per AP) at position ``p``."""
+    return np.array([ap.measure_rssi(p, rng, noise_db) for ap in aps])
+
+
+@dataclass
+class RadioMap:
+    """An offline fingerprint database: reference points with mean RSSI vectors.
+
+    The radio map is the training corpus for fingerprint positioning
+    (single-source ensemble LR).  Grid spacing controls map *resolution*.
+    """
+
+    reference_points: list[Point]
+    fingerprints: np.ndarray  # (n_refs, n_aps) mean RSSI
+    aps: list[AccessPoint]
+
+    @classmethod
+    def survey(
+        cls,
+        aps: list[AccessPoint],
+        bbox: BBox,
+        spacing: float,
+        rng: np.random.Generator,
+        samples_per_point: int = 8,
+        noise_db: float = 4.0,
+    ) -> "RadioMap":
+        """Simulate a site survey: average ``samples_per_point`` scans per cell."""
+        xs = np.arange(bbox.min_x + spacing / 2, bbox.max_x, spacing)
+        ys = np.arange(bbox.min_y + spacing / 2, bbox.max_y, spacing)
+        refs: list[Point] = []
+        rows: list[np.ndarray] = []
+        for y in ys:
+            for x in xs:
+                p = Point(float(x), float(y))
+                scans = np.stack(
+                    [measure_vector(aps, p, rng, noise_db) for _ in range(samples_per_point)]
+                )
+                refs.append(p)
+                rows.append(scans.mean(axis=0))
+        if not refs:
+            raise ValueError("bbox too small for the requested spacing")
+        return cls(refs, np.stack(rows), aps)
+
+    def __len__(self) -> int:
+        return len(self.reference_points)
+
+
+@dataclass(frozen=True)
+class RangingObservation:
+    """A distance measurement to one anchor (ToF/ToA style)."""
+
+    anchor: Point
+    distance: float
+
+
+def measure_ranges(
+    anchors: list[Point],
+    p: Point,
+    rng: np.random.Generator,
+    noise_m: float = 2.0,
+    bias_m: float = 0.0,
+) -> list[RangingObservation]:
+    """Noisy (optionally biased) range measurements to every anchor."""
+    out = []
+    for a in anchors:
+        d = a.distance_to(p) + bias_m + rng.normal(0.0, noise_m)
+        out.append(RangingObservation(a, max(0.0, d)))
+    return out

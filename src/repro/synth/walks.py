@@ -1,0 +1,186 @@
+"""Moving-object generators.
+
+Ground-truth motion processes for the planar world.  They expose the SID
+characteristics the tutorial's Table 1 builds on: *Markovian* headings,
+*varying smoothly* positions, and stop episodes for semantic annotation.
+All generators are deterministic given a seeded ``numpy`` Generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox, Point
+from ..core.trajectory import Trajectory, TrajectoryPoint
+
+
+def _reflect(value: float, lo: float, hi: float) -> float:
+    """Reflect ``value`` into ``[lo, hi]`` (billiard boundary)."""
+    span = hi - lo
+    if span <= 0:
+        return lo
+    v = (value - lo) % (2.0 * span)
+    return lo + (span - abs(v - span))
+
+
+def correlated_random_walk(
+    rng: np.random.Generator,
+    n_points: int,
+    bbox: BBox,
+    start: Point | None = None,
+    speed_mean: float = 10.0,
+    speed_sigma: float = 2.0,
+    turn_sigma: float = 0.3,
+    interval: float = 1.0,
+    object_id: str = "obj",
+) -> Trajectory:
+    """A Markovian correlated random walk (heading persists, speed wanders).
+
+    This is the canonical ground-truth motion model: heading evolves by
+    Gaussian turns (Markovian characteristic) and position varies smoothly.
+    The walk reflects off the bbox borders.
+    """
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    if start is None:
+        start = Point(
+            rng.uniform(bbox.min_x, bbox.max_x), rng.uniform(bbox.min_y, bbox.max_y)
+        )
+    heading = rng.uniform(-math.pi, math.pi)
+    x, y = start.x, start.y
+    points = [TrajectoryPoint(x, y, 0.0)]
+    for i in range(1, n_points):
+        heading += rng.normal(0.0, turn_sigma)
+        speed = max(0.0, rng.normal(speed_mean, speed_sigma))
+        x += speed * interval * math.cos(heading)
+        y += speed * interval * math.sin(heading)
+        nx = _reflect(x, bbox.min_x, bbox.max_x)
+        ny = _reflect(y, bbox.min_y, bbox.max_y)
+        if nx != x or ny != y:
+            # Bounce: keep position legal and flip heading accordingly.
+            heading += math.pi / 2.0
+            x, y = nx, ny
+        points.append(TrajectoryPoint(x, y, i * interval))
+    return Trajectory(points, object_id)
+
+
+def waypoint_walk(
+    rng: np.random.Generator,
+    n_waypoints: int,
+    bbox: BBox,
+    speed: float = 10.0,
+    interval: float = 1.0,
+    pause_time: float = 0.0,
+    object_id: str = "obj",
+) -> Trajectory:
+    """Random-waypoint motion: straight legs between uniform waypoints.
+
+    With ``pause_time > 0`` the object dwells at each waypoint, producing
+    the stop episodes that semantic annotation (Sec. 2.2.5) extracts.
+    """
+    if n_waypoints < 2:
+        raise ValueError("need at least 2 waypoints")
+    waypoints = [
+        Point(rng.uniform(bbox.min_x, bbox.max_x), rng.uniform(bbox.min_y, bbox.max_y))
+        for _ in range(n_waypoints)
+    ]
+    points: list[TrajectoryPoint] = []
+    t = 0.0
+    pos = waypoints[0]
+    points.append(TrajectoryPoint(pos.x, pos.y, t))
+    for target in waypoints[1:]:
+        dist = pos.distance_to(target)
+        travel = dist / speed if speed > 0 else 0.0
+        n_steps = max(1, int(math.ceil(travel / interval)))
+        for step in range(1, n_steps + 1):
+            frac = min(1.0, step / n_steps)
+            p = Point(pos.x + (target.x - pos.x) * frac, pos.y + (target.y - pos.y) * frac)
+            t += interval
+            points.append(TrajectoryPoint(p.x, p.y, t))
+        pos = target
+        if pause_time > 0:
+            n_pause = int(pause_time / interval)
+            for _ in range(n_pause):
+                t += interval
+                # Tiny jitter so the trajectory stays strictly time-ordered
+                # but visually dwells (position constant).
+                points.append(TrajectoryPoint(pos.x, pos.y, t))
+    return Trajectory(points, object_id)
+
+
+@dataclass(frozen=True)
+class StopSegment:
+    """Ground-truth dwell episode: index span and the dwell location."""
+
+    start_index: int
+    end_index: int
+    location: Point
+
+
+def stop_and_go_walk(
+    rng: np.random.Generator,
+    bbox: BBox,
+    n_stops: int = 3,
+    move_points: int = 30,
+    stop_points: int = 15,
+    speed: float = 10.0,
+    stop_jitter: float = 1.0,
+    interval: float = 1.0,
+    object_id: str = "obj",
+) -> tuple[Trajectory, list[StopSegment]]:
+    """A walk alternating travel legs and noisy dwells, with labeled stops.
+
+    Returns the trajectory and the list of ground-truth stop segments, the
+    labels for evaluating stay-point detection / semantic annotation.
+    """
+    points: list[TrajectoryPoint] = []
+    stops: list[StopSegment] = []
+    t = 0.0
+    pos = Point(rng.uniform(bbox.min_x, bbox.max_x), rng.uniform(bbox.min_y, bbox.max_y))
+    for stop_i in range(n_stops):
+        target = Point(
+            rng.uniform(bbox.min_x, bbox.max_x), rng.uniform(bbox.min_y, bbox.max_y)
+        )
+        for step in range(move_points):
+            frac = (step + 1) / move_points
+            p = Point(pos.x + (target.x - pos.x) * frac, pos.y + (target.y - pos.y) * frac)
+            points.append(TrajectoryPoint(p.x, p.y, t))
+            t += interval
+        pos = target
+        start_idx = len(points)
+        for _ in range(stop_points):
+            points.append(
+                TrajectoryPoint(
+                    pos.x + rng.normal(0, stop_jitter),
+                    pos.y + rng.normal(0, stop_jitter),
+                    t,
+                )
+            )
+            t += interval
+        stops.append(StopSegment(start_idx, len(points) - 1, pos))
+    return Trajectory(points, object_id), stops
+
+
+def fleet(
+    rng: np.random.Generator,
+    n_objects: int,
+    n_points: int,
+    bbox: BBox,
+    speed_mean: float = 10.0,
+    **kwargs,
+) -> list[Trajectory]:
+    """A fleet of independent correlated random walks, ids ``obj-0..n-1``."""
+    return [
+        correlated_random_walk(
+            rng,
+            n_points,
+            bbox,
+            speed_mean=speed_mean,
+            object_id=f"obj-{i}",
+            **kwargs,
+        )
+        for i in range(n_objects)
+    ]

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox
+from repro.analytics import MovementModel, OnlineAnomalyDetector, detection_rates
+from repro.synth import add_outliers, correlated_random_walk
+
+
+def route_trip(rng, box, object_id=""):
+    """Normal behavior with learnable structure: noisy traversals of one of
+    two fixed corridors (movement models require recurring routes)."""
+    from repro.core import Trajectory, TrajectoryPoint
+
+    if rng.random() < 0.5:
+        waypoints = [(50, 300), (550, 300)]  # west-east corridor
+    else:
+        waypoints = [(300, 50), (300, 550)]  # south-north corridor
+    (x0, y0), (x1, y1) = waypoints
+    n = 60
+    pts = [
+        TrajectoryPoint(
+            x0 + (x1 - x0) * i / (n - 1) + rng.normal(0, 8),
+            y0 + (y1 - y0) * i / (n - 1) + rng.normal(0, 8),
+            float(i),
+        )
+        for i in range(n)
+    ]
+    return Trajectory(pts, object_id)
+
+
+@pytest.fixture
+def corpus(rng):
+    box = BBox(0, 0, 600, 600)
+    return box, [route_trip(rng, box, f"n{i}") for i in range(40)]
+
+
+@pytest.fixture
+def fitted(corpus):
+    box, trips = corpus
+    return box, trips, MovementModel(box, 60.0).fit(trips)
+
+
+class TestMovementModel:
+    def test_cell_size_validated(self, corpus):
+        box, _ = corpus
+        with pytest.raises(ValueError):
+            MovementModel(box, 0)
+
+    def test_seen_transitions_likelier_than_unseen(self, fitted):
+        box, trips, model = fitted
+        t = trips[0]
+        c1 = model._cell_of(t[0].x, t[0].y)
+        c2 = model._cell_of(t[1].x, t[1].y)
+        unseen = (999, 999)
+        assert model.transition_nll(c1, c2) < model.transition_nll(c1, unseen)
+
+    def test_speed_z_neutral_without_profile(self, fitted):
+        _, _, model = fitted
+        assert model.speed_z((999, 999), 100.0) == 0.0
+
+    def test_speed_z_flags_fast_leg(self, fitted):
+        box, trips, model = fitted
+        t = trips[0]
+        c = model._cell_of(t[0].x, t[0].y)
+        if len(model._speeds.get(c, [])) >= 3:
+            assert model.speed_z(c, 500.0) > 3.0
+
+    def test_partial_fit_accumulates(self, corpus):
+        box, trips = corpus
+        m = MovementModel(box, 60.0)
+        m.partial_fit(trips[0])
+        before = len(m._transitions)
+        m.partial_fit(trips[1])
+        assert len(m._transitions) >= before
+
+
+class TestDetector:
+    def test_calibration_required(self, fitted):
+        _, trips, model = fitted
+        det = OnlineAnomalyDetector(model)
+        with pytest.raises(RuntimeError):
+            det.first_alarm(trips[0])
+
+    def test_calibrate_sets_threshold(self, fitted):
+        _, trips, model = fitted
+        det = OnlineAnomalyDetector(model)
+        thr = det.calibrate(trips, 0.99)
+        assert det.threshold == thr > 0
+
+    def test_normal_trips_mostly_pass(self, fitted, rng):
+        box, trips, model = fitted
+        det = OnlineAnomalyDetector(model, window=5)
+        det.calibrate(trips, 0.999)
+        fresh = [route_trip(rng, box) for _ in range(10)]
+        rates = detection_rates(det, fresh, [])
+        assert rates["fpr"] <= 0.3
+
+    def test_outlier_trips_flagged(self, fitted, rng):
+        _, trips, model = fitted
+        det = OnlineAnomalyDetector(model, window=3)
+        det.calibrate(trips, 0.995)
+        anomalous = [add_outliers(t, rng, 0.3, magnitude=500)[0] for t in trips[:10]]
+        rates = detection_rates(det, [], anomalous)
+        assert rates["tpr"] >= 0.8
+
+    def test_first_alarm_is_early_for_early_anomaly(self, fitted, rng):
+        """Online property: the alarm fires near the corrupted region, not
+        at the end of the trip."""
+        _, trips, model = fitted
+        det = OnlineAnomalyDetector(model, window=3)
+        det.calibrate(trips, 0.995)
+        t = trips[0]
+        # Corrupt only the first third.
+        third = len(t) // 3
+        corrupted, idx = add_outliers(t[0:third], rng, 0.4, 500)
+        if det.is_anomalous(corrupted):
+            alarm = det.first_alarm(corrupted)
+            assert alarm is not None and alarm <= len(corrupted)
+
+    def test_windowed_scores_length(self, fitted):
+        _, trips, model = fitted
+        det = OnlineAnomalyDetector(model, window=4)
+        scores = det.windowed_scores(trips[0])
+        assert len(scores) == len(trips[0]) - 1
+
+    def test_empty_corpus_calibration_rejected(self, fitted):
+        _, _, model = fitted
+        det = OnlineAnomalyDetector(model)
+        with pytest.raises(ValueError):
+            det.calibrate([])

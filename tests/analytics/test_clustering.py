@@ -1,0 +1,156 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BBox,
+    GaussianLocation,
+    Point,
+    Trajectory,
+    TrajectoryPoint,
+    UncertainTrajectory,
+)
+from repro.analytics import (
+    UncertainTrajectoryClusterer,
+    cluster_crisp_trajectories,
+    clustering_agreement,
+    crisp_trajectory_distance,
+    dbscan,
+    expected_trajectory_distance,
+    kmedoids,
+)
+from repro.synth import add_gaussian_noise, correlated_random_walk
+
+
+def grouped_trajectories(rng, centers, per_group=4, noise=0.0):
+    trajs, labels = [], []
+    for g, (cx, cy) in enumerate(centers):
+        for k in range(per_group):
+            start = Point(cx + rng.normal(0, 20), cy + rng.normal(0, 20))
+            t = correlated_random_walk(
+                rng, 30, BBox(0, 0, 2000, 2000), start=start, speed_mean=2, turn_sigma=0.1
+            )
+            if noise > 0:
+                t = add_gaussian_noise(t, rng, noise)
+            trajs.append(t)
+            labels.append(g)
+    return trajs, np.array(labels)
+
+
+class TestDBSCAN:
+    def test_two_blobs(self, rng):
+        pts = [Point(rng.normal(0, 2), rng.normal(0, 2)) for _ in range(30)]
+        pts += [Point(rng.normal(100, 2), rng.normal(100, 2)) for _ in range(30)]
+        labels = dbscan(pts, eps=8, min_samples=4)
+        assert len({l for l in labels if l >= 0}) == 2
+        assert (labels[:30] == labels[0]).all()
+
+    def test_noise_labeled_minus_one(self, rng):
+        pts = [Point(rng.normal(0, 1), rng.normal(0, 1)) for _ in range(20)]
+        pts.append(Point(500, 500))
+        labels = dbscan(pts, eps=5, min_samples=4)
+        assert labels[-1] == -1
+
+    def test_empty(self):
+        assert dbscan([], 1, 2).size == 0
+
+
+class TestKMedoids:
+    def test_separable_matrix(self, rng):
+        d = np.array(
+            [
+                [0, 1, 9, 9],
+                [1, 0, 9, 9],
+                [9, 9, 0, 1],
+                [9, 9, 1, 0],
+            ],
+            dtype=float,
+        )
+        labels, medoids = kmedoids(d, 2, rng)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_k_validated(self, rng):
+        with pytest.raises(ValueError):
+            kmedoids(np.zeros((3, 3)), 4, rng)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmedoids(np.zeros((3, 4)), 2, rng)
+
+
+class TestDistances:
+    def test_crisp_distance_zero_to_self(self, walk):
+        assert crisp_trajectory_distance(walk, walk) == pytest.approx(0.0)
+
+    def test_crisp_distance_offset(self):
+        a = Trajectory([TrajectoryPoint(float(i), 0, float(i)) for i in range(10)])
+        b = Trajectory([TrajectoryPoint(float(i), 5, float(i)) for i in range(10)])
+        assert crisp_trajectory_distance(a, b) == pytest.approx(5.0)
+
+    def test_disjoint_spans_fall_back_to_centroids(self):
+        a = Trajectory([TrajectoryPoint(0, 0, 0.0), TrajectoryPoint(0, 0, 1.0)])
+        b = Trajectory([TrajectoryPoint(10, 0, 100.0), TrajectoryPoint(10, 0, 101.0)])
+        assert crisp_trajectory_distance(a, b) == pytest.approx(10.0)
+
+    def test_expected_distance_reflects_separation(self, rng):
+        def make(offset):
+            return UncertainTrajectory(
+                [
+                    (float(i), GaussianLocation(Point(offset + i, 0.0), 2.0))
+                    for i in range(5)
+                ]
+            )
+
+        near = expected_trajectory_distance(make(0), make(1), rng)
+        far = expected_trajectory_distance(make(0), make(100), rng)
+        assert far > near
+
+
+class TestClusterers:
+    def test_crisp_clustering_recovers_groups(self, rng):
+        trajs, truth = grouped_trajectories(
+            rng, [(300, 300), (1600, 300), (900, 1600)]
+        )
+        labels = cluster_crisp_trajectories(trajs, 3, rng)
+        assert clustering_agreement(labels, truth) == 1.0
+
+    def test_uncertain_clustering_recovers_groups_under_noise(self, rng):
+        trajs, truth = grouped_trajectories(
+            rng, [(300, 300), (1600, 300)], noise=40.0
+        )
+        uncertain = [
+            UncertainTrajectory(
+                [(p.t, GaussianLocation(p.point, 40.0)) for p in t], t.object_id
+            )
+            for t in trajs
+        ]
+        labels = UncertainTrajectoryClusterer(2, rng, n_draws=8).fit_predict(uncertain)
+        assert clustering_agreement(labels, truth) == 1.0
+
+    def test_dissimilarity_matrix_symmetric(self, rng):
+        trajs, _ = grouped_trajectories(rng, [(300, 300), (1600, 300)], per_group=2)
+        uncertain = [
+            UncertainTrajectory(
+                [(p.t, GaussianLocation(p.point, 10.0)) for p in t], t.object_id
+            )
+            for t in trajs
+        ]
+        c = UncertainTrajectoryClusterer(2, rng, 4)
+        d = c.dissimilarity_matrix(uncertain)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+
+class TestAgreement:
+    def test_identical(self):
+        assert clustering_agreement(np.array([0, 0, 1]), np.array([1, 1, 0])) == 1.0
+
+    def test_total_disagreement(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert clustering_agreement(a, b) < 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            clustering_agreement(np.array([0]), np.array([0, 1]))

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, STSeries
+from repro.analytics import (
+    change_series,
+    coevolution_matrix,
+    find_coevolving_groups,
+    group_purity,
+    lagged_correlation,
+)
+
+
+def series_from(values, sensor_id="s", loc=Point(0, 0)):
+    return STSeries(sensor_id, loc, np.arange(float(len(values))), values)
+
+
+@pytest.fixture
+def driven_group(rng):
+    """Four sensors driven by one signal + two independent sensors."""
+    driver = np.cumsum(rng.normal(0, 1, 200))
+    series = []
+    for i in range(4):
+        vals = driver + rng.normal(0, 0.05, 200)
+        series.append(series_from(vals, f"g{i}", Point(10 * i, 0)))
+    for i in range(2):
+        vals = np.cumsum(rng.normal(0, 1, 200))
+        series.append(series_from(vals, f"ind{i}", Point(1000 + i, 1000)))
+    return series
+
+
+class TestChangeSeries:
+    def test_standardized(self, rng):
+        s = series_from(np.cumsum(rng.normal(0, 1, 100)))
+        c = change_series(s)
+        assert c.mean() == pytest.approx(0.0, abs=1e-9)
+        assert c.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_short_series(self):
+        assert change_series(series_from([1.0])).size == 0
+
+
+class TestLaggedCorrelation:
+    def test_identical_signals(self, rng):
+        a = rng.normal(0, 1, 100)
+        assert lagged_correlation(a, a) == pytest.approx(1.0)
+
+    def test_lagged_copy_detected(self, rng):
+        a = rng.normal(0, 1, 100)
+        b = np.roll(a, 1)
+        assert abs(lagged_correlation(a, b, max_lag=2)) > 0.9
+
+    def test_independent_signals_low(self, rng):
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(0, 1, 500)
+        assert abs(lagged_correlation(a, b)) < 0.3
+
+    def test_short_input(self):
+        assert lagged_correlation(np.zeros(2), np.zeros(2)) == 0.0
+
+    def test_anticorrelation_detected(self, rng):
+        a = rng.normal(0, 1, 200)
+        assert lagged_correlation(a, -a) == pytest.approx(-1.0)
+
+
+class TestCoevolutionMatrix:
+    def test_symmetric_unit_diagonal(self, driven_group):
+        m = coevolution_matrix(driven_group)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_driven_sensors_correlated(self, driven_group):
+        m = coevolution_matrix(driven_group)
+        assert abs(m[0, 1]) > 0.8
+        assert abs(m[0, 4]) < 0.5
+
+
+class TestGroups:
+    def test_finds_driven_group(self, driven_group):
+        groups = find_coevolving_groups(driven_group, min_correlation=0.7)
+        assert [0, 1, 2, 3] in groups
+
+    def test_independent_sensors_excluded(self, driven_group):
+        groups = find_coevolving_groups(driven_group, 0.7)
+        grouped = {i for g in groups for i in g}
+        assert 4 not in grouped and 5 not in grouped
+
+    def test_spatial_constraint(self, driven_group):
+        """With a tight distance cap, far-away member is rejected even when
+        correlated."""
+        # Move sensor 3 far away but keep its values.
+        s3 = driven_group[3]
+        moved = STSeries(s3.sensor_id, Point(99_999, 99_999), s3.times, s3.values)
+        series = driven_group[:3] + [moved] + driven_group[4:]
+        groups = find_coevolving_groups(series, 0.7, max_distance=100.0)
+        grouped = {i for g in groups for i in g}
+        assert 3 not in grouped
+
+    def test_purity_metric(self):
+        assert group_purity([[0, 1, 2]], [{0, 1, 2}]) == 1.0
+        assert group_purity([[0, 1]], [{0, 1, 2, 3}]) == 0.5
+        assert group_purity([], [{0}]) == 0.0

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    MarkovTrajectoryGenerator,
+    nearest_real_distance,
+    visit_distribution_divergence,
+)
+from repro.core import BBox
+from repro.synth import fleet
+
+
+@pytest.fixture
+def corpus(rng, box):
+    return fleet(rng, 25, 60, box, speed_mean=6)
+
+
+@pytest.fixture
+def generator(corpus, box):
+    return MarkovTrajectoryGenerator(box, 100.0).fit(corpus)
+
+
+class TestGenerator:
+    def test_params_validated(self, box):
+        with pytest.raises(ValueError):
+            MarkovTrajectoryGenerator(box, 0.0)
+
+    def test_fit_required(self, rng, box):
+        gen = MarkovTrajectoryGenerator(box, 100.0)
+        with pytest.raises(RuntimeError):
+            gen.sample(rng, 10)
+
+    def test_empty_corpus_rejected(self, box):
+        with pytest.raises(ValueError):
+            MarkovTrajectoryGenerator(box, 100.0).fit([])
+
+    def test_sample_shape(self, generator, rng):
+        t = generator.sample(rng, 40)
+        assert len(t) == 40
+        assert t.times == [float(i) for i in range(40)]
+
+    def test_samples_stay_near_region(self, generator, rng, box):
+        t = generator.sample(rng, 60)
+        expanded = box.expand(100.0)
+        assert all(expanded.contains(p.point) for p in t)
+
+    def test_sample_many_distinct_ids(self, generator, rng):
+        out = generator.sample_many(rng, 5, 20)
+        assert len({t.object_id for t in out}) == 5
+
+    def test_deterministic_given_seed(self, generator):
+        a = generator.sample(np.random.default_rng(3), 20)
+        b = generator.sample(np.random.default_rng(3), 20)
+        assert a == b
+
+
+class TestUtilityPrivacy:
+    def test_visit_distribution_normalized(self, generator, corpus):
+        p = generator.visit_distribution(corpus)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_js_divergence_identity(self, generator, corpus):
+        p = generator.visit_distribution(corpus)
+        assert visit_distribution_divergence(p, p) == pytest.approx(0.0)
+
+    def test_js_divergence_bounds(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert visit_distribution_divergence(p, q) == pytest.approx(1.0)
+
+    def test_js_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            visit_distribution_divergence(np.zeros(2), np.zeros(3))
+
+    def test_synthetic_preserves_aggregate_statistics(self, generator, corpus, rng):
+        """Utility claim: synthetic visits approximate the corpus's."""
+        synth = generator.sample_many(rng, 25, 60)
+        p = generator.visit_distribution(corpus)
+        q = generator.visit_distribution(synth)
+        uniform = np.full_like(p, 1.0 / len(p))
+        assert visit_distribution_divergence(p, q) < visit_distribution_divergence(
+            p, uniform
+        )
+
+    def test_synthetic_copies_nobody(self, generator, corpus, rng):
+        """Privacy claim: synthetic traces stay away from real ones."""
+        synth = generator.sample_many(rng, 5, 60)
+        dists = [nearest_real_distance(s, corpus) for s in synth]
+        # Far larger than positioning noise; no trace replicated.
+        assert min(dists) > 10.0
+
+    def test_nearest_real_distance_zero_for_copy(self, generator, corpus):
+        assert nearest_real_distance(corpus[0], corpus) == pytest.approx(0.0)
+
+    def test_nearest_real_distance_empty_corpus(self, generator, corpus):
+        with pytest.raises(ValueError):
+            nearest_real_distance(corpus[0], [])

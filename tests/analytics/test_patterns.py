@@ -1,0 +1,133 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Trajectory, TrajectoryPoint
+from repro.analytics import (
+    UncertainSymbol,
+    mine_frequent_sequences,
+    mine_frequent_sequences_certain,
+    pattern_precision_recall,
+    symbolize,
+)
+
+BOX = BBox(0, 0, 1000, 1000)
+ROUTE = [(1, 1), (2, 1), (3, 1)]
+
+
+def route_trajectory(rng, jitter=5.0):
+    pts = []
+    t = 0.0
+    for cx, cy in ROUTE:
+        pts.append(
+            TrajectoryPoint(
+                cx * 100 + 50 + rng.normal(0, jitter),
+                cy * 100 + 50 + rng.normal(0, jitter),
+                t,
+            )
+        )
+        t += 10.0
+    return Trajectory(pts)
+
+
+class TestSymbolize:
+    def test_certain_probabilities(self, rng):
+        syms = symbolize(route_trajectory(rng), BOX, 100, location_sigma=0)
+        assert all(s.probability == 1.0 for s in syms)
+
+    def test_uncertain_probabilities_below_one(self, rng):
+        syms = symbolize(route_trajectory(rng), BOX, 100, location_sigma=20.0)
+        assert all(0.0 < s.probability <= 1.0 for s in syms)
+        assert any(s.probability < 1.0 for s in syms)
+
+    def test_more_noise_less_confidence(self, rng):
+        t = route_trajectory(rng, jitter=0.0)
+        tight = symbolize(t, BOX, 100, location_sigma=5.0)
+        loose = symbolize(t, BOX, 100, location_sigma=50.0)
+        assert np.mean([s.probability for s in loose]) < np.mean(
+            [s.probability for s in tight]
+        )
+
+    def test_cells_track_route(self, rng):
+        syms = symbolize(route_trajectory(rng, jitter=1.0), BOX, 100)
+        assert [s.cell for s in syms] == ROUTE
+
+
+class TestMining:
+    @pytest.fixture
+    def database(self, rng):
+        db = [symbolize(route_trajectory(rng), BOX, 100, 10.0) for _ in range(10)]
+        # Plus random noise records.
+        for i in range(5):
+            t = Trajectory(
+                [
+                    TrajectoryPoint(rng.uniform(0, 1000), rng.uniform(0, 1000), j * 10.0)
+                    for j in range(3)
+                ]
+            )
+            db.append(symbolize(t, BOX, 100, 10.0))
+        return db
+
+    def test_route_pattern_mined(self, database):
+        mined = mine_frequent_sequences(database, min_expected_support=5.0)
+        assert tuple(ROUTE) in mined
+        assert mined[tuple(ROUTE)] >= 5.0
+
+    def test_support_monotone_in_length(self, database):
+        mined = mine_frequent_sequences(database, 3.0)
+        full = tuple(ROUTE)
+        prefix = full[:2]
+        if full in mined and prefix in mined:
+            assert mined[prefix] >= mined[full] - 1e-9
+
+    def test_threshold_validated(self, database):
+        with pytest.raises(ValueError):
+            mine_frequent_sequences(database, 0.0)
+
+    def test_uncertain_support_below_certain(self, database):
+        uncertain = mine_frequent_sequences(database, 1.0)
+        certain = mine_frequent_sequences_certain(database, 1.0)
+        key = tuple(ROUTE)
+        assert uncertain[key] <= certain[key]
+
+    def test_expected_support_suppresses_noise_patterns(self, rng):
+        """A pattern seen only through low-confidence symbols should fall
+        below a threshold that certain counting would pass — the point of
+        expected-support mining."""
+        low_conf = [
+            [UncertainSymbol((9, 9), 0.3), UncertainSymbol((9, 8), 0.3)]
+            for _ in range(10)
+        ]
+        uncertain = mine_frequent_sequences(low_conf, min_expected_support=5.0)
+        certain = mine_frequent_sequences_certain(low_conf, min_support=5.0)
+        assert ((9, 9), (9, 8)) not in uncertain
+        assert ((9, 9), (9, 8)) in certain
+
+    def test_max_length_respected(self, database):
+        mined = mine_frequent_sequences(database, 2.0, max_length=2)
+        assert all(len(seq) <= 2 for seq in mined)
+
+    def test_gap_constraint(self):
+        db = [
+            [
+                UncertainSymbol((0, 0), 1.0),
+                UncertainSymbol((5, 5), 1.0),
+                UncertainSymbol((5, 6), 1.0),
+                UncertainSymbol((1, 0), 1.0),
+            ]
+        ] * 5
+        no_gap = mine_frequent_sequences(db, 4.0, max_gap=0)
+        with_gap = mine_frequent_sequences(db, 4.0, max_gap=3)
+        assert ((0, 0), (1, 0)) not in no_gap
+        assert ((0, 0), (1, 0)) in with_gap
+
+
+class TestScores:
+    def test_perfect(self):
+        mined = {((0, 0), (1, 0)): 5.0}
+        truth = {((0, 0), (1, 0))}
+        s = pattern_precision_recall(mined, truth)
+        assert s["f1"] == 1.0
+
+    def test_missing_pattern(self):
+        s = pattern_precision_recall({}, {((0, 0), (1, 1))})
+        assert s["recall"] == 0.0

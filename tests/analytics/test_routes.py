@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, Trajectory, TrajectoryPoint
+from repro.analytics import TransferNetwork, route_overlap
+
+BOX = BBox(0, 0, 1000, 1000)
+
+
+def cells_to_trajectory(cells, rng=None, jitter=0.0, interval=10.0):
+    pts = []
+    for i, (cx, cy) in enumerate(cells):
+        x = cx * 100 + 50
+        y = cy * 100 + 50
+        if rng is not None and jitter > 0:
+            x += rng.normal(0, jitter)
+            y += rng.normal(0, jitter)
+        pts.append(TrajectoryPoint(x, y, i * interval))
+    return Trajectory(pts)
+
+
+MAIN = [(1, 1), (2, 1), (3, 1), (4, 1)]
+SIDE = [(1, 1), (1, 2), (2, 2), (3, 2), (4, 2), (4, 1)]
+
+
+@pytest.fixture
+def network(rng):
+    corpus = [cells_to_trajectory(MAIN, rng, 5.0) for _ in range(15)]
+    corpus += [cells_to_trajectory(SIDE, rng, 5.0) for _ in range(3)]
+    return TransferNetwork(BOX, 100).fit(corpus)
+
+
+class TestTransferNetwork:
+    def test_cell_size_validated(self):
+        with pytest.raises(ValueError):
+            TransferNetwork(BOX, 0)
+
+    def test_transition_probabilities_normalized(self, network):
+        for node in network.graph.nodes:
+            out = network.graph.out_edges(node, data=True)
+            if out:
+                assert sum(d["probability"] for _, _, d in out) == pytest.approx(1.0)
+
+    def test_popular_route_prefers_main_corridor(self, network):
+        route = network.popular_route(Point(150, 150), Point(450, 150))
+        assert route_overlap(route, MAIN) > route_overlap(route, SIDE)
+
+    def test_route_probability_product(self, network):
+        route = network.popular_route(Point(150, 150), Point(450, 150))
+        p = network.route_probability(route)
+        assert 0.0 < p <= 1.0
+
+    def test_impossible_route_probability_zero(self, network):
+        assert network.route_probability([(1, 1), (9, 9)]) == 0.0
+
+    def test_unknown_origin_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.popular_route(Point(950, 950), Point(150, 150))
+
+    def test_route_points_geometry(self, network):
+        route = network.popular_route(Point(150, 150), Point(450, 150))
+        pts = network.route_points(route)
+        assert len(pts) == len(route)
+        assert pts[0] == network.cell_center(route[0])
+
+    def test_dedupes_repeated_cells(self, rng):
+        stuttering = cells_to_trajectory(
+            [(0, 0), (0, 0), (1, 0), (1, 0), (2, 0)], interval=5.0
+        )
+        tn = TransferNetwork(BOX, 100)
+        tn.add_trajectory(stuttering)
+        assert tn.graph.number_of_edges() == 2
+
+    def test_sparse_trajectories_still_recover_route(self, rng):
+        """The [107] point: no single sparse trajectory covers the route,
+        but the aggregate recovers it."""
+        # Each trajectory sees a random contiguous half of MAIN.
+        corpus = []
+        for _ in range(30):
+            if rng.random() < 0.5:
+                cells = MAIN[:3]
+            else:
+                cells = MAIN[1:]
+            corpus.append(cells_to_trajectory(cells, rng, 5.0))
+        tn = TransferNetwork(BOX, 100).fit(corpus)
+        route = tn.popular_route(Point(150, 150), Point(450, 150))
+        assert route == MAIN
+
+
+class TestRouteOverlap:
+    def test_identical(self):
+        assert route_overlap(MAIN, MAIN) == 1.0
+
+    def test_disjoint(self):
+        assert route_overlap(MAIN, [(9, 9)]) == 0.0
+
+    def test_empty(self):
+        assert route_overlap([], []) == 1.0

@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    SimilaritySearch,
+    bbox_lower_bound,
+    dtw_distance,
+    edr_distance,
+    hausdorff_distance,
+)
+from repro.core import Trajectory, TrajectoryPoint
+from repro.synth import add_gaussian_noise, add_outliers, fleet
+
+
+def line(offset_y=0.0, n=20, step=1.0):
+    return Trajectory(
+        [TrajectoryPoint(i * step, offset_y, float(i)) for i in range(n)]
+    )
+
+
+class TestDTW:
+    def test_zero_to_self(self, walk):
+        assert dtw_distance(walk, walk) == pytest.approx(0.0)
+
+    def test_offset_lines(self):
+        assert dtw_distance(line(0), line(5)) == pytest.approx(5.0 * 20)
+
+    def test_rate_tolerance(self):
+        """DTW absorbs re-sampling far better than a parallel offset.
+
+        A double-rate copy of the same geometry accumulates only small
+        nearest-sample costs; a line offset by 5 pays 5 per match.
+        """
+        slow = line(0, n=20, step=2.0)
+        fast = Trajectory(
+            [TrajectoryPoint(i, 0.0, float(i)) for i in range(39)]
+        )  # same geometry, twice the samples
+        offset = Trajectory(
+            [TrajectoryPoint(2.0 * i, 5.0, float(i)) for i in range(20)]
+        )
+        assert dtw_distance(slow, fast) < dtw_distance(slow, offset) / 3
+
+    def test_band_still_reasonable(self, rng, box):
+        a = fleet(rng, 1, 40, box)[0]
+        b = add_gaussian_noise(a, rng, 2.0)
+        full = dtw_distance(a, b)
+        banded = dtw_distance(a, b, band=5)
+        assert banded >= full - 1e-9  # band restricts paths, cost can only grow
+        assert banded < full * 2 + 50
+
+    def test_empty_rejected(self, walk):
+        with pytest.raises(ValueError):
+            dtw_distance(Trajectory([]), walk)
+
+
+class TestHausdorff:
+    def test_zero_to_self(self, walk):
+        assert hausdorff_distance(walk, walk) == 0.0
+
+    def test_symmetry(self, rng, box):
+        a, b = fleet(rng, 2, 30, box)
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_offset_lines(self):
+        assert hausdorff_distance(line(0), line(7)) == pytest.approx(7.0)
+
+    def test_subset_directionality(self):
+        short = line(0, n=5)
+        long = line(0, n=20)
+        # Every short point lies on long, but long extends beyond short.
+        assert hausdorff_distance(short, long) == pytest.approx(15.0)
+
+
+class TestEDR:
+    def test_zero_to_self(self, walk):
+        assert edr_distance(walk, walk, 1.0) == 0.0
+
+    def test_epsilon_validated(self, walk):
+        with pytest.raises(ValueError):
+            edr_distance(walk, walk, 0.0)
+
+    def test_robust_to_outliers(self, rng, box):
+        """EDR's selling point: one gross outlier costs one edit, while
+        DTW pays its full distance."""
+        a = fleet(rng, 1, 40, box)[0]
+        b, _ = add_outliers(a, rng, rate=0.05, magnitude=5000.0)
+        assert edr_distance(a, b, 10.0) <= 0.2
+        assert dtw_distance(a, b) > 1000.0
+
+    def test_normalized_range(self, rng, box):
+        a, b = fleet(rng, 2, 30, box)
+        assert 0.0 <= edr_distance(a, b, 50.0) <= 1.0
+
+
+class TestLowerBound:
+    def test_bounds_hausdorff(self, rng, box):
+        trajs = fleet(rng, 6, 40, box)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                lb = bbox_lower_bound(trajs[i], trajs[j])
+                assert lb <= hausdorff_distance(trajs[i], trajs[j]) + 1e-9
+
+    def test_overlapping_boxes_zero(self):
+        a = line(0, n=20)
+        b = Trajectory(
+            [TrajectoryPoint(5.0 + i, 0.0, float(i)) for i in range(20)]
+        )  # x ranges overlap
+        assert bbox_lower_bound(a, b) == 0.0
+
+    def test_separated_boxes_positive(self):
+        a = line(0)
+        b = line(500)
+        assert bbox_lower_bound(a, b) == pytest.approx(500.0)
+
+
+class TestSearch:
+    def test_matches_brute_force(self, rng, box):
+        corpus = fleet(rng, 15, 50, box)
+        query = add_gaussian_noise(corpus[4], rng, 5.0)
+        search = SimilaritySearch(corpus)
+        got, stats = search.knn(query, 3)
+        assert got == search.knn_brute_force(query, 3)
+        assert stats.refined + stats.pruned == stats.candidates
+
+    def test_finds_noisy_twin_first(self, rng, box):
+        corpus = fleet(rng, 10, 50, box)
+        query = add_gaussian_noise(corpus[7], rng, 3.0)
+        got, _ = SimilaritySearch(corpus).knn(query, 1)
+        assert got == [7]
+
+    def test_pruning_happens_on_spread_corpus(self, rng, box):
+        corpus = fleet(rng, 20, 40, box, speed_mean=3)
+        query = corpus[0]
+        _, stats = SimilaritySearch(corpus).knn(query, 2)
+        assert stats.pruned > 0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            SimilaritySearch([])
+
+    def test_k_validated(self, rng, box):
+        search = SimilaritySearch(fleet(rng, 3, 10, box))
+        with pytest.raises(ValueError):
+            search.knn(fleet(rng, 1, 10, box)[0], 0)

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.analytics.streaming import (
+    ContinuousSimilarityMonitor,
+    cell_signature,
+    signature_distance,
+)
+from repro.core import BBox, Point, Trajectory, TrajectoryPoint
+from repro.synth import correlated_random_walk
+
+
+def corridor_trip(rng, y=300.0, n=60):
+    pts = [
+        TrajectoryPoint(50.0 + i * 15.0 + rng.normal(0, 5), y + rng.normal(0, 10), float(i))
+        for i in range(n)
+    ]
+    return Trajectory(pts)
+
+
+@pytest.fixture
+def monitor(rng, box):
+    reference = [corridor_trip(rng) for _ in range(10)]
+    return ContinuousSimilarityMonitor(reference, box, cell_size=100.0, window=15, threshold=0.5)
+
+
+class TestSignatures:
+    def test_distance_zero_for_identical(self):
+        from collections import Counter
+
+        a = Counter({(0, 0): 2, (1, 0): 3})
+        assert signature_distance(a, a, 5, 5) == 0.0
+
+    def test_distance_max_for_disjoint(self):
+        from collections import Counter
+
+        a = Counter({(0, 0): 5})
+        b = Counter({(9, 9): 5})
+        assert signature_distance(a, b, 5, 5) == 2.0
+
+    def test_empty_is_max(self):
+        from collections import Counter
+
+        assert signature_distance(Counter(), Counter({(0, 0): 1}), 0, 1) == 2.0
+
+    def test_cell_signature_counts(self, box):
+        sig = cell_signature([Point(5, 5), Point(7, 7), Point(150, 5)], box, 100.0)
+        assert sig[(0, 0)] == 2 and sig[(1, 0)] == 1
+
+
+class TestMonitor:
+    def test_validation(self, box):
+        with pytest.raises(ValueError):
+            ContinuousSimilarityMonitor([], box)
+
+    def test_normal_trip_stays_under_threshold(self, monitor, rng):
+        trip = corridor_trip(rng)
+        flags = [monitor.observe("normal", p.point).is_outlier for p in trip]
+        # After window warm-up, normal movement is not flagged.
+        assert sum(flags[20:]) == 0
+
+    def test_detour_trip_flagged(self, monitor, rng, box):
+        detour = correlated_random_walk(rng, 60, BBox(0, 800, 1000, 1000), speed_mean=8)
+        last = None
+        for p in detour:
+            last = monitor.observe("detour", p.point)
+        assert last is not None and last.is_outlier
+
+    def test_incremental_matches_scratch(self, monitor, rng, box):
+        """The incremental maintenance is exact, not approximate."""
+        walk = correlated_random_walk(rng, 80, box, speed_mean=10)
+        for p in walk:
+            monitor.observe("obj", p.point)
+            assert monitor.current_distance("obj") == pytest.approx(
+                monitor.recompute_from_scratch("obj")
+            )
+
+    def test_window_bounded(self, monitor, rng, box):
+        walk = correlated_random_walk(rng, 50, box)
+        for p in walk:
+            monitor.observe("w", p.point)
+        assert len(monitor._windows["w"]) == 15
+
+    def test_unknown_object_rejected(self, monitor):
+        with pytest.raises(KeyError):
+            monitor.current_distance("ghost")
+
+    def test_recovery_after_detour(self, monitor, rng):
+        """The sliding window forgets: returning to the corridor clears
+        the flag — the 'evolving' behavior continuous queries must track."""
+        detour_pts = [Point(500, 950)] * 20
+        for p in detour_pts:
+            monitor.observe("rejoin", p)
+        assert monitor.observe("rejoin", Point(500, 300)).is_outlier  # still mostly off-route
+        trip = corridor_trip(rng)
+        last = None
+        for p in trip:
+            last = monitor.observe("rejoin", p.point)
+        assert last is not None and not last.is_outlier
+
+    def test_multiple_objects_independent(self, monitor, rng, box):
+        a = corridor_trip(rng)
+        b = correlated_random_walk(rng, 60, BBox(0, 800, 1000, 1000))
+        for pa, pb in zip(a, b):
+            monitor.observe("a", pa.point)
+            monitor.observe("b", pb.point)
+        assert monitor.current_distance("a") < monitor.current_distance("b")

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.cleaning import (
+    calibrate_nearest,
+    calibrate_weighted,
+    grid_anchors,
+    mine_anchors,
+)
+from repro.synth import add_gaussian_noise, correlated_random_walk
+
+
+class TestAnchorSources:
+    def test_grid_anchor_count(self):
+        anchors = grid_anchors(BBox(0, 0, 100, 100), 25.0)
+        assert len(anchors) == 16
+
+    def test_grid_anchor_spacing_validated(self, box):
+        with pytest.raises(ValueError):
+            grid_anchors(box, 0.0)
+
+    def test_mine_anchors_requires_support(self, rng, box):
+        # Three objects following the same corridor -> corridor cells mined.
+        base = correlated_random_walk(rng, 60, box, object_id="a")
+        shadows = [
+            add_gaussian_noise(base, rng, 2.0).map_points(lambda p: p)
+            for _ in range(2)
+        ]
+        corpus = [base] + [
+            type(base)([p for p in s], object_id=f"s{i}")
+            for i, s in enumerate(shadows)
+        ]
+        mined = mine_anchors(corpus, cell_size=50, min_support=3)
+        lonely = mine_anchors(corpus[:1], cell_size=50, min_support=3)
+        assert len(mined) > 0
+        assert len(lonely) == 0
+
+    def test_mined_anchor_near_visits(self, rng, box):
+        base = correlated_random_walk(rng, 80, box, object_id="a")
+        corpus = [
+            type(base)([p for p in add_gaussian_noise(base, rng, 1.0)], object_id=f"c{i}")
+            for i in range(3)
+        ]
+        anchors = mine_anchors(corpus, cell_size=40, min_support=2)
+        for a in anchors:
+            assert min(p.point.distance_to(a) for p in base) < 60.0
+
+
+class TestCalibration:
+    def test_nearest_snaps_to_anchor_set(self, rng, walk):
+        anchors = grid_anchors(walk.bbox().expand(10), 50.0)
+        cal = calibrate_nearest(walk, anchors)
+        anchor_set = {(a.x, a.y) for a in anchors}
+        for p in cal:
+            assert (p.x, p.y) in anchor_set
+
+    def test_nearest_respects_max_distance(self, rng, walk):
+        anchors = [Point(-10_000, -10_000)]  # unreachable anchor
+        cal = calibrate_nearest(walk, anchors, max_distance=100.0)
+        assert cal == walk  # nothing snapped
+
+    def test_empty_anchor_set_rejected(self, walk):
+        with pytest.raises(ValueError):
+            calibrate_nearest(walk, [])
+        with pytest.raises(ValueError):
+            calibrate_weighted(walk, [], sigma=10)
+
+    def test_weighted_sigma_validated(self, walk):
+        with pytest.raises(ValueError):
+            calibrate_weighted(walk, [Point(0, 0)], sigma=0)
+
+    def test_weighted_blends_between_anchors(self):
+        from repro.core import Trajectory, TrajectoryPoint
+
+        anchors = [Point(0, 0), Point(100, 0)]
+        t = Trajectory([TrajectoryPoint(50, 0, 0.0)])
+        cal = calibrate_weighted(t, anchors, sigma=50, k=2)
+        # Equidistant: lands midway rather than snapping.
+        assert cal[0].x == pytest.approx(50.0, abs=1.0)
+
+    def test_weighted_far_point_untouched(self):
+        from repro.core import Trajectory, TrajectoryPoint
+
+        anchors = [Point(0, 0)]
+        t = Trajectory([TrajectoryPoint(10_000, 0, 0.0)])
+        cal = calibrate_weighted(t, anchors, sigma=10)
+        assert cal[0].x == 10_000
+
+    def test_calibration_unifies_heterogeneous_trajectories(self, rng, box):
+        """Calibration's DQ purpose: two noisy views of the same route land
+        on (nearly) the same representation."""
+        truth = correlated_random_walk(rng, 80, box, speed_mean=5)
+        view_a = add_gaussian_noise(truth, rng, 10.0)
+        view_b = add_gaussian_noise(truth, rng, 10.0)
+        anchors = grid_anchors(box, 40.0)
+        cal_a = calibrate_nearest(view_a, anchors)
+        cal_b = calibrate_nearest(view_b, anchors)
+        same = sum(
+            1 for p, q in zip(cal_a, cal_b) if (p.x, p.y) == (q.x, q.y)
+        ) / len(cal_a)
+        raw_same = sum(
+            1 for p, q in zip(view_a, view_b) if (p.x, p.y) == (q.x, q.y)
+        ) / len(view_a)
+        assert same > raw_same  # calibrated views agree far more often
+        assert same > 0.3

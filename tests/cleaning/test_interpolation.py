@@ -1,0 +1,161 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, STGrid, STRecord, STSeries, grid_rmse, records_from_series
+from repro.cleaning import (
+    GaussianProcessInterpolator,
+    fill_grid,
+    idw_interpolate,
+    temporal_interpolate,
+)
+from repro.synth import SmoothField, random_sensor_sites
+
+
+@pytest.fixture
+def field_setup(rng, box):
+    field = SmoothField(rng, box, n_bumps=4, length_scale=250.0, drift_speed=0.05)
+    sites = random_sensor_sites(rng, 30, box)
+    times = np.arange(0, 600, 60.0)
+    series = field.sample_sensors(sites, times, rng, noise_sigma=0.3)
+    return field, records_from_series(series)
+
+
+class TestIDW:
+    def test_exact_at_sample(self):
+        recs = [STRecord(0, 0, 0, 5.0), STRecord(10, 0, 0, 9.0)]
+        assert idw_interpolate(recs, Point(0, 0), 0.0) == 5.0
+
+    def test_within_range_of_values(self):
+        recs = [STRecord(0, 0, 0, 5.0), STRecord(10, 0, 0, 9.0)]
+        v = idw_interpolate(recs, Point(5, 0), 0.0)
+        assert 5.0 <= v <= 9.0
+
+    def test_weights_favor_nearer(self):
+        recs = [STRecord(0, 0, 0, 0.0), STRecord(10, 0, 0, 10.0)]
+        v = idw_interpolate(recs, Point(2, 0), 0.0)
+        assert v < 5.0
+
+    def test_time_scale_matters(self):
+        # Two records at same place, different times and values.
+        recs = [STRecord(0, 0, 0.0, 0.0), STRecord(0, 0, 100.0, 10.0)]
+        near_t0 = idw_interpolate(recs, Point(0, 1), 10.0, time_scale=1.0)
+        near_t1 = idw_interpolate(recs, Point(0, 1), 90.0, time_scale=1.0)
+        assert near_t0 < near_t1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            idw_interpolate([], Point(0, 0), 0.0)
+
+    def test_k_restriction(self, field_setup):
+        field, recs = field_setup
+        full = idw_interpolate(recs, Point(500, 500), 300.0, k=None)
+        knn = idw_interpolate(recs, Point(500, 500), 300.0, k=5)
+        assert np.isfinite(full) and np.isfinite(knn)
+
+    def test_accuracy_on_smooth_field(self, field_setup, rng):
+        field, recs = field_setup
+        errs = []
+        for _ in range(15):
+            q = Point(rng.uniform(100, 900), rng.uniform(100, 900))
+            t = float(rng.uniform(50, 550))
+            errs.append(abs(idw_interpolate(recs, q, t, time_scale=0.5) - field.value(q, t)))
+        assert np.mean(errs) < 2.0
+
+
+class TestGP:
+    def test_fit_required(self):
+        gp = GaussianProcessInterpolator()
+        with pytest.raises(RuntimeError):
+            gp.predict(Point(0, 0), 0.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessInterpolator(length_scale_m=0)
+
+    def test_interpolates_training_points(self, field_setup):
+        _, recs = field_setup
+        gp = GaussianProcessInterpolator(250, 600, 5, 0.3).fit(recs[:50])
+        r = recs[0]
+        mean, std = gp.predict(r.point, r.t)
+        assert abs(mean - r.value) < 1.0
+        assert std < 1.0
+
+    def test_uncertainty_grows_away_from_data(self, field_setup):
+        _, recs = field_setup
+        gp = GaussianProcessInterpolator(250, 600, 5, 0.3).fit(recs[:50])
+        r = recs[0]
+        _, near_std = gp.predict(r.point, r.t)
+        _, far_std = gp.predict(Point(10_000, 10_000), r.t)
+        assert far_std > near_std
+
+    def test_gp_beats_idw_on_gp_like_field(self, field_setup, rng):
+        field, recs = field_setup
+        gp = GaussianProcessInterpolator(250, 600, 5.0, 0.3).fit(recs)
+        gp_err, idw_err = [], []
+        for _ in range(15):
+            q = Point(rng.uniform(100, 900), rng.uniform(100, 900))
+            t = float(rng.uniform(50, 550))
+            truth = field.value(q, t)
+            gp_err.append(abs(gp.predict(q, t)[0] - truth))
+            idw_err.append(abs(idw_interpolate(recs, q, t, time_scale=0.5) - truth))
+        assert np.mean(gp_err) <= np.mean(idw_err) + 0.2
+
+    def test_predict_many_matches_single(self, field_setup):
+        _, recs = field_setup
+        gp = GaussianProcessInterpolator().fit(recs[:40])
+        queries = [(Point(100, 100), 50.0), (Point(500, 500), 100.0)]
+        batch = gp.predict_many(queries)
+        singles = [gp.predict(p, t)[0] for p, t in queries]
+        assert np.allclose(batch, singles)
+
+
+class TestFillGrid:
+    def test_fills_all_missing(self, rng, box):
+        field = SmoothField(rng, box, n_bumps=3)
+        truth = field.truth_grid(cell_size=250, t_step=300, t_start=0, t_end=600)
+        holey = truth.copy()
+        mask = rng.random(holey.values.shape) < 0.5
+        holey.values[mask] = np.nan
+        filled = fill_grid(holey, method="idw")
+        assert filled.missing_fraction() == 0.0
+
+    def test_observed_cells_untouched(self, rng, box):
+        field = SmoothField(rng, box, n_bumps=3)
+        truth = field.truth_grid(250, 300, 0, 600)
+        holey = truth.copy()
+        holey.values[0, 0, 0] = np.nan
+        filled = fill_grid(holey)
+        keep = ~np.isnan(holey.values)
+        assert np.array_equal(filled.values[keep], holey.values[keep])
+
+    def test_filled_values_close_to_truth(self, rng, box):
+        field = SmoothField(rng, box, n_bumps=3, length_scale=300)
+        truth = field.truth_grid(200, 300, 0, 600)
+        holey = truth.copy()
+        mask = rng.random(holey.values.shape) < 0.3
+        holey.values[mask] = np.nan
+        filled = fill_grid(holey, method="idw")
+        assert grid_rmse(truth, filled) < 3.0
+
+    def test_unknown_method(self, rng, box):
+        field = SmoothField(rng, box)
+        g = field.truth_grid(500, 300, 0, 300)
+        with pytest.raises(ValueError):
+            fill_grid(g, method="magic")
+
+    def test_all_missing_rejected(self, box):
+        g = STGrid.empty(box, 0, 100, 500, 100)
+        with pytest.raises(ValueError):
+            fill_grid(g)
+
+
+class TestTemporalInterpolate:
+    def test_resamples_onto_grid(self):
+        s = STSeries("s", Point(0, 0), [0.0, 10.0], [0.0, 10.0])
+        out = temporal_interpolate(s, np.array([0.0, 5.0, 10.0]))
+        assert out.values.tolist() == [0.0, 5.0, 10.0]
+
+    def test_empty_rejected(self):
+        s = STSeries("s", Point(0, 0), [], [])
+        with pytest.raises(ValueError):
+            temporal_interpolate(s, np.array([0.0]))

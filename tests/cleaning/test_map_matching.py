@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, accuracy_error, synchronized_error
+from repro.cleaning import HMMMapMatcher, recover_route
+from repro.synth import RoadNetwork, add_gaussian_noise
+
+
+@pytest.fixture
+def net():
+    return RoadNetwork.grid(5, 5, spacing=200.0)
+
+
+@pytest.fixture
+def trip(net, rng):
+    route = net.random_route(rng, min_edges=8)
+    return route, net.trajectory_along_path(route, speed=10.0, interval=2.0)
+
+
+class TestHMMMapMatcher:
+    def test_param_validation(self, net):
+        with pytest.raises(ValueError):
+            HMMMapMatcher(net, emission_sigma=0)
+
+    def test_empty_rejected(self, net):
+        with pytest.raises(ValueError):
+            HMMMapMatcher(net).match(Trajectory([]))
+
+    def test_noise_free_match_is_exact(self, net, trip):
+        route, traj = trip
+        result = HMMMapMatcher(net, emission_sigma=5).match(traj)
+        assert accuracy_error(result.trajectory(), traj) < 1.0
+
+    def test_matched_points_lie_on_network(self, net, trip, rng):
+        _, traj = trip
+        noisy = add_gaussian_noise(traj, rng, 15.0)
+        result = HMMMapMatcher(net, emission_sigma=15, candidate_radius=80).match(noisy)
+        for m in result.matched:
+            _, _, d = net.snap(m.position)
+            assert d < 1e-6
+
+    def test_matching_reduces_noise(self, net, trip, rng):
+        _, traj = trip
+        noisy = add_gaussian_noise(traj, rng, 15.0)
+        result = HMMMapMatcher(net, emission_sigma=15, candidate_radius=80).match(noisy)
+        assert accuracy_error(result.trajectory(), traj) < accuracy_error(noisy, traj)
+
+    def test_route_nodes_exist(self, net, trip, rng):
+        _, traj = trip
+        noisy = add_gaussian_noise(traj, rng, 10.0)
+        result = HMMMapMatcher(net, candidate_radius=60).match(noisy)
+        for n in result.route:
+            assert n in net.graph
+
+    def test_far_point_still_matched(self, net):
+        """Candidate fallback: a point outside every radius snaps globally."""
+        from repro.core import TrajectoryPoint
+
+        t = Trajectory([TrajectoryPoint(-500, -500, 0.0)])
+        result = HMMMapMatcher(net, candidate_radius=10).match(t)
+        assert len(result.matched) == 1
+
+
+class TestRouteRecovery:
+    def test_recovered_is_denser_than_sparse(self, net, trip, rng):
+        _, traj = trip
+        sparse = traj.downsample(8)
+        recovered = recover_route(net, sparse)
+        assert len(recovered) >= len(sparse)
+
+    def test_recovery_beats_linear_interpolation(self, net, rng):
+        """On an L-shaped route, network inference recovers the corner that
+        straight-line interpolation cuts."""
+        route = net.shortest_path(0, 2) + net.shortest_path(2, 12)[1:]  # east then north
+        traj = net.trajectory_along_path(route, speed=10.0, interval=1.0)
+        sparse = traj.downsample(15)
+        recovered = recover_route(net, sparse)
+        assert synchronized_error(traj, recovered) < synchronized_error(traj, sparse)
+
+    def test_recovered_times_monotonic(self, net, trip, rng):
+        _, traj = trip
+        sparse = add_gaussian_noise(traj.downsample(6), rng, 8.0)
+        recovered = recover_route(net, sparse)
+        ts = recovered.times
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_recovered_points_near_network(self, net, trip, rng):
+        _, traj = trip
+        sparse = traj.downsample(10)
+        recovered = recover_route(net, sparse)
+        for p in recovered:
+            _, _, d = net.snap(p.point)
+            assert d < 1.0
+
+
+class TestCandidateIndex:
+    def test_indexed_candidates_match_brute_force(self, rng):
+        """The grid edge-index must return exactly the radius-filtered edges."""
+        from repro.core.geometry import project_point_to_segment
+        from repro.core import Point
+
+        net = RoadNetwork.grid(10, 10, 200.0)
+        mm = HMMMapMatcher(net, emission_sigma=10, candidate_radius=60)
+        for _ in range(100):
+            p = Point(rng.uniform(-100, 1900), rng.uniform(-100, 1900))
+            fast = {frozenset(e) for e, _, d in mm._candidates(p) if d <= 60}
+            brute = set()
+            for u, v in net.graph.edges:
+                a, b = net.positions[u], net.positions[v]
+                q, _ = project_point_to_segment(p, a, b)
+                if p.distance_to(q) <= 60:
+                    brute.add(frozenset((u, v)))
+            # _candidates truncates to max_candidates by distance; the fast
+            # set must be the nearest subset of the brute-force set.
+            assert fast <= brute
+            if len(brute) <= mm.max_candidates:
+                assert fast == brute
+
+    def test_far_point_fallback_still_works(self, rng):
+        net = RoadNetwork.grid(4, 4, 100.0)
+        mm = HMMMapMatcher(net, candidate_radius=20)
+        from repro.core import Point
+
+        cands = mm._candidates(Point(10_000, 10_000))
+        assert len(cands) == 1  # global snap fallback

@@ -1,0 +1,149 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, TrajectoryPoint, accuracy_error
+from repro.cleaning import (
+    detection_scores,
+    heading_outliers,
+    prediction_outliers,
+    profile_outliers,
+    remove_and_repair,
+    remove_points,
+    speed_outliers,
+    zscore_outliers,
+)
+from repro.synth import add_gaussian_noise, add_outliers, correlated_random_walk
+
+
+@pytest.fixture
+def corrupted(rng, box):
+    truth = correlated_random_walk(rng, 200, box, speed_mean=5, speed_sigma=1)
+    noisy = add_gaussian_noise(truth, rng, 3.0)
+    bad, idx = add_outliers(noisy, rng, rate=0.05, magnitude=200.0)
+    return truth, bad, idx
+
+
+class TestConstraintBased:
+    def test_speed_finds_spikes(self, corrupted):
+        _, bad, idx = corrupted
+        found = speed_outliers(bad, max_speed=30.0)
+        scores = detection_scores(found, idx, len(bad))
+        assert scores["recall"] > 0.7
+
+    def test_speed_clean_trajectory_no_flags(self, rng, box):
+        clean = correlated_random_walk(rng, 100, box, speed_mean=5, speed_sigma=0.5)
+        assert speed_outliers(clean, max_speed=30.0) == []
+
+    def test_speed_short_trajectory(self, walk):
+        assert speed_outliers(walk[0:2], 10.0) == []
+
+    def test_heading_finds_reversals(self, corrupted):
+        _, bad, idx = corrupted
+        found = heading_outliers(bad)
+        scores = detection_scores(found, idx, len(bad))
+        assert scores["recall"] > 0.5
+
+
+class TestStatisticsBased:
+    def test_zscore_detects(self, corrupted):
+        _, bad, idx = corrupted
+        found = zscore_outliers(bad, window=7, threshold=3.0)
+        scores = detection_scores(found, idx, len(bad))
+        assert scores["f1"] > 0.7
+
+    def test_zscore_clean_few_false_alarms(self, rng, box):
+        clean = correlated_random_walk(rng, 200, box, speed_mean=5)
+        found = zscore_outliers(clean, threshold=4.0)
+        assert len(found) < 0.05 * 200
+
+    def test_profile_requires_history(self, corrupted):
+        _, bad, _ = corrupted
+        with pytest.raises(ValueError):
+            profile_outliers(bad, history=[])
+
+    def test_profile_detects_with_history(self, rng, box, corrupted):
+        truth, bad, idx = corrupted
+        history = [
+            correlated_random_walk(rng, 150, box, speed_mean=5, speed_sigma=1)
+            for _ in range(10)
+        ]
+        found = profile_outliers(bad, history, threshold=3.0)
+        scores = detection_scores(found, idx, len(bad))
+        assert scores["recall"] > 0.5
+
+    def test_profile_degrades_with_scarce_history(self, rng, box, corrupted):
+        """Table row: statistics-based OR is restricted by history volume.
+
+        A profile pooled from one short trajectory is noisier than one from
+        many; across seeds, recall with rich history >= recall with scarce.
+        """
+        truth, bad, idx = corrupted
+        rich = [
+            correlated_random_walk(rng, 150, box, speed_mean=5, speed_sigma=1)
+            for _ in range(10)
+        ]
+        scarce = [correlated_random_walk(rng, 5, box, speed_mean=5, speed_sigma=1)]
+        r_rich = detection_scores(profile_outliers(bad, rich), idx, len(bad))
+        r_scarce = detection_scores(profile_outliers(bad, scarce), idx, len(bad))
+        assert r_rich["f1"] >= r_scarce["f1"] - 0.15
+
+
+class TestPredictionBased:
+    def test_detects_and_repairs(self, corrupted):
+        truth, bad, idx = corrupted
+        found, repaired = prediction_outliers(bad, measurement_sigma=3.0)
+        scores = detection_scores(found, idx, len(bad))
+        assert scores["f1"] > 0.7
+        assert accuracy_error(repaired, truth) < accuracy_error(bad, truth)
+
+    def test_repaired_preserves_count(self, corrupted):
+        _, bad, _ = corrupted
+        _, repaired = prediction_outliers(bad)
+        assert len(repaired) == len(bad)
+        assert repaired.times == bad.times
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_outliers(Trajectory([]))
+
+
+class TestRemovalRepair:
+    def test_remove_points(self, walk):
+        out = remove_points(walk, [1, 3, 5])
+        assert len(out) == len(walk) - 3
+
+    def test_remove_and_repair_keeps_count(self, corrupted):
+        _, bad, idx = corrupted
+        repaired = remove_and_repair(bad, idx)
+        assert len(repaired) == len(bad)
+        assert repaired.times == bad.times
+
+    def test_repair_improves_accuracy(self, corrupted):
+        truth, bad, idx = corrupted
+        repaired = remove_and_repair(bad, idx)
+        assert accuracy_error(repaired, truth) < accuracy_error(bad, truth)
+
+    def test_repair_with_true_indices_restores_smoothness(self):
+        pts = [TrajectoryPoint(float(i), 0.0, float(i)) for i in range(10)]
+        pts[5] = TrajectoryPoint(5.0, 300.0, 5.0)
+        t = Trajectory(pts)
+        fixed = remove_and_repair(t, [5])
+        assert abs(fixed[5].y) < 1e-9
+
+
+class TestScores:
+    def test_perfect(self):
+        s = detection_scores([1, 2], [1, 2], 10)
+        assert s == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_empty_both(self):
+        s = detection_scores([], [], 10)
+        assert s["precision"] == 1.0 and s["recall"] == 1.0
+
+    def test_no_detection(self):
+        s = detection_scores([], [1], 10)
+        assert s["recall"] == 0.0
+
+    def test_all_false_alarms(self):
+        s = detection_scores([5], [], 10)
+        assert s["recall"] == 1.0 and s["precision"] == 0.0

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    CorridorHMMCleaner,
+    epoch_accuracy,
+    raw_reader_sequence,
+    visits_from_sequence,
+    window_smooth,
+)
+from repro.synth import CorridorWorld, ZoneVisit
+
+
+@pytest.fixture
+def scenario(rng):
+    world = CorridorWorld(n_readers=8, dwell_min=4, dwell_max=8)
+    visits = world.ground_truth(rng)
+    readings = world.observe(visits, rng, p_detect=0.75, p_cross=0.15)
+    return world, visits, readings
+
+
+class TestWindowSmooth:
+    def test_output_length(self, scenario):
+        world, visits, readings = scenario
+        total = world.total_epochs(visits)
+        out = window_smooth(readings, world.n_readers, total, window=5)
+        assert len(out) == total
+
+    def test_fills_false_negatives(self, scenario):
+        world, visits, readings = scenario
+        total = world.total_epochs(visits)
+        raw = raw_reader_sequence(readings, total)
+        smoothed = window_smooth(readings, world.n_readers, total, window=5)
+        raw_missing = sum(1 for r in raw if r is None)
+        smoothed_missing = sum(1 for r in smoothed if r is None)
+        assert smoothed_missing <= raw_missing
+
+    def test_improves_accuracy_over_raw(self, scenario):
+        world, visits, readings = scenario
+        total = world.total_epochs(visits)
+        acc_raw = epoch_accuracy(raw_reader_sequence(readings, total), visits)
+        acc_smooth = epoch_accuracy(
+            window_smooth(readings, world.n_readers, total, 5), visits
+        )
+        assert acc_smooth >= acc_raw
+
+    def test_window_validated(self, scenario):
+        world, visits, readings = scenario
+        with pytest.raises(ValueError):
+            window_smooth(readings, world.n_readers, 10, window=0)
+
+
+class TestHMMCleaner:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            CorridorHMMCleaner(0)
+        with pytest.raises(ValueError):
+            CorridorHMMCleaner(5, p_detect=1.5)
+
+    def test_perfect_data_decoded_exactly(self, rng):
+        world = CorridorWorld(6, dwell_min=3, dwell_max=5)
+        visits = world.ground_truth(rng)
+        readings = world.observe(visits, rng, p_detect=1.0, p_cross=0.0)
+        total = world.total_epochs(visits)
+        decoded = CorridorHMMCleaner(6, 0.95, 0.05).clean(readings, total)
+        assert epoch_accuracy(decoded, visits) == 1.0
+
+    def test_beats_window_smoothing(self, rng):
+        """Across several corridor runs the HMM cleaner should dominate."""
+        hmm_acc, win_acc = [], []
+        for seed in range(8):
+            r = np.random.default_rng(seed)
+            world = CorridorWorld(8, dwell_min=4, dwell_max=8)
+            visits = world.ground_truth(r)
+            readings = world.observe(visits, r, p_detect=0.7, p_cross=0.2)
+            total = world.total_epochs(visits)
+            hmm_acc.append(
+                epoch_accuracy(
+                    CorridorHMMCleaner(8, 0.7, 0.2).clean(readings, total), visits
+                )
+            )
+            win_acc.append(
+                epoch_accuracy(window_smooth(readings, 8, total, 5), visits)
+            )
+        assert np.mean(hmm_acc) > np.mean(win_acc)
+
+    def test_decoded_path_is_physical(self, scenario):
+        """Cleaned zone sequence never jumps more than one zone per epoch."""
+        world, visits, readings = scenario
+        total = world.total_epochs(visits)
+        decoded = CorridorHMMCleaner(8, 0.75, 0.15).clean(readings, total)
+        for a, b in zip(decoded, decoded[1:]):
+            assert abs(a - b) <= 1
+
+    def test_improves_over_raw(self, scenario):
+        world, visits, readings = scenario
+        total = world.total_epochs(visits)
+        raw_acc = epoch_accuracy(raw_reader_sequence(readings, total), visits)
+        hmm_acc = epoch_accuracy(
+            CorridorHMMCleaner(8, 0.75, 0.15).clean(readings, total), visits
+        )
+        assert hmm_acc >= raw_acc
+
+
+class TestVisitsFromSequence:
+    def test_run_length_collapse(self):
+        seq = [0, 0, 1, 1, 1, None, 2]
+        visits = visits_from_sequence(seq)
+        assert visits == [
+            ZoneVisit(0, 0, 1),
+            ZoneVisit(1, 2, 4),
+            ZoneVisit(2, 6, 6),
+        ]
+
+    def test_empty(self):
+        assert visits_from_sequence([]) == []
+
+    def test_all_none(self):
+        assert visits_from_sequence([None, None]) == []
+
+
+class TestEpochAccuracy:
+    def test_perfect(self):
+        visits = [ZoneVisit(0, 0, 1), ZoneVisit(1, 2, 3)]
+        assert epoch_accuracy([0, 0, 1, 1], visits) == 1.0
+
+    def test_empty_truth(self):
+        assert epoch_accuracy([0, 1], []) == 1.0
+
+    def test_partial(self):
+        visits = [ZoneVisit(0, 0, 3)]
+        assert epoch_accuracy([0, 0, 1, 1], visits) == 0.5

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, STSeries
+from repro.cleaning import screen_repair, screen_repair_series, speed_violations
+
+
+@pytest.fixture
+def smooth_signal():
+    t = np.arange(100.0)
+    return t, np.sin(t / 10.0) * 3.0 + 20.0  # max rate 0.3
+
+
+class TestScreenRepair:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            screen_repair(np.arange(3.0), np.zeros(3), s_min=1.0, s_max=0.0)
+        with pytest.raises(ValueError):
+            screen_repair(np.array([0.0, 0.0]), np.zeros(2), -1, 1)
+        with pytest.raises(ValueError):
+            screen_repair(np.arange(3.0), np.zeros(2), -1, 1)
+
+    def test_clean_signal_unchanged(self, smooth_signal):
+        t, v = smooth_signal
+        out = screen_repair(t, v, -0.5, 0.5)
+        assert np.allclose(out, v)
+
+    def test_output_satisfies_constraints(self, rng, smooth_signal):
+        t, v = smooth_signal
+        vals = v.copy()
+        idx = rng.choice(100, 10, replace=False)
+        vals[idx] += rng.choice([-1, 1], 10) * 20.0
+        out = screen_repair(t, vals, -0.5, 0.5)
+        assert speed_violations(t, out, -0.5, 0.5) == 0
+
+    def test_repairs_toward_truth(self, rng, smooth_signal):
+        t, truth = smooth_signal
+        vals = truth.copy()
+        idx = sorted(rng.choice(np.arange(1, 100), 8, replace=False))
+        vals[idx] += rng.choice([-1, 1], 8) * 15.0
+        out = screen_repair(t, vals, -0.5, 0.5)
+        rmse_before = np.sqrt(np.mean((vals[idx] - truth[idx]) ** 2))
+        rmse_after = np.sqrt(np.mean((out[idx] - truth[idx]) ** 2))
+        assert rmse_after < rmse_before / 3
+
+    def test_minimal_change_within_window(self):
+        """A feasible value stays put; an infeasible one lands on the
+        nearest window border (minimal L1 change)."""
+        t = np.array([0.0, 1.0])
+        out = screen_repair(t, np.array([0.0, 10.0]), s_min=-1.0, s_max=1.0)
+        assert out[1] == 1.0  # clamped to the nearest feasible value
+
+    def test_irregular_sampling(self):
+        t = np.array([0.0, 1.0, 5.0])
+        v = np.array([0.0, 3.0, 3.5])
+        out = screen_repair(t, v, s_min=-1.0, s_max=1.0)
+        assert out[1] == 1.0  # rate 3 > 1 over dt 1
+        # dt=4 from repaired 1.0: window [-3, 5]; 3.5 feasible.
+        assert out[2] == 3.5
+
+    def test_empty_and_single(self):
+        assert screen_repair(np.array([]), np.array([]), -1, 1).size == 0
+        assert screen_repair(np.array([5.0]), np.array([7.0]), -1, 1)[0] == 7.0
+
+
+class TestHelpers:
+    def test_speed_violations_counts(self):
+        t = np.arange(4.0)
+        v = np.array([0.0, 5.0, 5.0, -5.0])
+        assert speed_violations(t, v, -1.0, 1.0) == 2
+
+    def test_series_wrapper(self, rng, smooth_signal):
+        t, truth = smooth_signal
+        vals = truth.copy()
+        vals[50] += 20.0
+        s = STSeries("x", Point(0, 0), t, vals)
+        repaired = screen_repair_series(s, -0.5, 0.5)
+        assert speed_violations(t, repaired.values, -0.5, 0.5) == 0
+        assert s.values[50] == vals[50]  # input untouched

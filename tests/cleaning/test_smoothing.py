@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, TrajectoryPoint, accuracy_error, precision_jitter
+from repro.cleaning import (
+    exponential_smoothing,
+    heading_aware_smoothing,
+    median_filter,
+    moving_average,
+)
+from repro.synth import add_gaussian_noise, correlated_random_walk
+
+
+@pytest.fixture
+def noisy_pair(rng, box):
+    truth = correlated_random_walk(rng, 150, box, speed_mean=5)
+    return truth, add_gaussian_noise(truth, rng, 8.0)
+
+
+ALL_SMOOTHERS = [
+    ("ma", lambda t: moving_average(t, 5)),
+    ("median", lambda t: median_filter(t, 5)),
+    ("exp", lambda t: exponential_smoothing(t, 0.3)),
+    # On noisy data apparent turns are everywhere; the higher threshold keeps
+    # the smoother active except at genuine near-reversals.
+    ("heading", lambda t: heading_aware_smoothing(t, 5, turn_threshold=2.6)),
+]
+
+
+@pytest.mark.parametrize("name,smoother", ALL_SMOOTHERS)
+class TestAllSmoothers:
+    def test_preserves_length_and_times(self, noisy_pair, name, smoother):
+        _, noisy = noisy_pair
+        out = smoother(noisy)
+        assert len(out) == len(noisy)
+        assert out.times == noisy.times
+
+    def test_reduces_jitter(self, noisy_pair, name, smoother):
+        _, noisy = noisy_pair
+        assert precision_jitter(smoother(noisy)) < precision_jitter(noisy)
+
+    def test_improves_accuracy(self, noisy_pair, name, smoother):
+        truth, noisy = noisy_pair
+        assert accuracy_error(smoother(noisy), truth) < accuracy_error(noisy, truth)
+
+    def test_input_untouched(self, noisy_pair, name, smoother):
+        _, noisy = noisy_pair
+        before = list(noisy.points)
+        smoother(noisy)
+        assert list(noisy.points) == before
+
+
+class TestSpecifics:
+    def test_window_validation(self, walk):
+        with pytest.raises(ValueError):
+            moving_average(walk, 0)
+        with pytest.raises(ValueError):
+            median_filter(walk, 0)
+
+    def test_alpha_validation(self, walk):
+        with pytest.raises(ValueError):
+            exponential_smoothing(walk, 0.0)
+        with pytest.raises(ValueError):
+            exponential_smoothing(walk, 1.5)
+
+    def test_alpha_one_identity(self, walk):
+        assert exponential_smoothing(walk, 1.0) == walk
+
+    def test_median_robust_to_spike(self):
+        pts = [TrajectoryPoint(float(i), 0.0, float(i)) for i in range(9)]
+        pts[4] = TrajectoryPoint(4.0, 500.0, 4.0)  # gross spike
+        spiky = Trajectory(pts)
+        med = median_filter(spiky, 5)
+        ma = moving_average(spiky, 5)
+        assert abs(med[4].y) < abs(ma[4].y)
+
+    def test_heading_aware_preserves_corner(self):
+        # Sharp 90-degree corner at index 5.
+        pts = [TrajectoryPoint(float(i), 0.0, float(i)) for i in range(6)]
+        pts += [TrajectoryPoint(5.0, float(i), 5.0 + i) for i in range(1, 6)]
+        corner = Trajectory(pts)
+        plain = moving_average(corner, 5)
+        aware = heading_aware_smoothing(corner, 5, turn_threshold=1.0)
+        corner_pt = corner[5].point
+        assert aware[5].point.distance_to(corner_pt) <= plain[5].point.distance_to(corner_pt)
+
+    def test_short_trajectories_pass_through(self):
+        t = Trajectory([TrajectoryPoint(0, 0, 0), TrajectoryPoint(1, 1, 1)])
+        assert len(heading_aware_smoothing(t)) == 2
+        assert len(moving_average(t, 5)) == 2

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, STRecord, STSeries
+from repro.cleaning import STDBSCAN, neighborhood_outliers, temporal_outliers
+
+
+def field_records(rng, n=60, anomaly_index=None):
+    """A spatially smooth field sample set with one optional planted outlier."""
+    recs = []
+    for i in range(n):
+        x = rng.uniform(0, 100)
+        y = rng.uniform(0, 100)
+        value = 0.1 * x + 0.05 * y + rng.normal(0, 0.2)  # smooth gradient
+        recs.append(STRecord(x, y, 0.0, value))
+    if anomaly_index is not None:
+        r = recs[anomaly_index]
+        recs[anomaly_index] = STRecord(r.x, r.y, r.t, r.value + 50.0)
+    return recs
+
+
+class TestNeighborhoodOutliers:
+    def test_detects_planted_value_outlier(self, rng):
+        recs = field_records(rng, anomaly_index=7)
+        found = neighborhood_outliers(recs, eps_space=40, eps_time=10, threshold=4.0)
+        assert 7 in found
+
+    def test_clean_data_mostly_clean(self, rng):
+        recs = field_records(rng)
+        found = neighborhood_outliers(recs, 40, 10, threshold=5.0)
+        assert len(found) <= 2
+
+    def test_empty(self):
+        assert neighborhood_outliers([], 10, 10) == []
+
+    def test_isolated_records_skipped(self, rng):
+        recs = [STRecord(0, 0, 0, 100.0), STRecord(1000, 1000, 0, -100.0)]
+        assert neighborhood_outliers(recs, 10, 10, min_neighbors=1) == []
+
+    def test_temporal_window_respected(self):
+        # Same place, far apart in time: not each other's context.
+        recs = [
+            STRecord(0, 0, 0.0, 1.0),
+            STRecord(1, 0, 1.0, 1.1),
+            STRecord(0.5, 0, 2.0, 1.05),
+            STRecord(0.2, 0, 1000.0, 99.0),  # lonely in time
+        ]
+        found = neighborhood_outliers(recs, 10, 5, threshold=2.0, min_neighbors=1)
+        assert 3 not in found
+
+
+class TestSTDBSCAN:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            STDBSCAN(0, 1)
+
+    def test_two_clusters_and_noise(self, rng):
+        cluster_a = [
+            STRecord(rng.normal(10, 1), rng.normal(10, 1), float(i), 1.0)
+            for i in range(10)
+        ]
+        cluster_b = [
+            STRecord(rng.normal(90, 1), rng.normal(90, 1), float(i), 1.0)
+            for i in range(10)
+        ]
+        noise = [STRecord(50, 50, 500.0, 1.0)]
+        recs = cluster_a + cluster_b + noise
+        model = STDBSCAN(eps_space=5, eps_time=20, min_samples=4)
+        labels = model.fit_predict(recs)
+        assert labels[-1] == -1  # the lone point is noise
+        assert len({l for l in labels[:10]}) == 1
+        assert labels[0] != labels[10]
+
+    def test_temporal_split(self, rng):
+        """Same place, two time bursts: temporal eps splits them."""
+        burst1 = [STRecord(10, 10, float(i), 1.0) for i in range(8)]
+        burst2 = [STRecord(10, 10, 1000.0 + i, 1.0) for i in range(8)]
+        labels = STDBSCAN(5, 20, 4).fit_predict(burst1 + burst2)
+        assert labels[0] != labels[8]
+        assert -1 not in labels
+
+    def test_value_radius(self, rng):
+        """eps_value excludes thematically different records from clusters."""
+        base = [STRecord(float(i), 0, float(i), 1.0) for i in range(10)]
+        odd = [STRecord(5.1, 0.1, 5.1, 100.0)]
+        labels = STDBSCAN(3, 3, 3, eps_value=5.0).fit_predict(base + odd)
+        assert labels[-1] == -1
+
+    def test_outliers_helper(self, rng):
+        recs = [STRecord(0, 0, 0, 1.0)]
+        assert STDBSCAN(1, 1, 5).outliers(recs) == [0]
+
+    def test_empty(self):
+        assert STDBSCAN(1, 1, 2).fit_predict([]).size == 0
+
+
+class TestTemporalOutliers:
+    def test_detects_spike(self):
+        values = [1.0] * 20
+        values[10] = 50.0
+        s = STSeries("s", Point(0, 0), np.arange(20.0), values)
+        assert temporal_outliers(s, window=5, threshold=3.0) == [10]
+
+    def test_smooth_trend_not_flagged(self):
+        s = STSeries("s", Point(0, 0), np.arange(50.0), np.linspace(0, 10, 50))
+        assert temporal_outliers(s, threshold=4.0) == []
+
+    def test_short_series(self):
+        s = STSeries("s", Point(0, 0), [0.0, 1.0], [1.0, 99.0])
+        assert temporal_outliers(s) == []

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    constrained_repair,
+    isotonic_repair,
+    order_violations,
+    repair_quality,
+)
+from repro.synth import skew_timestamps
+
+
+class TestIsotonicRepair:
+    def test_already_sorted_unchanged(self):
+        t = np.array([0.0, 1.0, 2.0])
+        assert np.array_equal(isotonic_repair(t), t)
+
+    def test_result_monotone(self, rng):
+        t = rng.normal(0, 10, 100)
+        out = isotonic_repair(t)
+        assert order_violations(out) == 0
+
+    def test_simple_swap_pooled(self):
+        out = isotonic_repair(np.array([0.0, 2.0, 1.0, 3.0]))
+        # PAVA pools the violating pair at its mean.
+        assert out.tolist() == [0.0, 1.5, 1.5, 3.0]
+
+    def test_l2_optimality_vs_naive_sort(self):
+        """PAVA is the L2-minimal monotone repair; sorting generally is not
+        closer to the corrupted input."""
+        t = np.array([0.0, 5.0, 1.0, 2.0, 8.0])
+        pava = isotonic_repair(t)
+        srt = np.sort(t)
+        assert np.sum((pava - t) ** 2) <= np.sum((srt - t) ** 2) + 1e-9
+
+    def test_strict_eps(self):
+        out = isotonic_repair(np.array([0.0, 2.0, 1.0]), strict_eps=0.01)
+        assert all(b > a for a, b in zip(out, out[1:]))
+
+    def test_empty(self):
+        assert isotonic_repair(np.array([])).size == 0
+
+    def test_recovers_skewed_clock(self, rng):
+        truth = np.arange(0, 100, 1.0)
+        skewed, _ = skew_timestamps(truth, rng, rate=0.3, max_shift=4.0)
+        repaired = isotonic_repair(skewed)
+        assert order_violations(repaired) == 0
+        assert repair_quality(repaired, truth)["rmse"] <= repair_quality(skewed, truth)["rmse"]
+
+
+class TestConstrainedRepair:
+    def test_gap_bounds_enforced(self, rng):
+        truth = np.arange(0, 50, 1.0)
+        skewed, _ = skew_timestamps(truth, rng, rate=0.4, max_shift=5.0)
+        out = constrained_repair(skewed, min_gap=0.5, max_gap=2.0)
+        gaps = np.diff(out)
+        assert (gaps >= 0.5 - 1e-9).all() and (gaps <= 2.0 + 1e-9).all()
+
+    def test_valid_input_unchanged(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        out = constrained_repair(t, 0.5, 2.0)
+        assert np.array_equal(out, t)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            constrained_repair(np.array([0.0]), min_gap=2.0, max_gap=1.0)
+        with pytest.raises(ValueError):
+            constrained_repair(np.array([0.0]), min_gap=-1.0, max_gap=1.0)
+
+    def test_improves_rmse_on_uniform_truth(self, rng):
+        truth = np.arange(0, 100, 1.0)
+        skewed, _ = skew_timestamps(truth, rng, rate=0.3, max_shift=4.0)
+        out = constrained_repair(skewed, 0.8, 1.2)
+        assert repair_quality(out, truth)["rmse"] <= repair_quality(skewed, truth)["rmse"]
+
+
+class TestHelpers:
+    def test_order_violations_counts(self):
+        assert order_violations(np.array([0, 2, 1, 3, 2])) == 2
+
+    def test_repair_quality_shapes(self):
+        with pytest.raises(ValueError):
+            repair_quality(np.zeros(3), np.zeros(4))
+
+    def test_repair_quality_values(self):
+        q = repair_quality(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert q["max_abs"] == 2.0
+        assert q["rmse"] == pytest.approx(np.sqrt(2.5))

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, STSeries
+from repro.cleaning import (
+    cross_sensor_repair,
+    detect_spikes,
+    detect_stuck,
+    repair_rmse,
+    repair_with_interpolation,
+)
+from repro.synth import SmoothField, add_sensor_bias, spike_values, stuck_sensor
+
+
+@pytest.fixture
+def smooth_series():
+    t = np.arange(100.0)
+    return STSeries("s0", Point(0, 0), t, np.sin(t / 10.0) * 5.0 + 20.0)
+
+
+class TestDetectSpikes:
+    def test_finds_injected(self, rng, smooth_series):
+        spiked, idx = spike_values(smooth_series, rng, 0.05, magnitude=20.0)
+        found = detect_spikes(spiked, window=7, threshold=3.0)
+        assert set(idx) <= set(found) | set()
+        # Precision: few false alarms on the smooth remainder.
+        assert len(set(found) - set(idx)) <= 3
+
+
+class TestDetectStuck:
+    def test_finds_run(self, smooth_series):
+        stuck = stuck_sensor(smooth_series, start=20, length=10)
+        found = detect_stuck(stuck, min_run=5)
+        assert set(range(21, 30)) <= set(found)
+
+    def test_first_sample_of_run_spared(self, smooth_series):
+        stuck = stuck_sensor(smooth_series, start=20, length=10)
+        assert 20 not in detect_stuck(stuck, min_run=5)
+
+    def test_short_runs_ignored(self, smooth_series):
+        stuck = stuck_sensor(smooth_series, start=20, length=3)
+        assert detect_stuck(stuck, min_run=5) == []
+
+    def test_smooth_series_clean(self, smooth_series):
+        assert detect_stuck(smooth_series, min_run=3) == []
+
+
+class TestInterpolationRepair:
+    def test_restores_values(self, rng, smooth_series):
+        truth = smooth_series.values
+        spiked, idx = spike_values(smooth_series, rng, 0.05, 20.0)
+        fixed = repair_with_interpolation(spiked, idx)
+        assert repair_rmse(fixed, truth, idx) < repair_rmse(spiked, truth, idx) / 3
+
+    def test_clean_indices_untouched(self, rng, smooth_series):
+        spiked, idx = spike_values(smooth_series, rng, 0.05, 20.0)
+        fixed = repair_with_interpolation(spiked, idx)
+        clean = sorted(set(range(len(spiked))) - set(idx))
+        assert np.array_equal(fixed.values[clean], spiked.values[clean])
+
+    def test_bad_index_rejected(self, smooth_series):
+        with pytest.raises(IndexError):
+            repair_with_interpolation(smooth_series, [1000])
+
+    def test_all_faulty_passthrough(self, smooth_series):
+        out = repair_with_interpolation(smooth_series, list(range(100)))
+        assert np.array_equal(out.values, smooth_series.values)
+
+
+class TestCrossSensorRepair:
+    @pytest.fixture
+    def network(self, rng, box):
+        field = SmoothField(rng, box, n_bumps=3, length_scale=400)
+        times = np.arange(0, 600, 30.0)
+        sites = [Point(500, 500), Point(520, 500), Point(480, 510), Point(505, 520)]
+        series = field.sample_sensors(sites, times, rng, noise_sigma=0.2)
+        truth = np.array([field.value(sites[0], t) for t in times])
+        return series, truth
+
+    def test_repairs_long_fault(self, rng, network):
+        series, truth = network
+        target = series[0]
+        # A long stuck run defeats temporal interpolation; neighbors don't.
+        faulty = stuck_sensor(target, start=5, length=12)
+        idx = list(range(6, 17))
+        cross = cross_sensor_repair(faulty, series[1:], idx)
+        temporal = repair_with_interpolation(faulty, idx)
+        assert repair_rmse(cross, truth, idx) < repair_rmse(temporal, truth, idx)
+
+    def test_bias_correction(self, rng, network):
+        series, truth = network
+        target = series[0]
+        biased_neighbors = [add_sensor_bias(s, 10.0) for s in series[1:]]
+        faulty, idx = spike_values(target, rng, 0.1, 25.0)
+        fixed = cross_sensor_repair(faulty, biased_neighbors, idx)
+        # Despite the +10 neighbor bias, offsets are removed before repair.
+        assert repair_rmse(fixed, truth, idx) < 2.0
+
+    def test_requires_neighbors(self, smooth_series):
+        with pytest.raises(ValueError):
+            cross_sensor_repair(smooth_series, [], [1])
+
+
+class TestRepairRmse:
+    def test_empty_indices(self, smooth_series):
+        assert repair_rmse(smooth_series, smooth_series.values, []) == 0.0

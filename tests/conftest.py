@@ -1,0 +1,36 @@
+"""Shared fixtures: seeded rng, standard world, canonical workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.synth import correlated_random_walk
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def box():
+    """The standard 1 km x 1 km planar world."""
+    return BBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture
+def big_box():
+    """A 2 km x 2 km world for fleet/field workloads."""
+    return BBox(0.0, 0.0, 2000.0, 2000.0)
+
+
+@pytest.fixture
+def walk(rng, box):
+    """A 120-point correlated random walk (ground truth)."""
+    return correlated_random_walk(rng, 120, box, speed_mean=5.0, speed_sigma=1.0)
+
+
+@pytest.fixture
+def center():
+    return Point(500.0, 500.0)

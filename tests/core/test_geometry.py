@@ -1,0 +1,200 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    BBox,
+    Point,
+    angle_difference,
+    bearing,
+    convex_hull_area,
+    euclidean,
+    haversine_m,
+    interpolate,
+    pairwise_distances,
+    perpendicular_distance,
+    point_along_polyline,
+    point_segment_distance,
+    polyline_length,
+    project_point_to_segment,
+    synchronized_euclidean_distance,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-3, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translate(self):
+        assert Point(1, 1).translate(2, -1) == Point(3, 0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_iter_unpack(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+    def test_as_array(self):
+        assert np.allclose(Point(1.5, -2.5).as_array(), [1.5, -2.5])
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5  # type: ignore[misc]
+
+
+class TestBBox:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(10, 0, 0, 10)
+
+    def test_from_points(self):
+        b = BBox.from_points([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (-2, 3, 4, 5)
+
+    def test_from_points_empty(self):
+        with pytest.raises(ValueError):
+            BBox.from_points([])
+
+    def test_contains_border(self):
+        b = BBox(0, 0, 10, 10)
+        assert b.contains(Point(0, 10))
+        assert not b.contains(Point(-0.1, 5))
+
+    def test_intersects(self):
+        a = BBox(0, 0, 10, 10)
+        assert a.intersects(BBox(10, 10, 20, 20))  # touching counts
+        assert not a.intersects(BBox(11, 11, 20, 20))
+
+    def test_union(self):
+        u = BBox(0, 0, 1, 1).union(BBox(5, 5, 6, 6))
+        assert (u.min_x, u.max_y) == (0, 6)
+
+    def test_expand(self):
+        e = BBox(0, 0, 2, 2).expand(1)
+        assert (e.min_x, e.max_x) == (-1, 3)
+
+    def test_min_distance_inside_is_zero(self):
+        assert BBox(0, 0, 10, 10).min_distance_to(Point(5, 5)) == 0.0
+
+    def test_min_distance_outside(self):
+        assert BBox(0, 0, 10, 10).min_distance_to(Point(13, 14)) == 5.0
+
+    def test_max_distance(self):
+        assert BBox(0, 0, 10, 10).max_distance_to(Point(0, 0)) == pytest.approx(
+            math.hypot(10, 10)
+        )
+
+    def test_area_center(self):
+        b = BBox(0, 0, 4, 2)
+        assert b.area == 8
+        assert b.center == Point(2, 1)
+
+
+class TestSegmentOps:
+    def test_projection_interior(self):
+        q, t = project_point_to_segment(Point(5, 5), Point(0, 0), Point(10, 0))
+        assert q == Point(5, 0)
+        assert t == 0.5
+
+    def test_projection_clamped(self):
+        q, t = project_point_to_segment(Point(-5, 3), Point(0, 0), Point(10, 0))
+        assert q == Point(0, 0)
+        assert t == 0.0
+
+    def test_projection_degenerate_segment(self):
+        q, t = project_point_to_segment(Point(1, 1), Point(2, 2), Point(2, 2))
+        assert q == Point(2, 2) and t == 0.0
+
+    def test_point_segment_distance(self):
+        assert point_segment_distance(Point(5, 3), Point(0, 0), Point(10, 0)) == 3.0
+
+    def test_perpendicular_vs_segment_distance(self):
+        # Beyond the endpoint: segment distance grows, line distance doesn't.
+        p = Point(20, 3)
+        assert perpendicular_distance(p, Point(0, 0), Point(10, 0)) == 3.0
+        assert point_segment_distance(p, Point(0, 0), Point(10, 0)) > 3.0
+
+    def test_perpendicular_degenerate(self):
+        assert perpendicular_distance(Point(3, 4), Point(0, 0), Point(0, 0)) == 5.0
+
+
+class TestPolyline:
+    def test_length(self):
+        pts = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert polyline_length(pts) == 7.0
+
+    def test_length_short(self):
+        assert polyline_length([Point(0, 0)]) == 0.0
+
+    def test_point_along(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        assert point_along_polyline(pts, 15) == Point(10, 5)
+
+    def test_point_along_clamps(self):
+        pts = [Point(0, 0), Point(10, 0)]
+        assert point_along_polyline(pts, -5) == Point(0, 0)
+        assert point_along_polyline(pts, 100) == Point(10, 0)
+
+    def test_point_along_empty(self):
+        with pytest.raises(ValueError):
+            point_along_polyline([], 1.0)
+
+
+class TestAnglesAndSED:
+    def test_bearing_cardinal(self):
+        assert bearing(Point(0, 0), Point(1, 0)) == 0.0
+        assert bearing(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_angle_difference_wraps(self):
+        assert angle_difference(0.1, 2 * math.pi - 0.1) == pytest.approx(0.2)
+
+    def test_interpolate(self):
+        assert interpolate(Point(0, 0), Point(10, 20), 0.25) == Point(2.5, 5.0)
+
+    def test_sed_midpoint(self):
+        # Uniform motion 0->10 over t in [0, 10]; at t=5 interpolant is (5, 0).
+        d = synchronized_euclidean_distance(
+            Point(5, 7), 5.0, Point(0, 0), 0.0, Point(10, 0), 10.0
+        )
+        assert d == 7.0
+
+    def test_sed_degenerate_time(self):
+        d = synchronized_euclidean_distance(
+            Point(3, 4), 0.0, Point(0, 0), 0.0, Point(10, 0), 0.0
+        )
+        assert d == 5.0
+
+
+class TestBulkOps:
+    def test_pairwise(self):
+        m = pairwise_distances([Point(0, 0), Point(3, 4)])
+        assert m.shape == (2, 2)
+        assert m[0, 1] == m[1, 0] == 5.0
+        assert m[0, 0] == 0.0
+
+    def test_pairwise_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+    def test_hull_square(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0.5, 0.5)]
+        assert convex_hull_area(pts) == pytest.approx(1.0)
+
+    def test_hull_collinear(self):
+        assert convex_hull_area([Point(0, 0), Point(1, 1), Point(2, 2)]) == 0.0
+
+    def test_haversine_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        d = haversine_m(0, 0, 1, 0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_haversine_zero(self):
+        assert haversine_m(10, 50, 10, 50) == 0.0
+
+    def test_euclidean_alias(self):
+        assert euclidean(Point(0, 0), Point(6, 8)) == 10.0

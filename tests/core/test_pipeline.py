@@ -1,0 +1,60 @@
+import pytest
+
+from repro.core import Pipeline, Stage
+
+
+def add(n):
+    return Stage(f"add{n}", lambda x: x + n)
+
+
+def mul(n):
+    return Stage(f"mul{n}", lambda x: x * n)
+
+
+class TestPipeline:
+    def test_runs_in_order(self):
+        p = Pipeline([add(1), mul(10)])
+        assert p.run(0).output == 10  # (0+1)*10
+
+    def test_order_matters(self):
+        p = Pipeline([mul(10), add(1)])
+        assert p.run(0).output == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([add(1), add(1)])
+
+    def test_trace_records_every_stage(self):
+        result = Pipeline([add(1), add(2), add(3)]).run(0)
+        assert [t.name for t in result.trace] == ["add1", "add2", "add3"]
+        assert result.total_seconds >= 0.0
+
+    def test_probes_track_intermediate_values(self):
+        p = Pipeline([add(1), mul(2)], probes={"value": lambda x: float(x)})
+        result = p.run(1)
+        assert result.metric_series("value") == [("add1", 2.0), ("mul2", 4.0)]
+
+    def test_metric_series_missing_metric(self):
+        result = Pipeline([add(1)]).run(0)
+        assert result.metric_series("nope") == []
+
+    def test_add_stage_is_pure(self):
+        p = Pipeline([add(1)])
+        p2 = p.add_stage(mul(3))
+        assert p.stage_names == ["add1"]
+        assert p2.stage_names == ["add1", "mul3"]
+        assert p2.run(1).output == 6
+
+    def test_empty_pipeline_identity(self):
+        assert Pipeline([]).run(42).output == 42
+
+    def test_ablations_cover_each_stage(self):
+        p = Pipeline([add(1), mul(10)])
+        results = p.run_ablations(0)
+        assert set(results) == {"full", "add1", "mul10"}
+        assert results["full"].output == 10
+        assert results["add1"].output == 0  # only mul10 ran
+        assert results["mul10"].output == 1  # only add1 ran
+
+    def test_stage_callable(self):
+        assert add(5)(1) == 6

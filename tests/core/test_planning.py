@@ -1,0 +1,113 @@
+import pytest
+
+from repro.core import CandidateService, Stage, plan_pipeline
+
+
+def add(n, cost=1.0):
+    return CandidateService(Stage(f"add{n}", lambda x: x + n), cost)
+
+
+def toward_zero(step, name, cost=1.0):
+    """A service that moves the value toward zero by up to ``step``."""
+
+    def fn(x):
+        if x > 0:
+            return max(0.0, x - step)
+        return min(0.0, x + step)
+
+    return CandidateService(Stage(name, fn), cost)
+
+
+OBJECTIVE = abs  # lower is better: distance from zero
+
+
+class TestPlanPipeline:
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            plan_pipeline(1.0, [], OBJECTIVE, budget=0.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            plan_pipeline(1.0, [add(1), add(1)], OBJECTIVE, budget=5.0)
+
+    def test_selects_useful_services(self):
+        candidates = [toward_zero(5, "big-fix"), toward_zero(1, "small-fix")]
+        pipe, report = plan_pipeline(10.0, candidates, OBJECTIVE, budget=10.0)
+        assert "big-fix" in report.selected
+        assert report.objective_trace[0] == 10.0
+        assert report.objective_trace[-1] < 10.0
+
+    def test_skips_useless_services(self):
+        candidates = [
+            toward_zero(5, "useful"),
+            CandidateService(Stage("identity", lambda x: x), 0.1),
+            CandidateService(Stage("harmful", lambda x: x + 100), 0.1),
+        ]
+        _, report = plan_pipeline(10.0, candidates, OBJECTIVE, budget=10.0)
+        assert "identity" not in report.selected
+        assert "harmful" not in report.selected
+
+    def test_respects_budget(self):
+        candidates = [toward_zero(3, f"fix{i}", cost=2.0) for i in range(5)]
+        _, report = plan_pipeline(100.0, candidates, OBJECTIVE, budget=5.0)
+        assert report.total_cost <= 5.0
+        assert len(report.selected) == 2
+
+    def test_prefers_efficient_service(self):
+        candidates = [
+            toward_zero(4, "cheap", cost=1.0),  # 4 per unit cost
+            toward_zero(6, "pricey", cost=6.0),  # 1 per unit cost
+        ]
+        _, report = plan_pipeline(10.0, candidates, OBJECTIVE, budget=1.5)
+        assert report.selected == ["cheap"]
+
+    def test_min_gain_stops_early(self):
+        candidates = [toward_zero(0.05, "tiny")]
+        _, report = plan_pipeline(10.0, candidates, OBJECTIVE, budget=10.0, min_gain=0.1)
+        assert report.selected == []
+
+    def test_trace_monotone(self):
+        candidates = [toward_zero(2, f"s{i}") for i in range(4)]
+        _, report = plan_pipeline(7.0, candidates, OBJECTIVE, budget=10.0)
+        trace = report.objective_trace
+        assert all(b <= a for a, b in zip(trace, trace[1:]))
+
+    def test_returned_pipeline_replays_plan(self):
+        candidates = [toward_zero(5, "a"), toward_zero(2, "b")]
+        pipe, report = plan_pipeline(10.0, candidates, OBJECTIVE, budget=10.0)
+        result = pipe.run(10.0)
+        assert OBJECTIVE(result.output) == pytest.approx(report.objective_trace[-1])
+
+    def test_improvement_property(self):
+        candidates = [toward_zero(5, "a")]
+        _, report = plan_pipeline(10.0, candidates, OBJECTIVE, budget=10.0)
+        assert report.improvement == pytest.approx(
+            report.objective_trace[0] - report.objective_trace[-1]
+        )
+
+    def test_on_real_cleaning_task(self, rng, box):
+        """The planner composes a real cleaning plan from measured gains."""
+        from repro.cleaning import moving_average, remove_and_repair, zscore_outliers
+        from repro.core import accuracy_error
+        from repro.localization import kalman_refine
+        from repro.synth import CorruptionProfile, correlated_random_walk
+
+        truth = correlated_random_walk(rng, 150, box, speed_mean=5)
+        corrupted, _ = CorruptionProfile(
+            noise_sigma=6.0, outlier_rate=0.05, drop_rate=0.0
+        ).apply(truth, rng)
+        candidates = [
+            CandidateService(
+                Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+                cost=1.0,
+            ),
+            CandidateService(Stage("kalman", lambda t: kalman_refine(t, 1.0, 6.0)), 2.0),
+            CandidateService(Stage("identity", lambda t: t), 0.5),
+        ]
+        pipe, report = plan_pipeline(
+            corrupted, candidates, lambda t: accuracy_error(t, truth), budget=4.0
+        )
+        assert "identity" not in report.selected
+        assert report.improvement > 0
+        cleaned = pipe.run(corrupted).output
+        assert accuracy_error(cleaned, truth) < accuracy_error(corrupted, truth)

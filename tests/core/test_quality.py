@@ -1,0 +1,213 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BBox,
+    Dimension,
+    HIGH_IS_BAD,
+    Point,
+    QualityReport,
+    STRecord,
+    Trajectory,
+    TrajectoryPoint,
+    accuracy_error,
+    assess_trajectory,
+    completeness,
+    consistency_ratio,
+    data_volume,
+    interpretability_ratio,
+    mean_latency,
+    precision_jitter,
+    redundancy_ratio,
+    space_coverage,
+    spatial_resolution,
+    staleness,
+    time_sparsity,
+    truth_volume,
+    value_consistency_ratio,
+)
+from repro.synth import add_gaussian_noise, correlated_random_walk
+
+
+def straight(n=20, speed=1.0):
+    return Trajectory([TrajectoryPoint(i * speed, 0.0, float(i)) for i in range(n)])
+
+
+class TestAccurateReliable:
+    def test_precision_jitter_zero_for_smooth(self):
+        assert precision_jitter(straight()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_precision_jitter_grows_with_noise(self, rng, box):
+        t = correlated_random_walk(rng, 100, box)
+        j1 = precision_jitter(add_gaussian_noise(t, rng, 2.0))
+        j2 = precision_jitter(add_gaussian_noise(t, rng, 20.0))
+        assert j2 > j1 > precision_jitter(t)
+
+    def test_precision_short_trajectory(self):
+        assert precision_jitter(straight(2)) == 0.0
+
+    def test_accuracy_error_zero_for_identical(self):
+        t = straight()
+        assert accuracy_error(t, t) == 0.0
+
+    def test_accuracy_error_offset(self):
+        t = straight()
+        shifted = t.map_points(lambda p: TrajectoryPoint(p.x, p.y + 3.0, p.t))
+        assert accuracy_error(shifted, t) == pytest.approx(3.0)
+
+    def test_accuracy_error_no_overlap_nan(self):
+        t = straight()
+        assert np.isnan(accuracy_error(t.shift_time(100), t))
+
+    def test_consistency_all_legal(self):
+        assert consistency_ratio(straight(speed=1.0), max_speed=2.0) == 1.0
+
+    def test_consistency_speed_violation(self):
+        t = Trajectory(
+            [
+                TrajectoryPoint(0, 0, 0),
+                TrajectoryPoint(1, 0, 1),
+                TrajectoryPoint(100, 0, 2),  # 99 m/s leg
+            ]
+        )
+        assert consistency_ratio(t, max_speed=10.0) == pytest.approx(0.5)
+
+    def test_consistency_accel_constraint(self):
+        t = Trajectory(
+            [
+                TrajectoryPoint(0, 0, 0),
+                TrajectoryPoint(1, 0, 1),
+                TrajectoryPoint(9, 0, 2),  # speed jumps 1 -> 8
+            ]
+        )
+        assert consistency_ratio(t, max_speed=10.0, max_accel=2.0) < 1.0
+
+    def test_value_consistency(self):
+        recs = [
+            STRecord(0, 0, 0, 10.0),
+            STRecord(1, 0, 0, 10.5),
+            STRecord(2, 0, 0, 50.0),  # disagrees with neighbors
+        ]
+        r = value_consistency_ratio(recs, neighbor_radius=5, max_value_gap=2.0)
+        assert r < 1.0
+
+    def test_value_consistency_isolated_counts_consistent(self):
+        recs = [STRecord(0, 0, 0, 10.0), STRecord(1000, 0, 0, 99.0)]
+        assert value_consistency_ratio(recs, 5, 1.0) == 1.0
+
+
+class TestComprehensive:
+    def test_time_sparsity(self):
+        assert time_sparsity(straight()) == 1.0
+
+    def test_time_sparsity_empty(self):
+        assert time_sparsity(Trajectory([])) == float("inf")
+
+    def test_completeness_full(self):
+        times = list(range(10))
+        assert completeness(times, 0, 10, 1.0) == 1.0
+
+    def test_completeness_half(self):
+        assert completeness([0, 1, 2, 3, 4], 0, 10, 1.0) == pytest.approx(0.5)
+
+    def test_completeness_bad_args(self):
+        with pytest.raises(ValueError):
+            completeness([0], 5, 5, 1.0)
+
+    def test_space_coverage(self):
+        region = BBox(0, 0, 100, 100)
+        pts = [Point(5, 5), Point(55, 55)]
+        assert space_coverage(pts, region, 50.0) == pytest.approx(0.5)
+
+    def test_space_coverage_ignores_outside(self):
+        region = BBox(0, 0, 100, 100)
+        assert space_coverage([Point(-5, -5)], region, 50.0) == 0.0
+
+    def test_redundancy_duplicates(self):
+        recs = [
+            STRecord(0, 0, 0.0, 1.0, "a"),
+            STRecord(0, 0, 0.05, 1.0, "a"),  # near-duplicate
+            STRecord(100, 0, 0.0, 1.0, "b"),
+        ]
+        assert redundancy_ratio(recs, space_eps=1.0, time_eps=0.2) == pytest.approx(1 / 3)
+
+    def test_redundancy_different_sources_not_dup(self):
+        recs = [STRecord(0, 0, 0.0, 1.0, "a"), STRecord(0, 0, 0.0, 1.0, "b")]
+        assert redundancy_ratio(recs, 1.0, 1.0) == 0.0
+
+
+class TestEasyToUse:
+    def test_latency(self):
+        assert mean_latency([0, 10], [2, 13]) == pytest.approx(2.5)
+
+    def test_latency_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mean_latency([10], [5])
+
+    def test_staleness_per_source(self):
+        recs = [STRecord(0, 0, 5.0, 1.0, "a"), STRecord(0, 0, 8.0, 1.0, "b")]
+        assert staleness(recs, now=10.0) == pytest.approx((5 + 2) / 2)
+
+    def test_staleness_empty(self):
+        assert staleness([], 0.0) == float("inf")
+
+    def test_data_volume(self):
+        assert data_volume([1, 2, 3]) == 3
+
+    def test_truth_volume(self):
+        assert truth_volume([1, 2, 3, 4], [True, False, True, False]) == 0.5
+
+    def test_resolution(self):
+        assert spatial_resolution(10.0) == 0.1
+        with pytest.raises(ValueError):
+            spatial_resolution(0)
+
+    def test_interpretability(self):
+        assert interpretability_ratio(["food", None, "home", None]) == 0.5
+
+
+class TestReport:
+    def test_polarity_table_complete(self):
+        assert set(HIGH_IS_BAD) == set(Dimension)
+
+    def test_degraded_dimensions_respects_polarity(self):
+        base = QualityReport()
+        base.set(Dimension.ACCURACY, 5.0)  # high = bad
+        base.set(Dimension.COMPLETENESS, 0.9)  # high = good
+        worse = QualityReport()
+        worse.set(Dimension.ACCURACY, 10.0)
+        worse.set(Dimension.COMPLETENESS, 0.5)
+        degraded = worse.degraded_dimensions(base)
+        assert set(degraded) == {Dimension.ACCURACY, Dimension.COMPLETENESS}
+
+    def test_degraded_ignores_improvement(self):
+        base = QualityReport({Dimension.ACCURACY: 10.0})
+        better = QualityReport({Dimension.ACCURACY: 5.0})
+        assert better.degraded_dimensions(base) == []
+
+    def test_to_rows(self):
+        r = QualityReport({Dimension.ACCURACY: 1.0})
+        rows = r.to_rows()
+        assert rows == [("accuracy", 1.0, "high=bad")]
+
+    def test_assess_trajectory_with_truth(self, rng, box):
+        truth = correlated_random_walk(rng, 60, box)
+        noisy = add_gaussian_noise(truth, rng, 10.0)
+        rep = assess_trajectory(noisy, truth=truth, region=box)
+        for dim in (
+            Dimension.PRECISION,
+            Dimension.ACCURACY,
+            Dimension.CONSISTENCY,
+            Dimension.COMPLETENESS,
+            Dimension.SPACE_COVERAGE,
+        ):
+            assert dim in rep
+
+    def test_noise_degrades_expected_dimensions(self, rng, box):
+        truth = correlated_random_walk(rng, 100, box)
+        noisy = add_gaussian_noise(truth, rng, 25.0)
+        clean_rep = assess_trajectory(truth, truth=truth, region=box, max_speed=15)
+        noisy_rep = assess_trajectory(noisy, truth=truth, region=box, max_speed=15)
+        degraded = set(noisy_rep.degraded_dimensions(clean_rep))
+        # Table 1 row "noisy and erroneous": precision, accuracy, consistency.
+        assert {Dimension.PRECISION, Dimension.ACCURACY} <= degraded

@@ -1,0 +1,150 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BBox,
+    Point,
+    STGrid,
+    STRecord,
+    STSeries,
+    grid_rmse,
+    records_from_series,
+)
+
+
+@pytest.fixture
+def series():
+    return STSeries("s1", Point(10, 20), [0.0, 10.0, 20.0], [1.0, 3.0, 5.0])
+
+
+class TestSTRecord:
+    def test_point(self):
+        r = STRecord(1, 2, 3, 4.5, "dev")
+        assert r.point == Point(1, 2)
+        assert r.value == 4.5
+
+
+class TestSTSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            STSeries("s", Point(0, 0), [0, 1], [1.0])
+
+    def test_unordered_times(self):
+        with pytest.raises(ValueError):
+            STSeries("s", Point(0, 0), [1.0, 0.5], [1, 2])
+
+    def test_iter_yields_records(self, series):
+        recs = list(series)
+        assert len(recs) == 3
+        assert recs[0].source == "s1"
+        assert recs[2].t == 20.0
+
+    def test_value_at_interpolates(self, series):
+        assert series.value_at(5.0) == pytest.approx(2.0)
+
+    def test_value_at_outside(self, series):
+        with pytest.raises(ValueError):
+            series.value_at(-1.0)
+
+    def test_value_at_empty(self):
+        empty = STSeries("e", Point(0, 0), [], [])
+        with pytest.raises(ValueError):
+            empty.value_at(0.0)
+
+    def test_slice_time(self, series):
+        s = series.slice_time(5, 15)
+        assert len(s) == 1 and s.values[0] == 3.0
+
+    def test_with_values_copies(self, series):
+        s2 = series.with_values([9, 9, 9])
+        assert s2.values.tolist() == [9, 9, 9]
+        assert series.values.tolist() == [1, 3, 5]
+
+    def test_values_defensive_copy(self, series):
+        v = series.values
+        v[0] = 99
+        assert series.values[0] == 1.0
+
+    def test_records_from_series(self, series):
+        recs = records_from_series([series, series])
+        assert len(recs) == 6
+
+
+class TestSTGrid:
+    @pytest.fixture
+    def grid(self):
+        return STGrid.empty(BBox(0, 0, 100, 100), 0.0, 100.0, 10.0, 10.0)
+
+    def test_empty_shape(self, grid):
+        assert grid.shape == (10, 10, 10)
+        assert grid.missing_fraction() == 1.0
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            STGrid.empty(BBox(0, 0, 1, 1), 0, 1, 0.0, 1.0)
+
+    def test_cell_index_basic(self, grid):
+        assert grid.cell_index(Point(5, 5), 5.0) == (0, 0, 0)
+        assert grid.cell_index(Point(95, 95), 95.0) == (9, 9, 9)
+
+    def test_cell_index_max_border(self, grid):
+        assert grid.cell_index(Point(100, 100), 50.0) == (5, 9, 9)
+
+    def test_cell_index_outside(self, grid):
+        assert grid.cell_index(Point(-1, 5), 5.0) is None
+        assert grid.cell_index(Point(5, 5), 1000.0) is None
+
+    def test_cell_center_roundtrip(self, grid):
+        p, t = grid.cell_center(3, 4, 5)
+        assert grid.cell_index(p, t) == (3, 4, 5)
+
+    def test_value_at(self, grid):
+        grid.values[0, 0, 0] = 7.0
+        assert grid.value_at(Point(5, 5), 5.0) == 7.0
+        assert np.isnan(grid.value_at(Point(5, 5), 15.0))
+        assert np.isnan(grid.value_at(Point(-5, 5), 5.0))
+
+    def test_from_records_mean(self):
+        recs = [
+            STRecord(5, 5, 5, 10.0),
+            STRecord(6, 6, 6, 20.0),  # same cell -> averaged
+            STRecord(55, 55, 5, 3.0),
+        ]
+        g = STGrid.from_records(recs, cell_size=10.0, t_step=10.0, bbox=BBox(0, 0, 100, 100))
+        assert g.value_at(Point(5, 5), 5.0) == pytest.approx(15.0)
+        assert g.value_at(Point(55, 55), 5.0) == pytest.approx(3.0)
+
+    def test_from_records_empty(self):
+        with pytest.raises(ValueError):
+            STGrid.from_records([], 10, 10)
+
+    def test_observed_records_roundtrip(self, grid):
+        grid.values[1, 2, 3] = 42.0
+        recs = grid.observed_records()
+        assert len(recs) == 1
+        assert recs[0].value == 42.0
+        assert grid.cell_index(recs[0].point, recs[0].t) == (1, 2, 3)
+
+    def test_copy_independent(self, grid):
+        c = grid.copy()
+        c.values[0, 0, 0] = 5.0
+        assert np.isnan(grid.values[0, 0, 0])
+
+    def test_grid_rmse(self, grid):
+        a = grid.copy()
+        b = grid.copy()
+        a.values[0, 0, 0] = 1.0
+        b.values[0, 0, 0] = 4.0
+        assert grid_rmse(a, b) == pytest.approx(3.0)
+
+    def test_grid_rmse_no_overlap_nan(self, grid):
+        a = grid.copy()
+        b = grid.copy()
+        a.values[0, 0, 0] = 1.0
+        b.values[1, 0, 0] = 1.0
+        assert np.isnan(grid_rmse(a, b))
+
+    def test_grid_rmse_shape_mismatch(self, grid):
+        other = STGrid.empty(BBox(0, 0, 50, 50), 0, 50, 10, 10)
+        with pytest.raises(ValueError):
+            grid_rmse(grid, other)

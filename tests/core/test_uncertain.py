@@ -1,0 +1,182 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BBox,
+    DiscreteLocation,
+    GaussianLocation,
+    Point,
+    UncertainLocation,
+    UncertainPoint,
+    UncertainTrajectory,
+    UniformDiskLocation,
+)
+
+
+class TestGaussianLocation:
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianLocation(Point(0, 0), 0.0)
+
+    def test_isotropic_default(self):
+        g = GaussianLocation(Point(0, 0), 5.0)
+        assert g.sigma_y == 5.0
+
+    def test_mean(self):
+        assert GaussianLocation(Point(3, 4), 1.0).mean() == Point(3, 4)
+
+    def test_prob_within_centered(self):
+        g = GaussianLocation(Point(0, 0), 10.0)
+        # 1-sigma disk holds 1 - exp(-1/2) ~ 0.3935 of a 2-D Gaussian.
+        assert g.prob_within(Point(0, 0), 10.0) == pytest.approx(0.3935, abs=0.01)
+
+    def test_prob_within_far_is_zero(self):
+        g = GaussianLocation(Point(0, 0), 1.0)
+        assert g.prob_within(Point(100, 0), 5.0) < 1e-6
+
+    def test_prob_within_large_radius_is_one(self):
+        g = GaussianLocation(Point(0, 0), 1.0)
+        assert g.prob_within(Point(0, 0), 100.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_prob_in_bbox_half_plane(self):
+        g = GaussianLocation(Point(0, 0), 5.0)
+        assert g.prob_in_bbox(BBox(-1000, -1000, 0, 1000)) == pytest.approx(0.5, abs=1e-6)
+
+    def test_support_bbox_mass(self):
+        g = GaussianLocation(Point(0, 0), 3.0)
+        box = g.support_bbox(0.99)
+        assert g.prob_in_bbox(box) >= 0.99
+
+    def test_samples_statistics(self):
+        rng = np.random.default_rng(0)
+        g = GaussianLocation(Point(10, -5), 2.0)
+        s = g.sample(rng, 4000)
+        assert np.allclose(s.mean(axis=0), [10, -5], atol=0.2)
+        assert np.allclose(s.std(axis=0), 2.0, atol=0.2)
+
+    def test_anisotropic_covariance(self):
+        g = GaussianLocation(Point(0, 0), 2.0, 3.0, rho=0.5)
+        cov = g.covariance()
+        assert cov[0, 0] == 4.0 and cov[1, 1] == 9.0
+        assert cov[0, 1] == pytest.approx(3.0)
+
+    def test_pdf_peak_at_center(self):
+        g = GaussianLocation(Point(0, 0), 1.0)
+        assert g.pdf(Point(0, 0)) > g.pdf(Point(1, 1))
+
+    def test_protocol_conformance(self):
+        assert isinstance(GaussianLocation(Point(0, 0), 1.0), UncertainLocation)
+
+
+class TestDiscreteLocation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteLocation((), ())
+
+    def test_weight_normalization(self):
+        d = DiscreteLocation((Point(0, 0), Point(1, 0)), (2.0, 2.0))
+        assert sum(d.weights) == pytest.approx(1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteLocation((Point(0, 0), Point(1, 0)), (-1.0, 2.0))
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteLocation((Point(0, 0),), (0.0,))
+
+    def test_mean_weighted(self):
+        d = DiscreteLocation((Point(0, 0), Point(10, 0)), (0.75, 0.25))
+        assert d.mean() == Point(2.5, 0.0)
+
+    def test_from_samples_equal_weight(self):
+        d = DiscreteLocation.from_samples([Point(0, 0), Point(2, 2)])
+        assert d.weights == (0.5, 0.5)
+
+    def test_prob_within_exact(self):
+        d = DiscreteLocation((Point(0, 0), Point(100, 0)), (0.3, 0.7))
+        assert d.prob_within(Point(0, 0), 1.0) == pytest.approx(0.3)
+
+    def test_prob_in_bbox(self):
+        d = DiscreteLocation((Point(0, 0), Point(100, 0)), (0.3, 0.7))
+        assert d.prob_in_bbox(BBox(50, -10, 150, 10)) == pytest.approx(0.7)
+
+    def test_map_point(self):
+        d = DiscreteLocation((Point(0, 0), Point(1, 1)), (0.2, 0.8))
+        assert d.map_point() == Point(1, 1)
+
+    def test_sample_support(self):
+        rng = np.random.default_rng(1)
+        d = DiscreteLocation((Point(0, 0), Point(5, 5)), (0.5, 0.5))
+        s = d.sample(rng, 100)
+        for row in s:
+            assert tuple(row) in {(0.0, 0.0), (5.0, 5.0)}
+
+
+class TestUniformDisk:
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            UniformDiskLocation(Point(0, 0), 0.0)
+
+    def test_prob_within_containment(self):
+        u = UniformDiskLocation(Point(0, 0), 10.0)
+        assert u.prob_within(Point(0, 0), 20.0) == 1.0
+
+    def test_prob_within_smaller_concentric(self):
+        u = UniformDiskLocation(Point(0, 0), 10.0)
+        # Concentric half-radius disk holds 1/4 of the area.
+        assert u.prob_within(Point(0, 0), 5.0) == pytest.approx(0.25)
+
+    def test_prob_within_disjoint(self):
+        u = UniformDiskLocation(Point(0, 0), 5.0)
+        assert u.prob_within(Point(100, 0), 5.0) == 0.0
+
+    def test_prob_within_lens_symmetry(self):
+        u = UniformDiskLocation(Point(0, 0), 10.0)
+        # Query disk of the same radius centered at distance 10:
+        # lens area / circle area = 1/3*... known value ~0.391.
+        p = u.prob_within(Point(10, 0), 10.0)
+        assert 0.3 < p < 0.5
+
+    def test_prob_in_bbox_half(self):
+        u = UniformDiskLocation(Point(0, 0), 10.0)
+        assert u.prob_in_bbox(BBox(-10, -10, 0, 10)) == pytest.approx(0.5, abs=0.02)
+
+    def test_samples_inside(self):
+        rng = np.random.default_rng(2)
+        u = UniformDiskLocation(Point(3, 3), 7.0)
+        s = u.sample(rng, 500)
+        d = np.hypot(s[:, 0] - 3, s[:, 1] - 3)
+        assert (d <= 7.0).all()
+
+    def test_support_bbox(self):
+        u = UniformDiskLocation(Point(0, 0), 5.0)
+        b = u.support_bbox()
+        assert (b.min_x, b.max_y) == (-5.0, 5.0)
+
+
+class TestUncertainTrajectory:
+    def test_ordering_enforced(self):
+        g = GaussianLocation(Point(0, 0), 1.0)
+        with pytest.raises(ValueError):
+            UncertainTrajectory([(1.0, g), (1.0, g)])
+
+    def test_expected_trajectory(self):
+        entries = [
+            (0.0, GaussianLocation(Point(0, 0), 1.0)),
+            (1.0, GaussianLocation(Point(10, 0), 1.0)),
+        ]
+        ut = UncertainTrajectory(entries, "u")
+        t = ut.expected_trajectory()
+        assert len(t) == 2 and t[1].x == 10.0 and t.object_id == "u"
+
+    def test_container_protocol(self):
+        g = GaussianLocation(Point(0, 0), 1.0)
+        ut = UncertainTrajectory([(0.0, g), (1.0, g)])
+        assert len(ut) == 2
+        assert ut.times == [0.0, 1.0]
+        assert ut[0][0] == 0.0
+
+    def test_uncertain_point(self):
+        up = UncertainPoint("o1", GaussianLocation(Point(0, 0), 1.0), 5.0)
+        assert up.object_id == "o1" and up.t == 5.0

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.decision import (
+    FederatedClient,
+    FederatedServer,
+    evaluate_accuracy,
+    split_stream,
+    train_centralized,
+    train_federated,
+    train_local_only,
+)
+from repro.synth import CheckInWorld, generate_pois
+
+
+@pytest.fixture
+def setup(rng, big_box):
+    pois = generate_pois(rng, 30, big_box)
+    world = CheckInWorld(
+        rng, pois, n_users=10, distance_scale=200.0, preference_concentration=0.3
+    )
+    stream = world.simulate(rng, 100)
+    train, test = split_stream(stream, 0.7)
+    return pois, train, test
+
+
+class TestClient:
+    def test_update_counts_transitions(self, setup):
+        pois, train, _ = setup
+        client = FederatedClient(0, train)
+        update = client.local_update()
+        total = sum(sum(row.values()) for row in update.counts.values())
+        assert total == client.n_transitions()
+
+    def test_update_contains_no_timestamps(self, setup):
+        """The privacy property: the shared object holds only counts."""
+        pois, train, _ = setup
+        update = FederatedClient(0, train).local_update()
+        for row in update.counts.values():
+            for key, value in row.items():
+                assert isinstance(key, int)
+                assert isinstance(value, float)
+
+    def test_noise_requires_rng(self, setup):
+        _, train, _ = setup
+        with pytest.raises(ValueError):
+            FederatedClient(0, train).local_update(noise_scale=1.0)
+
+    def test_noised_counts_nonnegative(self, setup, rng):
+        _, train, _ = setup
+        update = FederatedClient(0, train).local_update(rng, noise_scale=2.0)
+        for row in update.counts.values():
+            assert all(v >= 0.0 for v in row.values())
+
+
+class TestFederation:
+    def test_federated_equals_centralized(self, setup):
+        """Exact-aggregation property: counts sum, so the models coincide."""
+        pois, train, test = setup
+        fed = train_federated(train, len(pois))
+        cen = train_centralized(train, len(pois))
+        acc_fed = evaluate_accuracy(fed, test, 5)
+        acc_cen = evaluate_accuracy(cen, test, 5)
+        assert acc_fed["hit@5"] == pytest.approx(acc_cen["hit@5"])
+        assert np.allclose(fed.distribution(0, 3), cen.distribution(0, 3))
+
+    def test_federation_beats_local_for_scarce_user(self, setup):
+        """The [55] claim: sharing fixes per-user data scarcity."""
+        pois, train, test = setup
+        fed = train_federated(train, len(pois))
+        gains = []
+        for user in range(5):
+            own_test = [c for c in test if c.user_id == user]
+            if len(own_test) < 3:
+                continue
+            local = train_local_only(train, len(pois), user)
+            acc_local = evaluate_accuracy(local, own_test, 5)["hit@5"]
+            acc_fed = evaluate_accuracy(fed, own_test, 5)["hit@5"]
+            gains.append(acc_fed - acc_local)
+        assert np.mean(gains) >= 0.0
+
+    def test_noise_degrades_gracefully(self, setup, rng):
+        pois, train, test = setup
+        clean = train_federated(train, len(pois))
+        noisy = train_federated(train, len(pois), rng, noise_scale=0.5)
+        acc_clean = evaluate_accuracy(clean, test, 5)["hit@5"]
+        acc_noisy = evaluate_accuracy(noisy, test, 5)["hit@5"]
+        assert acc_noisy <= acc_clean + 0.05
+        assert acc_noisy > 0.0
+
+    def test_server_aggregation_additive(self, setup):
+        pois, train, _ = setup
+        server = FederatedServer(len(pois))
+        u0 = FederatedClient(0, train).local_update()
+        u1 = FederatedClient(1, train).local_update()
+        server.aggregate([u0])
+        server.aggregate([u1])
+        single = FederatedServer(len(pois))
+        single.aggregate([u0, u1])
+        assert server._counts == single._counts

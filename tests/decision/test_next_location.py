@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.decision import MarkovNextLocation, evaluate_accuracy, split_stream
+from repro.synth import CheckIn, CheckInWorld, corrupt_checkins, generate_pois
+
+
+@pytest.fixture
+def world(rng, big_box):
+    pois = generate_pois(rng, 30, big_box)
+    return CheckInWorld(
+        rng, pois, n_users=10, distance_scale=200.0, preference_concentration=0.3
+    )
+
+
+@pytest.fixture
+def stream(world, rng):
+    return world.simulate(rng, visits_per_user=120)
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovNextLocation(0)
+        with pytest.raises(ValueError):
+            MarkovNextLocation(5, alpha=0.0)
+
+    def test_distribution_normalized(self, world, stream):
+        m = MarkovNextLocation(len(world.pois)).fit(stream)
+        d = m.distribution(0, 0)
+        assert d.sum() == pytest.approx(1.0)
+        assert (d > 0).all()  # Laplace smoothing
+
+    def test_observed_transition_likelier(self, world):
+        m = MarkovNextLocation(len(world.pois))
+        for _ in range(5):
+            m.update(CheckIn(0, 1, 0.0))
+            m.update(CheckIn(0, 2, 1.0))
+            m._last_poi.clear()
+        d = m.distribution(0, 1)
+        assert d[2] == d.max()
+
+    def test_personalization(self, world):
+        m = MarkovNextLocation(len(world.pois), personalized=True)
+        # User 0 goes 1 -> 2; user 1 goes 1 -> 3.
+        m.fit([CheckIn(0, 1, 0), CheckIn(0, 2, 1), CheckIn(1, 1, 0), CheckIn(1, 3, 1)])
+        assert m.distribution(0, 1)[2] > m.distribution(0, 1)[3]
+        assert m.distribution(1, 1)[3] > m.distribution(1, 1)[2]
+
+    def test_global_model_shares(self, world):
+        m = MarkovNextLocation(len(world.pois), personalized=False)
+        m.fit([CheckIn(0, 1, 0), CheckIn(0, 2, 1)])
+        # User 7 benefits from user 0's data.
+        assert m.distribution(7, 1)[2] == m.distribution(0, 1)[2]
+
+    def test_topk_shape(self, world, stream):
+        m = MarkovNextLocation(len(world.pois)).fit(stream)
+        topk = m.predict_topk(0, 0, k=5)
+        assert len(topk) == 5
+        assert len(set(topk)) == 5
+
+    def test_incremental_equals_batch(self, world, stream):
+        batch = MarkovNextLocation(len(world.pois)).fit(stream)
+        online = MarkovNextLocation(len(world.pois))
+        for c in sorted(stream, key=lambda c: (c.user_id, c.t)):
+            online.update(c)
+        assert np.allclose(batch.distribution(3, 5), online.distribution(3, 5))
+
+
+class TestEvaluation:
+    def test_split_chronological(self, stream):
+        train, test = split_stream(stream, 0.7)
+        assert len(train) + len(test) == len(stream)
+        assert max(c.t for c in train) <= min(c.t for c in test)
+
+    def test_split_validated(self, stream):
+        with pytest.raises(ValueError):
+            split_stream(stream, 1.5)
+
+    def test_model_beats_chance(self, world, stream):
+        train, test = split_stream(stream, 0.7)
+        m = MarkovNextLocation(len(world.pois)).fit(train)
+        acc = evaluate_accuracy(m, test, k=5)
+        chance = 5 / len(world.pois)
+        assert acc["hit@5"] > chance
+
+    def test_corruption_degrades_accuracy(self, world, stream, rng):
+        """The DQ claim: training on corrupted check-ins hurts prediction."""
+        train, test = split_stream(stream, 0.7)
+        clean = MarkovNextLocation(len(world.pois)).fit(train)
+        corrupted_stream = corrupt_checkins(
+            train, world, rng, drop_rate=0.5, mismap_rate=0.5
+        )
+        dirty = MarkovNextLocation(len(world.pois)).fit(corrupted_stream)
+        acc_clean = evaluate_accuracy(clean, test, 5)["hit@5"]
+        acc_dirty = evaluate_accuracy(dirty, test, 5)["hit@5"]
+        assert acc_clean >= acc_dirty
+
+    def test_empty_test(self, world):
+        m = MarkovNextLocation(len(world.pois))
+        acc = evaluate_accuracy(m, [], 5)
+        assert acc["transitions"] == 0.0

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.core import Point
+from repro.decision import (
+    NaiveRecommender,
+    UncertainCheckinRecommender,
+    hit_rate,
+)
+from repro.decision.next_location import split_stream
+from repro.synth import CheckIn, CheckInWorld, corrupt_checkins, generate_pois
+
+
+@pytest.fixture
+def setup(rng, big_box):
+    pois = generate_pois(rng, 50, big_box)
+    world = CheckInWorld(
+        rng, pois, n_users=15, distance_scale=400.0, preference_concentration=0.3
+    )
+    stream = world.simulate(rng, 80)
+    train, test = split_stream(stream, 0.7)
+    return pois, world, train, test
+
+
+class TestRecommenderBasics:
+    def test_empty_pois_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveRecommender([])
+
+    def test_preferences_normalized(self, setup):
+        pois, _, train, _ = setup
+        rec = NaiveRecommender(pois).fit(train)
+        pref = rec.category_preferences(0)
+        assert pref.sum() == pytest.approx(1.0)
+
+    def test_unknown_user_uniform_prior(self, setup):
+        pois, _, train, _ = setup
+        rec = NaiveRecommender(pois).fit(train)
+        pref = rec.category_preferences(9999)
+        assert np.allclose(pref, pref[0])
+
+    def test_recommend_shape_and_exclusion(self, setup):
+        pois, _, train, _ = setup
+        rec = NaiveRecommender(pois).fit(train)
+        got = rec.recommend(0, Point(500, 500), k=5, exclude={0, 1, 2})
+        assert len(got) == 5
+        assert not {0, 1, 2} & set(got)
+
+    def test_distance_discount(self, setup):
+        pois, _, train, _ = setup
+        # A short distance scale makes proximity dominate category score.
+        rec = NaiveRecommender(pois, distance_scale=150.0).fit(train)
+        here = pois[0].location
+        got = rec.recommend(0, here, k=10)
+        dists = [pois[i].location.distance_to(here) for i in got]
+        # Recommended venues skew near; median distance well below global.
+        all_d = [p.location.distance_to(here) for p in pois]
+        assert np.median(dists) <= np.median(all_d)
+
+
+class TestPreferenceLearning:
+    def test_naive_learns_category(self, setup):
+        pois, world, _, _ = setup
+        food = [p for p in pois if p.category == "food"]
+        if len(food) >= 2:
+            visits = [CheckIn(0, food[i % len(food)].poi_id, float(i)) for i in range(20)]
+            rec = NaiveRecommender(pois).fit(visits)
+            pref = rec.category_preferences(0)
+            cat_idx = rec.categories.index("food")
+            assert pref[cat_idx] == pref.max()
+
+    def test_confusion_matrix_is_stochastic(self, setup):
+        pois, _, _, _ = setup
+        rec = UncertainCheckinRecommender(pois, mismap_radius=600, mismap_rate=0.5)
+        m = rec._confusion
+        assert np.allclose(m.sum(axis=0), 1.0)
+        assert (m >= 0).all()
+
+    def test_mismap_rate_validated(self, setup):
+        pois, _, _, _ = setup
+        with pytest.raises(ValueError):
+            UncertainCheckinRecommender(pois, mismap_rate=1.0)
+
+    def test_deconvolution_recovers_preference(self, setup):
+        """Feed observations drawn through the confusion model and check the
+        recovered preference is closer to the truth than raw counts."""
+        pois, _, _, _ = setup
+        rec = UncertainCheckinRecommender(pois, mismap_radius=500, mismap_rate=0.6)
+        k = len(rec.categories)
+        true_pref = np.zeros(k)
+        true_pref[0] = 0.8
+        true_pref[1] = 0.2
+        observed = rec._confusion @ true_pref
+        recovered, _ = __import__("scipy.optimize", fromlist=["nnls"]).nnls(
+            rec._confusion, observed
+        )
+        recovered = recovered / recovered.sum()
+        assert np.abs(recovered - true_pref).sum() < np.abs(observed - true_pref).sum()
+
+
+class TestHitRate:
+    def test_in_unit_interval(self, setup):
+        pois, _, train, test = setup
+        rec = NaiveRecommender(pois).fit(train)
+        hr = hit_rate(rec, test, 5)
+        assert 0.0 <= hr <= 1.0
+
+    def test_beats_random_baseline(self, setup):
+        pois, _, train, test = setup
+        rec = NaiveRecommender(pois).fit(train)
+        assert hit_rate(rec, test, 10) > 10 / len(pois) * 0.8
+
+    def test_uncertain_recommender_robust_to_mismaps(self, rng, big_box):
+        """Across seeds, soft-assignment should not lose to naive counting
+        when check-ins are heavily mis-mapped (and typically wins)."""
+        deltas = []
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            pois = generate_pois(r, 50, big_box)
+            world = CheckInWorld(
+                r, pois, n_users=12, distance_scale=400.0, preference_concentration=0.2
+            )
+            stream = world.simulate(r, 80)
+            train, test = split_stream(stream, 0.7)
+            dirty = corrupt_checkins(train, world, r, 0.0, mismap_rate=0.6, mismap_radius=500)
+            naive = NaiveRecommender(pois).fit(dirty)
+            soft = UncertainCheckinRecommender(
+                pois, mismap_radius=500, mismap_rate=0.6
+            ).fit(dirty)
+            deltas.append(hit_rate(soft, test, 5) - hit_rate(naive, test, 5))
+        assert np.mean(deltas) >= -0.02
+
+    def test_empty_test(self, setup):
+        pois, _, train, _ = setup
+        assert hit_rate(NaiveRecommender(pois).fit(train), [], 5) == 0.0

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.decision import (
+    PUSiteSelector,
+    ranking_quality,
+    site_features,
+    visits_from_fleet,
+)
+from repro.synth import fleet
+
+
+@pytest.fixture
+def scenario(rng, big_box):
+    trips = fleet(rng, 50, 60, big_box, speed_mean=10)
+    visits = visits_from_fleet(trips)
+    candidates = [
+        Point(x, y) for x in range(100, 2000, 200) for y in range(100, 2000, 200)
+    ]
+    features = site_features(candidates, visits)
+    demand = features[:, 1]
+    true_sites = [int(i) for i in np.argsort(-demand)[:12]]
+    return candidates, features, true_sites
+
+
+class TestSiteFeatures:
+    def test_shape(self, scenario):
+        candidates, features, _ = scenario
+        assert features.shape == (len(candidates), 3)
+
+    def test_monotone_in_radius(self, scenario):
+        _, features, _ = scenario
+        assert (features[:, 1] >= features[:, 0]).all()
+        assert (features[:, 2] >= features[:, 1]).all()
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            site_features([], [])
+
+    def test_no_visits_all_zero(self):
+        feats = site_features([Point(0, 0)], [])
+        assert (feats == 0).all()
+
+    def test_counts_correct(self):
+        visits = [Point(0, 0), Point(50, 0), Point(400, 0)]
+        feats = site_features([Point(0, 0)], visits, radii=(100.0, 500.0))
+        assert feats[0].tolist() == [2.0, 3.0]
+
+
+class TestPUSelector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PUSiteSelector(negative_fraction=0.0)
+
+    def test_fit_requires_positives(self, scenario):
+        _, features, _ = scenario
+        with pytest.raises(ValueError):
+            PUSiteSelector().fit(features, [])
+
+    def test_fit_index_validated(self, scenario):
+        _, features, _ = scenario
+        with pytest.raises(ValueError):
+            PUSiteSelector().fit(features, [10_000])
+
+    def test_scores_require_fit(self, scenario):
+        _, features, _ = scenario
+        with pytest.raises(RuntimeError):
+            PUSiteSelector().scores(features)
+
+    def test_known_positives_score_high(self, scenario):
+        _, features, true_sites = scenario
+        sel = PUSiteSelector().fit(features, true_sites[:6])
+        s = sel.scores(features)
+        assert np.mean(s[true_sites[:6]]) > np.mean(s)
+
+    def test_hidden_positives_rank_above_random(self, scenario):
+        _, features, true_sites = scenario
+        known, hidden = true_sites[:6], set(true_sites[6:])
+        sel = PUSiteSelector().fit(features, known)
+        ranking = sel.rank(features, exclude=set(known))
+        assert ranking_quality(ranking, hidden) > 0.7
+
+    def test_exclude_removes_known(self, scenario):
+        _, features, true_sites = scenario
+        sel = PUSiteSelector().fit(features, true_sites[:6])
+        ranking = sel.rank(features, exclude=set(true_sites[:6]))
+        assert not set(true_sites[:6]) & set(ranking)
+
+
+class TestRankingQuality:
+    def test_perfect(self):
+        assert ranking_quality([7, 1, 2, 3], {7}) == 1.0
+
+    def test_worst(self):
+        assert ranking_quality([1, 2, 3, 7], {7}) == 0.0
+
+    def test_random_is_half(self):
+        # Hidden positive in the exact middle.
+        assert ranking_quality([0, 1, 9, 2, 3], {9}) == pytest.approx(0.5)
+
+    def test_empty_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            ranking_quality([0, 1], set())
+
+    def test_missing_positive_rejected(self):
+        with pytest.raises(ValueError):
+            ranking_quality([0, 1], {9})

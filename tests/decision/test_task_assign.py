@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.core import GaussianLocation, Point, UniformDiskLocation
+from repro.decision import (
+    Task,
+    Worker,
+    assign_expected,
+    assign_naive,
+    expected_completions,
+    reach_probability,
+    realized_completions,
+)
+
+
+def make_world(rng, n=12, sigma=80.0, radius=120.0, spread=2000.0):
+    tasks = [
+        Task(i, Point(rng.uniform(0, spread), rng.uniform(0, spread)), radius)
+        for i in range(n)
+    ]
+    true_pos = {
+        i: Point(rng.uniform(0, spread), rng.uniform(0, spread)) for i in range(n)
+    }
+    workers = [
+        Worker(
+            i,
+            GaussianLocation(
+                Point(
+                    true_pos[i].x + rng.normal(0, sigma),
+                    true_pos[i].y + rng.normal(0, sigma),
+                ),
+                sigma,
+            ),
+        )
+        for i in range(n)
+    ]
+    return tasks, workers, true_pos
+
+
+class TestReachProbability:
+    def test_certain_reach(self):
+        w = Worker(0, GaussianLocation(Point(0, 0), 1.0))
+        t = Task(0, Point(0, 0), 100.0)
+        assert reach_probability(w, t) > 0.999
+
+    def test_impossible_reach(self):
+        w = Worker(0, GaussianLocation(Point(0, 0), 1.0))
+        t = Task(0, Point(10_000, 0), 10.0)
+        assert reach_probability(w, t) < 1e-6
+
+    def test_disk_worker(self):
+        w = Worker(0, UniformDiskLocation(Point(0, 0), 10.0))
+        t = Task(0, Point(0, 0), 5.0)
+        assert reach_probability(w, t) == pytest.approx(0.25)
+
+
+class TestAssignment:
+    def test_one_to_one(self, rng):
+        tasks, workers, _ = make_world(rng)
+        aw = assign_expected(workers, tasks)
+        assert len({t for _, t, _ in aw}) == len(aw)
+        assert len({w for w, _, _ in aw}) == len(aw)
+
+    def test_empty_inputs(self):
+        assert assign_expected([], []) == []
+        assert assign_naive([], []) == []
+
+    def test_min_probability_filters(self, rng):
+        tasks, workers, _ = make_world(rng)
+        filtered = assign_expected(workers, tasks, min_probability=0.99)
+        assert len(filtered) <= len(assign_expected(workers, tasks))
+
+    def test_expected_completions_sum(self, rng):
+        tasks, workers, _ = make_world(rng)
+        aw = assign_expected(workers, tasks)
+        assert expected_completions(aw) == pytest.approx(sum(p for _, _, p in aw))
+
+    def test_aware_matches_or_beats_naive_across_seeds(self):
+        """The Sec. 2.3.3 claim: uncertainty-aware assignment completes at
+        least as many tasks as the point-estimate baseline, on average."""
+        aware_total = naive_total = 0
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            tasks, workers, true_pos = make_world(rng, sigma=100.0, radius=150.0)
+            aware_total += realized_completions(
+                assign_expected(workers, tasks), true_pos, tasks
+            )
+            naive_total += realized_completions(
+                assign_naive(workers, tasks), true_pos, tasks
+            )
+        assert aware_total >= naive_total
+
+    def test_realized_completions_counts_in_range(self, rng):
+        tasks = [Task(0, Point(0, 0), 100.0)]
+        workers = [Worker(0, GaussianLocation(Point(0, 0), 10.0))]
+        assignment = assign_expected(workers, tasks)
+        assert realized_completions(assignment, {0: Point(10, 10)}, tasks) == 1
+        assert realized_completions(assignment, {0: Point(500, 500)}, tasks) == 0
+
+    def test_obvious_pairing_found(self):
+        tasks = [Task(0, Point(0, 0), 50.0), Task(1, Point(1000, 1000), 50.0)]
+        workers = [
+            Worker(0, GaussianLocation(Point(10, 10), 5.0)),
+            Worker(1, GaussianLocation(Point(990, 990), 5.0)),
+        ]
+        aw = assign_expected(workers, tasks)
+        assert (0, 0) in {(w, t) for w, t, _ in aw}
+        assert (1, 1) in {(w, t) for w, t, _ in aw}

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox
+from repro.decision import (
+    cell_volumes,
+    naive_scaling,
+    sample_fleet,
+    smoothed_inference,
+    volume_errors,
+)
+from repro.synth import fleet
+
+
+@pytest.fixture
+def traffic(rng, big_box):
+    vehicles = fleet(rng, 120, 50, big_box, speed_mean=15)
+    truth = cell_volumes(vehicles, big_box, 250.0)
+    return vehicles, truth
+
+
+class TestCellVolumes:
+    def test_counts_distinct_vehicles(self, big_box):
+        from repro.core import Trajectory, TrajectoryPoint
+
+        # One vehicle crossing a cell twice still counts once.
+        t = Trajectory(
+            [
+                TrajectoryPoint(10, 10, 0.0),
+                TrajectoryPoint(900, 10, 1.0),
+                TrajectoryPoint(15, 15, 2.0),
+            ]
+        )
+        vol = cell_volumes([t], big_box, 250.0)
+        assert vol[0, 0] == 1.0
+
+    def test_total_bounded_by_fleet_times_cells(self, traffic, big_box):
+        vehicles, truth = traffic
+        assert truth.max() <= len(vehicles)
+
+    def test_shape(self, traffic):
+        _, truth = traffic
+        assert truth.shape == (8, 8)
+
+
+class TestEstimators:
+    def test_naive_scaling_unbiased_total(self, traffic, rng):
+        vehicles, truth = traffic
+        totals = []
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            obs = cell_volumes(sample_fleet(vehicles, 0.25, r), BBox(0, 0, 2000, 2000), 250.0)
+            totals.append(naive_scaling(obs, 0.25).sum())
+        assert np.mean(totals) == pytest.approx(truth.sum(), rel=0.15)
+
+    def test_penetration_validated(self, traffic):
+        _, truth = traffic
+        with pytest.raises(ValueError):
+            naive_scaling(truth, 0.0)
+        with pytest.raises(ValueError):
+            smoothed_inference(truth, 1.5)
+
+    def test_smoothing_beats_naive_at_low_penetration(self, traffic, rng, big_box):
+        vehicles, truth = traffic
+        obs = cell_volumes(sample_fleet(vehicles, 0.15, rng), big_box, 250.0)
+        err_naive = volume_errors(naive_scaling(obs, 0.15), truth)["rmse"]
+        err_smooth = volume_errors(smoothed_inference(obs, 0.15, 0.5), truth)["rmse"]
+        assert err_smooth < err_naive
+
+    def test_zero_smoothing_equals_naive(self, traffic, rng, big_box):
+        vehicles, truth = traffic
+        obs = cell_volumes(sample_fleet(vehicles, 0.3, rng), big_box, 250.0)
+        assert np.allclose(
+            smoothed_inference(obs, 0.3, smoothing=0.0), naive_scaling(obs, 0.3)
+        )
+
+    def test_error_decreases_with_penetration(self, traffic, rng, big_box):
+        vehicles, truth = traffic
+        errs = []
+        for pen in (0.1, 0.5, 0.9):
+            obs = cell_volumes(
+                sample_fleet(vehicles, pen, np.random.default_rng(0)), big_box, 250.0
+            )
+            errs.append(volume_errors(smoothed_inference(obs, pen, 0.3), truth)["rmse"])
+        assert errs[2] < errs[0]
+
+    def test_full_penetration_naive_exact(self, traffic, big_box):
+        vehicles, truth = traffic
+        obs = cell_volumes(vehicles, big_box, 250.0)
+        assert volume_errors(naive_scaling(obs, 1.0), truth)["rmse"] == 0.0
+
+
+class TestHelpers:
+    def test_sample_fleet_size(self, traffic, rng):
+        vehicles, _ = traffic
+        assert len(sample_fleet(vehicles, 0.25, rng)) == 30
+
+    def test_sample_fleet_validated(self, traffic, rng):
+        vehicles, _ = traffic
+        with pytest.raises(ValueError):
+            sample_fleet(vehicles, 0.0, rng)
+
+    def test_volume_errors_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            volume_errors(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,117 @@
+"""Cross-module integration: newer subsystems composed end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, STGrid, grid_rmse, records_from_series
+from repro.cleaning import fill_grid
+from repro.querying import (
+    GridShuffleScheme,
+    OutsourcedStore,
+    PrivateQueryClient,
+    RTree,
+    build_entries,
+)
+from repro.reduction import EdgeNode
+from repro.synth import SmoothField, random_sensor_sites
+
+
+class TestPrivacyMatchesPlainIndex:
+    def test_private_results_equal_rtree(self, rng, box):
+        """The private protocol and a plaintext R-tree agree exactly."""
+        points = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(400)]
+        tree = RTree(build_entries(points))
+        scheme = GridShuffleScheme(box, 16, b"k")
+        store = OutsourcedStore(16, box)
+        client = PrivateQueryClient(scheme, store)
+        client.upload(points)
+        for _ in range(8):
+            q = Point(rng.uniform(100, 900), rng.uniform(100, 900))
+            r = float(rng.uniform(40, 200))
+            assert sorted(client.range_query(q, r)) == sorted(tree.range_query(q, r))
+
+
+class TestEdgeToAnalyticsPipeline:
+    def test_cloud_reconstruction_supports_mapping(self, rng, box):
+        """Edge-reduced streams still produce a usable city map.
+
+        Devices suppress, the edge compresses, the cloud reconstructs, and
+        spatiotemporal interpolation on the reconstructed records yields a
+        field map whose error stays within the suppression tolerance plus
+        interpolation error of the full-data map.
+        """
+        field = SmoothField(rng, box, n_bumps=4, length_scale=300)
+        sites = random_sensor_sites(rng, 25, box)
+        times = np.arange(0, 900, 30.0)
+        series = field.sample_sensors(sites, times, rng, noise_sigma=0.2)
+
+        tolerance = 0.5
+        result = EdgeNode(tolerance=tolerance).run(series)
+        reduced_series = [
+            s.with_values(result.reconstructions[s.sensor_id]) for s in series
+        ]
+
+        def map_from(series_list):
+            grid = STGrid.from_records(
+                records_from_series(series_list), 250.0, 300.0, bbox=box
+            )
+            return fill_grid(grid, method="idw", time_scale=0.5)
+
+        full_map = map_from(series)
+        reduced_map = map_from(reduced_series)
+        nt = full_map.shape[0]
+        truth_grid = field.truth_grid(
+            250.0, 300.0, full_map.t_start, full_map.t_start + nt * 300.0
+        )
+        full_map_err = grid_rmse(truth_grid, full_map)
+        reduced_map_err = grid_rmse(truth_grid, reduced_map)
+        assert reduced_map_err <= full_map_err + tolerance
+
+
+class TestFederatedUnderCorruption:
+    def test_federation_helps_even_with_dirty_streams(self, rng, big_box):
+        from repro.decision import (
+            evaluate_accuracy,
+            split_stream,
+            train_federated,
+            train_local_only,
+        )
+        from repro.synth import CheckInWorld, corrupt_checkins, generate_pois
+
+        pois = generate_pois(rng, 30, big_box)
+        world = CheckInWorld(
+            rng, pois, n_users=10, distance_scale=200.0, preference_concentration=0.3
+        )
+        stream = world.simulate(rng, 100)
+        train, test = split_stream(stream, 0.7)
+        dirty = corrupt_checkins(train, world, rng, drop_rate=0.3, mismap_rate=0.2)
+        fed = train_federated(dirty, len(pois))
+        gains = []
+        for user in range(5):
+            own = [c for c in test if c.user_id == user]
+            if len(own) < 3:
+                continue
+            local = train_local_only(dirty, len(pois), user)
+            gains.append(
+                evaluate_accuracy(fed, own, 5)["hit@5"]
+                - evaluate_accuracy(local, own, 5)["hit@5"]
+            )
+        assert np.mean(gains) >= 0.0
+
+
+class TestPlannerWithLearnedStage:
+    def test_planner_accepts_rl_reduced_stream(self, rng):
+        """An RL sampling policy becomes a planner-eligible reduction stage."""
+        from repro.learning import AdaptiveSamplingAgent, regime_switching_signal
+
+        train = [regime_switching_signal(np.random.default_rng(s)) for s in range(4)]
+        agent = AdaptiveSamplingAgent().train(
+            train, np.random.default_rng(0), n_episodes=60
+        )
+        test_signal = regime_switching_signal(np.random.default_rng(50))
+        adaptive = agent.evaluate(test_signal)
+        dense = agent.evaluate_fixed(test_signal, 1)
+        # The learned policy is the Pareto point the planner would pick:
+        # fewer samples than dense at lower total cost.
+        assert adaptive.samples_taken < dense.samples_taken
+        assert adaptive.total_cost < dense.total_cost

@@ -1,0 +1,154 @@
+"""Cross-layer integration tests: full DQ pipelines over synthetic worlds.
+
+Each test exercises several subsystems together, matching the tutorial's
+storyline: corrupt SID -> quality management -> exploitation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import MovementModel, OnlineAnomalyDetector
+from repro.cleaning import (
+    HMMMapMatcher,
+    prediction_outliers,
+    recover_route,
+    remove_and_repair,
+    zscore_outliers,
+)
+from repro.core import (
+    BBox,
+    Dimension,
+    Pipeline,
+    Point,
+    Stage,
+    Trajectory,
+    accuracy_error,
+    assess_trajectory,
+    consistency_ratio,
+    precision_jitter,
+    synchronized_error,
+)
+from repro.localization import kalman_refine
+from repro.reduction import compress_trip, decompress_trip, td_tr
+from repro.synth import (
+    CorruptionProfile,
+    RoadNetwork,
+    add_gaussian_noise,
+    correlated_random_walk,
+    fleet,
+)
+
+
+class TestCleaningPipeline:
+    """Middleware (Sec. 2.4) end to end: OR -> smoothing on corrupted data."""
+
+    def test_pipeline_recovers_quality(self, rng, box):
+        truth = correlated_random_walk(rng, 200, box, speed_mean=5)
+        corrupted, _ = CorruptionProfile(
+            noise_sigma=6.0, outlier_rate=0.05, outlier_magnitude=200.0, drop_rate=0.0
+        ).apply(truth, rng)
+
+        pipeline = Pipeline(
+            [
+                Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+                Stage("kalman", lambda t: kalman_refine(t, 1.0, 6.0)),
+            ],
+            probes={
+                "accuracy": lambda t: accuracy_error(t, truth),
+                "jitter": lambda t: precision_jitter(t),
+            },
+        )
+        result = pipeline.run(corrupted)
+        raw_err = accuracy_error(corrupted, truth)
+        final_err = accuracy_error(result.output, truth)
+        assert final_err < raw_err / 2
+        # Quality probes recorded per stage and improving monotonically.
+        series = [v for _, v in result.metric_series("accuracy")]
+        assert series[-1] <= series[0]
+
+    def test_ablation_attributes_gains(self, rng, box):
+        truth = correlated_random_walk(rng, 200, box, speed_mean=5)
+        corrupted, _ = CorruptionProfile(
+            noise_sigma=6.0, outlier_rate=0.06, outlier_magnitude=250.0, drop_rate=0.0
+        ).apply(truth, rng)
+        pipeline = Pipeline(
+            [
+                Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+                Stage("kalman", lambda t: kalman_refine(t, 1.0, 6.0)),
+            ]
+        )
+        runs = pipeline.run_ablations(corrupted)
+        full_err = accuracy_error(runs["full"].output, truth)
+        # Dropping either stage should not beat the full pipeline by much.
+        for skipped, res in runs.items():
+            if skipped == "full":
+                continue
+            assert accuracy_error(res.output, truth) >= full_err - 1.0
+
+
+class TestVehiclePipeline:
+    """Road-network stack: generate -> corrupt -> match -> recover -> compress."""
+
+    def test_match_recover_compress_roundtrip(self, rng):
+        net = RoadNetwork.grid(6, 6, 250.0)
+        route = net.random_route(rng, min_edges=9)
+        truth = net.trajectory_along_path(route, speed=12.0, interval=1.0)
+        observed = add_gaussian_noise(truth.downsample(5), rng, 10.0)
+
+        matcher = HMMMapMatcher(net, emission_sigma=12, candidate_radius=80)
+        recovered = recover_route(net, observed, matcher)
+        assert synchronized_error(truth, recovered) < synchronized_error(truth, observed)
+
+        matched_route = matcher.match(observed).route
+        usable_route = matched_route if len(matched_route) >= 2 else route
+        trip = compress_trip(net, usable_route, recovered, epsilon=10.0)
+        restored = decompress_trip(net, trip)
+        assert trip.byte_ratio() > 3.0
+        assert len(restored) >= 2
+
+    def test_simplify_then_assess(self, rng, box):
+        truth = correlated_random_walk(rng, 400, box, speed_mean=6)
+        simplified = td_tr(truth, 10.0)
+        rep = assess_trajectory(simplified, truth=truth)
+        # Reduction trades volume for sparsity but keeps accuracy bounded.
+        assert rep[Dimension.DATA_VOLUME] < len(truth)
+        assert rep[Dimension.ACCURACY] <= 10.0 + 1e-6
+
+
+class TestAnalyticsOnCleanedData:
+    """Cleaning improves downstream analysis (the business-layer payoff)."""
+
+    def test_anomaly_detector_on_refined_fleet(self, rng):
+        box = BBox(0, 0, 800, 800)
+        normal = [
+            correlated_random_walk(rng, 60, box, speed_mean=5, turn_sigma=0.15)
+            for _ in range(25)
+        ]
+        model = MovementModel(box, 80.0).fit(normal)
+        det = OnlineAnomalyDetector(model, window=4)
+        det.calibrate(normal, 0.999)
+
+        # A noisy-but-normal trip: cleaning should reduce false alarms.
+        fresh = correlated_random_walk(rng, 60, box, speed_mean=5, turn_sigma=0.15)
+        noisy = add_gaussian_noise(fresh, rng, 30.0)
+        cleaned = kalman_refine(noisy, 1.0, 30.0)
+        noisy_score = max(det.windowed_scores(noisy))
+        clean_score = max(det.windowed_scores(cleaned))
+        assert clean_score <= noisy_score
+
+    def test_quality_report_drives_routing(self, rng, box):
+        """DQ-aware task planning: route data to cleaning only when the
+        report says so."""
+        truth = correlated_random_walk(rng, 150, box, speed_mean=5)
+        noisy = add_gaussian_noise(truth, rng, 20.0)
+
+        def maybe_clean(t: Trajectory) -> Trajectory:
+            rep = assess_trajectory(t, max_speed=15.0)
+            if rep[Dimension.PRECISION] > 5.0 or rep[Dimension.CONSISTENCY] < 0.9:
+                return kalman_refine(t, 1.0, 20.0)
+            return t
+
+        routed_clean = maybe_clean(truth)
+        routed_noisy = maybe_clean(noisy)
+        assert routed_clean == truth  # clean data passes through untouched
+        assert accuracy_error(routed_noisy, truth) < accuracy_error(noisy, truth)

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.core import Point
+from repro.indoor import (
+    euclidean_knn,
+    expected_room_occupancy,
+    grid_floor,
+    indoor_knn,
+    rooms_within_distance,
+    stop_by_patterns,
+)
+
+
+@pytest.fixture
+def floor():
+    return grid_floor(3, 4, 10.0)
+
+
+class TestIndoorKnn:
+    def test_orders_by_walking_distance(self, floor):
+        objects = {
+            "same_room": Point(8, 8),
+            "through_wall": Point(11, 11),  # Euclidean-close, walk-far
+            "corridor": Point(15, 5),
+        }
+        query = Point(9, 9)
+        indoor = indoor_knn(floor, objects, query, 3)
+        euclid = euclidean_knn(objects, query, 3)
+        # Euclidean ranks the through-the-wall neighbor second; walking
+        # distance correctly demotes it behind the corridor object.
+        assert euclid[1][0] == "through_wall"
+        assert indoor[1][0] == "corridor"
+        assert indoor[2][0] == "through_wall"
+
+    def test_k_validated(self, floor):
+        with pytest.raises(ValueError):
+            indoor_knn(floor, {}, Point(5, 5), 0)
+
+    def test_outside_objects_skipped(self, floor):
+        objects = {"in": Point(5, 5), "out": Point(-50, -50)}
+        result = indoor_knn(floor, objects, Point(6, 6), 5)
+        assert [oid for oid, _ in result] == ["in"]
+
+    def test_distances_reported(self, floor):
+        objects = {"a": Point(5, 5)}
+        result = indoor_knn(floor, objects, Point(2, 5), 1)
+        assert result[0][1] == pytest.approx(3.0)
+
+
+class TestRangeQuery:
+    def test_includes_own_room(self, floor):
+        rooms = rooms_within_distance(floor, Point(5, 5), 6.0)
+        assert "r0-0" in rooms
+
+    def test_radius_monotone(self, floor):
+        near = set(rooms_within_distance(floor, Point(5, 5), 12.0))
+        far = set(rooms_within_distance(floor, Point(5, 5), 40.0))
+        assert near <= far
+
+    def test_unreachable_rooms_excluded(self, floor):
+        rooms = rooms_within_distance(floor, Point(5, 5), 8.0)
+        assert "r2-3" not in rooms
+
+
+class TestOccupancy:
+    def test_linearity(self):
+        posteriors = {
+            "o1": {"a": 0.7, "b": 0.3},
+            "o2": {"a": 0.5, "c": 0.5},
+        }
+        occ = expected_room_occupancy(posteriors)
+        assert occ["a"] == pytest.approx(1.2)
+        assert occ["b"] == pytest.approx(0.3)
+        assert sum(occ.values()) == pytest.approx(2.0)
+
+    def test_unnormalized_posteriors_normalized(self):
+        occ = expected_room_occupancy({"o": {"a": 2.0, "b": 2.0}})
+        assert occ["a"] == pytest.approx(0.5)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            expected_room_occupancy({"o": {"a": 0.0}})
+
+
+class TestStopByPatterns:
+    def test_dwell_filter(self):
+        trajs = [["a", "a", "b", "c", "c", "c"]] * 3
+        patterns = stop_by_patterns(trajs, min_dwell=2, min_support=2)
+        assert ("a",) in patterns
+        assert ("c",) in patterns
+        assert ("b",) not in patterns  # dwell 1 < 2
+        assert ("a", "c") in patterns  # b skipped: a -> c contiguous stops
+
+    def test_support_threshold(self):
+        trajs = [["a", "a"], ["a", "a"], ["b", "b"]]
+        patterns = stop_by_patterns(trajs, min_dwell=2, min_support=2)
+        assert ("a",) in patterns and ("b",) not in patterns
+
+    def test_counts_distinct_trajectories(self):
+        # Same pattern twice in one trajectory counts once.
+        trajs = [["a", "a", "b", "a", "a"]] * 2
+        patterns = stop_by_patterns(trajs, min_dwell=2, min_support=2)
+        assert patterns[("a",)] == 2
+
+    def test_max_length_respected(self):
+        trajs = [["a", "a", "b", "b", "c", "c", "d", "d"]] * 2
+        patterns = stop_by_patterns(trajs, 2, 2, max_length=2)
+        assert all(len(p) <= 2 for p in patterns)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stop_by_patterns([], min_dwell=0)
+
+    def test_from_cleaned_tracking(self, floor, rng):
+        """End to end: tracker output feeds the miner."""
+        from repro.indoor import (
+            RoomHMMTracker,
+            observe_rooms,
+            simulate_room_walk,
+        )
+
+        trajs = []
+        for seed in range(4):
+            r = np.random.default_rng(seed)
+            truth = simulate_room_walk(floor, r, 60, start_room="r0-0", move_prob=0.2)
+            readings = observe_rooms(floor, truth, r, 0.8, 0.08)
+            trajs.append(RoomHMMTracker(floor, 0.8, 0.08).track(readings, len(truth)))
+        patterns = stop_by_patterns(trajs, min_dwell=2, min_support=2)
+        assert len(patterns) > 0

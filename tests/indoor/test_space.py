@@ -1,0 +1,111 @@
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core import BBox, Point
+from repro.indoor import Door, IndoorSpace, Room, grid_floor
+
+
+@pytest.fixture
+def floor():
+    return grid_floor(3, 4, room_size=10.0)
+
+
+class TestConstruction:
+    def test_grid_counts(self, floor):
+        assert len(floor.rooms) == 12
+        # Doors: 3*3 east walls + 2*4 north walls = 9 + 8 = 17.
+        assert len(floor.doors) == 17
+
+    def test_empty_rooms_rejected(self):
+        with pytest.raises(ValueError):
+            IndoorSpace([], [])
+
+    def test_duplicate_room_ids_rejected(self):
+        r = Room("a", BBox(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            IndoorSpace([r, r], [])
+
+    def test_door_unknown_room_rejected(self):
+        r = Room("a", BBox(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            IndoorSpace([r], [Door("a", "ghost", Point(1, 0.5))])
+
+    def test_topology_connected(self, floor):
+        assert nx.is_connected(floor.topology)
+
+    def test_invalid_floor_dims(self):
+        with pytest.raises(ValueError):
+            grid_floor(0, 3)
+
+
+class TestSymbolicPositioning:
+    def test_room_of_interior(self, floor):
+        assert floor.room_of(Point(5, 5)) == "r0-0"
+        assert floor.room_of(Point(35, 25)) == "r2-3"
+
+    def test_room_of_outside(self, floor):
+        assert floor.room_of(Point(-5, 5)) is None
+
+    def test_adjacent_rooms(self, floor):
+        assert floor.adjacent_rooms("r0-0") == ["r0-1", "r1-0"]
+        assert set(floor.adjacent_rooms("r1-1")) == {"r0-1", "r1-0", "r1-2", "r2-1"}
+
+    def test_doors_of(self, floor):
+        corner_doors = floor.doors_of("r0-0")
+        assert len(corner_doors) == 2
+
+
+class TestWalkingDistance:
+    def test_same_room_is_euclidean(self, floor):
+        a, b = Point(2, 2), Point(8, 6)
+        assert floor.walking_distance(a, b) == a.distance_to(b)
+
+    def test_adjacent_room_through_door(self, floor):
+        a = Point(5, 5)  # r0-0
+        b = Point(15, 5)  # r0-1
+        d = floor.walking_distance(a, b)
+        # Must pass through the door at (10, 5): distance = 5 + 5 = 10.
+        assert d == pytest.approx(10.0)
+
+    def test_walking_ge_euclidean(self, floor):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            a = Point(rng.uniform(0, 40), rng.uniform(0, 30))
+            b = Point(rng.uniform(0, 40), rng.uniform(0, 30))
+            assert floor.walking_distance(a, b) >= a.distance_to(b) - 1e-9
+
+    def test_wall_detour_measured(self, floor):
+        """Diagonal neighbors: close in space, farther on foot."""
+        a = Point(9, 9)  # r0-0 near the corner
+        b = Point(11, 11)  # r1-1 near the same corner
+        assert a.distance_to(b) < 3.0
+        assert floor.walking_distance(a, b) > 8.0
+
+    def test_outside_point_rejected(self, floor):
+        with pytest.raises(ValueError):
+            floor.walking_distance(Point(-5, -5), Point(5, 5))
+
+    def test_disconnected_rooms_rejected(self):
+        rooms = [Room("a", BBox(0, 0, 10, 10)), Room("b", BBox(20, 0, 30, 10))]
+        space = IndoorSpace(rooms, [])
+        with pytest.raises(ValueError):
+            space.walking_distance(Point(5, 5), Point(25, 5))
+
+    def test_symmetry(self, floor):
+        a, b = Point(5, 5), Point(35, 25)
+        assert floor.walking_distance(a, b) == pytest.approx(
+            floor.walking_distance(b, a)
+        )
+
+
+class TestRoomPath:
+    def test_straight_corridor(self, floor):
+        assert floor.room_path("r0-0", "r0-3") == ["r0-0", "r0-1", "r0-2", "r0-3"]
+
+    def test_manhattan_length(self, floor):
+        path = floor.room_path("r0-0", "r2-3")
+        assert len(path) == 6  # 3 + 2 moves + origin

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.indoor import (
+    RoomHMMTracker,
+    grid_floor,
+    observe_rooms,
+    raw_room_sequence,
+    sequence_accuracy,
+    simulate_room_walk,
+)
+
+
+@pytest.fixture
+def floor():
+    return grid_floor(3, 3, 10.0)
+
+
+@pytest.fixture
+def scenario(floor, rng):
+    truth = simulate_room_walk(floor, rng, 80, move_prob=0.3)
+    readings = observe_rooms(floor, truth, rng, p_detect=0.7, p_cross=0.12)
+    return truth, readings
+
+
+class TestSimulation:
+    def test_walk_respects_topology(self, floor, rng):
+        truth = simulate_room_walk(floor, rng, 100)
+        for a, b in zip(truth, truth[1:]):
+            assert a == b or b in floor.adjacent_rooms(a)
+
+    def test_start_room_honored(self, floor, rng):
+        truth = simulate_room_walk(floor, rng, 10, start_room="r1-1")
+        assert truth[0] == "r1-1"
+
+    def test_unknown_start_rejected(self, floor, rng):
+        with pytest.raises(ValueError):
+            simulate_room_walk(floor, rng, 10, start_room="nope")
+
+    def test_observation_validation(self, floor, rng):
+        with pytest.raises(ValueError):
+            observe_rooms(floor, ["r0-0"], rng, p_detect=2.0)
+
+    def test_cross_reads_are_adjacent(self, floor, rng):
+        truth = simulate_room_walk(floor, rng, 50)
+        readings = observe_rooms(floor, truth, rng, p_detect=0.0, p_cross=1.0)
+        for r in readings:
+            assert r.room in floor.adjacent_rooms(truth[r.epoch])
+
+
+class TestTracker:
+    def test_param_validation(self, floor):
+        with pytest.raises(ValueError):
+            RoomHMMTracker(floor, p_detect=0.0)
+
+    def test_perfect_readings_decoded_exactly(self, floor, rng):
+        truth = simulate_room_walk(floor, rng, 60, move_prob=0.2)
+        readings = observe_rooms(floor, truth, rng, p_detect=1.0, p_cross=0.0)
+        tracker = RoomHMMTracker(floor, 0.95, 0.02)
+        decoded = tracker.track(readings, len(truth))
+        assert sequence_accuracy(decoded, truth) == 1.0
+
+    def test_beats_raw_on_faulty_readings(self, scenario, floor):
+        truth, readings = scenario
+        tracker = RoomHMMTracker(floor, 0.7, 0.12)
+        decoded = tracker.track(readings, len(truth))
+        raw = raw_room_sequence(readings, len(truth))
+        assert sequence_accuracy(decoded, truth) > sequence_accuracy(raw, truth)
+
+    def test_decoded_path_respects_topology(self, scenario, floor):
+        truth, readings = scenario
+        decoded = RoomHMMTracker(floor, 0.7, 0.12).track(readings, len(truth))
+        for a, b in zip(decoded, decoded[1:]):
+            assert a == b or b in floor.adjacent_rooms(a)
+
+    def test_accuracy_degrades_gracefully(self, floor):
+        """More faults, lower accuracy — but never below the raw stream."""
+        accs = []
+        for p_detect in (0.9, 0.6, 0.4):
+            hmm_acc, raw_acc = [], []
+            for seed in range(4):
+                r = np.random.default_rng(seed)
+                truth = simulate_room_walk(floor, r, 80, move_prob=0.3)
+                readings = observe_rooms(floor, truth, r, p_detect, 0.1)
+                decoded = RoomHMMTracker(floor, p_detect, 0.1).track(readings, len(truth))
+                hmm_acc.append(sequence_accuracy(decoded, truth))
+                raw_acc.append(
+                    sequence_accuracy(raw_room_sequence(readings, len(truth)), truth)
+                )
+            accs.append((float(np.mean(hmm_acc)), float(np.mean(raw_acc))))
+        assert accs[0][0] >= accs[-1][0]  # degrades with faults
+        for hmm, raw in accs:
+            assert hmm >= raw
+
+
+class TestHelpers:
+    def test_sequence_accuracy(self):
+        assert sequence_accuracy(["a", "b"], ["a", "b"]) == 1.0
+        assert sequence_accuracy(["a", "x"], ["a", "b"]) == 0.5
+        assert sequence_accuracy([], []) == 1.0
+
+    def test_raw_sequence_silent_epochs(self, floor, rng):
+        truth = simulate_room_walk(floor, rng, 20)
+        readings = observe_rooms(floor, truth, rng, p_detect=0.3, p_cross=0.0)
+        raw = raw_room_sequence(readings, len(truth))
+        assert len(raw) == len(truth)
+        assert any(r is None for r in raw)

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, STRecord, Trajectory, TrajectoryPoint, records_from_series
+from repro.integration import (
+    attach_records,
+    attachment_coverage,
+    exposure_integral,
+)
+from repro.synth import SmoothField, correlated_random_walk, random_sensor_sites
+
+
+@pytest.fixture
+def scene(rng, big_box):
+    field = SmoothField(rng, big_box, n_bumps=4, length_scale=300)
+    sites = random_sensor_sites(rng, 40, big_box)
+    series = field.sample_sensors(sites, np.arange(0, 300, 30.0), rng, noise_sigma=0.2)
+    walk = correlated_random_walk(rng, 150, big_box, speed_mean=8)
+    return field, records_from_series(series), walk
+
+
+class TestAttach:
+    def test_every_point_enriched(self, scene):
+        _, records, walk = scene
+        enriched = attach_records(walk, records, space_window=600, time_window=600)
+        assert len(enriched) == len(walk)
+        assert attachment_coverage(enriched) == 1.0
+
+    def test_values_track_field(self, scene):
+        field, records, walk = scene
+        enriched = attach_records(walk, records, 400, 600, time_scale=0.5)
+        errs = [
+            abs(e.value - field.value(Point(e.x, e.y), e.t))
+            for e in enriched
+            if e.support > 0
+        ]
+        assert np.mean(errs) < 3.0
+
+    def test_no_records_in_window_gives_nan(self, scene):
+        _, records, walk = scene
+        enriched = attach_records(walk, records, space_window=1.0, time_window=0.001)
+        nans = [e for e in enriched if np.isnan(e.value)]
+        assert len(nans) > 0
+        assert all(e.support == 0 for e in nans)
+
+    def test_empty_record_set(self, walk):
+        enriched = attach_records(walk, [])
+        assert attachment_coverage(enriched) == 0.0
+
+    def test_support_counts_window_records(self, walk):
+        p = walk[0]
+        records = [STRecord(p.x + 1, p.y, p.t, 5.0), STRecord(p.x, p.y + 2, p.t, 6.0)]
+        enriched = attach_records(walk, records, 10, 10)
+        assert enriched[0].support == 2
+
+
+class TestExposure:
+    def test_constant_field_integral(self):
+        t = Trajectory([TrajectoryPoint(float(i), 0, float(i)) for i in range(11)])
+        records = [STRecord(x, 0, tt, 2.0) for x in range(0, 11, 2) for tt in (0.0, 5.0, 10.0)]
+        enriched = attach_records(t, records, 20, 20)
+        # Constant value 2 over 10 seconds -> integral 20.
+        assert exposure_integral(enriched) == pytest.approx(20.0, rel=0.01)
+
+    def test_nan_segments_skipped(self):
+        from repro.integration import EnrichedPoint
+
+        enriched = [
+            EnrichedPoint(0, 0, 0.0, 1.0, 1),
+            EnrichedPoint(1, 0, 1.0, float("nan"), 0),
+            EnrichedPoint(2, 0, 2.0, 1.0, 1),
+        ]
+        assert exposure_integral(enriched) == 0.0
+
+    def test_empty(self):
+        assert exposure_integral([]) == 0.0
+        assert attachment_coverage([]) == 0.0

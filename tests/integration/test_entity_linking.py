@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox
+from repro.integration import (
+    link_entities,
+    linking_accuracy,
+    signature_similarity,
+    st_signature,
+)
+from repro.synth import add_gaussian_noise, drop_points, fleet
+
+
+@pytest.fixture
+def two_sources(rng, big_box):
+    """One fleet seen by two 'sensing systems' with different degradation."""
+    base = fleet(rng, 10, 120, big_box, speed_mean=8)
+    view_b = [
+        add_gaussian_noise(drop_points(t, rng, 0.4), rng, 20.0) for t in base
+    ]
+    perm = list(rng.permutation(10))
+    shuffled = [view_b[i] for i in perm]
+    truth = {i: perm.index(i) for i in range(10)}
+    return base, shuffled, truth
+
+
+class TestSignatures:
+    def test_signature_normalized(self, rng, big_box, walk):
+        sig = st_signature(walk, big_box, 100, 60)
+        assert sum(sig.values()) == pytest.approx(1.0)
+
+    def test_empty_trajectory_empty_signature(self, big_box):
+        from repro.core import Trajectory
+
+        assert st_signature(Trajectory([]), big_box, 100, 60) == {}
+
+    def test_self_similarity_is_one(self, rng, big_box, walk):
+        sig = st_signature(walk, big_box, 100, 60)
+        assert signature_similarity(sig, sig) == pytest.approx(1.0)
+
+    def test_disjoint_similarity_zero(self):
+        assert signature_similarity({(0, 0, 0): 1.0}, {(5, 5, 5): 1.0}) == 0.0
+
+    def test_empty_similarity_zero(self):
+        assert signature_similarity({}, {(0, 0, 0): 1.0}) == 0.0
+
+    def test_same_object_across_views_most_similar(self, two_sources, big_box):
+        base, shuffled, truth = two_sources
+        sig_a = st_signature(base[0], big_box, 150, 60)
+        sims = [
+            signature_similarity(sig_a, st_signature(t, big_box, 150, 60))
+            for t in shuffled
+        ]
+        assert int(np.argmax(sims)) == truth[0]
+
+
+class TestLinking:
+    def test_recovers_permutation(self, two_sources, big_box):
+        base, shuffled, truth = two_sources
+        links = link_entities(base, shuffled, big_box, 150, 60)
+        assert linking_accuracy(links, truth) >= 0.9
+
+    def test_one_to_one(self, two_sources, big_box):
+        base, shuffled, _ = two_sources
+        links = link_entities(base, shuffled, big_box, 150, 60)
+        assert len({j for _, j, _ in links}) == len(links)
+
+    def test_min_similarity_filters(self, two_sources, big_box):
+        base, shuffled, _ = two_sources
+        links = link_entities(base, shuffled, big_box, 150, 60, min_similarity=0.999)
+        assert len(links) < len(base)
+
+    def test_empty_sources(self, big_box):
+        assert link_entities([], [], big_box) == []
+
+    def test_accuracy_empty_truth(self):
+        assert linking_accuracy([], {}) == 1.0
+
+    def test_linking_degrades_with_noise(self, rng, big_box):
+        """More degradation in the second view lowers linking accuracy —
+        the measurable DQ dependence of non-semantic DI."""
+        base = fleet(np.random.default_rng(3), 8, 100, big_box, speed_mean=8)
+        accs = []
+        for noise in (5.0, 300.0):
+            r = np.random.default_rng(4)
+            view = [add_gaussian_noise(t, r, noise) for t in base]
+            perm = list(r.permutation(8))
+            shuffled = [view[i] for i in perm]
+            truth = {i: perm.index(i) for i in range(8)}
+            links = link_entities(base, shuffled, big_box, 150, 60)
+            accs.append(linking_accuracy(links, truth))
+        assert accs[0] >= accs[1]

@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, STGrid, STSeries
+from repro.integration import (
+    debias_series,
+    estimate_bias,
+    fuse_grids,
+    fuse_series,
+    fusion_gain,
+)
+from repro.synth import SmoothField, add_sensor_bias
+
+
+@pytest.fixture
+def co_located(rng, box):
+    field = SmoothField(rng, box, n_bumps=3)
+    site = Point(500, 500)
+    times = np.arange(0, 600, 30.0)
+    truth = np.array([field.value(site, t) for t in times])
+    good = field.sample_sensors([site], times, rng, noise_sigma=0.5)[0]
+    cheap = field.sample_sensors([site], times, rng, noise_sigma=2.0)[0]
+    return times, truth, good, cheap
+
+
+class TestBias:
+    def test_estimate_recovers_constant_offset(self, co_located):
+        _, _, good, cheap = co_located
+        biased = add_sensor_bias(cheap, 7.5)
+        assert estimate_bias(biased, good) == pytest.approx(7.5, abs=1.5)
+
+    def test_debias_roundtrip(self, co_located):
+        _, _, good, _ = co_located
+        biased = add_sensor_bias(good, 3.0)
+        fixed = debias_series(biased, estimate_bias(biased, good))
+        assert np.allclose(fixed.values, good.values, atol=0.5)
+
+    def test_disjoint_spans_rejected(self, co_located):
+        _, _, good, _ = co_located
+        shifted = STSeries("x", good.location, good.times + 10_000, good.values)
+        with pytest.raises(ValueError):
+            estimate_bias(shifted, good)
+
+
+class TestFuseSeries:
+    def test_fusion_beats_single_source(self, co_located):
+        times, truth, good, cheap = co_located
+        fused = fuse_series([good, cheap], times, noise_sigmas=[0.5, 2.0])
+        gain = fusion_gain(truth, cheap.values, fused.values)
+        assert gain["fused_rmse"] < gain["single_rmse"]
+
+    def test_debias_against_first(self, co_located):
+        times, truth, good, cheap = co_located
+        biased = add_sensor_bias(cheap, 10.0)
+        naive = fuse_series([good, biased], times, [0.5, 2.0])
+        debiased = fuse_series([good, biased], times, [0.5, 2.0], debias_against_first=True)
+        rmse_naive = np.sqrt(np.mean((naive.values - truth) ** 2))
+        rmse_debiased = np.sqrt(np.mean((debiased.values - truth) ** 2))
+        assert rmse_debiased < rmse_naive
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_series([], np.array([0.0]))
+
+    def test_sigma_count_validated(self, co_located):
+        times, _, good, cheap = co_located
+        with pytest.raises(ValueError):
+            fuse_series([good, cheap], times, noise_sigmas=[1.0])
+
+    def test_single_source_passthrough(self, co_located):
+        times, _, good, _ = co_located
+        fused = fuse_series([good], times)
+        assert np.allclose(fused.values, good.values)
+
+
+class TestFuseGrids:
+    @pytest.fixture
+    def grids(self, box):
+        a = STGrid.empty(box, 0, 100, 250, 50)
+        b = STGrid.empty(box, 0, 100, 250, 50)
+        return a, b
+
+    def test_both_present_weighted(self, grids):
+        a, b = grids
+        a.values[0, 0, 0] = 10.0
+        b.values[0, 0, 0] = 20.0
+        fused = fuse_grids(a, b, weight_a=0.25)
+        assert fused.values[0, 0, 0] == pytest.approx(17.5)
+
+    def test_completion_from_either_side(self, grids):
+        a, b = grids
+        a.values[0, 0, 0] = 5.0
+        b.values[0, 1, 1] = 7.0
+        fused = fuse_grids(a, b)
+        assert fused.values[0, 0, 0] == 5.0
+        assert fused.values[0, 1, 1] == 7.0
+
+    def test_coverage_never_decreases(self, rng, grids):
+        a, b = grids
+        a.values[rng.random(a.values.shape) < 0.3] = 1.0
+        b.values[rng.random(b.values.shape) < 0.3] = 2.0
+        fused = fuse_grids(a, b)
+        assert fused.missing_fraction() <= min(a.missing_fraction(), b.missing_fraction())
+
+    def test_shape_mismatch(self, box, grids):
+        a, _ = grids
+        other = STGrid.empty(box, 0, 100, 500, 50)
+        with pytest.raises(ValueError):
+            fuse_grids(a, other)
+
+    def test_weight_validated(self, grids):
+        a, b = grids
+        with pytest.raises(ValueError):
+            fuse_grids(a, b, weight_a=1.5)

@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, Trajectory, TrajectoryPoint
+from repro.integration import (
+    annotate_with_pois,
+    build_semantic_trajectory,
+    detect_stay_points,
+    stay_detection_scores,
+)
+from repro.synth import POI, generate_pois, stop_and_go_walk
+
+
+@pytest.fixture
+def labeled_walk(rng, big_box):
+    traj, stops = stop_and_go_walk(
+        rng, big_box, n_stops=3, move_points=25, stop_points=30, stop_jitter=2.0
+    )
+    return traj, stops
+
+
+class TestStayDetection:
+    def test_finds_all_planted_stops(self, labeled_walk):
+        traj, stops = labeled_walk
+        stays = detect_stay_points(traj, distance_threshold=30, time_threshold=15)
+        scores = stay_detection_scores(
+            stays, [(s.start_index, s.end_index) for s in stops]
+        )
+        assert scores["recall"] == 1.0
+        assert scores["precision"] >= 0.7
+
+    def test_moving_trajectory_has_no_stays(self):
+        t = Trajectory([TrajectoryPoint(i * 20.0, 0, float(i)) for i in range(50)])
+        assert detect_stay_points(t, 30, 15) == []
+
+    def test_centroid_near_true_stop(self, labeled_walk):
+        traj, stops = labeled_walk
+        stays = detect_stay_points(traj, 30, 15)
+        for stay in stays:
+            nearest = min(stops, key=lambda s: s.location.distance_to(stay.centroid))
+            assert stay.centroid.distance_to(nearest.location) < 20.0
+
+    def test_duration_property(self):
+        t = Trajectory([TrajectoryPoint(0, 0, float(i)) for i in range(20)])
+        stays = detect_stay_points(t, 10, 5)
+        assert len(stays) == 1
+        assert stays[0].duration == pytest.approx(19.0)
+
+    def test_time_threshold_filters_brief_pauses(self):
+        pts = [TrajectoryPoint(i * 20.0, 0, float(i)) for i in range(10)]
+        pts += [TrajectoryPoint(200.0, 0, 10.0 + i) for i in range(3)]  # 3 s pause
+        pts += [TrajectoryPoint(200 + i * 20.0, 0, 13.0 + i) for i in range(1, 10)]
+        t = Trajectory(pts)
+        assert detect_stay_points(t, 10, time_threshold=60) == []
+
+
+class TestAnnotation:
+    def test_nearest_poi_selected(self, labeled_walk):
+        traj, stops = labeled_walk
+        pois = [POI(i, s.location, f"cat{i}") for i, s in enumerate(stops)]
+        stays = detect_stay_points(traj, 30, 15)
+        labeled = annotate_with_pois(stays, pois, max_distance=50)
+        for stay, poi in labeled:
+            assert poi is not None
+            assert poi.location.distance_to(stay.centroid) < 50
+
+    def test_too_far_gives_none(self):
+        stay_like = detect_stay_points(
+            Trajectory([TrajectoryPoint(0, 0, float(i)) for i in range(20)]), 10, 5
+        )
+        labeled = annotate_with_pois(stay_like, [POI(0, Point(9999, 9999), "x")], 100)
+        assert labeled[0][1] is None
+
+
+class TestSemanticTrajectory:
+    def test_episodes_cover_whole_trajectory(self, labeled_walk, rng, big_box):
+        traj, _ = labeled_walk
+        pois = generate_pois(rng, 20, big_box)
+        episodes = build_semantic_trajectory(traj, pois, 30, 15, 5000)
+        assert episodes[0].start_index == 0
+        assert episodes[-1].end_index == len(traj) - 1
+        for a, b in zip(episodes, episodes[1:]):
+            assert b.start_index == a.end_index + 1
+
+    def test_alternating_kinds(self, labeled_walk, rng, big_box):
+        traj, _ = labeled_walk
+        pois = generate_pois(rng, 20, big_box)
+        episodes = build_semantic_trajectory(traj, pois, 30, 15, 5000)
+        kinds = [e.kind for e in episodes]
+        assert "stay" in kinds and "move" in kinds
+        for a, b in zip(episodes, episodes[1:]):
+            assert not (a.kind == "stay" and b.kind == "stay")
+
+    def test_stay_labels_are_poi_categories(self, labeled_walk, rng, big_box):
+        traj, _ = labeled_walk
+        pois = generate_pois(rng, 30, big_box)
+        categories = {p.category for p in pois} | {"unknown"}
+        episodes = build_semantic_trajectory(traj, pois, 30, 15, 5000)
+        for e in episodes:
+            if e.kind == "stay":
+                assert e.label in categories
+
+    def test_interpretability_improves(self, labeled_walk, rng, big_box):
+        """The DQ point of semantic DI: annotated episodes are interpretable
+        where raw points are not."""
+        from repro.core import interpretability_ratio
+
+        traj, _ = labeled_walk
+        pois = generate_pois(rng, 20, big_box)
+        episodes = build_semantic_trajectory(traj, pois, 30, 15, 5000)
+        raw_annotations = [None] * len(traj)
+        episode_annotations = [e.label if e.kind == "stay" else "move" for e in episodes]
+        assert interpretability_ratio(episode_annotations) > interpretability_ratio(
+            raw_annotations
+        )
+
+
+class TestScores:
+    def test_perfect_match(self):
+        from repro.integration import StayPoint
+
+        stays = [StayPoint(0, 9, Point(0, 0), 0, 9)]
+        s = stay_detection_scores(stays, [(0, 9)])
+        assert s["f1"] == 1.0
+
+    def test_no_detection(self):
+        s = stay_detection_scores([], [(0, 5)])
+        assert s["recall"] == 0.0 and s["precision"] == 1.0

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.learning import CentroidClassifier, CoTrainingClassifier
+
+
+def two_view_world(rng, n_per=150):
+    """Binary classes separable in each of two independent views."""
+    xa = np.vstack(
+        [rng.normal([0, 0, 0, 0], 1.2, (n_per, 4)), rng.normal([2, 2, 0, 0], 1.2, (n_per, 4))]
+    )
+    xb = np.vstack(
+        [rng.normal([0, 0, 0, 0], 1.2, (n_per, 4)), rng.normal([0, 0, 2, 2], 1.2, (n_per, 4))]
+    )
+    y = np.array([0] * n_per + [1] * n_per)
+    perm = rng.permutation(2 * n_per)
+    return xa[perm], xb[perm], y[perm]
+
+
+@pytest.fixture
+def world(rng):
+    xa, xb, y = two_view_world(rng)
+    train = slice(0, 200)
+    test = slice(200, 300)
+    labeled = (
+        list(np.flatnonzero(y[train] == 0)[:2]) + list(np.flatnonzero(y[train] == 1)[:2])
+    )
+    return xa, xb, y, train, test, labeled
+
+
+class TestCentroidClassifier:
+    def test_fit_requires_two_classes(self, rng):
+        with pytest.raises(ValueError):
+            CentroidClassifier().fit(rng.normal(0, 1, (5, 2)), np.zeros(5))
+
+    def test_predict_requires_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            CentroidClassifier().predict(rng.normal(0, 1, (5, 2)))
+
+    def test_separable_classes_high_accuracy(self, rng):
+        x = np.vstack([rng.normal(0, 0.5, (50, 2)), rng.normal(5, 0.5, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        clf = CentroidClassifier().fit(x, y)
+        assert clf.accuracy(x, y) > 0.98
+
+    def test_margin_reflects_confidence(self, rng):
+        x = np.array([[0.0, 0.0], [5.0, 5.0]])
+        y = np.array([0, 1])
+        clf = CentroidClassifier().fit(x, y)
+        _, margins = clf.predict_with_margin(
+            np.array([[0.0, 0.0], [2.5, 2.5]])
+        )
+        assert margins[0] > margins[1]  # near a centroid > midway
+
+
+class TestCoTraining:
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            CoTrainingClassifier(n_rounds=0)
+
+    def test_needs_labels(self, world):
+        xa, xb, y, train, _, _ = world
+        with pytest.raises(ValueError):
+            CoTrainingClassifier().fit(xa[train], xb[train], y[train], [])
+
+    def test_alignment_validated(self, world):
+        xa, xb, y, train, _, labeled = world
+        with pytest.raises(ValueError):
+            CoTrainingClassifier().fit(xa[train], xb[0:100], y[train], labeled)
+
+    def test_beats_supervised_baseline(self, world):
+        """The [22] claim: unlabeled data + two views beat labels alone."""
+        xa, xb, y, train, test, labeled = world
+        base = CentroidClassifier().fit(xa[train][labeled], y[train][labeled])
+        base_acc = base.accuracy(xa[test], y[test])
+        co = CoTrainingClassifier(n_rounds=10, per_round=6).fit(
+            xa[train], xb[train], y[train], labeled
+        )
+        co_acc = co.accuracy(xa[test], xb[test], y[test])
+        assert co_acc >= base_acc
+
+    def test_beats_baseline_across_seeds(self):
+        wins = 0
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            xa, xb, y = two_view_world(rng)
+            labeled = (
+                list(np.flatnonzero(y[:200] == 0)[:2])
+                + list(np.flatnonzero(y[:200] == 1)[:2])
+            )
+            base = CentroidClassifier().fit(xa[:200][labeled], y[:200][labeled])
+            base_acc = base.accuracy(xa[200:], y[200:])
+            co = CoTrainingClassifier().fit(xa[:200], xb[:200], y[:200], labeled)
+            co_acc = co.accuracy(xa[200:], xb[200:], y[200:])
+            wins += co_acc >= base_acc
+        assert wins >= 5
+
+    def test_prediction_uses_both_views(self, world):
+        xa, xb, y, train, test, labeled = world
+        co = CoTrainingClassifier().fit(xa[train], xb[train], y[train], labeled)
+        preds = co.predict(xa[test], xb[test])
+        assert preds.shape == (100,)
+        assert set(np.unique(preds)) <= {0, 1}

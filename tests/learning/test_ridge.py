@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.learning import fit_ridge, predict_ridge, rmse
+
+
+class TestRidge:
+    def test_recovers_linear_model(self, rng):
+        x = rng.normal(0, 1, (200, 3))
+        w = np.array([1.5, -2.0, 0.5])
+        y = x @ w + 4.0
+        fitted = fit_ridge(x, y, alpha=1e-6)
+        assert np.allclose(fitted[:3], w, atol=1e-4)
+        assert fitted[3] == pytest.approx(4.0, abs=1e-4)
+
+    def test_intercept_not_regularized(self, rng):
+        x = rng.normal(0, 1, (100, 2))
+        y = np.full(100, 50.0)  # pure intercept signal
+        fitted = fit_ridge(x, y, alpha=100.0)
+        assert fitted[-1] == pytest.approx(50.0, abs=0.5)
+
+    def test_regularization_shrinks_weights(self, rng):
+        x = rng.normal(0, 1, (30, 3))
+        y = x @ np.array([3.0, 3.0, 3.0]) + rng.normal(0, 0.1, 30)
+        loose = fit_ridge(x, y, 0.01)
+        tight = fit_ridge(x, y, 100.0)
+        assert np.linalg.norm(tight[:3]) < np.linalg.norm(loose[:3])
+
+    def test_negative_alpha_rejected(self, rng):
+        with pytest.raises(ValueError):
+            fit_ridge(rng.normal(0, 1, (5, 2)), np.zeros(5), alpha=-1.0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_ridge(np.zeros(5), np.zeros(5))  # 1-D features
+        with pytest.raises(ValueError):
+            fit_ridge(np.zeros((5, 2)), np.zeros(4))
+
+    def test_predict_matches_design(self, rng):
+        x = rng.normal(0, 1, (50, 2))
+        y = x @ np.array([1.0, 2.0]) + 1.0
+        w = fit_ridge(x, y, 1e-9)
+        assert np.allclose(predict_ridge(w, x), y, atol=1e-6)
+
+
+class TestRmse:
+    def test_zero_for_equal(self):
+        assert rmse(np.arange(5.0), np.arange(5.0)) == 0.0
+
+    def test_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))

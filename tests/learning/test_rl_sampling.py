@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.learning import AdaptiveSamplingAgent, regime_switching_signal
+
+
+@pytest.fixture
+def signals():
+    train = [regime_switching_signal(np.random.default_rng(s)) for s in range(6)]
+    test = [regime_switching_signal(np.random.default_rng(100 + s)) for s in range(3)]
+    return train, test
+
+
+@pytest.fixture
+def trained(signals):
+    train, _ = signals
+    return AdaptiveSamplingAgent().train(train, np.random.default_rng(0))
+
+
+class TestSignal:
+    def test_shape(self, rng):
+        s = regime_switching_signal(rng, n=1000, segment=100)
+        assert s.shape == (1000,)
+
+    def test_regimes_differ(self, rng):
+        s = regime_switching_signal(rng, n=800, segment=400, calm_sigma=0.01, volatile_sigma=2.0)
+        vol_seg = np.std(np.diff(s[:400]))
+        calm_seg = np.std(np.diff(s[400:]))
+        assert vol_seg > calm_seg * 10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            regime_switching_signal(rng, n=1)
+
+
+class TestAgent:
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveSamplingAgent(actions=())
+        with pytest.raises(ValueError):
+            AdaptiveSamplingAgent(n_states=1)
+
+    def test_train_requires_signals(self):
+        with pytest.raises(ValueError):
+            AdaptiveSamplingAgent().train([], np.random.default_rng(0))
+
+    def test_fixed_skip_validated(self, trained, signals):
+        _, test = signals
+        with pytest.raises(ValueError):
+            trained.evaluate_fixed(test[0], skip=3)
+
+    def test_fixed_one_samples_every_step(self, signals):
+        _, test = signals
+        agent = AdaptiveSamplingAgent()
+        run = agent.evaluate_fixed(test[0], 1)
+        assert run.samples_taken == len(test[0])
+
+    def test_fixed_eight_samples_eighth(self, signals):
+        _, test = signals
+        agent = AdaptiveSamplingAgent()
+        run = agent.evaluate_fixed(test[0], 8)
+        assert run.samples_taken == pytest.approx(len(test[0]) / 8, rel=0.02)
+
+    def test_adaptive_beats_every_fixed_interval(self, trained, signals):
+        """The RL claim: adaptivity dominates any static policy."""
+        _, test = signals
+        adaptive = np.mean([trained.evaluate(s).total_cost for s in test])
+        for skip in trained.actions:
+            fixed = np.mean([trained.evaluate_fixed(s, skip).total_cost for s in test])
+            assert adaptive < fixed
+
+    def test_learned_policy_is_volatility_sensitive(self, trained):
+        """Calm state stretches the interval; volatile states tighten it."""
+        policy = trained.policy()
+        assert policy[0] > policy[-1]
+        assert policy[-1] == 1
+
+    def test_adaptive_uses_fewer_samples_than_dense(self, trained, signals):
+        _, test = signals
+        adaptive = trained.evaluate(test[0])
+        dense = trained.evaluate_fixed(test[0], 1)
+        assert adaptive.samples_taken < dense.samples_taken
+
+    def test_evaluate_is_deterministic(self, trained, signals):
+        _, test = signals
+        a = trained.evaluate(test[0])
+        b = trained.evaluate(test[0])
+        assert a.total_cost == b.total_cost

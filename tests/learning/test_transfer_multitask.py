@@ -1,0 +1,136 @@
+import numpy as np
+import pytest
+
+from repro.learning import (
+    MultiTaskRidge,
+    TransferRidge,
+    fit_ridge,
+    predict_ridge,
+    rmse,
+    target_only_ridge,
+)
+
+
+@pytest.fixture
+def domains(rng):
+    """Source domain (rich) and a related target domain (poor)."""
+    w = np.array([2.0, -1.0, 0.5, 0.0, 1.0])
+    xs = rng.normal(0, 1, (300, 5))
+    ys = xs @ w + 3.0 + rng.normal(0, 0.3, 300)
+    w_t = w + rng.normal(0, 0.1, 5)
+    xt = rng.normal(0, 1, (6, 5))
+    yt = xt @ w_t + 3.2 + rng.normal(0, 0.3, 6)
+    xv = rng.normal(0, 1, (200, 5))
+    yv = xv @ w_t + 3.2
+    return xs, ys, xt, yt, xv, yv
+
+
+class TestTransferRidge:
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            TransferRidge(alpha=-1.0)
+
+    def test_order_enforced(self, domains):
+        xs, ys, xt, yt, _, _ = domains
+        with pytest.raises(RuntimeError):
+            TransferRidge().fit_target(xt, yt)
+
+    def test_unfitted_predict_rejected(self, domains):
+        _, _, _, _, xv, _ = domains
+        with pytest.raises(RuntimeError):
+            TransferRidge().predict(xv)
+
+    def test_zero_shot_uses_source(self, domains):
+        xs, ys, _, _, xv, yv = domains
+        model = TransferRidge().fit_source(xs, ys)
+        assert rmse(yv, model.predict(xv)) < 1.0
+
+    def test_transfer_beats_target_only_when_data_scarce(self, domains):
+        xs, ys, xt, yt, xv, yv = domains
+        transfer = TransferRidge(1.0, 20.0).fit_source(xs, ys).fit_target(xt, yt)
+        only = target_only_ridge(xt, yt)
+        assert rmse(yv, transfer.predict(xv)) < rmse(yv, predict_ridge(only, xv))
+
+    def test_data_overrides_prior_when_abundant(self, rng):
+        """With lots of target data, transfer converges to target truth even
+        from a misleading source."""
+        w_t = np.array([1.0, 1.0])
+        xt = rng.normal(0, 1, (500, 2))
+        yt = xt @ w_t
+        xs = rng.normal(0, 1, (100, 2))
+        ys = xs @ np.array([-5.0, -5.0])  # opposite source
+        model = TransferRidge(0.01, 1.0).fit_source(xs, ys).fit_target(xt, yt)
+        xv = rng.normal(0, 1, (100, 2))
+        assert rmse(xv @ w_t, model.predict(xv)) < 0.2
+
+    def test_dimension_mismatch_rejected(self, domains, rng):
+        xs, ys, _, _, _, _ = domains
+        model = TransferRidge().fit_source(xs, ys)
+        with pytest.raises(ValueError):
+            model.fit_target(rng.normal(0, 1, (4, 3)), np.zeros(4))
+
+
+class TestMultiTaskRidge:
+    @pytest.fixture
+    def tasks(self, rng):
+        w0 = rng.normal(0, 1, 4)
+        train, test = {}, {}
+        for t in range(5):
+            wt = w0 + rng.normal(0, 0.2, 4)
+            x = rng.normal(0, 1, (8, 4))
+            xv = rng.normal(0, 1, (100, 4))
+            train[f"t{t}"] = (x, x @ wt + rng.normal(0, 0.2, 8))
+            test[f"t{t}"] = (xv, xv @ wt)
+        return train, test
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            MultiTaskRidge(lambda0=-1)
+        with pytest.raises(ValueError):
+            MultiTaskRidge(n_iter=0)
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTaskRidge().fit({})
+
+    def test_unknown_task_rejected(self, tasks):
+        train, _ = tasks
+        model = MultiTaskRidge().fit(train)
+        with pytest.raises(KeyError):
+            model.predict("ghost", np.zeros((1, 4)))
+
+    def test_beats_independent_ridges(self, tasks):
+        """The [83] claim: sharing strength helps scarce related tasks."""
+        train, test = tasks
+        mt = MultiTaskRidge(1.0, 5.0).fit(train)
+        independent_rmse = np.mean(
+            [
+                rmse(test[n][1], predict_ridge(fit_ridge(*train[n], 1.0), test[n][0]))
+                for n in train
+            ]
+        )
+        assert mt.task_rmse(test) < independent_rmse
+
+    def test_shared_component_generalizes_to_new_task(self, tasks, rng):
+        train, _ = tasks
+        mt = MultiTaskRidge(1.0, 5.0).fit(train)
+        # A brand new related task: the shared model should beat zero.
+        w0_est_pred = mt.predict_shared(rng.normal(0, 1, (50, 4)))
+        assert np.std(w0_est_pred) > 0.1  # carries real signal
+
+    def test_large_lambda1_collapses_to_pooled(self, tasks):
+        train, _ = tasks
+        mt = MultiTaskRidge(1.0, 1e6).fit(train)
+        # Per-task deviations ~0: task predictions equal the shared ones.
+        x = np.zeros((3, 4))
+        for name in train:
+            assert np.allclose(mt.predict(name, x), mt.predict_shared(x), atol=1e-3)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MultiTaskRidge().fit(
+                {
+                    "a": (rng.normal(0, 1, (5, 3)), np.zeros(5)),
+                    "b": (rng.normal(0, 1, (5, 4)), np.zeros(5)),
+                }
+            )

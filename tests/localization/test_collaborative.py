@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.core import Point
+from repro.localization import (
+    PeerRange,
+    iterative_refine,
+    joint_denoise,
+    range_stress,
+)
+
+
+def scatter(rng, n, spread=500.0):
+    return [Point(rng.uniform(0, spread), rng.uniform(0, spread)) for _ in range(n)]
+
+
+class TestJointDenoise:
+    def test_removes_exact_shared_bias(self, rng):
+        truth = scatter(rng, 8)
+        biased = [Point(p.x + 12.0, p.y - 7.0) for p in truth]
+        fixed = joint_denoise(biased, [0, 1], truth[:2])
+        for a, b in zip(fixed, truth):
+            assert a.distance_to(b) < 1e-9
+
+    def test_noisy_references_average_out(self, rng):
+        truth = scatter(rng, 10)
+        biased = [
+            Point(p.x + 20 + rng.normal(0, 1), p.y - 5 + rng.normal(0, 1)) for p in truth
+        ]
+        fixed = joint_denoise(biased, [0, 1, 2, 3], truth[:4])
+        errs = [a.distance_to(b) for a, b in zip(fixed, truth)]
+        raw = [a.distance_to(b) for a, b in zip(biased, truth)]
+        assert np.mean(errs) < np.mean(raw) / 3
+
+    def test_requires_references(self, rng):
+        with pytest.raises(ValueError):
+            joint_denoise(scatter(rng, 3), [], [])
+
+    def test_alignment_validated(self, rng):
+        pts = scatter(rng, 3)
+        with pytest.raises(ValueError):
+            joint_denoise(pts, [0, 1], [pts[0]])
+
+
+class TestIterativeRefine:
+    def test_exact_ranges_reduce_error(self, rng):
+        truth = scatter(rng, 10, 300)
+        noisy = [Point(p.x + rng.normal(0, 10), p.y + rng.normal(0, 10)) for p in truth]
+        ranges = [
+            PeerRange(i, j, truth[i].distance_to(truth[j]))
+            for i in range(10)
+            for j in range(i + 1, 10)
+        ]
+        refined = iterative_refine(noisy, ranges, anchor_weight=0.05, n_iter=300)
+        err_before = np.mean([a.distance_to(b) for a, b in zip(noisy, truth)])
+        err_after = np.mean([a.distance_to(b) for a, b in zip(refined, truth)])
+        assert err_after < err_before
+
+    def test_stress_decreases(self, rng):
+        truth = scatter(rng, 8, 300)
+        noisy = [Point(p.x + rng.normal(0, 8), p.y + rng.normal(0, 8)) for p in truth]
+        ranges = [
+            PeerRange(i, j, truth[i].distance_to(truth[j]))
+            for i in range(8)
+            for j in range(i + 1, 8)
+        ]
+        refined = iterative_refine(noisy, ranges, n_iter=200)
+        assert range_stress(refined, ranges) < range_stress(noisy, ranges)
+
+    def test_no_ranges_keeps_observations(self, rng):
+        noisy = scatter(rng, 5)
+        refined = iterative_refine(noisy, [], n_iter=10)
+        for a, b in zip(refined, noisy):
+            assert a.distance_to(b) < 1e-6
+
+    def test_bad_indices_rejected(self, rng):
+        pts = scatter(rng, 3)
+        with pytest.raises(ValueError):
+            iterative_refine(pts, [PeerRange(0, 5, 10.0)])
+        with pytest.raises(ValueError):
+            iterative_refine(pts, [PeerRange(1, 1, 10.0)])
+
+    def test_negative_distance_rejected(self, rng):
+        pts = scatter(rng, 3)
+        with pytest.raises(ValueError):
+            iterative_refine(pts, [PeerRange(0, 1, -1.0)])
+
+
+class TestRangeStress:
+    def test_zero_for_consistent(self, rng):
+        truth = scatter(rng, 5)
+        ranges = [PeerRange(0, 1, truth[0].distance_to(truth[1]))]
+        assert range_stress(truth, ranges) == pytest.approx(0.0)
+
+    def test_empty_ranges(self, rng):
+        assert range_stress(scatter(rng, 3), []) == 0.0

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.localization import FingerprintLocalizer
+from repro.synth import RadioMap, deploy_access_points, measure_vector
+
+
+@pytest.fixture
+def setup(rng):
+    box = BBox(0, 0, 400, 400)
+    aps = deploy_access_points(rng, 8, box)
+    rm = RadioMap.survey(aps, box, spacing=50.0, rng=rng, samples_per_point=10)
+    return box, aps, rm
+
+
+class TestFingerprintLocalizer:
+    def test_invalid_k(self, setup):
+        _, _, rm = setup
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(rm, k=0)
+        with pytest.raises(ValueError):
+            FingerprintLocalizer(rm, k=len(rm) + 1)
+
+    def test_wrong_vector_length(self, setup):
+        _, _, rm = setup
+        loc = FingerprintLocalizer(rm)
+        with pytest.raises(ValueError):
+            loc.estimate(np.zeros(3))
+
+    def test_candidates_count_and_weights(self, setup, rng):
+        _, aps, rm = setup
+        loc = FingerprintLocalizer(rm, k=5)
+        cand = loc.candidates(measure_vector(aps, Point(200, 200), rng))
+        assert len(cand.points) == 5
+        assert sum(cand.weights) == pytest.approx(1.0)
+
+    def test_noise_free_accuracy(self, setup, rng):
+        box, aps, rm = setup
+        loc = FingerprintLocalizer(rm, k=3)
+        errs = []
+        for _ in range(30):
+            p = Point(rng.uniform(50, 350), rng.uniform(50, 350))
+            exact = np.array([ap.expected_rssi(p) for ap in aps])
+            errs.append(loc.estimate(exact).distance_to(p))
+        # Bounded by roughly one grid spacing with noise-free observations.
+        assert np.mean(errs) < 60.0
+
+    def test_wknn_beats_nn_on_noisy_scans(self, setup):
+        box, aps, rm = setup
+        loc = FingerprintLocalizer(rm, k=4)
+        rng = np.random.default_rng(99)
+        wknn_err, nn_err = [], []
+        for _ in range(60):
+            p = Point(rng.uniform(50, 350), rng.uniform(50, 350))
+            v = measure_vector(aps, p, rng, noise_db=6.0)
+            wknn_err.append(loc.estimate(v).distance_to(p))
+            nn_err.append(loc.estimate_nn(v).distance_to(p))
+        # The ensemble (aggregated candidates) beats the single result.
+        assert np.mean(wknn_err) <= np.mean(nn_err) + 2.0
+
+    def test_estimate_within_map_extent(self, setup, rng):
+        box, aps, rm = setup
+        loc = FingerprintLocalizer(rm)
+        est = loc.estimate(measure_vector(aps, Point(10, 10), rng))
+        assert box.expand(50).contains(est)

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.core import Point
+from repro.localization import (
+    SourceEstimate,
+    inverse_variance_fusion,
+    median_fusion,
+    reliability_weighted_fusion,
+)
+
+
+class TestInverseVariance:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_variance_fusion([])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            SourceEstimate("s", Point(0, 0), 0.0)
+
+    def test_single_source_identity(self):
+        f = inverse_variance_fusion([SourceEstimate("a", Point(3, 4), 2.0)])
+        assert f.mean() == Point(3, 4)
+        assert f.sigma_x == pytest.approx(2.0)
+
+    def test_mean_weighted_toward_precise_source(self):
+        f = inverse_variance_fusion(
+            [
+                SourceEstimate("good", Point(0, 0), 1.0),
+                SourceEstimate("bad", Point(10, 0), 3.0),
+            ]
+        )
+        assert f.mean().x == pytest.approx(1.0)  # (0*1 + 10*(1/9)) / (1+1/9)
+
+    def test_fused_sigma_beats_best_source(self):
+        f = inverse_variance_fusion(
+            [
+                SourceEstimate("a", Point(0, 0), 2.0),
+                SourceEstimate("b", Point(1, 0), 2.0),
+            ]
+        )
+        assert f.sigma_x == pytest.approx(2.0 / np.sqrt(2))
+
+    def test_statistical_accuracy_gain(self):
+        """Fusion of two noisy sources beats each single source on average."""
+        rng = np.random.default_rng(8)
+        truth = Point(100, 100)
+        single_err, fused_err = [], []
+        for _ in range(300):
+            a = Point(truth.x + rng.normal(0, 5), truth.y + rng.normal(0, 5))
+            b = Point(truth.x + rng.normal(0, 8), truth.y + rng.normal(0, 8))
+            f = inverse_variance_fusion(
+                [SourceEstimate("a", a, 5.0), SourceEstimate("b", b, 8.0)]
+            )
+            single_err.append(a.distance_to(truth))
+            fused_err.append(f.mean().distance_to(truth))
+        assert np.mean(fused_err) < np.mean(single_err)
+
+
+class TestReliabilityWeighted:
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            reliability_weighted_fusion([Point(0, 0)], [1.0, 2.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            reliability_weighted_fusion([Point(0, 0), Point(1, 1)], [1.0, -1.0])
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            reliability_weighted_fusion([Point(0, 0)], [0.0])
+
+    def test_weighted_centroid(self):
+        p = reliability_weighted_fusion([Point(0, 0), Point(10, 0)], [3.0, 1.0])
+        assert p == Point(2.5, 0.0)
+
+
+class TestMedianFusion:
+    def test_robust_to_one_outlier(self):
+        p = median_fusion([Point(0, 0), Point(1, 1), Point(1000, 1000)])
+        assert p == Point(1, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_fusion([])

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, Trajectory, TrajectoryPoint, accuracy_error
+from repro.localization import GridHMM
+from repro.synth import add_gaussian_noise, correlated_random_walk
+
+
+@pytest.fixture
+def small_box():
+    return BBox(0, 0, 200, 200)
+
+
+@pytest.fixture
+def hmm(small_box):
+    return GridHMM(small_box, cell_size=20.0, max_speed=10.0, emission_sigma=10.0)
+
+
+class TestGridHMM:
+    def test_invalid_params(self, small_box):
+        with pytest.raises(ValueError):
+            GridHMM(small_box, 0, 1, 1)
+
+    def test_grid_dimensions(self, hmm):
+        assert hmm.nx == 10 and hmm.ny == 10 and hmm.n_cells == 100
+
+    def test_viterbi_tracks_stationary_object(self, hmm, rng):
+        target = Point(110, 110)
+        pts = [
+            TrajectoryPoint(target.x + rng.normal(0, 5), target.y + rng.normal(0, 5), float(i))
+            for i in range(10)
+        ]
+        path = hmm.viterbi(Trajectory(pts))
+        for cell in path:
+            assert hmm.cell_center(cell).distance_to(target) < 40.0
+
+    def test_viterbi_respects_speed_constraint(self, hmm):
+        """A teleporting observation cannot drag the path across the grid."""
+        pts = [
+            TrajectoryPoint(10, 10, 0.0),
+            TrajectoryPoint(190, 190, 1.0),  # 255 m in 1 s >> max_speed 10
+            TrajectoryPoint(12, 12, 2.0),
+        ]
+        path = hmm.viterbi(Trajectory(pts))
+        c0 = hmm.cell_center(path[0])
+        c1 = hmm.cell_center(path[1])
+        # The middle state stays within the reachable band of its neighbors.
+        assert c0.distance_to(c1) <= 10.0 * 1.0 + 2 * hmm.cell_size
+
+    def test_empty_rejected(self, hmm):
+        with pytest.raises(ValueError):
+            hmm.viterbi(Trajectory([]))
+
+    def test_forward_posteriors_normalized(self, hmm, rng, small_box):
+        t = correlated_random_walk(rng, 10, small_box, speed_mean=3)
+        post = hmm.forward_posteriors(t)
+        assert post.shape == (10, 100)
+        assert np.allclose(post.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_posterior_location(self, hmm, rng, small_box):
+        t = correlated_random_walk(rng, 8, small_box, speed_mean=3)
+        loc = hmm.posterior_location(t, 4)
+        assert sum(loc.weights) == pytest.approx(1.0)
+
+    def test_refine_reduces_large_noise(self, rng, small_box):
+        """With fine cells, HMM refinement beats heavily noisy raw data."""
+        hmm = GridHMM(small_box, cell_size=8.0, max_speed=8.0, emission_sigma=15.0)
+        truth = correlated_random_walk(rng, 40, small_box, speed_mean=4)
+        noisy = add_gaussian_noise(truth, rng, 15.0)
+        refined = hmm.refine(noisy)
+        assert accuracy_error(refined, truth) < accuracy_error(noisy, truth)
+
+    def test_refine_keeps_times(self, hmm, rng, small_box):
+        t = correlated_random_walk(rng, 12, small_box)
+        refined = hmm.refine(t)
+        assert refined.times == t.times

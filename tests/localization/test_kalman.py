@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, TrajectoryPoint, accuracy_error
+from repro.localization import KalmanFilter2D, kalman_refine
+from repro.synth import add_gaussian_noise, correlated_random_walk
+
+
+def uniform_motion(n=50, vx=2.0, vy=1.0):
+    return Trajectory(
+        [TrajectoryPoint(vx * i, vy * i, float(i)) for i in range(n)]
+    )
+
+
+class TestKalmanFilter:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KalmanFilter2D(process_sigma=0)
+        with pytest.raises(ValueError):
+            KalmanFilter2D(measurement_sigma=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KalmanFilter2D().filter(Trajectory([]))
+
+    def test_velocity_estimated_on_uniform_motion(self):
+        kf = KalmanFilter2D(0.1, 1.0)
+        result = kf.filter(uniform_motion())
+        vx, vy = result.states[-1, 2], result.states[-1, 3]
+        assert vx == pytest.approx(2.0, abs=0.2)
+        assert vy == pytest.approx(1.0, abs=0.2)
+
+    def test_uncertainty_shrinks(self):
+        kf = KalmanFilter2D(0.1, 5.0)
+        result = kf.filter(uniform_motion())
+        sigmas = result.position_sigmas()
+        assert sigmas[-1] < sigmas[0]
+
+    def test_trajectory_view_keeps_times(self, rng, box):
+        t = correlated_random_walk(rng, 30, box)
+        out = KalmanFilter2D().filter(t).trajectory()
+        assert out.times == t.times
+        assert out.object_id == t.object_id
+
+    def test_filter_reduces_noise(self, rng, box):
+        truth = correlated_random_walk(rng, 200, box, speed_mean=5)
+        noisy = add_gaussian_noise(truth, rng, 10.0)
+        filtered = KalmanFilter2D(1.0, 10.0).filter(noisy).trajectory()
+        assert accuracy_error(filtered, truth) < accuracy_error(noisy, truth)
+
+    def test_smoother_beats_filter(self, rng, box):
+        truth = correlated_random_walk(rng, 200, box, speed_mean=5)
+        noisy = add_gaussian_noise(truth, rng, 10.0)
+        kf = KalmanFilter2D(1.0, 10.0)
+        filt_err = accuracy_error(kf.filter(noisy).trajectory(), truth)
+        smooth_err = accuracy_error(kf.smooth(noisy).trajectory(), truth)
+        assert smooth_err < filt_err
+
+    def test_irregular_sampling_supported(self):
+        pts = [TrajectoryPoint(float(t), 0.0, float(t)) for t in [0, 1, 5, 6, 20]]
+        result = KalmanFilter2D().filter(Trajectory(pts))
+        assert result.states.shape == (5, 4)
+
+    def test_refine_one_call(self, rng, box):
+        truth = correlated_random_walk(rng, 100, box, speed_mean=5)
+        noisy = add_gaussian_noise(truth, rng, 8.0)
+        refined = kalman_refine(noisy, 1.0, 8.0)
+        assert accuracy_error(refined, truth) < accuracy_error(noisy, truth)

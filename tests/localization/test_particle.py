@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, accuracy_error
+from repro.localization import (
+    ParticleFilter2D,
+    particle_refine,
+    position_likelihood,
+    range_likelihood,
+)
+from repro.synth import RangingObservation, add_gaussian_noise, correlated_random_walk
+
+
+class TestParticleFilter:
+    def test_requires_init(self, rng):
+        pf = ParticleFilter2D(rng, 10)
+        with pytest.raises(RuntimeError):
+            pf.estimate()
+
+    def test_min_particles(self, rng):
+        with pytest.raises(ValueError):
+            ParticleFilter2D(rng, 1)
+
+    def test_initialize_uniform(self, rng, box):
+        pf = ParticleFilter2D(rng, 200)
+        pf.initialize(box)
+        assert pf.particles.shape == (200, 4)
+        assert box.contains(pf.estimate())
+
+    def test_initialize_at_concentrates(self, rng):
+        pf = ParticleFilter2D(rng, 500)
+        pf.initialize_at(Point(100, 100), 5.0)
+        assert pf.estimate().distance_to(Point(100, 100)) < 2.0
+
+    def test_update_pulls_toward_observation(self, rng, box):
+        pf = ParticleFilter2D(rng, 1000)
+        pf.initialize(box)
+        target = Point(250, 700)
+        for _ in range(3):
+            pf.predict(1.0)
+            pf.update(position_likelihood(target, 20.0))
+        assert pf.estimate().distance_to(target) < 50.0
+
+    def test_update_with_ranges(self, rng, box):
+        pf = ParticleFilter2D(rng, 2000)
+        pf.initialize(box)
+        target = Point(400, 300)
+        anchors = [Point(0, 0), Point(1000, 0), Point(0, 1000)]
+        obs = [RangingObservation(a, a.distance_to(target)) for a in anchors]
+        for _ in range(4):
+            pf.predict(1.0)
+            pf.update(range_likelihood(obs, 10.0))
+        assert pf.estimate().distance_to(target) < 60.0
+
+    def test_degenerate_likelihood_recovers(self, rng, box):
+        pf = ParticleFilter2D(rng, 100)
+        pf.initialize(box)
+        pf.update(lambda pts: np.zeros(len(pts)))  # kills all particles
+        assert np.isfinite(pf.estimate().x)
+
+    def test_posterior_is_discrete_location(self, rng, box):
+        pf = ParticleFilter2D(rng, 300)
+        pf.initialize(box)
+        post = pf.posterior(max_samples=50)
+        assert len(post.points) == 50
+        assert sum(post.weights) == pytest.approx(1.0)
+
+    def test_resampling_preserves_count(self, rng, box):
+        pf = ParticleFilter2D(rng, 400, resample_threshold=1.0)  # always resample
+        pf.initialize(box)
+        pf.update(position_likelihood(Point(500, 500), 30.0))
+        assert pf.particles.shape == (400, 4)
+        assert np.allclose(pf.weights, 1.0 / 400)
+
+
+class TestParticleRefine:
+    def test_reduces_noise(self, rng, box):
+        truth = correlated_random_walk(rng, 150, box, speed_mean=5)
+        noisy = add_gaussian_noise(truth, rng, 10.0)
+        refined = particle_refine(noisy, rng, measurement_sigma=10.0, n_particles=400)
+        assert accuracy_error(refined, truth) < accuracy_error(noisy, truth)
+
+    def test_preserves_structure(self, rng, box):
+        truth = correlated_random_walk(rng, 20, box)
+        noisy = add_gaussian_noise(truth, rng, 5.0)
+        refined = particle_refine(noisy, rng)
+        assert len(refined) == len(noisy)
+        assert refined.times == noisy.times
+
+    def test_empty_rejected(self, rng):
+        from repro.core import Trajectory
+
+        with pytest.raises(ValueError):
+            particle_refine(Trajectory([]), rng)

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.core import Point
+from repro.localization import gauss_newton, linear_least_squares, residual_rms
+from repro.synth import RangingObservation, measure_ranges
+
+ANCHORS = [Point(0, 0), Point(400, 0), Point(0, 400), Point(400, 400)]
+
+
+def exact_obs(p):
+    return [RangingObservation(a, a.distance_to(p)) for a in ANCHORS]
+
+
+class TestLinear:
+    def test_exact_recovery(self):
+        p = Point(123, 287)
+        assert linear_least_squares(exact_obs(p)).distance_to(p) < 1e-6
+
+    def test_needs_three(self):
+        with pytest.raises(ValueError):
+            linear_least_squares(exact_obs(Point(1, 1))[:2])
+
+    def test_noisy_fix_reasonable(self, rng):
+        p = Point(200, 100)
+        obs = measure_ranges(ANCHORS, p, rng, noise_m=3.0)
+        assert linear_least_squares(obs).distance_to(p) < 20.0
+
+
+class TestGaussNewton:
+    def test_exact_recovery(self):
+        p = Point(321, 55)
+        assert gauss_newton(exact_obs(p)).distance_to(p) < 1e-6
+
+    def test_needs_three(self):
+        with pytest.raises(ValueError):
+            gauss_newton(exact_obs(Point(1, 1))[:2])
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            gauss_newton(exact_obs(Point(1, 1)), weights=np.ones(2))
+
+    def test_custom_initial(self):
+        p = Point(100, 100)
+        est = gauss_newton(exact_obs(p), initial=Point(390, 390))
+        assert est.distance_to(p) < 1e-3
+
+    def test_weighting_downweights_bad_anchor(self, rng):
+        p = Point(150, 250)
+        obs = exact_obs(p)
+        # Corrupt the last anchor's range badly.
+        obs[-1] = RangingObservation(obs[-1].anchor, obs[-1].distance + 80.0)
+        unweighted = gauss_newton(obs)
+        weighted = gauss_newton(obs, weights=np.array([1, 1, 1, 0.01]))
+        assert weighted.distance_to(p) < unweighted.distance_to(p)
+
+    def test_statistical_improvement_over_linear(self):
+        """Across trials, iterative WLS should beat the linearized solver."""
+        rng = np.random.default_rng(4)
+        lin, gn = [], []
+        for _ in range(80):
+            p = Point(rng.uniform(50, 350), rng.uniform(50, 350))
+            obs = measure_ranges(ANCHORS, p, rng, noise_m=5.0)
+            lin.append(linear_least_squares(obs).distance_to(p))
+            gn.append(gauss_newton(obs).distance_to(p))
+        assert np.mean(gn) <= np.mean(lin) + 0.5
+
+
+class TestResiduals:
+    def test_zero_at_truth(self):
+        p = Point(77, 88)
+        assert residual_rms(exact_obs(p), p) < 1e-9
+
+    def test_positive_away_from_truth(self):
+        p = Point(77, 88)
+        assert residual_rms(exact_obs(p), Point(0, 0)) > 10.0

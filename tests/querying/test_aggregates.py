@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.core import GaussianLocation, Point, UncertainPoint, UniformDiskLocation
+from repro.querying import (
+    count_distribution,
+    count_variance,
+    expected_count,
+    membership_probabilities,
+    prob_count_at_least,
+    probabilistic_count_query,
+)
+
+
+@pytest.fixture
+def objects(rng):
+    return [
+        UncertainPoint(
+            f"o{i}",
+            GaussianLocation(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000)), rng.uniform(10, 30)
+            ),
+        )
+        for i in range(80)
+    ]
+
+
+class TestMembership:
+    def test_range(self, objects, center):
+        probs = membership_probabilities(objects, center, 200.0)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_far_objects_zero(self, center):
+        far = [UncertainPoint("f", GaussianLocation(Point(99_999, 0), 5.0))]
+        assert membership_probabilities(far, center, 100.0)[0] == 0.0
+
+    def test_contained_objects_one(self, center):
+        near = [UncertainPoint("n", GaussianLocation(center, 1.0))]
+        assert membership_probabilities(near, center, 500.0)[0] == 1.0
+
+
+class TestPoissonBinomial:
+    def test_pmf_sums_to_one(self, rng):
+        probs = rng.random(30)
+        pmf = count_distribution(probs)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (pmf >= -1e-12).all()
+
+    def test_matches_binomial_for_equal_probs(self):
+        from scipy import stats
+
+        pmf = count_distribution(np.full(20, 0.3))
+        expected = stats.binom.pmf(np.arange(21), 20, 0.3)
+        assert np.allclose(pmf, expected, atol=1e-12)
+
+    def test_deterministic_cases(self):
+        pmf = count_distribution(np.array([1.0, 1.0, 0.0]))
+        assert pmf[2] == pytest.approx(1.0)
+
+    def test_invalid_probs_rejected(self):
+        with pytest.raises(ValueError):
+            count_distribution(np.array([0.5, 1.5]))
+
+    def test_moments(self, rng):
+        probs = rng.random(25)
+        pmf = count_distribution(probs)
+        ks = np.arange(len(pmf))
+        assert expected_count(probs) == pytest.approx(float((ks * pmf).sum()))
+        var_from_pmf = float((ks**2 * pmf).sum() - (ks * pmf).sum() ** 2)
+        assert count_variance(probs) == pytest.approx(var_from_pmf)
+
+    def test_matches_monte_carlo(self, rng):
+        probs = rng.random(40) * 0.5
+        mc = [(rng.random(40) < probs).sum() for _ in range(4000)]
+        assert prob_count_at_least(probs, 8) == pytest.approx(
+            float(np.mean(np.array(mc) >= 8)), abs=0.03
+        )
+
+    def test_threshold_edge_cases(self):
+        probs = np.array([0.5, 0.5])
+        assert prob_count_at_least(probs, 0) == 1.0
+        assert prob_count_at_least(probs, 3) == 0.0
+        assert prob_count_at_least(probs, 2) == pytest.approx(0.25)
+
+
+class TestQuery:
+    def test_one_call_api(self, objects, center):
+        out = probabilistic_count_query(objects, center, 250.0, k=3)
+        assert out["expected"] >= 0.0
+        assert out["std"] >= 0.0
+        assert 0.0 <= out["p_count_ge_3"] <= 1.0
+
+    def test_monotone_in_radius(self, objects, center):
+        small = probabilistic_count_query(objects, center, 100.0)["expected"]
+        large = probabilistic_count_query(objects, center, 400.0)["expected"]
+        assert large >= small
+
+    def test_disk_objects_supported(self, center):
+        objs = [
+            UncertainPoint("d", UniformDiskLocation(center, 50.0)),
+        ]
+        out = probabilistic_count_query(objs, center, 25.0)
+        assert out["expected"] == pytest.approx(0.25)

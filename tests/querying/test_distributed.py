@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.querying import (
+    PartitionedStore,
+    grid_partition,
+    kd_partition,
+    load_imbalance,
+    skewed_points,
+)
+
+
+@pytest.fixture
+def skew(rng, box):
+    return skewed_points(rng, 1500, box, n_hotspots=3, hotspot_sigma=40.0)
+
+
+@pytest.fixture
+def uniform(rng, box):
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(1500)]
+
+
+class TestPartitioners:
+    def test_grid_covers_all_points(self, uniform, box):
+        parts = grid_partition(uniform, box, 4)
+        assert sum(p.load for p in parts) == len(uniform)
+        assert len(parts) == 16
+
+    def test_kd_covers_all_points(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        assert sum(p.load for p in parts) == len(skew)
+
+    def test_kd_partitions_disjoint(self, skew, box):
+        parts = kd_partition(skew, box, 8)
+        seen = set()
+        for p in parts:
+            assert not (seen & set(p.point_indices))
+            seen |= set(p.point_indices)
+
+    def test_points_inside_their_partition_bbox(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        for part in parts:
+            for i in part.point_indices:
+                assert part.bbox.expand(1e-9).contains(skew[i])
+
+    def test_validation(self, uniform, box):
+        with pytest.raises(ValueError):
+            grid_partition(uniform, box, 0)
+        with pytest.raises(ValueError):
+            kd_partition(uniform, box, 0)
+
+
+class TestImbalance:
+    def test_kd_balances_skew_better_than_grid(self, skew, box):
+        grid = grid_partition(skew, box, 4)
+        kd = kd_partition(skew, box, 16)
+        assert load_imbalance(kd) < load_imbalance(grid)
+
+    def test_kd_near_perfect_on_skew(self, skew, box):
+        assert load_imbalance(kd_partition(skew, box, 16)) < 1.3
+
+    def test_uniform_data_grid_ok(self, uniform, box):
+        assert load_imbalance(grid_partition(uniform, box, 4)) < 1.6
+
+    def test_empty_partitions(self):
+        assert load_imbalance([]) == 1.0
+
+
+class TestPartitionedStore:
+    def test_results_match_brute_force(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 16))
+        q, r = Point(500, 500), 120.0
+        expected = sorted(
+            i for i, p in enumerate(skew) if p.distance_to(q) <= r
+        )
+        assert sorted(store.range_query(q, r)) == expected
+
+    def test_partitions_touched_less_than_total(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        store = PartitionedStore(skew, parts)
+        store.range_query(Point(200, 200), 50.0)
+        assert store.mean_partitions_per_query() < len(parts)
+
+    def test_query_counter(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 8))
+        store.range_query(Point(0, 0), 10)
+        store.range_query(Point(500, 500), 10)
+        assert store.queries_run == 2
+
+    def test_empty_store(self, box):
+        store = PartitionedStore([], grid_partition([], box, 2))
+        assert store.range_query(Point(0, 0), 100) == []

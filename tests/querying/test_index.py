@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.querying import (
+    GridIndex,
+    RTree,
+    brute_force_knn,
+    brute_force_range,
+    build_entries,
+)
+
+
+@pytest.fixture
+def points(rng):
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(400)]
+
+
+@pytest.fixture
+def entries(points):
+    return build_entries(points)
+
+
+@pytest.fixture
+def grid(entries, box):
+    g = GridIndex(box, 50.0)
+    for e in entries:
+        g.insert(e)
+    return g
+
+
+@pytest.fixture
+def rtree(entries):
+    return RTree(entries, leaf_capacity=8)
+
+
+QUERIES = [
+    (Point(500, 500), 100.0),
+    (Point(0, 0), 50.0),
+    (Point(999, 999), 300.0),
+    (Point(500, 500), 2000.0),  # covers everything
+    (Point(-100, -100), 10.0),  # empty
+]
+
+
+class TestGridIndex:
+    def test_len(self, grid, entries):
+        assert len(grid) == len(entries)
+
+    def test_cell_size_validated(self, box):
+        with pytest.raises(ValueError):
+            GridIndex(box, 0.0)
+
+    @pytest.mark.parametrize("center,radius", QUERIES)
+    def test_range_matches_brute_force(self, grid, entries, center, radius):
+        assert sorted(grid.range_query(center, radius)) == sorted(
+            brute_force_range(entries, center, radius)
+        )
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_knn_matches_brute_force(self, grid, entries, k):
+        q = Point(431, 207)
+        assert grid.knn(q, k) == brute_force_knn(entries, q, k)
+
+    def test_knn_query_outside_region(self, grid, entries):
+        q = Point(-200, 500)
+        assert grid.knn(q, 3) == brute_force_knn(entries, q, 3)
+
+    def test_empty_index(self, box):
+        g = GridIndex(box, 100.0)
+        assert g.range_query(Point(0, 0), 100) == []
+        assert g.knn(Point(0, 0), 5) == []
+
+
+class TestRTree:
+    def test_len(self, rtree, entries):
+        assert len(rtree) == len(entries)
+
+    def test_capacity_validated(self, entries):
+        with pytest.raises(ValueError):
+            RTree(entries, leaf_capacity=1)
+
+    @pytest.mark.parametrize("center,radius", QUERIES)
+    def test_range_matches_brute_force(self, rtree, entries, center, radius):
+        assert sorted(rtree.range_query(center, radius)) == sorted(
+            brute_force_range(entries, center, radius)
+        )
+
+    @pytest.mark.parametrize("k", [1, 7, 50])
+    def test_knn_matches_brute_force(self, rtree, entries, k):
+        q = Point(222, 888)
+        assert rtree.knn(q, k) == brute_force_knn(entries, q, k)
+
+    def test_knn_more_than_size(self, entries):
+        small = RTree(entries[:5])
+        assert len(small.knn(Point(0, 0), 100)) == 5
+
+    def test_empty_tree(self):
+        t = RTree([])
+        assert t.range_query(Point(0, 0), 10) == []
+        assert t.knn(Point(0, 0), 3) == []
+
+    def test_skewed_data(self, rng):
+        """STR loading must stay correct on clustered data."""
+        pts = [Point(rng.normal(100, 5), rng.normal(100, 5)) for _ in range(200)]
+        pts += [Point(rng.normal(900, 5), rng.normal(900, 5)) for _ in range(200)]
+        es = build_entries(pts)
+        t = RTree(es)
+        q = Point(100, 100)
+        assert sorted(t.range_query(q, 20)) == sorted(brute_force_range(es, q, 20))
+        assert t.knn(q, 10) == brute_force_knn(es, q, 10)
+
+    def test_duplicate_points(self):
+        es = build_entries([Point(5, 5)] * 20)
+        t = RTree(es)
+        assert sorted(t.range_query(Point(5, 5), 1)) == list(range(20))

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.querying import StreamEvent, WatermarkAggregator, run_stream
+
+
+def delayed_stream(rng, n=100, mean_delay=3.0):
+    return [
+        StreamEvent(float(t), float(t) + rng.exponential(mean_delay), float(t % 7))
+        for t in range(n)
+    ]
+
+
+class TestWatermarkAggregator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatermarkAggregator(0.0, 1.0)
+        with pytest.raises(ValueError):
+            WatermarkAggregator(10.0, -1.0)
+
+    def test_in_order_stream_fully_complete(self):
+        events = [StreamEvent(float(t), float(t), 1.0) for t in range(50)]
+        agg = run_stream(events, 10.0, 0.0)
+        assert agg.completeness() == 1.0
+        assert len(agg.results) == 5
+
+    def test_window_means_correct(self):
+        events = [StreamEvent(float(t), float(t), float(t)) for t in range(20)]
+        agg = run_stream(events, 10.0, 0.0)
+        first = next(r for r in agg.results if r.window_start == 0.0)
+        assert first.mean == pytest.approx(np.mean(range(10)))
+        assert first.count == 10
+
+    def test_zero_lateness_drops_late_events(self, rng):
+        events = delayed_stream(rng, 200, mean_delay=5.0)
+        agg = run_stream(events, 10.0, 0.0)
+        assert agg.completeness() < 1.0
+        assert sum(r.late_drops for r in agg.results) > 0
+
+    def test_lateness_tradeoff(self, rng):
+        """More allowed lateness: completeness up, latency up — the
+        quality-driven trade-off of [48]."""
+        events = delayed_stream(rng, 300, mean_delay=5.0)
+        comp, lat = [], []
+        for lateness in (0.0, 10.0, 40.0):
+            agg = run_stream(events, 10.0, lateness)
+            comp.append(agg.completeness())
+            lat.append(agg.mean_result_latency())
+        assert comp == sorted(comp)
+        assert lat == sorted(lat)
+        assert comp[-1] == 1.0
+
+    def test_flush_finalizes_tail(self, rng):
+        events = delayed_stream(rng, 40)
+        agg = WatermarkAggregator(10.0, 100.0)  # watermark never advances far
+        for e in sorted(events, key=lambda e: e.arrival_time):
+            agg.offer(e)
+        assert len(agg.results) == 0
+        agg.flush(1_000.0)
+        assert len(agg.results) == 4
+
+    def test_late_arrival_after_close_counted(self):
+        agg = WatermarkAggregator(10.0, 0.0)
+        agg.offer(StreamEvent(5.0, 0.0, 1.0))
+        agg.offer(StreamEvent(25.0, 1.0, 1.0))  # watermark 25 closes [0,10)
+        assert len(agg.results) == 1
+        agg.offer(StreamEvent(7.0, 2.0, 1.0))  # too late for its window
+        assert agg.results[0].late_drops == 1
+
+    def test_results_in_window_order(self, rng):
+        events = delayed_stream(rng, 200, 4.0)
+        agg = run_stream(events, 10.0, 5.0)
+        starts = [r.window_start for r in agg.results]
+        assert starts == sorted(starts)
+
+    def test_empty_stream(self):
+        agg = run_stream([], 10.0, 1.0)
+        assert agg.results == []
+        assert agg.completeness() == 1.0

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.querying import GridMobilityModel, predictive_range_query
+from repro.synth import RoadNetwork, correlated_random_walk, fleet
+
+
+@pytest.fixture
+def model(rng, box):
+    corpus = fleet(rng, 25, 80, box, speed_mean=8)
+    return GridMobilityModel(box, 100.0, step_time=5.0, v_max=15.0).fit(corpus)
+
+
+class TestGridMobilityModel:
+    def test_params_validated(self, box):
+        with pytest.raises(ValueError):
+            GridMobilityModel(box, 0, 1, 1)
+
+    def test_transition_matrix_stochastic(self, model):
+        a = model.transition_matrix()
+        assert np.allclose(a.sum(axis=1), 1.0)
+        assert (a >= 0).all()
+
+    def test_prediction_normalized(self, model):
+        d = model.predict_distribution(Point(500, 500), 25.0)
+        assert sum(d.weights) == pytest.approx(1.0)
+
+    def test_zero_horizon_stays_in_cell(self, model):
+        d = model.predict_distribution(Point(450, 450), 0.0)
+        assert len(d.points) == 1
+        assert d.points[0].distance_to(Point(450, 450)) < 100.0
+
+    def test_uncertainty_spreads_with_horizon(self, model):
+        near = model.predict_distribution(Point(500, 500), 5.0)
+        far = model.predict_distribution(Point(500, 500), 50.0)
+        assert len(far.points) >= len(near.points)
+
+    def test_negative_horizon_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.predict_distribution(Point(0, 0), -1.0)
+
+    def test_mass_respects_speed_budget(self, model):
+        """Short-horizon prediction cannot place mass far beyond reach."""
+        d = model.predict_distribution(Point(500, 500), 5.0)
+        # One step of 5 s at v_max 15 -> 75 m + cell slack.
+        for p, w in zip(d.points, d.weights):
+            if w > 0.01:
+                assert p.distance_to(Point(500, 500)) <= 75.0 + 2 * 100.0
+
+    def test_unseen_cell_uses_prior(self, box):
+        empty_model = GridMobilityModel(box, 100.0, 5.0, 15.0)  # never fitted
+        d = empty_model.predict_distribution(Point(500, 500), 10.0)
+        assert sum(d.weights) == pytest.approx(1.0)
+
+    def test_corpus_structure_shapes_prediction(self, rng, box):
+        """A corpus moving only east biases predictions eastward."""
+        from repro.core import Trajectory, TrajectoryPoint
+
+        east = [
+            Trajectory(
+                [
+                    TrajectoryPoint(50.0 + 10.0 * i, 500.0 + rng.normal(0, 5), float(i))
+                    for i in range(80)
+                ]
+            )
+            for _ in range(20)
+        ]
+        model = GridMobilityModel(box, 100.0, 5.0, 15.0).fit(east)
+        d = model.predict_distribution(Point(300, 500), 25.0, smoothing=0.01)
+        assert d.mean().x > 300.0
+
+
+class TestPredictiveRangeQuery:
+    def test_threshold_validated(self, model, center):
+        with pytest.raises(ValueError):
+            predictive_range_query(model, {}, center, 100, 10, 0.0)
+
+    def test_nearby_object_found_distant_not(self, model, center):
+        hits = predictive_range_query(
+            model,
+            {"near": center, "far": Point(50, 50)},
+            center,
+            200.0,
+            10.0,
+            0.2,
+        )
+        ids = [oid for oid, _ in hits]
+        assert "near" in ids
+        assert "far" not in ids
+
+    def test_sorted_by_probability(self, model, center):
+        positions = {f"o{i}": Point(400 + 50 * i, 500) for i in range(5)}
+        hits = predictive_range_query(model, positions, center, 300.0, 10.0, 0.01)
+        probs = [p for _, p in hits]
+        assert probs == sorted(probs, reverse=True)

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.querying import (
+    GridShuffleScheme,
+    OutsourcedStore,
+    PrivateQueryClient,
+    distance_leakage,
+)
+
+
+@pytest.fixture
+def setup(rng, box):
+    scheme = GridShuffleScheme(box, 16, b"test-key")
+    store = OutsourcedStore(16, box)
+    client = PrivateQueryClient(scheme, store)
+    points = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(300)]
+    client.upload(points)
+    return scheme, store, client, points
+
+
+class TestScheme:
+    def test_key_required(self, box):
+        with pytest.raises(ValueError):
+            GridShuffleScheme(box, 16, b"")
+
+    def test_grid_size_validated(self, box):
+        with pytest.raises(ValueError):
+            GridShuffleScheme(box, 1, b"k")
+
+    def test_transform_roundtrip(self, rng, box):
+        scheme = GridShuffleScheme(box, 16, b"k")
+        for _ in range(100):
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tp = scheme.transform(p, 0)
+            back = scheme.recover(tp)
+            assert back.distance_to(p) < 1e-9
+
+    def test_different_keys_different_layout(self, box):
+        a = GridShuffleScheme(box, 16, b"key-a")
+        b = GridShuffleScheme(box, 16, b"key-b")
+        p = Point(123, 456)
+        ta, tb = a.transform(p, 0), b.transform(p, 0)
+        assert (ta.x, ta.y) != (tb.x, tb.y)
+
+    def test_same_key_deterministic(self, box):
+        a = GridShuffleScheme(box, 16, b"key")
+        b = GridShuffleScheme(box, 16, b"key")
+        p = Point(123, 456)
+        assert a.transform(p, 0) == b.transform(p, 0)
+
+    def test_transform_moves_most_points(self, rng, box):
+        scheme = GridShuffleScheme(box, 16, b"key")
+        moved = 0
+        for _ in range(100):
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tp = scheme.transform(p, 0)
+            if Point(tp.x, tp.y).distance_to(p) > 1.0:
+                moved += 1
+        assert moved > 90
+
+
+class TestProtocol:
+    QUERIES = [(Point(400, 400), 90.0), (Point(50, 950), 200.0), (Point(500, 500), 30.0)]
+
+    @pytest.mark.parametrize("center,radius", QUERIES)
+    def test_results_exact(self, setup, center, radius):
+        _, _, client, points = setup
+        hits = sorted(client.range_query(center, radius))
+        truth = sorted(i for i, p in enumerate(points) if p.distance_to(center) <= radius)
+        assert hits == truth
+
+    def test_server_never_sees_true_coordinates(self, setup):
+        scheme, store, _, points = setup
+        # For each stored point, its server-side position differs from the
+        # true position unless the cell happened to map to itself.
+        same = 0
+        for cell_points in store._cells.values():
+            for tp in cell_points:
+                if Point(tp.x, tp.y).distance_to(points[tp.item_id]) < 1e-9:
+                    same += 1
+        assert same < len(points) * 0.05  # at most ~1/256 fixed cells
+
+    def test_server_work_counted(self, setup):
+        _, store, client, _ = setup
+        before = store.cells_fetched
+        client.range_query(Point(400, 400), 90.0)
+        assert store.cells_fetched > before
+
+
+class TestLeakage:
+    def test_low_distance_correlation(self, setup, rng):
+        scheme, _, _, points = setup
+        assert distance_leakage(scheme, points, rng) < 0.3
+
+    def test_identity_scheme_would_leak(self, rng, box):
+        """Sanity: without shuffling, distances correlate perfectly."""
+        points = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(100)]
+        true_d, same_d = [], []
+        for _ in range(300):
+            i, j = rng.choice(len(points), 2, replace=False)
+            d = points[int(i)].distance_to(points[int(j)])
+            true_d.append(d)
+            same_d.append(d)
+        assert abs(np.corrcoef(true_d, same_d)[0, 1]) > 0.999
+
+    def test_leakage_degenerate_inputs(self, rng, box):
+        scheme = GridShuffleScheme(box, 16, b"k")
+        assert distance_leakage(scheme, [Point(0, 0)], rng) == 0.0

@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BBox,
+    DiscreteLocation,
+    GaussianLocation,
+    Point,
+    UncertainPoint,
+    UniformDiskLocation,
+)
+from repro.querying import (
+    expected_distance_knn,
+    probabilistic_bbox_query,
+    probabilistic_knn,
+    probabilistic_range_query,
+    probabilistic_range_query_naive,
+)
+
+
+@pytest.fixture
+def objects(rng):
+    out = []
+    for i in range(150):
+        p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        kind = i % 3
+        if kind == 0:
+            loc = GaussianLocation(p, rng.uniform(5, 25))
+        elif kind == 1:
+            loc = UniformDiskLocation(p, rng.uniform(5, 40))
+        else:
+            pts = tuple(
+                Point(p.x + rng.normal(0, 10), p.y + rng.normal(0, 10)) for _ in range(8)
+            )
+            loc = DiscreteLocation.from_samples(pts)
+        out.append(UncertainPoint(f"o{i}", loc))
+    return out
+
+
+class TestRangeQuery:
+    def test_matches_naive(self, objects):
+        q = Point(500, 500)
+        hits, _ = probabilistic_range_query(objects, q, 150, 0.5)
+        naive = probabilistic_range_query_naive(objects, q, 150, 0.5)
+        assert sorted(hits) == sorted(naive)
+
+    def test_pruning_effective(self, objects):
+        _, stats = probabilistic_range_query(objects, Point(500, 500), 150, 0.5)
+        assert stats.pruning_ratio > 0.5
+        assert stats.total == len(objects)
+        assert stats.pruned_lower + stats.pruned_upper + stats.refined == stats.total
+
+    def test_threshold_validated(self, objects):
+        with pytest.raises(ValueError):
+            probabilistic_range_query(objects, Point(0, 0), 10, 0.0)
+
+    def test_higher_threshold_fewer_results(self, objects):
+        q = Point(500, 500)
+        low, _ = probabilistic_range_query(objects, q, 200, 0.1)
+        high, _ = probabilistic_range_query(objects, q, 200, 0.9)
+        assert set(high) <= set(low)
+
+    def test_certain_object_included(self):
+        obj = UncertainPoint("sure", GaussianLocation(Point(0, 0), 1.0))
+        hits, stats = probabilistic_range_query([obj], Point(0, 0), 100, 0.9)
+        assert hits == ["sure"]
+        assert stats.pruned_lower == 1  # decided by bound, no refinement
+
+    def test_distant_object_pruned(self):
+        obj = UncertainPoint("far", GaussianLocation(Point(5000, 5000), 1.0))
+        hits, stats = probabilistic_range_query([obj], Point(0, 0), 100, 0.1)
+        assert hits == []
+        assert stats.pruned_upper == 1
+
+    def test_empty_objects(self):
+        hits, stats = probabilistic_range_query([], Point(0, 0), 10, 0.5)
+        assert hits == [] and stats.pruning_ratio == 0.0
+
+
+class TestBBoxQuery:
+    def test_basic_semantics(self, objects):
+        box = BBox(400, 400, 600, 600)
+        hits, _ = probabilistic_bbox_query(objects, box, 0.5)
+        for o in objects:
+            p = o.location.prob_in_bbox(box)
+            if p >= 0.6:
+                assert o.object_id in hits
+            if p < 0.4:
+                assert o.object_id not in hits
+
+    def test_pruning_counts(self, objects):
+        _, stats = probabilistic_bbox_query(objects, BBox(400, 400, 600, 600), 0.5)
+        assert stats.pruned_upper > 0  # most objects are far away
+
+    def test_threshold_validated(self, objects):
+        with pytest.raises(ValueError):
+            probabilistic_bbox_query(objects, BBox(0, 0, 1, 1), 1.5)
+
+
+class TestProbabilisticKnn:
+    def test_returns_k_results(self, objects, rng):
+        res = probabilistic_knn(objects, Point(500, 500), 5, rng)
+        assert len(res) == 5
+        probs = [r.probability for r in res]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probabilities_valid(self, objects, rng):
+        res = probabilistic_knn(objects, Point(500, 500), 3, rng, n_samples=128)
+        assert all(0.0 <= r.probability <= 1.0 for r in res)
+
+    def test_clear_winner_has_high_probability(self, rng):
+        near = UncertainPoint("near", GaussianLocation(Point(0, 0), 1.0))
+        far = [
+            UncertainPoint(f"far{i}", GaussianLocation(Point(500 + i, 500), 1.0))
+            for i in range(5)
+        ]
+        res = probabilistic_knn([near] + far, Point(0, 0), 1, rng)
+        assert res[0].object_id == "near"
+        assert res[0].probability > 0.99
+
+    def test_k_validated(self, objects, rng):
+        with pytest.raises(ValueError):
+            probabilistic_knn(objects, Point(0, 0), 0, rng)
+
+    def test_empty(self, rng):
+        assert probabilistic_knn([], Point(0, 0), 3, rng) == []
+
+    def test_agrees_with_expected_distance_on_separated_data(self, rng):
+        """With well-separated objects both rankings coincide."""
+        objs = [
+            UncertainPoint(f"o{i}", GaussianLocation(Point(i * 200.0, 0), 5.0))
+            for i in range(6)
+        ]
+        q = Point(0, 0)
+        mc = [r.object_id for r in probabilistic_knn(objs, q, 3, rng)]
+        ed = expected_distance_knn(objs, q, 3)
+        assert set(mc) == set(ed)

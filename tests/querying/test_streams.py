@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.core import Point
+from repro.querying import NaiveRangeMonitor, SafeRegionRangeMonitor
+from repro.synth import fleet
+
+
+@pytest.fixture
+def moving_objects(rng, box):
+    return fleet(rng, 15, 150, box, speed_mean=4)
+
+
+def run_both(objects, center, radius, n_steps):
+    safe = SafeRegionRangeMonitor(center, radius)
+    naive = NaiveRangeMonitor(center, radius)
+    for step in range(n_steps):
+        for t in objects:
+            p = t[step].point
+            safe.observe(t.object_id, p)
+            naive.observe(t.object_id, p)
+    return safe, naive
+
+
+class TestSafeRegionMonitor:
+    def test_radius_validated(self):
+        with pytest.raises(ValueError):
+            SafeRegionRangeMonitor(Point(0, 0), 0.0)
+
+    def test_answer_matches_naive_throughout(self, moving_objects):
+        center = Point(500, 500)
+        safe = SafeRegionRangeMonitor(center, 200)
+        naive = NaiveRangeMonitor(center, 200)
+        for step in range(100):
+            for t in moving_objects:
+                p = t[step].point
+                safe.observe(t.object_id, p)
+                naive.observe(t.object_id, p)
+            assert safe.answer() == naive.answer(), f"diverged at step {step}"
+
+    def test_messages_saved(self, moving_objects):
+        safe, naive = run_both(moving_objects, Point(500, 500), 200, 150)
+        assert safe.stats.message_ratio() < 0.3
+        assert naive.stats.message_ratio() == 1.0
+
+    def test_first_update_always_sent(self):
+        m = SafeRegionRangeMonitor(Point(0, 0), 100)
+        m.observe("a", Point(10, 10))
+        assert m.stats.messages_sent == 1
+
+    def test_movement_within_safe_region_silent(self):
+        m = SafeRegionRangeMonitor(Point(0, 0), 100)
+        m.observe("a", Point(0, 0))  # safe radius = 100
+        m.observe("a", Point(10, 0))
+        m.observe("a", Point(20, 5))
+        assert m.stats.messages_sent == 1
+
+    def test_boundary_crossing_reported(self):
+        m = SafeRegionRangeMonitor(Point(0, 0), 100)
+        m.observe("a", Point(50, 0))  # inside, safe radius 50
+        changed = m.observe("a", Point(150, 0))  # outside
+        assert changed
+        assert m.answer() == set()
+
+    def test_stationary_object_one_message(self):
+        m = SafeRegionRangeMonitor(Point(0, 0), 100)
+        for _ in range(50):
+            m.observe("a", Point(30, 30))
+        assert m.stats.messages_sent == 1
+        assert m.stats.updates_seen == 50
+
+
+class TestNaiveMonitor:
+    def test_counts_answer_changes(self):
+        m = NaiveRangeMonitor(Point(0, 0), 100)
+        m.observe("a", Point(10, 0))  # enters
+        m.observe("a", Point(20, 0))  # stays
+        m.observe("a", Point(500, 0))  # leaves
+        assert m.stats.answer_changes == 2
+
+    def test_empty_stats(self):
+        m = NaiveRangeMonitor(Point(0, 0), 10)
+        assert m.stats.message_ratio() == 0.0

@@ -1,0 +1,146 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point, Trajectory, TrajectoryPoint
+from repro.querying import Bead, MarkovBridge, alibi_query, bead_at, uniform_disk_at
+from repro.synth import correlated_random_walk
+
+
+@pytest.fixture
+def sparse(rng, box):
+    dense = correlated_random_walk(rng, 60, box, speed_mean=6, interval=2.0)
+    return dense, dense.downsample(6)
+
+
+class TestBead:
+    def test_radii(self):
+        b = Bead(Point(0, 0), 0.0, Point(100, 0), 10.0, v_max=20.0, t=4.0)
+        assert b.r1 == 80.0 and b.r2 == 120.0
+
+    def test_time_outside_rejected(self):
+        with pytest.raises(ValueError):
+            Bead(Point(0, 0), 0.0, Point(10, 0), 10.0, 5.0, t=11.0)
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(ValueError):
+            Bead(Point(0, 0), 0.0, Point(1000, 0), 10.0, v_max=5.0, t=5.0)
+
+    def test_contains_straight_line_point(self):
+        b = Bead(Point(0, 0), 0.0, Point(100, 0), 10.0, 20.0, 5.0)
+        assert b.contains(Point(50, 0))
+
+    def test_excludes_unreachable_point(self):
+        b = Bead(Point(0, 0), 0.0, Point(100, 0), 10.0, 11.0, 5.0)
+        assert not b.contains(Point(50, 300))
+
+    def test_samples_inside(self, rng):
+        b = Bead(Point(0, 0), 0.0, Point(100, 0), 10.0, 15.0, 5.0)
+        for x, y in b.sample(rng, 300):
+            assert b.contains(Point(float(x), float(y)))
+
+    def test_prob_within_total(self, rng):
+        b = Bead(Point(0, 0), 0.0, Point(100, 0), 10.0, 15.0, 5.0)
+        assert b.prob_within(Point(50, 0), 500.0, rng) == 1.0
+        assert b.prob_within(Point(5000, 0), 10.0, rng) == 0.0
+
+    def test_bbox_contains_samples(self, rng):
+        b = Bead(Point(0, 0), 0.0, Point(100, 50), 10.0, 20.0, 3.0)
+        box = b.bbox()
+        for x, y in b.sample(rng, 200):
+            assert box.contains(Point(float(x), float(y)))
+
+    def test_degenerate_bead_contact_point(self, rng):
+        """Exactly-reachable endpoints leave a single feasible point."""
+        b = Bead(Point(0, 0), 0.0, Point(100, 0), 10.0, v_max=10.0, t=5.0)
+        s = b.sample(rng, 10)
+        for x, y in s:
+            assert abs(y) < 2.0 and abs(x - 50) < 2.0
+
+
+class TestBeadAt:
+    def test_true_position_always_inside(self, sparse):
+        dense, coarse = sparse
+        v_max = float(dense.speeds().max()) * 1.2 + 1.0
+        for t in np.linspace(coarse.times[0], coarse.times[-1], 25):
+            bead = bead_at(coarse, float(t), v_max)
+            assert bead.contains(dense.position_at(float(t)))
+
+    def test_outside_span_rejected(self, sparse):
+        _, coarse = sparse
+        with pytest.raises(ValueError):
+            bead_at(coarse, coarse.times[-1] + 100, 10.0)
+
+
+class TestUniformDisk:
+    def test_radius_zero_at_samples(self, sparse):
+        _, coarse = sparse
+        d = uniform_disk_at(coarse, coarse.times[0], v_max=10.0)
+        assert d.radius <= 1e-5
+
+    def test_radius_peaks_mid_gap(self, sparse):
+        _, coarse = sparse
+        t0, t1 = coarse.times[0], coarse.times[1]
+        mid = uniform_disk_at(coarse, (t0 + t1) / 2, 10.0)
+        near = uniform_disk_at(coarse, t0 + (t1 - t0) * 0.1, 10.0)
+        assert mid.radius > near.radius
+
+    def test_center_interpolated(self, sparse):
+        _, coarse = sparse
+        t0, t1 = coarse.times[0], coarse.times[1]
+        d = uniform_disk_at(coarse, (t0 + t1) / 2, 10.0)
+        expected = coarse.position_at((t0 + t1) / 2)
+        assert d.center.distance_to(expected) < 1e-9
+
+
+class TestAlibi:
+    def test_visited_region_positive(self, sparse):
+        dense, coarse = sparse
+        v_max = float(dense.speeds().max()) * 1.2 + 1.0
+        visited = dense.position_at(dense.times[len(dense) // 2])
+        assert alibi_query(
+            coarse, visited, 30.0, coarse.times[0], coarse.times[-1], v_max
+        )
+
+    def test_unreachable_region_negative(self, sparse):
+        dense, coarse = sparse
+        v_max = float(dense.speeds().max()) * 1.2 + 1.0
+        far = Point(dense[0].x + 100_000, dense[0].y)
+        assert not alibi_query(
+            coarse, far, 30.0, coarse.times[0], coarse.times[-1], v_max
+        )
+
+    def test_no_time_overlap(self, sparse):
+        _, coarse = sparse
+        assert not alibi_query(coarse, Point(0, 0), 10.0, 1e6, 2e6, 10.0)
+
+
+class TestMarkovBridge:
+    def test_params_validated(self, box):
+        with pytest.raises(ValueError):
+            MarkovBridge(box, 0, 10)
+
+    def test_distribution_normalized(self, box):
+        mb = MarkovBridge(box, 100, v_max=50.0)
+        d = mb.bridge_distribution(Point(100, 100), 0.0, Point(500, 500), 20.0, 10.0)
+        assert sum(d.weights) == pytest.approx(1.0)
+
+    def test_collapses_at_endpoints(self, box):
+        mb = MarkovBridge(box, 100, v_max=50.0)
+        d0 = mb.bridge_distribution(Point(150, 150), 0.0, Point(850, 850), 20.0, 0.0)
+        assert d0.mean().distance_to(Point(150, 150)) < 150.0
+
+    def test_midpoint_mass_near_straight_path(self, box):
+        mb = MarkovBridge(box, 100, v_max=60.0)
+        d = mb.bridge_distribution(Point(100, 500), 0.0, Point(900, 500), 20.0, 10.0)
+        assert d.mean().distance_to(Point(500, 500)) < 200.0
+
+    def test_time_outside_rejected(self, box):
+        mb = MarkovBridge(box, 100, 50.0)
+        with pytest.raises(ValueError):
+            mb.bridge_distribution(Point(0, 0), 0.0, Point(1, 1), 10.0, 20.0)
+
+    def test_unreachable_fallback(self, box):
+        mb = MarkovBridge(box, 100, v_max=1.0)  # cannot cross the box in time
+        d = mb.bridge_distribution(Point(50, 50), 0.0, Point(950, 950), 2.0, 1.0)
+        # Falls back to the midpoint rather than crashing.
+        assert len(d.points) == 1

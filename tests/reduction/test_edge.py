@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.core import Point, STSeries
+from repro.reduction import EdgeNode, cloud_only_baseline
+from repro.reduction.edge import RAW_RECORD_BYTES
+from repro.synth import SmoothField, random_sensor_sites
+
+
+@pytest.fixture
+def network(rng, box):
+    field = SmoothField(rng, box, n_bumps=4)
+    sites = random_sensor_sites(rng, 8, box)
+    times = np.arange(0, 1500, 10.0)
+    return field.sample_sensors(sites, times, rng, noise_sigma=0.1)
+
+
+class TestEdgeNode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeNode(tolerance=-1.0)
+        with pytest.raises(ValueError):
+            EdgeNode(tolerance=1.0, flush_every=0)
+
+    def test_error_bound_holds(self, network):
+        node = EdgeNode(tolerance=0.5)
+        result = node.run(network)
+        assert result.max_error(network) <= 0.5 + 1e-9
+
+    def test_volume_shrinks_tier_by_tier(self, network):
+        node = EdgeNode(tolerance=0.5)
+        result = node.run(network)
+        raw = cloud_only_baseline(network)
+        assert result.device_to_edge.payload_bytes < raw.payload_bytes
+        assert result.edge_to_cloud.payload_bytes < result.device_to_edge.payload_bytes
+
+    def test_reduction_factor_substantial(self, network):
+        node = EdgeNode(tolerance=0.5)
+        result = node.run(network)
+        raw = cloud_only_baseline(network)
+        assert result.reduction_vs_raw(raw.records) > 10.0
+
+    def test_tolerance_controls_traffic(self, network):
+        tight = EdgeNode(tolerance=0.1).run(network)
+        loose = EdgeNode(tolerance=2.0).run(network)
+        assert loose.edge_to_cloud.payload_bytes <= tight.edge_to_cloud.payload_bytes
+        assert loose.max_error(network) <= 2.0 + 1e-9
+
+    def test_reconstruction_shape(self, network):
+        result = EdgeNode(0.5).run(network)
+        for s in network:
+            assert result.reconstructions[s.sensor_id].shape == (len(s),)
+
+    def test_constant_sensor_one_record(self):
+        s = STSeries("c", Point(0, 0), np.arange(100.0), np.full(100, 5.0))
+        result = EdgeNode(0.5).run([s])
+        assert result.device_to_edge.records == 1
+        assert result.max_error([s]) == 0.0
+
+    def test_raw_record_size(self):
+        assert RAW_RECORD_BYTES == 18
+
+
+class TestBaseline:
+    def test_counts_everything(self, network):
+        raw = cloud_only_baseline(network)
+        total = sum(len(s) for s in network)
+        assert raw.records == total
+        assert raw.payload_bytes == total * RAW_RECORD_BYTES

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, TrajectoryPoint
+from repro.reduction import (
+    DeadReckoningReporter,
+    SquishE,
+    max_sed_error,
+    opening_window,
+    reconstruct_dead_reckoning,
+)
+from repro.synth import correlated_random_walk
+
+
+@pytest.fixture
+def long_walk(rng, big_box):
+    return correlated_random_walk(rng, 300, big_box, speed_mean=8, turn_sigma=0.25)
+
+
+class TestOpeningWindow:
+    def test_sed_bound_holds(self, long_walk):
+        eps = 10.0
+        out = opening_window(long_walk, eps)
+        assert max_sed_error(long_walk, out) <= eps + 1e-9
+
+    def test_keeps_endpoints(self, long_walk):
+        out = opening_window(long_walk, 10.0)
+        assert out[0] == long_walk[0] and out[-1] == long_walk[-1]
+
+    def test_compresses(self, long_walk):
+        assert len(opening_window(long_walk, 15.0)) < len(long_walk)
+
+    def test_validation(self, long_walk):
+        with pytest.raises(ValueError):
+            opening_window(long_walk, -0.1)
+
+    def test_short_passthrough(self, long_walk):
+        assert opening_window(long_walk[0:2], 5.0) == long_walk[0:2]
+
+
+class TestDeadReckoning:
+    def test_first_point_always_sent(self, long_walk):
+        dr = DeadReckoningReporter(10.0)
+        assert dr.offer(long_walk[0]) is True
+
+    def test_stationary_object_sends_once(self):
+        t = Trajectory([TrajectoryPoint(0, 0, float(i)) for i in range(20)])
+        dr = DeadReckoningReporter(5.0)
+        sent = dr.run(t)
+        assert len(sent) == 1
+
+    def test_uniform_motion_sends_little(self):
+        t = Trajectory([TrajectoryPoint(2.0 * i, 0, float(i)) for i in range(100)])
+        dr = DeadReckoningReporter(5.0)
+        sent = dr.run(t)
+        # After the velocity is learned from the second report the linear
+        # prediction is exact.
+        assert len(sent) <= 3
+
+    def test_threshold_controls_messages(self, long_walk):
+        tight = len(DeadReckoningReporter(2.0).run(long_walk))
+        loose = len(DeadReckoningReporter(50.0).run(long_walk))
+        assert loose < tight
+
+    def test_reconstruction_bounded_at_samples(self, long_walk):
+        threshold = 20.0
+        dr = DeadReckoningReporter(threshold)
+        sent = dr.run(long_walk)
+        recon = reconstruct_dead_reckoning(sent, long_walk.times)
+        for p, (x, y) in zip(long_walk.points, recon):
+            assert np.hypot(p.x - x, p.y - y) <= threshold + 1e-6
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DeadReckoningReporter(-1.0)
+
+
+class TestSquishE:
+    def test_sed_bound_holds(self, long_walk):
+        eps = 10.0
+        out = SquishE(eps).simplify(long_walk)
+        assert max_sed_error(long_walk, out) <= eps + 1e-9
+
+    def test_keeps_endpoints(self, long_walk):
+        out = SquishE(8.0).simplify(long_walk)
+        assert out[0] == long_walk[0] and out[-1] == long_walk[-1]
+
+    def test_compresses_more_with_larger_epsilon(self, long_walk):
+        small = len(SquishE(2.0).simplify(long_walk))
+        large = len(SquishE(40.0).simplify(long_walk))
+        assert large <= small
+
+    def test_zero_epsilon_keeps_almost_everything(self, long_walk):
+        out = SquishE(0.0).simplify(long_walk)
+        assert max_sed_error(long_walk, out) <= 1e-9
+
+    def test_straight_uniform_motion_collapses(self):
+        t = Trajectory([TrajectoryPoint(float(i), 0, float(i)) for i in range(50)])
+        out = SquishE(0.5).simplify(t)
+        assert len(out) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquishE(-1.0)
+
+    def test_short_passthrough(self, long_walk):
+        t = long_walk[0:2]
+        assert SquishE(5.0).simplify(t) == t

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.reduction import (
+    along_route_error,
+    compress_trip,
+    decode_route,
+    decompress_trip,
+    encode_route,
+)
+from repro.synth import RoadNetwork
+
+
+@pytest.fixture
+def net():
+    return RoadNetwork.grid(6, 6, spacing=250.0)
+
+
+@pytest.fixture
+def trip(net, rng):
+    route = net.random_route(rng, min_edges=10)
+    traj = net.trajectory_along_path(route, speed=12.0, interval=1.0)
+    return route, traj
+
+
+class TestRouteCodec:
+    def test_roundtrip(self, net, rng):
+        route = net.random_route(rng, min_edges=8)
+        data = encode_route(net, route)
+        decoded, _ = decode_route(net, data)
+        assert decoded == route
+
+    def test_single_node_route(self, net):
+        data = encode_route(net, [7])
+        decoded, _ = decode_route(net, data)
+        assert decoded == [7]
+
+    def test_empty_rejected(self, net):
+        with pytest.raises(ValueError):
+            encode_route(net, [])
+
+    def test_route_bits_small(self, net, rng):
+        """Grid nodes have <= 4 neighbors: ~2 bits per hop."""
+        route = net.random_route(rng, min_edges=9)
+        data = encode_route(net, route)
+        # Raw encoding would need ~8 bytes per node.
+        assert len(data) < len(route) * 2
+
+
+class TestTripCodec:
+    def test_roundtrip_within_bound(self, net, trip):
+        route, traj = trip
+        eps = 8.0
+        compressed = compress_trip(net, route, traj, epsilon=eps)
+        restored = decompress_trip(net, compressed)
+        assert along_route_error(net, route, traj, restored) <= eps + 1.0
+
+    def test_restored_points_on_network(self, net, trip):
+        route, traj = trip
+        restored = decompress_trip(net, compress_trip(net, route, traj))
+        for p in restored:
+            _, _, d = net.snap(p.point)
+            assert d < 1e-6
+
+    def test_strong_byte_compression(self, net, trip):
+        route, traj = trip
+        compressed = compress_trip(net, route, traj, epsilon=10.0)
+        assert compressed.byte_ratio() > 10.0
+
+    def test_epsilon_ratio_tradeoff(self, net, trip):
+        route, traj = trip
+        tight = compress_trip(net, route, traj, epsilon=1.0)
+        loose = compress_trip(net, route, traj, epsilon=50.0)
+        assert loose.n_bytes <= tight.n_bytes
+
+    def test_restored_times_monotone(self, net, trip):
+        route, traj = trip
+        restored = decompress_trip(net, compress_trip(net, route, traj))
+        ts = restored.times
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_endpoint_times_preserved(self, net, trip):
+        route, traj = trip
+        restored = decompress_trip(net, compress_trip(net, route, traj))
+        assert restored.times[0] == pytest.approx(traj.times[0], abs=0.1)
+        assert restored.times[-1] == pytest.approx(traj.times[-1], abs=0.1)

@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory, TrajectoryPoint
+from repro.reduction import (
+    compression_ratio,
+    douglas_peucker,
+    max_perpendicular_error,
+    max_sed_error,
+    td_tr,
+    uniform_simplify,
+)
+from repro.synth import correlated_random_walk
+
+
+@pytest.fixture
+def long_walk(rng, big_box):
+    return correlated_random_walk(rng, 400, big_box, speed_mean=8, turn_sigma=0.2)
+
+
+class TestDouglasPeucker:
+    def test_keeps_endpoints(self, long_walk):
+        out = douglas_peucker(long_walk, 10.0)
+        assert out[0] == long_walk[0] and out[-1] == long_walk[-1]
+
+    def test_perpendicular_bound_holds(self, long_walk):
+        eps = 15.0
+        out = douglas_peucker(long_walk, eps)
+        assert max_perpendicular_error(long_walk, out) <= eps + 1e-9
+
+    def test_straight_line_collapses(self):
+        t = Trajectory([TrajectoryPoint(float(i), 0, float(i)) for i in range(100)])
+        assert len(douglas_peucker(t, 0.1)) == 2
+
+    def test_zero_epsilon_keeps_shape(self, long_walk):
+        out = douglas_peucker(long_walk, 0.0)
+        assert max_perpendicular_error(long_walk, out) <= 1e-9
+
+    def test_ratio_monotone_in_epsilon(self, long_walk):
+        r_small = compression_ratio(long_walk, douglas_peucker(long_walk, 2.0))
+        r_big = compression_ratio(long_walk, douglas_peucker(long_walk, 50.0))
+        assert r_big >= r_small
+
+    def test_negative_epsilon_rejected(self, long_walk):
+        with pytest.raises(ValueError):
+            douglas_peucker(long_walk, -1.0)
+
+    def test_short_trajectory_passthrough(self, long_walk):
+        t = long_walk[0:2]
+        assert douglas_peucker(t, 1.0) == t
+
+
+class TestTDTR:
+    def test_sed_bound_holds(self, long_walk):
+        eps = 12.0
+        out = td_tr(long_walk, eps)
+        assert max_sed_error(long_walk, out) <= eps + 1e-9
+
+    def test_dp_may_violate_sed_where_tdtr_does_not(self, rng, big_box):
+        """The [70] distinction: DP's perpendicular bound is not an SED
+        bound.  On speed-varying trajectories DP's SED error can exceed
+        epsilon, TD-TR's cannot."""
+        # Variable-speed motion along a line: spatially collinear, so DP
+        # collapses everything; SED error is then dominated by timing.
+        pts = []
+        x = 0.0
+        for i in range(60):
+            x += 1.0 if i % 10 < 5 else 20.0
+            pts.append(TrajectoryPoint(x, 0.0, float(i)))
+        t = Trajectory(pts)
+        eps = 5.0
+        dp = douglas_peucker(t, eps)
+        td = td_tr(t, eps)
+        assert max_sed_error(t, td) <= eps + 1e-9
+        assert max_sed_error(t, dp) > eps
+
+    def test_keeps_endpoints(self, long_walk):
+        out = td_tr(long_walk, 10.0)
+        assert out[0] == long_walk[0] and out[-1] == long_walk[-1]
+
+    def test_compresses(self, long_walk):
+        assert compression_ratio(long_walk, td_tr(long_walk, 10.0)) > 1.5
+
+
+class TestUniform:
+    def test_target_respected(self, long_walk):
+        out = uniform_simplify(long_walk, 20)
+        assert len(out) <= 20
+
+    def test_identity_when_target_large(self, long_walk):
+        assert uniform_simplify(long_walk, 10_000) == long_walk
+
+    def test_validation(self, long_walk):
+        with pytest.raises(ValueError):
+            uniform_simplify(long_walk, 1)
+
+    def test_no_error_guarantee(self, long_walk):
+        """Uniform sampling offers no bound: error grows with compression."""
+        light = max_sed_error(long_walk, uniform_simplify(long_walk, 200))
+        heavy = max_sed_error(long_walk, uniform_simplify(long_walk, 5))
+        assert heavy >= light
+
+
+class TestMetrics:
+    def test_ratio(self, long_walk):
+        out = uniform_simplify(long_walk, 100)
+        assert compression_ratio(long_walk, out) == pytest.approx(
+            len(long_walk) / len(out)
+        )
+
+    def test_ratio_empty_rejected(self, long_walk):
+        with pytest.raises(ValueError):
+            compression_ratio(long_walk, Trajectory([]))
+
+    def test_sed_error_zero_for_identity(self, long_walk):
+        assert max_sed_error(long_walk, long_walk) == pytest.approx(0.0)
+
+    def test_perp_error_zero_for_identity(self, long_walk):
+        assert max_perpendicular_error(long_walk, long_walk) == pytest.approx(0.0)

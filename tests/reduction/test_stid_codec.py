@@ -1,0 +1,156 @@
+import numpy as np
+import pytest
+
+from repro.reduction import (
+    compress_series_lossless,
+    decompress_series_lossless,
+    ltc_compress,
+    ltc_decompress,
+    series_byte_ratio,
+)
+from repro.reduction.stid_codec import (
+    BitReader,
+    BitWriter,
+    decode_varint,
+    encode_varint,
+    golomb_rice_decode,
+    golomb_rice_encode,
+    optimal_rice_k,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestBitIO:
+    def test_roundtrip_bits(self):
+        w = BitWriter()
+        w.write_bits(0b10110, 5)
+        w.write_bits(0b01, 2)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(5) == 0b10110
+        assert r.read_bits(2) == 0b01
+
+    def test_unary_roundtrip(self):
+        w = BitWriter()
+        for v in (0, 1, 5, 12):
+            w.write_unary(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_unary() for _ in range(4)] == [0, 1, 5, 12]
+
+    def test_exhausted_stream_raises(self):
+        r = BitReader(b"")
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+
+class TestVarintZigzag:
+    @pytest.mark.parametrize("v", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_varint_roundtrip(self, v):
+        buf = bytearray()
+        encode_varint(v, buf)
+        out, pos = decode_varint(bytes(buf), 0)
+        assert out == v and pos == len(buf)
+
+    def test_varint_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1, bytearray())
+
+    @pytest.mark.parametrize("v", [0, 1, -1, 2, -2, 1000, -1000])
+    def test_zigzag_roundtrip(self, v):
+        assert zigzag_decode(zigzag_encode(v)) == v
+
+    def test_zigzag_order(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+
+class TestRice:
+    def test_roundtrip(self):
+        values = [0, 3, 17, 255, 1, 0, 9]
+        for k in (0, 2, 4):
+            w = BitWriter()
+            golomb_rice_encode(values, k, w)
+            r = BitReader(w.getvalue())
+            assert golomb_rice_decode(r, len(values), k) == values
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_rice_encode([-1], 2, BitWriter())
+
+    def test_optimal_k(self):
+        assert optimal_rice_k([]) == 0
+        assert optimal_rice_k([1, 1, 1]) == 0
+        assert optimal_rice_k([16] * 10) == 4
+
+
+class TestLossless:
+    def test_exact_roundtrip_random_walk(self, rng):
+        vals = np.round(np.cumsum(rng.normal(0, 0.5, 300)) + 20.0, 2)
+        blob = compress_series_lossless(vals, scale=100.0)
+        back = decompress_series_lossless(blob)
+        assert np.allclose(back, vals, atol=1e-9)
+
+    def test_compression_ratio_on_smooth_data(self, rng):
+        vals = np.round(np.sin(np.arange(1000) / 50.0) * 5 + 20, 2)
+        blob = compress_series_lossless(vals, 100.0)
+        assert series_byte_ratio(vals, blob) > 4.0
+
+    def test_empty_series(self):
+        blob = compress_series_lossless(np.array([]))
+        assert decompress_series_lossless(blob).size == 0
+
+    def test_single_value(self):
+        blob = compress_series_lossless(np.array([42.13]), 100.0)
+        assert decompress_series_lossless(blob).tolist() == [42.13]
+
+    def test_negative_values(self, rng):
+        vals = np.round(rng.normal(-50, 10, 100), 2)
+        back = decompress_series_lossless(compress_series_lossless(vals, 100.0))
+        assert np.allclose(back, vals)
+
+    def test_quantization_scale(self):
+        vals = np.array([1.234567])
+        back = decompress_series_lossless(compress_series_lossless(vals, 100.0))
+        assert back[0] == pytest.approx(1.23, abs=0.005)
+
+
+class TestLTC:
+    def test_error_bound_holds(self, rng):
+        t = np.arange(500.0)
+        vals = np.cumsum(rng.normal(0, 0.4, 500)) + 10
+        eps = 1.0
+        knots = ltc_compress(t, vals, eps)
+        recon = ltc_decompress(knots, t)
+        assert np.max(np.abs(recon - vals)) <= eps + 1e-9
+
+    def test_linear_signal_two_knots(self):
+        t = np.arange(100.0)
+        vals = 0.5 * t + 3.0
+        knots = ltc_compress(t, vals, 0.1)
+        assert len(knots) == 2
+
+    def test_higher_epsilon_fewer_knots(self, rng):
+        t = np.arange(300.0)
+        vals = np.cumsum(rng.normal(0, 1.0, 300))
+        n_tight = len(ltc_compress(t, vals, 0.5))
+        n_loose = len(ltc_compress(t, vals, 5.0))
+        assert n_loose <= n_tight
+
+    def test_single_point(self):
+        knots = ltc_compress(np.array([0.0]), np.array([7.0]), 1.0)
+        assert len(knots) == 1
+        assert ltc_decompress(knots, np.array([0.0]))[0] == 7.0
+
+    def test_empty(self):
+        assert ltc_compress(np.array([]), np.array([]), 1.0) == []
+
+    def test_unordered_times_rejected(self):
+        with pytest.raises(ValueError):
+            ltc_compress(np.array([0.0, 0.0, 1.0]), np.zeros(3), 1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ltc_compress(np.arange(3.0), np.zeros(2), 1.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            ltc_compress(np.arange(3.0), np.zeros(3), -1.0)

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.reduction import suppress_constant, suppress_linear
+
+
+@pytest.fixture
+def noisy_signal(rng):
+    t = np.arange(400.0)
+    return t, np.sin(t / 40.0) * 5 + rng.normal(0, 0.1, 400) + 20
+
+
+class TestConstantSuppression:
+    def test_error_bound_holds(self, noisy_signal):
+        _, vals = noisy_signal
+        tol = 0.5
+        res = suppress_constant(vals, tol)
+        assert res.max_error(vals) <= tol + 1e-9
+
+    def test_messages_saved(self, noisy_signal):
+        _, vals = noisy_signal
+        res = suppress_constant(vals, 0.5)
+        assert res.message_ratio() < 0.5
+
+    def test_constant_signal_one_message(self):
+        res = suppress_constant(np.full(50, 7.0), 0.1)
+        assert res.messages_sent == 1
+
+    def test_zero_tolerance_sends_on_every_change(self):
+        vals = np.array([1.0, 1.0, 2.0, 2.0, 3.0])
+        res = suppress_constant(vals, 0.0)
+        assert res.messages_sent == 3
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            suppress_constant(np.zeros(3), -1.0)
+
+    def test_empty(self):
+        res = suppress_constant(np.array([]), 1.0)
+        assert res.messages_sent == 0
+
+    def test_tolerance_message_tradeoff(self, noisy_signal):
+        _, vals = noisy_signal
+        tight = suppress_constant(vals, 0.2).messages_sent
+        loose = suppress_constant(vals, 2.0).messages_sent
+        assert loose < tight
+
+
+class TestLinearSuppression:
+    def test_error_bound_holds(self, noisy_signal):
+        t, vals = noisy_signal
+        tol = 0.5
+        res = suppress_linear(t, vals, tol)
+        assert res.max_error(vals) <= tol + 1e-9
+
+    def test_linear_trend_needs_two_messages(self):
+        t = np.arange(100.0)
+        vals = 0.3 * t + 5.0
+        res = suppress_linear(t, vals, 0.01)
+        assert res.messages_sent == 2
+
+    def test_constant_predictor_beats_linear_on_noise(self, rng):
+        """The tutorial's robustness caveat: on pure noise the linear
+        predictor overreacts (slope chases noise) vs the constant one."""
+        t = np.arange(500.0)
+        vals = rng.normal(0, 1.0, 500) * 0.3 + 10.0
+        const_msgs = suppress_constant(vals, 1.0).messages_sent
+        lin_msgs = suppress_linear(t, vals, 1.0).messages_sent
+        assert const_msgs <= lin_msgs
+
+    def test_linear_beats_constant_on_trend(self):
+        t = np.arange(200.0)
+        vals = 0.5 * t
+        const_msgs = suppress_constant(vals, 1.0).messages_sent
+        lin_msgs = suppress_linear(t, vals, 1.0).messages_sent
+        assert lin_msgs < const_msgs
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            suppress_linear(np.arange(3.0), np.zeros(2), 1.0)
+
+    def test_reconstruction_matches_sent_points(self, noisy_signal):
+        t, vals = noisy_signal
+        res = suppress_linear(t, vals, 0.5)
+        sent_idx = np.flatnonzero(res.sent_mask)
+        assert np.allclose(res.reconstruction[sent_idx], vals[sent_idx])

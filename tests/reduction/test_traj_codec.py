@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.core import Trajectory
+from repro.reduction import (
+    decode_trajectory,
+    encode_trajectory,
+    max_sed_error,
+    simplify_then_encode,
+    trajectory_byte_ratio,
+)
+from repro.synth import correlated_random_walk
+
+
+@pytest.fixture
+def long_walk(rng, big_box):
+    return correlated_random_walk(rng, 400, big_box, speed_mean=8)
+
+
+class TestCodec:
+    def test_roundtrip_within_quantization(self, long_walk):
+        blob = encode_trajectory(long_walk, space_scale=10.0, time_scale=10.0)
+        back = decode_trajectory(blob)
+        assert len(back) == len(long_walk)
+        worst = max(a.distance_to(b) for a, b in zip(long_walk.points, back.points))
+        # Quantization grid 0.1 m -> max error sqrt(2)*0.05.
+        assert worst <= 0.08
+        assert np.allclose(back.times, long_walk.times, atol=0.051)
+
+    def test_exact_on_grid_aligned_data(self):
+        from repro.core import TrajectoryPoint
+
+        t = Trajectory(
+            [TrajectoryPoint(i * 0.5, i * 1.5, float(i)) for i in range(50)]
+        )
+        back = decode_trajectory(encode_trajectory(t, 10.0, 10.0))
+        assert back == t
+
+    def test_compression_beats_raw(self, long_walk):
+        blob = encode_trajectory(long_walk)
+        assert trajectory_byte_ratio(long_walk, blob) > 4.0
+
+    def test_empty(self):
+        blob = encode_trajectory(Trajectory([]))
+        assert len(decode_trajectory(blob)) == 0
+
+    def test_single_point(self):
+        from repro.core import TrajectoryPoint
+
+        t = Trajectory([TrajectoryPoint(12.3, -4.5, 7.0)])
+        back = decode_trajectory(encode_trajectory(t))
+        assert back[0].point.distance_to(t[0].point) < 0.1
+
+    def test_object_id_passthrough(self, long_walk):
+        back = decode_trajectory(encode_trajectory(long_walk), "veh-9")
+        assert back.object_id == "veh-9"
+
+    def test_scale_validated(self, long_walk):
+        with pytest.raises(ValueError):
+            encode_trajectory(long_walk, space_scale=0.0)
+
+    def test_coarser_grid_smaller_payload(self, long_walk):
+        fine = encode_trajectory(long_walk, space_scale=100.0)
+        coarse = encode_trajectory(long_walk, space_scale=1.0)
+        assert len(coarse) < len(fine)
+
+
+class TestTwoStage:
+    def test_simplify_then_encode_bounds_error(self, long_walk):
+        eps = 10.0
+        blob = simplify_then_encode(long_walk, eps, 10.0, 10.0)
+        restored = decode_trajectory(blob)
+        assert max_sed_error(long_walk, restored) <= eps + 0.2
+
+    def test_two_stage_much_smaller_than_encode_alone(self, long_walk):
+        plain = encode_trajectory(long_walk)
+        staged = simplify_then_encode(long_walk, 10.0)
+        assert len(staged) < len(plain) / 2

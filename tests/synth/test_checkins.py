@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.synth import CheckInWorld, corrupt_checkins, generate_pois
+
+
+@pytest.fixture
+def pois(rng, box):
+    return generate_pois(rng, 40, box)
+
+
+@pytest.fixture
+def world(rng, pois):
+    return CheckInWorld(rng, pois, n_users=6, distance_scale=300.0)
+
+
+class TestPOIs:
+    def test_count_and_ids(self, pois):
+        assert len(pois) == 40
+        assert [p.poi_id for p in pois] == list(range(40))
+
+    def test_inside_region(self, pois, box):
+        assert all(box.contains(p.location) for p in pois)
+
+    def test_custom_categories(self, rng, box):
+        ps = generate_pois(rng, 10, box, categories=("a", "b"))
+        assert {p.category for p in ps} <= {"a", "b"}
+
+
+class TestWorld:
+    def test_empty_pois_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CheckInWorld(rng, [], 3)
+
+    def test_transition_distribution_normalized(self, world):
+        d = world.transition_distribution(0, 5)
+        assert d.sum() == pytest.approx(1.0)
+        assert d[5] == 0.0  # no self-transition
+
+    def test_distance_discount(self, world):
+        """Closer POIs of the same category must be likelier."""
+        d = world.transition_distribution(0, 0)
+        here = world.pois[0].location
+        same_cat = [
+            p for p in world.pois if p.poi_id != 0 and p.category == world.pois[1].category
+        ]
+        if len(same_cat) >= 2:
+            near = min(same_cat, key=lambda p: p.location.distance_to(here))
+            far = max(same_cat, key=lambda p: p.location.distance_to(here))
+            if near.location.distance_to(here) < far.location.distance_to(here) - 100:
+                assert d[near.poi_id] >= d[far.poi_id]
+
+    def test_simulate_user_ordered(self, world, rng):
+        visits = world.simulate_user(rng, 0, 20)
+        assert len(visits) == 20
+        ts = [v.t for v in visits]
+        assert ts == sorted(ts)
+        assert all(v.user_id == 0 for v in visits)
+
+    def test_simulate_all_users(self, world, rng):
+        cs = world.simulate(rng, 10)
+        assert len(cs) == 60
+        assert {c.user_id for c in cs} == set(range(6))
+        ts = [c.t for c in cs]
+        assert ts == sorted(ts)
+
+    def test_markov_structure_learnable(self, rng, box):
+        """Frequent transitions in simulation must track the model."""
+        pois = generate_pois(np.random.default_rng(1), 10, box)
+        world = CheckInWorld(np.random.default_rng(2), pois, 1, distance_scale=200.0)
+        visits = world.simulate_user(np.random.default_rng(3), 0, 3000)
+        # Empirical next-POI distribution from a fixed POI.
+        counts = np.zeros(10)
+        total = 0
+        for a, b in zip(visits, visits[1:]):
+            if a.poi_id == 0:
+                counts[b.poi_id] += 1
+                total += 1
+        if total > 30:
+            emp = counts / total
+            model = world.transition_distribution(0, 0)
+            assert np.abs(emp - model).max() < 0.2
+
+
+class TestCorruption:
+    def test_drop_rate(self, world, rng):
+        cs = world.simulate(rng, 50)
+        out = corrupt_checkins(cs, world, rng, drop_rate=0.5, mismap_rate=0.0)
+        assert 0.3 < 1 - len(out) / len(cs) < 0.7
+
+    def test_mismap_stays_nearby(self, world, rng):
+        cs = world.simulate(rng, 50)
+        out = corrupt_checkins(cs, world, rng, drop_rate=0.0, mismap_rate=1.0, mismap_radius=400)
+        assert len(out) == len(cs)
+        moved = 0
+        for orig, new in zip(cs, out):
+            if orig.poi_id != new.poi_id:
+                moved += 1
+                d = world.pois[orig.poi_id].location.distance_to(
+                    world.pois[new.poi_id].location
+                )
+                assert d <= 400
+        assert moved > 0
+
+    def test_no_corruption_identity(self, world, rng):
+        cs = world.simulate(rng, 20)
+        out = corrupt_checkins(cs, world, rng, drop_rate=0.0, mismap_rate=0.0)
+        assert [c.poi_id for c in out] == [c.poi_id for c in cs]

@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.core import STRecord, STSeries, Point
+from repro.synth import (
+    CorruptionProfile,
+    add_gaussian_noise,
+    add_outliers,
+    add_sensor_bias,
+    delay_arrivals,
+    drop_interval,
+    drop_points,
+    duplicate_records,
+    skew_timestamps,
+    spike_values,
+    stuck_sensor,
+)
+
+
+@pytest.fixture
+def series():
+    return STSeries("s", Point(0, 0), np.arange(50.0), np.linspace(0, 10, 50))
+
+
+class TestPositionNoise:
+    def test_preserves_timestamps(self, rng, walk):
+        noisy = add_gaussian_noise(walk, rng, 5.0)
+        assert noisy.times == walk.times
+
+    def test_zero_sigma_identity(self, rng, walk):
+        same = add_gaussian_noise(walk, rng, 0.0)
+        assert same == walk
+
+    def test_negative_sigma_rejected(self, rng, walk):
+        with pytest.raises(ValueError):
+            add_gaussian_noise(walk, rng, -1.0)
+
+    def test_noise_magnitude(self, rng, walk):
+        noisy = add_gaussian_noise(walk, rng, 10.0)
+        errs = [a.distance_to(b) for a, b in zip(walk.points, noisy.points)]
+        # Rayleigh mean = sigma * sqrt(pi/2) ~ 12.5.
+        assert np.mean(errs) == pytest.approx(12.5, rel=0.25)
+
+
+class TestOutliers:
+    def test_indices_are_truthful(self, rng, walk):
+        corrupted, idx = add_outliers(walk, rng, 0.1, magnitude=300)
+        for i in idx:
+            assert corrupted[i].distance_to(walk[i]) >= 150.0
+        clean = set(range(len(walk))) - set(idx)
+        for i in clean:
+            assert corrupted[i] == walk[i]
+
+    def test_endpoints_spared(self, rng, walk):
+        _, idx = add_outliers(walk, rng, 0.5)
+        assert 0 not in idx and len(walk) - 1 not in idx
+
+    def test_zero_rate_noop(self, rng, walk):
+        corrupted, idx = add_outliers(walk, rng, 0.0)
+        assert idx == [] and corrupted == walk
+
+    def test_short_trajectory_noop(self, rng, walk):
+        short = walk[0:2]
+        corrupted, idx = add_outliers(short, rng, 0.5)
+        assert idx == []
+
+
+class TestDropping:
+    def test_drop_rate_roughly_respected(self, rng, walk):
+        dropped = drop_points(walk, rng, 0.5)
+        assert len(dropped) < len(walk)
+        assert 0.3 < 1 - len(dropped) / len(walk) < 0.7
+
+    def test_endpoints_kept(self, rng, walk):
+        dropped = drop_points(walk, rng, 0.9)
+        assert dropped[0] == walk[0] and dropped[-1] == walk[-1]
+
+    def test_invalid_rate(self, rng, walk):
+        with pytest.raises(ValueError):
+            drop_points(walk, rng, 1.0)
+
+    def test_drop_interval(self, walk):
+        t0, t1 = walk.times[10], walk.times[20]
+        out = drop_interval(walk, t0, t1)
+        assert all(not (t0 <= p.t <= t1) for p in out)
+        assert len(out) == len(walk) - 11
+
+
+class TestDuplication:
+    def test_adds_duplicates(self, rng):
+        recs = [STRecord(i, 0, float(i), 1.0, "a") for i in range(20)]
+        out = duplicate_records(recs, rng, rate=0.5)
+        assert len(out) == 30
+        assert all(a.t <= b.t for a, b in zip(out, out[1:]))
+
+    def test_zero_rate(self, rng):
+        recs = [STRecord(0, 0, 0.0, 1.0, "a")]
+        assert len(duplicate_records(recs, rng, rate=0.0)) == 1
+
+
+class TestTiming:
+    def test_delays_nonnegative(self, rng):
+        events = np.arange(10.0)
+        arrivals = delay_arrivals(events, rng, 2.0)
+        assert (arrivals >= events).all()
+
+    def test_delay_mean(self, rng):
+        events = np.zeros(5000)
+        arrivals = delay_arrivals(events, rng, 3.0)
+        assert np.mean(arrivals) == pytest.approx(3.0, rel=0.1)
+
+    def test_skew_reports_indices(self, rng):
+        times = np.arange(100.0)
+        skewed, idx = skew_timestamps(times, rng, rate=0.3, max_shift=5.0)
+        assert len(idx) == 30
+        untouched = sorted(set(range(100)) - set(idx))
+        assert np.array_equal(skewed[untouched], times[untouched])
+
+    def test_skew_zero_rate(self, rng):
+        times = np.arange(10.0)
+        skewed, idx = skew_timestamps(times, rng, rate=0.0)
+        assert idx == [] and np.array_equal(skewed, times)
+
+
+class TestValueFaults:
+    def test_spikes_at_reported_indices(self, rng, series):
+        spiked, idx = spike_values(series, rng, 0.1, magnitude=20.0)
+        assert len(idx) == 5
+        for i in idx:
+            assert abs(spiked.values[i] - series.values[i]) >= 10.0
+        clean = sorted(set(range(50)) - set(idx))
+        assert np.array_equal(spiked.values[clean], series.values[clean])
+
+    def test_stuck_sensor_constant_run(self, series):
+        stuck = stuck_sensor(series, start=10, length=15)
+        assert np.all(stuck.values[10:25] == stuck.values[10])
+        assert np.array_equal(stuck.values[:10], series.values[:10])
+
+    def test_stuck_start_validated(self, series):
+        with pytest.raises(ValueError):
+            stuck_sensor(series, start=100, length=5)
+
+    def test_bias_shift(self, series):
+        biased = add_sensor_bias(series, 7.0)
+        assert np.allclose(biased.values - series.values, 7.0)
+
+
+class TestProfile:
+    def test_profile_applies_all(self, rng, walk):
+        profile = CorruptionProfile(noise_sigma=5, outlier_rate=0.05, drop_rate=0.3)
+        corrupted, idx = profile.apply(walk, rng)
+        assert len(corrupted) < len(walk)
+        assert len(idx) >= 1

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.synth import SmoothField, random_sensor_sites, records_with_truth
+
+
+@pytest.fixture
+def field(rng, box):
+    return SmoothField(rng, box, n_bumps=4, length_scale=200.0, drift_speed=0.1)
+
+
+class TestSmoothField:
+    def test_deterministic_value(self, field):
+        p = Point(300, 300)
+        assert field.value(p, 100.0) == field.value(p, 100.0)
+
+    def test_spatial_autocorrelation(self, field):
+        """Nearby points must be more similar than distant points."""
+        base = Point(500, 500)
+        near = abs(field.value(base, 0) - field.value(Point(510, 500), 0))
+        far_vals = [
+            abs(field.value(base, 0) - field.value(Point(500 + d, 500), 0))
+            for d in (300, 400, 500)
+        ]
+        assert near <= max(far_vals) + 1e-9
+
+    def test_varies_smoothly_in_time(self, field):
+        p = Point(400, 400)
+        v0, v1 = field.value(p, 0.0), field.value(p, 1.0)
+        assert abs(v0 - v1) < 1.0
+
+    def test_diurnal_period(self, rng, box):
+        f = SmoothField(rng, box, n_bumps=0, diurnal_amplitude=3.0, period=100.0)
+        p = Point(0, 0)
+        assert f.value(p, 0.0) == pytest.approx(f.value(p, 100.0), abs=1e-9)
+        assert f.value(p, 25.0) - f.value(p, 0.0) == pytest.approx(3.0, abs=1e-9)
+
+    def test_invalid_anisotropy(self, rng, box):
+        with pytest.raises(ValueError):
+            SmoothField(rng, box, anisotropy=0.0)
+
+    def test_anisotropic_field_directional(self, rng, box):
+        f = SmoothField(
+            np.random.default_rng(5), box, n_bumps=1, anisotropy=4.0,
+            drift_speed=0.0, diurnal_amplitude=0.0,
+        )
+        bump = f._bumps[0]
+        c = Point(bump.cx, bump.cy)
+        dx = abs(f.value(Point(c.x + 200, c.y), 0) - f.value(c, 0))
+        dy = abs(f.value(Point(c.x, c.y + 200), 0) - f.value(c, 0))
+        # sigma_x = 4 * sigma_y: moving along x changes the value less.
+        assert dx < dy
+
+    def test_values_batch(self, field):
+        pts = [Point(0, 0), Point(100, 100)]
+        vals = field.values(pts, 0.0)
+        assert vals.shape == (2,)
+        assert vals[0] == field.value(pts[0], 0.0)
+
+
+class TestSampling:
+    def test_sensor_series_shapes(self, field, rng):
+        sites = random_sensor_sites(rng, 5, field.bbox)
+        times = np.arange(0, 100, 10.0)
+        series = field.sample_sensors(sites, times, rng)
+        assert len(series) == 5
+        assert all(len(s) == 10 for s in series)
+        assert len({s.sensor_id for s in series}) == 5
+
+    def test_noise_level(self, field, rng):
+        site = [Point(500, 500)]
+        times = np.arange(0, 2000, 1.0)
+        s = field.sample_sensors(site, times, rng, noise_sigma=2.0)[0]
+        truth = np.array([field.value(site[0], t) for t in times])
+        assert np.std(s.values - truth) == pytest.approx(2.0, rel=0.15)
+
+    def test_bias_is_constant_per_sensor(self, field, rng):
+        sites = random_sensor_sites(rng, 3, field.bbox)
+        times = np.arange(0, 100, 10.0)
+        series = field.sample_sensors(sites, times, rng, noise_sigma=0.0, bias_per_sensor=5.0)
+        for s, loc in zip(series, sites):
+            truth = np.array([field.value(loc, t) for t in times])
+            offsets = s.values - truth
+            assert np.std(offsets) < 1e-9  # constant offset
+        # Not all sensors share the same offset.
+        offs = [float((s.values - np.array([field.value(loc, t) for t in times]))[0])
+                for s, loc in zip(series, sites)]
+        assert np.std(offs) > 0.1
+
+    def test_truth_grid(self, field):
+        g = field.truth_grid(cell_size=250, t_step=50, t_start=0, t_end=100)
+        assert g.missing_fraction() == 0.0
+        p, t = g.cell_center(0, 0, 0)
+        assert g.values[0, 0, 0] == pytest.approx(field.value(p, t))
+
+    def test_records_with_truth(self, field, rng):
+        sites = random_sensor_sites(rng, 2, field.bbox)
+        series = field.sample_sensors(sites, np.array([0.0, 10.0]), rng, noise_sigma=1.0)
+        pairs = records_with_truth(field, series)
+        assert len(pairs) == 4
+        for rec, truth in pairs:
+            assert abs(rec.value - truth) < 6.0  # noise-bounded

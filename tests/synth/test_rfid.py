@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.synth import CorridorWorld, RawReading, readings_by_epoch
+
+
+@pytest.fixture
+def world():
+    return CorridorWorld(n_readers=6, dwell_min=2, dwell_max=4)
+
+
+class TestGroundTruth:
+    def test_visits_cover_all_readers_in_order(self, world, rng):
+        visits = world.ground_truth(rng)
+        assert [v.reader for v in visits] == list(range(6))
+
+    def test_visits_contiguous(self, world, rng):
+        visits = world.ground_truth(rng)
+        for a, b in zip(visits, visits[1:]):
+            assert b.enter_epoch == a.exit_epoch + 1
+
+    def test_dwell_bounds(self, world, rng):
+        visits = world.ground_truth(rng)
+        for v in visits:
+            assert 2 <= v.exit_epoch - v.enter_epoch + 1 <= 4
+
+    def test_truth_reader_at(self, world, rng):
+        visits = world.ground_truth(rng)
+        assert world.truth_reader_at(visits, 0) == 0
+        assert world.truth_reader_at(visits, visits[-1].exit_epoch) == 5
+        assert world.truth_reader_at(visits, 10_000) is None
+
+    def test_total_epochs(self, world, rng):
+        visits = world.ground_truth(rng)
+        assert world.total_epochs(visits) == visits[-1].exit_epoch + 1
+        assert world.total_epochs([]) == 0
+
+
+class TestObservation:
+    def test_perfect_detection(self, world, rng):
+        visits = world.ground_truth(rng)
+        readings = world.observe(visits, rng, p_detect=1.0, p_cross=0.0)
+        total = world.total_epochs(visits)
+        assert len(readings) == total  # one true read per epoch
+        for r in readings:
+            assert world.truth_reader_at(visits, r.epoch) == r.reader
+
+    def test_false_negatives_reduce_reads(self, world):
+        visits = world.ground_truth(np.random.default_rng(0))
+        full = world.observe(visits, np.random.default_rng(1), 1.0, 0.0)
+        lossy = world.observe(visits, np.random.default_rng(1), 0.4, 0.0)
+        assert len(lossy) < len(full)
+
+    def test_false_positives_come_from_neighbors(self, world, rng):
+        visits = world.ground_truth(rng)
+        readings = world.observe(visits, rng, p_detect=0.0, p_cross=1.0)
+        for r in readings:
+            truth = world.truth_reader_at(visits, r.epoch)
+            assert abs(r.reader - truth) == 1
+
+    def test_probability_validation(self, world, rng):
+        visits = world.ground_truth(rng)
+        with pytest.raises(ValueError):
+            world.observe(visits, rng, p_detect=1.5)
+
+    def test_readings_sorted(self, world, rng):
+        visits = world.ground_truth(rng)
+        readings = world.observe(visits, rng, 0.9, 0.3)
+        keys = [(r.epoch, r.reader) for r in readings]
+        assert keys == sorted(keys)
+
+
+class TestGrouping:
+    def test_readings_by_epoch_dedupes(self):
+        rs = [RawReading(0, 2, "t"), RawReading(0, 2, "t"), RawReading(0, 1, "t")]
+        grouped = readings_by_epoch(rs)
+        assert grouped == {0: [1, 2]}
+
+    def test_empty(self):
+        assert readings_by_epoch([]) == {}

@@ -1,0 +1,88 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.synth import RoadNetwork
+
+
+@pytest.fixture
+def grid_net():
+    return RoadNetwork.grid(4, 4, spacing=100.0)
+
+
+class TestConstruction:
+    def test_grid_counts(self, grid_net):
+        assert grid_net.graph.number_of_nodes() == 16
+        # 4x4 grid: 2 * 4 * 3 = 24 edges.
+        assert grid_net.graph.number_of_edges() == 24
+
+    def test_grid_edge_lengths(self, grid_net):
+        assert all(
+            grid_net.edge_length(u, v) == pytest.approx(100.0)
+            for u, v in grid_net.graph.edges
+        )
+
+    def test_random_geometric_connected(self, rng, box):
+        net = RoadNetwork.random_geometric(rng, 60, box, radius=300)
+        assert nx.is_connected(net.graph)
+
+    def test_missing_position_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            RoadNetwork(g, {})
+
+    def test_bbox(self, grid_net):
+        b = grid_net.bbox()
+        assert (b.max_x, b.max_y) == (300.0, 300.0)
+
+
+class TestRouting:
+    def test_shortest_path_manhattan(self, grid_net):
+        path = grid_net.shortest_path(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        assert grid_net.path_length(path) == pytest.approx(600.0)
+
+    def test_random_route_min_edges(self, rng, grid_net):
+        route = grid_net.random_route(rng, min_edges=4)
+        assert len(route) - 1 >= 4
+
+    def test_nearest_node(self, grid_net):
+        assert grid_net.nearest_node(Point(95, 8)) == 1
+
+    def test_edges_view(self, grid_net):
+        edges = grid_net.edges()
+        assert len(edges) == 24
+        assert edges[0].length == pytest.approx(100.0)
+
+
+class TestTrajectoryOnNetwork:
+    def test_constant_speed(self, grid_net):
+        route = grid_net.shortest_path(0, 3)  # 300 m straight
+        t = grid_net.trajectory_along_path(route, speed=10, interval=1.0)
+        assert t.duration == pytest.approx(30.0)
+        assert np.allclose(t.speeds(), 10.0, atol=1e-6)
+
+    def test_endpoints_on_route(self, grid_net):
+        route = grid_net.shortest_path(0, 15)
+        t = grid_net.trajectory_along_path(route, speed=20)
+        assert t[0].point == grid_net.positions[0]
+        assert t[-1].point.distance_to(grid_net.positions[15]) < 25.0
+
+    def test_degenerate_path_rejected(self, grid_net):
+        with pytest.raises(ValueError):
+            grid_net.trajectory_along_path([0], speed=10)
+
+    def test_snap_to_nearest_edge(self, grid_net):
+        edge, q, d = grid_net.snap(Point(50, 7))
+        assert set(edge) == {0, 1}
+        assert q == Point(50, 0)
+        assert d == pytest.approx(7.0)
+
+    def test_points_lie_on_network(self, rng, grid_net):
+        route = grid_net.random_route(rng, min_edges=5)
+        t = grid_net.trajectory_along_path(route, speed=15)
+        for p in t:
+            _, _, d = grid_net.snap(p.point)
+            assert d < 1e-6

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.synth import (
+    AccessPoint,
+    RadioMap,
+    deploy_access_points,
+    measure_ranges,
+    measure_vector,
+)
+
+
+@pytest.fixture
+def ap():
+    return AccessPoint("ap", Point(0, 0), tx_power_dbm=-30.0, path_loss_exponent=2.0)
+
+
+class TestAccessPoint:
+    def test_rssi_decreases_with_distance(self, ap):
+        assert ap.expected_rssi(Point(10, 0)) > ap.expected_rssi(Point(100, 0))
+
+    def test_rssi_log_distance_law(self, ap):
+        # n=2: each decade of distance costs 20 dB.
+        near = ap.expected_rssi(Point(10, 0))
+        far = ap.expected_rssi(Point(100, 0))
+        assert near - far == pytest.approx(20.0)
+
+    def test_rssi_clamped_at_1m(self, ap):
+        assert ap.expected_rssi(Point(0.1, 0)) == ap.expected_rssi(Point(1, 0))
+
+    def test_distance_inversion_roundtrip(self, ap):
+        d = ap.distance_from_rssi(ap.expected_rssi(Point(57, 0)))
+        assert d == pytest.approx(57.0, rel=1e-9)
+
+    def test_measure_adds_noise(self, ap, rng):
+        p = Point(50, 0)
+        vals = [ap.measure_rssi(p, rng, noise_db=4.0) for _ in range(200)]
+        assert np.std(vals) == pytest.approx(4.0, rel=0.25)
+        assert np.mean(vals) == pytest.approx(ap.expected_rssi(p), abs=1.0)
+
+    def test_deploy(self, rng, box):
+        aps = deploy_access_points(rng, 7, box)
+        assert len(aps) == 7
+        assert len({a.ap_id for a in aps}) == 7
+        assert all(box.contains(a.location) for a in aps)
+
+
+class TestRadioMap:
+    def test_survey_shape(self, rng, box):
+        aps = deploy_access_points(rng, 5, box)
+        rm = RadioMap.survey(aps, box, spacing=250.0, rng=rng)
+        assert rm.fingerprints.shape == (len(rm), 5)
+        assert len(rm.reference_points) == len(rm)
+
+    def test_survey_too_coarse(self, rng):
+        aps = deploy_access_points(rng, 2, BBox(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            RadioMap.survey(aps, BBox(0, 0, 10, 10), spacing=100.0, rng=rng)
+
+    def test_fingerprints_reflect_geometry(self, rng):
+        box = BBox(0, 0, 400, 400)
+        aps = [AccessPoint("a", Point(0, 200)), AccessPoint("b", Point(400, 200))]
+        rm = RadioMap.survey(aps, box, 100.0, rng, samples_per_point=20, noise_db=1.0)
+        # Reference points nearer AP "a" must hear it louder than AP "b".
+        for p, row in zip(rm.reference_points, rm.fingerprints):
+            if p.x < 150:
+                assert row[0] > row[1]
+            elif p.x > 250:
+                assert row[1] > row[0]
+
+    def test_measure_vector_length(self, rng, box):
+        aps = deploy_access_points(rng, 4, box)
+        v = measure_vector(aps, Point(10, 10), rng)
+        assert v.shape == (4,)
+
+
+class TestRanging:
+    def test_measure_ranges_count(self, rng):
+        anchors = [Point(0, 0), Point(100, 0)]
+        obs = measure_ranges(anchors, Point(50, 50), rng, noise_m=0.0)
+        assert len(obs) == 2
+        assert obs[0].distance == pytest.approx(Point(50, 50).distance_to(Point(0, 0)))
+
+    def test_bias_applied(self, rng):
+        anchors = [Point(0, 0)]
+        obs = measure_ranges(anchors, Point(100, 0), rng, noise_m=0.0, bias_m=5.0)
+        assert obs[0].distance == pytest.approx(105.0)
+
+    def test_never_negative(self, rng):
+        anchors = [Point(0, 0)]
+        for _ in range(50):
+            obs = measure_ranges(anchors, Point(1, 0), rng, noise_m=10.0)
+            assert obs[0].distance >= 0.0

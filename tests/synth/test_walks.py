@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.core import BBox, Point
+from repro.synth import (
+    correlated_random_walk,
+    fleet,
+    stop_and_go_walk,
+    waypoint_walk,
+)
+
+
+class TestCorrelatedWalk:
+    def test_length_and_times(self, rng, box):
+        t = correlated_random_walk(rng, 50, box, interval=2.0)
+        assert len(t) == 50
+        assert t.times[-1] == pytest.approx(98.0)
+
+    def test_stays_in_bbox(self, rng):
+        small = BBox(0, 0, 100, 100)
+        t = correlated_random_walk(rng, 500, small, speed_mean=20)
+        b = t.bbox()
+        assert b.min_x >= -1e-9 and b.max_x <= 100 + 1e-9
+        assert b.min_y >= -1e-9 and b.max_y <= 100 + 1e-9
+
+    def test_deterministic_given_seed(self, box):
+        a = correlated_random_walk(np.random.default_rng(7), 30, box)
+        b = correlated_random_walk(np.random.default_rng(7), 30, box)
+        assert a == b
+
+    def test_speed_statistics(self, rng, box):
+        t = correlated_random_walk(rng, 2000, box, speed_mean=10, speed_sigma=1)
+        # Boundary bounces distort a few legs; the bulk should track the mean.
+        assert abs(float(np.median(t.speeds())) - 10.0) < 1.5
+
+    def test_custom_start(self, rng, box):
+        t = correlated_random_walk(rng, 10, box, start=Point(500, 500))
+        assert t[0].point == Point(500, 500)
+
+    def test_invalid_n(self, rng, box):
+        with pytest.raises(ValueError):
+            correlated_random_walk(rng, 0, box)
+
+    def test_markovian_heading_persistence(self, rng, box):
+        """Low turn_sigma must yield straighter paths than high turn_sigma."""
+        straightish = correlated_random_walk(
+            np.random.default_rng(1), 300, box, turn_sigma=0.05
+        )
+        twisty = correlated_random_walk(
+            np.random.default_rng(1), 300, box, turn_sigma=1.5
+        )
+        def mean_turn(t):
+            h = t.headings()
+            d = np.abs(np.diff(h))
+            return float(np.mean(np.minimum(d, 2 * np.pi - d)))
+        assert mean_turn(straightish) < mean_turn(twisty)
+
+
+class TestWaypointWalk:
+    def test_visits_all_waypoints_eventually(self, rng, box):
+        t = waypoint_walk(rng, 4, box, speed=50)
+        assert len(t) > 4
+
+    def test_pause_adds_dwell(self, rng, box):
+        no_pause = waypoint_walk(np.random.default_rng(3), 3, box, pause_time=0)
+        pause = waypoint_walk(np.random.default_rng(3), 3, box, pause_time=30)
+        assert len(pause) > len(no_pause)
+
+    def test_needs_two_waypoints(self, rng, box):
+        with pytest.raises(ValueError):
+            waypoint_walk(rng, 1, box)
+
+
+class TestStopAndGo:
+    def test_reports_stop_segments(self, rng, box):
+        traj, stops = stop_and_go_walk(rng, box, n_stops=3, stop_points=10)
+        assert len(stops) == 3
+        for s in stops:
+            assert 0 <= s.start_index <= s.end_index < len(traj)
+
+    def test_stop_points_near_location(self, rng, box):
+        traj, stops = stop_and_go_walk(rng, box, n_stops=2, stop_jitter=1.0)
+        for s in stops:
+            for i in range(s.start_index, s.end_index + 1):
+                assert traj[i].point.distance_to(s.location) < 10.0
+
+    def test_stops_are_slow(self, rng, box):
+        traj, stops = stop_and_go_walk(rng, box, n_stops=2, stop_jitter=0.5)
+        speeds = traj.speeds()
+        s = stops[0]
+        stop_speed = float(np.mean(speeds[s.start_index : s.end_index]))
+        assert stop_speed < 5.0
+
+
+class TestFleet:
+    def test_distinct_ids(self, rng, box):
+        f = fleet(rng, 5, 20, box)
+        assert len({t.object_id for t in f}) == 5
+
+    def test_sizes(self, rng, box):
+        f = fleet(rng, 3, 40, box)
+        assert all(len(t) == 40 for t in f)

@@ -1,0 +1,92 @@
+"""Meta-tests: the public API stays coherent as the package grows.
+
+These guard the documentation deliverable mechanically: every subpackage
+exports what it promises, every public module and export carries a
+docstring, and ``__all__`` never drifts from reality.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.analytics",
+    "repro.cleaning",
+    "repro.core",
+    "repro.decision",
+    "repro.indoor",
+    "repro.integration",
+    "repro.learning",
+    "repro.localization",
+    "repro.querying",
+    "repro.reduction",
+    "repro.synth",
+]
+
+
+def iter_modules():
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        for info in pkgutil.iter_modules(pkg.__path__, prefix=pkg_name + "."):
+            yield importlib.import_module(info.name)
+
+
+@pytest.mark.parametrize("pkg_name", SUBPACKAGES)
+def test_all_names_resolve(pkg_name):
+    pkg = importlib.import_module(pkg_name)
+    assert hasattr(pkg, "__all__"), f"{pkg_name} has no __all__"
+    for name in pkg.__all__:
+        assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("pkg_name", SUBPACKAGES)
+def test_all_has_no_duplicates(pkg_name):
+    pkg = importlib.import_module(pkg_name)
+    assert len(pkg.__all__) == len(set(pkg.__all__))
+
+
+def test_every_module_has_docstring():
+    missing = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert missing == []
+
+
+def test_every_public_export_has_docstring():
+    missing = []
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in pkg.__all__:
+            obj = getattr(pkg, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (inspect.getdoc(obj) or "").strip():
+                    missing.append(f"{pkg_name}.{name}")
+    assert missing == []
+
+
+def test_public_classes_have_documented_public_methods():
+    undocumented = []
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in pkg.__all__:
+            obj = getattr(pkg, name)
+            if not inspect.isclass(obj):
+                continue
+            for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                if meth_name.startswith("_"):
+                    continue
+                if meth.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                if not (inspect.getdoc(meth) or "").strip():
+                    undocumented.append(f"{pkg_name}.{name}.{meth_name}")
+    assert undocumented == []
+
+
+def test_top_level_exposes_subpackages():
+    for pkg_name in SUBPACKAGES:
+        short = pkg_name.split(".")[-1]
+        assert hasattr(repro, short)
+    assert repro.__version__
