@@ -14,7 +14,9 @@ the tutorial's taxonomy (Figure 2):
 * :mod:`repro.reduction` — trajectory and STID reduction (Sec. 2.2.6),
 * :mod:`repro.querying` — queries over low-quality SID (Sec. 2.3.1),
 * :mod:`repro.analytics` — analyses on low-quality SID (Sec. 2.3.2),
-* :mod:`repro.decision` — decision-making using low-quality SID (Sec. 2.3.3).
+* :mod:`repro.decision` — decision-making using low-quality SID (Sec. 2.3.3),
+* :mod:`repro.ingest` — streaming ingestion with sharded quality gates and
+  online DQ metrics (the Sec. 2.4 middleware, made live).
 """
 
 __version__ = "1.0.0"
@@ -25,6 +27,7 @@ from . import (
     core,
     decision,
     indoor,
+    ingest,
     integration,
     learning,
     localization,
@@ -39,6 +42,7 @@ __all__ = [
     "core",
     "decision",
     "indoor",
+    "ingest",
     "integration",
     "learning",
     "localization",

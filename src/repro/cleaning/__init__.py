@@ -30,7 +30,7 @@ from .rfid import (
     visits_from_sequence,
     window_smooth,
 )
-from .screen import screen_repair, screen_repair_series, speed_violations
+from .screen import screen_clamp, screen_repair, screen_repair_series, speed_violations
 from .smoothing import (
     exponential_smoothing,
     heading_aware_smoothing,
@@ -78,6 +78,7 @@ __all__ = [
     "raw_reader_sequence",
     "visits_from_sequence",
     "window_smooth",
+    "screen_clamp",
     "screen_repair",
     "screen_repair_series",
     "speed_violations",

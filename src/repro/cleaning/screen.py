@@ -7,6 +7,8 @@ than ``s_min``) per unit time, so any reading outside the window reachable
 from its repaired predecessor is an error and is repaired with the minimal
 change that restores feasibility.
 
+* :func:`screen_clamp` — the single-step repair rule (shared with the
+  streaming :class:`~repro.ingest.gates.SpeedScreenGate`),
 * :func:`screen_repair` — the online minimal-change repair,
 * :func:`speed_violations` — count of constraint violations (before/after
   comparison),
@@ -19,6 +21,22 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.stid import STSeries
+
+
+def screen_clamp(
+    prev_value: float, value: float, dt: float, s_min: float, s_max: float
+) -> float:
+    """One step of the SCREEN repair: clamp ``value`` into the window
+    reachable from its *repaired* predecessor ``prev_value`` after ``dt``
+    seconds.  This is the per-reading rule shared by the batch
+    :func:`screen_repair` and the streaming speed gate in
+    :mod:`repro.ingest.gates`.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    lo = prev_value + s_min * dt
+    hi = prev_value + s_max * dt
+    return min(max(value, lo), hi)
 
 
 def screen_repair(
@@ -44,10 +62,7 @@ def screen_repair(
         raise ValueError("times must be strictly increasing")
     out = v.copy()
     for i in range(1, len(out)):
-        dt = t[i] - t[i - 1]
-        lo = out[i - 1] + s_min * dt
-        hi = out[i - 1] + s_max * dt
-        out[i] = min(max(out[i], lo), hi)
+        out[i] = screen_clamp(out[i - 1], out[i], t[i] - t[i - 1], s_min, s_max)
     return out
 
 

@@ -1,0 +1,66 @@
+"""Streaming ingestion and online quality monitoring (Sec. 2.4, made live).
+
+The tutorial closes with a *Quality Management Middleware for SID*; the
+batch :class:`~repro.core.pipeline.Pipeline` realizes it for collected
+data, and this subsystem realizes it for data **in flight**: a sharded
+:class:`~repro.ingest.engine.IngestEngine` accepts per-sensor streams,
+pushes every reading through configurable quality gates
+(:mod:`~repro.ingest.gates`) before admission, and maintains incremental
+per-sensor DQ metrics (:mod:`~repro.ingest.online_stats`) that agree with
+their batch counterparts in :mod:`repro.core.quality` — snapshotted
+through a thread-safe :class:`~repro.ingest.registry.QualityRegistry`
+using the same report type and polarity conventions.
+"""
+
+from .engine import (
+    POLICIES,
+    InMemoryStore,
+    IngestEngine,
+    LatencyStore,
+    shard_of,
+)
+from .events import Decision, GateOutcome, IngestEvent
+from .gates import (
+    DuplicateGate,
+    RangeGate,
+    ReorderGate,
+    SpeedScreenGate,
+    StreamingGate,
+    flush_chain,
+    run_chain,
+)
+from .online_stats import OnlineSensorStats, Welford, WindowedSensorStats
+from .registry import IngestCounters, QualityRegistry
+from .source import (
+    ReplaySource,
+    corrupt_stream,
+    events_from_series,
+    field_stream,
+)
+
+__all__ = [
+    "POLICIES",
+    "InMemoryStore",
+    "IngestEngine",
+    "LatencyStore",
+    "shard_of",
+    "Decision",
+    "GateOutcome",
+    "IngestEvent",
+    "DuplicateGate",
+    "RangeGate",
+    "ReorderGate",
+    "SpeedScreenGate",
+    "StreamingGate",
+    "flush_chain",
+    "run_chain",
+    "OnlineSensorStats",
+    "Welford",
+    "WindowedSensorStats",
+    "IngestCounters",
+    "QualityRegistry",
+    "ReplaySource",
+    "corrupt_stream",
+    "events_from_series",
+    "field_stream",
+]

@@ -1,0 +1,96 @@
+"""Event envelope and gate decisions of the streaming ingestion layer.
+
+Every reading entering the engine — whether it originates as an
+:class:`~repro.core.stid.STRecord` (stationary STID sensor) or a
+:class:`~repro.core.trajectory.TrajectoryPoint` (moving object) — is wrapped
+in one uniform :class:`IngestEvent` carrying both its *event time* (when the
+phenomenon was measured) and its *arrival time* (when the ingestion layer
+saw it), the distinction every latency/disorder metric rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from ..core.stid import STRecord
+from ..core.trajectory import TrajectoryPoint
+
+
+class Decision(str, Enum):
+    """Terminal outcome of a quality-gate chain for one event."""
+
+    ADMIT = "admit"  # passed every gate unchanged
+    REPAIR = "repair"  # admitted after at least one gate modified it
+    QUARANTINE = "quarantine"  # withheld from the store (with a reason)
+
+
+@dataclass(frozen=True, slots=True)
+class IngestEvent:
+    """One sensor reading in flight through the ingestion engine.
+
+    ``t`` is the event (measurement) time; ``arrival_time`` is when the
+    reading reached the engine.  ``value`` is the thematic attribute and is
+    NaN for pure position streams.
+    """
+
+    sensor_id: str
+    x: float
+    y: float
+    t: float
+    value: float
+    arrival_time: float
+
+    @classmethod
+    def from_record(cls, record: STRecord, arrival_time: float | None = None) -> "IngestEvent":
+        """Wrap an STID record; arrival defaults to the event time."""
+        return cls(
+            sensor_id=record.source,
+            x=record.x,
+            y=record.y,
+            t=record.t,
+            value=record.value,
+            arrival_time=record.t if arrival_time is None else arrival_time,
+        )
+
+    @classmethod
+    def from_point(
+        cls,
+        sensor_id: str,
+        point: TrajectoryPoint,
+        value: float = math.nan,
+        arrival_time: float | None = None,
+    ) -> "IngestEvent":
+        """Wrap a trajectory sample; arrival defaults to the event time."""
+        return cls(
+            sensor_id=sensor_id,
+            x=point.x,
+            y=point.y,
+            t=point.t,
+            value=value,
+            arrival_time=point.t if arrival_time is None else arrival_time,
+        )
+
+    def to_record(self) -> STRecord:
+        """The event as an STID record (drops the arrival time)."""
+        return STRecord(self.x, self.y, self.t, self.value, self.sensor_id)
+
+    def with_value(self, value: float) -> "IngestEvent":
+        """Copy with the thematic value replaced (repair result)."""
+        return replace(self, value=float(value))
+
+    @property
+    def latency(self) -> float:
+        """Transport delay: arrival time minus event time (seconds)."""
+        return self.arrival_time - self.t
+
+
+@dataclass(frozen=True, slots=True)
+class GateOutcome:
+    """One gate-chain verdict: the (possibly repaired) event plus decision."""
+
+    event: IngestEvent
+    decision: Decision
+    gate: str = ""
+    reason: str = ""

@@ -1,0 +1,240 @@
+"""Streaming quality gates: per-reading admit/repair/quarantine decisions.
+
+Each gate lifts one batch cleaning/querying operator into a streaming
+adapter with per-sensor state:
+
+* :class:`RangeGate` — physical-range screening (gross value errors),
+* :class:`SpeedScreenGate` — SCREEN rate-constraint repair, one reading at
+  a time, via :func:`repro.cleaning.screen.screen_clamp`,
+* :class:`DuplicateGate` — at-least-once transport dedup, the streaming
+  face of :func:`repro.core.quality.redundancy_ratio`,
+* :class:`ReorderGate` — a watermark reordering buffer reusing
+  :class:`repro.querying.out_of_order.WatermarkClock`; events are released
+  in event-time order once the watermark passes them, and stragglers are
+  quarantined as late.
+
+Gates compose into chains (:func:`run_chain` / :func:`flush_chain`): each
+event flows through the gates in order, repairs accumulate, and the first
+quarantine verdict is terminal.  A gate may hold events back (emit nothing)
+and release several at once later, so chain outcomes are lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from ..cleaning.screen import screen_clamp
+from ..querying.out_of_order import WatermarkClock
+from .events import Decision, GateOutcome, IngestEvent
+
+
+class StreamingGate:
+    """Base class: one stateful per-sensor quality gate.
+
+    Subclasses implement :meth:`offer`; buffering gates also override
+    :meth:`flush` to release whatever they still hold at end of stream.
+    """
+
+    name = "gate"
+
+    def offer(self, event: IngestEvent) -> list[GateOutcome]:
+        """Process one reading; returns zero or more released outcomes."""
+        raise NotImplementedError
+
+    def flush(self) -> list[GateOutcome]:
+        """End of stream: release any buffered readings (default: none)."""
+        return []
+
+    def _admit(self, event: IngestEvent) -> GateOutcome:
+        return GateOutcome(event, Decision.ADMIT, self.name)
+
+    def _repair(self, event: IngestEvent, reason: str) -> GateOutcome:
+        return GateOutcome(event, Decision.REPAIR, self.name, reason)
+
+    def _quarantine(self, event: IngestEvent, reason: str) -> GateOutcome:
+        return GateOutcome(event, Decision.QUARANTINE, self.name, reason)
+
+
+class RangeGate(StreamingGate):
+    """Quarantine readings whose value leaves the physically valid range."""
+
+    name = "range"
+
+    def __init__(self, min_value: float = float("-inf"), max_value: float = float("inf")) -> None:
+        if min_value > max_value:
+            raise ValueError("need min_value <= max_value")
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def offer(self, event: IngestEvent) -> list[GateOutcome]:
+        """Admit in-range values, quarantine the rest."""
+        if event.value < self.min_value or event.value > self.max_value:
+            return [self._quarantine(event, f"value {event.value:.3g} outside range")]
+        return [self._admit(event)]
+
+
+class SpeedScreenGate(StreamingGate):
+    """Streaming SCREEN repair under value rate constraints [121].
+
+    Each reading is clamped into the window reachable from its *repaired*
+    predecessor, exactly the per-step rule of
+    :func:`repro.cleaning.screen.screen_repair`, so feeding a finite
+    in-order stream through this gate reproduces the batch repair
+    value-for-value.  Readings that do not advance time cannot be
+    rate-checked and are quarantined.
+    """
+
+    name = "speed_screen"
+
+    def __init__(self, s_min: float, s_max: float) -> None:
+        if s_max < s_min:
+            raise ValueError("need s_min <= s_max")
+        self.s_min = s_min
+        self.s_max = s_max
+        self._prev: tuple[float, float] | None = None  # (t, repaired value)
+
+    def offer(self, event: IngestEvent) -> list[GateOutcome]:
+        """Admit feasible readings, repair rate violations by clamping."""
+        if self._prev is None:
+            self._prev = (event.t, event.value)
+            return [self._admit(event)]
+        prev_t, prev_value = self._prev
+        dt = event.t - prev_t
+        if dt <= 0:
+            return [self._quarantine(event, "non-increasing timestamp")]
+        repaired = screen_clamp(prev_value, event.value, dt, self.s_min, self.s_max)
+        self._prev = (event.t, repaired)
+        if repaired != event.value:
+            return [self._repair(event.with_value(repaired), "rate constraint clamp")]
+        return [self._admit(event)]
+
+
+class DuplicateGate(StreamingGate):
+    """Collapse near-duplicate re-deliveries (at-least-once transport).
+
+    A reading is a duplicate when a previously kept reading lies within
+    ``space_eps`` meters and ``time_eps`` seconds — the same predicate as
+    the batch :func:`repro.core.quality.redundancy_ratio`.  Duplicates are
+    quarantined; the kept set is pruned by time, so memory stays bounded.
+    """
+
+    name = "duplicate"
+
+    def __init__(self, space_eps: float = 1.0, time_eps: float = 0.5) -> None:
+        if space_eps < 0 or time_eps < 0:
+            raise ValueError("eps thresholds must be non-negative")
+        self.space_eps = space_eps
+        self.time_eps = time_eps
+        self._kept: list[tuple[float, float, float]] = []  # (t, x, y)
+
+    def offer(self, event: IngestEvent) -> list[GateOutcome]:
+        """Admit first deliveries, quarantine near-duplicates."""
+        self._kept = [k for k in self._kept if k[0] >= event.t - self.time_eps]
+        for kt, kx, ky in self._kept:
+            if abs(kt - event.t) <= self.time_eps:
+                if ((kx - event.x) ** 2 + (ky - event.y) ** 2) <= self.space_eps**2:
+                    return [self._quarantine(event, "duplicate delivery")]
+        self._kept.append((event.t, event.x, event.y))
+        return [self._admit(event)]
+
+
+class ReorderGate(StreamingGate):
+    """Watermark buffer restoring event-time order on disordered arrivals.
+
+    Readings are held until the watermark (max event time seen minus
+    ``allowed_lateness``, per
+    :class:`~repro.querying.out_of_order.WatermarkClock`) passes their
+    event time, then released in event-time order.  A reading older than
+    the newest already-released one missed its turn and is quarantined as
+    late — the same completeness/latency trade-off the tutorial describes
+    for quality-driven continuous queries (Sec. 2.3.1, [48]).
+    """
+
+    name = "reorder"
+
+    def __init__(self, allowed_lateness: float) -> None:
+        self._clock = WatermarkClock(allowed_lateness)
+        self._heap: list[tuple[float, int, IngestEvent]] = []
+        self._seq = 0  # tie-break so equal-time events release in arrival order
+        self._released_until = float("-inf")
+
+    def offer(self, event: IngestEvent) -> list[GateOutcome]:
+        """Buffer the reading; release everything the watermark has passed."""
+        if event.t < self._released_until:
+            return [self._quarantine(event, "late arrival (watermark passed)")]
+        heapq.heappush(self._heap, (event.t, self._seq, event))
+        self._seq += 1
+        watermark = self._clock.observe(event.t)
+        out: list[GateOutcome] = []
+        while self._heap and self._heap[0][0] <= watermark:
+            _, _, ev = heapq.heappop(self._heap)
+            self._released_until = max(self._released_until, ev.t)
+            out.append(self._admit(ev))
+        return out
+
+    def flush(self) -> list[GateOutcome]:
+        """End of stream: release the whole buffer in event-time order."""
+        out: list[GateOutcome] = []
+        while self._heap:
+            _, _, ev = heapq.heappop(self._heap)
+            self._released_until = max(self._released_until, ev.t)
+            out.append(self._admit(ev))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Gate chains
+# ---------------------------------------------------------------------------
+
+
+def _feed(
+    gates: Sequence[StreamingGate],
+    start: int,
+    outcomes: Iterable[GateOutcome],
+) -> list[GateOutcome]:
+    """Push outcomes through ``gates[start:]``, composing decisions."""
+    terminal: list[GateOutcome] = []
+    pending = list(outcomes)
+    for idx in range(start, len(gates)):
+        gate = gates[idx]
+        nxt: list[GateOutcome] = []
+        for out in pending:
+            if out.decision is Decision.QUARANTINE:
+                terminal.append(out)
+                continue
+            for res in gate.offer(out.event):
+                nxt.append(_compose(out, res))
+        pending = nxt
+        if not pending:
+            break
+    terminal.extend(pending)
+    return terminal
+
+
+def _compose(upstream: GateOutcome, downstream: GateOutcome) -> GateOutcome:
+    """Merge an upstream verdict with the next gate's verdict."""
+    if downstream.decision is Decision.QUARANTINE:
+        return downstream
+    if upstream.decision is Decision.REPAIR and downstream.decision is Decision.ADMIT:
+        return GateOutcome(downstream.event, Decision.REPAIR, upstream.gate, upstream.reason)
+    return downstream
+
+
+def run_chain(gates: Sequence[StreamingGate], event: IngestEvent) -> list[GateOutcome]:
+    """Run one reading through a gate chain; returns terminal outcomes.
+
+    The list may be empty (a buffering gate held the reading back) or hold
+    several outcomes (a buffering gate released earlier readings).
+    """
+    if not gates:
+        return [GateOutcome(event, Decision.ADMIT)]
+    return _feed(gates, 1, gates[0].offer(event))
+
+
+def flush_chain(gates: Sequence[StreamingGate]) -> list[GateOutcome]:
+    """Flush every gate in order, cascading releases through the rest."""
+    terminal: list[GateOutcome] = []
+    for idx, gate in enumerate(gates):
+        terminal.extend(_feed(gates, idx + 1, gate.flush()))
+    return terminal

@@ -1,0 +1,396 @@
+"""Incremental, O(1)-memory online counterparts of the batch DQ metrics.
+
+Each metric in :mod:`repro.core.quality` consumes a *finished* collection;
+a quality middleware for live SID (Sec. 2.4 of the tutorial) must instead
+maintain the same quantities per sensor while the stream is still running.
+:class:`OnlineSensorStats` does that with constant memory per sensor:
+
+* completeness vs. an expected sampling rate — slot counting, matching
+  :func:`repro.core.quality.completeness` exactly on in-order streams;
+* staleness — age of the freshest reading, matching
+  :func:`repro.core.quality.staleness` per source;
+* redundancy — duplicate ratio against a time-bounded kept set, matching
+  :func:`repro.core.quality.redundancy_ratio` for time-ordered streams;
+* precision — positional jitter via Welford's algorithm over the same
+  3-point second differences as :func:`repro.core.quality.precision_jitter`;
+* value consistency — rate-constraint violations, the streaming reading of
+  :func:`repro.cleaning.screen.speed_violations`;
+* time sparsity, latency, and data volume as running means/counts.
+
+:class:`WindowedSensorStats` adds a sliding horizon by pane rotation (two
+tumbling panes of ``window`` seconds each), so stale degradation ages out
+of the snapshot instead of haunting the cumulative averages forever.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..core.quality import Dimension, QualityReport
+from .events import IngestEvent
+
+
+class Welford:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, x: float) -> None:
+        """Fold one sample into the running moments."""
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far (0 when n < 2)."""
+        return self._m2 / self.n if self.n >= 2 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the samples seen so far."""
+        return math.sqrt(self.variance)
+
+    @classmethod
+    def combine(cls, a: "Welford", b: "Welford") -> "Welford":
+        """Merge two accumulators (Chan et al. parallel update)."""
+        out = cls()
+        out.n = a.n + b.n
+        if out.n == 0:
+            return out
+        delta = b.mean - a.mean
+        out.mean = a.mean + delta * (b.n / out.n)
+        out._m2 = a._m2 + b._m2 + delta * delta * (a.n * b.n / out.n)
+        return out
+
+
+class OnlineSensorStats:
+    """Constant-memory quality accumulators for one sensor's stream.
+
+    ``expected_interval`` enables the completeness metric; ``space_eps`` /
+    ``time_eps`` parameterize duplicate detection exactly as in
+    :func:`repro.core.quality.redundancy_ratio`; ``value_rate_bounds`` is an
+    optional ``(s_min, s_max)`` pair enabling the value-consistency metric
+    (fraction of consecutive readings whose change rate is feasible).
+    """
+
+    __slots__ = (
+        "expected_interval",
+        "space_eps",
+        "time_eps",
+        "value_rate_bounds",
+        "n",
+        "latency",
+        "jitter",
+        "_t_start",
+        "_t_first",
+        "_t_max",
+        "_last_t",
+        "_gap_sum",
+        "_gap_count",
+        "_slots_filled",
+        "_last_slot",
+        "_prev_slot",
+        "_first_slot",
+        "_dups",
+        "_kept",
+        "_violations",
+        "_pairs",
+        "_prev_vt",
+        "_first_vt",
+        "_tail",
+    )
+
+    def __init__(
+        self,
+        expected_interval: float | None = None,
+        space_eps: float = 1.0,
+        time_eps: float = 0.5,
+        value_rate_bounds: tuple[float, float] | None = None,
+        t_start: float | None = None,
+    ) -> None:
+        if expected_interval is not None and expected_interval <= 0:
+            raise ValueError("expected_interval must be positive")
+        if value_rate_bounds is not None and value_rate_bounds[0] > value_rate_bounds[1]:
+            raise ValueError("value_rate_bounds must be (s_min, s_max) with s_min <= s_max")
+        self.expected_interval = expected_interval
+        self.space_eps = space_eps
+        self.time_eps = time_eps
+        self.value_rate_bounds = value_rate_bounds
+        self.n = 0
+        self.latency = Welford()
+        self.jitter = Welford()
+        self._t_start = t_start  # completeness schedule origin
+        self._t_first: float | None = None  # first event time seen
+        self._t_max: float | None = None
+        self._last_t: float | None = None
+        self._gap_sum = 0.0
+        self._gap_count = 0
+        self._slots_filled = 0
+        self._last_slot: int | None = None
+        self._prev_slot: int | None = None
+        self._first_slot: int | None = None
+        self._dups = 0
+        self._kept: deque[tuple[float, float, float]] = deque()  # (x, y, t) non-dups
+        self._violations = 0
+        self._pairs = 0
+        self._prev_vt: tuple[float, float] | None = None  # (t, value)
+        self._first_vt: tuple[float, float] | None = None
+        self._tail: deque[tuple[float, float]] = deque(maxlen=2)  # (x, y) for jitter
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def update(self, event: IngestEvent) -> None:
+        """Fold one reading into every accumulator (O(1) amortized)."""
+        t = event.t
+        self.n += 1
+        self.latency.push(event.arrival_time - t)
+
+        if self._t_first is None:
+            self._t_first = t
+        if self._t_start is None:
+            self._t_start = t
+        if self._t_max is None or t > self._t_max:
+            self._t_max = t
+
+        # time sparsity: running mean sampling gap
+        if self._last_t is not None:
+            self._gap_sum += t - self._last_t
+            self._gap_count += 1
+        self._last_t = t
+
+        # completeness: count distinct expected-schedule slots (in-order streams)
+        if self.expected_interval is not None and t >= self._t_start:
+            slot = int((t - self._t_start) / self.expected_interval)
+            if self._last_slot is None or slot > self._last_slot:
+                self._slots_filled += 1
+                self._prev_slot = self._last_slot
+                self._last_slot = slot
+                if self._first_slot is None:
+                    self._first_slot = slot
+
+        # redundancy: duplicate against the kept set within time_eps
+        while self._kept and self._kept[0][2] < t - self.time_eps:
+            self._kept.popleft()
+        is_dup = any(
+            math.hypot(kx - event.x, ky - event.y) <= self.space_eps
+            and abs(kt - t) <= self.time_eps
+            for kx, ky, kt in self._kept
+        )
+        if is_dup:
+            self._dups += 1
+        else:
+            self._kept.append((event.x, event.y, t))
+
+        # value consistency: rate-constraint violations between consecutive readings
+        if self.value_rate_bounds is not None and not math.isnan(event.value):
+            if self._first_vt is None:
+                self._first_vt = (t, event.value)
+            if self._prev_vt is not None:
+                self._count_rate_pair(self._prev_vt, (t, event.value))
+            self._prev_vt = (t, event.value)
+
+        # precision: Welford over 3-point second-difference deviations
+        if len(self._tail) == 2:
+            (x0, y0), (x1, y1) = self._tail
+            dev = math.hypot(x1 - (x0 + event.x) / 2.0, y1 - (y0 + event.y) / 2.0)
+            self.jitter.push(dev)
+        self._tail.append((event.x, event.y))
+
+    def _count_rate_pair(self, prev: tuple[float, float], cur: tuple[float, float]) -> None:
+        s_min, s_max = self.value_rate_bounds  # type: ignore[misc]
+        dt = cur[0] - prev[0]
+        if dt <= 0:
+            return
+        rate = (cur[1] - prev[1]) / dt
+        self._pairs += 1
+        if rate < s_min - 1e-12 or rate > s_max + 1e-12:
+            self._violations += 1
+
+    # -- snapshots ---------------------------------------------------------------
+
+    @property
+    def last_event_time(self) -> float | None:
+        """Event time of the freshest reading (None before any reading)."""
+        return self._t_max
+
+    def completeness(self) -> float | None:
+        """Fraction of expected sampling slots filled so far (None if unset).
+
+        Slots are counted from the first *observed* reading onward, which
+        coincides with :func:`repro.core.quality.completeness` whenever the
+        schedule starts at the first sample (the usual case), and lets
+        windowed panes score only the span they actually cover.
+        """
+        if (
+            self.expected_interval is None
+            or self._t_max is None
+            or self._t_start is None
+            or self._t_max <= self._t_start
+        ):
+            return None
+        n_slots = int(math.ceil((self._t_max - self._t_start) / self.expected_interval))
+        denom = n_slots - (self._first_slot or 0)
+        if denom <= 0:
+            return None
+        filled = self._slots_filled
+        # A final reading exactly at t_end opens slot n_slots, which the batch
+        # metric clamps into slot n_slots-1; undo the double count if needed.
+        if self._last_slot is not None and self._last_slot >= n_slots:
+            if self._prev_slot is not None and self._prev_slot == n_slots - 1:
+                filled -= 1
+        return min(1.0, filled / denom)
+
+    def snapshot(self, now: float | None = None) -> QualityReport:
+        """The stream so far as a batch-compatible :class:`QualityReport`.
+
+        ``now`` is the wall-clock instant used for staleness; when omitted
+        the staleness dimension is left out of the report.
+        """
+        report = QualityReport()
+        report.set(Dimension.DATA_VOLUME, float(self.n))
+        if self.n == 0:
+            return report
+        report.set(Dimension.LATENCY, self.latency.mean)
+        report.set(Dimension.REDUNDANCY, self._dups / self.n)
+        if self._gap_count > 0:
+            report.set(Dimension.TIME_SPARSITY, self._gap_sum / self._gap_count)
+        if self.jitter.n > 0:
+            report.set(Dimension.PRECISION, self.jitter.mean)
+        elif self.n >= 1:
+            report.set(Dimension.PRECISION, 0.0)
+        comp = self.completeness()
+        if comp is not None:
+            report.set(Dimension.COMPLETENESS, comp)
+        if self.value_rate_bounds is not None and self._pairs > 0:
+            report.set(Dimension.CONSISTENCY, 1.0 - self._violations / self._pairs)
+        if now is not None and self._t_max is not None:
+            report.set(Dimension.STALENESS, now - self._t_max)
+        return report
+
+    # -- pane merging (sliding windows) ------------------------------------------
+
+    @classmethod
+    def combine(cls, a: "OnlineSensorStats", b: "OnlineSensorStats") -> "OnlineSensorStats":
+        """Merge two pane accumulators covering adjacent time ranges.
+
+        ``a`` must cover the earlier range.  The merge is exact for every
+        metric except redundancy, where duplicates straddling the pane
+        boundary are undercounted (each pane deduplicates independently).
+        """
+        out = cls(
+            expected_interval=a.expected_interval,
+            space_eps=a.space_eps,
+            time_eps=a.time_eps,
+            value_rate_bounds=a.value_rate_bounds,
+        )
+        if a.n == 0:
+            return b._copy_into(out)
+        if b.n == 0:
+            return a._copy_into(out)
+        out.n = a.n + b.n
+        out.latency = Welford.combine(a.latency, b.latency)
+        out.jitter = Welford.combine(a.jitter, b.jitter)
+        out._t_start = a._t_start
+        out._t_first = a._t_first
+        out._t_max = max(a._t_max, b._t_max)  # type: ignore[type-var]
+        out._last_t = b._last_t
+        out._gap_sum = a._gap_sum + b._gap_sum
+        out._gap_count = a._gap_count + b._gap_count
+        if a._last_t is not None and b._t_first is not None:
+            out._gap_sum += b._t_first - a._last_t  # the cross-pane gap
+            out._gap_count += 1
+        out._slots_filled = a._slots_filled + b._slots_filled
+        if (
+            a._last_slot is not None
+            and b._first_slot is not None
+            and a._last_slot == b._first_slot
+        ):
+            out._slots_filled -= 1  # the boundary slot was counted by both panes
+        out._last_slot = b._last_slot if b._last_slot is not None else a._last_slot
+        if b._prev_slot is not None:
+            out._prev_slot = b._prev_slot
+        elif b._last_slot is not None and a._last_slot != b._last_slot:
+            out._prev_slot = a._last_slot
+        else:
+            out._prev_slot = a._prev_slot
+        out._first_slot = a._first_slot if a._first_slot is not None else b._first_slot
+        out._dups = a._dups + b._dups
+        out._kept = deque(b._kept)
+        out._violations = a._violations + b._violations
+        out._pairs = a._pairs + b._pairs
+        if a._prev_vt is not None and b._first_vt is not None:
+            out._count_rate_pair(a._prev_vt, b._first_vt)  # the cross-pane pair
+        out._prev_vt = b._prev_vt if b._prev_vt is not None else a._prev_vt
+        out._first_vt = a._first_vt if a._first_vt is not None else b._first_vt
+        out._tail = deque(b._tail, maxlen=2)
+        return out
+
+    def _copy_into(self, out: "OnlineSensorStats") -> "OnlineSensorStats":
+        for name in self.__slots__:
+            value = getattr(self, name)
+            if isinstance(value, deque):
+                value = deque(value, maxlen=value.maxlen)
+            setattr(out, name, value)
+        return out
+
+
+class WindowedSensorStats:
+    """Sliding-horizon quality via two-pane rotation.
+
+    Readings accumulate into the *current* pane; when the pane has covered
+    ``window`` seconds of event time it becomes the *previous* pane and a
+    fresh one starts.  Snapshots merge the two panes, so every snapshot
+    reflects between ``window`` and ``2 * window`` seconds of history and
+    older degradation ages out.
+    """
+
+    __slots__ = ("window", "_kwargs", "_current", "_previous", "_pane_start", "_origin")
+
+    def __init__(self, window: float, **stats_kwargs) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._kwargs = stats_kwargs
+        self._current = OnlineSensorStats(**stats_kwargs)
+        self._previous: OnlineSensorStats | None = None
+        self._pane_start: float | None = None
+        self._origin: float | None = stats_kwargs.get("t_start")
+
+    def update(self, event: IngestEvent) -> None:
+        """Fold one reading, rotating panes when the window elapses."""
+        if self._pane_start is None:
+            self._pane_start = event.t
+            if self._origin is None:
+                self._origin = event.t
+        elif event.t - self._pane_start >= self.window:
+            self._previous = self._current
+            # Every pane shares the original schedule origin so completeness
+            # slot indices stay comparable when panes are merged.
+            kwargs = dict(self._kwargs, t_start=self._origin)
+            self._current = OnlineSensorStats(**kwargs)
+            self._pane_start = self._pane_start + self.window * math.floor(
+                (event.t - self._pane_start) / self.window
+            )
+        self._current.update(event)
+
+    def snapshot(self, now: float | None = None) -> QualityReport:
+        """Quality of the last one-to-two windows of stream history."""
+        return self._merged().snapshot(now)
+
+    @property
+    def last_event_time(self) -> float | None:
+        """Event time of the freshest reading within the horizon."""
+        return self._merged().last_event_time
+
+    def _merged(self) -> OnlineSensorStats:
+        if self._previous is None:
+            return self._current
+        return OnlineSensorStats.combine(self._previous, self._current)

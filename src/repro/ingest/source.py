@@ -1,0 +1,144 @@
+"""Replay sources: drive the ingestion engine from synthetic worlds.
+
+The paper's setting is a live sensor fleet; here the fleet is replayed
+from :mod:`repro.synth` ground truth with exact knowledge of what was
+injected.  :func:`field_stream` samples a
+:class:`~repro.synth.fields.SmoothField` with stationary sensors and
+merges the per-sensor series into one arrival-ordered event stream;
+:func:`corrupt_stream` degrades such a stream with the Table 1 injectors
+(duplicates, spikes, transport delays) to exercise the quality gates; and
+:class:`ReplaySource` pushes any event list into an engine, optionally
+paced at a target event rate for load testing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import BBox
+from ..core.stid import STSeries
+from ..synth.corrupt import delay_arrivals, duplicate_records, spike_values
+from ..synth.fields import SmoothField, random_sensor_sites
+from .engine import IngestEngine
+from .events import IngestEvent
+
+
+def events_from_series(
+    series: list[STSeries],
+    rng: np.random.Generator | None = None,
+    mean_delay: float = 0.0,
+) -> list[IngestEvent]:
+    """Merge sensor series into one stream ordered by arrival time.
+
+    With ``mean_delay > 0``, exponential transport delays (per
+    :func:`repro.synth.corrupt.delay_arrivals`) separate arrival from
+    event time, producing the out-of-order interleaving real IoT
+    transports deliver.
+    """
+    events: list[IngestEvent] = []
+    for s in series:
+        records = s.records()
+        if mean_delay > 0:
+            if rng is None:
+                raise ValueError("mean_delay > 0 requires an rng")
+            arrivals = delay_arrivals(np.array([r.t for r in records]), rng, mean_delay)
+        else:
+            arrivals = [r.t for r in records]
+        events.extend(
+            IngestEvent.from_record(r, float(a)) for r, a in zip(records, arrivals)
+        )
+    events.sort(key=lambda e: e.arrival_time)
+    return events
+
+
+def field_stream(
+    rng: np.random.Generator,
+    n_sensors: int,
+    bbox: BBox,
+    t_start: float,
+    t_end: float,
+    interval: float,
+    field: SmoothField | None = None,
+    noise_sigma: float = 0.5,
+    mean_delay: float = 0.0,
+) -> tuple[list[IngestEvent], list[STSeries]]:
+    """A synthetic sensor-fleet stream with known ground truth.
+
+    Returns the arrival-ordered events plus the clean per-sensor series
+    they were derived from (for batch/online equivalence checks).
+    """
+    if field is None:
+        field = SmoothField(rng, bbox)
+    sites = random_sensor_sites(rng, n_sensors, bbox)
+    times = np.arange(t_start, t_end, interval)
+    series = field.sample_sensors(sites, times, rng, noise_sigma=noise_sigma)
+    return events_from_series(series, rng, mean_delay), series
+
+
+def corrupt_stream(
+    series: list[STSeries],
+    rng: np.random.Generator,
+    duplicate_rate: float = 0.0,
+    spike_rate: float = 0.0,
+    spike_magnitude: float = 10.0,
+    mean_delay: float = 0.0,
+) -> list[IngestEvent]:
+    """Degrade per-sensor series with Table 1 injectors, then merge.
+
+    Spikes (faulty thematic values) are injected per series, duplicates
+    (at-least-once transport) per merged record list, and transport delays
+    on arrival times — each exercising a different gate.
+    """
+    working = list(series)
+    if spike_rate > 0:
+        working = [spike_values(s, rng, spike_rate, spike_magnitude)[0] for s in working]
+    events: list[IngestEvent] = []
+    for s in working:
+        records = s.records()
+        if duplicate_rate > 0:
+            records = duplicate_records(records, rng, duplicate_rate)
+        arrivals = (
+            delay_arrivals(np.array([r.t for r in records]), rng, mean_delay)
+            if mean_delay > 0
+            else [r.t for r in records]
+        )
+        events.extend(
+            IngestEvent.from_record(r, float(a)) for r, a in zip(records, arrivals)
+        )
+    events.sort(key=lambda e: e.arrival_time)
+    return events
+
+
+@dataclass
+class ReplaySource:
+    """Pushes a prepared event stream into an engine, optionally paced.
+
+    ``rate`` is the target event rate in events/second of wall time; when
+    None the stream is replayed as fast as the engine accepts it (the
+    load-test mode the sharding benchmark uses).
+    """
+
+    events: list[IngestEvent]
+
+    def drive(self, engine: IngestEngine, rate: float | None = None) -> int:
+        """Offer every event; returns how many the engine accepted.
+
+        Pacing is coarse-grained (checked every 64 events) so the pacing
+        loop itself does not dominate at high target rates.
+        """
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for full speed)")
+        accepted = 0
+        start = time.perf_counter()
+        for i, event in enumerate(self.events):
+            if rate is not None and i % 64 == 0:
+                target = i / rate
+                elapsed = time.perf_counter() - start
+                if elapsed < target:
+                    time.sleep(target - elapsed)
+            if engine.offer(event):
+                accepted += 1
+        return accepted

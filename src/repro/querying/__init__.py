@@ -36,6 +36,7 @@ from .aggregates import (
 from .out_of_order import (
     StreamEvent,
     WatermarkAggregator,
+    WatermarkClock,
     WindowResult,
     run_stream,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "probabilistic_range_query_naive",
     "StreamEvent",
     "WatermarkAggregator",
+    "WatermarkClock",
     "WindowResult",
     "run_stream",
     "GridShuffleScheme",

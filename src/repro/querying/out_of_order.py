@@ -27,6 +27,37 @@ class StreamEvent:
     value: float
 
 
+class WatermarkClock:
+    """Event-time watermark: max event time observed minus allowed lateness.
+
+    The watermark is the standard disorder bound for out-of-order streams:
+    once it passes an instant, no further event with a smaller event time is
+    expected.  Shared by :class:`WatermarkAggregator` and the streaming
+    reordering gate in :mod:`repro.ingest.gates`.
+    """
+
+    __slots__ = ("allowed_lateness", "_max_event_time")
+
+    def __init__(self, allowed_lateness: float) -> None:
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be non-negative")
+        self.allowed_lateness = allowed_lateness
+        self._max_event_time = float("-inf")
+
+    @property
+    def max_event_time(self) -> float:
+        return self._max_event_time
+
+    @property
+    def watermark(self) -> float:
+        return self._max_event_time - self.allowed_lateness
+
+    def observe(self, event_time: float) -> float:
+        """Advance the clock with one event; returns the new watermark."""
+        self._max_event_time = max(self._max_event_time, event_time)
+        return self.watermark
+
+
 @dataclass
 class WindowResult:
     """A finalized tumbling window."""
@@ -56,7 +87,7 @@ class WatermarkAggregator:
         self.allowed_lateness = allowed_lateness
         self._buffers: dict[int, list[StreamEvent]] = {}
         self._closed: dict[int, WindowResult] = {}
-        self._max_event_time = float("-inf")
+        self._clock = WatermarkClock(allowed_lateness)
         self.results: list[WindowResult] = []
 
     def _window_of(self, event_time: float) -> int:
@@ -69,8 +100,7 @@ class WatermarkAggregator:
             self._closed[w].late_drops += 1
         else:
             self._buffers.setdefault(w, []).append(event)
-        self._max_event_time = max(self._max_event_time, event.event_time)
-        watermark = self._max_event_time - self.allowed_lateness
+        watermark = self._clock.observe(event.event_time)
         emitted = []
         for win in sorted(self._buffers):
             window_end = (win + 1) * self.window_size

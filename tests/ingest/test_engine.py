@@ -1,0 +1,266 @@
+"""Engine behavior: sharding, accounting conservation, backpressure, shutdown."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Dimension, staleness
+from repro.ingest import (
+    Decision,
+    DuplicateGate,
+    IngestEngine,
+    IngestEvent,
+    InMemoryStore,
+    LatencyStore,
+    QualityRegistry,
+    RangeGate,
+    ReorderGate,
+    ReplaySource,
+    SpeedScreenGate,
+    StreamingGate,
+    corrupt_stream,
+    field_stream,
+    shard_of,
+)
+
+
+class SlowGate(StreamingGate):
+    """Test-only gate burning wall time per reading (forces queue buildup)."""
+
+    name = "slow"
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def offer(self, event):
+        """Admit after sleeping (models an expensive per-reading check)."""
+        time.sleep(self.seconds)
+        return [self._admit(event)]
+
+
+def _stream(seed=0, n_sensors=20, t_end=120.0, interval=5.0):
+    rng = np.random.default_rng(seed)
+    from repro.core import BBox
+
+    box = BBox(0.0, 0.0, 1000.0, 1000.0)
+    return field_stream(rng, n_sensors, box, 0.0, t_end, interval)
+
+
+class TestSharding:
+    def test_shard_assignment_is_stable_and_in_range(self):
+        for n in (1, 2, 4, 8):
+            for sid in (f"sensor-{i}" for i in range(50)):
+                s = shard_of(sid, n)
+                assert 0 <= s < n
+                assert s == shard_of(sid, n)
+
+    def test_per_sensor_order_preserved(self):
+        """One sensor always lands on one shard, so its readings are
+        processed (and stored) in offer order."""
+        events, _ = _stream(n_sensors=10)
+        with IngestEngine(n_shards=4) as engine:
+            ReplaySource(events).drive(engine)
+        for sensor, records in engine.store.by_sensor().items():
+            times = [r.t for r in records]
+            assert times == sorted(times), sensor
+
+    def test_all_shards_used_with_enough_sensors(self):
+        events, _ = _stream(n_sensors=32)
+        with IngestEngine(n_shards=4) as engine:
+            ReplaySource(events).drive(engine)
+        assert all(n > 0 for n in engine.processed_per_shard())
+
+
+class TestAccounting:
+    def test_clean_stream_fully_admitted(self):
+        events, _ = _stream()
+        engine = IngestEngine(n_shards=2)
+        ReplaySource(events).drive(engine)
+        counters = engine.close()
+        assert counters.conserved()
+        assert counters.admitted == len(events)
+        assert counters.quarantined == 0
+
+    def test_corrupted_stream_conserved_with_full_gate_chain(self):
+        rng = np.random.default_rng(3)
+        _, series = _stream(seed=3)
+        events = corrupt_stream(
+            series, rng, duplicate_rate=0.3, spike_rate=0.05, mean_delay=2.0
+        )
+        quarantine = InMemoryStore()
+        engine = IngestEngine(
+            n_shards=4,
+            gate_factories=[
+                lambda: ReorderGate(allowed_lateness=4.0),
+                lambda: DuplicateGate(space_eps=1.0, time_eps=0.5),
+                lambda: SpeedScreenGate(-5.0, 5.0),
+            ],
+            quarantine_store=quarantine,
+        )
+        ReplaySource(events).drive(engine)
+        counters = engine.close()
+        assert counters.conserved()
+        assert counters.offered == len(events)
+        assert counters.quarantined > 0  # duplicates and/or late arrivals
+        assert len(engine.store) == counters.admitted
+        assert len(quarantine) == counters.quarantined
+
+    def test_registry_decisions_match_global_counters(self):
+        rng = np.random.default_rng(4)
+        _, series = _stream(seed=4, n_sensors=8)
+        events = corrupt_stream(series, rng, duplicate_rate=0.4)
+        registry = QualityRegistry()
+        engine = IngestEngine(
+            n_shards=2,
+            gate_factories=[lambda: DuplicateGate(1.0, 0.5)],
+            registry=registry,
+        )
+        ReplaySource(events).drive(engine)
+        counters = engine.close()
+        per_sensor = [registry.decision_counts(s) for s in registry.sensor_ids]
+        assert sum(d[Decision.QUARANTINE] for d in per_sensor) == counters.quarantined
+        assert (
+            sum(d[Decision.ADMIT] + d[Decision.REPAIR] for d in per_sensor)
+            == counters.admitted
+        )
+
+    def test_registry_reads_never_create_sensors(self):
+        registry = QualityRegistry()
+        with pytest.raises(KeyError):
+            registry.snapshot("never-seen")
+        with pytest.raises(KeyError):
+            registry.decision_counts("never-seen")
+        assert registry.sensor_ids == []
+
+    def test_offer_after_close_raises(self):
+        engine = IngestEngine(n_shards=1)
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.offer(IngestEvent("s0", 0.0, 0.0, 0.0, 0.0, 0.0))
+
+    def test_close_is_idempotent(self):
+        events, _ = _stream(n_sensors=4, t_end=30.0)
+        engine = IngestEngine(n_shards=2)
+        ReplaySource(events).drive(engine)
+        first = engine.close()
+        second = engine.close()
+        assert first.as_dict() == second.as_dict()
+
+
+class TestBackpressure:
+    """A slow gate plus a bounded queue must trigger each policy, with
+    correct accounting in the registry (the acceptance-criterion cases)."""
+
+    def _events(self, n=120):
+        return [IngestEvent("hot-sensor", 0.0, 0.0, float(t), 0.0, float(t)) for t in range(n)]
+
+    def test_block_policy_is_lossless(self):
+        engine = IngestEngine(
+            n_shards=1,
+            gate_factories=[lambda: SlowGate(0.001)],
+            queue_size=4,
+            policy="block",
+        )
+        for ev in self._events():
+            assert engine.offer(ev)
+        counters = engine.close()
+        assert counters.conserved()
+        assert counters.admitted == 120
+        assert counters.dropped == 0 and counters.rejected == 0
+
+    def test_drop_oldest_policy_sheds_and_accounts(self):
+        engine = IngestEngine(
+            n_shards=1,
+            gate_factories=[lambda: SlowGate(0.002)],
+            queue_size=4,
+            policy="drop_oldest",
+        )
+        for ev in self._events():
+            assert engine.offer(ev)  # drop_oldest always accepts the new reading
+        counters = engine.close()
+        assert counters.conserved()
+        assert counters.dropped > 0
+        assert counters.admitted + counters.dropped == 120
+        # freshness wins: the newest reading is never the one evicted
+        stored = [r.t for r in engine.store.records]
+        assert 119.0 in stored
+
+    def test_reject_policy_refuses_and_accounts(self):
+        engine = IngestEngine(
+            n_shards=1,
+            gate_factories=[lambda: SlowGate(0.002)],
+            queue_size=4,
+            policy="reject",
+        )
+        accepted = [engine.offer(ev) for ev in self._events()]
+        counters = engine.close()
+        assert counters.conserved()
+        assert counters.rejected > 0
+        assert accepted.count(False) == counters.rejected
+        assert accepted.count(True) == counters.admitted
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            IngestEngine(policy="nope")
+
+
+class TestRegistryIntegration:
+    def test_aggregate_staleness_matches_batch(self):
+        """The registry's fleet staleness equals the batch metric over the
+        admitted records."""
+        events, _ = _stream(n_sensors=12)
+        registry = QualityRegistry()
+        with IngestEngine(n_shards=4, registry=registry) as engine:
+            ReplaySource(events).drive(engine)
+        now = max(e.t for e in events) + 30.0
+        agg = registry.aggregate(now=now)
+        want = staleness(engine.store.records, now)
+        assert agg[Dimension.STALENESS] == pytest.approx(want, abs=1e-9)
+        assert agg[Dimension.DATA_VOLUME] == len(events)
+
+    def test_live_snapshots_visible_mid_stream(self):
+        """Snapshots are readable while workers are still ingesting."""
+        events, _ = _stream(n_sensors=6)
+        registry = QualityRegistry()
+        engine = IngestEngine(n_shards=2, registry=registry)
+        src = ReplaySource(events[: len(events) // 2])
+        src.drive(engine)
+        deadline = time.time() + 5.0
+        while not registry.sensor_ids and time.time() < deadline:
+            time.sleep(0.001)
+        assert registry.sensor_ids  # stats appear without any shutdown
+        ReplaySource(events[len(events) // 2 :]).drive(engine)
+        engine.close()
+        assert len(registry.sensor_ids) == 6
+
+    def test_gate_latencies_recorded(self):
+        events, _ = _stream(n_sensors=4, t_end=60.0)
+        with IngestEngine(n_shards=2, gate_factories=[lambda: RangeGate(-1e9, 1e9)]) as engine:
+            ReplaySource(events).drive(engine)
+        lats = engine.gate_latencies()
+        assert len(lats) == len(events)
+        assert all(v >= 0 for v in lats)
+
+
+@pytest.mark.slow
+class TestThroughputScaling:
+    def test_four_shards_beat_one(self):
+        """With a realistic per-write backend latency, sharding must raise
+        throughput (the bench_ingest acceptance criterion, in miniature)."""
+        events, _ = _stream(seed=9, n_sensors=64, t_end=100.0, interval=2.0)
+
+        def run(n_shards):
+            engine = IngestEngine(
+                n_shards=n_shards,
+                gate_factories=[lambda: DuplicateGate(1.0, 0.5)],
+                store=LatencyStore(InMemoryStore(), 200e-6),
+            )
+            start = time.perf_counter()
+            ReplaySource(events).drive(engine)
+            engine.close()
+            return len(events) / (time.perf_counter() - start)
+
+        single = run(1)
+        sharded = run(4)
+        assert sharded > single

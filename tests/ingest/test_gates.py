@@ -1,0 +1,172 @@
+"""Streaming gates: decisions, batch equivalence, and chain composition."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import screen_repair
+from repro.core import Point, STSeries
+from repro.ingest import (
+    Decision,
+    DuplicateGate,
+    IngestEvent,
+    RangeGate,
+    ReorderGate,
+    SpeedScreenGate,
+    flush_chain,
+    run_chain,
+)
+from repro.synth import SmoothField, duplicate_records, spike_values
+
+
+def ev(t, value=0.0, x=0.0, y=0.0, sensor="s0", arrival=None):
+    return IngestEvent(sensor, x, y, t, value, t if arrival is None else arrival)
+
+
+class TestRangeGate:
+    def test_in_range_admitted(self):
+        gate = RangeGate(-10.0, 10.0)
+        (out,) = gate.offer(ev(0.0, 3.0))
+        assert out.decision is Decision.ADMIT
+
+    def test_out_of_range_quarantined(self):
+        gate = RangeGate(-10.0, 10.0)
+        (out,) = gate.offer(ev(0.0, 11.0))
+        assert out.decision is Decision.QUARANTINE
+        assert "range" in out.reason
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeGate(5.0, -5.0)
+
+
+class TestSpeedScreenGate:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_batch_screen_repair(self, box, seed):
+        """Streaming the series through the gate reproduces the batch
+        SCREEN repair value-for-value."""
+        rng = np.random.default_rng(seed)
+        field = SmoothField(rng, box)
+        times = np.arange(0.0, 400.0, 4.0)
+        values = [field.value(Point(500, 500), float(t)) for t in times]
+        series, _ = spike_values(
+            STSeries("s0", Point(500, 500), times, values), rng, 0.1, 20.0
+        )
+        want = screen_repair(series.times, series.values, -0.5, 0.5)
+        gate = SpeedScreenGate(-0.5, 0.5)
+        got = []
+        repaired = 0
+        for r in series.records():
+            (out,) = gate.offer(IngestEvent.from_record(r))
+            got.append(out.event.value)
+            repaired += out.decision is Decision.REPAIR
+        np.testing.assert_allclose(got, want, atol=1e-12)
+        assert repaired > 0  # the spikes forced actual repairs
+
+    def test_first_reading_admitted_verbatim(self):
+        gate = SpeedScreenGate(-1.0, 1.0)
+        (out,) = gate.offer(ev(0.0, 1e9))
+        assert out.decision is Decision.ADMIT
+
+    def test_non_increasing_time_quarantined(self):
+        gate = SpeedScreenGate(-1.0, 1.0)
+        gate.offer(ev(5.0, 0.0))
+        (out,) = gate.offer(ev(5.0, 0.1))
+        assert out.decision is Decision.QUARANTINE
+
+
+class TestDuplicateGate:
+    def test_exact_redelivery_quarantined(self):
+        gate = DuplicateGate(space_eps=1.0, time_eps=0.5)
+        assert gate.offer(ev(10.0))[0].decision is Decision.ADMIT
+        (out,) = gate.offer(ev(10.1))
+        assert out.decision is Decision.QUARANTINE
+
+    def test_far_apart_in_time_kept(self):
+        gate = DuplicateGate(space_eps=1.0, time_eps=0.5)
+        gate.offer(ev(10.0))
+        (out,) = gate.offer(ev(11.0))
+        assert out.decision is Decision.ADMIT
+
+    def test_far_apart_in_space_kept(self):
+        gate = DuplicateGate(space_eps=1.0, time_eps=0.5)
+        gate.offer(ev(10.0, x=0.0))
+        (out,) = gate.offer(ev(10.1, x=100.0))
+        assert out.decision is Decision.ADMIT
+
+    def test_collapses_injected_duplicates(self, rng, box):
+        field = SmoothField(rng, box)
+        times = np.arange(0.0, 300.0, 5.0)
+        series = STSeries(
+            "s0", Point(1, 1), times, [field.value(Point(1, 1), float(t)) for t in times]
+        )
+        records = duplicate_records(series.records(), rng, rate=0.5, time_jitter=0.1)
+        gate = DuplicateGate(space_eps=1.0, time_eps=0.5)
+        admitted = [
+            out
+            for r in records
+            for out in gate.offer(IngestEvent.from_record(r))
+            if out.decision is Decision.ADMIT
+        ]
+        assert len(admitted) == len(times)  # every duplicate collapsed
+
+
+class TestReorderGate:
+    def test_restores_event_time_order(self, rng):
+        times = np.arange(0.0, 60.0, 1.0)
+        arrivals = times + rng.exponential(2.0, size=len(times))
+        events = sorted(
+            (ev(float(t), arrival=float(a)) for t, a in zip(times, arrivals)),
+            key=lambda e: e.arrival_time,
+        )
+        gate = ReorderGate(allowed_lateness=8.0)
+        released = [out for e in events for out in gate.offer(e)]
+        released += gate.flush()
+        out_times = [o.event.t for o in released if o.decision is Decision.ADMIT]
+        assert out_times == sorted(out_times)
+
+    def test_zero_lateness_quarantines_stragglers(self):
+        gate = ReorderGate(allowed_lateness=0.0)
+        gate.offer(ev(0.0))
+        gate.offer(ev(10.0))  # watermark jumps to 10, releases t=0 and t=10
+        (out,) = gate.offer(ev(5.0))  # older than everything released
+        assert out.decision is Decision.QUARANTINE
+        assert "late" in out.reason
+
+    def test_flush_releases_buffer_in_order(self):
+        gate = ReorderGate(allowed_lateness=100.0)
+        for t in (3.0, 1.0, 2.0):
+            assert gate.offer(ev(t)) == []  # far below watermark: all buffered
+        flushed = gate.flush()
+        assert [o.event.t for o in flushed] == [1.0, 2.0, 3.0]
+
+
+class TestChains:
+    def test_empty_chain_admits(self):
+        (out,) = run_chain([], ev(0.0))
+        assert out.decision is Decision.ADMIT
+
+    def test_quarantine_is_terminal(self):
+        """A reading failing the range gate never reaches later gates."""
+        screen = SpeedScreenGate(-1.0, 1.0)
+        chain = [RangeGate(-1.0, 1.0), screen]
+        (out,) = run_chain(chain, ev(0.0, 50.0))
+        assert out.decision is Decision.QUARANTINE
+        # the screen gate never saw it, so its next reading is a first reading
+        (nxt,) = run_chain(chain, ev(1.0, 0.5))
+        assert nxt.decision is Decision.ADMIT
+
+    def test_repair_decision_survives_later_admits(self):
+        chain = [SpeedScreenGate(-0.1, 0.1), DuplicateGate(1.0, 0.5)]
+        run_chain(chain, ev(0.0, 0.0))
+        (out,) = run_chain(chain, ev(1.0, 99.0, x=5.0))
+        assert out.decision is Decision.REPAIR
+        assert out.event.value == pytest.approx(0.1)
+
+    def test_buffered_then_released_through_downstream(self):
+        """Readings held by the reorder gate pass later gates on release."""
+        chain = [ReorderGate(allowed_lateness=100.0), RangeGate(-1.0, 1.0)]
+        assert run_chain(chain, ev(0.0, 0.0)) == []
+        assert run_chain(chain, ev(1.0, 99.0)) == []
+        outcomes = flush_chain(chain)
+        decisions = [o.decision for o in outcomes]
+        assert decisions == [Decision.ADMIT, Decision.QUARANTINE]

@@ -1,0 +1,224 @@
+"""Online metrics must agree with their batch counterparts.
+
+Property-style checks: finite streams (clean and corrupted with
+:mod:`repro.synth.corrupt` injectors) are fed reading-by-reading into
+:class:`repro.ingest.OnlineSensorStats`, and every snapshot dimension is
+compared against the batch metric from :mod:`repro.core.quality` (or
+:mod:`repro.cleaning.screen`) computed on the same finite collection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import speed_violations
+from repro.core import (
+    Dimension,
+    Point,
+    STSeries,
+    completeness,
+    mean_latency,
+    precision_jitter,
+    redundancy_ratio,
+    staleness,
+    time_sparsity,
+)
+from repro.ingest import IngestEvent, OnlineSensorStats, Welford, WindowedSensorStats
+from repro.synth import (
+    SmoothField,
+    add_gaussian_noise,
+    correlated_random_walk,
+    delay_arrivals,
+    duplicate_records,
+    spike_values,
+)
+
+TOL = 1e-9
+
+
+def _feed(stats, records, arrivals=None):
+    for i, r in enumerate(records):
+        arrival = None if arrivals is None else float(arrivals[i])
+        stats.update(IngestEvent.from_record(r, arrival))
+    return stats
+
+
+def _series(rng, box, n=120, interval=5.0, drop_rate=0.0):
+    field = SmoothField(rng, box)
+    loc = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    times = np.arange(0.0, n * interval, interval)
+    if drop_rate > 0:
+        keep = np.concatenate(
+            [[True], rng.random(len(times) - 2) >= drop_rate, [True]]
+        )
+        times = times[keep]
+    values = [field.value(loc, float(t)) for t in times]
+    return STSeries("s0", loc, times, values)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("drop_rate", [0.0, 0.3])
+def test_completeness_matches_batch(box, seed, drop_rate):
+    rng = np.random.default_rng(seed)
+    series = _series(rng, box, interval=5.0, drop_rate=drop_rate)
+    records = series.records()
+    stats = _feed(OnlineSensorStats(expected_interval=5.0), records)
+    want = completeness([r.t for r in records], records[0].t, records[-1].t, 5.0)
+    got = stats.snapshot()[Dimension.COMPLETENESS]
+    assert got == pytest.approx(want, abs=TOL)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_completeness_with_irregular_times(box, seed):
+    """Jittered (non-grid) sampling times still match the batch slot count."""
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.0, 500.0, size=90))
+    times = np.unique(times)
+    series = STSeries("s0", Point(1, 2), times, np.zeros(len(times)))
+    records = series.records()
+    stats = _feed(OnlineSensorStats(expected_interval=7.0), records)
+    want = completeness([r.t for r in records], records[0].t, records[-1].t, 7.0)
+    assert stats.snapshot()[Dimension.COMPLETENESS] == pytest.approx(want, abs=TOL)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_redundancy_matches_batch_on_duplicated_stream(box, seed):
+    rng = np.random.default_rng(seed)
+    series = _series(rng, box)
+    records = duplicate_records(series.records(), rng, rate=0.4, time_jitter=0.1)
+    stats = _feed(OnlineSensorStats(space_eps=1.0, time_eps=0.5), records)
+    want = redundancy_ratio(records, space_eps=1.0, time_eps=0.5)
+    assert stats.snapshot()[Dimension.REDUNDANCY] == pytest.approx(want, abs=TOL)
+
+
+def test_staleness_matches_batch(rng, box):
+    series = _series(rng, box)
+    records = series.records()
+    stats = _feed(OnlineSensorStats(), records)
+    now = records[-1].t + 42.0
+    assert stats.snapshot(now=now)[Dimension.STALENESS] == pytest.approx(
+        staleness(records, now), abs=TOL
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_precision_jitter_matches_batch(box, seed):
+    """Welford jitter over a noisy trajectory equals the batch estimator."""
+    rng = np.random.default_rng(seed)
+    traj = add_gaussian_noise(
+        correlated_random_walk(rng, 150, box, speed_mean=5.0), rng, sigma=8.0
+    )
+    stats = OnlineSensorStats()
+    for p in traj:
+        stats.update(IngestEvent.from_point("veh-1", p))
+    assert stats.snapshot()[Dimension.PRECISION] == pytest.approx(
+        precision_jitter(traj), rel=1e-9
+    )
+    assert stats.snapshot()[Dimension.TIME_SPARSITY] == pytest.approx(
+        time_sparsity(traj), rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_latency_matches_batch(box, seed):
+    rng = np.random.default_rng(seed)
+    series = _series(rng, box)
+    records = series.records()
+    arrivals = delay_arrivals(np.array([r.t for r in records]), rng, mean_delay=3.0)
+    stats = _feed(OnlineSensorStats(), records, arrivals)
+    want = mean_latency([r.t for r in records], arrivals)
+    assert stats.snapshot()[Dimension.LATENCY] == pytest.approx(want, rel=1e-9)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_value_consistency_matches_speed_violations(box, seed):
+    """Online consistency = 1 - (batch SCREEN violations / pairs) on the
+    same spiked series (the corrupted-stream requirement)."""
+    rng = np.random.default_rng(seed)
+    series = _series(rng, box)
+    spiked, _ = spike_values(series, rng, rate=0.1, magnitude=25.0)
+    records = spiked.records()
+    stats = _feed(OnlineSensorStats(value_rate_bounds=(-1.0, 1.0)), records)
+    violations = speed_violations(spiked.times, spiked.values, -1.0, 1.0)
+    want = 1.0 - violations / (len(records) - 1)
+    assert stats.snapshot()[Dimension.CONSISTENCY] == pytest.approx(want, abs=TOL)
+
+
+def test_data_volume_counts_every_reading(rng, box):
+    series = _series(rng, box)
+    stats = _feed(OnlineSensorStats(), series.records())
+    assert stats.snapshot()[Dimension.DATA_VOLUME] == len(series)
+
+
+def test_empty_stats_snapshot_is_minimal():
+    report = OnlineSensorStats().snapshot(now=10.0)
+    assert report[Dimension.DATA_VOLUME] == 0.0
+    assert Dimension.STALENESS not in report
+    assert Dimension.PRECISION not in report
+
+
+class TestWelford:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(3.0, 2.0, size=500)
+        w = Welford()
+        for x in xs:
+            w.push(float(x))
+        assert w.mean == pytest.approx(float(np.mean(xs)), rel=1e-12)
+        assert w.variance == pytest.approx(float(np.var(xs)), rel=1e-9)
+
+    def test_combine_equals_sequential(self, rng):
+        xs = rng.normal(0.0, 1.0, size=301)
+        a, b, whole = Welford(), Welford(), Welford()
+        for x in xs[:140]:
+            a.push(float(x))
+        for x in xs[140:]:
+            b.push(float(x))
+        for x in xs:
+            whole.push(float(x))
+        merged = Welford.combine(a, b)
+        assert merged.n == whole.n
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+
+
+class TestWindowedStats:
+    def _events(self, rng, box, n=200, interval=5.0):
+        series = _series(rng, box, n=n, interval=interval)
+        return [IngestEvent.from_record(r) for r in series.records()]
+
+    def test_window_covering_stream_equals_cumulative(self, rng, box):
+        events = self._events(rng, box)
+        span = events[-1].t - events[0].t
+        windowed = WindowedSensorStats(span * 2, expected_interval=5.0)
+        cumulative = OnlineSensorStats(expected_interval=5.0)
+        for ev in events:
+            windowed.update(ev)
+            cumulative.update(ev)
+        got = windowed.snapshot(now=events[-1].t)
+        want = cumulative.snapshot(now=events[-1].t)
+        for dim, value in want.values.items():
+            assert got[dim] == pytest.approx(value, abs=TOL), dim
+
+    def test_old_degradation_ages_out(self, box):
+        """Early spikes stop hurting consistency once the window passes them."""
+        rng = np.random.default_rng(5)
+        times = np.arange(0.0, 1000.0, 5.0)
+        values = np.zeros(len(times))
+        values[:40] = np.where(np.arange(40) % 2 == 0, 50.0, -50.0)  # early chaos
+        series = STSeries("s0", Point(0, 0), times, values)
+        windowed = WindowedSensorStats(200.0, value_rate_bounds=(-1.0, 1.0))
+        cumulative = OnlineSensorStats(value_rate_bounds=(-1.0, 1.0))
+        for r in series.records():
+            windowed.update(IngestEvent.from_record(r))
+            cumulative.update(IngestEvent.from_record(r))
+        aged = windowed.snapshot()[Dimension.CONSISTENCY]
+        forever = cumulative.snapshot()[Dimension.CONSISTENCY]
+        assert aged == pytest.approx(1.0)
+        assert forever < 0.9
+
+    def test_windowed_staleness_tracks_freshest(self, rng, box):
+        events = self._events(rng, box)
+        windowed = WindowedSensorStats(100.0)
+        for ev in events:
+            windowed.update(ev)
+        now = events[-1].t + 7.0
+        assert windowed.snapshot(now=now)[Dimension.STALENESS] == pytest.approx(7.0)

@@ -1,0 +1,87 @@
+"""Replay sources: merging, corruption wiring, and rate pacing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ingest import (
+    IngestEngine,
+    ReplaySource,
+    corrupt_stream,
+    events_from_series,
+    field_stream,
+)
+
+
+def _field(rng, box, n_sensors=10, t_end=200.0, interval=5.0):
+    return field_stream(rng, n_sensors, box, 0.0, t_end, interval)
+
+
+def test_field_stream_shapes(rng, box):
+    events, series = _field(rng, box)
+    assert len(series) == 10
+    assert len(events) == sum(len(s) for s in series)
+    assert len({e.sensor_id for e in events}) == 10
+
+
+def test_events_ordered_by_arrival(rng, box):
+    events, series = _field(rng, box)
+    arrivals = [e.arrival_time for e in events]
+    assert arrivals == sorted(arrivals)
+    # no transport delay requested: arrival equals event time
+    assert all(e.arrival_time == e.t for e in events)
+
+
+def test_transport_delays_separate_arrival_from_event_time(rng, box):
+    _, series = _field(rng, box)
+    events = events_from_series(series, rng, mean_delay=2.0)
+    assert all(e.arrival_time >= e.t for e in events)
+    assert any(e.arrival_time > e.t for e in events)
+    # delayed interleaving produces event-time disorder within sensors
+    per_sensor_times = {}
+    disordered = 0
+    for e in events:
+        last = per_sensor_times.get(e.sensor_id)
+        if last is not None and e.t < last:
+            disordered += 1
+        per_sensor_times[e.sensor_id] = max(last or -np.inf, e.t)
+    assert disordered > 0
+
+
+def test_events_from_series_requires_rng_for_delays(rng, box):
+    _, series = _field(rng, box)
+    with pytest.raises(ValueError):
+        events_from_series(series, None, mean_delay=1.0)
+
+
+def test_corrupt_stream_injects_duplicates(rng, box):
+    _, series = _field(rng, box)
+    base = sum(len(s) for s in series)
+    events = corrupt_stream(series, rng, duplicate_rate=0.25)
+    assert len(events) > base
+
+
+def test_replay_full_speed_accepts_everything(rng, box):
+    events, _ = _field(rng, box, n_sensors=5, t_end=60.0)
+    with IngestEngine(n_shards=2) as engine:
+        accepted = ReplaySource(events).drive(engine)
+    assert accepted == len(events)
+
+
+def test_replay_rate_pacing_slows_the_producer(rng, box):
+    events, _ = _field(rng, box, n_sensors=8, t_end=400.0)  # 640 events
+    with IngestEngine(n_shards=1) as engine:
+        start = time.perf_counter()
+        ReplaySource(events).drive(engine, rate=2000.0)
+        paced = time.perf_counter() - start
+    # pacing is checked every 64 events, so the last checkpoint (event 576)
+    # cannot pass before 576/2000 s of wall time
+    assert paced >= 0.25
+
+
+def test_replay_rate_validation(rng, box):
+    events, _ = _field(rng, box, n_sensors=2, t_end=30.0)
+    with IngestEngine(n_shards=1) as engine:
+        with pytest.raises(ValueError):
+            ReplaySource(events).drive(engine, rate=0.0)

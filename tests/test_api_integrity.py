@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.decision",
     "repro.indoor",
+    "repro.ingest",
     "repro.integration",
     "repro.learning",
     "repro.localization",
