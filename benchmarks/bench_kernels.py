@@ -1,0 +1,183 @@
+"""Benchmark: columnar kernels vs the seed's scalar per-point loops.
+
+Measures the hot paths the vectorized compute core (:mod:`repro.kernels`)
+rewired — batch range / kNN queries over 100k points and the trajectory
+outlier screens — against the retained scalar references
+(:mod:`repro.kernels.reference`), verifying result equality before timing.
+Writes ``BENCH_kernels.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full run
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI gate
+
+``--smoke`` runs a small input and *asserts* the vectorized paths are
+correct and at least as fast as the scalar paths — a loud regression gate
+without ratio-based timing flakiness.  The full run records the measured
+speedups (target: >= 5x on the 100k workloads).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cleaning import heading_outliers, speed_outliers, zscore_outliers
+from repro.core import BBox, Point, Trajectory
+from repro.kernels import reference
+from repro.querying import (
+    GridIndex,
+    RTree,
+    brute_force_knn_many,
+    brute_force_range_many,
+    build_entries,
+)
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def timed(fn):
+    """Run ``fn`` twice — untimed warmup, then timed — returning ``(result, seconds)``.
+
+    The warmup keeps one-off costs (allocator growth, first-touch page
+    faults on the big intermediate arrays) out of the measurement; both
+    scalar and vectorized contenders get the same treatment.
+    """
+    out = fn()
+    start = time.perf_counter()
+    fn()
+    return out, time.perf_counter() - start
+
+
+def make_workload(rng, n_points, n_queries):
+    """Random points, query centers/radii, and a random-walk trajectory."""
+    box = BBox(0.0, 0.0, 1000.0, 1000.0)
+    pts = [Point(x, y) for x, y in rng.uniform(0, 1000, (n_points, 2))]
+    entries = build_entries(pts)
+    centers = [Point(x, y) for x, y in rng.uniform(0, 1000, (n_queries, 2))]
+    radii = rng.uniform(30, 80, n_queries).tolist()
+    steps = rng.normal(0, 5, (n_points, 2)).cumsum(axis=0)
+    traj = Trajectory.from_arrays(
+        steps[:, 0], steps[:, 1], np.arange(n_points, dtype=float), "bench"
+    )
+    return box, entries, centers, radii, traj
+
+
+def bench_queries(box, entries, centers, radii, k, results):
+    """Range and kNN batches: scalar linear scans vs every vectorized path."""
+    scalar_range, t_scalar_range = timed(
+        lambda: [reference.scalar_range(entries, c, r) for c, r in zip(centers, radii)]
+    )
+    scalar_knn, t_scalar_knn = timed(
+        lambda: [reference.scalar_knn(entries, c, k) for c in centers]
+    )
+
+    grid = GridIndex(box, 50.0)
+    for e in entries:
+        grid.insert(e)
+    tree = RTree(entries, leaf_capacity=32)
+    grid.range_query_many(centers[:1], radii[:1])  # build columnar snapshots
+
+    contenders = {
+        "brute_force_range_many": lambda: brute_force_range_many(entries, centers, radii),
+        "grid_range_query_many": lambda: grid.range_query_many(centers, radii),
+        "rtree_range_query_many": lambda: tree.range_query_many(centers, radii),
+    }
+    for name, fn in contenders.items():
+        got, elapsed = timed(fn)
+        assert [sorted(g) for g in got] == [sorted(s) for s in scalar_range], name
+        results[name] = {"scalar_s": t_scalar_range, "vectorized_s": elapsed}
+
+    contenders = {
+        "brute_force_knn_many": lambda: brute_force_knn_many(entries, centers, k),
+        "grid_knn_many": lambda: grid.knn_many(centers, k),
+        "rtree_knn_many": lambda: tree.knn_many(centers, k),
+    }
+    for name, fn in contenders.items():
+        got, elapsed = timed(fn)
+        assert got == scalar_knn, name
+        results[name] = {"scalar_s": t_scalar_knn, "vectorized_s": elapsed}
+
+
+def bench_screens(traj, results):
+    """Outlier screens: scalar per-point loops vs the screen kernels."""
+    screens = {
+        "speed_screen": (
+            lambda: reference.scalar_speed_outliers(traj, 20.0),
+            lambda: speed_outliers(traj, 20.0),
+        ),
+        "heading_screen": (
+            lambda: reference.scalar_heading_outliers(traj, 2.8),
+            lambda: heading_outliers(traj, 2.8),
+        ),
+        "zscore_screen": (
+            lambda: reference.scalar_zscore_outliers(traj, 7, 3.0),
+            lambda: zscore_outliers(traj, 7, 3.0),
+        ),
+    }
+    traj.speeds(), traj.headings()  # warm the shared caches for both sides
+    for name, (scalar_fn, vector_fn) in screens.items():
+        want, t_scalar = timed(scalar_fn)
+        got, t_vector = timed(vector_fn)
+        assert got == want, name
+        results[name] = {"scalar_s": t_scalar, "vectorized_s": t_vector}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small input; assert correctness and vectorized <= scalar time",
+    )
+    parser.add_argument("--points", type=int, default=100_000)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_points, n_queries = 2_000, 5
+    else:
+        n_points, n_queries = args.points, args.queries
+
+    rng = np.random.default_rng(2022)
+    box, entries, centers, radii, traj = make_workload(rng, n_points, n_queries)
+
+    results: dict[str, dict[str, float]] = {}
+    bench_queries(box, entries, centers, radii, args.k, results)
+    bench_screens(traj, results)
+
+    for name, row in results.items():
+        row["speedup"] = row["scalar_s"] / max(row["vectorized_s"], 1e-12)
+
+    width = max(len(n) for n in results)
+    print(f"{'case'.ljust(width)}  scalar_s  vectorized_s  speedup")
+    for name, row in results.items():
+        print(
+            f"{name.ljust(width)}  {row['scalar_s']:8.4f}  "
+            f"{row['vectorized_s']:12.4f}  {row['speedup']:6.1f}x"
+        )
+
+    if args.smoke:
+        slow = [n for n, r in results.items() if r["vectorized_s"] > r["scalar_s"]]
+        assert not slow, f"vectorized paths slower than scalar: {slow}"
+        print("smoke OK: all vectorized paths correct and at least as fast as scalar")
+        if args.out is not None:
+            args.out.write_text(json.dumps(results, indent=2) + "\n")
+    else:
+        out_path = args.out or OUT_PATH
+        payload = {
+            "workload": {"points": n_points, "queries": n_queries, "k": args.k},
+            "results": results,
+        }
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

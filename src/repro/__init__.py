@@ -16,7 +16,9 @@ the tutorial's taxonomy (Figure 2):
 * :mod:`repro.analytics` — analyses on low-quality SID (Sec. 2.3.2),
 * :mod:`repro.decision` — decision-making using low-quality SID (Sec. 2.3.3),
 * :mod:`repro.ingest` — streaming ingestion with sharded quality gates and
-  online DQ metrics (the Sec. 2.4 middleware, made live).
+  online DQ metrics (the Sec. 2.4 middleware, made live),
+* :mod:`repro.kernels` — the vectorized compute core: columnar batch
+  kernels backing every hot path above.
 """
 
 __version__ = "1.0.0"
@@ -29,6 +31,7 @@ from . import (
     indoor,
     ingest,
     integration,
+    kernels,
     learning,
     localization,
     querying,
@@ -44,6 +47,7 @@ __all__ = [
     "indoor",
     "ingest",
     "integration",
+    "kernels",
     "learning",
     "localization",
     "querying",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import kernels
 from ..core.trajectory import Trajectory
 
 
@@ -31,11 +32,16 @@ def _coords(traj: Trajectory) -> np.ndarray:
 
 
 def dtw_distance(a: Trajectory, b: Trajectory, band: int | None = None) -> float:
-    """Dynamic time warping with optional Sakoe-Chiba band (cells)."""
+    """Dynamic time warping with optional Sakoe-Chiba band (cells).
+
+    The pairwise cost matrix is one batched kernel call; only the
+    inherently sequential DP recurrence stays in Python.
+    """
     pa, pb = _coords(a), _coords(b)
     n, m = len(pa), len(pb)
     if n == 0 or m == 0:
         raise ValueError("empty trajectory")
+    cost = kernels.cross_dists(pa, pb)
     inf = math.inf
     dp = np.full((n + 1, m + 1), inf)
     dp[0, 0] = 0.0
@@ -44,9 +50,9 @@ def dtw_distance(a: Trajectory, b: Trajectory, band: int | None = None) -> float
         if band is not None:
             center = int(round(i * m / n))
             lo, hi = max(1, center - band), min(m, center + band)
+        row = cost[i - 1]
         for j in range(lo, hi + 1):
-            cost = math.hypot(pa[i - 1, 0] - pb[j - 1, 0], pa[i - 1, 1] - pb[j - 1, 1])
-            dp[i, j] = cost + min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
+            dp[i, j] = row[j - 1] + min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
     return float(dp[n, m])
 
 
@@ -55,7 +61,7 @@ def hausdorff_distance(a: Trajectory, b: Trajectory) -> float:
     pa, pb = _coords(a), _coords(b)
     if len(pa) == 0 or len(pb) == 0:
         raise ValueError("empty trajectory")
-    d = np.hypot(pa[:, None, 0] - pb[None, :, 0], pa[:, None, 1] - pb[None, :, 1])
+    d = kernels.cross_dists(pa, pb)
     return float(max(d.min(axis=1).max(), d.min(axis=0).max()))
 
 
@@ -71,17 +77,15 @@ def edr_distance(a: Trajectory, b: Trajectory, epsilon: float) -> float:
     n, m = len(pa), len(pb)
     if n == 0 or m == 0:
         raise ValueError("empty trajectory")
+    sub_cost = (kernels.cross_dists(pa, pb) > epsilon).astype(float)
     dp = np.zeros((n + 1, m + 1))
     dp[:, 0] = np.arange(n + 1)
     dp[0, :] = np.arange(m + 1)
     for i in range(1, n + 1):
+        row = sub_cost[i - 1]
         for j in range(1, m + 1):
-            match = (
-                math.hypot(pa[i - 1, 0] - pb[j - 1, 0], pa[i - 1, 1] - pb[j - 1, 1])
-                <= epsilon
-            )
             dp[i, j] = min(
-                dp[i - 1, j - 1] + (0 if match else 1),
+                dp[i - 1, j - 1] + row[j - 1],
                 dp[i - 1, j] + 1,
                 dp[i, j - 1] + 1,
             )
@@ -98,7 +102,7 @@ def frechet_distance(a: Trajectory, b: Trajectory) -> float:
     n, m = len(pa), len(pb)
     if n == 0 or m == 0:
         raise ValueError("empty trajectory")
-    d = np.hypot(pa[:, None, 0] - pb[None, :, 0], pa[:, None, 1] - pb[None, :, 1])
+    d = kernels.cross_dists(pa, pb)
     dp = np.full((n, m), math.inf)
     dp[0, 0] = d[0, 0]
     for i in range(n):
@@ -143,12 +147,24 @@ class SearchStats:
 
 
 class SimilaritySearch:
-    """k-most-similar search under Hausdorff with bbox lower-bound pruning."""
+    """k-most-similar search under Hausdorff with bbox lower-bound pruning.
+
+    Corpus bounding boxes are columnarized once at construction, so the
+    per-query lower bounds are one vectorized gap computation instead of a
+    per-candidate Python loop.
+    """
 
     def __init__(self, corpus: list[Trajectory]) -> None:
         if not corpus:
             raise ValueError("empty corpus")
         self.corpus = corpus
+        self._boxes = np.array(
+            [
+                (bb.min_x, bb.min_y, bb.max_x, bb.max_y)
+                for bb in (t.bbox() for t in corpus)
+            ],
+            dtype=float,
+        )
 
     def knn(self, query: Trajectory, k: int) -> tuple[list[int], SearchStats]:
         """Indices of the k nearest corpus trajectories, plus work stats.
@@ -160,9 +176,8 @@ class SimilaritySearch:
         if k < 1:
             raise ValueError("k must be >= 1")
         stats = SearchStats(candidates=len(self.corpus))
-        bounds = sorted(
-            ((bbox_lower_bound(query, t), i) for i, t in enumerate(self.corpus)),
-        )
+        lbs = kernels.box_gap_dists(query.bbox(), self._boxes)
+        bounds = sorted(zip(lbs.tolist(), range(len(self.corpus))))
         results: list[tuple[float, int]] = []
         kth = math.inf
         for lb, i in bounds:

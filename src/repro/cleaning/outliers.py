@@ -11,7 +11,9 @@ The tutorial's three method families, each with the trade-off it names:
   trustworthy input to keep the model on track.
 
 All detectors return sorted point indices; :func:`remove_and_repair`
-rebuilds a clean trajectory.
+rebuilds a clean trajectory.  The inner loops run on the columnar kernels
+of :mod:`repro.kernels` (the scalar loops are retained in
+:mod:`repro.kernels.reference` as the equivalence-test baseline).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.trajectory import Trajectory, TrajectoryPoint
+from ..kernels import motion, screens
 from ..localization.kalman import KalmanFilter2D
 
 
@@ -34,15 +37,9 @@ def speed_outliers(traj: Trajectory, max_speed: float) -> list[int]:
     speeds above ``max_speed`` — the single-spike signature.  Using both
     sides avoids cascading flags after a genuine fast segment.
     """
-    n = len(traj)
-    if n < 3:
+    if len(traj) < 3:
         return []
-    speeds = traj.speeds()
-    flagged = []
-    for i in range(1, n - 1):
-        if speeds[i - 1] > max_speed and speeds[i] > max_speed:
-            flagged.append(i)
-    return flagged
+    return screens.both_leg_flags(traj.speeds() > max_speed)
 
 
 def heading_outliers(traj: Trajectory, max_turn: float = 2.8) -> list[int]:
@@ -51,17 +48,10 @@ def heading_outliers(traj: Trajectory, max_turn: float = 2.8) -> list[int]:
     A spike shows as two consecutive near-reversals: in->spike and
     spike->out directions differ by almost pi.
     """
-    n = len(traj)
-    if n < 3:
+    if len(traj) < 3:
         return []
-    headings = traj.headings()
-    flagged = []
-    for i in range(1, n - 1):
-        turn = abs(float(headings[i] - headings[i - 1]))
-        turn = min(turn, 2.0 * np.pi - turn)
-        if turn > max_turn:
-            flagged.append(i)
-    return flagged
+    turns = motion.turn_angles(traj.headings())
+    return [int(i) for i in np.flatnonzero(turns > max_turn) + 1]
 
 
 # ---------------------------------------------------------------------------
@@ -79,21 +69,11 @@ def zscore_outliers(
     with a short trajectory (little history) the MAD estimate degrades,
     which is exactly the limitation the tutorial notes for this family.
     """
-    n = len(traj)
-    if n < 3:
+    if len(traj) < 3:
         return []
-    half = max(1, window // 2)
-    xyt = traj.as_xyt()
-    residuals = np.empty(n)
-    for i in range(n):
-        lo, hi = max(0, i - half), min(n, i + half + 1)
-        mx = float(np.median(xyt[lo:hi, 0]))
-        my = float(np.median(xyt[lo:hi, 1]))
-        residuals[i] = float(np.hypot(xyt[i, 0] - mx, xyt[i, 1] - my))
-    mad = float(np.median(np.abs(residuals - np.median(residuals))))
-    scale = 1.4826 * mad if mad > 1e-12 else float(np.std(residuals)) or 1e-12
-    center = float(np.median(residuals))
-    return [i for i in range(n) if (residuals[i] - center) / scale > threshold]
+    residuals = screens.windowed_median_residuals(traj.as_xyt(), window)
+    z = screens.robust_zscores(residuals)
+    return [int(i) for i in np.flatnonzero(z > threshold)]
 
 
 def profile_outliers(
@@ -113,15 +93,9 @@ def profile_outliers(
     if pooled.size == 0:
         raise ValueError("history contains no usable legs")
     mu, sigma = float(pooled.mean()), float(pooled.std() or 1e-12)
-    speeds = traj.speeds()
-    anomalous_leg = [(s - mu) / sigma > threshold for s in speeds]
     # A position spike makes *both* legs touching it anomalous; requiring
     # both avoids flagging the innocent far endpoint of a single fast leg.
-    return [
-        i
-        for i in range(1, len(traj) - 1)
-        if anomalous_leg[i - 1] and anomalous_leg[i]
-    ]
+    return screens.both_leg_flags((traj.speeds() - mu) / sigma > threshold)
 
 
 # ---------------------------------------------------------------------------
@@ -206,14 +180,19 @@ def remove_and_repair(traj: Trajectory, indices: list[int]) -> Trajectory:
     clean = remove_points(traj, indices)
     if len(clean) < 2:
         return traj
-    out = []
-    for i, p in enumerate(traj):
-        if i in drop and clean.times[0] <= p.t <= clean.times[-1]:
-            q = clean.position_at(p.t)
-            out.append(TrajectoryPoint(q.x, q.y, p.t))
-        else:
-            out.append(p)
-    return Trajectory(out, traj.object_id)
+    cx = clean.as_xyt()
+    t_lo, t_hi = cx[0, 2], cx[-1, 2]
+    repair = [i for i in sorted(drop) if 0 <= i < len(traj) and t_lo <= traj[i].t <= t_hi]
+    ts = np.array([traj[i].t for i in repair])
+    xs = np.interp(ts, cx[:, 2], cx[:, 0])
+    ys = np.interp(ts, cx[:, 2], cx[:, 1])
+    patched = {
+        i: TrajectoryPoint(float(x), float(y), float(t))
+        for i, x, y, t in zip(repair, xs, ys, ts)
+    }
+    return Trajectory(
+        [patched.get(i, p) for i, p in enumerate(traj)], traj.object_id
+    )
 
 
 def detection_scores(

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..kernels import columnar
 from .geometry import BBox, Point
 
 
@@ -42,9 +43,14 @@ class STRecord:
 
 
 class STSeries:
-    """Time series of one stationary sensor (fixed location, ordered times)."""
+    """Time series of one stationary sensor (fixed location, ordered times).
 
-    __slots__ = ("sensor_id", "location", "_times", "_values")
+    The series is frozen after construction (every transform returns a new
+    series), so derived arrays (:meth:`sampling_intervals`, :meth:`as_tv`)
+    are computed lazily once and cached read-only.
+    """
+
+    __slots__ = ("sensor_id", "location", "_times", "_values", "_gaps", "_tv")
 
     def __init__(
         self,
@@ -62,6 +68,8 @@ class STSeries:
         self.location = location
         self._times = ts
         self._values = np.asarray(values, dtype=float)
+        self._gaps: np.ndarray | None = None
+        self._tv: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self._times.size)
@@ -94,6 +102,18 @@ class STSeries:
     def with_values(self, values: Sequence[float]) -> "STSeries":
         """Copy with the value column replaced (same times/location)."""
         return STSeries(self.sensor_id, self.location, self._times, values)
+
+    def sampling_intervals(self) -> np.ndarray:
+        """Gaps between consecutive timestamps, ``(n-1,)`` (cached, read-only)."""
+        if self._gaps is None:
+            self._gaps = columnar.frozen(np.diff(self._times))
+        return self._gaps
+
+    def as_tv(self) -> np.ndarray:
+        """The ``(n, 2)`` array of ``t, value`` rows (cached, read-only)."""
+        if self._tv is None:
+            self._tv = columnar.frozen(np.column_stack([self._times, self._values]))
+        return self._tv
 
     def records(self) -> list[STRecord]:
         """The series as a list of :class:`STRecord`."""
@@ -159,23 +179,31 @@ class STGrid:
         t_step: float,
         bbox: BBox | None = None,
     ) -> "STGrid":
-        """Rasterize records; cells with several records hold their mean."""
+        """Rasterize records; cells with several records hold their mean.
+
+        Cell assignment and per-cell averaging run as one vectorized pass
+        (``np.add.at`` scatter) over a columnar view of the records.
+        """
         recs = list(records)
         if not recs:
             raise ValueError("no records to rasterize")
+        cols = np.array([(r.x, r.y, r.t, r.value) for r in recs], dtype=float)
         if bbox is None:
-            bbox = BBox.from_points(r.point for r in recs)
-        t0 = min(r.t for r in recs)
-        t1 = max(r.t for r in recs)
+            bbox = BBox(
+                float(cols[:, 0].min()),
+                float(cols[:, 1].min()),
+                float(cols[:, 0].max()),
+                float(cols[:, 1].max()),
+            )
+        t0 = float(cols[:, 2].min())
+        t1 = float(cols[:, 2].max())
         grid = cls.empty(bbox, t0, t1 + t_step, cell_size, t_step)
+        ti, yi, xi, valid = grid._cell_indices(cols[:, 0], cols[:, 1], cols[:, 2])
         sums = np.zeros(grid.shape)
         counts = np.zeros(grid.shape)
-        for r in recs:
-            idx = grid.cell_index(r.point, r.t)
-            if idx is None:
-                continue
-            sums[idx] += r.value
-            counts[idx] += 1
+        cell = (ti[valid], yi[valid], xi[valid])
+        np.add.at(sums, cell, cols[valid, 3])
+        np.add.at(counts, cell, 1.0)
         with np.errstate(invalid="ignore"):
             grid.values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
         return grid
@@ -196,6 +224,20 @@ class STGrid:
         if 0 <= xi < nx and 0 <= yi < ny and 0 <= ti < nt:
             return ti, yi, xi
         return None
+
+    def _cell_indices(
+        self, xs: np.ndarray, ys: np.ndarray, ts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`cell_index`: ``(ti, yi, xi, valid_mask)`` arrays."""
+        nt, ny, nx = self.shape
+        xi = np.floor((xs - self.bbox.min_x) / self.cell_size).astype(np.int64)
+        yi = np.floor((ys - self.bbox.min_y) / self.cell_size).astype(np.int64)
+        ti = np.floor((ts - self.t_start) / self.t_step).astype(np.int64)
+        # Points exactly on the max border belong to the last cell.
+        xi[(xi == nx) & (xs == self.bbox.max_x)] -= 1
+        yi[(yi == ny) & (ys == self.bbox.max_y)] -= 1
+        valid = (xi >= 0) & (xi < nx) & (yi >= 0) & (yi < ny) & (ti >= 0) & (ti < nt)
+        return ti, yi, xi, valid
 
     def cell_center(self, ti: int, yi: int, xi: int) -> tuple[Point, float]:
         """Spatial center and mid-time of a cell."""
@@ -219,17 +261,20 @@ class STGrid:
         return float(np.isnan(self.values).mean())
 
     def observed_records(self) -> list[STRecord]:
-        """All non-NaN cells as records at their cell centers."""
-        out: list[STRecord] = []
-        nt, ny, nx = self.shape
-        for ti in range(nt):
-            for yi in range(ny):
-                for xi in range(nx):
-                    v = self.values[ti, yi, xi]
-                    if not np.isnan(v):
-                        p, t = self.cell_center(ti, yi, xi)
-                        out.append(STRecord(p.x, p.y, t, float(v)))
-        return out
+        """All non-NaN cells as records at their cell centers.
+
+        Cell discovery and center computation are vectorized; only the
+        record objects themselves are built in Python.
+        """
+        ti, yi, xi = np.nonzero(~np.isnan(self.values))
+        vals = self.values[ti, yi, xi]
+        cx = self.bbox.min_x + (xi + 0.5) * self.cell_size
+        cy = self.bbox.min_y + (yi + 0.5) * self.cell_size
+        ct = self.t_start + (ti + 0.5) * self.t_step
+        return [
+            STRecord(float(x), float(y), float(t), float(v))
+            for x, y, t, v in zip(cx, cy, ct, vals)
+        ]
 
     def copy(self) -> "STGrid":
         """Deep copy (values array included)."""

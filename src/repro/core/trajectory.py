@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from .geometry import BBox, Point, interpolate, polyline_length
+from ..kernels import columnar, motion
+from .geometry import BBox, Point, interpolate
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,21 +43,33 @@ class Trajectory:
     """An immutable, time-ordered sequence of :class:`TrajectoryPoint`.
 
     Construction validates temporal order (strictly increasing timestamps);
-    all transformation methods return new trajectories.
+    all transformation methods return new trajectories.  Because points are
+    frozen and every transform builds a new trajectory, the derived arrays
+    (:meth:`as_xyt`, :meth:`speeds`, :meth:`headings`,
+    :meth:`sampling_intervals`) are computed lazily once and cached as
+    **read-only** NumPy arrays — repeated cleaning/quality/analytics passes
+    over the same trajectory stop recomputing them.  Copy before mutating.
     """
 
-    __slots__ = ("object_id", "_points", "_times")
+    __slots__ = ("object_id", "_points", "_times", "_xyt", "_speeds", "_headings", "_gaps")
 
     def __init__(self, points: Sequence[TrajectoryPoint], object_id: str = "") -> None:
-        pts = list(points)
-        for prev, cur in zip(pts, pts[1:]):
-            if cur.t <= prev.t:
+        pts = tuple(points)
+        ts = np.fromiter((p.t for p in pts), dtype=float, count=len(pts))
+        if ts.size > 1:
+            bad = np.flatnonzero(np.diff(ts) <= 0)
+            if bad.size:
+                i = int(bad[0])
                 raise ValueError(
-                    f"timestamps must be strictly increasing, got {prev.t} then {cur.t}"
+                    f"timestamps must be strictly increasing, got {pts[i].t} then {pts[i + 1].t}"
                 )
         self.object_id = object_id
-        self._points: tuple[TrajectoryPoint, ...] = tuple(pts)
-        self._times: list[float] = [p.t for p in pts]
+        self._points: tuple[TrajectoryPoint, ...] = pts
+        self._times: list[float] = ts.tolist()
+        self._xyt: np.ndarray | None = None
+        self._speeds: np.ndarray | None = None
+        self._headings: np.ndarray | None = None
+        self._gaps: np.ndarray | None = None
 
     # -- basic container protocol -------------------------------------------------
 
@@ -120,35 +133,40 @@ class Trajectory:
     @property
     def length(self) -> float:
         """Total traveled path length."""
-        return polyline_length([p.point for p in self._points])
+        return motion.path_length(self.as_xyt())
 
     def bbox(self) -> BBox:
         """Smallest bounding box covering all samples."""
-        return BBox.from_points(p.point for p in self._points)
+        if not self._points:
+            raise ValueError("cannot build a bbox from zero points")
+        xyt = self.as_xyt()
+        lo = xyt[:, :2].min(axis=0)
+        hi = xyt[:, :2].max(axis=0)
+        return BBox(float(lo[0]), float(lo[1]), float(hi[0]), float(hi[1]))
 
     def as_xyt(self) -> np.ndarray:
-        """Return an ``(n, 3)`` array of ``x, y, t`` rows."""
-        return np.array([[p.x, p.y, p.t] for p in self._points], dtype=float)
+        """The ``(n, 3)`` array of ``x, y, t`` rows (cached, read-only)."""
+        if self._xyt is None:
+            self._xyt = columnar.frozen(columnar.xyt_columns(self._points))
+        return self._xyt
 
     def speeds(self) -> np.ndarray:
-        """Per-leg speeds, ``(n-1,)`` (m/s)."""
-        if len(self._points) < 2:
-            return np.zeros(0)
-        xyt = self.as_xyt()
-        d = np.hypot(np.diff(xyt[:, 0]), np.diff(xyt[:, 1]))
-        dt = np.diff(xyt[:, 2])
-        return d / dt
+        """Per-leg speeds, ``(n-1,)`` (m/s) (cached, read-only)."""
+        if self._speeds is None:
+            self._speeds = columnar.frozen(motion.leg_speeds(self.as_xyt()))
+        return self._speeds
 
     def headings(self) -> np.ndarray:
-        """Per-leg headings in radians, ``(n-1,)``."""
-        if len(self._points) < 2:
-            return np.zeros(0)
-        xyt = self.as_xyt()
-        return np.arctan2(np.diff(xyt[:, 1]), np.diff(xyt[:, 0]))
+        """Per-leg headings in radians, ``(n-1,)`` (cached, read-only)."""
+        if self._headings is None:
+            self._headings = columnar.frozen(motion.leg_headings(self.as_xyt()))
+        return self._headings
 
     def sampling_intervals(self) -> np.ndarray:
-        """Gaps between consecutive timestamps, ``(n-1,)``."""
-        return np.diff(np.array(self._times))
+        """Gaps between consecutive timestamps, ``(n-1,)`` (cached, read-only)."""
+        if self._gaps is None:
+            self._gaps = columnar.frozen(motion.sampling_intervals(np.array(self._times)))
+        return self._gaps
 
     # -- temporal access ------------------------------------------------------------
 
@@ -184,7 +202,12 @@ class Trajectory:
             return Trajectory(self._points, self.object_id)
         t0, t1 = self._times[0], self._times[-1]
         ts = np.arange(t0, t1 + 1e-9, interval)
-        out = [TrajectoryPoint(*self.position_at(float(t)), float(t)) for t in ts]
+        xyt = self.as_xyt()
+        xs = np.interp(ts, xyt[:, 2], xyt[:, 0])
+        ys = np.interp(ts, xyt[:, 2], xyt[:, 1])
+        out = [
+            TrajectoryPoint(float(x), float(y), float(t)) for x, y, t in zip(xs, ys, ts)
+        ]
         return Trajectory(out, self.object_id)
 
     def downsample(self, keep_every: int) -> "Trajectory":
@@ -230,9 +253,8 @@ def mean_pointwise_error(truth: Trajectory, estimate: Trajectory) -> float:
         raise ValueError("trajectories must have equal length for pointwise error")
     if len(truth) == 0:
         return 0.0
-    return float(
-        np.mean([a.distance_to(b) for a, b in zip(truth.points, estimate.points)])
-    )
+    a, b = truth.as_xyt(), estimate.as_xyt()
+    return float(np.mean(np.hypot(a[:, 0] - b[:, 0], a[:, 1] - b[:, 1])))
 
 
 def synchronized_error(truth: Trajectory, estimate: Trajectory, interval: float = 1.0) -> float:
@@ -245,5 +267,9 @@ def synchronized_error(truth: Trajectory, estimate: Trajectory, interval: float 
     if t1 < t0:
         raise ValueError("trajectories do not overlap in time")
     ts = np.arange(t0, t1 + 1e-9, interval)
-    errs = [truth.position_at(float(t)).distance_to(estimate.position_at(float(t))) for t in ts]
-    return float(np.mean(errs)) if errs else 0.0
+    if ts.size == 0:
+        return 0.0
+    a, b = truth.as_xyt(), estimate.as_xyt()
+    dx = np.interp(ts, a[:, 2], a[:, 0]) - np.interp(ts, b[:, 2], b[:, 0])
+    dy = np.interp(ts, a[:, 2], a[:, 1]) - np.interp(ts, b[:, 2], b[:, 1])
+    return float(np.mean(np.hypot(dx, dy)))

@@ -1,0 +1,50 @@
+"""Per-leg motion kernels over ``(n, 3)`` space-time arrays.
+
+These produce the derived arrays cached by
+:meth:`repro.core.trajectory.Trajectory` (speeds, headings, sampling
+intervals) and the turn-angle sequence used by the heading-based outlier
+screen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def leg_displacements(xyt: np.ndarray) -> np.ndarray:
+    """Distances between consecutive samples, ``(n-1,)``."""
+    if xyt.shape[0] < 2:
+        return np.zeros(0)
+    return np.hypot(np.diff(xyt[:, 0]), np.diff(xyt[:, 1]))
+
+
+def leg_speeds(xyt: np.ndarray) -> np.ndarray:
+    """Per-leg speeds (distance over time gap), ``(n-1,)``."""
+    if xyt.shape[0] < 2:
+        return np.zeros(0)
+    return leg_displacements(xyt) / np.diff(xyt[:, 2])
+
+
+def leg_headings(xyt: np.ndarray) -> np.ndarray:
+    """Per-leg headings in radians, ``(n-1,)``."""
+    if xyt.shape[0] < 2:
+        return np.zeros(0)
+    return np.arctan2(np.diff(xyt[:, 1]), np.diff(xyt[:, 0]))
+
+
+def sampling_intervals(times: np.ndarray) -> np.ndarray:
+    """Gaps between consecutive timestamps, ``(n-1,)``."""
+    return np.diff(np.asarray(times, dtype=float))
+
+
+def turn_angles(headings: np.ndarray) -> np.ndarray:
+    """Absolute heading changes wrapped to ``[0, pi]``, ``(n_legs - 1,)``."""
+    if headings.shape[0] < 2:
+        return np.zeros(0)
+    turn = np.abs(np.diff(headings))
+    return np.minimum(turn, 2.0 * np.pi - turn)
+
+
+def path_length(xyt: np.ndarray) -> float:
+    """Total polyline length of the sample sequence."""
+    return float(leg_displacements(xyt).sum())

@@ -1,0 +1,90 @@
+"""Retained scalar reference implementations for equivalence testing.
+
+These are the seed's per-point Python loops, kept verbatim (modulo the
+deterministic ``(distance, item_id)`` tie rule) after the hot paths moved
+onto the columnar kernels.  They serve two purposes:
+
+* the property-based suite in ``tests/test_kernels.py`` asserts every
+  vectorized path returns *exactly* what the scalar loop returns,
+* ``benchmarks/bench_kernels.py`` times them against the kernels to
+  document the speedup.
+
+Nothing here should be called on a hot path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def scalar_range(entries, center, radius: float) -> list[int]:
+    """Linear-scan disk query: per-entry ``distance_to`` calls (seed path)."""
+    return [e.item_id for e in entries if e.point.distance_to(center) <= radius]
+
+
+def scalar_knn(entries, center, k: int) -> list[int]:
+    """Linear-scan kNN with the ``(distance, item_id)`` tie rule."""
+    ranked = sorted(entries, key=lambda e: (e.point.distance_to(center), e.item_id))
+    return [e.item_id for e in ranked[:k]]
+
+
+def scalar_speeds(points) -> list[float]:
+    """Per-leg speeds via per-sample attribute walks (seed path)."""
+    out = []
+    for a, b in zip(points, points[1:]):
+        out.append(math.hypot(b.x - a.x, b.y - a.y) / (b.t - a.t))
+    return out
+
+
+def scalar_headings(points) -> list[float]:
+    """Per-leg headings via per-sample ``atan2`` calls (seed path)."""
+    return [math.atan2(b.y - a.y, b.x - a.x) for a, b in zip(points, points[1:])]
+
+
+def scalar_speed_outliers(traj, max_speed: float) -> list[int]:
+    """Both-legs speed screen as an index loop (seed path)."""
+    n = len(traj)
+    if n < 3:
+        return []
+    speeds = traj.speeds()
+    flagged = []
+    for i in range(1, n - 1):
+        if speeds[i - 1] > max_speed and speeds[i] > max_speed:
+            flagged.append(i)
+    return flagged
+
+
+def scalar_heading_outliers(traj, max_turn: float = 2.8) -> list[int]:
+    """Heading-reversal screen as an index loop (seed path)."""
+    n = len(traj)
+    if n < 3:
+        return []
+    headings = traj.headings()
+    flagged = []
+    for i in range(1, n - 1):
+        turn = abs(float(headings[i] - headings[i - 1]))
+        turn = min(turn, 2.0 * np.pi - turn)
+        if turn > max_turn:
+            flagged.append(i)
+    return flagged
+
+
+def scalar_zscore_outliers(traj, window: int = 7, threshold: float = 3.0) -> list[int]:
+    """Windowed-median robust z-score screen as a per-point loop (seed path)."""
+    n = len(traj)
+    if n < 3:
+        return []
+    half = max(1, window // 2)
+    xyt = traj.as_xyt()
+    residuals = np.empty(n)
+    for i in range(n):
+        lo, hi = max(0, i - half), min(n, i + half + 1)
+        mx = float(np.median(xyt[lo:hi, 0]))
+        my = float(np.median(xyt[lo:hi, 1]))
+        residuals[i] = float(np.hypot(xyt[i, 0] - mx, xyt[i, 1] - my))
+    mad = float(np.median(np.abs(residuals - np.median(residuals))))
+    scale = 1.4826 * mad if mad > 1e-12 else float(np.std(residuals)) or 1e-12
+    center = float(np.median(residuals))
+    return [i for i in range(n) if (residuals[i] - center) / scale > threshold]

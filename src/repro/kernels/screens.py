@@ -1,0 +1,75 @@
+"""Vectorized statistical screens used by outlier detection.
+
+The kernels mirror the scalar screens of :mod:`repro.cleaning.outliers`
+element-for-element: the windowed median uses the same shrinking window at
+the borders, and the robust z-score uses the same MAD scale with the same
+standard-deviation fallback, so flagged indices are bit-identical to the
+scalar reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def windowed_medians(values: np.ndarray, half: int) -> np.ndarray:
+    """Centered running median with window ``2*half + 1``, shrinking at edges.
+
+    Interior points are one batched ``np.median`` over a sliding-window
+    view; only the ``2*half`` border points (whose windows are truncated)
+    fall back to per-element medians.
+    """
+    v = np.asarray(values, dtype=float)
+    n = v.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    window = 2 * half + 1
+    out = np.empty(n)
+    if n >= window:
+        out[half : n - half] = np.median(sliding_window_view(v, window), axis=1)
+        edges = list(range(half)) + list(range(n - half, n))
+    else:
+        edges = range(n)
+    for i in edges:
+        lo, hi = max(0, i - half), min(n, i + half + 1)
+        out[i] = np.median(v[lo:hi])
+    return out
+
+
+def windowed_median_residuals(xyt: np.ndarray, window: int) -> np.ndarray:
+    """Distance of each sample from its windowed (x, y) median, ``(n,)``."""
+    half = max(1, window // 2)
+    mx = windowed_medians(xyt[:, 0], half)
+    my = windowed_medians(xyt[:, 1], half)
+    return np.hypot(xyt[:, 0] - mx, xyt[:, 1] - my)
+
+
+def robust_zscores(residuals: np.ndarray) -> np.ndarray:
+    """Centered residuals in robust z-units (1.4826 * MAD scale).
+
+    Falls back to the standard deviation when the MAD degenerates (all
+    residuals equal), and to an epsilon when even that is zero — the same
+    ladder as the scalar screen, so thresholds agree exactly.
+    """
+    r = np.asarray(residuals, dtype=float)
+    if r.size == 0:
+        return np.zeros(0)
+    center = float(np.median(r))
+    mad = float(np.median(np.abs(r - center)))
+    scale = 1.4826 * mad if mad > 1e-12 else float(np.std(r)) or 1e-12
+    return (r - center) / scale
+
+
+def both_leg_flags(leg_mask: np.ndarray) -> list[int]:
+    """Interior point indices whose *both* touching legs are flagged.
+
+    ``leg_mask[i]`` covers the leg from sample ``i`` to ``i + 1``; a point
+    ``i`` (``1 <= i <= n - 2``) is returned when legs ``i - 1`` and ``i``
+    are both set — the single-spike signature used by the constraint- and
+    statistics-based screens.
+    """
+    m = np.asarray(leg_mask, dtype=bool)
+    if m.shape[0] < 2:
+        return []
+    return [int(i) for i in np.flatnonzero(m[:-1] & m[1:]) + 1]

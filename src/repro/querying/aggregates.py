@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..core.geometry import Point
 from ..core.uncertain import UncertainPoint
 
@@ -34,16 +35,25 @@ def membership_probabilities(
     Objects whose high-confidence support box misses the disk contribute
     (approximately) zero and skip the exact evaluation — the pruning step
     that makes aggregate queries cheap over large uncertain collections.
+    The min/max box-distance screens run as two vectorized kernel calls
+    over all support boxes; only the ambiguous objects (box straddling the
+    disk boundary) pay the exact per-pdf evaluation.
     """
     probs = np.zeros(len(objects))
-    for i, obj in enumerate(objects):
-        box = obj.location.support_bbox(confidence)
-        if box.min_distance_to(center) > radius:
-            probs[i] = 0.0
-        elif box.max_distance_to(center) <= radius:
-            probs[i] = 1.0
-        else:
-            probs[i] = obj.location.prob_within(center, radius)
+    if not objects:
+        return probs
+    boxes = np.array(
+        [
+            (bb.min_x, bb.min_y, bb.max_x, bb.max_y)
+            for bb in (obj.location.support_bbox(confidence) for obj in objects)
+        ],
+        dtype=float,
+    )
+    certainly_in = kernels.box_max_dists(boxes, center) <= radius
+    possibly_in = kernels.box_min_dists(boxes, center) <= radius
+    probs[certainly_in] = 1.0
+    for i in np.flatnonzero(possibly_in & ~certainly_in):
+        probs[i] = objects[i].location.prob_within(center, radius)
     return probs
 
 

@@ -1,13 +1,24 @@
 """Spatial indexes for query processing over massive SID (Sec. 2.3.1).
 
-Pure-Python implementations of the two workhorse access methods:
+The two workhorse access methods, rebuilt on the columnar compute core
+(:mod:`repro.kernels`) so candidate filtering runs as NumPy reductions
+instead of per-entry ``distance_to`` calls:
 
 * :class:`GridIndex` — a uniform grid for point data (cheap build, good for
-  uniform distributions),
+  uniform distributions) with array-backed cell storage,
 * :class:`RTree` — an STR-bulk-loaded R-tree with best-first kNN (robust to
-  skew),
-* :func:`brute_force_range` / :func:`brute_force_knn` — the baselines every
-  index is validated against in the property tests.
+  skew) whose leaves hold columnar coordinate arrays,
+* :func:`brute_force_range` / :func:`brute_force_knn` — single-reduction
+  linear-scan baselines, with batch variants
+  (:func:`brute_force_range_many` / :func:`brute_force_knn_many`) that pay
+  the object-to-column conversion once per entry set.
+
+Every access method answers kNN under the deterministic
+``(distance, item_id)`` rule: equal-distance items come back in ascending
+id order, so index-vs-baseline comparisons can never flake on ties.  Batch
+APIs (``range_query_many`` / ``knn_many``) answer many probes per columnar
+snapshot; the scalar reference loops retained for validation live in
+:mod:`repro.kernels.reference`.
 """
 
 from __future__ import annotations
@@ -16,10 +27,16 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..core.geometry import BBox, Point
+
+# Cap on the elements of a batch distance matrix; larger batches are answered
+# in query chunks so memory stays flat.
+_BATCH_ELEMENTS = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -31,18 +48,66 @@ class IndexEntry:
 
 
 def brute_force_range(entries: list[IndexEntry], center: Point, radius: float) -> list[int]:
-    """All item ids within ``radius`` of ``center`` (linear scan)."""
-    return [e.item_id for e in entries if e.point.distance_to(center) <= radius]
+    """All item ids within ``radius`` of ``center`` (one NumPy reduction)."""
+    coords, ids = kernels.entry_columns(entries)
+    return [int(i) for i in ids[kernels.range_mask(coords, center, radius)]]
 
 
 def brute_force_knn(entries: list[IndexEntry], center: Point, k: int) -> list[int]:
-    """Ids of the k nearest items (linear scan)."""
-    ranked = sorted(entries, key=lambda e: e.point.distance_to(center))
-    return [e.item_id for e in ranked[:k]]
+    """Ids of the k nearest items, ties broken by ascending ``item_id``."""
+    coords, ids = kernels.entry_columns(entries)
+    return [int(i) for i in kernels.knn_select(kernels.dists_to(coords, center), ids, k)]
+
+
+def _query_chunks(n_points: int, n_queries: int) -> range:
+    chunk = max(1, _BATCH_ELEMENTS // max(1, n_points))
+    return range(0, n_queries, chunk)
+
+
+def brute_force_range_many(
+    entries: list[IndexEntry], centers: Sequence[Point], radii
+) -> list[list[int]]:
+    """Batch disk queries over one entry set, columnarized once.
+
+    ``radii`` is a scalar shared by every query or a per-query sequence.
+    Returns one id list per center, each in entry order (ascending id when
+    entries come from :func:`build_entries`).
+    """
+    coords, ids = kernels.entry_columns(entries)
+    c = kernels.centers_of(centers)
+    r = np.broadcast_to(np.asarray(radii, dtype=float), (c.shape[0],))
+    out: list[list[int]] = []
+    chunks = _query_chunks(coords.shape[0], c.shape[0])
+    for start in chunks:
+        stop = start + chunks.step
+        masks = kernels.range_masks(coords, c[start:stop], r[start:stop])
+        out.extend([int(i) for i in ids[m]] for m in masks)
+    return out
+
+
+def brute_force_knn_many(
+    entries: list[IndexEntry], centers: Sequence[Point], k: int
+) -> list[list[int]]:
+    """Batch kNN over one entry set (``(distance, item_id)`` tie rule)."""
+    coords, ids = kernels.entry_columns(entries)
+    c = kernels.centers_of(centers)
+    out: list[list[int]] = []
+    chunks = _query_chunks(coords.shape[0], c.shape[0])
+    for start in chunks:
+        stop = start + chunks.step
+        for sel in kernels.knn_select_many(coords, ids, c[start:stop], k):
+            out.append([int(i) for i in sel])
+    return out
 
 
 class GridIndex:
-    """Uniform grid over a fixed region; cells hold entry lists."""
+    """Uniform grid over a fixed region with array-backed cell storage.
+
+    Inserts append to per-cell buckets; the first query after an insert
+    snapshots every bucket into contiguous ``(m, 2)`` coordinate and
+    ``(m,)`` id arrays, so query-time candidate filtering is a vectorized
+    distance reduction per cell instead of a per-entry Python loop.
+    """
 
     def __init__(self, region: BBox, cell_size: float) -> None:
         if cell_size <= 0:
@@ -52,6 +117,7 @@ class GridIndex:
         self.nx = max(1, int(math.ceil(region.width / cell_size)))
         self.ny = max(1, int(math.ceil(region.height / cell_size)))
         self._cells: dict[tuple[int, int], list[IndexEntry]] = {}
+        self._columns: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] | None = None
         self._count = 0
 
     def _cell_of(self, p: Point) -> tuple[int, int]:
@@ -60,33 +126,59 @@ class GridIndex:
         return xi, yi
 
     def insert(self, entry: IndexEntry) -> None:
-        """Add one entry to its cell's bucket."""
+        """Add one entry to its cell's bucket (invalidates the snapshot)."""
         self._cells.setdefault(self._cell_of(entry.point), []).append(entry)
+        self._columns = None
         self._count += 1
+
+    def _ensure_columns(self) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
+        if self._columns is None:
+            self._columns = {
+                cell: kernels.entry_columns(bucket) for cell, bucket in self._cells.items()
+            }
+        return self._columns
 
     def __len__(self) -> int:
         return self._count
 
     def range_query(self, center: Point, radius: float) -> list[int]:
         """Ids within the disk; visits only cells overlapping its bbox."""
-        x0 = int((center.x - radius - self.region.min_x) / self.cell_size)
-        x1 = int((center.x + radius - self.region.min_x) / self.cell_size)
-        y0 = int((center.y - radius - self.region.min_y) / self.cell_size)
-        y1 = int((center.y + radius - self.region.min_y) / self.cell_size)
-        out = []
-        for xi in range(max(0, x0), min(self.nx - 1, x1) + 1):
-            for yi in range(max(0, y0), min(self.ny - 1, y1) + 1):
-                for e in self._cells.get((xi, yi), []):
-                    if e.point.distance_to(center) <= radius:
-                        out.append(e.item_id)
+        columns = self._ensure_columns()
+        # Clamp both window ends into [0, n-1] — matching the clamp in
+        # ``_cell_of`` — so a disk centered on (or past) the region's max
+        # border still reaches the last cell, where border points live.
+        x0 = min(self.nx - 1, max(0, int((center.x - radius - self.region.min_x) / self.cell_size)))
+        x1 = min(self.nx - 1, max(0, int((center.x + radius - self.region.min_x) / self.cell_size)))
+        y0 = min(self.ny - 1, max(0, int((center.y - radius - self.region.min_y) / self.cell_size)))
+        y1 = min(self.ny - 1, max(0, int((center.y + radius - self.region.min_y) / self.cell_size)))
+        out: list[int] = []
+        for xi in range(x0, x1 + 1):
+            for yi in range(y0, y1 + 1):
+                piece = columns.get((xi, yi))
+                if piece is None:
+                    continue
+                coords, ids = piece
+                out.extend(int(i) for i in ids[kernels.range_mask(coords, center, radius)])
         return out
 
+    def range_query_many(self, centers: Sequence[Point], radii) -> list[list[int]]:
+        """Batch disk queries against one columnar snapshot.
+
+        ``radii`` is a scalar or per-query sequence; returns one id list
+        per center (same per-query results as :meth:`range_query`).
+        """
+        r = np.broadcast_to(np.asarray(radii, dtype=float), (len(centers),))
+        return [self.range_query(c, float(rad)) for c, rad in zip(centers, r)]
+
     def knn(self, center: Point, k: int) -> list[int]:
-        """k nearest by ring expansion around the query cell."""
+        """k nearest by ring expansion, ties broken by ascending id."""
         if self._count == 0 or k < 1:
             return []
+        columns = self._ensure_columns()
         cx, cy = self._cell_of(center)
-        best: list[tuple[float, int]] = []
+        d_parts: list[np.ndarray] = []
+        id_parts: list[np.ndarray] = []
+        total = 0
         ring = 0
         max_ring = max(self.nx, self.ny)
         while ring <= max_ring:
@@ -95,31 +187,50 @@ class GridIndex:
                 for yi in range(cy - ring, cy + ring + 1):
                     if max(abs(xi - cx), abs(yi - cy)) != ring:
                         continue
-                    if not (0 <= xi < self.nx and 0 <= yi < self.ny):
+                    piece = columns.get((xi, yi))
+                    if piece is None:
                         continue
-                    for e in self._cells.get((xi, yi), []):
-                        found_any = True
-                        heapq.heappush(best, (-e.point.distance_to(center), e.item_id))
-                        if len(best) > k:
-                            heapq.heappop(best)
-            # Stop when the k-th distance is closed by the explored rings.
-            if len(best) >= k:
-                kth = -best[0][0]
+                    coords, ids = piece
+                    found_any = True
+                    d_parts.append(kernels.dists_to(coords, center))
+                    id_parts.append(ids)
+                    total += ids.shape[0]
+            # Stop when the k-th distance is closed by the explored rings:
+            # any unexplored cell lies at least ``ring`` full cells away.
+            if total >= k:
+                kth = float(np.partition(np.concatenate(d_parts), k - 1)[k - 1])
                 if kth <= ring * self.cell_size:
                     break
-            if not found_any and len(best) >= k:
-                break
+                if not found_any:
+                    break
             ring += 1
-        return [item for _, item in sorted(((-d, i) for d, i in best))]
+        if total == 0:
+            return []
+        sel = kernels.knn_select(np.concatenate(d_parts), np.concatenate(id_parts), k)
+        return [int(i) for i in sel]
+
+    def knn_many(self, centers: Sequence[Point], k: int) -> list[list[int]]:
+        """Batch kNN against one columnar snapshot (same tie rule)."""
+        self._ensure_columns()
+        return [self.knn(c, k) for c in centers]
 
 
 class _Node:
-    __slots__ = ("bbox", "children", "entries")
+    __slots__ = ("bbox", "children", "entries", "coords", "ids")
 
-    def __init__(self, bbox: BBox, children: list["_Node"] | None, entries: list[IndexEntry] | None):
+    def __init__(
+        self,
+        bbox: BBox,
+        children: list["_Node"] | None,
+        entries: list[IndexEntry] | None,
+    ):
         self.bbox = bbox
         self.children = children
         self.entries = entries
+        if entries is not None:
+            self.coords, self.ids = kernels.entry_columns(entries)
+        else:
+            self.coords, self.ids = None, None
 
     @property
     def is_leaf(self) -> bool:
@@ -127,7 +238,7 @@ class _Node:
 
 
 class RTree:
-    """STR (Sort-Tile-Recursive) bulk-loaded R-tree."""
+    """STR (Sort-Tile-Recursive) bulk-loaded R-tree with columnar leaves."""
 
     def __init__(self, entries: list[IndexEntry], leaf_capacity: int = 16) -> None:
         if leaf_capacity < 2:
@@ -169,7 +280,11 @@ class RTree:
         return level[0]
 
     def range_query(self, center: Point, radius: float) -> list[int]:
-        """Ids within the disk, pruning subtrees by bbox min-distance."""
+        """Ids within the disk, pruning subtrees by bbox min-distance.
+
+        Leaf candidates are filtered by one vectorized distance reduction
+        per visited leaf.
+        """
         if self.root is None:
             return []
         out: list[int] = []
@@ -179,39 +294,54 @@ class RTree:
             if node.bbox.min_distance_to(center) > radius:
                 continue
             if node.is_leaf:
-                for e in node.entries:  # type: ignore[union-attr]
-                    if e.point.distance_to(center) <= radius:
-                        out.append(e.item_id)
+                mask = kernels.range_mask(node.coords, center, radius)
+                out.extend(int(i) for i in node.ids[mask])
             else:
                 stack.extend(node.children)  # type: ignore[arg-type]
         return out
 
+    def range_query_many(self, centers: Sequence[Point], radii) -> list[list[int]]:
+        """Batch disk queries (one traversal per query, vectorized leaves)."""
+        r = np.broadcast_to(np.asarray(radii, dtype=float), (len(centers),))
+        return [self.range_query(c, float(rad)) for c, rad in zip(centers, r)]
+
     def knn(self, center: Point, k: int) -> list[int]:
-        """Best-first kNN over the tree (Hjaltason-Samet)."""
+        """Best-first kNN (Hjaltason-Samet), ties broken by ascending id.
+
+        Heap keys are ``(distance, kind, tiebreak)`` with nodes ordered
+        before items at equal distance, so a subtree whose bound ties the
+        current item is always expanded first — equal-distance items then
+        surface in ascending id order, matching :func:`brute_force_knn`.
+        """
         if self.root is None or k < 1:
             return []
         counter = itertools.count()
-        heap: list[tuple[float, int, object]] = [
-            (self.root.bbox.min_distance_to(center), next(counter), self.root)
+        # kind 0 = node (expand before equal-distance items), 1 = item.
+        heap: list[tuple[float, int, int, _Node | None]] = [
+            (self.root.bbox.min_distance_to(center), 0, next(counter), self.root)
         ]
         out: list[int] = []
         while heap and len(out) < k:
-            dist, _, obj = heapq.heappop(heap)
-            if isinstance(obj, _Node):
-                if obj.is_leaf:
-                    for e in obj.entries:  # type: ignore[union-attr]
-                        heapq.heappush(
-                            heap, (e.point.distance_to(center), next(counter), e)
-                        )
-                else:
-                    for child in obj.children:  # type: ignore[union-attr]
-                        heapq.heappush(
-                            heap,
-                            (child.bbox.min_distance_to(center), next(counter), child),
-                        )
-            else:  # an IndexEntry surfaced: it is the next nearest item
-                out.append(obj.item_id)  # type: ignore[union-attr]
+            dist, kind, tie, node = heapq.heappop(heap)
+            if kind == 1:  # an item surfaced: it is the next nearest
+                out.append(tie)
+                continue
+            assert node is not None
+            if node.is_leaf:
+                dists = kernels.dists_to(node.coords, center)
+                for d, i in zip(dists.tolist(), node.ids.tolist()):
+                    heapq.heappush(heap, (d, 1, i, None))
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    heapq.heappush(
+                        heap,
+                        (child.bbox.min_distance_to(center), 0, next(counter), child),
+                    )
         return out
+
+    def knn_many(self, centers: Sequence[Point], k: int) -> list[list[int]]:
+        """Batch kNN over the tree (same ``(distance, id)`` tie rule)."""
+        return [self.knn(c, k) for c in centers]
 
 
 def build_entries(points: list[Point]) -> list[IndexEntry]:

@@ -4,9 +4,12 @@ import pytest
 from repro.core import BBox, Point
 from repro.querying import (
     GridIndex,
+    IndexEntry,
     RTree,
     brute_force_knn,
+    brute_force_knn_many,
     brute_force_range,
+    brute_force_range_many,
     build_entries,
 )
 
@@ -70,6 +73,121 @@ class TestGridIndex:
         g = GridIndex(box, 100.0)
         assert g.range_query(Point(0, 0), 100) == []
         assert g.knn(Point(0, 0), 5) == []
+
+    def test_insert_after_query_invalidates_snapshot(self, box):
+        g = GridIndex(box, 100.0)
+        g.insert(IndexEntry(Point(10, 10), 0))
+        assert g.range_query(Point(10, 10), 1.0) == [0]
+        g.insert(IndexEntry(Point(10, 10), 1))
+        assert sorted(g.range_query(Point(10, 10), 1.0)) == [0, 1]
+
+
+class TestCellOfBorders:
+    """Regression tests: cell counts come from ``ceil`` but clamping uses
+    ``nx``/``ny``, so max-border points and degenerate regions need care."""
+
+    def test_point_exactly_on_max_corner(self):
+        box = BBox(0.0, 0.0, 1000.0, 1000.0)
+        g = GridIndex(box, 100.0)  # 1000/100 = 10 exactly: max_x/cell == nx
+        entry = IndexEntry(Point(1000.0, 1000.0), 7)
+        assert g._cell_of(entry.point) == (g.nx - 1, g.ny - 1)
+        g.insert(entry)
+        assert g.range_query(Point(1000.0, 1000.0), 0.0) == [7]
+        assert g.knn(Point(0.0, 0.0), 1) == [7]
+
+    def test_point_on_max_edges_non_integral_cells(self):
+        # width/cell_size is non-integral: ceil adds a partial last cell.
+        box = BBox(0.0, 0.0, 95.0, 45.0)
+        g = GridIndex(box, 10.0)
+        assert (g.nx, g.ny) == (10, 5)
+        for i, p in enumerate([Point(95.0, 20.0), Point(40.0, 45.0), Point(95.0, 45.0)]):
+            xi, yi = g._cell_of(p)
+            assert 0 <= xi < g.nx and 0 <= yi < g.ny
+            g.insert(IndexEntry(p, i))
+        assert sorted(g.range_query(Point(95.0, 45.0), 100.0)) == [0, 1, 2]
+
+    def test_degenerate_zero_width_region(self):
+        box = BBox(5.0, 0.0, 5.0, 100.0)  # zero width: nx clamps to 1
+        g = GridIndex(box, 10.0)
+        assert g.nx == 1
+        for i in range(5):
+            g.insert(IndexEntry(Point(5.0, 20.0 * i), i))
+        entries = [IndexEntry(Point(5.0, 20.0 * i), i) for i in range(5)]
+        assert sorted(g.range_query(Point(5.0, 50.0), 30.0)) == sorted(
+            brute_force_range(entries, Point(5.0, 50.0), 30.0)
+        )
+        assert g.knn(Point(5.0, 41.0), 2) == brute_force_knn(entries, Point(5.0, 41.0), 2)
+
+    def test_degenerate_zero_area_region(self):
+        box = BBox(3.0, 4.0, 3.0, 4.0)  # single point world
+        g = GridIndex(box, 1.0)
+        assert (g.nx, g.ny) == (1, 1)
+        g.insert(IndexEntry(Point(3.0, 4.0), 0))
+        assert g.range_query(Point(3.0, 4.0), 0.0) == [0]
+        assert g.knn(Point(100.0, 100.0), 1) == [0]
+
+
+class TestTieOrdering:
+    """Equal-distance results must come back in ascending item_id order
+    from every access method, so index-vs-baseline tests can't flake."""
+
+    @pytest.fixture
+    def dup_entries(self):
+        # 12 coincident points plus a ring of symmetric equal-distance points.
+        pts = [Point(5, 5)] * 12 + [Point(0, 5), Point(10, 5), Point(5, 0), Point(5, 10)]
+        return build_entries(pts)
+
+    def test_brute_force_tie_rule(self, dup_entries):
+        assert brute_force_knn(dup_entries, Point(5, 5), 14) == list(range(14))
+
+    def test_grid_matches_brute_force_on_ties(self, dup_entries, box):
+        g = GridIndex(box, 3.0)
+        for e in dup_entries:
+            g.insert(e)
+        for k in (1, 5, 12, 14, 16, 100):
+            assert g.knn(Point(5, 5), k) == brute_force_knn(dup_entries, Point(5, 5), k)
+
+    def test_rtree_matches_brute_force_on_ties(self, dup_entries):
+        t = RTree(dup_entries, leaf_capacity=4)
+        for k in (1, 5, 12, 14, 16, 100):
+            assert t.knn(Point(5, 5), k) == brute_force_knn(dup_entries, Point(5, 5), k)
+
+    def test_reversed_insertion_order_same_answer(self, box):
+        pts = [Point(5, 5)] * 8
+        forward = build_entries(pts)
+        backward = list(reversed(forward))
+        g1, g2 = GridIndex(box, 10.0), GridIndex(box, 10.0)
+        for e in forward:
+            g1.insert(e)
+        for e in backward:
+            g2.insert(e)
+        assert g1.knn(Point(5, 5), 3) == g2.knn(Point(5, 5), 3) == [0, 1, 2]
+
+
+class TestBatchQueries:
+    def test_brute_force_batch_matches_single(self, entries):
+        centers = [Point(100, 100), Point(500, 500), Point(999, 1)]
+        assert brute_force_range_many(entries, centers, 150.0) == [
+            brute_force_range(entries, c, 150.0) for c in centers
+        ]
+        assert brute_force_knn_many(entries, centers, 7) == [
+            brute_force_knn(entries, c, 7) for c in centers
+        ]
+
+    def test_grid_batch_matches_single(self, grid, entries):
+        centers = [Point(100, 100), Point(500, 500), Point(-50, 1200)]
+        radii = [100.0, 250.0, 400.0]
+        assert grid.range_query_many(centers, radii) == [
+            grid.range_query(c, r) for c, r in zip(centers, radii)
+        ]
+        assert grid.knn_many(centers, 5) == [grid.knn(c, 5) for c in centers]
+
+    def test_rtree_batch_matches_single(self, rtree, entries):
+        centers = [Point(100, 100), Point(500, 500)]
+        assert rtree.range_query_many(centers, 200.0) == [
+            rtree.range_query(c, 200.0) for c in centers
+        ]
+        assert rtree.knn_many(centers, 9) == [rtree.knn(c, 9) for c in centers]
 
 
 class TestRTree:

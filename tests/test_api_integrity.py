@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.indoor",
     "repro.ingest",
     "repro.integration",
+    "repro.kernels",
     "repro.learning",
     "repro.localization",
     "repro.querying",
