@@ -1,0 +1,226 @@
+"""Benchmark: fleet-level serial vs parallel execution (repro.parallel).
+
+Times the three rewired fleet consumers on a 1k-trajectory workload at
+``workers`` in {1, 2, cpu_count}:
+
+* ``Pipeline.run_many`` — a 3-stage cleaning pipeline with a quality probe
+  over every trajectory (shared-memory columnar handoff),
+* ``PartitionedStore.range_query_many`` / ``knn_many`` — partitioned query
+  fan-out over a skewed point set,
+* ``pairwise_distances`` — a chunked Hausdorff similarity matrix.
+
+Every parallel result is verified equal to the ``workers=1`` result before
+timings are recorded.  Writes ``BENCH_parallel.json`` at the repo root with
+full reproducibility metadata (RNG seed, worker counts, ``cpu_count``,
+start method) — the provenance BENCH_kernels.json lacked.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py            # full run
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke    # CI gate
+
+``--smoke`` runs a small workload and asserts only serial/parallel
+*equality* (never speedup ratios, which depend on the runner's core
+count).  The full run records measured speedups; the ROADMAP target is
+>= 2x at ``workers=cpu_count`` on a >= 4-core machine.
+"""
+
+import argparse
+import functools
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analytics import pairwise_distances
+from repro.cleaning import median_filter, moving_average, remove_points, speed_outliers
+from repro.core import BBox, Pipeline, Point, Stage, Trajectory
+from repro.parallel import default_start_method, get_executor
+from repro.querying import PartitionedStore, kd_partition, skewed_points
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+SEED = 2022
+REGION = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+def timed(fn):
+    """``(result, seconds)`` with one untimed warmup call (see bench_kernels)."""
+    out = fn()
+    start = time.perf_counter()
+    fn()
+    return out, time.perf_counter() - start
+
+
+# -- fleet pipeline (module-level stages: picklable under any start method) ----
+
+
+def _despeed(traj: Trajectory) -> Trajectory:
+    return remove_points(traj, speed_outliers(traj, 25.0))
+
+
+def _probe_length(traj: Trajectory) -> float:
+    return traj.length
+
+
+def make_pipeline() -> Pipeline:
+    return Pipeline(
+        [
+            Stage("despeed", _despeed),
+            Stage("median", functools.partial(median_filter, window=5)),
+            Stage("smooth", functools.partial(moving_average, window=5)),
+        ],
+        probes={"length": _probe_length},
+    )
+
+
+def make_fleet(rng, n_trajectories, n_points):
+    """Random-walk fleet with occasional speed spikes for the pipeline to fix."""
+    fleet = []
+    for i in range(n_trajectories):
+        steps = rng.normal(0, 4, (n_points, 2)).cumsum(axis=0)
+        spikes = rng.random(n_points) < 0.02
+        steps[spikes] += rng.normal(0, 120, (int(spikes.sum()), 2))
+        fleet.append(
+            Trajectory.from_arrays(
+                steps[:, 0], steps[:, 1], np.arange(n_points, dtype=float), f"t{i}"
+            )
+        )
+    return fleet
+
+
+def pipeline_outputs(results):
+    return [(r.output, [(t.name, t.metrics) for t in r.trace]) for r in results]
+
+
+def bench_workload(name, run, verify, workers_list, results):
+    """Time ``run(workers)`` per worker count; verify each against workers=1."""
+    rows = {}
+    baseline = None
+    for w in workers_list:
+        out, seconds = timed(lambda w=w: run(w))
+        if baseline is None:
+            baseline = verify(out)
+            rows["baseline_s"] = seconds
+        else:
+            assert verify(out) == baseline, f"{name}: workers={w} output differs from serial"
+        rows[f"workers_{w}_s"] = seconds
+    serial_s = rows[f"workers_{workers_list[0]}_s"]
+    for w in workers_list[1:]:
+        rows[f"speedup_{w}x"] = serial_s / max(rows[f"workers_{w}_s"], 1e-12)
+    results[name] = rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small input; equality only")
+    parser.add_argument("--trajectories", type=int, default=1000)
+    parser.add_argument("--points", type=int, default=120)
+    parser.add_argument("--workers", type=int, default=None, help="override max worker count")
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    cpu = os.cpu_count() or 1
+    max_workers = args.workers if args.workers else cpu
+    # The ISSUE-3 grid: serial, minimal parallel, and full fan-out.
+    workers_list = sorted({1, 2, max_workers})
+    if args.smoke:
+        n_traj, n_points, n_queries, n_sim = 60, 40, 30, 12
+        workers_list = sorted({1, 2})
+    else:
+        n_traj, n_points, n_queries, n_sim = args.trajectories, args.points, 400, 60
+
+    rng = np.random.default_rng(SEED)
+    fleet = make_fleet(rng, n_traj, n_points)
+    pipeline = make_pipeline()
+    points = skewed_points(rng, 20_000 if not args.smoke else 2_000, REGION)
+    partitions = kd_partition(points, REGION, 64)
+    store = PartitionedStore(points, partitions)
+    centers = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(n_queries)]
+    radii = rng.uniform(30, 80, n_queries).tolist()
+    sim_fleet = fleet[:n_sim]
+
+    results: dict[str, dict] = {}
+
+    # Reuse one pool across repetitions so per-call pool startup is not billed
+    # to the workload (matching how a long-lived service would run).
+    pools = {w: get_executor(w) for w in workers_list}
+    try:
+        bench_workload(
+            "pipeline_run_many",
+            lambda w: pipeline.run_many(fleet, executor=pools[w]),
+            pipeline_outputs,
+            workers_list,
+            results,
+        )
+        bench_workload(
+            "partitioned_range_query_many",
+            lambda w: store.range_query_many(centers, radii, executor=pools[w]),
+            lambda out: out,
+            workers_list,
+            results,
+        )
+        bench_workload(
+            "partitioned_knn_many",
+            lambda w: store.knn_many(centers, 10, executor=pools[w]),
+            lambda out: out,
+            workers_list,
+            results,
+        )
+        bench_workload(
+            "pairwise_hausdorff",
+            lambda w: pairwise_distances(sim_fleet, "hausdorff", executor=pools[w]),
+            lambda out: out.tobytes(),
+            workers_list,
+            results,
+        )
+    finally:
+        for pool in pools.values():
+            pool.close()
+
+    width = max(len(n) for n in results)
+    cols = [f"workers_{w}_s" for w in workers_list]
+    print(f"{'workload'.ljust(width)}  " + "  ".join(c.rjust(14) for c in cols))
+    for name, row in results.items():
+        print(
+            f"{name.ljust(width)}  "
+            + "  ".join(f"{row[c]:14.4f}" for c in cols)
+        )
+
+    payload = {
+        "meta": {
+            "seed": SEED,
+            "cpu_count": cpu,
+            "workers": workers_list,
+            "start_method": default_start_method() or "platform-default",
+            "python": sys.version.split()[0],
+            "workload": {
+                "trajectories": n_traj,
+                "points_per_trajectory": n_points,
+                "store_points": len(points),
+                "partitions": len(partitions),
+                "queries": n_queries,
+                "similarity_fleet": n_sim,
+            },
+            "smoke": bool(args.smoke),
+        },
+        "results": {
+            name: {k: v for k, v in row.items() if k != "baseline_s"}
+            for name, row in results.items()
+        },
+    }
+    if args.smoke:
+        print("smoke OK: parallel outputs identical to serial for every workload")
+        if args.out is not None:
+            args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    else:
+        out_path = args.out or OUT_PATH
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,11 @@ The paper's Table 1 maps SID characteristics to the quality issues they
 cause (arrows).  Here each characteristic is *injected* into clean ground
 truth and every DQ dimension is *measured* before and after; the test
 asserts exactly the arrows the paper claims.
+
+The full injector x metric grid also runs as a parallel fan-out — each
+cell is one independent task dispatched through :mod:`repro.parallel` (see
+``table1_grid.py``); run ``python benchmarks/bench_table1.py --workers N``
+to print the grid computed on ``N`` processes.
 """
 
 import numpy as np
@@ -127,3 +132,34 @@ def test_row_dynamic_clock_disorder(rng, benchmark):
     rows = [("order_violations", order_violations(times), order_violations(skewed))]
     print_table("T1 row: dynamic (clock skew)", ["dimension", "clean", "skewed"], rows)
     assert order_violations(skewed) > 0
+
+
+def test_grid_parallel_matches_serial():
+    """The fan-out grid is identical on 1 and 2 workers, and shows the arrows."""
+    from table1_grid import run_grid
+
+    serial = run_grid(2022, workers=1)
+    parallel = run_grid(2022, workers=2)
+    assert serial == parallel
+    rows = [
+        (inj, serial[(inj, "precision")], serial[(inj, "accuracy")], serial[(inj, "consistency")])
+        for inj in ("clean", "noisy", "noisy+erroneous")
+    ]
+    print_table("T1 grid (parallel)", ["injector", "precision", "accuracy", "consistency"], rows)
+    # The paper's arrows, read off the grid: corruption degrades the columns.
+    assert serial[("noisy", "precision")] > serial[("clean", "precision")]
+    assert serial[("noisy+erroneous", "accuracy")] > serial[("clean", "accuracy")]
+    assert serial[("noisy+erroneous", "consistency")] < serial[("clean", "consistency")]
+    assert serial[("temporally-sparse", "completeness")] < serial[("clean", "completeness")]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from table1_grid import format_grid, run_grid
+
+    parser = argparse.ArgumentParser(description="Parallel Table-1 injector x metric grid")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2022)
+    cli = parser.parse_args()
+    print(format_grid(run_grid(cli.seed, workers=cli.workers)))

@@ -1,0 +1,133 @@
+"""Parallel Table-1 grid: every injector x metric cell as one independent task.
+
+The paper's Table 1 crosses SID characteristics (rows, reproduced here as
+corruption injectors) with DQ dimensions (columns, measured via
+:func:`repro.core.assess_trajectory`).  Each cell — "inject characteristic
+R, measure dimension C" — is independent of every other cell, which makes
+the grid the textbook fleet-level fan-out: the runner dispatches cells
+through :func:`repro.parallel.map_chunks`, and because the corrupted input
+for row R is derived from a stable per-injector seed
+(:func:`repro.parallel.derive_seed`), the grid is identical for every
+worker count and chunk schedule.
+
+This module is import-clean (no pytest fixtures) so both the
+``bench_table1.py`` benchmark harness and ``tests/test_parallel.py`` can
+drive it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BBox, Dimension, Trajectory, assess_trajectory
+from repro.parallel import derive_seed, map_chunks
+from repro.synth import add_gaussian_noise, add_outliers, correlated_random_walk, drop_points
+
+MAX_SPEED = 15.0
+N_POINTS = 300
+_REGION = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+
+def make_truth(seed: int) -> Trajectory:
+    """The clean ground-truth walk every cell corrupts and measures against."""
+    rng = np.random.default_rng(seed)
+    return correlated_random_walk(rng, N_POINTS, _REGION, speed_mean=5, speed_sigma=1)
+
+
+def _inject_clean(traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+    return traj
+
+
+def _inject_noise(traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+    return add_gaussian_noise(traj, rng, 15.0)
+
+
+def _inject_noise_outliers(traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+    corrupted, _ = add_outliers(add_gaussian_noise(traj, rng, 15.0), rng, 0.05, 200.0)
+    return corrupted
+
+
+def _inject_sparse(traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+    return drop_points(traj, rng, 0.6)
+
+
+def _inject_downsampled(traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+    return traj.downsample(4)
+
+
+#: Table-1 rows: characteristic name -> injector ``(truth, rng) -> corrupted``.
+INJECTORS = {
+    "clean": _inject_clean,
+    "noisy": _inject_noise,
+    "noisy+erroneous": _inject_noise_outliers,
+    "temporally-sparse": _inject_sparse,
+    "downsampled": _inject_downsampled,
+}
+
+#: Table-1 columns: metric name -> assessed DQ dimension.
+METRICS = {
+    "precision": Dimension.PRECISION,
+    "accuracy": Dimension.ACCURACY,
+    "consistency": Dimension.CONSISTENCY,
+    "time_sparsity": Dimension.TIME_SPARSITY,
+    "completeness": Dimension.COMPLETENESS,
+    "data_volume": Dimension.DATA_VOLUME,
+}
+
+Cell = tuple[str, str, int]
+
+
+def grid_cells(seed: int) -> list[Cell]:
+    """All ``(injector, metric, seed)`` cells in row-major order."""
+    return [(inj, metric, seed) for inj in INJECTORS for metric in METRICS]
+
+
+def evaluate_cell(cell: Cell) -> float:
+    """One grid cell: rebuild truth, corrupt it, assess one dimension.
+
+    The injector's RNG seed depends only on ``(base seed, row index)``, so
+    every cell of a row sees the same corrupted trajectory no matter which
+    worker or chunk evaluates it.
+    """
+    injector, metric, seed = cell
+    truth = make_truth(seed)
+    row_index = list(INJECTORS).index(injector)
+    rng = np.random.default_rng(derive_seed(seed, row_index))
+    corrupted = INJECTORS[injector](truth, rng)
+    report = assess_trajectory(corrupted, truth=truth, max_speed=MAX_SPEED)
+    return float(report.values.get(METRICS[metric], float("nan")))
+
+
+def _evaluate_chunk(cells: list[Cell]) -> list[float]:
+    return [evaluate_cell(c) for c in cells]
+
+
+def run_grid(
+    seed: int = 2022,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    executor=None,
+) -> dict[tuple[str, str], float]:
+    """The full Table-1 grid, one value per (injector, metric) cell."""
+    cells = grid_cells(seed)
+    values = map_chunks(
+        _evaluate_chunk,
+        cells,
+        workers=workers,
+        chunk_size=chunk_size,
+        executor=executor,
+    )
+    return {(inj, metric): v for (inj, metric, _), v in zip(cells, values)}
+
+
+def format_grid(grid: dict[tuple[str, str], float]) -> str:
+    """Render the grid as an aligned rows-by-columns text table."""
+    metrics = list(METRICS)
+    name_w = max(len(r) for r in INJECTORS)
+    col_w = max(12, max(len(m) for m in metrics) + 2)
+    lines = [" " * name_w + "".join(m.rjust(col_w) for m in metrics)]
+    for inj in INJECTORS:
+        cells = "".join(f"{grid[(inj, m)]:.3f}".rjust(col_w) for m in metrics)
+        lines.append(inj.ljust(name_w) + cells)
+    return "\n".join(lines)

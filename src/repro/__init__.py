@@ -18,7 +18,10 @@ the tutorial's taxonomy (Figure 2):
 * :mod:`repro.ingest` — streaming ingestion with sharded quality gates and
   online DQ metrics (the Sec. 2.4 middleware, made live),
 * :mod:`repro.kernels` — the vectorized compute core: columnar batch
-  kernels backing every hot path above.
+  kernels backing every hot path above,
+* :mod:`repro.parallel` — the fleet-scale execution layer: process pools
+  with shared-memory columnar handoff behind a backend-agnostic
+  ``Executor`` protocol.
 """
 
 __version__ = "1.0.0"
@@ -34,6 +37,7 @@ from . import (
     kernels,
     learning,
     localization,
+    parallel,
     querying,
     reduction,
     synth,
@@ -50,6 +54,7 @@ __all__ = [
     "kernels",
     "learning",
     "localization",
+    "parallel",
     "querying",
     "reduction",
     "synth",

@@ -42,6 +42,7 @@ from .streaming import (
     signature_distance,
 )
 from .similarity import (
+    PAIRWISE_METRICS,
     SearchStats,
     SimilaritySearch,
     bbox_lower_bound,
@@ -49,6 +50,7 @@ from .similarity import (
     edr_distance,
     frechet_distance,
     hausdorff_distance,
+    pairwise_distances,
 )
 
 __all__ = [
@@ -79,6 +81,7 @@ __all__ = [
     "MonitorUpdate",
     "cell_signature",
     "signature_distance",
+    "PAIRWISE_METRICS",
     "SearchStats",
     "SimilaritySearch",
     "bbox_lower_bound",
@@ -86,6 +89,7 @@ __all__ = [
     "edr_distance",
     "frechet_distance",
     "hausdorff_distance",
+    "pairwise_distances",
     "MarkovTrajectoryGenerator",
     "nearest_real_distance",
     "visit_distribution_divergence",

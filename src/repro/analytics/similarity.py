@@ -10,6 +10,9 @@ bounds that prune candidates before the expensive measure runs.  Provided:
   outliers via the match threshold),
 * :func:`bbox_lower_bound` — a metric lower bound on Hausdorff from the
   trajectories' bounding boxes,
+* :func:`pairwise_distances` — the full symmetric distance matrix over a
+  fleet, computed in pair chunks and optionally fanned out to a process
+  pool (trajectories travel to workers via shared memory, never pickled),
 * :class:`SimilaritySearch` — k-most-similar search with lower-bound
   pruning, reporting how much work pruning saved.
 """
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -131,6 +135,88 @@ def bbox_lower_bound(a: Trajectory, b: Trajectory) -> float:
     dx = max(bb.min_x - ba.max_x, ba.min_x - bb.max_x, 0.0)
     dy = max(bb.min_y - ba.max_y, ba.min_y - bb.max_y, 0.0)
     return math.hypot(dx, dy)
+
+
+#: Pairwise measures usable by :func:`pairwise_distances`.  Each maps
+#: ``(a, b, **kwargs) -> float`` and is symmetric in its arguments.
+PAIRWISE_METRICS = {
+    "hausdorff": hausdorff_distance,
+    "dtw": dtw_distance,
+    "edr": edr_distance,
+    "frechet": frechet_distance,
+}
+
+
+def _pairwise_chunk_task(payload: tuple) -> list[float]:
+    """Pool worker: evaluate one chunk of (i, j) pairs against the shared batch.
+
+    Trajectories are rebuilt from the shared columnar block at most once per
+    chunk (memoized), so a chunk of ``m`` pairs touching ``t`` distinct
+    trajectories pays ``t`` rebuilds, not ``2m``.
+    """
+    from ..parallel import SharedTrajectoryBatch
+
+    handle, pairs, metric, metric_kwargs = payload
+    fn = PAIRWISE_METRICS[metric]
+    batch = SharedTrajectoryBatch.attach(handle)
+    cache: dict[int, Trajectory] = {}
+    try:
+
+        def get(i: int) -> Trajectory:
+            if i not in cache:
+                cache[i] = batch.trajectory(i)
+            return cache[i]
+
+        return [float(fn(get(i), get(j), **metric_kwargs)) for i, j in pairs]
+    finally:
+        batch.release()
+
+
+def pairwise_distances(
+    trajectories: Sequence[Trajectory],
+    metric: str = "hausdorff",
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    executor: Any = None,
+    **metric_kwargs,
+) -> np.ndarray:
+    """Symmetric ``(n, n)`` distance matrix over a trajectory fleet.
+
+    The upper triangle is split into contiguous pair chunks
+    (:func:`repro.parallel.chunk_spans`) and each chunk is one task; with
+    ``workers > 1`` tasks run on a process pool that reads the fleet from
+    one shared-memory columnar block.  The matrix is identical for every
+    worker count.  ``metric`` is a key of :data:`PAIRWISE_METRICS`;
+    measure-specific arguments (e.g. ``epsilon`` for ``"edr"``, ``band``
+    for ``"dtw"``) pass through as keyword arguments.
+    """
+    if metric not in PAIRWISE_METRICS:
+        raise ValueError(f"unknown metric {metric!r}; options: {sorted(PAIRWISE_METRICS)}")
+    from ..parallel import SerialExecutor, SharedTrajectoryBatch, chunk_spans, resolve_executor
+
+    trajs = list(trajectories)
+    n = len(trajs)
+    out = np.zeros((n, n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if not pairs:
+        return out
+    fn = PAIRWISE_METRICS[metric]
+    with resolve_executor(workers, executor) as ex:
+        if isinstance(ex, SerialExecutor):
+            values = [float(fn(trajs[i], trajs[j], **metric_kwargs)) for i, j in pairs]
+        else:
+            spans = chunk_spans(len(pairs), chunk_size)
+            with SharedTrajectoryBatch.create(trajs) as batch:
+                payloads = [
+                    (batch.handle, pairs[start:stop], metric, metric_kwargs)
+                    for start, stop in spans
+                ]
+                chunks = ex.map_ordered(_pairwise_chunk_task, payloads)
+            values = [v for chunk in chunks for v in chunk]
+    for (i, j), value in zip(pairs, values):
+        out[i, j] = out[j, i] = value
+    return out
 
 
 @dataclass

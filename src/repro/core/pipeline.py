@@ -9,13 +9,20 @@ provides that coordination layer:
 * :class:`Pipeline` — an ordered composition with provenance recording,
 * :class:`PipelineResult` — output plus a per-stage trace (timings and
   optional quality reports) for DQ-aware task planning.
+
+Fleet-scale entry points (:meth:`Pipeline.run_many` over a trajectory
+collection, :meth:`Pipeline.run_ablations` with ``workers > 1``) execute on
+:mod:`repro.parallel`: trajectory inputs travel to pool workers through
+shared-memory columnar blocks, and the ``workers=1`` path produces
+bit-identical outputs to any parallel schedule.  Stage functions and probes
+must be picklable (module-level callables) for the parallel paths.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Sequence, TypeVar
+from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -37,11 +44,18 @@ class Stage(Generic[T]):
 
 @dataclass
 class StageTrace:
-    """Provenance of one stage execution."""
+    """Provenance of one stage execution.
+
+    ``seconds`` is the stage transformation alone; ``probe_seconds`` is the
+    cost of evaluating every quality probe on the stage's output.  Keeping
+    the two separate is what lets :meth:`Pipeline.run_ablations` attribute
+    cost to the DQ service rather than to the measurement harness.
+    """
 
     name: str
     seconds: float
     metrics: dict[str, float] = field(default_factory=dict)
+    probe_seconds: float = 0.0
 
 
 @dataclass
@@ -53,11 +67,53 @@ class PipelineResult(Generic[T]):
 
     @property
     def total_seconds(self) -> float:
+        """Total stage-transformation time (probe cost excluded)."""
         return sum(t.seconds for t in self.trace)
+
+    @property
+    def total_probe_seconds(self) -> float:
+        """Total probe-evaluation time across all stages."""
+        return sum(t.probe_seconds for t in self.trace)
 
     def metric_series(self, metric: str) -> list[tuple[str, float]]:
         """``(stage, value)`` pairs for one probe metric across stages."""
         return [(t.name, t.metrics[metric]) for t in self.trace if metric in t.metrics]
+
+
+def _run_items_chunk(payload: tuple) -> list:
+    """Worker: run a pipeline over a chunk of pickled datasets."""
+    pipeline, items = payload
+    return [pipeline.run(d) for d in items]
+
+
+def _run_shm_chunk(payload: tuple) -> list:
+    """Worker: run a pipeline over a span of a shared trajectory batch."""
+    from ..parallel import SharedTrajectoryBatch
+
+    pipeline, handle, start, stop = payload
+    batch = SharedTrajectoryBatch.attach(handle)
+    try:
+        return [pipeline.run(batch.trajectory(i)) for i in range(start, stop)]
+    finally:
+        batch.release()
+
+
+def _run_ablation_task(payload: tuple):
+    """Worker: run one leave-one-out configuration.
+
+    ``handle`` (when not ``None``) is a shared single-trajectory batch all
+    configurations attach to — the input is packed once, never per config.
+    """
+    from ..parallel import SharedTrajectoryBatch
+
+    pipeline, data, handle = payload
+    if handle is None:
+        return pipeline.run(data)
+    batch = SharedTrajectoryBatch.attach(handle)
+    try:
+        return pipeline.run(batch.trajectory(0))
+    finally:
+        batch.release()
 
 
 class Pipeline(Generic[T]):
@@ -96,21 +152,78 @@ class Pipeline(Generic[T]):
             start = time.perf_counter()
             current = stage(current)
             elapsed = time.perf_counter() - start
-            metrics = {name: float(probe(current)) for name, probe in self._probes.items()}
-            trace.append(StageTrace(stage.name, elapsed, metrics))
+            if self._probes:
+                probe_start = time.perf_counter()
+                metrics = {name: float(probe(current)) for name, probe in self._probes.items()}
+                probe_elapsed = time.perf_counter() - probe_start
+            else:
+                metrics, probe_elapsed = {}, 0.0
+            trace.append(StageTrace(stage.name, elapsed, metrics, probe_seconds=probe_elapsed))
         return PipelineResult(current, trace)
 
-    def run_ablations(self, data: T) -> dict[str, PipelineResult[T]]:
+    def run_many(
+        self,
+        datasets: Iterable[T],
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        executor: Any = None,
+    ) -> list[PipelineResult[T]]:
+        """Run the pipeline independently over a collection of datasets.
+
+        Results come back in input order and match ``[self.run(d) for d in
+        datasets]`` exactly, for every worker count.  Trajectory collections
+        are handed to pool workers through one shared-memory columnar block
+        (:class:`repro.parallel.SharedTrajectoryBatch`); any other element
+        type falls back to pickling the chunk items.
+        """
+        from ..core.trajectory import Trajectory
+        from ..parallel import SharedTrajectoryBatch, chunk_spans, resolve_executor
+
+        items = list(datasets)
+        if not items:
+            return []
+        spans = chunk_spans(len(items), chunk_size)
+        with resolve_executor(workers, executor) as ex:
+            if all(isinstance(d, Trajectory) for d in items):
+                with SharedTrajectoryBatch.create(items) as batch:
+                    payloads = [(self, batch.handle, start, stop) for start, stop in spans]
+                    chunks = ex.map_ordered(_run_shm_chunk, payloads)
+            else:
+                payloads = [(self, items[start:stop]) for start, stop in spans]
+                chunks = ex.map_ordered(_run_items_chunk, payloads)
+        return [result for chunk in chunks for result in chunk]
+
+    def run_ablations(
+        self,
+        data: T,
+        *,
+        workers: int | None = None,
+        executor: Any = None,
+    ) -> dict[str, PipelineResult[T]]:
         """Run the pipeline once per leave-one-stage-out configuration.
 
         Returns a mapping from the omitted stage name to that run's result
         (plus key ``"full"`` for the complete pipeline) — the measurement a
         planner uses to attribute quality gains to individual DQ services.
+        With ``workers > 1`` each configuration is one pool task; a
+        trajectory input is shared with all of them through one
+        shared-memory segment, and outputs are identical to the serial run.
         """
-        results: dict[str, PipelineResult[T]] = {"full": self.run(data)}
-        for skip in self.stage_names:
-            reduced = Pipeline(
-                [s for s in self._stages if s.name != skip], self._probes
-            )
-            results[skip] = reduced.run(data)
-        return results
+        from ..core.trajectory import Trajectory
+        from ..parallel import SharedTrajectoryBatch, resolve_executor
+
+        configs: list[tuple[str, Pipeline[T]]] = [("full", self)]
+        configs += [
+            (skip, Pipeline([s for s in self._stages if s.name != skip], self._probes))
+            for skip in self.stage_names
+        ]
+        with resolve_executor(workers, executor) as ex:
+            if isinstance(data, Trajectory):
+                with SharedTrajectoryBatch.create([data]) as batch:
+                    payloads = [(p, None, batch.handle) for _, p in configs]
+                    outputs = ex.map_ordered(_run_ablation_task, payloads)
+            else:
+                payloads = [(p, data, None) for _, p in configs]
+                outputs = ex.map_ordered(_run_ablation_task, payloads)
+        return {name: result for (name, _), result in zip(configs, outputs)}

@@ -1,0 +1,54 @@
+"""Deterministic chunking and seed derivation for the parallel layer.
+
+Every fleet-level consumer splits its work-list into contiguous chunks and
+derives per-item RNG seeds *before* any executor is chosen.  Both functions
+here are pure in the inputs shown — the chosen worker count never enters
+the computation — which is what makes the ``workers=1`` serial fallback
+bit-identical to every parallel schedule: the same chunks carrying the same
+seeds produce the same floats, merely on different processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Upper bound on chunks produced by the default policy; keeps task-dispatch
+#: overhead bounded for huge work-lists without ever consulting ``workers``.
+_DEFAULT_MAX_CHUNKS = 64
+
+
+def chunk_spans(n_items: int, chunk_size: int | None = None) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` spans covering ``range(n_items)``.
+
+    With ``chunk_size=None`` the span count is ``min(n_items,
+    _DEFAULT_MAX_CHUNKS)`` — a function of the work-list alone, never of the
+    worker count, so chunk boundaries (and therefore any per-chunk work) are
+    identical no matter which executor runs them.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    if n_items == 0:
+        return []
+    if chunk_size is None:
+        n_chunks = min(n_items, _DEFAULT_MAX_CHUNKS)
+        chunk_size = -(-n_items // n_chunks)  # ceil division
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [(start, min(start + chunk_size, n_items)) for start in range(0, n_items, chunk_size)]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Stable per-item seed: ``(base_seed, index) -> uint64``.
+
+    Uses :class:`numpy.random.SeedSequence` spawn keys, so item seeds are
+    statistically independent of each other and of the base sequence, and
+    depend only on the item's *global* index — not on which chunk or worker
+    the item lands on.
+    """
+    ss = np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+def derive_seeds(base_seed: int, start: int, stop: int) -> list[int]:
+    """Per-item seeds for the global index span ``[start, stop)``."""
+    return [derive_seed(base_seed, i) for i in range(start, stop)]

@@ -1,0 +1,231 @@
+"""Backend-agnostic executors and the deterministic ``map_chunks`` API.
+
+The :class:`Executor` protocol is the seam every fleet-level consumer
+(:meth:`repro.core.Pipeline.run_many`, partitioned query fan-out, pairwise
+similarity, the Table-1 grid) programs against: an ordered map over
+picklable payloads.  Two backends are provided — :class:`SerialExecutor`
+(in-process, zero dependencies, the ``workers=1`` fallback) and
+:class:`ProcessExecutor` (a ``concurrent.futures`` process pool) — and
+later scaling PRs (async, multi-node) only need to add another
+implementation of the same protocol.
+
+Determinism contract: chunk boundaries and per-item seeds come from
+:mod:`repro.parallel.chunking` and never depend on the executor or worker
+count, results are merged in submission order, and the serial path runs the
+*same* dispatch function as pool workers — so ``workers=1`` output is
+bit-identical to ``workers=N`` for every consumer (enforced by
+``tests/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent import futures
+from contextlib import contextmanager
+from functools import reduce as _fold
+from multiprocessing import get_context
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from .chunking import chunk_spans, derive_seeds
+
+#: Environment override for the pool start method ("fork", "spawn",
+#: "forkserver"); unset means the platform default.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def default_start_method() -> str | None:
+    """Start method from ``REPRO_PARALLEL_START_METHOD`` (None = platform default)."""
+    method = os.environ.get(START_METHOD_ENV, "").strip()
+    return method or None
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Ordered map over picklable payloads; the parallel layer's backend seam."""
+
+    workers: int
+
+    def map_ordered(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to each payload, returning results in payload order."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """In-process executor: the deterministic ``workers=1`` reference path."""
+
+    workers = 1
+
+    def map_ordered(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        return [fn(p) for p in payloads]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ProcessExecutor:
+    """Process-pool executor over ``concurrent.futures``.
+
+    The pool is created lazily on first use and reused across calls, so a
+    long-lived executor amortizes worker startup over many query batches.
+    ``fn`` and payloads must be picklable (module-level functions); shared
+    state should travel via :mod:`repro.parallel.shm` handles instead of
+    being pickled per task.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 2:
+            raise ValueError("ProcessExecutor needs workers >= 2; use SerialExecutor")
+        self.workers = workers
+        self.start_method = start_method if start_method is not None else default_start_method()
+        self._pool: futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> futures.ProcessPoolExecutor:
+        if self._pool is None:
+            ctx = get_context(self.start_method) if self.start_method else None
+            self._pool = futures.ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx)
+        return self._pool
+
+    def map_ordered(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        if not payloads:
+            return []
+        return list(self._ensure_pool().map(fn, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def get_executor(workers: int | None = None, start_method: str | None = None) -> Executor:
+    """Executor for ``workers``: serial for <= 1, process pool otherwise.
+
+    ``workers=None`` means serial; ``workers=-1`` means one worker per CPU.
+    """
+    if workers is not None and workers < 0:
+        workers = os.cpu_count() or 1
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers, start_method)
+
+
+@contextmanager
+def resolve_executor(
+    workers: int | None = None, executor: Executor | None = None
+) -> Iterator[Executor]:
+    """Yield ``executor`` if given, else a fresh one (closed on exit).
+
+    The standard consumer idiom: a caller-supplied executor is borrowed (the
+    caller controls its lifetime); an implicit one is owned by this context
+    and torn down even on error paths.
+    """
+    if executor is not None:
+        yield executor
+        return
+    owned = get_executor(workers)
+    try:
+        yield owned
+    finally:
+        owned.close()
+
+
+def _call_chunk(payload: tuple) -> list:
+    """Pool-side dispatcher shared by the serial and parallel paths."""
+    fn, chunk, seeds = payload
+    result = fn(chunk) if seeds is None else fn(chunk, seeds)
+    return list(result)
+
+
+def map_chunks(
+    fn: Callable[..., Sequence[Any]],
+    items: Sequence[Any],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    seed: int | None = None,
+    executor: Executor | None = None,
+) -> list[Any]:
+    """Chunked ordered map: ``fn(chunk) -> per-item results``, merged in order.
+
+    ``fn`` receives a list of consecutive items and returns one result per
+    item.  With ``seed`` set, ``fn(chunk, seeds)`` additionally receives the
+    per-item seeds derived from each item's *global* index
+    (:func:`~repro.parallel.chunking.derive_seed`), so seeded work is
+    reproducible across any worker count or chunk size.
+    """
+    spans = chunk_spans(len(items), chunk_size)
+    payloads = [
+        (
+            fn,
+            list(items[start:stop]),
+            None if seed is None else derive_seeds(seed, start, stop),
+        )
+        for start, stop in spans
+    ]
+    out: list[Any] = []
+    with resolve_executor(workers, executor) as ex:
+        for chunk_result in ex.map_ordered(_call_chunk, payloads):
+            out.extend(chunk_result)
+    if len(out) != len(items):
+        raise ValueError(
+            f"chunk fn returned {len(out)} results for {len(items)} items; "
+            "map_chunks requires exactly one result per item"
+        )
+    return out
+
+
+def map_reduce(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    reduce_fn: Callable[[Any, Any], Any],
+    *,
+    initial: Any = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    seed: int | None = None,
+    executor: Executor | None = None,
+) -> Any:
+    """Chunked map then ordered fold: ``reduce_fn`` over per-chunk results.
+
+    ``fn(chunk)`` (or ``fn(chunk, seeds)`` when ``seed`` is set) returns one
+    partial aggregate per chunk; partials are folded left-to-right in chunk
+    order, so non-commutative merges are still deterministic.  ``initial``
+    seeds the fold and is returned as-is for an empty work-list.
+    """
+    spans = chunk_spans(len(items), chunk_size)
+    payloads = [
+        (
+            fn,
+            list(items[start:stop]),
+            None if seed is None else derive_seeds(seed, start, stop),
+        )
+        for start, stop in spans
+    ]
+    with resolve_executor(workers, executor) as ex:
+        partials = ex.map_ordered(_call_chunk_scalar, payloads)
+    if initial is None:
+        if not partials:
+            raise ValueError("map_reduce over an empty work-list requires `initial`")
+        return _fold(reduce_fn, partials)
+    return _fold(reduce_fn, partials, initial)
+
+
+def _call_chunk_scalar(payload: tuple) -> Any:
+    """Like :func:`_call_chunk` but the chunk result is a single aggregate."""
+    fn, chunk, seeds = payload
+    return fn(chunk) if seeds is None else fn(chunk, seeds)

@@ -7,8 +7,18 @@ Simulates the partition-and-route layer of a distributed spatial store:
   adapts to skew),
 * :func:`load_imbalance` — max/mean partition load, the quantity
   data-partitioning work minimizes,
-* :class:`PartitionedStore` — routes range queries to overlapping
-  partitions and counts partitions touched (the communication proxy).
+* :class:`PartitionedStore` — routes range and kNN queries to the
+  partitions that can contribute and counts partitions touched (the
+  communication proxy).
+
+The store's scan layer is columnar (the PR-2 batched kernels): each
+partition's points live in contiguous coordinate/index arrays, batch
+queries (:meth:`PartitionedStore.range_query_many` /
+:meth:`~PartitionedStore.knn_many`) filter candidates with vectorized
+reductions, and ``workers > 1`` fans query chunks out to a process pool
+through shared-memory blocks (:mod:`repro.parallel.shm`) — the SATO-style
+[104] place where parallelism pays.  Routing decisions, result order, and
+the partitions-touched accounting are identical at every worker count.
 
 The measurable claim: on skewed data, median partitioning yields near-1
 imbalance while uniform tiling degrades — "node load-balancing and data
@@ -18,9 +28,11 @@ partitioning have been studied [for] queries over skewed SID".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..core.geometry import BBox, Point
 
 
@@ -128,32 +140,247 @@ def skewed_points(
     return out
 
 
+class _ColumnarPartitions:
+    """Partition contents as contiguous arrays (the worker-shareable form).
+
+    ``coords``/``index`` concatenate every partition's points in partition
+    order; ``offsets[p]:offsets[p+1]`` delimits partition ``p``; ``boxes``
+    holds each partition's bbox row.  Both the in-process scan path and the
+    pool workers run the same routing functions over this one structure.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        index: np.ndarray,
+        offsets: tuple[int, ...],
+        boxes: np.ndarray,
+    ) -> None:
+        self.coords = coords
+        self.index = index
+        self.offsets = offsets
+        self.boxes = boxes
+
+    @classmethod
+    def build(cls, points: list[Point], partitions: list[Partition]) -> "_ColumnarPartitions":
+        offsets = [0]
+        for part in partitions:
+            offsets.append(offsets[-1] + len(part.point_indices))
+        index = np.fromiter(
+            (i for part in partitions for i in part.point_indices),
+            dtype=np.int64,
+            count=offsets[-1],
+        )
+        coords = kernels.coords_of([points[i] for i in index])
+        boxes = np.array(
+            [(p.bbox.min_x, p.bbox.min_y, p.bbox.max_x, p.bbox.max_y) for p in partitions],
+            dtype=float,
+        ).reshape(len(partitions), 4)
+        return cls(coords, index, tuple(offsets), boxes)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.offsets) - 1
+
+    def part(self, p: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(coords, point-index)`` views of partition ``p``."""
+        lo, hi = self.offsets[p], self.offsets[p + 1]
+        return self.coords[lo:hi], self.index[lo:hi]
+
+
+def _route_range(
+    cols: _ColumnarPartitions, centers: np.ndarray, radii: np.ndarray
+) -> tuple[list[list[int]], int]:
+    """Range routing: per-query hit lists plus partitions-touched count.
+
+    A partition is *touched* by a query when its bbox overlaps the disk
+    (whether or not any point qualifies), matching the legacy per-query
+    scalar router.  Hits come back in partition order, then in each
+    partition's ``point_indices`` order.  Scans are batched partition-major:
+    one :func:`repro.kernels.range_masks` reduction covers every query
+    routed to a partition.
+    """
+    n_queries = centers.shape[0]
+    hits: list[list[int]] = [[] for _ in range(n_queries)]
+    if n_queries == 0 or cols.n_partitions == 0:
+        return hits, 0
+    overlap = np.zeros((n_queries, cols.n_partitions), dtype=bool)
+    for qi in range(n_queries):
+        overlap[qi] = kernels.box_min_dists(cols.boxes, centers[qi]) <= radii[qi]
+    touched = int(overlap.sum())
+    for p in range(cols.n_partitions):
+        routed = np.flatnonzero(overlap[:, p])
+        if routed.size == 0:
+            continue
+        coords, index = cols.part(p)
+        if coords.shape[0] == 0:
+            continue
+        masks = kernels.range_masks(coords, centers[routed], radii[routed])
+        for qi, mask in zip(routed.tolist(), masks):
+            hits[qi].extend(int(i) for i in index[mask])
+    return hits, touched
+
+
+def _route_knn(
+    cols: _ColumnarPartitions, centers: np.ndarray, k: int
+) -> tuple[list[list[int]], int]:
+    """kNN routing: scan partitions best-first, prune by the k-th distance.
+
+    Partitions are visited in ascending ``(bbox min-distance, partition
+    index)`` order; scanning stops once ``k`` candidates are known and the
+    next partition's lower bound exceeds the current k-th distance.  Every
+    scanned partition counts as touched.  Ties break by ascending point
+    index (the package-wide ``(distance, id)`` rule).
+    """
+    n_queries = centers.shape[0]
+    out: list[list[int]] = [[] for _ in range(n_queries)]
+    if n_queries == 0 or cols.n_partitions == 0 or k < 1:
+        return out, 0
+    touched = 0
+    for qi in range(n_queries):
+        lower = kernels.box_min_dists(cols.boxes, centers[qi])
+        order = np.lexsort((np.arange(cols.n_partitions), lower))
+        d_parts: list[np.ndarray] = []
+        id_parts: list[np.ndarray] = []
+        total = 0
+        kth = np.inf
+        for p in order.tolist():
+            if total >= k and lower[p] > kth:
+                break
+            touched += 1
+            coords, index = cols.part(p)
+            if coords.shape[0] == 0:
+                continue
+            d_parts.append(kernels.dists_to(coords, centers[qi]))
+            id_parts.append(index)
+            total += index.shape[0]
+            if total >= k:
+                kth = float(np.partition(np.concatenate(d_parts), k - 1)[k - 1])
+        if total:
+            sel = kernels.knn_select(np.concatenate(d_parts), np.concatenate(id_parts), k)
+            out[qi] = [int(i) for i in sel]
+    return out, touched
+
+
+def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
+    """Pool worker: answer one query chunk against the shared columnar store."""
+    from ..parallel import SharedArray
+
+    coords_h, index_h, offsets, boxes, mode, centers, arg = payload
+    coords = SharedArray.attach(coords_h)
+    index = SharedArray.attach(index_h)
+    try:
+        cols = _ColumnarPartitions(coords.array, index.array, offsets, boxes)
+        if mode == "range":
+            return _route_range(cols, centers, arg)
+        return _route_knn(cols, centers, arg)
+    finally:
+        coords.release()
+        index.release()
+
+
 class PartitionedStore:
-    """Query router over a partitioned point set."""
+    """Query router over a partitioned point set.
+
+    Single-query entry points (:meth:`range_query`, :meth:`knn`) are thin
+    wrappers over the batched ones, which scan each partition with the PR-2
+    columnar kernels and optionally fan query chunks out to a process pool
+    (``workers > 1``).  ``partitions_touched`` counts every (query,
+    partition) routing decision regardless of execution backend.
+    """
 
     def __init__(self, points: list[Point], partitions: list[Partition]) -> None:
         self.points = points
         self.partitions = partitions
         self.partitions_touched = 0
         self.queries_run = 0
+        self._cols = _ColumnarPartitions.build(points, partitions)
 
     def range_query(self, center: Point, radius: float) -> list[int]:
         """Route to overlapping partitions; returns matching point indices."""
-        self.queries_run += 1
-        hits: list[int] = []
-        for part in self.partitions:
-            if part.bbox.min_distance_to(center) > radius:
-                continue
-            self.partitions_touched += 1
-            hits.extend(
-                i
-                for i in part.point_indices
-                if self.points[i].distance_to(center) <= radius
-            )
+        return self.range_query_many([center], [radius])[0]
+
+    def range_query_many(
+        self,
+        centers: Sequence[Point],
+        radii,
+        *,
+        workers: int | None = None,
+        executor: Any = None,
+    ) -> list[list[int]]:
+        """Batch range routing; one hit list per center, in input order.
+
+        ``radii`` is a scalar shared by every query or a per-query sequence.
+        """
+        c = kernels.centers_of(centers)
+        r = np.asarray(radii, dtype=float)
+        if r.ndim == 0:
+            r = np.full(c.shape[0], float(r))
+        elif r.shape != (c.shape[0],):
+            raise ValueError("radii must be a scalar or match the number of centers")
+        return self._run_batch("range", c, r, workers, executor)
+
+    def knn(self, center: Point, k: int) -> list[int]:
+        """Indices of the k nearest points (``(distance, index)`` tie rule)."""
+        return self.knn_many([center], k)[0]
+
+    def knn_many(
+        self,
+        centers: Sequence[Point],
+        k: int,
+        *,
+        workers: int | None = None,
+        executor: Any = None,
+    ) -> list[list[int]]:
+        """Batch kNN routing with best-first partition pruning."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        c = kernels.centers_of(centers)
+        return self._run_batch("knn", c, k, workers, executor)
+
+    def _run_batch(
+        self,
+        mode: str,
+        centers: np.ndarray,
+        arg,
+        workers: int | None,
+        executor: Any,
+    ) -> list[list[int]]:
+        from ..parallel import SerialExecutor, SharedArray, chunk_spans, resolve_executor
+
+        self.queries_run += centers.shape[0]
+        route = _route_range if mode == "range" else _route_knn
+        with resolve_executor(workers, executor) as ex:
+            if isinstance(ex, SerialExecutor):
+                hits, touched = route(self._cols, centers, arg)
+                self.partitions_touched += touched
+                return hits
+            spans = chunk_spans(centers.shape[0], None)
+            coords_s = SharedArray.create(self._cols.coords)
+            index_s = SharedArray.create(self._cols.index)
+            try:
+                payloads = [
+                    (
+                        coords_s.handle,
+                        index_s.handle,
+                        self._cols.offsets,
+                        self._cols.boxes,
+                        mode,
+                        centers[start:stop],
+                        arg[start:stop] if mode == "range" else arg,
+                    )
+                    for start, stop in spans
+                ]
+                results = ex.map_ordered(_query_chunk_task, payloads)
+            finally:
+                coords_s.release()
+                index_s.release()
+        hits = [h for chunk_hits, _ in results for h in chunk_hits]
+        self.partitions_touched += sum(t for _, t in results)
         return hits
 
     def mean_partitions_per_query(self) -> float:
-        """Average partitions touched per range query (communication proxy)."""
+        """Average partitions touched per query (communication proxy)."""
         if self.queries_run == 0:
             return 0.0
         return self.partitions_touched / self.queries_run

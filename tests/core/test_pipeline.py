@@ -34,6 +34,25 @@ class TestPipeline:
         result = p.run(1)
         assert result.metric_series("value") == [("add1", 2.0), ("mul2", 4.0)]
 
+    def test_probe_seconds_accounted_separately(self):
+        p = Pipeline([add(1), mul(2)], probes={"value": lambda x: float(x)})
+        result = p.run(1)
+        assert all(t.probe_seconds >= 0.0 for t in result.trace)
+        assert result.total_probe_seconds == sum(t.probe_seconds for t in result.trace)
+        assert result.total_seconds == sum(t.seconds for t in result.trace)
+
+    def test_probe_seconds_zero_without_probes(self):
+        result = Pipeline([add(1)]).run(0)
+        assert [t.probe_seconds for t in result.trace] == [0.0]
+        assert result.total_probe_seconds == 0.0
+
+    def test_run_many_matches_run_serially(self):
+        p = Pipeline([add(1), mul(10)])
+        data = [0, 1, 2, 3]
+        results = p.run_many(data)
+        assert [r.output for r in results] == [p.run(x).output for x in data]
+        assert p.run_many([]) == []
+
     def test_metric_series_missing_metric(self):
         result = Pipeline([add(1)]).run(0)
         assert result.metric_series("nope") == []

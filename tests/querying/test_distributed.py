@@ -1,7 +1,6 @@
-import numpy as np
 import pytest
 
-from repro.core import BBox, Point
+from repro.core import Point
 from repro.querying import (
     PartitionedStore,
     grid_partition,
@@ -91,3 +90,53 @@ class TestPartitionedStore:
     def test_empty_store(self, box):
         store = PartitionedStore([], grid_partition([], box, 2))
         assert store.range_query(Point(0, 0), 100) == []
+
+    def test_range_query_many_matches_singles(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        centers = [Point(200, 200), Point(500, 500), Point(950, 60)]
+        radii = [50.0, 120.0, 80.0]
+        singles = PartitionedStore(skew, parts)
+        want = [singles.range_query(c, r) for c, r in zip(centers, radii)]
+        batched = PartitionedStore(skew, parts)
+        assert batched.range_query_many(centers, radii) == want
+        assert batched.partitions_touched == singles.partitions_touched
+        assert batched.queries_run == singles.queries_run
+
+    def test_range_query_many_scalar_radius(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 8))
+        centers = [Point(100, 100), Point(800, 800)]
+        got = store.range_query_many(centers, 75.0)
+        assert [sorted(h) for h in got] == [
+            sorted(i for i, p in enumerate(skew) if p.distance_to(c) <= 75.0)
+            for c in centers
+        ]
+
+    def test_knn_matches_brute_force(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 16))
+        center, k = Point(420, 650), 9
+        brute = [
+            i
+            for _, i in sorted((p.distance_to(center), i) for i, p in enumerate(skew))[:k]
+        ]
+        assert store.knn(center, k) == brute
+
+    def test_knn_prunes_partitions(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        store = PartitionedStore(skew, parts)
+        store.knn(Point(200, 200), 5)
+        assert store.partitions_touched < len(parts)
+
+    def test_knn_k_larger_than_points(self, box):
+        pts = [Point(1, 1), Point(2, 2)]
+        store = PartitionedStore(pts, grid_partition(pts, box, 2))
+        assert sorted(store.knn(Point(0, 0), 10)) == [0, 1]
+
+    def test_knn_validation(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 4))
+        with pytest.raises(ValueError):
+            store.knn(Point(0, 0), 0)
+
+    def test_mismatched_radii_rejected(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 4))
+        with pytest.raises(ValueError):
+            store.range_query_many([Point(0, 0), Point(1, 1)], [5.0])
