@@ -158,9 +158,8 @@ def _pairwise_chunk_task(payload: tuple) -> list[float]:
 
     handle, pairs, metric, metric_kwargs = payload
     fn = PAIRWISE_METRICS[metric]
-    batch = SharedTrajectoryBatch.attach(handle)
-    cache: dict[int, Trajectory] = {}
-    try:
+    with SharedTrajectoryBatch.attach(handle) as batch:
+        cache: dict[int, Trajectory] = {}
 
         def get(i: int) -> Trajectory:
             if i not in cache:
@@ -168,8 +167,6 @@ def _pairwise_chunk_task(payload: tuple) -> list[float]:
             return cache[i]
 
         return [float(fn(get(i), get(j), **metric_kwargs)) for i, j in pairs]
-    finally:
-        batch.release()
 
 
 def pairwise_distances(

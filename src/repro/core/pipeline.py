@@ -91,11 +91,8 @@ def _run_shm_chunk(payload: tuple) -> list:
     from ..parallel import SharedTrajectoryBatch
 
     pipeline, handle, start, stop = payload
-    batch = SharedTrajectoryBatch.attach(handle)
-    try:
+    with SharedTrajectoryBatch.attach(handle) as batch:
         return [pipeline.run(batch.trajectory(i)) for i in range(start, stop)]
-    finally:
-        batch.release()
 
 
 def _run_ablation_task(payload: tuple):
@@ -109,11 +106,8 @@ def _run_ablation_task(payload: tuple):
     pipeline, data, handle = payload
     if handle is None:
         return pipeline.run(data)
-    batch = SharedTrajectoryBatch.attach(handle)
-    try:
+    with SharedTrajectoryBatch.attach(handle) as batch:
         return pipeline.run(batch.trajectory(0))
-    finally:
-        batch.release()
 
 
 class Pipeline(Generic[T]):

@@ -134,7 +134,8 @@ class SharedTrajectoryBatch:
             if trajectories
             else np.zeros((0, 3))
         )
-        block = SharedArray.create(packed)
+        # Ownership transfers to the returned batch, whose release() pairs it.
+        block = SharedArray.create(packed)  # reprolint: disable=R2
         return cls(block, tuple(offsets), tuple(t.object_id for t in trajectories))
 
     @property
@@ -143,7 +144,12 @@ class SharedTrajectoryBatch:
 
     @classmethod
     def attach(cls, handle: TrajectoryBatchHandle) -> "SharedTrajectoryBatch":
-        return cls(SharedArray.attach(handle.block), handle.offsets, handle.object_ids)
+        # Ownership transfers to the returned batch, whose release() pairs it.
+        return cls(
+            SharedArray.attach(handle.block),  # reprolint: disable=R2
+            handle.offsets,
+            handle.object_ids,
+        )
 
     def __len__(self) -> int:
         return len(self._object_ids)

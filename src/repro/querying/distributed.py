@@ -267,16 +267,12 @@ def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
     from ..parallel import SharedArray
 
     coords_h, index_h, offsets, boxes, mode, centers, arg = payload
-    coords = SharedArray.attach(coords_h)
-    index = SharedArray.attach(index_h)
-    try:
+    # Nested with-items: if the second attach fails, the first still closes.
+    with SharedArray.attach(coords_h) as coords, SharedArray.attach(index_h) as index:
         cols = _ColumnarPartitions(coords.array, index.array, offsets, boxes)
         if mode == "range":
             return _route_range(cols, centers, arg)
         return _route_knn(cols, centers, arg)
-    finally:
-        coords.release()
-        index.release()
 
 
 class PartitionedStore:
@@ -356,9 +352,12 @@ class PartitionedStore:
                 self.partitions_touched += touched
                 return hits
             spans = chunk_spans(centers.shape[0], None)
-            coords_s = SharedArray.create(self._cols.coords)
-            index_s = SharedArray.create(self._cols.index)
-            try:
+            # Nested with-items: a failed second create unlinks the first
+            # segment too (the seed version leaked it on that path).
+            with (
+                SharedArray.create(self._cols.coords) as coords_s,
+                SharedArray.create(self._cols.index) as index_s,
+            ):
                 payloads = [
                     (
                         coords_s.handle,
@@ -372,9 +371,6 @@ class PartitionedStore:
                     for start, stop in spans
                 ]
                 results = ex.map_ordered(_query_chunk_task, payloads)
-            finally:
-                coords_s.release()
-                index_s.release()
         hits = [h for chunk_hits, _ in results for h in chunk_hits]
         self.partitions_touched += sum(t for _, t in results)
         return hits

@@ -280,3 +280,135 @@ class TestDistanceKernels:
         assert float(kernels.box_max_dists(rows, c)[0]) == pytest.approx(
             box.max_distance_to(c), rel=1e-15, abs=1e-15
         )
+
+
+# ---------------------------------------------------------------------------
+# Same-named reference twins: every public kernel vs its scalar twin (R3)
+# ---------------------------------------------------------------------------
+
+
+def _twin_rng():
+    return np.random.default_rng(20260806)
+
+
+def _twin_coords(rng, n=40):
+    pts = rng.uniform(-200.0, 200.0, size=(n, 2))
+    pts[5] = pts[4]  # duplicate rows exercise the (distance, id) tie rule
+    pts[6] = pts[4]
+    return pts
+
+
+def _twin_xyt(rng, n=30):
+    xy = np.cumsum(rng.normal(0.0, 5.0, size=(n, 2)), axis=0)
+    t = np.cumsum(rng.uniform(0.5, 2.0, size=n))
+    return np.column_stack([xy, t])
+
+
+def _twin_boxes(rng, n=12):
+    lo = rng.uniform(-100.0, 100.0, size=(n, 2))
+    hi = lo + rng.uniform(0.0, 60.0, size=(n, 2))
+    return np.hstack([lo, hi])[:, [0, 1, 2, 3]]
+
+
+#: name -> zero-arg builder of the positional args both twins receive.
+#: Keys must cover every public function of kernels.{distances,motion,
+#: screens} — reprolint rule R3 and test_every_kernel_has_reference_twin
+#: both enforce the pairing.
+PARITY_BUILDERS = {
+    "dists_to": lambda rng: (_twin_coords(rng), Point(3.0, -7.0)),
+    "cross_dists": lambda rng: (_twin_coords(rng, 25), _twin_coords(rng, 18)),
+    "range_mask": lambda rng: (_twin_coords(rng), Point(0.0, 0.0), 150.0),
+    "range_masks": lambda rng: (
+        _twin_coords(rng),
+        rng.uniform(-100.0, 100.0, size=(6, 2)),
+        rng.uniform(10.0, 200.0, size=6),
+    ),
+    "knn_select": lambda rng: (
+        np.repeat(rng.uniform(0.0, 50.0, size=10), 2),
+        rng.permutation(20).astype(np.int64),
+        7,
+    ),
+    "knn_select_many": lambda rng: (
+        _twin_coords(rng),
+        rng.permutation(40).astype(np.int64),
+        rng.uniform(-100.0, 100.0, size=(5, 2)),
+        6,
+    ),
+    "box_min_dists": lambda rng: (_twin_boxes(rng), Point(5.0, 5.0)),
+    "box_max_dists": lambda rng: (_twin_boxes(rng), Point(5.0, 5.0)),
+    "box_gap_dists": lambda rng: (BBox(-20.0, -20.0, 20.0, 20.0), _twin_boxes(rng)),
+    "haversine_m_many": lambda rng: (
+        rng.uniform(-180.0, 180.0, size=15),
+        rng.uniform(-85.0, 85.0, size=15),
+        rng.uniform(-180.0, 180.0, size=15),
+        rng.uniform(-85.0, 85.0, size=15),
+    ),
+    "leg_displacements": lambda rng: (_twin_xyt(rng),),
+    "leg_speeds": lambda rng: (_twin_xyt(rng),),
+    "leg_headings": lambda rng: (_twin_xyt(rng),),
+    "sampling_intervals": lambda rng: (np.cumsum(rng.uniform(0.1, 3.0, size=25)),),
+    "turn_angles": lambda rng: (rng.uniform(-np.pi, np.pi, size=25),),
+    "path_length": lambda rng: (_twin_xyt(rng),),
+    "windowed_medians": lambda rng: (rng.normal(0.0, 5.0, size=31), 3),
+    "windowed_median_residuals": lambda rng: (_twin_xyt(rng), 7),
+    "robust_zscores": lambda rng: (np.abs(rng.normal(0.0, 2.0, size=40)),),
+    "both_leg_flags": lambda rng: (rng.random(20) < 0.4,),
+}
+
+_EMPTY_BUILDERS = {
+    "dists_to": lambda rng: (np.zeros((0, 2)), Point(0.0, 0.0)),
+    "leg_displacements": lambda rng: (np.zeros((0, 3)),),
+    "turn_angles": lambda rng: (np.zeros(0),),
+    "windowed_medians": lambda rng: (np.zeros(0), 2),
+    "robust_zscores": lambda rng: (np.zeros(0),),
+    "both_leg_flags": lambda rng: (np.zeros(0, dtype=bool),),
+    "knn_select": lambda rng: (np.zeros(0), np.zeros(0, dtype=np.int64), 4),
+}
+
+
+def _assert_twin_equal(name, got, want):
+    if name == "both_leg_flags":
+        assert got == want
+    elif name == "path_length":
+        assert got == pytest.approx(want, rel=1e-12, abs=1e-12)
+    elif name == "knn_select":
+        np.testing.assert_array_equal(got, want)
+    elif name == "knn_select_many":
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g, w)
+    elif name in ("range_mask", "range_masks"):
+        np.testing.assert_array_equal(got, want)
+    else:
+        got_arr, want_arr = np.asarray(got, dtype=float), np.asarray(want, dtype=float)
+        assert got_arr.shape == want_arr.shape
+        np.testing.assert_allclose(got_arr, want_arr, rtol=1e-9, atol=1e-9)
+
+
+class TestReferenceTwins:
+    """Each public kernel agrees with its same-named scalar twin."""
+
+    @pytest.mark.parametrize("name", sorted(PARITY_BUILDERS))
+    def test_parity(self, name):
+        args = PARITY_BUILDERS[name](_twin_rng())
+        _assert_twin_equal(name, getattr(kernels, name)(*args), getattr(reference, name)(*args))
+
+    @pytest.mark.parametrize("name", sorted(_EMPTY_BUILDERS))
+    def test_parity_on_empty_inputs(self, name):
+        args = _EMPTY_BUILDERS[name](_twin_rng())
+        _assert_twin_equal(name, getattr(kernels, name)(*args), getattr(reference, name)(*args))
+
+    def test_every_kernel_has_reference_twin(self):
+        """Mechanical mirror of reprolint rule R3: no kernel without a twin."""
+        import repro.kernels.distances as distances
+        import repro.kernels.motion as motion
+        import repro.kernels.screens as screens
+
+        for mod in (distances, motion, screens):
+            for name, obj in vars(mod).items():
+                if name.startswith("_") or not callable(obj):
+                    continue
+                if getattr(obj, "__module__", None) != mod.__name__:
+                    continue
+                assert hasattr(reference, name), f"no reference twin for kernel {name}"
+                assert name in PARITY_BUILDERS, f"kernel {name} missing a parity case"

@@ -468,3 +468,102 @@ class TestSharedMemoryLifecycle:
         assert isinstance(get_executor(None), SerialExecutor)
         assert isinstance(get_executor(1), SerialExecutor)
         assert get_executor(-1).workers >= 1
+
+
+class _InProcessPoolStub:
+    """Non-serial executor stand-in: drives the shm fan-out path in-process."""
+
+    workers = 2
+
+    def map_ordered(self, fn, payloads):
+        return [fn(p) for p in payloads]
+
+    def close(self):
+        pass
+
+
+class TestSharedMemorySiteHygiene:
+    """Call-site halves of the unlink-on-error contract (reprolint R2)."""
+
+    def test_partitioned_store_unlinks_first_segment_when_second_create_fails(
+        self, monkeypatch, rng
+    ):
+        """Regression: the seed packed both query columns before the try, so
+        a failing second create leaked the already-created coords segment."""
+        import repro.parallel as parallel_pkg
+        from repro.core import BBox
+
+        box = BBox(0.0, 0.0, 100.0, 100.0)
+        points = skewed_points(rng, 80, box, n_hotspots=2, hotspot_sigma=10.0)
+        store = PartitionedStore(points, kd_partition(points, box, 4))
+
+        created_names: list[str] = []
+        real_create = SharedArray.create.__func__
+
+        class FailsOnSecondCreate(SharedArray):
+            @classmethod
+            def create(cls, array):
+                if created_names:
+                    raise MemoryError("simulated segment exhaustion")
+                shared = real_create(cls, array)
+                created_names.append(shared.handle.name)
+                return shared
+
+        monkeypatch.setattr(parallel_pkg, "SharedArray", FailsOnSecondCreate)
+        with pytest.raises(MemoryError):
+            store.range_query_many(
+                [Point(50.0, 50.0)], [10.0], executor=_InProcessPoolStub()
+            )
+        assert len(created_names) == 1
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=created_names[0])
+
+    def test_query_chunk_worker_closes_first_attachment_when_second_fails(
+        self, monkeypatch, rng
+    ):
+        """The worker side mirrors it: a failing second attach must still
+        close the first mapping (borrower half of the contract)."""
+        from repro.core import BBox
+        from repro.querying.distributed import _query_chunk_task
+
+        box = BBox(0.0, 0.0, 100.0, 100.0)
+        points = skewed_points(rng, 60, box, n_hotspots=2, hotspot_sigma=10.0)
+        store = PartitionedStore(points, kd_partition(points, box, 4))
+        cols = store._cols
+
+        closed: list[bool] = []
+        real_attach = SharedArray.attach.__func__
+        real_release = SharedArray.release
+
+        def tracking_release(self):
+            closed.append(True)
+            real_release(self)
+
+        attached_count = [0]
+
+        def flaky_attach(handle):
+            if attached_count[0] == 1:
+                raise FileNotFoundError("segment vanished")
+            attached_count[0] += 1
+            return real_attach(SharedArray, handle)
+
+        monkeypatch.setattr(SharedArray, "attach", staticmethod(flaky_attach))
+        monkeypatch.setattr(SharedArray, "release", tracking_release)
+        with SharedArray.create(cols.coords) as coords_s, SharedArray.create(
+            cols.index
+        ) as index_s:
+            payload = (
+                coords_s.handle,
+                index_s.handle,
+                cols.offsets,
+                cols.boxes,
+                "range",
+                np.array([[50.0, 50.0]]),
+                np.array([10.0]),
+            )
+            closed.clear()
+            with pytest.raises(FileNotFoundError):
+                _query_chunk_task(payload)
+            assert closed == [True]  # the one successful attach was closed

@@ -1,0 +1,1 @@
+"""Repo tooling: API-doc generation and the reprolint invariant checker."""

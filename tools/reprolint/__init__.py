@@ -1,0 +1,37 @@
+"""reprolint: AST-based invariant checks the generic linters cannot express.
+
+The repository's credibility as a reproduction rests on invariants that
+``ruff``/``mypy`` do not know about: seeded determinism (``workers=1``
+bit-identical to ``workers=N``), the shared-memory unlink-on-error
+contract, and every columnar kernel having a scalar reference twin.  This
+package walks the :mod:`ast` of ``src/repro`` and enforces them:
+
+* **R1 determinism** — no stdlib ``random``, legacy global-state
+  ``np.random.*``, unseeded ``np.random.default_rng()``, or wall-clock
+  calls (``time.time``/``datetime.now``/…) in library code.  Genuine
+  timing seams (replay pacing, latency observability) carry per-file
+  waivers in ``reprolint_baseline.toml``.
+* **R2 shm lifecycle** — every ``SharedArray``/``SharedTrajectoryBatch``
+  ``create``/``attach`` must be lexically paired with its release: either
+  a ``with`` block or an immediately-following ``try/finally`` that calls
+  ``release``/``close``/``unlink`` on the bound name.
+* **R3 kernel parity** — every public function in
+  ``repro/kernels/{distances,motion,screens}.py`` has a same-named scalar
+  twin in ``kernels/reference.py`` and appears in
+  ``tests/test_kernels.py``.
+* **R4 lock discipline** — in ``repro/ingest`` classes that declare a
+  ``*_lock``, attribute writes outside ``__init__`` must sit inside a
+  ``with self.<lock>`` block.
+* **R5 export hygiene** — each subpackage ``__all__`` matches its
+  ``docs/API.md`` section (regenerate with ``python tools/gen_api_docs.py``).
+
+Run ``python -m tools.reprolint`` from the repo root; findings can be
+suppressed line-by-line with ``# reprolint: disable=R1`` pragmas or
+per-file via the checked-in baseline.  The sibling
+:mod:`tools.reprolint.mypy_ratchet` keeps the ``mypy --strict`` error
+count from rising above its recorded ceiling.
+"""
+
+from .core import Baseline, Finding, Module, run_reprolint
+
+__all__ = ["Baseline", "Finding", "Module", "run_reprolint"]

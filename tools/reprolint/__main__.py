@@ -1,0 +1,71 @@
+"""CLI for reprolint: ``python -m tools.reprolint [paths...]`` from the root.
+
+Exit status is 0 when the tree is clean against the baseline and nonzero
+when any unwaived finding remains — the contract the CI ``lint-invariants``
+job and the tier-1 test both rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import DEFAULT_BASELINE, Baseline, run_reprolint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST invariant checks: determinism, shm lifecycle, kernel "
+        "parity, lock discipline, export hygiene.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: src/repro under --root)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(), help="repository root (default: cwd)"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"waiver file (default: <root>/{DEFAULT_BASELINE.as_posix()})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline entirely"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if args.no_baseline:
+        baseline = Baseline.empty()
+    elif args.baseline is not None:
+        baseline = Baseline.load(args.baseline)
+    else:
+        default = root / DEFAULT_BASELINE
+        baseline = Baseline.load(default) if default.exists() else Baseline.empty()
+
+    findings = run_reprolint(root, paths=args.paths or None, baseline=baseline)
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"reprolint: {len(findings)} finding(s)")
+        else:
+            print("reprolint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""Shared reprolint infrastructure: findings, pragmas, baseline, runner.
+
+Rule implementations live in :mod:`tools.reprolint.rules`; this module
+holds everything they share — the :class:`Finding` record, parsed
+:class:`Module` wrappers with their pragma maps, the
+``reprolint_baseline.toml`` waiver file, and :func:`run_reprolint`, the
+single entry point the CLI and the tier-1 test both call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 only
+    tomllib = None  # type: ignore[assignment]
+
+#: Every rule reprolint knows about (see tools/reprolint/rules.py).
+RULE_IDS = ("R1", "R2", "R3", "R4", "R5")
+
+#: Inline suppression: ``# reprolint: disable=R1`` or ``disable=R1,R4``.
+PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured violation: where, which rule, and why."""
+
+    file: str  # repo-relative posix path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {"file": self.file, "line": self.line, "rule": self.rule, "message": self.message}
+
+
+def pragma_lines(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line."""
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = PRAGMA_RE.search(line)
+        if m:
+            out[i] = {part.strip() for part in m.group(1).split(",") if part.strip()}
+    return out
+
+
+@dataclass
+class Module:
+    """One parsed source file plus the lookups every rule needs."""
+
+    path: Path  # absolute
+    rel: str  # repo-relative posix path
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, set[str]]
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "Module":
+        source = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            rel=path.resolve().relative_to(root.resolve()).as_posix(),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            pragmas=pragma_lines(source),
+        )
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.pragmas.get(line, ())
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def _parse_minimal_toml(text: str) -> dict[str, dict[str, object]]:
+    """Tiny fallback parser for the baseline's TOML subset (Python 3.10).
+
+    Supports ``[section]`` headers and ``key = value`` lines where the
+    value is an integer, a double-quoted string, or an array of
+    double-quoted strings — exactly what ``reprolint_baseline.toml`` uses.
+    """
+    data: dict[str, dict[str, object]] = {}
+    section: dict[str, object] | None = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip() if not raw.strip().startswith('"') else raw.strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = data.setdefault(line[1:-1].strip(), {})
+            continue
+        if "=" not in line or section is None:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if value.startswith("["):
+            items = re.findall(r'"([^"]*)"', value)
+            section[key] = list(items)
+        elif value.startswith('"'):
+            section[key] = value.strip('"')
+        else:
+            try:
+                section[key] = int(value.split("#", 1)[0].strip())
+            except ValueError:
+                continue
+    return data
+
+
+@dataclass
+class Baseline:
+    """Checked-in waivers: per-file rule exemptions plus the mypy ceiling."""
+
+    waivers: dict[str, set[str]]
+    mypy_strict_errors: int | None = None
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(waivers={})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        text = path.read_text(encoding="utf-8")
+        if tomllib is not None:
+            data = tomllib.loads(text)
+        else:  # pragma: no cover - Python 3.10 fallback
+            data = _parse_minimal_toml(text)
+        waivers = {
+            str(file): {str(r) for r in rules}
+            for file, rules in data.get("waivers", {}).items()
+        }
+        mypy = data.get("mypy", {})
+        strict = mypy.get("strict_errors")
+        return cls(waivers=waivers, mypy_strict_errors=int(strict) if strict is not None else None)
+
+    def is_waived(self, rel: str, rule: str) -> bool:
+        return rule in self.waivers.get(rel, ())
+
+
+#: Default baseline location, relative to the repo root.
+DEFAULT_BASELINE = Path("tools") / "reprolint" / "reprolint_baseline.toml"
+
+
+# -- runner --------------------------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def run_reprolint(
+    root: Path,
+    paths: Iterable[Path] | None = None,
+    baseline: Baseline | None = None,
+) -> list[Finding]:
+    """Run every rule over the tree; returns unsuppressed, unwaived findings.
+
+    ``paths`` restricts the per-module rules (R1/R2/R4) to specific files;
+    the tree-level rules (R3 kernel parity, R5 export hygiene) always run
+    against ``root`` and silently skip when their anchor files are absent.
+    Pragmas suppress findings on their exact line; the baseline waives
+    whole (file, rule) pairs.
+    """
+    from . import rules
+
+    root = Path(root).resolve()
+    if baseline is None:
+        baseline_path = root / DEFAULT_BASELINE
+        baseline = Baseline.load(baseline_path) if baseline_path.exists() else Baseline.empty()
+
+    scan_paths = list(paths) if paths is not None else [root / "src" / "repro"]
+    modules: list[Module] = []
+    for path in iter_python_files(scan_paths):
+        modules.append(Module.parse(path, root))
+
+    findings: list[Finding] = []
+    pragma_maps: dict[str, dict[int, set[str]]] = {m.rel: m.pragmas for m in modules}
+    for module in modules:
+        findings.extend(rules.rule_r1_determinism(module))
+        findings.extend(rules.rule_r2_shm_lifecycle(module))
+        if module.rel.startswith("src/repro/ingest/"):
+            findings.extend(rules.rule_r4_lock_discipline(module))
+    for finding, pragmas in rules.rule_r3_kernel_parity(root):
+        pragma_maps.setdefault(finding.file, pragmas)
+        findings.append(finding)
+    for finding, pragmas in rules.rule_r5_export_hygiene(root):
+        pragma_maps.setdefault(finding.file, pragmas)
+        findings.append(finding)
+
+    kept = [
+        f
+        for f in findings
+        if f.rule not in pragma_maps.get(f.file, {}).get(f.line, set())
+        and not baseline.is_waived(f.file, f.rule)
+    ]
+    return sorted(set(kept))

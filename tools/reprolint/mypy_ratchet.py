@@ -1,0 +1,115 @@
+"""mypy-strict ratchet: the strict-error count must never rise.
+
+``python -m tools.reprolint.mypy_ratchet`` runs ``mypy --strict`` over
+``src/repro``, counts ``error:`` diagnostics, and compares against the
+``[mypy] strict_errors`` ceiling recorded in ``reprolint_baseline.toml``:
+
+* count > ceiling  -> exit 1 (new strict debt; fix it or consciously raise
+  the ceiling in review),
+* count < ceiling  -> exit 0 with a nudge to tighten via ``--update``,
+* mypy not installed -> exit 0 with a notice (local containers may lack
+  it; CI installs the dev extras and always enforces).
+
+``--update`` rewrites the recorded ceiling to the measured count, which is
+how the ratchet only ever moves down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from collections import Counter
+from importlib.util import find_spec
+from pathlib import Path
+
+from .core import DEFAULT_BASELINE, Baseline
+
+_ERROR_RE = re.compile(r"^(?P<file>[^:\n]+):\d+:(?:\d+:)? error:")
+_CEILING_RE = re.compile(r"(strict_errors\s*=\s*)(-?\d+)")
+
+
+def count_strict_errors(root: Path, targets: list[str]) -> tuple[int, Counter[str]]:
+    """Run ``mypy --strict`` and return (total errors, per-file counts)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "--no-color-output", *targets],
+        cwd=root,
+        capture_output=True,
+        text=True,
+    )
+    per_file: Counter[str] = Counter()
+    for line in proc.stdout.splitlines():
+        m = _ERROR_RE.match(line)
+        if m:
+            per_file[m.group("file")] += 1
+    return sum(per_file.values()), per_file
+
+
+def compare(count: int, ceiling: int | None) -> tuple[int, str]:
+    """Ratchet verdict as (exit code, human message)."""
+    if ceiling is None or ceiling < 0:
+        return 0, (
+            f"mypy-ratchet: {count} strict error(s); no ceiling recorded — run "
+            "with --update to arm the ratchet"
+        )
+    if count > ceiling:
+        return 1, (
+            f"mypy-ratchet: FAIL — {count} strict error(s) exceeds the recorded "
+            f"ceiling of {ceiling} (+{count - ceiling}); fix the new errors or "
+            "raise the ceiling deliberately in reprolint_baseline.toml"
+        )
+    if count < ceiling:
+        return 0, (
+            f"mypy-ratchet: OK — {count} strict error(s), ceiling {ceiling}; "
+            f"tighten it with --update to lock in the {ceiling - count} repaid"
+        )
+    return 0, f"mypy-ratchet: OK — {count} strict error(s), at the ceiling"
+
+
+def update_ceiling(baseline_path: Path, count: int) -> None:
+    text = baseline_path.read_text(encoding="utf-8")
+    new_text, n = _CEILING_RE.subn(rf"\g<1>{count}", text, count=1)
+    if n == 0:
+        new_text = text.rstrip() + f"\n\n[mypy]\nstrict_errors = {count}\n"
+    baseline_path.write_text(new_text, encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m tools.reprolint.mypy_ratchet")
+    parser.add_argument("targets", nargs="*", default=None, help="mypy targets")
+    parser.add_argument("--root", type=Path, default=Path.cwd())
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument(
+        "--update", action="store_true", help="record the measured count as the new ceiling"
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    baseline_path = args.baseline if args.baseline is not None else root / DEFAULT_BASELINE
+
+    if find_spec("mypy") is None:
+        print("mypy-ratchet: mypy is not installed here; skipping (CI enforces)")
+        return 0
+
+    targets = args.targets or ["src/repro"]
+    count, per_file = count_strict_errors(root, targets)
+
+    if args.update:
+        update_ceiling(baseline_path, count)
+        print(f"mypy-ratchet: recorded ceiling {count} in {baseline_path}")
+        return 0
+
+    ceiling = (
+        Baseline.load(baseline_path).mypy_strict_errors if baseline_path.exists() else None
+    )
+    code, message = compare(count, ceiling)
+    print(message)
+    if code != 0:
+        for file, n in per_file.most_common(10):
+            print(f"  {file}: {n} strict error(s)")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,532 @@
+"""The five reprolint rules, each an AST pass returning structured findings.
+
+Every per-module rule takes a parsed :class:`~tools.reprolint.core.Module`
+and returns ``list[Finding]``; the tree-level rules (R3, R5) take the repo
+root and return ``(Finding, pragma_map)`` pairs so the runner can honor
+inline pragmas in files it did not itself scan.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from .core import Finding, Module, pragma_lines
+
+# -- shared AST helpers --------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully dotted origin, e.g. ``np -> numpy``."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".", 1)[0]] = (
+                    a.name if a.asname else a.name.split(".", 1)[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def resolve_call_name(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Fully dotted name of a call target, import aliases applied."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    first, _, rest = dotted.partition(".")
+    origin = aliases.get(first, first)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    return {child: parent for parent in ast.walk(tree) for child in ast.iter_child_nodes(parent)}
+
+
+def _contains(node: ast.AST, target: ast.AST) -> bool:
+    return any(sub is target for sub in ast.walk(node))
+
+
+# -- R1: determinism -----------------------------------------------------------
+
+#: Wall-clock and sleep entry points that make library output time-dependent.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random members that are fine in deterministic code: explicit
+#: generator/bit-generator construction and seed derivation.
+ALLOWED_NP_RANDOM = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def rule_r1_determinism(module: Module) -> list[Finding]:
+    """No hidden global randomness or wall-clock reads in library code."""
+    aliases = import_aliases(module.tree)
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call_name(node, aliases)
+        if name is None:
+            continue
+        if name == "random" or name.startswith("random."):
+            findings.append(
+                Finding(
+                    module.rel,
+                    node.lineno,
+                    "R1",
+                    f"stdlib `{name}()` breaks seeded determinism — inject a "
+                    "`np.random.Generator` parameter instead",
+                )
+            )
+        elif name in WALL_CLOCK_CALLS:
+            findings.append(
+                Finding(
+                    module.rel,
+                    node.lineno,
+                    "R1",
+                    f"wall-clock call `{name}()` in library code — pass timestamps "
+                    "explicitly, or waive this file in reprolint_baseline.toml if "
+                    "timing is the feature",
+                )
+            )
+        elif name.startswith("numpy.random."):
+            member = name.rsplit(".", 1)[1]
+            if member == "default_rng":
+                if not node.args and not node.keywords:
+                    findings.append(
+                        Finding(
+                            module.rel,
+                            node.lineno,
+                            "R1",
+                            "unseeded `np.random.default_rng()` — thread a seed or "
+                            "an injected Generator through instead",
+                        )
+                    )
+            elif member not in ALLOWED_NP_RANDOM:
+                findings.append(
+                    Finding(
+                        module.rel,
+                        node.lineno,
+                        "R1",
+                        f"legacy global-state `np.random.{member}()` — use an "
+                        "injected `np.random.Generator`",
+                    )
+                )
+    return findings
+
+
+# -- R2: shared-memory lifecycle -----------------------------------------------
+
+SHM_CLASSES = {"SharedArray", "SharedTrajectoryBatch"}
+RELEASE_METHODS = {"release", "close", "unlink"}
+
+
+def _shm_acquisitions(tree: ast.Module) -> list[ast.Call]:
+    out = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"create", "attach"}
+        ):
+            base = dotted_name(node.func.value)
+            if base is not None and base.rsplit(".", 1)[-1] in SHM_CLASSES:
+                out.append(node)
+    return out
+
+
+def _enclosing_statement(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> ast.stmt | None:
+    """Nearest ancestor statement that sits directly in some body list."""
+    cur: ast.AST | None = node
+    while cur is not None:
+        parent = parents.get(cur)
+        if isinstance(cur, ast.stmt) and parent is not None:
+            for field in ("body", "orelse", "finalbody"):
+                body = getattr(parent, field, None)
+                if isinstance(body, list) and cur in body:
+                    return cur
+        cur = parent
+    return None
+
+
+def _releases_name(stmts: list[ast.stmt], name: str | None) -> bool:
+    """True when some statement calls ``<name>.release/close/unlink()``."""
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in RELEASE_METHODS
+            ):
+                if name is None:
+                    return True
+                target = node.func.value
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True
+    return False
+
+
+def rule_r2_shm_lifecycle(module: Module) -> list[Finding]:
+    """Shared-memory acquisition must be lexically paired with its release.
+
+    Accepted shapes, all within the acquiring function:
+
+    * the ``create``/``attach`` call is a ``with``-item context expression,
+    * ``name = X.create(...)`` immediately followed by a ``try`` whose
+      ``finally`` calls ``name.release()`` (or ``close``/``unlink``),
+    * the call sits inside a ``try`` body whose ``finally`` releases the
+      assigned name.
+
+    Anything else — including acquisition *before* the ``try`` when a
+    second acquisition can still fail — is a leak path.
+    """
+    calls = _shm_acquisitions(module.tree)
+    if not calls:
+        return []
+    parents = parent_map(module.tree)
+    findings: list[Finding] = []
+    for call in calls:
+        stmt = _enclosing_statement(call, parents)
+        bound: str | None = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            bound = stmt.targets[0].id
+
+        ok = False
+        cur: ast.AST | None = call
+        while cur is not None and not ok:
+            parent = parents.get(cur)
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                ok = any(_contains(item.context_expr, call) for item in parent.items)
+            elif isinstance(parent, ast.Try) and cur in parent.body:
+                ok = _releases_name(parent.finalbody, bound)
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            cur = parent
+
+        if not ok and stmt is not None and bound is not None:
+            container = parents.get(stmt)
+            for field in ("body", "orelse", "finalbody"):
+                body = getattr(container, field, None)
+                if isinstance(body, list) and stmt in body:
+                    idx = body.index(stmt)
+                    if idx + 1 < len(body) and isinstance(body[idx + 1], ast.Try):
+                        ok = _releases_name(body[idx + 1].finalbody, bound)
+                    break
+
+        if not ok:
+            kind = call.func.attr if isinstance(call.func, ast.Attribute) else "create"
+            findings.append(
+                Finding(
+                    module.rel,
+                    call.lineno,
+                    "R2",
+                    f"shared-memory `{kind}` is not lexically paired with a release "
+                    "— use a `with` block or an immediately-following try/finally "
+                    "(unlink-on-error contract)",
+                )
+            )
+    return findings
+
+
+# -- R3: kernel/reference parity -----------------------------------------------
+
+KERNEL_MODULES = ("distances", "motion", "screens")
+
+
+def _public_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    return [
+        node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef) and not node.name.startswith("_")
+    ]
+
+
+def rule_r3_kernel_parity(root: Path) -> list[tuple[Finding, dict[int, set[str]]]]:
+    """Every public kernel needs a same-named reference twin and test coverage."""
+    kernels_dir = root / "src" / "repro" / "kernels"
+    reference_path = kernels_dir / "reference.py"
+    if not reference_path.exists():
+        return []
+    ref_names = {f.name for f in _public_functions(ast.parse(reference_path.read_text()))}
+    tests_path = root / "tests" / "test_kernels.py"
+    tests_text = tests_path.read_text(encoding="utf-8") if tests_path.exists() else ""
+
+    out: list[tuple[Finding, dict[int, set[str]]]] = []
+    for mod_name in KERNEL_MODULES:
+        path = kernels_dir / f"{mod_name}.py"
+        if not path.exists():
+            continue
+        source = path.read_text(encoding="utf-8")
+        pragmas = pragma_lines(source)
+        rel = path.resolve().relative_to(root).as_posix()
+        for func in _public_functions(ast.parse(source)):
+            if func.name not in ref_names:
+                out.append(
+                    (
+                        Finding(
+                            rel,
+                            func.lineno,
+                            "R3",
+                            f"public kernel `{func.name}` has no same-named scalar "
+                            "reference twin in kernels/reference.py",
+                        ),
+                        pragmas,
+                    )
+                )
+            elif not re.search(rf"\b{re.escape(func.name)}\b", tests_text):
+                out.append(
+                    (
+                        Finding(
+                            rel,
+                            func.lineno,
+                            "R3",
+                            f"kernel `{func.name}` never appears in "
+                            "tests/test_kernels.py — add it to the parity suite",
+                        ),
+                        pragmas,
+                    )
+                )
+    return out
+
+
+# -- R4: lock discipline -------------------------------------------------------
+
+LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.*lock`` attributes assigned a Lock()/RLock()."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        factory = dotted_name(node.value.func)
+        if factory is None or factory.rsplit(".", 1)[-1] not in LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and (target.attr == "lock" or target.attr.endswith("_lock"))
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _self_attr_root(target: ast.AST) -> str | None:
+    """``self.<attr>`` root of an assignment target, unwrapping subscripts."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        value = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(value, ast.Name)
+            and value.id == "self"
+        ):
+            return node.attr
+        node = value
+    return None
+
+
+def _guarded_by_lock(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], locks: set[str], method: ast.FunctionDef
+) -> bool:
+    cur: ast.AST | None = node
+    while cur is not None and cur is not method:
+        parent = parents.get(cur)
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            for item in parent.items:
+                for sub in ast.walk(item.context_expr):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                        and sub.attr in locks
+                    ):
+                        return True
+        cur = parent
+    return False
+
+
+def rule_r4_lock_discipline(module: Module) -> list[Finding]:
+    """In lock-declaring ingest classes, writes happen under the lock."""
+    parents = parent_map(module.tree)
+    findings: list[Finding] = []
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _lock_attrs(cls)
+        if not locks:
+            continue
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef) or method.name == "__init__":
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    targets: list[ast.AST] = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                else:
+                    continue
+                for target in targets:
+                    attr = _self_attr_root(target)
+                    if attr is None or attr in locks:
+                        continue
+                    if not _guarded_by_lock(node, parents, locks, method):
+                        findings.append(
+                            Finding(
+                                module.rel,
+                                node.lineno,
+                                "R4",
+                                f"`{cls.name}.{method.name}` writes `self.{attr}` "
+                                f"outside `with self.{sorted(locks)[0]}` — shared "
+                                "state in a lock-declaring class must be written "
+                                "under the lock",
+                            )
+                        )
+    return findings
+
+
+# -- R5: export hygiene --------------------------------------------------------
+
+_API_SECTION_RE = re.compile(r"^## `(repro\.[A-Za-z_][A-Za-z0-9_.]*)`")
+_API_ROW_RE = re.compile(r"^\| `([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def _documented_exports(api_md: str) -> dict[str, dict[str, int]]:
+    """Package -> {export name -> line number} parsed from docs/API.md."""
+    sections: dict[str, dict[str, int]] = {}
+    current: dict[str, int] | None = None
+    for lineno, line in enumerate(api_md.splitlines(), start=1):
+        m = _API_SECTION_RE.match(line)
+        if m:
+            current = sections.setdefault(m.group(1), {})
+            continue
+        m = _API_ROW_RE.match(line)
+        if m and current is not None:
+            current[m.group(1)] = lineno
+    return sections
+
+
+def _declared_all(tree: ast.Module) -> tuple[dict[str, int], int] | None:
+    """``__all__`` entries (name -> line) and the assignment line, if present."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            names: dict[str, int] = {}
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names[elt.value] = elt.lineno
+            return names, node.lineno
+    return None
+
+
+def rule_r5_export_hygiene(root: Path) -> list[tuple[Finding, dict[int, set[str]]]]:
+    """Subpackage ``__all__`` and docs/API.md must list the same names."""
+    api_path = root / "docs" / "API.md"
+    pkg_root = root / "src" / "repro"
+    if not api_path.exists() or not pkg_root.is_dir():
+        return []
+    api_text = api_path.read_text(encoding="utf-8")
+    documented = _documented_exports(api_text)
+    api_rel = api_path.resolve().relative_to(root).as_posix()
+    api_pragmas = pragma_lines(api_text)
+
+    out: list[tuple[Finding, dict[int, set[str]]]] = []
+    for init in sorted(pkg_root.glob("*/__init__.py")):
+        source = init.read_text(encoding="utf-8")
+        declared = _declared_all(ast.parse(source))
+        if declared is None:
+            continue
+        exports, all_line = declared
+        pkg = f"repro.{init.parent.name}"
+        rel = init.resolve().relative_to(root).as_posix()
+        pragmas = pragma_lines(source)
+        section = documented.get(pkg)
+        if section is None:
+            out.append(
+                (
+                    Finding(
+                        rel,
+                        all_line,
+                        "R5",
+                        f"`{pkg}` has no section in docs/API.md — regenerate with "
+                        "`python tools/gen_api_docs.py`",
+                    ),
+                    pragmas,
+                )
+            )
+            continue
+        for name in sorted(set(exports) - set(section)):
+            out.append(
+                (
+                    Finding(
+                        rel,
+                        exports[name],
+                        "R5",
+                        f"export `{name}` of `{pkg}` is missing from docs/API.md — "
+                        "regenerate with `python tools/gen_api_docs.py`",
+                    ),
+                    pragmas,
+                )
+            )
+        for name in sorted(set(section) - set(exports)):
+            out.append(
+                (
+                    Finding(
+                        api_rel,
+                        section[name],
+                        "R5",
+                        f"docs/API.md documents `{name}` under `{pkg}` but it is "
+                        "not in `__all__` — regenerate with "
+                        "`python tools/gen_api_docs.py`",
+                    ),
+                    api_pragmas,
+                )
+            )
+    return out
