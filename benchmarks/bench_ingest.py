@@ -21,6 +21,7 @@ import numpy as np
 
 from conftest import print_table
 
+from repro import obs
 from repro.ingest import (
     DuplicateGate,
     IngestEngine,
@@ -112,6 +113,44 @@ def test_sharded_ingest_throughput(rng, box, benchmark):
         assert by_shards[n]["throughput_eps"] > by_shards[1]["throughput_eps"] * 0.95
 
     # time the hot path itself: one offer through a warm engine's shard queue
+    engine = IngestEngine(n_shards=4, gate_factories=_gates(), queue_size=1 << 16)
+    try:
+        benchmark(engine.offer, events[0])
+    finally:
+        engine.close()
+
+
+def test_obs_overhead(rng, box, benchmark):
+    """Observability column: the identical stream with obs disabled vs enabled.
+
+    The enabled run's gate-outcome counters must exactly match the engine's
+    own accounting.  The hard <5% disabled-overhead gate lives in
+    ``bench_obs.py --smoke``; here we report the measured columns.
+    """
+    events = _workload(rng, box)
+    obs.disable()
+    off = _run(events, 4)
+    obs.enable()
+    on = _run(events, 4)
+    snap = obs.OBS.metrics.snapshot()
+    obs.disable()
+
+    rows = [
+        ("obs disabled (events/s)", f"{off['throughput_eps']:.0f}"),
+        ("obs enabled (events/s)", f"{on['throughput_eps']:.0f}"),
+        ("enabled/disabled time", f"{on['seconds'] / off['seconds']:.3f}"),
+    ]
+    print_table("F-ING: observability overhead (4 shards)", ["mode", "value"], rows)
+    assert snap.counter("repro_ingest_offered_total") == float(on["counters"]["offered"])
+    # Engine accounting folds repairs into "admitted" (the record is stored).
+    admit_total = sum(
+        v
+        for (name, pairs), v in snap.counters.items()
+        if name == "repro_ingest_gate_outcomes_total"
+        and (("decision", "admit") in pairs or ("decision", "repair") in pairs)
+    )
+    assert admit_total == float(on["counters"]["admitted"])
+
     engine = IngestEngine(n_shards=4, gate_factories=_gates(), queue_size=1 << 16)
     try:
         benchmark(engine.offer, events[0])

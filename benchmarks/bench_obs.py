@@ -1,0 +1,237 @@
+"""Benchmark: observability overhead, disabled and enabled (ISSUE 5).
+
+Measures what :mod:`repro.obs` costs on the instrumented hot paths:
+
+* the **disabled-mode guard** — a single ``OBS.enabled`` attribute check
+  per instrumentation site, measured directly (ns/check) and projected
+  against the pipeline and ingest workloads,
+* the **enabled-mode tax** — the same workloads with tracing + metrics
+  recording on, reported as a ratio over the disabled run.
+
+Writes ``BENCH_obs.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full run
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI gate
+
+``--smoke`` runs a small workload and *asserts* (a) the guard-projected
+disabled-mode overhead is under 5% of workload time, and (b) enabled-mode
+recording is complete (every run/stage/reading counted).  The projection
+deliberately overestimates: it charges every workload item ten guard
+checks, several times the real instrumentation density, and still lands
+orders of magnitude under the budget — a loud regression gate without
+ratio-of-two-noisy-timings flakiness.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.cleaning import remove_and_repair, zscore_outliers
+from repro.core import BBox, Pipeline, Stage, Trajectory
+from repro.ingest import (
+    DuplicateGate,
+    IngestEngine,
+    RangeGate,
+    ReplaySource,
+    events_from_series,
+    field_stream,
+)
+from repro.localization import kalman_refine
+from repro.obs import OBS
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: Guard checks charged to each workload item in the smoke projection —
+#: a deliberate overestimate of the real instrumentation density.
+CHECKS_PER_ITEM = 10
+
+#: CI budget: projected disabled-mode overhead must stay under 5%.
+OVERHEAD_BUDGET = 0.05
+
+
+def timed(fn):
+    """Untimed warmup call, then one timed call: ``(result, seconds)``."""
+    fn()
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def guard_cost_ns(iters: int = 200_000) -> float:
+    """Cost of one ``OBS.enabled`` check (ns), loop overhead subtracted."""
+    obs.disable()
+    enabled = False
+
+    def guarded() -> None:
+        for _ in range(iters):
+            if OBS.enabled:
+                raise AssertionError("disabled")
+
+    def baseline() -> None:
+        for _ in range(iters):
+            if enabled:
+                raise AssertionError("disabled")
+
+    _, t_guard = timed(guarded)
+    _, t_base = timed(baseline)
+    return max(0.0, (t_guard - t_base) / iters * 1e9)
+
+
+def make_trajectories(rng, n_traj: int, n_points: int) -> list[Trajectory]:
+    out = []
+    for i in range(n_traj):
+        steps = rng.normal(0, 5, (n_points, 2)).cumsum(axis=0)
+        out.append(
+            Trajectory.from_arrays(
+                steps[:, 0], steps[:, 1], np.arange(n_points, dtype=float), f"t{i}"
+            )
+        )
+    return out
+
+
+def make_pipeline() -> Pipeline:
+    return Pipeline(
+        [
+            Stage("outlier-repair", lambda t: remove_and_repair(t, zscore_outliers(t))),
+            Stage("kalman-smooth", lambda t: kalman_refine(t, 1.0, 6.0)),
+        ]
+    )
+
+
+def bench_pipeline_overhead(rng, n_traj: int, n_points: int) -> dict:
+    """Serial ``run_many`` with observability off vs on."""
+    trajectories = make_trajectories(rng, n_traj, n_points)
+    pipeline = make_pipeline()
+
+    obs.disable()
+    _, t_off = timed(lambda: pipeline.run_many(trajectories))
+
+    obs.enable()
+    _, t_on = timed(lambda: pipeline.run_many(trajectories))
+    snap = OBS.metrics.snapshot()
+    runs = snap.counter("repro_pipeline_runs_total")
+    stage_counts = sum(
+        h.count for k, h in snap.histograms.items() if k[0] == "repro_pipeline_stage_seconds"
+    )
+    obs.disable()
+
+    # The warmup + timed calls each ran the pipeline once per trajectory.
+    assert runs == 2.0 * n_traj, (runs, n_traj)
+    assert stage_counts == 2 * n_traj * len(pipeline.stage_names)
+    return {
+        "workload": f"pipeline.run_many: {n_traj} trajectories x {n_points} points",
+        "items": n_traj,
+        "disabled_s": t_off,
+        "enabled_s": t_on,
+        "enabled_over_disabled": t_on / t_off,
+    }
+
+
+def bench_ingest_overhead(rng, n_sensors: int, t_end: float) -> dict:
+    """Streaming ingest with observability off vs on."""
+    _, series = field_stream(rng, n_sensors, BBox(0, 0, 1000, 1000), 0.0, t_end, 5.0)
+    events = events_from_series(series)
+
+    def run() -> int:
+        engine = IngestEngine(
+            n_shards=4,
+            gate_factories=[
+                lambda: RangeGate(-60.0, 160.0),
+                lambda: DuplicateGate(space_eps=1.0, time_eps=0.5),
+            ],
+            queue_size=1 << 16,
+        )
+        ReplaySource(events).drive(engine)
+        return engine.close().offered
+
+    obs.disable()
+    _, t_off = timed(run)
+
+    obs.enable()
+    _, t_on = timed(run)
+    snap = OBS.metrics.snapshot()
+    offered = snap.counter("repro_ingest_offered_total")
+    obs.disable()
+
+    assert offered == 2.0 * len(events), (offered, len(events))
+    return {
+        "workload": f"ingest: {n_sensors} sensors, {len(events)} events, 4 shards",
+        "items": len(events),
+        "disabled_s": t_off,
+        "enabled_s": t_on,
+        "enabled_over_disabled": t_on / t_off,
+    }
+
+
+def projected_overhead(result: dict, guard_ns: float) -> float:
+    """Fraction of workload time the disabled-mode guards project to."""
+    projected_s = result["items"] * CHECKS_PER_ITEM * guard_ns * 1e-9
+    return projected_s / result["disabled_s"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload; assert projected disabled overhead < 5%%",
+    )
+    args = parser.parse_args(argv)
+    rng = np.random.default_rng(2022)
+
+    guard_ns = guard_cost_ns()
+    if args.smoke:
+        results = [
+            bench_pipeline_overhead(rng, n_traj=20, n_points=120),
+            bench_ingest_overhead(rng, n_sensors=10, t_end=300.0),
+        ]
+    else:
+        results = [
+            bench_pipeline_overhead(rng, n_traj=100, n_points=400),
+            bench_ingest_overhead(rng, n_sensors=40, t_end=1200.0),
+        ]
+
+    print(f"guard cost: {guard_ns:.1f} ns per OBS.enabled check")
+    print(f"{'workload':<55} {'off (s)':>9} {'on (s)':>9} {'on/off':>7} {'guard %':>8}")
+    for r in results:
+        r["projected_disabled_overhead"] = projected_overhead(r, guard_ns)
+        print(
+            f"{r['workload']:<55} {r['disabled_s']:>9.4f} {r['enabled_s']:>9.4f} "
+            f"{r['enabled_over_disabled']:>7.3f} {r['projected_disabled_overhead']:>8.2%}"
+        )
+
+    if args.smoke:
+        for r in results:
+            assert r["projected_disabled_overhead"] < OVERHEAD_BUDGET, (
+                f"disabled-mode overhead budget blown on {r['workload']}: "
+                f"{r['projected_disabled_overhead']:.2%} >= {OVERHEAD_BUDGET:.0%}"
+            )
+        print("smoke OK: projected disabled-mode overhead under 5% on every workload")
+        return 0
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "seed": 2022,
+                "guard_ns_per_check": guard_ns,
+                "checks_per_item_assumed": CHECKS_PER_ITEM,
+                "overhead_budget": OVERHEAD_BUDGET,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,13 @@ benchmark corrupts a fleet, runs the cleaning pipeline, and shows
   * downstream payoff: traffic inference improves on cleaned data.
 """
 
+import time
+
 import numpy as np
 
 from conftest import print_table
 
+from repro import obs
 from repro.cleaning import remove_and_repair, zscore_outliers
 from repro.core import Pipeline, Stage, accuracy_error
 from repro.decision import cell_volumes, volume_errors
@@ -96,6 +99,48 @@ def test_downstream_payoff(rng, box, benchmark):
         "PIPE: downstream traffic-volume RMSE vs truth", ["input data", "rmse"], rows
     )
     assert clean_err < dirty_err
+
+
+def test_obs_overhead(rng, box, benchmark):
+    """Observability column: the identical run with obs disabled vs enabled.
+
+    The enabled run must also be *complete* — every run and stage lands in
+    the metrics snapshot.  The hard <5% disabled-overhead gate lives in
+    ``bench_obs.py --smoke``; here we report the measured columns.
+    """
+    truth = correlated_random_walk(rng, 250, box, speed_mean=5)
+    corrupted, _ = CorruptionProfile(
+        noise_sigma=6.0, outlier_rate=0.05, outlier_magnitude=200.0, drop_rate=0.0
+    ).apply(truth, rng)
+    pipeline = _make_pipeline(truth)
+
+    def timed_run():
+        pipeline.run(corrupted)  # warmup
+        start = time.perf_counter()
+        pipeline.run(corrupted)
+        return time.perf_counter() - start
+
+    obs.disable()
+    t_off = timed_run()
+    obs.enable()
+    t_on = timed_run()
+    snap = obs.OBS.metrics.snapshot()
+    spans = obs.OBS.tracer.finished()
+    obs.disable()
+
+    rows = [
+        ("obs disabled (s/run)", t_off),
+        ("obs enabled (s/run)", t_on),
+        ("enabled/disabled", t_on / t_off),
+    ]
+    print_table("PIPE: observability overhead", ["mode", "value"], rows)
+    assert snap.counter("repro_pipeline_runs_total") == 2.0
+    stage_samples = sum(
+        h.count for k, h in snap.histograms.items() if k[0] == "repro_pipeline_stage_seconds"
+    )
+    assert stage_samples == 2 * len(pipeline.stage_names)
+    assert sum(1 for r in spans if r.name == "pipeline.stage") == 2 * len(pipeline.stage_names)
+    benchmark(pipeline.run, corrupted)  # benchmarked path: observability off
 
 
 def test_dq_aware_planning(rng, box, benchmark):

@@ -7,13 +7,16 @@ Mid-stream, :mod:`repro.synth.corrupt` faults are injected into part of
 the fleet — duplicates (at-least-once transport), value spikes (faulty
 electronics), and dropouts (battery brownout) — and the quality registry's
 online metrics show exactly which sensors degraded, on which dimension,
-while the stream is still running.
+while the stream is still running.  Shutdown accounting comes from the
+observability layer (:mod:`repro.obs`): per-gate decision counts are read
+off the metrics snapshot rather than the engine's internals.
 
 Run:  PYTHONPATH=src python examples/streaming_quality_monitor.py
 """
 
 import numpy as np
 
+from repro import obs
 from repro.core import BBox, Dimension
 from repro.ingest import (
     DuplicateGate,
@@ -68,6 +71,7 @@ def fmt(report, dim):
 
 
 def main() -> None:
+    obs.enable()  # record gate decisions and latencies while the stream runs
     rng = np.random.default_rng(42)
     events = build_stream(rng)
     print(f"{len(events)} readings from 20 sensors; faults on sensors 0-2 after t={FAULT_T:.0f}s")
@@ -104,10 +108,21 @@ def main() -> None:
             print(f"{sid:<12}" + "  ".join(f"{fmt(report, d):>12}" for d in WATCHED))
 
     counters = engine.close()
-    print("\n--- shutdown accounting ---")
-    for key, value in counters.as_dict().items():
-        print(f"{key:>12}: {value}")
+    snap = obs.OBS.metrics.snapshot()
+    print("\n--- shutdown accounting (observability snapshot) ---")
+    print(f"{'offered':>24}: {int(snap.counter('repro_ingest_offered_total'))}")
+    for (name, pairs), value in sorted(snap.counters.items()):
+        if name != "repro_ingest_gate_outcomes_total":
+            continue
+        labels = dict(pairs)
+        print(f"{labels['gate'] + '/' + labels['decision']:>24}: {int(value)}")
+    gate_seconds = sum(
+        h.total for key, h in snap.histograms.items() if key[0] == "repro_ingest_gate_seconds"
+    )
+    print(f"{'gate-chain time':>24}: {gate_seconds * 1e3:.1f} ms across 4 shards")
     assert counters.conserved()
+    assert snap.counter("repro_ingest_offered_total") == float(counters.offered)
+    obs.disable()
 
     agg = registry.aggregate(now=T_END)
     print("\n--- fleet aggregate (per-dimension mean, paper polarity) ---")

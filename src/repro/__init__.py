@@ -21,7 +21,10 @@ the tutorial's taxonomy (Figure 2):
   kernels backing every hot path above,
 * :mod:`repro.parallel` — the fleet-scale execution layer: process pools
   with shared-memory columnar handoff behind a backend-agnostic
-  ``Executor`` protocol.
+  ``Executor`` protocol,
+* :mod:`repro.obs` — observability: tracing, metrics, and profiling hooks
+  across the pipeline, ingest, parallel, and querying layers (off by
+  default; a single guard check when disabled).
 """
 
 __version__ = "1.0.0"
@@ -37,6 +40,7 @@ from . import (
     kernels,
     learning,
     localization,
+    obs,
     parallel,
     querying,
     reduction,
@@ -54,6 +58,7 @@ __all__ = [
     "kernels",
     "learning",
     "localization",
+    "obs",
     "parallel",
     "querying",
     "reduction",

@@ -21,10 +21,17 @@ must be picklable (module-level callables) for the parallel paths.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
 
+from ..obs import OBS
+
 T = TypeVar("T")
+
+#: Shared no-op context for disabled-observability paths (never allocated
+#: per call; ``nullcontext`` is stateless and safely reentrant).
+_NULL = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -139,20 +146,36 @@ class Pipeline(Generic[T]):
         return Pipeline(self._stages + [stage], self._probes)
 
     def run(self, data: T) -> PipelineResult[T]:
-        """Execute all stages in order, recording provenance."""
+        """Execute all stages in order, recording provenance.
+
+        With observability enabled (:func:`repro.obs.enable`), the run
+        opens a ``pipeline.run`` span with one ``pipeline.stage`` child per
+        stage and feeds each stage's transformation time into the
+        ``repro_pipeline_stage_seconds{stage=...}`` histogram; when
+        disabled the only extra cost is one attribute check.
+        """
+        obs_on = OBS.enabled
         trace: list[StageTrace] = []
         current = data
-        for stage in self._stages:
-            start = time.perf_counter()
-            current = stage(current)
-            elapsed = time.perf_counter() - start
-            if self._probes:
-                probe_start = time.perf_counter()
-                metrics = {name: float(probe(current)) for name, probe in self._probes.items()}
-                probe_elapsed = time.perf_counter() - probe_start
-            else:
-                metrics, probe_elapsed = {}, 0.0
-            trace.append(StageTrace(stage.name, elapsed, metrics, probe_seconds=probe_elapsed))
+        with OBS.tracer.span("pipeline.run", stages=len(self._stages)) if obs_on else _NULL:
+            for stage in self._stages:
+                with OBS.tracer.span("pipeline.stage", stage=stage.name) if obs_on else _NULL:
+                    start = time.perf_counter()
+                    current = stage(current)
+                    elapsed = time.perf_counter() - start
+                if self._probes:
+                    probe_start = time.perf_counter()
+                    metrics = {name: float(probe(current)) for name, probe in self._probes.items()}
+                    probe_elapsed = time.perf_counter() - probe_start
+                else:
+                    metrics, probe_elapsed = {}, 0.0
+                if obs_on:
+                    OBS.metrics.observe(
+                        "repro_pipeline_stage_seconds", (("stage", stage.name),), elapsed
+                    )
+                trace.append(StageTrace(stage.name, elapsed, metrics, probe_seconds=probe_elapsed))
+        if obs_on:
+            OBS.metrics.inc("repro_pipeline_runs_total")
         return PipelineResult(current, trace)
 
     def run_many(
@@ -177,8 +200,14 @@ class Pipeline(Generic[T]):
         items = list(datasets)
         if not items:
             return []
+        obs_on = OBS.enabled
         spans = chunk_spans(len(items), chunk_size)
-        with resolve_executor(workers, executor) as ex:
+        cm = (
+            OBS.tracer.span("pipeline.run_many", datasets=len(items), chunks=len(spans))
+            if obs_on
+            else _NULL
+        )
+        with cm, resolve_executor(workers, executor) as ex:
             if all(isinstance(d, Trajectory) for d in items):
                 with SharedTrajectoryBatch.create(items) as batch:
                     payloads = [(self, batch.handle, start, stop) for start, stop in spans]
@@ -186,6 +215,8 @@ class Pipeline(Generic[T]):
             else:
                 payloads = [(self, items[start:stop]) for start, stop in spans]
                 chunks = ex.map_ordered(_run_items_chunk, payloads)
+        if obs_on:
+            OBS.metrics.inc("repro_pipeline_datasets_total", (), float(len(items)))
         return [result for chunk in chunks for result in chunk]
 
     def run_ablations(
@@ -212,7 +243,12 @@ class Pipeline(Generic[T]):
             (skip, Pipeline([s for s in self._stages if s.name != skip], self._probes))
             for skip in self.stage_names
         ]
-        with resolve_executor(workers, executor) as ex:
+        cm = (
+            OBS.tracer.span("pipeline.run_ablations", configs=len(configs))
+            if OBS.enabled
+            else _NULL
+        )
+        with cm, resolve_executor(workers, executor) as ex:
             if isinstance(data, Trajectory):
                 with SharedTrajectoryBatch.create([data]) as batch:
                     payloads = [(p, None, batch.handle) for _, p in configs]

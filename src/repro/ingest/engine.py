@@ -27,10 +27,12 @@ import threading
 import time
 import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Callable, Iterable, Sequence
 
 from ..core.stid import STRecord
 from ..core.trajectory import TrajectoryPoint
+from ..obs import OBS
 from .events import Decision, GateOutcome, IngestEvent
 from .gates import StreamingGate, flush_chain, run_chain
 from .registry import IngestCounters, QualityRegistry
@@ -39,6 +41,9 @@ from .registry import IngestCounters, QualityRegistry
 POLICIES = ("block", "drop_oldest", "reject")
 
 _SENTINEL = object()
+
+#: Shared no-op context for disabled-observability paths.
+_NULL = nullcontext()
 
 
 class InMemoryStore:
@@ -159,9 +164,14 @@ class IngestEngine:
         """
         if self._closed:
             raise RuntimeError("engine is closed")
+        obs_on = OBS.enabled
         self.registry.record_offer()
+        if obs_on:
+            OBS.metrics.inc("repro_ingest_offered_total")
         q = self._queues[shard_of(event.sensor_id, self.n_shards)]
         if self.policy == "block":
+            if obs_on and q.full():
+                OBS.metrics.inc("repro_ingest_backpressure_total", (("policy", "block"),))
             q.put(event)
             return True
         if self.policy == "reject":
@@ -170,6 +180,8 @@ class IngestEngine:
                 return True
             except queue.Full:
                 self.registry.record_rejected()
+                if obs_on:
+                    OBS.metrics.inc("repro_ingest_backpressure_total", (("policy", "reject"),))
                 return False
         # drop_oldest: evict from the head until the new reading fits
         while True:
@@ -183,6 +195,10 @@ class IngestEngine:
                     continue  # a worker drained it first; retry the put
                 if victim is not _SENTINEL:
                     self.registry.record_dropped()
+                    if obs_on:
+                        OBS.metrics.inc(
+                            "repro_ingest_backpressure_total", (("policy", "drop_oldest"),)
+                        )
                 else:  # never evict the shutdown marker
                     q.put(victim)
 
@@ -244,14 +260,15 @@ class IngestEngine:
     def _worker(self, shard: int) -> None:
         q = self._queues[shard]
         chains = self._chains[shard]
-        while True:
-            item = q.get()
-            if item is _SENTINEL:
-                break
-            self._process(shard, chains, item)
-        for gates in chains.values():
-            for outcome in flush_chain(gates):
-                self._settle(outcome)
+        with OBS.tracer.span("ingest.shard", shard=shard) if OBS.enabled else _NULL:
+            while True:
+                item = q.get()
+                if item is _SENTINEL:
+                    break
+                self._process(shard, chains, item)
+            for gates in chains.values():
+                for outcome in flush_chain(gates):
+                    self._settle(outcome)
 
     def _process(self, shard: int, chains: dict[str, list[StreamingGate]], event: IngestEvent) -> None:
         self.registry.observe(event)
@@ -261,13 +278,21 @@ class IngestEngine:
             chains[event.sensor_id] = gates
         start = time.perf_counter()
         outcomes = run_chain(gates, event)
-        self._latencies[shard].append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._latencies[shard].append(elapsed)
         self._processed[shard] += 1
+        if OBS.enabled:
+            OBS.metrics.observe("repro_ingest_gate_seconds", (("shard", str(shard)),), elapsed)
         for outcome in outcomes:
             self._settle(outcome)
 
     def _settle(self, outcome: GateOutcome) -> None:
         self.registry.record_outcome(outcome)
+        if OBS.enabled:
+            OBS.metrics.inc(
+                "repro_ingest_gate_outcomes_total",
+                (("decision", outcome.decision.value), ("gate", outcome.gate or "none")),
+            )
         if outcome.decision is Decision.QUARANTINE:
             if self.quarantine_store is not None:
                 self.quarantine_store.write(outcome.event)

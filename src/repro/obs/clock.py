@@ -1,0 +1,75 @@
+"""Injectable clocks: the observability layer's single audited wall-time seam.
+
+Every duration the tracer, the metrics registry, or a profiling hook ever
+records flows through a :class:`Clock` instance — never through a direct
+``time.*`` call at the instrumentation site.  That concentrates the
+library's one legitimate need for wall time (observing its own runtime
+behaviour) into this file, which is waived for reprolint rule R1 in
+``reprolint_baseline.toml``; every other module stays mechanically
+verifiable as deterministic.
+
+Two implementations cover both lives of the layer:
+
+* :class:`MonotonicClock` — ``time.perf_counter`` based, the production
+  default (monotonic, immune to NTP steps, sub-microsecond resolution),
+* :class:`ManualClock` — a hand-advanced clock for deterministic tests:
+  ``sleep`` advances virtual time instead of blocking, so span durations
+  and histogram values in tests are exact constants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the tracer/metrics/profiler need from a time source."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic; only differences matter)."""
+        ...  # pragma: no cover - protocol
+
+    def sleep(self, seconds: float) -> None:
+        """Pause the caller for ``seconds`` (virtual clocks merely advance)."""
+        ...  # pragma: no cover - protocol
+
+
+class MonotonicClock:
+    """Production clock: monotonic ``perf_counter`` time, real ``sleep``."""
+
+    def now(self) -> float:
+        """Monotonic seconds since an arbitrary epoch."""
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread for ``seconds``."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """Deterministic test clock: time moves only when told to.
+
+    ``sleep`` advances the virtual time instead of blocking, so code paths
+    that pace themselves against the clock run instantly under test while
+    still observing strictly increasing timestamps.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._t = float(start)
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._t
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds`` without blocking."""
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._t += float(seconds)

@@ -1,0 +1,299 @@
+"""Counters, gauges, and histograms with lock-free hot-path accumulation.
+
+:class:`MetricsRegistry` is the write side: every recording thread gets its
+own private accumulation cell (a plain dict it alone mutates), so the hot
+path — ``inc`` / ``set_gauge`` / ``observe`` — takes no lock and contends
+with nothing.  :meth:`MetricsRegistry.snapshot` is the read side: it merges
+all live cells (plus anything absorbed from worker processes) into one
+immutable :class:`MetricsSnapshot`, exportable as a plain dict, JSON, or
+Prometheus text exposition format.
+
+Merging is associative and commutative — counters and histogram buckets
+add, gauges take the maximum — which is what lets the parallel layer fold
+worker-process snapshots back into the parent in any order while keeping
+count-valued metrics bit-identical between ``workers=1`` and ``workers=N``
+(see ``tests/obs/test_obs.py``).
+
+Metric identity is ``(name, labels)`` where ``labels`` is a sorted tuple of
+``(key, value)`` string pairs; naming conventions are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Histogram bucket upper bounds (seconds): decade steps from 1 microsecond
+#: to 10 s; values above the last bound land in the implicit +Inf bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(10.0**e for e in range(-6, 2))
+
+#: A metric key: name plus sorted ``(label, value)`` pairs.
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: dict[str, str] | tuple[tuple[str, str], ...] = ()) -> MetricKey:
+    """Canonical ``(name, sorted label pairs)`` identity for one series."""
+    if isinstance(labels, dict):
+        pairs = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    else:
+        pairs = tuple(sorted((str(k), str(v)) for k, v in labels))
+    return name, pairs
+
+
+def render_key(key: MetricKey) -> str:
+    """Human/Prometheus-style series name: ``name{k="v",...}``."""
+    name, pairs = key
+    if not pairs:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{name}{{{inner}}}"
+
+
+class _Hist:
+    """One histogram series inside a thread cell (mutated by one thread)."""
+
+    __slots__ = ("bounds", "counts", "total", "count", "vmin", "vmax")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf bucket
+        self.total = 0.0
+        self.count = 0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+
+class _Cell:
+    """One thread's private accumulators (no locks; single writer)."""
+
+    __slots__ = ("counters", "gauges", "hists")
+
+    def __init__(self) -> None:
+        self.counters: dict[MetricKey, float] = {}
+        self.gauges: dict[MetricKey, float] = {}
+        self.hists: dict[MetricKey, _Hist] = {}
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Immutable snapshot of one histogram series.
+
+    ``counts`` has one slot per bound in ``bounds`` plus a final +Inf
+    bucket; ``total``/``count`` give the running sum and sample count, and
+    ``vmin``/``vmax`` the observed extremes (infinities when empty).
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+    vmin: float
+    vmax: float
+
+    def merge(self, other: "HistogramSummary") -> "HistogramSummary":
+        """Bucket-wise sum with ``other`` (requires identical bounds)."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        return HistogramSummary(
+            self.bounds,
+            tuple(a + b for a, b in zip(self.counts, other.counts)),
+            self.total + other.total,
+            self.count + other.count,
+            min(self.vmin, other.vmin),
+            max(self.vmax, other.vmax),
+        )
+
+    def mean(self) -> float:
+        """Mean observed value (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time view of every recorded series.
+
+    Snapshots are plain picklable data: the parallel layer ships them from
+    worker processes back to the parent, which folds them in with
+    :meth:`merge` (associative, commutative) before re-exporting.
+    """
+
+    counters: dict[MetricKey, float] = field(default_factory=dict)
+    gauges: dict[MetricKey, float] = field(default_factory=dict)
+    histograms: dict[MetricKey, HistogramSummary] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots: counters/histograms add, gauges take max."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0.0) + value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = max(gauges[key], value) if key in gauges else value
+        hists = dict(self.histograms)
+        for key, summary in other.histograms.items():
+            hists[key] = hists[key].merge(summary) if key in hists else summary
+        return MetricsSnapshot(counters, gauges, hists)
+
+    def counter(self, name: str, **labels: str) -> float:
+        """Value of one counter series (0.0 when never incremented)."""
+        return self.counters.get(metric_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels: str) -> float:
+        """Value of one gauge series (NaN when never set)."""
+        return self.gauges.get(metric_key(name, labels), math.nan)
+
+    def histogram(self, name: str, **labels: str) -> HistogramSummary | None:
+        """Summary of one histogram series (None when never observed)."""
+        return self.histograms.get(metric_key(name, labels))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label combinations."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Nested plain-dict view keyed by rendered series names."""
+        return {
+            "counters": {render_key(k): v for k, v in sorted(self.counters.items())},
+            "gauges": {render_key(k): v for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                render_key(k): {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.vmin,
+                    "max": h.vmax,
+                    "bounds": list(h.bounds),
+                    "bucket_counts": list(h.counts),
+                }
+                for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def to_json(self, **dumps_kwargs: object) -> str:
+        """The :meth:`as_dict` view serialized as JSON."""
+        return json.dumps(self.as_dict(), **dumps_kwargs)  # type: ignore[arg-type]
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one ``# TYPE`` line per metric)."""
+        lines: list[str] = []
+        for name in sorted({n for n, _ in self.counters}):
+            lines.append(f"# TYPE {name} counter")
+            for key, value in sorted(self.counters.items()):
+                if key[0] == name:
+                    lines.append(f"{render_key(key)} {_fmt_value(value)}")
+        for name in sorted({n for n, _ in self.gauges}):
+            lines.append(f"# TYPE {name} gauge")
+            for key, value in sorted(self.gauges.items()):
+                if key[0] == name:
+                    lines.append(f"{render_key(key)} {_fmt_value(value)}")
+        for name in sorted({n for n, _ in self.histograms}):
+            lines.append(f"# TYPE {name} histogram")
+            for (series, pairs), h in sorted(self.histograms.items()):
+                if series != name:
+                    continue
+                cumulative = 0
+                for bound, count in zip(h.bounds, h.counts):
+                    cumulative += count
+                    le = pairs + (("le", _fmt_value(bound)),)
+                    lines.append(f"{render_key((name + '_bucket', le))} {cumulative}")
+                le = pairs + (("le", "+Inf"),)
+                lines.append(f"{render_key((name + '_bucket', le))} {h.count}")
+                lines.append(f"{render_key((name + '_sum', pairs))} {_fmt_value(h.total)}")
+                lines.append(f"{render_key((name + '_count', pairs))} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Process-local metrics store with per-thread lock-free accumulation.
+
+    Each recording thread lazily registers one private :class:`_Cell`; all
+    hot-path methods mutate only that cell, so no lock is taken after the
+    first call per thread.  ``snapshot`` merges every cell — reads of a
+    cell under concurrent writes are safe in CPython (dict copies run
+    atomically under the GIL) but may trail the writer by a few updates;
+    a snapshot taken after the recording work has joined is exact.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(float(b) for b in buckets)
+        self._tls = threading.local()
+        self._cells_lock = threading.Lock()
+        self._cells: list[_Cell] = []
+        self._absorbed = MetricsSnapshot()
+
+    # -- write side (hot path) -------------------------------------------------
+
+    def inc(self, name: str, labels: tuple[tuple[str, str], ...] = (), n: float = 1.0) -> None:
+        """Add ``n`` to a counter series (labels: pre-sorted ``(k, v)`` pairs)."""
+        counters = self._cell().counters
+        key = (name, labels)
+        counters[key] = counters.get(key, 0.0) + n
+
+    def set_gauge(self, name: str, labels: tuple[tuple[str, str], ...], value: float) -> None:
+        """Set a gauge series to ``value`` (merge across processes takes max)."""
+        self._cell().gauges[(name, labels)] = float(value)
+
+    def observe(self, name: str, labels: tuple[tuple[str, str], ...], value: float) -> None:
+        """Record one sample into a histogram series."""
+        hists = self._cell().hists
+        key = (name, labels)
+        hist = hists.get(key)
+        if hist is None:
+            hist = hists[key] = _Hist(self.buckets)
+        hist.observe(value)
+
+    # -- read side / cross-process merge ---------------------------------------
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker process's snapshot into this registry."""
+        with self._cells_lock:
+            self._absorbed = self._absorbed.merge(snapshot)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Merge all thread cells and absorbed worker snapshots."""
+        with self._cells_lock:
+            cells = list(self._cells)
+            merged = self._absorbed
+        for cell in cells:
+            merged = merged.merge(_freeze_cell(cell))
+        return merged
+
+    # -- internals ---------------------------------------------------------------
+
+    def _cell(self) -> _Cell:
+        cell = getattr(self._tls, "cell", None)
+        if cell is None:
+            cell = _Cell()
+            with self._cells_lock:
+                self._cells.append(cell)
+                self._tls.cell = cell
+        return cell
+
+
+def _freeze_cell(cell: _Cell) -> MetricsSnapshot:
+    """Immutable copy of one cell (dict copies are atomic under the GIL)."""
+    hists = {
+        key: HistogramSummary(
+            tuple(h.bounds), tuple(h.counts), h.total, h.count, h.vmin, h.vmax
+        )
+        for key, h in cell.hists.copy().items()
+    }
+    return MetricsSnapshot(cell.counters.copy(), cell.gauges.copy(), hists)

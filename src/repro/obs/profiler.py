@@ -1,0 +1,110 @@
+"""Sampling wall-clock profiler for benchmark runs (opt-in, zero deps).
+
+:class:`SamplingProfiler` interrupts nothing: a daemon thread periodically
+reads the target thread's current Python frame stack via
+``sys._current_frames`` and tallies the call stacks it sees.  Sampling
+costs one dict lookup and a stack walk per tick, so the profiled workload
+runs at native speed — the standard trade-off of statistical profilers.
+
+This is a *diagnostic* tool for benchmark investigation, not part of the
+always-on metrics path: attach it around a ``bench_*.py`` workload to see
+where wall time concentrates, then read :meth:`SamplingProfiler.top`.
+Sample pacing uses ``threading.Event.wait`` so :meth:`stop` returns
+promptly; stack-walk bookkeeping involves no wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from types import FrameType
+
+#: One aggregated stack: innermost-last ``(filename, line, function)`` rows.
+StackKey = tuple[tuple[str, int, str], ...]
+
+
+def _walk(frame: FrameType | None, depth: int) -> StackKey:
+    rows: list[tuple[str, int, str]] = []
+    while frame is not None and len(rows) < depth:
+        code = frame.f_code
+        rows.append((code.co_filename, frame.f_lineno, code.co_name))
+        frame = frame.f_back
+    rows.reverse()
+    return tuple(rows)
+
+
+class SamplingProfiler:
+    """Statistical profiler of one thread's wall time.
+
+    ``interval`` is the sampling period in seconds (default 5 ms);
+    ``max_depth`` bounds the recorded stack depth.  Use as a context
+    manager around the workload, then inspect :meth:`top` /
+    :attr:`sample_count` / :meth:`stacks`.
+    """
+
+    def __init__(self, interval: float = 0.005, max_depth: int = 64) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_depth = max_depth
+        self._counts: dict[StackKey, int] = {}
+        self._stop_event = threading.Event()
+        self._sampler: threading.Thread | None = None
+        self._target_id: int | None = None
+
+    def start(self, target_thread: threading.Thread | None = None) -> "SamplingProfiler":
+        """Begin sampling ``target_thread`` (default: the calling thread)."""
+        if self._sampler is not None:
+            raise RuntimeError("profiler already started")
+        target = target_thread.ident if target_thread is not None else threading.get_ident()
+        self._target_id = target
+        self._stop_event.clear()
+        self._sampler = threading.Thread(
+            target=self._run, name="obs-sampler", daemon=True
+        )
+        self._sampler.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampling thread and join it (idempotent)."""
+        if self._sampler is None:
+            return
+        self._stop_event.set()
+        self._sampler.join()
+        self._sampler = None
+
+    @property
+    def sample_count(self) -> int:
+        """How many stack samples have been collected."""
+        return sum(self._counts.values())
+
+    def stacks(self) -> dict[StackKey, int]:
+        """Copy of the per-stack sample tallies."""
+        return dict(self._counts)
+
+    def top(self, n: int = 10) -> list[tuple[tuple[str, int, str], int]]:
+        """The ``n`` innermost frames where the most samples landed."""
+        leaf_counts: dict[tuple[str, int, str], int] = {}
+        for stack, count in self._counts.items():
+            if stack:
+                leaf = stack[-1]
+                leaf_counts[leaf] = leaf_counts.get(leaf, 0) + count
+        ranked = sorted(leaf_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- sampler thread ----------------------------------------------------------
+
+    def _run(self) -> None:
+        assert self._target_id is not None
+        while not self._stop_event.wait(self.interval):
+            frame = sys._current_frames().get(self._target_id)
+            if frame is None:  # target thread exited; keep waiting for stop()
+                continue
+            key = _walk(frame, self.max_depth)
+            self._counts[key] = self._counts.get(key, 0) + 1

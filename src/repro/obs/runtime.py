@@ -1,0 +1,185 @@
+"""The process-global observability switchboard (``OBS``).
+
+Instrumentation sites across the library are guarded by exactly one
+attribute read — ``if OBS.enabled:`` — so with observability off (the
+default) the hot-path cost is a pointer load and a branch: no allocation,
+no call, no lock (``tests/obs/test_obs.py`` holds this to zero allocated
+blocks).  :func:`enable` installs a :class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`; :func:`disable` restores the
+no-op state.
+
+Process model: worker processes start disabled regardless of the parent's
+state.  The parallel executor wraps each task in a :class:`WorkerCapture`
+when the parent has observability on — the worker records into a private
+fresh tracer/registry, and the finished spans plus a metrics snapshot ride
+back with the task result for the parent to fold in (see
+``repro.parallel.executor``).  Counter- and count-valued metrics are
+therefore bit-identical between ``workers=1`` and ``workers=N``.
+"""
+
+from __future__ import annotations
+
+from .clock import Clock, ManualClock, MonotonicClock
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry, MetricsSnapshot
+from .trace import JsonlExporter, RingBufferExporter, SpanContext, SpanRecord, Tracer
+
+
+class Observability:
+    """Per-process observability state: one flag, one tracer, one registry.
+
+    ``enabled`` is the single hot-path guard; ``tracer`` and ``metrics``
+    are only valid while it is True.  Use the module-level :func:`enable` /
+    :func:`disable` helpers rather than mutating fields directly.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: Tracer | None = None
+        self.metrics: MetricsRegistry | None = None
+
+    def absorb_worker(self, snapshot: MetricsSnapshot, spans: list[SpanRecord],
+                      remote: SpanContext | None) -> None:
+        """Fold one worker task's capture into the live tracer/registry."""
+        if not self.enabled:
+            return
+        assert self.metrics is not None and self.tracer is not None
+        self.metrics.absorb(snapshot)
+        self.tracer.absorb(spans, remote)
+
+
+#: The process-global switchboard every instrumentation site checks.
+OBS = Observability()
+
+
+def enable(
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    clock: Clock | None = None,
+    exporter=None,
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+) -> Observability:
+    """Switch observability on for this process.
+
+    With no arguments, installs a ring-buffer tracer and a fresh metrics
+    registry on a monotonic clock.  Pass ``clock`` (e.g. a
+    :class:`~repro.obs.clock.ManualClock`) to make recorded durations
+    deterministic, ``exporter`` (e.g. a
+    :class:`~repro.obs.trace.JsonlExporter`) to redirect span output, or
+    prebuilt ``tracer``/``metrics`` to share instances.  Re-enabling
+    replaces the previous tracer and registry.
+    """
+    OBS.tracer = tracer if tracer is not None else Tracer(exporter=exporter, clock=clock)
+    OBS.metrics = metrics if metrics is not None else MetricsRegistry(buckets=buckets)
+    OBS.enabled = True
+    return OBS
+
+
+def disable() -> None:
+    """Switch observability off (instrumentation reverts to the no-op guard)."""
+    OBS.enabled = False
+    OBS.tracer = None
+    OBS.metrics = None
+
+
+def is_enabled() -> bool:
+    """Whether this process currently records spans and metrics."""
+    return OBS.enabled
+
+
+class _NullContext:
+    """Shared allocation-free no-op context (the disabled ``profile`` path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_attr(self, key: str, value: object) -> None:
+        """No-op attribute setter (matches the active-span interface)."""
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _ProfileCm:
+    """Enabled ``profile`` block: a span plus a duration histogram sample."""
+
+    __slots__ = ("_name", "_cm", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self._name = name
+        assert OBS.tracer is not None
+        self._cm = OBS.tracer.span(f"profile.{name}", **attrs)
+
+    def __enter__(self):
+        span = self._cm.__enter__()
+        self._start = OBS.tracer.clock.now() if OBS.tracer is not None else 0.0
+        return span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if OBS.enabled and OBS.metrics is not None and OBS.tracer is not None:
+            elapsed = OBS.tracer.clock.now() - self._start
+            OBS.metrics.observe("repro_profile_seconds", (("block", self._name),), elapsed)
+        self._cm.__exit__(exc_type, exc, tb)
+
+
+def profile(name: str, **attrs: object):
+    """Profile a code block: ``with obs.profile("pack"): ...``.
+
+    When observability is enabled, opens a span named ``profile.<name>``
+    and records the block's duration into the
+    ``repro_profile_seconds{block=<name>}`` histogram.  When disabled,
+    returns a shared no-op context — no allocation, nothing recorded.
+    """
+    if not OBS.enabled:
+        return _NULL_CONTEXT
+    return _ProfileCm(name, attrs)
+
+
+class WorkerCapture:
+    """Record one worker-side task into a private tracer/registry.
+
+    The executor enters this around each task when the parent process had
+    observability on: a fresh ring-buffer tracer and registry replace
+    whatever state the worker inherited (relevant under the ``fork`` start
+    method), the task runs, and on exit ``spans`` / ``metrics`` hold the
+    capture while the previous state is restored.  The capture tuple is
+    picklable and travels back with the task result.
+    """
+
+    __slots__ = ("spans", "metrics", "_prev")
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.metrics = MetricsSnapshot()
+
+    def __enter__(self) -> "WorkerCapture":
+        self._prev = (OBS.enabled, OBS.tracer, OBS.metrics)
+        OBS.tracer = Tracer()
+        OBS.metrics = MetricsRegistry()
+        OBS.enabled = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert OBS.tracer is not None and OBS.metrics is not None
+        self.spans = OBS.tracer.finished()
+        self.metrics = OBS.metrics.snapshot()
+        OBS.enabled, OBS.tracer, OBS.metrics = self._prev
+
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "WorkerCapture",
+    "disable",
+    "enable",
+    "is_enabled",
+    "profile",
+]

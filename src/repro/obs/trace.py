@@ -1,0 +1,281 @@
+"""Spans and tracers: contextvar-propagated structured timing records.
+
+A :class:`Tracer` hands out :meth:`~Tracer.span` context managers; spans
+nest through a :mod:`contextvars` variable, so each thread (and each task
+context) carries its own current-span chain without any locking.  Finished
+spans are immutable :class:`SpanRecord` rows pushed to an exporter — the
+in-memory :class:`RingBufferExporter` (default; bounded, zero-dependency)
+or a :class:`JsonlExporter` that appends one JSON object per line for
+benchmark runs.
+
+Identifiers are deterministic: span and trace ids come from per-tracer
+monotonic counters, never from a random source, so two runs of the same
+seeded workload produce identical span trees.  Worker-process spans are
+folded back in with :meth:`Tracer.absorb`, which remaps their ids onto the
+parent tracer's sequence and re-parents worker roots under the dispatching
+span — giving one connected tree across process boundaries.
+
+All timestamps flow through the injectable :class:`~repro.obs.clock.Clock`
+(the library's single audited wall-time seam).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import IO, Iterable
+
+from .clock import Clock, MonotonicClock
+
+#: Attribute payload: sorted ``(key, rendered value)`` pairs.
+Attrs = tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Picklable position in a span tree: the ids a child needs to attach."""
+
+    span_id: int
+    trace_id: int
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, tree position, clock interval, attributes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    trace_id: int
+    start: float
+    end: float
+    attrs: Attrs = ()
+
+    @property
+    def duration(self) -> float:
+        """Span length in clock seconds."""
+        return self.end - self.start
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (the JSONL exporter's row format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class RingBufferExporter:
+    """Bounded in-memory span sink (oldest records evicted first)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
+        self._buffer_lock = threading.Lock()
+
+    def export(self, record: SpanRecord) -> None:
+        """Append one finished span."""
+        with self._buffer_lock:
+            self._buffer.append(record)
+
+    def records(self) -> list[SpanRecord]:
+        """Copy of the retained spans, oldest first."""
+        with self._buffer_lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all retained spans."""
+        with self._buffer_lock:
+            self._buffer.clear()
+
+
+class JsonlExporter:
+    """Span sink appending one JSON object per line to a file.
+
+    Suited to benchmark runs where the span volume outgrows a ring buffer;
+    the file handle is line-buffered appends, flushed on :meth:`close`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._io_lock = threading.Lock()
+        self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
+
+    def export(self, record: SpanRecord) -> None:
+        """Write one finished span as a JSON line."""
+        with self._io_lock:
+            if self._fh is not None:
+                self._fh.write(json.dumps(record.as_dict()) + "\n")
+
+    def records(self) -> list[SpanRecord]:
+        """JSONL exporters retain nothing in memory."""
+        return []
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._io_lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _ActiveSpan:
+    """Mutable in-flight span handed to the ``with`` body for attribute adds."""
+
+    __slots__ = ("name", "context", "parent_id", "start", "attrs")
+
+    def __init__(
+        self, name: str, context: SpanContext, parent_id: int | None, start: float, attrs: Attrs
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.attrs = dict(attrs)
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach or overwrite one attribute on the in-flight span."""
+        self.attrs[str(key)] = _render(value)
+
+
+class _SpanCm:
+    """Reusable-shape span context manager (one per ``Tracer.span`` call)."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: _ActiveSpan) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> _ActiveSpan:
+        self._token = self._tracer._current.set(self._span.context)
+        return self._span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        if exc_type is not None:
+            self._span.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self._tracer._finish(self._span)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class Tracer:
+    """Span factory with contextvar parenting and deterministic ids.
+
+    One tracer per process side (the runtime owns a global one when
+    observability is enabled); span creation is cheap — a counter bump, a
+    clock read, and a contextvar set — and safe from any thread.
+    """
+
+    def __init__(self, exporter=None, clock: Clock | None = None) -> None:
+        self.exporter = exporter if exporter is not None else RingBufferExporter()
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._current: contextvars.ContextVar[SpanContext | None] = contextvars.ContextVar(
+            "repro_obs_span", default=None
+        )
+
+    def span(self, name: str, **attrs: object):
+        """Context manager opening a child of the current span.
+
+        The managed value is the active span; use ``set_attr`` to attach
+        attributes discovered mid-flight.  On exit the finished record goes
+        to the exporter; an exception type is recorded as attr ``error``.
+        """
+        parent = self._current.get()
+        span_id = next(self._span_ids)
+        trace_id = parent.trace_id if parent is not None else next(self._trace_ids)
+        active = _ActiveSpan(
+            name,
+            SpanContext(span_id, trace_id),
+            parent.span_id if parent is not None else None,
+            self.clock.now(),
+            tuple(sorted((str(k), _render(v)) for k, v in attrs.items())),
+        )
+        return _SpanCm(self, active)
+
+    def current_context(self) -> SpanContext | None:
+        """The active span's ``(span_id, trace_id)``, or None at top level."""
+        return self._current.get()
+
+    def finished(self) -> list[SpanRecord]:
+        """Spans retained by the exporter (empty for sink-style exporters)."""
+        return self.exporter.records()
+
+    def absorb(self, records: Iterable[SpanRecord], remote: SpanContext | None) -> None:
+        """Fold worker-process spans in, re-iding and re-parenting them.
+
+        Worker ids are remapped onto this tracer's sequences; worker root
+        spans become children of ``remote`` (the dispatching span) when
+        given, so the merged export is one connected tree.
+        """
+        rows = list(records)
+        id_map = {r.span_id: next(self._span_ids) for r in rows}
+        trace_map: dict[int, int] = {}
+        for r in rows:
+            if remote is not None:
+                trace_id = remote.trace_id
+            else:
+                if r.trace_id not in trace_map:
+                    trace_map[r.trace_id] = next(self._trace_ids)
+                trace_id = trace_map[r.trace_id]
+            if r.parent_id is not None and r.parent_id in id_map:
+                parent_id: int | None = id_map[r.parent_id]
+            else:
+                parent_id = remote.span_id if remote is not None else None
+            self.exporter.export(
+                SpanRecord(
+                    r.name, id_map[r.span_id], parent_id, trace_id, r.start, r.end, r.attrs
+                )
+            )
+
+    def _finish(self, span: _ActiveSpan) -> None:
+        self.exporter.export(
+            SpanRecord(
+                span.name,
+                span.context.span_id,
+                span.parent_id,
+                span.context.trace_id,
+                span.start,
+                self.clock.now(),
+                tuple(sorted(span.attrs.items())),
+            )
+        )
+
+
+def span_tree(records: Iterable[SpanRecord]) -> dict[int | None, list[SpanRecord]]:
+    """Group finished spans by parent id (None = roots), start-ordered.
+
+    A convenience for tests and reports: ``tree[None]`` lists the roots,
+    ``tree[span_id]`` the direct children of that span.
+    """
+    tree: dict[int | None, list[SpanRecord]] = {}
+    for r in records:
+        tree.setdefault(r.parent_id, []).append(r)
+    for children in tree.values():
+        children.sort(key=lambda r: (r.start, r.span_id))
+    return tree

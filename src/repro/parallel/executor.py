@@ -21,16 +21,20 @@ from __future__ import annotations
 
 import os
 from concurrent import futures
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from functools import reduce as _fold
 from multiprocessing import get_context
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
+from ..obs import OBS, WorkerCapture
 from .chunking import chunk_spans, derive_seeds
 
 #: Environment override for the pool start method ("fork", "spawn",
 #: "forkserver"); unset means the platform default.
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+#: Shared no-op context for disabled-observability paths.
+_NULL = nullcontext()
 
 
 def default_start_method() -> str | None:
@@ -60,10 +64,24 @@ class SerialExecutor:
     workers = 1
 
     def map_ordered(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
-        return [fn(p) for p in payloads]
+        """Apply ``fn`` to each payload in order, in the calling process.
+
+        With observability on, opens a ``parallel.map`` span with one
+        ``parallel.task`` child per payload — the same span/metric shape
+        the process backend produces, so traces are backend-comparable.
+        """
+        if not OBS.enabled:
+            return [fn(p) for p in payloads]
+        with OBS.tracer.span("parallel.map", backend="serial", tasks=len(payloads)):
+            results = []
+            for i, p in enumerate(payloads):
+                with OBS.tracer.span("parallel.task", index=i):
+                    results.append(fn(p))
+        OBS.metrics.inc("repro_parallel_tasks_total", (), float(len(payloads)))
+        return results
 
     def close(self) -> None:
-        pass
+        """Nothing to release for the in-process backend."""
 
     def __enter__(self) -> "SerialExecutor":
         return self
@@ -96,11 +114,31 @@ class ProcessExecutor:
         return self._pool
 
     def map_ordered(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to each payload on the pool, results in payload order.
+
+        With observability on, each task is wrapped in a worker-side
+        :class:`~repro.obs.WorkerCapture`: the worker records spans and
+        metrics into a private tracer/registry, and the capture rides back
+        with the result to be folded into the parent's — worker task spans
+        re-parent under this call's ``parallel.map`` span, and counter
+        values merge to exactly the serial backend's totals.
+        """
         if not payloads:
             return []
-        return list(self._ensure_pool().map(fn, payloads))
+        if not OBS.enabled:
+            return list(self._ensure_pool().map(fn, payloads))
+        with OBS.tracer.span("parallel.map", backend="process", tasks=len(payloads)):
+            remote = OBS.tracer.current_context()
+            wrapped = [(fn, p, i) for i, p in enumerate(payloads)]
+            results = []
+            for result, snapshot, spans in self._ensure_pool().map(_captured_task, wrapped):
+                OBS.absorb_worker(snapshot, spans, remote)
+                results.append(result)
+        OBS.metrics.inc("repro_parallel_tasks_total", (), float(len(payloads)))
+        return results
 
     def close(self) -> None:
+        """Shut the pool down and release its workers (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -144,6 +182,22 @@ def resolve_executor(
         owned.close()
 
 
+def _captured_task(payload: tuple) -> tuple:
+    """Pool worker: run one task under a fresh observability capture.
+
+    Returns ``(result, metrics_snapshot, span_records)``; the parent's
+    :meth:`ProcessExecutor.map_ordered` folds the capture back in.  The
+    worker-side ``parallel.task`` span becomes the root every span the
+    task opens parents under, mirroring the serial backend's span shape.
+    """
+    fn, inner, index = payload
+    capture = WorkerCapture()
+    with capture:
+        with OBS.tracer.span("parallel.task", index=index):
+            result = fn(inner)
+    return result, capture.metrics, capture.spans
+
+
 def _call_chunk(payload: tuple) -> list:
     """Pool-side dispatcher shared by the serial and parallel paths."""
     fn, chunk, seeds = payload
@@ -177,8 +231,13 @@ def map_chunks(
         )
         for start, stop in spans
     ]
+    cm = (
+        OBS.tracer.span("parallel.map_chunks", items=len(items), chunks=len(spans))
+        if OBS.enabled
+        else _NULL
+    )
     out: list[Any] = []
-    with resolve_executor(workers, executor) as ex:
+    with cm, resolve_executor(workers, executor) as ex:
         for chunk_result in ex.map_ordered(_call_chunk, payloads):
             out.extend(chunk_result)
     if len(out) != len(items):
@@ -216,7 +275,12 @@ def map_reduce(
         )
         for start, stop in spans
     ]
-    with resolve_executor(workers, executor) as ex:
+    cm = (
+        OBS.tracer.span("parallel.map_reduce", items=len(items), chunks=len(spans))
+        if OBS.enabled
+        else _NULL
+    )
+    with cm, resolve_executor(workers, executor) as ex:
         partials = ex.map_ordered(_call_chunk_scalar, payloads)
     if initial is None:
         if not partials:

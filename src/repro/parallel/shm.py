@@ -24,6 +24,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..core.trajectory import Trajectory
+from ..obs import OBS
 
 # Resource-tracker note: CPython < 3.13 registers the segment name on both
 # create and attach, but pool workers share the parent's tracker process and
@@ -59,11 +60,15 @@ class SharedArray:
 
     @classmethod
     def create(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh owned segment (one copy, then views)."""
         arr = np.ascontiguousarray(array)
         shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
         view[...] = arr
         view.flags.writeable = False
+        if OBS.enabled:
+            OBS.metrics.inc("repro_shm_bytes_total", (), float(arr.nbytes))
+            OBS.metrics.inc("repro_shm_segments_total")
         return cls(shm, view, owner=True)
 
     @property

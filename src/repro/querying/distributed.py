@@ -27,6 +27,7 @@ partitioning have been studied [for] queries over skewed SID".
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -34,6 +35,10 @@ import numpy as np
 
 from .. import kernels
 from ..core.geometry import BBox, Point
+from ..obs import OBS
+
+#: Shared no-op context for disabled-observability paths.
+_NULL = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -344,35 +349,45 @@ class PartitionedStore:
     ) -> list[list[int]]:
         from ..parallel import SerialExecutor, SharedArray, chunk_spans, resolve_executor
 
+        obs_on = OBS.enabled
         self.queries_run += centers.shape[0]
         route = _route_range if mode == "range" else _route_knn
-        with resolve_executor(workers, executor) as ex:
+        cm = (
+            OBS.tracer.span("query.partitioned_batch", mode=mode, queries=centers.shape[0])
+            if obs_on
+            else _NULL
+        )
+        with cm, resolve_executor(workers, executor) as ex:
             if isinstance(ex, SerialExecutor):
                 hits, touched = route(self._cols, centers, arg)
-                self.partitions_touched += touched
-                return hits
-            spans = chunk_spans(centers.shape[0], None)
-            # Nested with-items: a failed second create unlinks the first
-            # segment too (the seed version leaked it on that path).
-            with (
-                SharedArray.create(self._cols.coords) as coords_s,
-                SharedArray.create(self._cols.index) as index_s,
-            ):
-                payloads = [
-                    (
-                        coords_s.handle,
-                        index_s.handle,
-                        self._cols.offsets,
-                        self._cols.boxes,
-                        mode,
-                        centers[start:stop],
-                        arg[start:stop] if mode == "range" else arg,
-                    )
-                    for start, stop in spans
-                ]
-                results = ex.map_ordered(_query_chunk_task, payloads)
-        hits = [h for chunk_hits, _ in results for h in chunk_hits]
-        self.partitions_touched += sum(t for _, t in results)
+            else:
+                spans = chunk_spans(centers.shape[0], None)
+                # Nested with-items: a failed second create unlinks the first
+                # segment too (the seed version leaked it on that path).
+                with (
+                    SharedArray.create(self._cols.coords) as coords_s,
+                    SharedArray.create(self._cols.index) as index_s,
+                ):
+                    payloads = [
+                        (
+                            coords_s.handle,
+                            index_s.handle,
+                            self._cols.offsets,
+                            self._cols.boxes,
+                            mode,
+                            centers[start:stop],
+                            arg[start:stop] if mode == "range" else arg,
+                        )
+                        for start, stop in spans
+                    ]
+                    results = ex.map_ordered(_query_chunk_task, payloads)
+                hits = [h for chunk_hits, _ in results for h in chunk_hits]
+                touched = sum(t for _, t in results)
+        self.partitions_touched += touched
+        if obs_on:
+            OBS.metrics.inc(
+                "repro_query_partitions_touched_total", (("mode", mode),), float(touched)
+            )
         return hits
 
     def mean_partitions_per_query(self) -> float:

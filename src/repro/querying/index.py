@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,10 +34,29 @@ import numpy as np
 
 from .. import kernels
 from ..core.geometry import BBox, Point
+from ..obs import OBS
 
 # Cap on the elements of a batch distance matrix; larger batches are answered
 # in query chunks so memory stays flat.
 _BATCH_ELEMENTS = 4_000_000
+
+#: Shared no-op context for disabled-observability paths.
+_NULL = nullcontext()
+
+
+def _batch_cm(kind: str, index: str, n_queries: int):
+    """Span plus batch/query counters for one batch entry point.
+
+    Returns a shared no-op context when observability is disabled, so the
+    hot path pays a single attribute check.  Durations are attributed by
+    the tracer's injectable clock — this module never reads wall time.
+    """
+    if not OBS.enabled:
+        return _NULL
+    labels = (("index", index), ("kind", kind))
+    OBS.metrics.inc("repro_query_batch_total", labels)
+    OBS.metrics.inc("repro_query_queries_total", labels, float(n_queries))
+    return OBS.tracer.span(f"query.{kind}_many", index=index, queries=n_queries)
 
 
 @dataclass(frozen=True)
@@ -77,11 +97,12 @@ def brute_force_range_many(
     c = kernels.centers_of(centers)
     r = np.broadcast_to(np.asarray(radii, dtype=float), (c.shape[0],))
     out: list[list[int]] = []
-    chunks = _query_chunks(coords.shape[0], c.shape[0])
-    for start in chunks:
-        stop = start + chunks.step
-        masks = kernels.range_masks(coords, c[start:stop], r[start:stop])
-        out.extend([int(i) for i in ids[m]] for m in masks)
+    with _batch_cm("range", "brute_force", c.shape[0]):
+        chunks = _query_chunks(coords.shape[0], c.shape[0])
+        for start in chunks:
+            stop = start + chunks.step
+            masks = kernels.range_masks(coords, c[start:stop], r[start:stop])
+            out.extend([int(i) for i in ids[m]] for m in masks)
     return out
 
 
@@ -92,11 +113,12 @@ def brute_force_knn_many(
     coords, ids = kernels.entry_columns(entries)
     c = kernels.centers_of(centers)
     out: list[list[int]] = []
-    chunks = _query_chunks(coords.shape[0], c.shape[0])
-    for start in chunks:
-        stop = start + chunks.step
-        for sel in kernels.knn_select_many(coords, ids, c[start:stop], k):
-            out.append([int(i) for i in sel])
+    with _batch_cm("knn", "brute_force", c.shape[0]):
+        chunks = _query_chunks(coords.shape[0], c.shape[0])
+        for start in chunks:
+            stop = start + chunks.step
+            for sel in kernels.knn_select_many(coords, ids, c[start:stop], k):
+                out.append([int(i) for i in sel])
     return out
 
 
@@ -168,7 +190,8 @@ class GridIndex:
         per center (same per-query results as :meth:`range_query`).
         """
         r = np.broadcast_to(np.asarray(radii, dtype=float), (len(centers),))
-        return [self.range_query(c, float(rad)) for c, rad in zip(centers, r)]
+        with _batch_cm("range", "grid", len(centers)):
+            return [self.range_query(c, float(rad)) for c, rad in zip(centers, r)]
 
     def knn(self, center: Point, k: int) -> list[int]:
         """k nearest by ring expansion, ties broken by ascending id."""
@@ -212,7 +235,8 @@ class GridIndex:
     def knn_many(self, centers: Sequence[Point], k: int) -> list[list[int]]:
         """Batch kNN against one columnar snapshot (same tie rule)."""
         self._ensure_columns()
-        return [self.knn(c, k) for c in centers]
+        with _batch_cm("knn", "grid", len(centers)):
+            return [self.knn(c, k) for c in centers]
 
 
 class _Node:
@@ -303,7 +327,8 @@ class RTree:
     def range_query_many(self, centers: Sequence[Point], radii) -> list[list[int]]:
         """Batch disk queries (one traversal per query, vectorized leaves)."""
         r = np.broadcast_to(np.asarray(radii, dtype=float), (len(centers),))
-        return [self.range_query(c, float(rad)) for c, rad in zip(centers, r)]
+        with _batch_cm("range", "rtree", len(centers)):
+            return [self.range_query(c, float(rad)) for c, rad in zip(centers, r)]
 
     def knn(self, center: Point, k: int) -> list[int]:
         """Best-first kNN (Hjaltason-Samet), ties broken by ascending id.
@@ -341,7 +366,8 @@ class RTree:
 
     def knn_many(self, centers: Sequence[Point], k: int) -> list[list[int]]:
         """Batch kNN over the tree (same ``(distance, id)`` tie rule)."""
-        return [self.knn(c, k) for c in centers]
+        with _batch_cm("knn", "rtree", len(centers)):
+            return [self.knn(c, k) for c in centers]
 
 
 def build_entries(points: list[Point]) -> list[IndexEntry]:

@@ -1,0 +1,421 @@
+"""Observability layer contract tests (ISSUE 5).
+
+The load-bearing guarantees:
+
+* disabled mode is free — the hot-path guard allocates nothing and
+  ``profile`` hands back one shared no-op context,
+* spans parent correctly across ``Pipeline`` stages and across process
+  boundaries (worker spans re-parent under the dispatching span),
+* metric merging is associative/commutative, and count-valued metrics are
+  bit-identical between ``workers=1`` and ``workers=N``,
+* ingest gate counters agree exactly with the engine's own
+  ``QualityRegistry`` accounting.
+
+Worker/stage functions live at module level so they pickle under every
+multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline, Stage, Trajectory
+from repro.ingest import IngestEngine
+from repro.ingest.events import IngestEvent
+from repro.ingest.gates import RangeGate
+from repro.obs import (
+    OBS,
+    JsonlExporter,
+    ManualClock,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SamplingProfiler,
+    Tracer,
+    disable,
+    enable,
+    is_enabled,
+    metric_key,
+    profile,
+    render_key,
+    span_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def obs_off_after():
+    """Every test leaves the process-global switchboard disabled."""
+    yield
+    disable()
+
+
+def make_trajectory(seed: int, n: int = 30, object_id: str = "t") -> Trajectory:
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0, 5, (n, 2)).cumsum(axis=0)
+    return Trajectory.from_arrays(
+        steps[:, 0], steps[:, 1], np.arange(n, dtype=float), object_id
+    )
+
+
+# -- module-level stage functions (picklable under spawn) ----------------------
+
+
+def stage_downsample(traj):
+    return traj.downsample(2)
+
+
+def stage_shift(traj):
+    return traj.shift_time(1.0)
+
+
+def make_pipeline() -> Pipeline:
+    return Pipeline([Stage("down", stage_downsample), Stage("shift", stage_shift)])
+
+
+# -- disabled mode -------------------------------------------------------------
+
+
+class TestDisabledMode:
+    def test_disabled_is_default(self):
+        assert not is_enabled()
+        assert OBS.tracer is None and OBS.metrics is None
+
+    def test_profile_returns_shared_singleton(self):
+        assert profile("a") is profile("b")
+
+    def test_disabled_profile_context_supports_set_attr(self):
+        with profile("x") as p:
+            p.set_attr("k", 1)  # no-op, must not raise
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        # Warm up (thread-local setup, bytecode caches), then assert the
+        # steady-state guard path performs zero allocations attributable to
+        # the obs package.
+        for _ in range(16):
+            with profile("warm"):
+                pass
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(500):
+                with profile("x"):
+                    pass
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_allocs = [
+            stat
+            for stat in after.compare_to(before, "filename")
+            if "repro/obs" in stat.traceback[0].filename and stat.size_diff > 0
+        ]
+        assert obs_allocs == []
+
+    def test_instrumented_paths_run_clean_when_disabled(self):
+        result = make_pipeline().run(make_trajectory(1))
+        assert len(result.trace) == 2
+
+    def test_enable_disable_roundtrip(self):
+        enable()
+        assert is_enabled() and OBS.tracer is not None and OBS.metrics is not None
+        disable()
+        assert not is_enabled() and OBS.tracer is None and OBS.metrics is None
+
+
+# -- spans ---------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_manual_clock_durations_are_exact(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner", k="v"):
+                clock.advance(0.25)
+        records = {r.name: r for r in tracer.finished()}
+        assert records["inner"].duration == 0.25
+        assert records["outer"].duration == 1.25
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["inner"].trace_id == records["outer"].trace_id
+        assert dict(records["inner"].attrs) == {"k": "v"}
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.finished()
+        assert a.parent_id is None and b.parent_id is None
+        assert a.trace_id != b.trace_id
+
+    def test_exception_recorded_as_error_attr(self):
+        tracer = Tracer(clock=ManualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (record,) = tracer.finished()
+        assert dict(record.attrs)["error"] == "ValueError"
+
+    def test_pipeline_run_span_tree_covers_every_stage(self):
+        enable(clock=ManualClock())
+        make_pipeline().run(make_trajectory(2))
+        tree = span_tree(OBS.tracer.finished())
+        (root,) = tree[None]
+        assert root.name == "pipeline.run"
+        children = tree[root.span_id]
+        assert [c.name for c in children] == ["pipeline.stage", "pipeline.stage"]
+        assert [dict(c.attrs)["stage"] for c in children] == ["down", "shift"]
+
+    def test_span_ids_are_deterministic(self):
+        names = []
+        for _ in range(2):
+            tracer = Tracer(clock=ManualClock())
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            names.append([(r.name, r.span_id, r.parent_id) for r in tracer.finished()])
+        assert names[0] == names[1]
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", (("k", "v"),), 2.0)
+        reg.inc("c", (("k", "v"),))
+        reg.set_gauge("g", (), 7.0)
+        reg.observe("h", (), 0.5)
+        reg.observe("h", (), 2.0)
+        snap = reg.snapshot()
+        assert snap.counter("c", k="v") == 3.0
+        assert snap.gauge("g") == 7.0
+        hist = snap.histogram("h")
+        assert hist.count == 2 and hist.total == 2.5
+        assert hist.vmin == 0.5 and hist.vmax == 2.0
+
+    def test_merge_is_associative_and_commutative_for_counters(self):
+        def snap(pairs):
+            s = MetricsSnapshot()
+            reg = MetricsRegistry()
+            for name, v in pairs:
+                reg.inc(name, (), v)
+                reg.observe("h", (), v)
+            return s.merge(reg.snapshot())
+
+        a = snap([("x", 1.0), ("y", 2.0)])
+        b = snap([("x", 4.0)])
+        c = snap([("y", 8.0), ("z", 16.0)])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.counters == right.counters
+        assert left.histograms == right.histograms
+        assert a.merge(b).counters == b.merge(a).counters
+
+    def test_gauge_merge_takes_max(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.set_gauge("g", (), 3.0)
+        r2.set_gauge("g", (), 5.0)
+        merged = r1.snapshot().merge(r2.snapshot())
+        assert merged.gauge("g") == 5.0
+
+    def test_threaded_accumulation_is_exact_after_join(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("t", ())
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot().counter("t") == 4000.0
+
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("n", {"b": "2", "a": "1"}) == ("n", (("a", "1"), ("b", "2")))
+        assert render_key(metric_key("n", {"b": "2", "a": "1"})) == 'n{a="1",b="2"}'
+
+
+# -- exports -------------------------------------------------------------------
+
+
+class TestExports:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry(buckets=(1.0, 10.0))
+        reg.inc("req_total", (("code", "200"),), 3.0)
+        reg.set_gauge("depth", (), 2.0)
+        reg.observe("lat", (), 0.5)
+        reg.observe("lat", (), 5.0)
+        text = reg.snapshot().to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{code="200"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 5.5" in text and "lat_count 2" in text
+
+    def test_snapshot_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", ())
+        data = json.loads(reg.snapshot().to_json())
+        assert data["counters"]["c"] == 1.0
+
+    def test_jsonl_exporter_writes_span_rows(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlExporter(str(path)) as exporter:
+            tracer = Tracer(exporter=exporter, clock=ManualClock())
+            with tracer.span("a", k=1):
+                pass
+            assert tracer.finished() == []  # sink-style exporter retains nothing
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["a"]
+        assert rows[0]["attrs"] == {"k": "1"}
+
+
+# -- ingest counters vs engine accounting --------------------------------------
+
+
+class TestIngestCounts:
+    def test_gate_outcome_counters_match_quality_registry(self):
+        enable()
+        with IngestEngine(
+            n_shards=2, gate_factories=[lambda: RangeGate(0.0, 10.0)]
+        ) as engine:
+            for i in range(40):
+                engine.offer(
+                    IngestEvent(
+                        sensor_id=f"s{i % 5}",
+                        x=float(i),
+                        y=1.0,
+                        t=float(i),
+                        value=float(i),  # half the values leave [0, 10]
+                        arrival_time=float(i),
+                    )
+                )
+        counters = engine.registry.counters_snapshot()
+        snap = OBS.metrics.snapshot()
+        assert snap.counter("repro_ingest_offered_total") == float(counters.offered)
+        admitted = snap.counter("repro_ingest_gate_outcomes_total", decision="admit", gate="range")
+        quarantined = snap.counter(
+            "repro_ingest_gate_outcomes_total", decision="quarantine", gate="range"
+        )
+        assert admitted == float(counters.admitted)
+        assert quarantined == float(counters.quarantined)
+        assert counters.quarantined > 0  # the workload actually exercised the gate
+        hist = snap.histogram("repro_ingest_gate_seconds", shard="0")
+        merged = sum(
+            h.count for k, h in snap.histograms.items() if k[0] == "repro_ingest_gate_seconds"
+        )
+        assert hist is not None and merged == counters.offered
+
+    def test_backpressure_counter_on_reject(self):
+        enable()
+        with IngestEngine(n_shards=1, queue_size=1, policy="reject") as engine:
+            # A burst far larger than the queue forces rejections.
+            for i in range(200):
+                engine.offer(
+                    IngestEvent(
+                        sensor_id="s", x=0.0, y=0.0, t=float(i), value=0.0, arrival_time=float(i)
+                    )
+                )
+        counters = engine.registry.counters_snapshot()
+        snap = OBS.metrics.snapshot()
+        assert snap.counter("repro_ingest_backpressure_total", policy="reject") == float(
+            counters.rejected
+        )
+
+
+# -- serial/parallel parity ----------------------------------------------------
+
+
+class TestWorkerParity:
+    def _run(self, workers: int):
+        enable()
+        trajectories = [make_trajectory(seed, object_id=f"t{seed}") for seed in range(6)]
+        make_pipeline().run_many(trajectories, workers=workers, chunk_size=2)
+        snap = OBS.metrics.snapshot()
+        spans = OBS.tracer.finished()
+        disable()
+        return snap, spans
+
+    def test_counters_bit_identical_across_worker_counts(self):
+        snap1, _ = self._run(workers=1)
+        snap2, _ = self._run(workers=2)
+        assert snap1.counters == snap2.counters
+        assert snap1.counter("repro_pipeline_runs_total") == 6.0
+        assert snap1.counter("repro_parallel_tasks_total") == 3.0
+        # Histogram sample counts (not timings) are also worker-invariant.
+        counts1 = {k: h.count for k, h in snap1.histograms.items()}
+        counts2 = {k: h.count for k, h in snap2.histograms.items()}
+        assert counts1 == counts2
+
+    def test_worker_spans_reparent_into_one_tree(self):
+        _, spans = self._run(workers=2)
+        by_id = {r.span_id: r for r in spans}
+        names = {r.name for r in spans}
+        assert {"pipeline.run_many", "parallel.map", "parallel.task", "pipeline.run"} <= names
+        assert len(set(r.trace_id for r in spans)) == 1  # one connected tree
+        runs = [r for r in spans if r.name == "pipeline.run"]
+        assert len(runs) == 6
+        for run in runs:
+            assert by_id[run.parent_id].name == "parallel.task"
+        tasks = [r for r in spans if r.name == "parallel.task"]
+        for task in tasks:
+            assert by_id[task.parent_id].name == "parallel.map"
+
+    def test_serial_and_parallel_span_shapes_match(self):
+        _, spans1 = self._run(workers=1)
+        _, spans2 = self._run(workers=2)
+
+        def shape(spans):
+            by_id = {r.span_id: r for r in spans}
+            return sorted(
+                (r.name, by_id[r.parent_id].name if r.parent_id is not None else None)
+                for r in spans
+            )
+
+        assert shape(spans1) == shape(spans2)
+
+
+# -- profiling hooks -----------------------------------------------------------
+
+
+class TestProfiling:
+    def test_profile_records_span_and_histogram(self):
+        clock = ManualClock()
+        enable(clock=clock)
+        with profile("pack", n=3) as span:
+            clock.advance(0.5)
+            span.set_attr("extra", "yes")
+        snap = OBS.metrics.snapshot()
+        hist = snap.histogram("repro_profile_seconds", block="pack")
+        assert hist.count == 1 and hist.total == 0.5
+        (record,) = OBS.tracer.finished()
+        assert record.name == "profile.pack"
+        assert dict(record.attrs)["extra"] == "yes"
+
+    def test_sampling_profiler_collects_stacks(self):
+        deadline = 20000
+
+        def busy():
+            acc = 0
+            for i in range(deadline):
+                acc += i * i
+            return acc
+
+        with SamplingProfiler(interval=0.001) as prof:
+            while prof.sample_count < 3:
+                busy()
+        assert prof.sample_count >= 3
+        assert prof.top()
+        for frames, count in prof.top():
+            assert count >= 1 and frames

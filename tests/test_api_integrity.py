@@ -24,6 +24,8 @@ SUBPACKAGES = [
     "repro.kernels",
     "repro.learning",
     "repro.localization",
+    "repro.obs",
+    "repro.parallel",
     "repro.querying",
     "repro.reduction",
     "repro.synth",

@@ -412,6 +412,7 @@ class TestCliAndLiveTree:
         assert baseline.is_waived("src/repro/ingest/source.py", "R1")
         assert baseline.is_waived("src/repro/ingest/engine.py", "R1")
         assert baseline.is_waived("src/repro/core/pipeline.py", "R1")
+        assert baseline.is_waived("src/repro/obs/clock.py", "R1")
         assert not baseline.is_waived("src/repro/ingest/source.py", "R2")
         assert not baseline.is_waived("src/repro/querying/privacy.py", "R1")
         assert baseline.mypy_strict_errors is not None
@@ -430,6 +431,7 @@ class TestCliAndLiveTree:
             "src/repro/ingest/source.py",
             "src/repro/ingest/engine.py",
             "src/repro/core/pipeline.py",
+            "src/repro/obs/clock.py",
         }
 
     def test_pragma_parser(self):
