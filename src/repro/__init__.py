@@ -24,7 +24,10 @@ the tutorial's taxonomy (Figure 2):
   ``Executor`` protocol,
 * :mod:`repro.obs` — observability: tracing, metrics, and profiling hooks
   across the pipeline, ingest, parallel, and querying layers (off by
-  default; a single guard check when disabled).
+  default; a single guard check when disabled),
+* :mod:`repro.serve` — the quality-aware serving layer: an asyncio query
+  service with request coalescing, admission control, and an
+  epoch-invalidated result cache over the partitioned store.
 """
 
 __version__ = "1.0.0"
@@ -44,6 +47,7 @@ from . import (
     parallel,
     querying,
     reduction,
+    serve,
     synth,
 )
 
@@ -62,6 +66,7 @@ __all__ = [
     "parallel",
     "querying",
     "reduction",
+    "serve",
     "synth",
     "__version__",
 ]

@@ -114,7 +114,10 @@ class IngestEngine:
     stateful, so they cannot be shared); ``store`` receives every admitted
     event (default: a new :class:`InMemoryStore`); ``registry`` collects
     online stats and accounting (default: a new
-    :class:`~repro.ingest.registry.QualityRegistry`).
+    :class:`~repro.ingest.registry.QualityRegistry`); ``on_admit`` is an
+    optional hook called with every gate-admitted event *before* its store
+    write — the seam the serving layer uses to bump partition quality
+    epochs (:func:`repro.serve.ingest_epoch_hook`).
 
     The engine is a context manager: leaving the ``with`` block performs a
     graceful :meth:`close` (drain queues, flush gate buffers, join workers).
@@ -129,6 +132,7 @@ class IngestEngine:
         queue_size: int = 1024,
         policy: str = "block",
         quarantine_store=None,
+        on_admit: Callable[[IngestEvent], None] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -141,6 +145,7 @@ class IngestEngine:
         self.registry = registry if registry is not None else QualityRegistry()
         self.store = store if store is not None else InMemoryStore()
         self.quarantine_store = quarantine_store
+        self.on_admit = on_admit
         self._gate_factories = list(gate_factories)
         self._queues: list[queue.Queue] = [queue.Queue(maxsize=queue_size) for _ in range(n_shards)]
         self._chains: list[dict[str, list[StreamingGate]]] = [{} for _ in range(n_shards)]
@@ -297,4 +302,9 @@ class IngestEngine:
             if self.quarantine_store is not None:
                 self.quarantine_store.write(outcome.event)
         else:
+            # The admit hook fires BEFORE the store write: downstream caches
+            # keyed on quality epochs (repro.serve) must observe the
+            # invalidation no later than the write becomes readable.
+            if self.on_admit is not None:
+                self.on_admit(outcome.event)
             self.store.write(outcome.event)

@@ -30,6 +30,7 @@ from .metrics import (
     HistogramSummary,
     MetricsRegistry,
     MetricsSnapshot,
+    escape_label_value,
     metric_key,
     render_key,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "HistogramSummary",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "escape_label_value",
     "metric_key",
     "render_key",
     "SamplingProfiler",

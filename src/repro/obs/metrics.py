@@ -44,12 +44,28 @@ def metric_key(name: str, labels: dict[str, str] | tuple[tuple[str, str], ...] =
     return name, pairs
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus exposition escaping: backslash, double quote, newline.
+
+    Applied wherever a label value is rendered inside ``name{k="v"}`` so
+    free-text labels (client ids, shed reasons) cannot corrupt the export
+    or make two runs' snapshots diff unstably.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def render_key(key: MetricKey) -> str:
-    """Human/Prometheus-style series name: ``name{k="v",...}``."""
+    """Human/Prometheus-style series name: ``name{k="v",...}``.
+
+    Label pairs render in their (already sorted) key order with values
+    escaped by :func:`escape_label_value` — the rendered form is a
+    deterministic function of the series identity, so exports from
+    different runs or merge orders diff cleanly.
+    """
     name, pairs = key
     if not pairs:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs)
     return f"{name}{{{inner}}}"
 
 

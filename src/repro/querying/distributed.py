@@ -395,3 +395,63 @@ class PartitionedStore:
         if self.queries_run == 0:
             return 0.0
         return self.partitions_touched / self.queries_run
+
+    # -- cache-aware entry points (the serving layer's dependency oracle) --------
+
+    @property
+    def partition_boxes(self) -> np.ndarray:
+        """Read-only ``(n_partitions, 4)`` min_x/min_y/max_x/max_y extents."""
+        boxes = self._cols.boxes.view()
+        boxes.flags.writeable = False
+        return boxes
+
+    def range_partition_sets(
+        self, centers: Sequence[Point], radii
+    ) -> list[tuple[int, ...]]:
+        """Per-query partition dependency sets for range queries.
+
+        A partition belongs to a query's set exactly when its bbox overlaps
+        the query disk — the same predicate the router uses — so a write
+        outside the set provably cannot change the query's answer.  The
+        serving layer keys cached results on these sets for quality-epoch
+        invalidation.
+        """
+        c = kernels.centers_of(centers)
+        r = np.asarray(radii, dtype=float)
+        if r.ndim == 0:
+            r = np.full(c.shape[0], float(r))
+        elif r.shape != (c.shape[0],):
+            raise ValueError("radii must be a scalar or match the number of centers")
+        out: list[tuple[int, ...]] = []
+        for qi in range(c.shape[0]):
+            overlap = kernels.box_min_dists(self._cols.boxes, c[qi]) <= r[qi]
+            out.append(tuple(int(p) for p in np.flatnonzero(overlap)))
+        return out
+
+    def knn_partition_sets(
+        self, centers: Sequence[Point], hits: Sequence[Sequence[int]], k: int | None = None
+    ) -> list[tuple[int, ...]]:
+        """Per-query partition dependency sets for answered kNN queries.
+
+        ``hits`` is the corresponding :meth:`knn_many` output (pass the
+        requested ``k`` to detect short answers).  A new point can enter a
+        full top-k only from a partition whose bbox lower bound is within
+        the current k-th distance, so those partitions form a conservative
+        dependency set: any write elsewhere leaves the answer intact.  A
+        short or empty answer (store held fewer than k points) depends on
+        every partition.
+        """
+        c = kernels.centers_of(centers)
+        if c.shape[0] != len(hits):
+            raise ValueError("hits must align with centers")
+        n_parts = self._cols.n_partitions
+        out: list[tuple[int, ...]] = []
+        for qi, ids in enumerate(hits):
+            if not ids or (k is not None and len(ids) < k):
+                out.append(tuple(range(n_parts)))
+                continue
+            coords = kernels.coords_of([self.points[i] for i in ids])
+            kth = float(kernels.dists_to(coords, c[qi]).max())
+            overlap = kernels.box_min_dists(self._cols.boxes, c[qi]) <= kth
+            out.append(tuple(int(p) for p in np.flatnonzero(overlap)))
+        return out

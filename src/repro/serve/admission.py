@@ -1,0 +1,75 @@
+"""Admission control: the ingest backpressure policies, mapped to serving.
+
+The ingestion layer answers "what happens when a shard queue fills" with
+three explicit policies (:data:`repro.ingest.POLICIES`); the serving layer
+answers the same question for its pending-request queue with the same
+vocabulary, mapped to request/response semantics:
+
+* ``block`` — the submitter awaits until depth drops below its class
+  limit (lossless, caller-paced — the closed-loop analogue of a blocking
+  producer),
+* ``reject`` — the new request is refused immediately with a ``SHED``
+  response (caller-visible load shedding),
+* ``drop_oldest`` — the oldest pending request of the lowest class no
+  more important than the newcomer is displaced (its future resolves
+  ``SHED``) and the newcomer takes its place; if everything pending
+  outranks the newcomer, the newcomer itself sheds.
+
+Per-class priorities refine all three: ``class_limits`` gives lower
+classes smaller effective queue depths, so background traffic sheds
+before interactive traffic feels pressure.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Mapping
+
+#: Recognized admission policies (same names as the ingest layer's).
+POLICIES = ("block", "reject", "drop_oldest")
+
+
+class AdmissionDecision(str, Enum):
+    """What the service should do with one arriving request."""
+
+    ADMIT = "admit"  # enqueue now
+    WAIT = "wait"  # block policy: await capacity, then admit
+    SHED = "shed"  # reject the newcomer with a SHED response
+    DISPLACE = "displace"  # evict a lower-class victim, then admit
+
+
+class AdmissionController:
+    """Queue-depth admission with per-class limits and three policies."""
+
+    def __init__(
+        self,
+        max_pending: int,
+        policy: str = "reject",
+        class_limits: Mapping[int, int] | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        for priority, limit in (class_limits or {}).items():
+            if not 1 <= limit <= max_pending:
+                raise ValueError(
+                    f"class limit for priority {priority} must be in [1, {max_pending}]"
+                )
+        self.max_pending = max_pending
+        self.policy = policy
+        self.class_limits = dict(class_limits or {})
+
+    def limit_for(self, priority: int) -> int:
+        """Effective queue-depth limit for one priority class."""
+        return self.class_limits.get(priority, self.max_pending)
+
+    def decide(self, depth: int, priority: int) -> AdmissionDecision:
+        """Admission verdict for a request arriving at queue depth ``depth``."""
+        if depth < self.limit_for(priority):
+            return AdmissionDecision.ADMIT
+        if self.policy == "block":
+            return AdmissionDecision.WAIT
+        if self.policy == "drop_oldest":
+            return AdmissionDecision.DISPLACE
+        return AdmissionDecision.SHED

@@ -1,0 +1,105 @@
+"""Epoch-validated LRU result cache keyed by (partition set, query signature).
+
+Each entry remembers the *partition dependency set* of its query — the
+partitions whose contents could change the answer — and the epoch vector
+those partitions had when the result was computed.  A lookup revalidates
+the vector against the live :class:`~repro.serve.epochs.EpochRegistry`:
+any moved epoch means a gate-admitted write landed in a dependency
+partition since the result was computed, so the entry is evicted and the
+lookup reports ``"stale"`` instead of serving it.
+
+The epoch vector is captured *before* the kernel call that computes a
+result (see :meth:`~repro.serve.service.QueryService`), so a write racing
+the computation leaves the stored vector behind the live one — the race
+resolves to an extra miss, never to a stale answer.
+
+The cache is single-writer by construction (only the serving event loop
+touches it); the epoch registry it validates against is thread-safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .epochs import EpochRegistry
+from .requests import Signature
+
+#: Lookup outcomes (the ``result`` label of ``repro_serve_cache_total``).
+LOOKUP_HIT = "hit"
+LOOKUP_MISS = "miss"
+LOOKUP_STALE = "stale"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEntry:
+    """One cached answer plus the epoch evidence that keeps it honest."""
+
+    results: tuple[int, ...]
+    partition_ids: tuple[int, ...]
+    epoch_vector: tuple[int, ...]
+
+
+class ResultCache:
+    """Bounded LRU of query results with quality-epoch invalidation."""
+
+    def __init__(self, epochs: EpochRegistry, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.epochs = epochs
+        self.capacity = capacity
+        self._entries: OrderedDict[Signature, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, signature: Signature) -> tuple[tuple[int, ...] | None, str]:
+        """Validated lookup: ``(results, "hit")`` or ``(None, "miss"|"stale")``.
+
+        A present entry whose dependency partitions all kept their epoch is
+        a hit (and refreshes LRU recency); a present entry with any moved
+        epoch is evicted and reported stale.
+        """
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+            return None, LOOKUP_MISS
+        if self.epochs.vector(entry.partition_ids) != entry.epoch_vector:
+            del self._entries[signature]
+            self.stale_evictions += 1
+            self.misses += 1
+            return None, LOOKUP_STALE
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        return entry.results, LOOKUP_HIT
+
+    def put(
+        self,
+        signature: Signature,
+        results: tuple[int, ...],
+        partition_ids: tuple[int, ...],
+        epoch_vector: tuple[int, ...],
+    ) -> None:
+        """Insert one computed result; evicts the LRU entry beyond capacity.
+
+        ``epoch_vector`` must be the dependency partitions' epochs sampled
+        *before* the computation that produced ``results``.
+        """
+        if len(partition_ids) != len(epoch_vector):
+            raise ValueError("epoch_vector must align with partition_ids")
+        self._entries[signature] = CacheEntry(results, partition_ids, epoch_vector)
+        self._entries.move_to_end(signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

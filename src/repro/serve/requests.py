@@ -1,0 +1,120 @@
+"""Typed request/response envelopes of the serving layer.
+
+Clients talk to :class:`~repro.serve.service.QueryService` in terms of
+immutable request objects — :class:`RangeQueryRequest` and
+:class:`KnnQueryRequest` — and receive a :class:`QueryResponse` carrying
+the result point indices plus serving provenance: whether the answer came
+from the epoch-validated cache, how large the coalesced kernel batch was,
+and whether admission control shed the request instead of serving it.
+
+Two derived keys drive the serving machinery:
+
+* :meth:`~QueryRequest.signature` — the cache identity of a query.  Two
+  requests with the same signature are the *same question* and must
+  receive bit-identical answers, so priority and client identity are
+  deliberately excluded.
+* :meth:`~QueryRequest.batch_key` — which coalesce bucket a request joins.
+  All range queries share one bucket (``range_query_many`` accepts
+  per-query radii); kNN queries bucket by ``k`` (``knn_many`` takes a
+  single ``k`` per call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.geometry import Point
+
+#: Cache identity of a query: kind tag plus the parameters that determine
+#: its answer.
+Signature = tuple[object, ...]
+
+#: Coalesce-bucket key: ``("range",)`` or ``("knn", k)``.
+BatchKey = tuple[object, ...]
+
+
+class ResponseStatus(str, Enum):
+    """Terminal fate of one request at the serving layer."""
+
+    OK = "ok"  # served, results attached
+    SHED = "shed"  # refused or displaced by admission control
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryRequest:
+    """All point indices within ``radius`` of ``center``.
+
+    ``priority`` orders requests under admission pressure: higher values
+    are more important; load shedding displaces lower-priority work first.
+    """
+
+    center: Point
+    radius: float
+    priority: int = 0
+
+    @property
+    def mode(self) -> str:
+        return "range"
+
+    def signature(self) -> Signature:
+        """Cache identity (excludes priority — same query, same answer)."""
+        return ("range", self.center.x, self.center.y, self.radius)
+
+    def batch_key(self) -> BatchKey:
+        """All range queries coalesce together (per-query radii)."""
+        return ("range",)
+
+
+@dataclass(frozen=True, slots=True)
+class KnnQueryRequest:
+    """The ``k`` nearest point indices to ``center`` (``(distance, id)`` ties)."""
+
+    center: Point
+    k: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+
+    @property
+    def mode(self) -> str:
+        return "knn"
+
+    def signature(self) -> Signature:
+        """Cache identity (excludes priority — same query, same answer)."""
+        return ("knn", self.center.x, self.center.y, self.k)
+
+    def batch_key(self) -> BatchKey:
+        """kNN queries coalesce per ``k`` (``knn_many`` takes one k)."""
+        return ("knn", self.k)
+
+
+#: Union the service accepts; both satisfy the same structural contract.
+QueryRequest = RangeQueryRequest | KnnQueryRequest
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResponse:
+    """One served (or shed) query with its serving provenance.
+
+    ``results`` holds matching point indices — hit order for range
+    queries, ascending ``(distance, id)`` for kNN — and is empty for shed
+    requests.  ``cached`` marks epoch-validated cache hits; ``batch_size``
+    is the size of the coalesced kernel batch that computed the answer
+    (0 for cache hits and shed requests).
+    """
+
+    status: ResponseStatus
+    results: tuple[int, ...] = ()
+    cached: bool = False
+    batch_size: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResponseStatus.OK
+
+
+#: Shared shed response (no per-request state to carry).
+SHED_RESPONSE = QueryResponse(status=ResponseStatus.SHED)

@@ -1,0 +1,358 @@
+"""The asyncio query service: coalescing, admission, caching, one warm pool.
+
+:class:`QueryService` is the long-lived front end over a
+:class:`~repro.querying.distributed.PartitionedStore`: clients ``await
+service.submit(request)`` and the service answers from the
+epoch-validated cache when it can, otherwise coalesces concurrent
+requests into single ``range_query_many`` / ``knn_many`` kernel calls
+(bounded linger window, one warm executor reused across every batch) under
+explicit admission control.
+
+Determinism: batching is a pure function of (arrival order, clock
+readings) — the clock is the injectable :class:`~repro.obs.clock.Clock`
+seam, and the dispatcher's only wait primitive is the injectable
+``pause`` coroutine — and responses are bit-identical across worker
+counts, batch shapes, and cache state (``tests/serve/test_service.py``).
+
+Observability: with :func:`repro.obs.enable` on, every request gets a
+``serve.request`` span covering queue wait plus service time, and the
+metrics registry collects queue-depth high-water gauges, coalesce
+batch-size and latency histograms, and cache/shed/executor-reuse
+counters (names in ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Mapping, Sequence
+
+from ..obs import OBS
+from ..obs.clock import Clock, MonotonicClock
+from ..parallel import Executor, get_executor
+from ..querying.distributed import PartitionedStore
+from .admission import AdmissionController, AdmissionDecision
+from .cache import ResultCache
+from .coalescer import Batch, Coalescer, PendingQuery
+from .epochs import EpochRegistry
+from .requests import (
+    SHED_RESPONSE,
+    QueryRequest,
+    QueryResponse,
+    ResponseStatus,
+)
+
+#: Shared no-op context for disabled-observability paths.
+_NULL = nullcontext()
+
+
+@dataclass
+class ServeStats:
+    """Serving-side accounting (conservation: ``submitted == served +
+    cache_hits + shed`` once the service is idle)."""
+
+    submitted: int = 0
+    served: int = 0  # answered by a kernel batch
+    cache_hits: int = 0  # answered from the epoch-validated cache
+    shed: int = 0  # refused or displaced by admission control
+    kernel_calls: int = 0  # batched range_query_many/knn_many dispatches
+    executor_reuses: int = 0  # kernel calls served by the already-warm pool
+    batches: int = 0
+    max_batch_seen: int = 0
+    max_depth_seen: int = 0
+
+    def coalesce_ratio(self) -> float:
+        """Requests answered per kernel call (1.0 = no coalescing win)."""
+        return self.served / self.kernel_calls if self.kernel_calls else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for JSON summaries."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "kernel_calls": self.kernel_calls,
+            "executor_reuses": self.executor_reuses,
+            "batches": self.batches,
+            "max_batch_seen": self.max_batch_seen,
+            "max_depth_seen": self.max_depth_seen,
+            "coalesce_ratio": self.coalesce_ratio(),
+        }
+
+
+@dataclass
+class _Inflight:
+    """Dispatcher-side bookkeeping shared with the submit path."""
+
+    depth: int = 0
+    stopping: bool = False
+    started: bool = False
+
+
+class QueryService:
+    """Quality-aware serving layer over a partitioned spatial store.
+
+    Use as an async context manager::
+
+        async with QueryService(store, max_batch=64, linger=0.002) as svc:
+            resp = await svc.submit(RangeQueryRequest(center, 50.0))
+
+    ``epochs`` defaults to a fresh :class:`~repro.serve.epochs.EpochRegistry`
+    over the store's partitions; share it with an ingest engine via
+    :func:`~repro.serve.epochs.ingest_epoch_hook` so gate-admitted writes
+    invalidate affected cached results.  ``clock`` and ``pause`` are the
+    two injectable time seams (a :class:`~repro.obs.clock.ManualClock`
+    plus a virtual pause make the dispatcher fully deterministic under
+    test); the default pause wakes early whenever a new request arrives,
+    so full batches never wait out their linger.
+    """
+
+    def __init__(
+        self,
+        store: PartitionedStore,
+        *,
+        max_batch: int = 64,
+        linger: float = 0.002,
+        max_pending: int = 1024,
+        policy: str = "reject",
+        class_limits: Mapping[int, int] | None = None,
+        cache_capacity: int = 4096,
+        epochs: EpochRegistry | None = None,
+        workers: int | None = None,
+        executor: Executor | None = None,
+        clock: Clock | None = None,
+        pause: Callable[[float], Awaitable[None]] | None = None,
+    ) -> None:
+        self.store = store
+        self.epochs = epochs if epochs is not None else EpochRegistry(store.partition_boxes)
+        self.cache = ResultCache(self.epochs, capacity=cache_capacity)
+        self.admission = AdmissionController(max_pending, policy, class_limits)
+        self.stats = ServeStats()
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._coalescer = Coalescer(max_batch, linger)
+        self._pause = pause if pause is not None else self._default_pause
+        self._workers = workers
+        self._given_executor = executor
+        self._executor: Executor | None = None
+        self._state = _Inflight()
+        self._wake = asyncio.Event()
+        self._capacity = asyncio.Condition()
+        self._dispatcher: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> "QueryService":
+        """Warm the executor and start the dispatcher loop."""
+        if self._state.started:
+            raise RuntimeError("service already started")
+        self._state.started = True
+        self._executor = (
+            self._given_executor
+            if self._given_executor is not None
+            else get_executor(self._workers)
+        )
+        self._dispatcher = asyncio.create_task(self._run())
+        return self
+
+    async def stop(self) -> ServeStats:
+        """Drain pending requests, stop the dispatcher, release the pool.
+
+        Every already-admitted request is served before shutdown; blocked
+        submitters (``block`` policy) are shed.  Returns the final stats.
+        """
+        if self._state.started and not self._state.stopping:
+            self._state.stopping = True
+            self._wake.set()
+            async with self._capacity:
+                self._capacity.notify_all()
+            if self._dispatcher is not None:
+                await self._dispatcher
+            if self._given_executor is None and self._executor is not None:
+                self._executor.close()
+        return self.stats
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- client side -------------------------------------------------------------
+
+    async def submit(self, request: QueryRequest) -> QueryResponse:
+        """Serve one query: cache, then admission, then a coalesced batch."""
+        if not self._state.started or self._state.stopping:
+            raise RuntimeError("service is not running")
+        obs_on = OBS.enabled
+        cm = (
+            OBS.tracer.span("serve.request", mode=request.mode, priority=request.priority)
+            if obs_on
+            else _NULL
+        )
+        with cm as span:
+            response = await self._submit_inner(request, obs_on)
+            if span is not None:
+                span.set_attr("status", response.status.value)
+                span.set_attr("cached", response.cached)
+        return response
+
+    async def submit_many(self, requests: Sequence[QueryRequest]) -> list[QueryResponse]:
+        """Submit a batch concurrently; responses in request order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+
+    async def _submit_inner(self, request: QueryRequest, obs_on: bool) -> QueryResponse:
+        self.stats.submitted += 1
+        cached, lookup = self.cache.get(request.signature())
+        if obs_on:
+            OBS.metrics.inc("repro_serve_cache_total", (("result", lookup),))
+        if cached is not None:
+            self.stats.cache_hits += 1
+            if obs_on:
+                OBS.metrics.inc(
+                    "repro_serve_requests_total",
+                    (("mode", request.mode), ("status", "ok")),
+                )
+            return QueryResponse(ResponseStatus.OK, cached, cached=True)
+
+        decision = self.admission.decide(self._state.depth, request.priority)
+        if decision is AdmissionDecision.WAIT:
+            limit = self.admission.limit_for(request.priority)
+            async with self._capacity:
+                await self._capacity.wait_for(
+                    lambda: self._state.depth < limit or self._state.stopping
+                )
+            if self._state.stopping:
+                return self._shed(request, obs_on)
+        elif decision is AdmissionDecision.SHED:
+            return self._shed(request, obs_on)
+        elif decision is AdmissionDecision.DISPLACE:
+            victim = self._coalescer.evict_for(request.priority)
+            if victim is None:
+                return self._shed(request, obs_on)
+            self._state.depth -= 1
+            victim.future.set_result(self._shed(victim.request, obs_on))
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._coalescer.add(request, future, self._clock.now())
+        self._state.depth += 1
+        if self._state.depth > self.stats.max_depth_seen:
+            self.stats.max_depth_seen = self._state.depth
+        if obs_on:
+            OBS.metrics.set_gauge("repro_serve_queue_depth", (), float(self._state.depth))
+        # Every arrival wakes the dispatcher: an idle loop starts a linger
+        # window, a pausing loop re-checks whether a bucket just filled.
+        self._wake.set()
+        return await future
+
+    def _shed(self, request: QueryRequest, obs_on: bool) -> QueryResponse:
+        self.stats.shed += 1
+        if obs_on:
+            OBS.metrics.inc(
+                "repro_serve_shed_total",
+                (("policy", self.admission.policy), ("priority", str(request.priority))),
+            )
+            OBS.metrics.inc(
+                "repro_serve_requests_total",
+                (("mode", request.mode), ("status", "shed")),
+            )
+        return SHED_RESPONSE
+
+    # -- dispatcher --------------------------------------------------------------
+
+    async def _default_pause(self, delay: float) -> None:
+        """Wait out (at most) the remaining linger; a new arrival wakes early."""
+        if delay <= 0:
+            return
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout=delay)
+        except (asyncio.TimeoutError, TimeoutError):
+            pass
+
+    async def _run(self) -> None:
+        while True:
+            if self._coalescer.pending == 0:
+                if self._state.stopping:
+                    break
+                self._wake.clear()
+                if self._coalescer.pending == 0 and not self._state.stopping:
+                    await self._wake.wait()
+                continue
+            now = self._clock.now()
+            batches = self._coalescer.take_due(now, force=self._state.stopping)
+            if batches:
+                for batch in batches:
+                    await self._dispatch(batch)
+                continue
+            deadline = self._coalescer.next_deadline()
+            self._wake.clear()
+            await self._pause((deadline if deadline is not None else now) - now)
+
+    async def _dispatch(self, batch: Batch) -> None:
+        obs_on = OBS.enabled
+        requests = [p.request for p in batch.items]
+        centers = [r.center for r in requests]
+        mode = str(batch.key[0])
+        # Epochs are sampled BEFORE the kernel call: a write racing the
+        # computation leaves the cached vector behind the live registry, so
+        # the race costs a future miss, never a stale serve.
+        epoch_snap = self.epochs.snapshot()
+        cm = (
+            OBS.tracer.span("serve.batch", mode=mode, size=len(batch))
+            if obs_on
+            else _NULL
+        )
+        with cm:
+            if mode == "range":
+                radii = [r.radius for r in requests]  # type: ignore[union-attr]
+                hits = self.store.range_query_many(centers, radii, executor=self._executor)
+                pid_sets = self.store.range_partition_sets(centers, radii)
+            else:
+                k = int(batch.key[1])  # type: ignore[arg-type]
+                hits = self.store.knn_many(centers, k, executor=self._executor)
+                pid_sets = self.store.knn_partition_sets(centers, hits, k)
+        if self.stats.kernel_calls > 0:
+            self.stats.executor_reuses += 1
+            if obs_on:
+                OBS.metrics.inc("repro_serve_executor_reuse_total")
+        self.stats.kernel_calls += 1
+        self.stats.batches += 1
+        if len(batch) > self.stats.max_batch_seen:
+            self.stats.max_batch_seen = len(batch)
+        if obs_on:
+            OBS.metrics.inc("repro_serve_kernel_calls_total", (("mode", mode),))
+            OBS.metrics.observe("repro_serve_batch_size", (("mode", mode),), float(len(batch)))
+        now = self._clock.now()
+        for pending, result, pids in zip(batch.items, hits, pid_sets):
+            self._resolve(pending, result, pids, epoch_snap, len(batch), mode, now, obs_on)
+        async with self._capacity:
+            self._capacity.notify_all()
+
+    def _resolve(
+        self,
+        pending: PendingQuery,
+        result: list[int],
+        pids: tuple[int, ...],
+        epoch_snap: tuple[int, ...],
+        batch_size: int,
+        mode: str,
+        now: float,
+        obs_on: bool,
+    ) -> None:
+        results = tuple(int(i) for i in result)
+        vector = tuple(epoch_snap[pid] for pid in pids)
+        self.cache.put(pending.request.signature(), results, pids, vector)
+        self.stats.served += 1
+        self._state.depth -= 1
+        if obs_on:
+            OBS.metrics.inc(
+                "repro_serve_requests_total", (("mode", mode), ("status", "ok"))
+            )
+            OBS.metrics.observe(
+                "repro_serve_latency_seconds", (("mode", mode),), now - pending.enqueued_at
+            )
+        if not pending.future.done():
+            pending.future.set_result(
+                QueryResponse(ResponseStatus.OK, results, cached=False, batch_size=batch_size)
+            )

@@ -1,0 +1,81 @@
+"""Prometheus export hygiene: label escaping and deterministic ordering.
+
+Regression suite for the serving layer's labelled metrics: the text
+exposition must escape label values per the Prometheus format (backslash,
+double quote, newline) and must be a pure function of the snapshot's
+series identities — independent of recording order, merge order, and
+label insertion order — so snapshot diffs are stable across runs.
+"""
+
+import math
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    escape_label_value,
+    metric_key,
+    render_key,
+)
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline_escaped(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # backslash escapes first, so an escaped quote stays one level deep
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_render_key_escapes_values(self):
+        key = metric_key("repro_serve_shed_total", {"reason": 'queue "full"\nshed'})
+        assert render_key(key) == 'repro_serve_shed_total{reason="queue \\"full\\"\\nshed"}'
+
+    def test_exposition_lines_stay_single_line(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_serve_shed_total", (("reason", "line1\nline2"),))
+        text = reg.snapshot().to_prometheus()
+        body = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert body == ['repro_serve_shed_total{reason="line1\\nline2"} 1']
+
+
+class TestDeterministicOrdering:
+    @staticmethod
+    def _record(reg: MetricsRegistry, order: list[tuple[str, str]]) -> None:
+        for mode, status in order:
+            reg.inc(
+                "repro_serve_requests_total",
+                (("mode", mode), ("status", status)),
+            )
+            reg.observe("repro_serve_batch_size", (("mode", mode),), 4.0)
+        reg.set_gauge("repro_serve_queue_depth", (), 7.0)
+
+    def test_recording_order_irrelevant(self):
+        series = [("range", "ok"), ("knn", "ok"), ("range", "shed"), ("knn", "shed")]
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._record(a, series)
+        self._record(b, list(reversed(series)))
+        assert a.snapshot().to_prometheus() == b.snapshot().to_prometheus()
+
+    def test_merge_order_irrelevant(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._record(a, [("range", "ok")])
+        self._record(b, [("knn", "shed")])
+        sa, sb = a.snapshot(), b.snapshot()
+        ab = MetricsSnapshot().merge(sa).merge(sb)
+        ba = MetricsSnapshot().merge(sb).merge(sa)
+        assert ab.to_prometheus() == ba.to_prometheus()
+        assert ab.to_json(sort_keys=True) == ba.to_json(sort_keys=True)
+
+    def test_label_insertion_order_irrelevant(self):
+        # metric_key sorts pairs, so dict insertion order cannot fork series
+        k1 = metric_key("m", {"mode": "range", "status": "ok"})
+        k2 = metric_key("m", {"status": "ok", "mode": "range"})
+        assert k1 == k2
+        assert render_key(k1) == 'm{mode="range",status="ok"}'
+
+    def test_gauge_without_labels_renders_bare(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("repro_serve_queue_depth", (), 3.0)
+        snap = reg.snapshot()
+        assert "repro_serve_queue_depth 3" in snap.to_prometheus()
+        assert not math.isnan(snap.gauge("repro_serve_queue_depth"))

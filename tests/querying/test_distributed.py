@@ -140,3 +140,72 @@ class TestPartitionedStore:
         store = PartitionedStore(skew, kd_partition(skew, box, 4))
         with pytest.raises(ValueError):
             store.range_query_many([Point(0, 0), Point(1, 1)], [5.0])
+
+
+class TestPartitionDependencySets:
+    """The serving layer's cache-invalidation oracle: a write outside a
+    query's dependency set provably cannot change the query's answer."""
+
+    def test_range_sets_match_router_predicate(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        store = PartitionedStore(skew, parts)
+        centers = [Point(200, 200), Point(500, 500), Point(950, 60)]
+        radii = [50.0, 120.0, 80.0]
+        sets = store.range_partition_sets(centers, radii)
+        for c, r, pids in zip(centers, radii, sets):
+            # the exact predicate is internal; the contract that matters is
+            # that every partition holding a hit is in the dependency set
+            hit_parts = {
+                pid
+                for pid, part in enumerate(parts)
+                for i in part.point_indices
+                if skew[i].distance_to(c) <= r
+            }
+            assert hit_parts <= set(pids)
+            assert len(pids) < len(parts)  # local queries touch few partitions
+
+    def test_range_sets_accept_scalar_radius(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 8))
+        centers = [Point(100, 100), Point(800, 800)]
+        assert store.range_partition_sets(centers, 50.0) == store.range_partition_sets(
+            centers, [50.0, 50.0]
+        )
+
+    def test_range_sets_validate_radii(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 4))
+        with pytest.raises(ValueError):
+            store.range_partition_sets([Point(0, 0), Point(1, 1)], [5.0])
+
+    def test_knn_sets_cover_every_hit(self, skew, box):
+        parts = kd_partition(skew, box, 16)
+        store = PartitionedStore(skew, parts)
+        centers = [Point(420, 650), Point(100, 100)]
+        hits = store.knn_many(centers, 9)
+        sets = store.knn_partition_sets(centers, hits, 9)
+        for ids, pids in zip(hits, sets):
+            hit_parts = {
+                pid
+                for pid, part in enumerate(parts)
+                for i in part.point_indices
+                if i in set(ids)
+            }
+            assert hit_parts <= set(pids)
+            assert len(pids) < len(parts)
+
+    def test_knn_short_answer_depends_on_all(self, box):
+        pts = [Point(1, 1), Point(2, 2)]
+        store = PartitionedStore(pts, grid_partition(pts, box, 2))
+        hits = store.knn_many([Point(0, 0)], 10)
+        assert store.knn_partition_sets([Point(0, 0)], hits, 10) == [(0, 1, 2, 3)]
+
+    def test_knn_sets_require_aligned_hits(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 4))
+        with pytest.raises(ValueError):
+            store.knn_partition_sets([Point(0, 0)], [])
+
+    def test_partition_boxes_read_only(self, skew, box):
+        store = PartitionedStore(skew, kd_partition(skew, box, 4))
+        boxes = store.partition_boxes
+        assert boxes.shape == (4, 4)
+        with pytest.raises(ValueError):
+            boxes[0, 0] = 99.0

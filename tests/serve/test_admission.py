@@ -1,0 +1,52 @@
+import pytest
+
+from repro.serve import POLICIES, AdmissionController, AdmissionDecision
+
+
+class TestValidation:
+    def test_policy_names_match_ingest_vocabulary(self):
+        assert set(POLICIES) == {"block", "reject", "drop_oldest"}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="spill")
+
+    def test_max_pending_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_class_limits_bounded_by_max_pending(self):
+        with pytest.raises(ValueError):
+            AdmissionController(4, class_limits={0: 5})
+        with pytest.raises(ValueError):
+            AdmissionController(4, class_limits={0: 0})
+
+
+class TestDecisions:
+    def test_admit_below_limit(self):
+        ctl = AdmissionController(4, policy="reject")
+        assert ctl.decide(0, priority=0) is AdmissionDecision.ADMIT
+        assert ctl.decide(3, priority=0) is AdmissionDecision.ADMIT
+
+    def test_full_queue_per_policy(self):
+        expect = {
+            "block": AdmissionDecision.WAIT,
+            "reject": AdmissionDecision.SHED,
+            "drop_oldest": AdmissionDecision.DISPLACE,
+        }
+        for policy, decision in expect.items():
+            ctl = AdmissionController(4, policy=policy)
+            assert ctl.decide(4, priority=0) is decision
+
+    def test_class_limits_shed_background_first(self):
+        ctl = AdmissionController(8, policy="reject", class_limits={0: 2})
+        # depth 2: background (priority 0) is at its class limit...
+        assert ctl.decide(2, priority=0) is AdmissionDecision.SHED
+        # ...while interactive traffic still has headroom.
+        assert ctl.decide(2, priority=1) is AdmissionDecision.ADMIT
+        assert ctl.decide(8, priority=1) is AdmissionDecision.SHED
+
+    def test_limit_for_defaults_to_max_pending(self):
+        ctl = AdmissionController(8, class_limits={0: 2})
+        assert ctl.limit_for(0) == 2
+        assert ctl.limit_for(1) == 8

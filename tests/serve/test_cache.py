@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.serve import EpochRegistry, ResultCache
+from repro.serve.cache import LOOKUP_HIT, LOOKUP_MISS, LOOKUP_STALE
+
+BOXES = np.array([[0.0, 0.0, 1.0, 1.0], [1.0, 0.0, 2.0, 1.0]])
+
+
+@pytest.fixture
+def epochs():
+    return EpochRegistry(BOXES)
+
+
+@pytest.fixture
+def cache(epochs):
+    return ResultCache(epochs, capacity=3)
+
+
+class TestLookup:
+    def test_miss_then_hit(self, cache, epochs):
+        sig = ("range", 0.5, 0.5, 0.1)
+        assert cache.get(sig) == (None, LOOKUP_MISS)
+        cache.put(sig, (1, 2, 3), (0,), epochs.vector([0]))
+        assert cache.get(sig) == ((1, 2, 3), LOOKUP_HIT)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_bumped_dependency_reports_stale_and_evicts(self, cache, epochs):
+        sig = ("range", 0.5, 0.5, 0.1)
+        cache.put(sig, (1,), (0,), epochs.vector([0]))
+        epochs.bump([0])
+        assert cache.get(sig) == (None, LOOKUP_STALE)
+        assert cache.stale_evictions == 1
+        # evicted: the next lookup is a plain miss, not stale again
+        assert cache.get(sig) == (None, LOOKUP_MISS)
+
+    def test_bump_in_unrelated_partition_keeps_entry(self, cache, epochs):
+        sig = ("range", 0.5, 0.5, 0.1)
+        cache.put(sig, (1,), (0,), epochs.vector([0]))
+        epochs.bump([1])
+        assert cache.get(sig) == ((1,), LOOKUP_HIT)
+
+    def test_prewrite_vector_invalidates_racing_write(self, cache, epochs):
+        # Vector sampled before the kernel call; a write lands mid-compute.
+        vector = epochs.vector([0])
+        epochs.bump([0])
+        cache.put(("sig",), (7,), (0,), vector)
+        assert cache.get(("sig",)) == (None, LOOKUP_STALE)
+
+
+class TestBounds:
+    def test_lru_eviction_beyond_capacity(self, cache, epochs):
+        for i in range(4):
+            cache.put(("sig", i), (i,), (), ())
+        assert len(cache) == 3
+        assert cache.get(("sig", 0)) == (None, LOOKUP_MISS)
+        assert cache.get(("sig", 3))[1] == LOOKUP_HIT
+
+    def test_hit_refreshes_recency(self, cache, epochs):
+        for i in range(3):
+            cache.put(("sig", i), (i,), (), ())
+        cache.get(("sig", 0))  # touch the oldest
+        cache.put(("sig", 3), (3,), (), ())
+        assert cache.get(("sig", 0))[1] == LOOKUP_HIT
+        assert cache.get(("sig", 1)) == (None, LOOKUP_MISS)
+
+    def test_vector_alignment_enforced(self, cache):
+        with pytest.raises(ValueError):
+            cache.put(("sig",), (1,), (0, 1), (0,))
+
+    def test_capacity_positive(self, epochs):
+        with pytest.raises(ValueError):
+            ResultCache(epochs, capacity=0)
+
+    def test_clear_keeps_counters(self, cache, epochs):
+        cache.put(("sig",), (1,), (), ())
+        cache.get(("sig",))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.ingest import IngestEngine
+from repro.ingest.events import IngestEvent
+from repro.serve import EpochRegistry, ingest_epoch_hook
+
+#: Four unit boxes tiling [0,2]x[0,2]: partition p covers cell (p % 2, p // 2).
+QUAD = np.array(
+    [
+        [0.0, 0.0, 1.0, 1.0],
+        [1.0, 0.0, 2.0, 1.0],
+        [0.0, 1.0, 1.0, 2.0],
+        [1.0, 1.0, 2.0, 2.0],
+    ]
+)
+
+
+def event(x, y, sensor="s0", t=0.0):
+    return IngestEvent(sensor_id=sensor, x=x, y=y, t=t, value=1.0, arrival_time=t)
+
+
+class TestEpochRegistry:
+    def test_boxes_shape_validated(self):
+        with pytest.raises(ValueError):
+            EpochRegistry(np.zeros((3, 2)))
+
+    def test_epochs_start_at_zero(self):
+        reg = EpochRegistry(QUAD)
+        assert reg.snapshot() == (0, 0, 0, 0)
+        assert reg.total_bumps == 0
+
+    def test_bump_point_hits_exactly_containing_partitions(self):
+        reg = EpochRegistry(QUAD)
+        bumped = reg.bump_point(0.5, 1.5)  # interior of partition 2 only
+        assert bumped == (2,)
+        assert reg.snapshot() == (0, 0, 1, 0)
+
+    def test_bump_point_on_shared_edge_hits_both(self):
+        reg = EpochRegistry(QUAD)
+        bumped = reg.bump_point(1.0, 0.5)  # on the p0/p1 boundary
+        assert bumped == (0, 1)
+        assert reg.snapshot() == (1, 1, 0, 0)
+
+    def test_point_outside_every_box_bumps_all(self):
+        reg = EpochRegistry(QUAD)
+        bumped = reg.bump_point(5.0, 5.0)
+        assert bumped == (0, 1, 2, 3)
+        assert reg.snapshot() == (1, 1, 1, 1)
+
+    def test_epochs_only_advance(self):
+        reg = EpochRegistry(QUAD)
+        seen = [reg.snapshot()]
+        for x, y in [(0.5, 0.5), (1.5, 0.5), (0.5, 0.5), (9.0, 9.0)]:
+            reg.bump_point(x, y)
+            seen.append(reg.snapshot())
+        for before, after in zip(seen, seen[1:]):
+            assert all(b <= a for b, a in zip(before, after))
+        assert reg.total_bumps == 1 + 1 + 1 + 4
+
+    def test_vector_follows_given_order(self):
+        reg = EpochRegistry(QUAD)
+        reg.bump([3])
+        assert reg.vector([3, 0]) == (1, 0)
+        assert reg.vector([0, 3]) == (0, 1)
+        assert reg.epoch(3) == 1
+
+
+class TestIngestHook:
+    def test_gate_admitted_write_bumps_containing_partition(self):
+        reg = EpochRegistry(QUAD)
+        with IngestEngine(n_shards=1, on_admit=ingest_epoch_hook(reg)) as engine:
+            assert engine.offer(event(1.5, 1.5))
+        assert reg.snapshot() == (0, 0, 0, 1)
+
+    def test_hook_fires_before_store_write(self):
+        reg = EpochRegistry(QUAD)
+
+        class ProbeStore:
+            def __init__(self):
+                self.bumps_at_write = []
+
+            def write(self, ev):
+                self.bumps_at_write.append(reg.total_bumps)
+
+        probe = ProbeStore()
+        with IngestEngine(
+            n_shards=1, store=probe, on_admit=ingest_epoch_hook(reg)
+        ) as engine:
+            engine.offer(event(0.5, 0.5))
+            engine.offer(event(1.5, 0.5, sensor="s1", t=1.0))
+        # By the time each write is observable the invalidation already landed.
+        assert probe.bumps_at_write == [1, 2]

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.core import Point
+from repro.serve import (
+    KnnQueryRequest,
+    QueryResponse,
+    RangeQueryRequest,
+    ResponseStatus,
+)
+from repro.serve.requests import SHED_RESPONSE
+
+
+class TestSignatures:
+    def test_signature_excludes_priority(self):
+        a = RangeQueryRequest(Point(1, 2), 10.0, priority=0)
+        b = RangeQueryRequest(Point(1, 2), 10.0, priority=9)
+        assert a.signature() == b.signature()
+        ka = KnnQueryRequest(Point(1, 2), 5, priority=0)
+        kb = KnnQueryRequest(Point(1, 2), 5, priority=9)
+        assert ka.signature() == kb.signature()
+
+    def test_signatures_distinguish_kind_and_params(self):
+        sigs = {
+            RangeQueryRequest(Point(1, 2), 10.0).signature(),
+            RangeQueryRequest(Point(1, 2), 11.0).signature(),
+            RangeQueryRequest(Point(1, 3), 10.0).signature(),
+            KnnQueryRequest(Point(1, 2), 10).signature(),
+            KnnQueryRequest(Point(1, 2), 11).signature(),
+        }
+        assert len(sigs) == 5
+
+    def test_batch_keys(self):
+        assert RangeQueryRequest(Point(0, 0), 1.0).batch_key() == ("range",)
+        assert RangeQueryRequest(Point(9, 9), 2.0).batch_key() == ("range",)
+        assert KnnQueryRequest(Point(0, 0), 3).batch_key() == ("knn", 3)
+        assert KnnQueryRequest(Point(0, 0), 4).batch_key() == ("knn", 4)
+
+    def test_modes(self):
+        assert RangeQueryRequest(Point(0, 0), 1.0).mode == "range"
+        assert KnnQueryRequest(Point(0, 0), 1).mode == "knn"
+
+    def test_knn_k_validated(self):
+        with pytest.raises(ValueError):
+            KnnQueryRequest(Point(0, 0), 0)
+
+
+class TestResponses:
+    def test_ok_flag(self):
+        assert QueryResponse(ResponseStatus.OK, (1, 2)).ok
+        assert not SHED_RESPONSE.ok
+
+    def test_shed_response_is_empty(self):
+        assert SHED_RESPONSE.results == ()
+        assert not SHED_RESPONSE.cached
+        assert SHED_RESPONSE.batch_size == 0
