@@ -191,6 +191,7 @@ def pairwise_distances(
     if metric not in PAIRWISE_METRICS:
         raise ValueError(f"unknown metric {metric!r}; options: {sorted(PAIRWISE_METRICS)}")
     from ..parallel import SerialExecutor, SharedTrajectoryBatch, chunk_spans, resolve_executor
+    from ..parallel.shm import get_arena
 
     trajs = list(trajectories)
     n = len(trajs)
@@ -199,12 +200,14 @@ def pairwise_distances(
     if not pairs:
         return out
     fn = PAIRWISE_METRICS[metric]
-    with resolve_executor(workers, executor) as ex:
+    with resolve_executor(workers, executor, n_items=len(pairs)) as ex:
         if isinstance(ex, SerialExecutor):
             values = [float(fn(trajs[i], trajs[j], **metric_kwargs)) for i, j in pairs]
         else:
             spans = chunk_spans(len(pairs), chunk_size)
-            with SharedTrajectoryBatch.create(trajs) as batch:
+            # Arena-leased block: repeated matrices over same-scale fleets
+            # reuse one pooled segment instead of create/unlink per call.
+            with SharedTrajectoryBatch.create(trajs, arena=get_arena()) as batch:
                 payloads = [
                     (batch.handle, pairs[start:stop], metric, metric_kwargs)
                     for start, stop in spans

@@ -7,21 +7,38 @@ query fan-out, pairwise similarity matrices — run on all cores:
 * :mod:`~repro.parallel.executor` — the :class:`Executor` protocol with
   :class:`SerialExecutor` / :class:`ProcessExecutor` backends and the
   deterministic :func:`map_chunks` / :func:`map_reduce` API,
+* :mod:`~repro.parallel.pool` — the process-wide
+  :class:`WorkerPoolManager`: one warm, prewarmed, health-checked pool per
+  ``(workers, start_method)`` key, leased to consumers through
+  :func:`get_executor` and torn down by :func:`shutdown_all` (``atexit``),
+* :mod:`~repro.parallel.dispatch` — the calibrated serial-vs-parallel cost
+  model (:class:`DispatchModel`): each batch routes at its measured
+  crossover, overridable via ``REPRO_PARALLEL_DISPATCH``,
 * :mod:`~repro.parallel.chunking` — worker-count-independent chunk spans
   and stable per-item seed derivation,
 * :mod:`~repro.parallel.shm` — zero-copy shared-memory handoff of the PR-2
-  columnar blocks (:class:`SharedArray`, :class:`SharedTrajectoryBatch`),
-  so workers never re-pickle trajectory point lists.
+  columnar blocks (:class:`SharedArray`, :class:`SharedTrajectoryBatch`)
+  plus the reusable :class:`SharedArenaCache` (:func:`get_arena`), so
+  repeated fan-out calls stop paying segment create/copy/unlink.
 
 Consumers: :meth:`repro.core.Pipeline.run_many` /
 :meth:`~repro.core.Pipeline.run_ablations`,
 :class:`repro.querying.PartitionedStore` batched queries,
-:func:`repro.analytics.pairwise_distances`, and the Table-1 grid runner
-(``benchmarks/table1_grid.py``).  Every consumer's ``workers=1`` path is
-bit-identical to its parallel path (``tests/test_parallel.py``).
+:func:`repro.analytics.pairwise_distances`, the serving layer's warm
+executor, and the Table-1 grid runner (``benchmarks/table1_grid.py``).
+Every consumer's ``workers=1`` path is bit-identical to its parallel path
+(``tests/test_parallel.py``) — which is also what makes below-crossover
+serial downgrades safe.
 """
 
 from .chunking import chunk_spans, derive_seed, derive_seeds
+from .dispatch import (
+    DISPATCH_ENV,
+    DispatchModel,
+    calibrate_dispatch,
+    dispatch_decision,
+    dispatch_mode,
+)
 from .executor import (
     START_METHOD_ENV,
     Executor,
@@ -33,17 +50,27 @@ from .executor import (
     map_reduce,
     resolve_executor,
 )
+from .pool import PoolLease, PoolStats, WorkerPoolManager, get_pool_manager, shutdown_all
 from .shm import (
+    ArenaHandle,
     ArrayHandle,
+    SharedArenaCache,
     SharedArray,
     SharedTrajectoryBatch,
     TrajectoryBatchHandle,
+    close_default_arena,
+    get_arena,
 )
 
 __all__ = [
     "chunk_spans",
     "derive_seed",
     "derive_seeds",
+    "DISPATCH_ENV",
+    "DispatchModel",
+    "calibrate_dispatch",
+    "dispatch_decision",
+    "dispatch_mode",
     "START_METHOD_ENV",
     "Executor",
     "ProcessExecutor",
@@ -53,8 +80,17 @@ __all__ = [
     "map_chunks",
     "map_reduce",
     "resolve_executor",
+    "PoolLease",
+    "PoolStats",
+    "WorkerPoolManager",
+    "get_pool_manager",
+    "shutdown_all",
+    "ArenaHandle",
     "ArrayHandle",
+    "SharedArenaCache",
     "SharedArray",
     "SharedTrajectoryBatch",
     "TrajectoryBatchHandle",
+    "close_default_arena",
+    "get_arena",
 ]

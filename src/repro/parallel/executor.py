@@ -23,11 +23,12 @@ import os
 from concurrent import futures
 from contextlib import contextmanager, nullcontext
 from functools import reduce as _fold
-from multiprocessing import get_context
+from multiprocessing import get_context, resource_tracker
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..obs import OBS, WorkerCapture
 from .chunking import chunk_spans, derive_seeds
+from .dispatch import dispatch_decision
 
 #: Environment override for the pool start method ("fork", "spawn",
 #: "forkserver"); unset means the platform default.
@@ -109,9 +110,31 @@ class ProcessExecutor:
 
     def _ensure_pool(self) -> futures.ProcessPoolExecutor:
         if self._pool is None:
+            # Start the resource tracker *before* any worker exists.  A pool
+            # forked while the parent has no tracker hands every child
+            # ``_fd=None``, so each worker spawns a private tracker on its
+            # first shm attach; if those workers later die, their trackers
+            # exit and unlink every segment they registered — including arena
+            # segments still live in this process.  Pre-seeding the tracker
+            # makes all children (fork and spawn alike) share the parent's.
+            resource_tracker.ensure_running()
             ctx = get_context(self.start_method) if self.start_method else None
             self._pool = futures.ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx)
         return self._pool
+
+    def prewarm(self) -> None:
+        """Spawn all workers now via an idle round-trip.
+
+        A pool created lazily spawns workers on the first real batch, which
+        charges worker startup to that batch's latency; the pool manager
+        prewarms at creation so the first *consumer* call runs on a hot pool.
+        """
+        list(self._ensure_pool().map(_prewarm_task, range(self.workers)))
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker died and the pool can no longer accept work."""
+        return bool(self._pool is not None and getattr(self._pool, "_broken", False))
 
     def map_ordered(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
         """Apply ``fn`` to each payload on the pool, results in payload order.
@@ -151,35 +174,74 @@ class ProcessExecutor:
 
 
 def get_executor(workers: int | None = None, start_method: str | None = None) -> Executor:
-    """Executor for ``workers``: serial for <= 1, process pool otherwise.
+    """Executor for ``workers``: serial for <= 1, a warm pool lease otherwise.
 
     ``workers=None`` means serial; ``workers=-1`` means one worker per CPU.
+    Parallel requests lease the process-wide warm pool for
+    ``(workers, start_method)`` from the
+    :class:`~repro.parallel.pool.WorkerPoolManager` — the pool is created
+    (and prewarmed) once and shared by every caller; closing the returned
+    lease releases it without tearing the pool down.
     """
     if workers is not None and workers < 0:
         workers = os.cpu_count() or 1
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return ProcessExecutor(workers, start_method)
+    from .pool import get_pool_manager
+
+    return get_pool_manager().acquire(workers, start_method)
 
 
 @contextmanager
 def resolve_executor(
-    workers: int | None = None, executor: Executor | None = None
+    workers: int | None = None,
+    executor: Executor | None = None,
+    *,
+    n_items: int | None = None,
 ) -> Iterator[Executor]:
-    """Yield ``executor`` if given, else a fresh one (closed on exit).
+    """Yield ``executor`` if given, else a pool lease (released on exit).
 
     The standard consumer idiom: a caller-supplied executor is borrowed (the
     caller controls its lifetime); an implicit one is owned by this context
-    and torn down even on error paths.
+    and released even on error paths.
+
+    With ``n_items`` given, the batch is routed through
+    :func:`~repro.parallel.dispatch.dispatch_decision` first: below the
+    calibrated crossover (or under ``REPRO_PARALLEL_DISPATCH=serial``) a
+    :class:`SerialExecutor` is yielded instead — safe because every
+    consumer's serial path is bit-identical to its parallel path — and a
+    caller-supplied executor is left untouched (and warm) for later batches.
     """
     if executor is not None:
+        requested = getattr(executor, "workers", 1)
+        if (
+            requested > 1
+            and dispatch_decision(n_items, requested, getattr(executor, "start_method", None))
+            == "serial"
+        ):
+            yield SerialExecutor()
+            return
         yield executor
+        return
+    if workers is not None and workers < 0:
+        workers = os.cpu_count() or 1
+    if (
+        workers is not None
+        and workers > 1
+        and dispatch_decision(n_items, workers) == "serial"
+    ):
+        yield SerialExecutor()
         return
     owned = get_executor(workers)
     try:
         yield owned
     finally:
         owned.close()
+
+
+def _prewarm_task(index: int) -> int:
+    """Trivial pool task used by :meth:`ProcessExecutor.prewarm`."""
+    return index
 
 
 def _captured_task(payload: tuple) -> tuple:
@@ -237,7 +299,7 @@ def map_chunks(
         else _NULL
     )
     out: list[Any] = []
-    with cm, resolve_executor(workers, executor) as ex:
+    with cm, resolve_executor(workers, executor, n_items=len(items)) as ex:
         for chunk_result in ex.map_ordered(_call_chunk, payloads):
             out.extend(chunk_result)
     if len(out) != len(items):
@@ -280,7 +342,7 @@ def map_reduce(
         if OBS.enabled
         else _NULL
     )
-    with cm, resolve_executor(workers, executor) as ex:
+    with cm, resolve_executor(workers, executor, n_items=len(items)) as ex:
         partials = ex.map_ordered(_call_chunk_scalar, payloads)
     if initial is None:
         if not partials:

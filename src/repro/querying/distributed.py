@@ -27,6 +27,7 @@ partitioning have been studied [for] queries over skewed SID".
 
 from __future__ import annotations
 
+import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -267,6 +268,12 @@ def _route_knn(
     return out, touched
 
 
+def _release_leases(*leases: Any) -> None:
+    """GC-time finalizer: return a dead store's arena leases (idempotent)."""
+    for lease in leases:
+        lease.release()
+
+
 def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
     """Pool worker: answer one query chunk against the shared columnar store."""
     from ..parallel import SharedArray
@@ -296,6 +303,8 @@ class PartitionedStore:
         self.partitions_touched = 0
         self.queries_run = 0
         self._cols = _ColumnarPartitions.build(points, partitions)
+        self._shm_cache: tuple[Any, Any] | None = None
+        self._shm_finalizer: weakref.finalize | None = None
 
     def range_query(self, center: Point, radius: float) -> list[int]:
         """Route to overlapping partitions; returns matching point indices."""
@@ -347,7 +356,7 @@ class PartitionedStore:
         workers: int | None,
         executor: Any,
     ) -> list[list[int]]:
-        from ..parallel import SerialExecutor, SharedArray, chunk_spans, resolve_executor
+        from ..parallel import SerialExecutor, chunk_spans, resolve_executor
 
         obs_on = OBS.enabled
         self.queries_run += centers.shape[0]
@@ -357,30 +366,25 @@ class PartitionedStore:
             if obs_on
             else _NULL
         )
-        with cm, resolve_executor(workers, executor) as ex:
+        with cm, resolve_executor(workers, executor, n_items=centers.shape[0]) as ex:
             if isinstance(ex, SerialExecutor):
                 hits, touched = route(self._cols, centers, arg)
             else:
                 spans = chunk_spans(centers.shape[0], None)
-                # Nested with-items: a failed second create unlinks the first
-                # segment too (the seed version leaked it on that path).
-                with (
-                    SharedArray.create(self._cols.coords) as coords_s,
-                    SharedArray.create(self._cols.index) as index_s,
-                ):
-                    payloads = [
-                        (
-                            coords_s.handle,
-                            index_s.handle,
-                            self._cols.offsets,
-                            self._cols.boxes,
-                            mode,
-                            centers[start:stop],
-                            arg[start:stop] if mode == "range" else arg,
-                        )
-                        for start, stop in spans
-                    ]
-                    results = ex.map_ordered(_query_chunk_task, payloads)
+                coords_s, index_s = self._shared_cols()
+                payloads = [
+                    (
+                        coords_s.handle,
+                        index_s.handle,
+                        self._cols.offsets,
+                        self._cols.boxes,
+                        mode,
+                        centers[start:stop],
+                        arg[start:stop] if mode == "range" else arg,
+                    )
+                    for start, stop in spans
+                ]
+                results = ex.map_ordered(_query_chunk_task, payloads)
                 hits = [h for chunk_hits, _ in results for h in chunk_hits]
                 touched = sum(t for _, t in results)
         self.partitions_touched += touched
@@ -389,6 +393,44 @@ class PartitionedStore:
                 "repro_query_partitions_touched_total", (("mode", mode),), float(touched)
             )
         return hits
+
+    def _shared_cols(self) -> tuple[Any, Any]:
+        """Arena leases of the columnar arrays, cached across batch calls.
+
+        The coords/index blocks are immutable for the store's lifetime, so
+        the first parallel batch leases them once from the default arena and
+        every later batch reuses the same segments — no per-call
+        create/copy/unlink, and pool workers keep their cached attachments.
+        Leases invalidated by an arena ``close_all`` are re-shared lazily.
+        """
+        from ..parallel.shm import get_arena
+
+        cached = self._shm_cache
+        if cached is not None and cached[0].alive and cached[1].alive:
+            return cached
+        self.close_shared()
+        arena = get_arena()
+        coords_s = arena.share(self._cols.coords)
+        try:
+            index_s = arena.share(self._cols.index)
+        except BaseException:
+            coords_s.release()  # pairs the first lease on the failure path
+            raise
+        self._shm_cache = (coords_s, index_s)
+        self._shm_finalizer = weakref.finalize(self, _release_leases, coords_s, index_s)
+        return self._shm_cache
+
+    def close_shared(self) -> None:
+        """Return this store's cached arena leases (idempotent).
+
+        Called automatically when the store is garbage collected; long-lived
+        applications cycling many stores can call it eagerly to keep the
+        arena's free list tight.
+        """
+        finalizer, self._shm_finalizer = self._shm_finalizer, None
+        self._shm_cache = None
+        if finalizer is not None:
+            finalizer()
 
     def mean_partitions_per_query(self) -> float:
         """Average partitions touched per query (communication proxy)."""

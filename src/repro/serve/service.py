@@ -58,6 +58,7 @@ class ServeStats:
     shed: int = 0  # refused or displaced by admission control
     kernel_calls: int = 0  # batched range_query_many/knn_many dispatches
     executor_reuses: int = 0  # kernel calls served by the already-warm pool
+    pool_reuses: int = 0  # start() acquisitions satisfied by a warm manager pool
     batches: int = 0
     max_batch_seen: int = 0
     max_depth_seen: int = 0
@@ -75,6 +76,7 @@ class ServeStats:
             "shed": self.shed,
             "kernel_calls": self.kernel_calls,
             "executor_reuses": self.executor_reuses,
+            "pool_reuses": self.pool_reuses,
             "batches": self.batches,
             "max_batch_seen": self.max_batch_seen,
             "max_depth_seen": self.max_depth_seen,
@@ -144,7 +146,14 @@ class QueryService:
     # -- lifecycle ---------------------------------------------------------------
 
     async def start(self) -> "QueryService":
-        """Warm the executor and start the dispatcher loop."""
+        """Acquire the warm pool lease and start the dispatcher loop.
+
+        With ``workers > 1`` the executor is a
+        :class:`~repro.parallel.pool.PoolLease` from the process-wide
+        :class:`~repro.parallel.pool.WorkerPoolManager` — a service restart
+        (or a second service) reuses the already-warm pool, counted in
+        ``stats.pool_reuses``.
+        """
         if self._state.started:
             raise RuntimeError("service already started")
         self._state.started = True
@@ -153,24 +162,37 @@ class QueryService:
             if self._given_executor is not None
             else get_executor(self._workers)
         )
+        if getattr(self._executor, "pool_was_warm", False):
+            self.stats.pool_reuses += 1
+            if OBS.enabled:
+                OBS.metrics.inc("repro_serve_pool_reuse_total")
         self._dispatcher = asyncio.create_task(self._run())
         return self
 
     async def stop(self) -> ServeStats:
-        """Drain pending requests, stop the dispatcher, release the pool.
+        """Drain pending requests, stop the dispatcher, release the lease.
 
         Every already-admitted request is served before shutdown; blocked
-        submitters (``block`` policy) are shed.  Returns the final stats.
+        submitters (``block`` policy) are shed.  Closing the executor
+        releases the pool *lease* — the underlying worker pool stays warm
+        in the manager for the next service.  Returns the final stats.
+
+        The dispatcher task is always awaited, even when it already flipped
+        the service to ``stopping`` by dying: a dispatch failure re-raises
+        here (and on every later ``stop``) instead of vanishing as a
+        never-retrieved task exception.
         """
         if self._state.started and not self._state.stopping:
             self._state.stopping = True
             self._wake.set()
             async with self._capacity:
                 self._capacity.notify_all()
-            if self._dispatcher is not None:
+        if self._dispatcher is not None:
+            try:
                 await self._dispatcher
-            if self._given_executor is None and self._executor is not None:
-                self._executor.close()
+            finally:
+                if self._given_executor is None and self._executor is not None:
+                    self._executor.close()
         return self.stats
 
     async def __aenter__(self) -> "QueryService":
@@ -271,6 +293,34 @@ class QueryService:
             pass
 
     async def _run(self) -> None:
+        """Dispatcher task: batch, dispatch, repeat — fail loudly, never hang.
+
+        If a dispatch raises (a worker pool broken beyond repair, a lost
+        shared segment), every pending future is failed with that exception
+        and the service flips to ``stopping`` — submitters see the error
+        immediately instead of awaiting a response that can never arrive.
+        The exception then propagates to ``stop()``'s ``await``.
+        """
+        try:
+            await self._run_loop()
+        except BaseException as exc:
+            self._fail_pending(exc)
+            raise
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Resolve every queued request exceptionally and refuse new ones."""
+        self._state.stopping = True
+        for batch in self._coalescer.take_due(0.0, force=True):
+            self._fail_batch(batch, exc)
+
+    def _fail_batch(self, batch: Batch, exc: BaseException) -> None:
+        """Fail every unresolved future of one (possibly in-flight) batch."""
+        for pending in batch.items:
+            if not pending.future.done():
+                self._state.depth -= 1
+                pending.future.set_exception(exc)
+
+    async def _run_loop(self) -> None:
         while True:
             if self._coalescer.pending == 0:
                 if self._state.stopping:
@@ -283,7 +333,13 @@ class QueryService:
             batches = self._coalescer.take_due(now, force=self._state.stopping)
             if batches:
                 for batch in batches:
-                    await self._dispatch(batch)
+                    try:
+                        await self._dispatch(batch)
+                    except BaseException as exc:
+                        # The batch left the coalescer at take_due; its
+                        # futures must fail here or submitters hang forever.
+                        self._fail_batch(batch, exc)
+                        raise
                 continue
             deadline = self._coalescer.next_deadline()
             self._wake.clear()

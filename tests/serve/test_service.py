@@ -414,3 +414,51 @@ class TestObservability:
         assert snap.counter(
             "repro_serve_requests_total", mode="range", status="shed"
         ) == 2
+
+
+class TestPoolReuse:
+    def test_second_service_reuses_warm_pool(self, store):
+        from repro.parallel import get_pool_manager
+
+        created_before = get_pool_manager().stats.pools_created
+
+        def run_service():
+            async def go():
+                async with QueryService(store, workers=2, linger=0.0) as svc:
+                    await svc.submit_many(range_requests(3))
+                    return svc.stats
+
+            return asyncio.run(go())
+
+        first = run_service()
+        second = run_service()
+        assert first.as_dict()["pool_reuses"] in (0, 1)  # warm iff a pool pre-existed
+        assert second.pool_reuses == 1  # the restart rides the warm pool
+        # No extra pool was spawned for the second service.
+        assert get_pool_manager().stats.pools_created <= created_before + 1
+
+    def test_dispatcher_failure_fails_submitters_loudly(self, store):
+        """A dying kernel must reject in-flight futures, never strand them."""
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel exploded")
+
+        async def go():
+            svc = await QueryService(store, linger=0.0).start()
+            svc.store = type(
+                "BrokenStore",
+                (),
+                {
+                    "range_query_many": staticmethod(boom),
+                    "knn_many": staticmethod(boom),
+                    "range_partition_sets": store.range_partition_sets,
+                    "knn_partition_sets": store.knn_partition_sets,
+                    "partition_boxes": store.partition_boxes,
+                },
+            )()
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                await svc.submit(range_requests(1)[0])
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                await svc.stop()
+
+        asyncio.run(go())

@@ -1,7 +1,7 @@
 """Tier-1 tests for the reprolint invariant checker.
 
 Two layers: fixture snippets that trigger (and pragma-suppress) each rule
-R1-R5 against throwaway trees, and the live-tree gate — the real
+R1-R6 against throwaway trees, and the live-tree gate — the real
 repository must be clean against its shipped baseline, which is also what
 makes reprolint a tier-1 invariant rather than an optional linter.
 """
@@ -381,6 +381,79 @@ class TestR5ExportHygiene:
         findings = run_reprolint(tmp_path)
         assert [f.rule for f in findings] == ["R5"]
         assert "no section" in findings[0].message
+
+
+# -- R6: pool discipline -------------------------------------------------------
+
+
+class TestR6PoolDiscipline:
+    def test_direct_construction_outside_parallel_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/serve/bad.py",
+            """
+            from repro.parallel import ProcessExecutor
+
+            def make():
+                return ProcessExecutor(2)
+            """,
+        )
+        findings = run_reprolint(tmp_path)
+        assert [f.rule for f in findings] == ["R6"]
+        assert "get_executor" in findings[0].message
+
+    def test_aliased_import_still_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/querying/bad.py",
+            """
+            from repro.parallel.executor import ProcessExecutor as PE
+
+            def make():
+                return PE(4, "spawn")
+            """,
+        )
+        findings = run_reprolint(tmp_path)
+        assert [f.rule for f in findings] == ["R6"]
+
+    def test_parallel_package_itself_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/parallel/custom.py",
+            """
+            from .executor import ProcessExecutor
+
+            def spawn_pool(workers: int):
+                return ProcessExecutor(workers)
+            """,
+        )
+        assert run_reprolint(tmp_path) == []
+
+    def test_pool_lease_consumers_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/serve/ok.py",
+            """
+            from repro.parallel import get_executor
+
+            def make():
+                return get_executor(2)
+            """,
+        )
+        assert run_reprolint(tmp_path) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/serve/waived.py",
+            """
+            from repro.parallel import ProcessExecutor
+
+            def make():
+                return ProcessExecutor(2)  # reprolint: disable=R6
+            """,
+        )
+        assert run_reprolint(tmp_path) == []
 
 
 # -- CLI, baseline, and the live tree ------------------------------------------

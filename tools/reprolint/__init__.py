@@ -24,6 +24,10 @@ package walks the :mod:`ast` of ``src/repro`` and enforces them:
   ``with self.<lock>`` block.
 * **R5 export hygiene** — each subpackage ``__all__`` matches its
   ``docs/API.md`` section (regenerate with ``python tools/gen_api_docs.py``).
+* **R6 pool discipline** — no direct ``ProcessExecutor(...)`` construction
+  outside ``repro/parallel``; consumers lease warm pools via
+  ``get_executor()`` / ``WorkerPoolManager.acquire()`` so worker processes
+  are shared, prewarmed, and torn down by ``shutdown_all()``.
 
 Run ``python -m tools.reprolint`` from the repo root; findings can be
 suppressed line-by-line with ``# reprolint: disable=R1`` pragmas or

@@ -530,3 +530,37 @@ def rule_r5_export_hygiene(root: Path) -> list[tuple[Finding, dict[int, set[str]
                 )
             )
     return out
+
+
+# -- R6: pool discipline -------------------------------------------------------
+
+
+def rule_r6_pool_discipline(module: Module) -> list[Finding]:
+    """Direct ``ProcessExecutor(...)`` construction is reserved for the pool layer.
+
+    Every other module must lease from the process-wide
+    :class:`~repro.parallel.pool.WorkerPoolManager` (via ``get_executor`` or
+    ``resolve_executor``) — a privately constructed pool dodges prewarming,
+    health checks, reuse accounting, and the ``shutdown_all`` atexit seam,
+    which is exactly the cold-start-per-call regression the manager removed.
+    """
+    if module.rel.startswith("src/repro/parallel/"):
+        return []
+    aliases = import_aliases(module.tree)
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call_name(node, aliases)
+        if name is not None and name.rsplit(".", 1)[-1] == "ProcessExecutor":
+            findings.append(
+                Finding(
+                    module.rel,
+                    node.lineno,
+                    "R6",
+                    "direct `ProcessExecutor(...)` outside repro.parallel — lease "
+                    "a warm pool via `get_executor()` / `WorkerPoolManager.acquire()` "
+                    "so pools are shared, prewarmed, and closed by `shutdown_all()`",
+                )
+            )
+    return findings
