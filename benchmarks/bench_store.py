@@ -1,0 +1,232 @@
+"""Benchmark: incremental ingest→query path vs rebuild-per-batch (ISSUE 8).
+
+Streams points into a :class:`repro.querying.PartitionedStore` in batches
+and interleaves range/kNN queries after every batch, two ways:
+
+* **rebuild** — the pre-delta workflow: after each batch the store is
+  rebuilt from scratch (repack every base column, re-lease every
+  segment) before it can answer queries,
+* **delta** — the two-tier path: appends land in per-partition delta
+  tails, queries merge base + delta on the fly, and compaction folds
+  tails back opportunistically at the default threshold.
+
+Reports append-and-query throughput for both paths (points+queries
+processed per second of wall time), the speedup, compaction pause
+statistics, and asserts bit-identity: after the full stream, the delta
+store's answers equal a from-scratch rebuild's, query for query.
+
+Writes ``BENCH_store.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full run
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke    # CI gate
+
+``--smoke`` runs a reduced stream and *asserts* the live-ingest
+invariants: delta-vs-rebuild bit-identity after every batch, a generous
+append-throughput floor, and a bounded compaction pause.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BBox, Point
+from repro.querying import PartitionedStore, kd_partition, skewed_points
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+SEED = 2022
+BOX = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+#: Full-run gate (ISSUE 8 acceptance): delta path at least this many times
+#: faster than rebuild-per-batch on the 100k/10k workload.
+FULL_SPEEDUP_FLOOR = 50.0
+
+#: Smoke gates, generous enough for shared CI runners.
+SMOKE_APPEND_FLOOR_PPS = 20_000.0
+SMOKE_COMPACT_PAUSE_BUDGET_S = 0.5
+
+
+def make_world(rng, n_base: int, n_stream: int, n_partitions: int):
+    base = skewed_points(rng, n_base, BOX, n_hotspots=5, hotspot_sigma=60.0)
+    stream = skewed_points(rng, n_stream, BOX, n_hotspots=3, hotspot_sigma=90.0)
+    partitions = kd_partition(base, BOX, n_partitions)
+    return base, stream, partitions
+
+
+def make_queries(rng, n_queries: int):
+    centers = [
+        Point(float(x), float(y))
+        for x, y in rng.uniform(50.0, 950.0, size=(n_queries, 2))
+    ]
+    radii = rng.uniform(20.0, 80.0, n_queries).tolist()
+    return centers, radii
+
+
+def batches(stream, batch_size: int):
+    return [stream[i : i + batch_size] for i in range(0, len(stream), batch_size)]
+
+
+def run_rebuild(base, partitions, stream_batches, centers, radii, k: int) -> dict:
+    """Rebuild-per-batch baseline: every batch forces a full store rebuild."""
+    store = PartitionedStore(base, partitions)
+    results = []
+    start = time.perf_counter()
+    for batch in stream_batches:
+        store.append_many(batch)
+        store = store.rebuilt()  # the pre-delta workflow: repack everything
+        results.append((store.range_query_many(centers, radii), store.knn_many(centers, k)))
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "results": results, "store": store}
+
+
+def run_delta(base, partitions, stream_batches, centers, radii, k: int) -> dict:
+    """Two-tier path: append to delta tails, compact opportunistically."""
+    store = PartitionedStore(base, partitions)
+    results = []
+    pauses = []
+    append_s = 0.0
+    start = time.perf_counter()
+    for batch in stream_batches:
+        t0 = time.perf_counter()
+        store.append_many(batch)
+        append_s += time.perf_counter() - t0
+        results.append((store.range_query_many(centers, radii), store.knn_many(centers, k)))
+        stats = store.compact()  # default threshold (0.25 unless env-tuned)
+        if stats.partitions:
+            pauses.append(stats.seconds)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "results": results,
+        "store": store,
+        "append_s": append_s,
+        "compaction_pauses_s": pauses,
+    }
+
+
+def check_bit_identity(delta_store, centers, radii, k: int) -> None:
+    """The live delta store must answer exactly like a from-scratch rebuild."""
+    fresh = delta_store.rebuilt()
+    assert delta_store.range_query_many(centers, radii) == fresh.range_query_many(
+        centers, radii
+    ), "delta-merged range results diverged from rebuilt store"
+    assert delta_store.knn_many(centers, k) == fresh.knn_many(centers, k), (
+        "delta-merged kNN results diverged from rebuilt store"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced stream; assert bit-identity, append floor, pause budget",
+    )
+    args = parser.parse_args(argv)
+    rng = np.random.default_rng(SEED)
+
+    if args.smoke:
+        n_base, n_stream, n_partitions = 10_000, 1_000, 16
+        batch_size, n_queries, k = 100, 10, 5
+    else:
+        # High-frequency live ingest: small batches, a few monitoring
+        # queries per tick — the regime the delta tier exists for.
+        n_base, n_stream, n_partitions = 100_000, 10_000, 64
+        batch_size, n_queries, k = 25, 2, 5
+
+    base, stream, partitions = make_world(rng, n_base, n_stream, n_partitions)
+    centers, radii = make_queries(rng, n_queries)
+    stream_batches = batches(stream, batch_size)
+    work_items = len(stream) + len(stream_batches) * n_queries * 2
+
+    rebuild = run_rebuild(base, partitions, stream_batches, centers, radii, k)
+    delta = run_delta(base, partitions, stream_batches, centers, radii, k)
+
+    assert delta["results"] == rebuild["results"], (
+        "delta path diverged from rebuild-per-batch baseline mid-stream"
+    )
+    check_bit_identity(delta["store"], centers, radii, k)
+
+    speedup = rebuild["wall_s"] / delta["wall_s"]
+    append_pps = len(stream) / delta["append_s"]
+    pauses = delta["compaction_pauses_s"]
+    max_pause = max(pauses) if pauses else 0.0
+    store_stats = delta["store"].delta_stats()
+
+    print(
+        f"workload: {n_base} base + {n_stream} streamed points "
+        f"({len(stream_batches)} batches of {batch_size}), {n_partitions} partitions, "
+        f"{n_queries} range + {n_queries} kNN queries per batch"
+    )
+    print(f"{'path':<10} {'wall s':>9} {'items/s':>12}")
+    for name, r in (("rebuild", rebuild), ("delta", delta)):
+        print(f"{name:<10} {r['wall_s']:>9.3f} {work_items / r['wall_s']:>12.0f}")
+    print(
+        f"speedup: {speedup:.1f}x | append throughput {append_pps:,.0f} pts/s | "
+        f"{len(pauses)} compactions, max pause {max_pause * 1e3:.2f} ms | "
+        f"final delta fraction {store_stats['delta_fraction_max']:.3f}"
+    )
+
+    if args.smoke:
+        assert append_pps >= SMOKE_APPEND_FLOOR_PPS, (
+            f"append throughput floor blown: {append_pps:,.0f} pts/s "
+            f"< {SMOKE_APPEND_FLOOR_PPS:,.0f} pts/s"
+        )
+        assert max_pause <= SMOKE_COMPACT_PAUSE_BUDGET_S, (
+            f"compaction pause budget blown: {max_pause:.3f}s "
+            f"> {SMOKE_COMPACT_PAUSE_BUDGET_S}s"
+        )
+        print(
+            "smoke OK: delta ≡ rebuild bit-identical, append floor met, "
+            "compaction pause bounded"
+        )
+        return 0
+
+    assert speedup >= FULL_SPEEDUP_FLOOR, (
+        f"speedup gate blown: {speedup:.1f}x < {FULL_SPEEDUP_FLOOR:.0f}x"
+    )
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "seed": SEED,
+                "cpu_count": os.cpu_count(),
+                "workload": {
+                    "base_points": n_base,
+                    "streamed_points": n_stream,
+                    "partitions": n_partitions,
+                    "batch_size": batch_size,
+                    "queries_per_batch": n_queries * 2,
+                },
+                "rebuild": {"wall_s": rebuild["wall_s"]},
+                "delta": {
+                    "wall_s": delta["wall_s"],
+                    "append_s": delta["append_s"],
+                    "append_points_per_s": append_pps,
+                    "compactions": len(pauses),
+                    "compaction_pause_max_s": max_pause,
+                    "compaction_pause_mean_s": (
+                        float(np.mean(pauses)) if pauses else 0.0
+                    ),
+                    "final_store": store_stats,
+                },
+                "speedup_rebuild_over_delta": speedup,
+                "bit_identical": True,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,11 @@
 
 The full exploitation loop of the tutorial, end to end: sensor readings
 stream through an ingestion engine whose quality gates admit, repair, or
-quarantine each one — and every *admitted* write bumps the quality epochs
+quarantine each one — every *admitted* write bumps the quality epochs
 of the spatial partitions it lands in, invalidating exactly the cached
-query results it could have changed.  Meanwhile a fleet of closed-loop
+query results it could have changed, then lands in the partitioned
+store's delta tier via ``PartitionedStoreSink``, queryable immediately
+with no rebuild.  Meanwhile a fleet of closed-loop
 dashboard clients hammers the serving layer with repeated range and kNN
 queries; the service coalesces concurrent requests into batched kernel
 calls on one warm executor, answers repeats from the epoch-validated
@@ -19,7 +21,7 @@ import numpy as np
 
 from repro import obs
 from repro.core import BBox, Point
-from repro.ingest import IngestEngine, IngestEvent, RangeGate
+from repro.ingest import IngestEngine, IngestEvent, PartitionedStoreSink, RangeGate
 from repro.querying import PartitionedStore, kd_partition, skewed_points
 from repro.serve import (
     EpochRegistry,
@@ -71,12 +73,17 @@ async def drive(service: QueryService, scripts, epochs: EpochRegistry) -> int:
     first = await asyncio.gather(*(client(s) for s in scripts[:half]))
 
     # Mid-run: sensor readings stream through the quality gates; each
-    # admitted write invalidates exactly the cached results it could change.
+    # admitted write invalidates exactly the cached results it could
+    # change, then lands in the store's delta tier — queryable by the
+    # second wave of clients with no rebuild.
     stale_before = service.cache.stale_evictions
+    points_before = len(service.store.points)
+    sink = PartitionedStoreSink(service.store)
     with IngestEngine(
         n_shards=2,
         gate_factories=[lambda: RangeGate(-60.0, 160.0)],
         on_admit=ingest_epoch_hook(epochs),
+        store=sink,
     ) as engine:
         for i in range(40):
             engine.offer(
@@ -90,9 +97,14 @@ async def drive(service: QueryService, scripts, epochs: EpochRegistry) -> int:
                 )
             )
         counters = engine.close()
+    assert len(service.store.points) == points_before + counters.admitted
     print(
         f"ingest burst: {counters.offered} offered, {counters.admitted} admitted, "
         f"{counters.quarantined} quarantined by the range gate"
+    )
+    print(
+        f"store grew {points_before} -> {len(service.store.points)} points "
+        f"(sink wrote {sink.written} into the delta tier, no rebuild)"
     )
     print(f"epoch bumps so far: {epochs.total_bumps} (stale evictions follow lazily)")
 
@@ -124,9 +136,9 @@ def main() -> None:
             policy="block",
         ) as svc:
             answered = await drive(svc, scripts, epochs)
-        return answered, svc.stats, svc.cache.hit_rate()
+        return answered, svc.stats, svc.cache.hit_rate(), svc.store_stats()
 
-    answered, stats, hit_rate = asyncio.run(go())
+    answered, stats, hit_rate, store_stats = asyncio.run(go())
 
     print("\n--- serving accounting ---")
     print(f"{'answered':>18}: {answered} / {stats.submitted}")
@@ -135,6 +147,12 @@ def main() -> None:
     print(f"{'kernel calls':>18}: {stats.kernel_calls}")
     print(f"{'coalesce ratio':>18}: {stats.coalesce_ratio():.1f} requests per call")
     print(f"{'executor reuses':>18}: {stats.executor_reuses} (one warm pool)")
+    if store_stats:
+        print(
+            f"{'delta tier':>18}: {store_stats['delta_points']:.0f} of "
+            f"{store_stats['points']:.0f} points unfolded, "
+            f"{stats.compactions} opportunistic compactions"
+        )
 
     snap = obs.OBS.metrics.snapshot()
     print("\n--- observability snapshot ---")

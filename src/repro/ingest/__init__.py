@@ -31,6 +31,7 @@ from .gates import (
 )
 from .online_stats import OnlineSensorStats, Welford, WindowedSensorStats
 from .registry import IngestCounters, QualityRegistry
+from .sinks import PartitionedStoreSink
 from .source import (
     ReplaySource,
     corrupt_stream,
@@ -59,6 +60,7 @@ __all__ = [
     "WindowedSensorStats",
     "IngestCounters",
     "QualityRegistry",
+    "PartitionedStoreSink",
     "ReplaySource",
     "corrupt_stream",
     "events_from_series",

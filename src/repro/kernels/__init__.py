@@ -35,6 +35,7 @@ from .distances import (
     box_gap_dists,
     box_max_dists,
     box_min_dists,
+    chunked_range_hits,
     cross_dists,
     dists_to,
     haversine_m_many,
@@ -68,6 +69,7 @@ __all__ = [
     "box_gap_dists",
     "box_max_dists",
     "box_min_dists",
+    "chunked_range_hits",
     "cross_dists",
     "dists_to",
     "haversine_m_many",

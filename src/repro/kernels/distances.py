@@ -103,6 +103,29 @@ def knn_select_many(
     return [knn_select(d[i], ids, k) for i in range(centers.shape[0])]
 
 
+def chunked_range_hits(chunks, centers: np.ndarray, radii) -> list[np.ndarray]:
+    """Per-query ids within radius over a chunked point set (merged scan).
+
+    ``chunks`` is a sequence of ``(coords, ids)`` pairs — e.g. a store
+    partition's packed base columns followed by its delta tail — and each
+    of the ``m`` queries gets back the matching ids in chunk order, then
+    row order within each chunk: exactly what one scan over the
+    concatenated arrays would return, without materializing the
+    concatenation.  ``radii`` is a scalar or an ``(m,)`` array.
+    """
+    m = centers.shape[0]
+    r = np.asarray(radii, dtype=float)
+    parts: list[list[np.ndarray]] = [[] for _ in range(m)]
+    for coords, ids in chunks:
+        if coords.shape[0] == 0:
+            continue
+        masks = range_masks(coords, centers, r)
+        for qi in range(m):
+            parts[qi].append(ids[masks[qi]])
+    empty = np.zeros(0, dtype=np.int64)
+    return [np.concatenate(p) if p else empty for p in parts]
+
+
 def box_min_dists(boxes: np.ndarray, center) -> np.ndarray:
     """Min distance from ``center`` to each box row ``(min_x, min_y, max_x, max_y)``."""
     c = center_of(center)

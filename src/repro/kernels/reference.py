@@ -172,6 +172,24 @@ def knn_select_many(coords, ids, centers, k: int) -> list[np.ndarray]:
     ]
 
 
+def chunked_range_hits(chunks, centers, radii) -> list[np.ndarray]:
+    """Per-chunk, per-row disk-membership loop (twin of kernels.chunked_range_hits)."""
+    centers_arr = np.asarray(centers, dtype=float).reshape(-1, 2)
+    r = np.asarray(radii, dtype=float)
+    out = []
+    for qi in range(centers_arr.shape[0]):
+        cx, cy = float(centers_arr[qi, 0]), float(centers_arr[qi, 1])
+        radius = float(r) if r.ndim == 0 else float(r[qi])
+        found: list[int] = []
+        for coords, ids in chunks:
+            rows = np.asarray(coords, dtype=float).reshape(-1, 2)
+            for row in range(rows.shape[0]):
+                if _pair_dist(rows[row, 0] - cx, rows[row, 1] - cy) <= radius:
+                    found.append(int(ids[row]))
+        out.append(np.asarray(found, dtype=np.int64))
+    return out
+
+
 def box_min_dists(boxes, center) -> np.ndarray:
     """Per-box min-distance loop (twin of kernels.box_min_dists)."""
     cx, cy = _center_xy(center)

@@ -302,6 +302,12 @@ class SharedArenaCache:
             self._segments.clear()
         for segment in segments:
             self._unlink_segment(segment)
+            # Purge this process's cached attachment too: the mapping now
+            # points at an unlinked segment, and serving it to a later
+            # attach of a recycled name would silently read dead memory.
+            cached = _ATTACH_CACHE.pop(segment.shm.name, None)
+            if cached is not None:
+                cached[1].close()
         if OBS.enabled:
             self._export_gauge()
 
@@ -370,12 +376,15 @@ def close_default_arena() -> None:
 # -- worker-side attachment cache ----------------------------------------------
 
 #: Process-local cache of arena attachments: name -> (generation, mapping).
-#: Pool workers serve many tasks against the same few arena segments; caching
+#: Pool workers serve many tasks against the same arena segments; caching
 #: the mapping makes re-attach free.  Bounded: least-recently-used mappings
-#: are closed once the cache exceeds its cap (far above the handful of
-#: distinct segments any single task can reference).
+#: are closed once the cache exceeds its cap.  The cap must comfortably
+#: exceed the distinct segments one task can reference — a two-tier
+#: :class:`~repro.querying.distributed.PartitionedStore` leases two base
+#: segments per partition, so a 64-partition store alone needs 128 — or
+#: every batch thrashes the cache instead of hitting it.
 _ATTACH_CACHE: "OrderedDict[str, tuple[int, shared_memory.SharedMemory]]" = OrderedDict()
-_ATTACH_CACHE_MAX = 128
+_ATTACH_CACHE_MAX = 512
 
 
 class _CachedAttachment(SharedArray):

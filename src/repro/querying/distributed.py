@@ -11,14 +11,21 @@ Simulates the partition-and-route layer of a distributed spatial store:
   partitions that can contribute and counts partitions touched (the
   communication proxy).
 
-The store's scan layer is columnar (the PR-2 batched kernels): each
-partition's points live in contiguous coordinate/index arrays, batch
-queries (:meth:`PartitionedStore.range_query_many` /
+The store's scan layer is columnar (the PR-2 batched kernels) and
+two-tiered, LSM-style: each partition's construction-time points live in
+contiguous base coordinate/index arrays, later
+:meth:`~PartitionedStore.append_many` points land in per-partition
+columnar *delta tails* that every query merges on the fly (no rebuild),
+and :meth:`~PartitionedStore.compact` folds tails back into packed base
+columns partition by partition.  Batch queries
+(:meth:`PartitionedStore.range_query_many` /
 :meth:`~PartitionedStore.knn_many`) filter candidates with vectorized
-reductions, and ``workers > 1`` fans query chunks out to a process pool
-through shared-memory blocks (:mod:`repro.parallel.shm`) — the SATO-style
-[104] place where parallelism pays.  Routing decisions, result order, and
-the partitions-touched accounting are identical at every worker count.
+reductions, and ``workers > 1`` fans query chunks out to a process pool:
+base columns travel as cached arena leases
+(:mod:`repro.parallel.shm`), delta tails ride the task payload — the
+SATO-style [104] place where parallelism pays.  Routing decisions,
+result order, and the partitions-touched accounting are identical at
+every worker count and every compaction state.
 
 The measurable claim: on skewed data, median partitioning yields near-1
 imbalance while uniform tiling degrades — "node load-balancing and data
@@ -27,8 +34,10 @@ partitioning have been studied [for] queries over skewed SID".
 
 from __future__ import annotations
 
+import os
+import threading
 import weakref
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -37,6 +46,7 @@ import numpy as np
 from .. import kernels
 from ..core.geometry import BBox, Point
 from ..obs import OBS
+from ..obs.clock import MonotonicClock
 
 #: Shared no-op context for disabled-observability paths.
 _NULL = nullcontext()
@@ -146,106 +156,322 @@ def skewed_points(
     return out
 
 
-class _ColumnarPartitions:
-    """Partition contents as contiguous arrays (the worker-shareable form).
+class _ColumnarView:
+    """One consistent read snapshot of the two-tier columns.
 
-    ``coords``/``index`` concatenate every partition's points in partition
-    order; ``offsets[p]:offsets[p+1]`` delimits partition ``p``; ``boxes``
-    holds each partition's bbox row.  Both the in-process scan path and the
-    pool workers run the same routing functions over this one structure.
+    ``coords_chunks[p]`` / ``index_chunks[p]`` list partition ``p``'s
+    column chunks in scan order — packed base first, then the delta tail —
+    so routing scans merge both tiers without materializing their
+    concatenation.  ``boxes`` are the *scan* boxes (each partition's static
+    bbox grown to cover every member point), which keeps bbox pruning
+    sound for points routed to a partition from outside its static extent.
+    Both the in-process scan path and the pool workers run the same
+    routing functions over this one structure.
     """
+
+    __slots__ = ("boxes", "coords_chunks", "index_chunks")
 
     def __init__(
         self,
-        coords: np.ndarray,
-        index: np.ndarray,
-        offsets: tuple[int, ...],
         boxes: np.ndarray,
+        coords_chunks: list[list[np.ndarray]],
+        index_chunks: list[list[np.ndarray]],
     ) -> None:
-        self.coords = coords
-        self.index = index
-        self.offsets = offsets
         self.boxes = boxes
-
-    @classmethod
-    def build(cls, points: list[Point], partitions: list[Partition]) -> "_ColumnarPartitions":
-        offsets = [0]
-        for part in partitions:
-            offsets.append(offsets[-1] + len(part.point_indices))
-        index = np.fromiter(
-            (i for part in partitions for i in part.point_indices),
-            dtype=np.int64,
-            count=offsets[-1],
-        )
-        coords = kernels.coords_of([points[i] for i in index])
-        boxes = np.array(
-            [(p.bbox.min_x, p.bbox.min_y, p.bbox.max_x, p.bbox.max_y) for p in partitions],
-            dtype=float,
-        ).reshape(len(partitions), 4)
-        return cls(coords, index, tuple(offsets), boxes)
+        self.coords_chunks = coords_chunks
+        self.index_chunks = index_chunks
 
     @property
     def n_partitions(self) -> int:
-        return len(self.offsets) - 1
+        return self.boxes.shape[0]
 
-    def part(self, p: int) -> tuple[np.ndarray, np.ndarray]:
-        """Zero-copy ``(coords, point-index)`` views of partition ``p``."""
-        lo, hi = self.offsets[p], self.offsets[p + 1]
-        return self.coords[lo:hi], self.index[lo:hi]
+    def part_size(self, p: int) -> int:
+        return sum(c.shape[0] for c in self.coords_chunks[p])
+
+
+class _StoreSnapshot:
+    """Immutable capture of the tier state taken under the tier lock.
+
+    Holds the base arrays by reference (they are replaced, never mutated)
+    and zero-copy prefixes of the delta buffers (rows below the published
+    size are never rewritten), so a snapshot stays valid while appends
+    and compactions continue.
+    """
+
+    __slots__ = ("boxes", "base_coords", "base_index", "deltas", "_view")
+
+    def __init__(
+        self,
+        boxes: np.ndarray,
+        base_coords: list[np.ndarray],
+        base_index: list[np.ndarray],
+        deltas: list[tuple[np.ndarray, np.ndarray] | None],
+    ) -> None:
+        self.boxes = boxes
+        self.base_coords = base_coords
+        self.base_index = base_index
+        self.deltas = deltas
+        self._view: _ColumnarView | None = None
+
+    def view(self) -> _ColumnarView:
+        if self._view is not None:
+            return self._view
+        coords_chunks: list[list[np.ndarray]] = []
+        index_chunks: list[list[np.ndarray]] = []
+        for p in range(self.boxes.shape[0]):
+            cc: list[np.ndarray] = []
+            ic: list[np.ndarray] = []
+            if self.base_coords[p].shape[0]:
+                cc.append(self.base_coords[p])
+                ic.append(self.base_index[p])
+            delta = self.deltas[p]
+            if delta is not None:
+                cc.append(delta[0])
+                ic.append(delta[1])
+            coords_chunks.append(cc)
+            index_chunks.append(ic)
+        self._view = _ColumnarView(self.boxes, coords_chunks, index_chunks)
+        return self._view
+
+
+#: Initial per-partition delta buffer rows; buffers double beyond this.
+_DELTA_MIN_CAPACITY = 64
+
+_EMPTY_COORDS = np.zeros((0, 2))
+_EMPTY_INDEX = np.zeros(0, dtype=np.int64)
+
+
+class _TwoTierColumns:
+    """The store's mutable column state: packed base tier + delta tails.
+
+    Base tier: per-partition contiguous ``coords``/``index`` arrays,
+    immutable between compactions (and therefore shareable through the
+    arena).  Delta tier: one amortized-growth columnar tail per partition
+    that :meth:`append` fills and :meth:`compact_one` folds into the base.
+    All mutation happens under one lock; :meth:`snapshot` captures a
+    consistent read view cheaply, so queries never block on ingest for
+    longer than one bucketed append or one partition's fold.
+    """
+
+    def __init__(self, points: list[Point], partitions: list[Partition]) -> None:
+        self._lock = threading.Lock()
+        self.points = points
+        n = len(partitions)
+        self.static_boxes = np.array(
+            [(p.bbox.min_x, p.bbox.min_y, p.bbox.max_x, p.bbox.max_y) for p in partitions],
+            dtype=float,
+        ).reshape(n, 4)
+        self.scan_boxes = self.static_boxes.copy()
+        self.base_coords: list[np.ndarray] = []
+        self.base_index: list[np.ndarray] = []
+        for p, part in enumerate(partitions):
+            index = np.fromiter(
+                part.point_indices, dtype=np.int64, count=len(part.point_indices)
+            )
+            coords = kernels.coords_of([points[i] for i in part.point_indices])
+            self.base_coords.append(coords)
+            self.base_index.append(index)
+            if coords.shape[0]:
+                self._grow_scan_box(p, coords)
+        self.delta_coords: list[np.ndarray] = [_EMPTY_COORDS] * n
+        self.delta_index: list[np.ndarray] = [_EMPTY_INDEX] * n
+        self.delta_sizes: list[int] = [0] * n
+        self.appended_total = 0
+        self._snapshot: _StoreSnapshot | None = None
+
+    @property
+    def n_partitions(self) -> int:
+        return self.static_boxes.shape[0]
+
+    def _grow_scan_box(self, p: int, coords: np.ndarray) -> None:
+        box = self.scan_boxes[p]
+        box[0] = min(box[0], float(coords[:, 0].min()))
+        box[1] = min(box[1], float(coords[:, 1].min()))
+        box[2] = max(box[2], float(coords[:, 0].max()))
+        box[3] = max(box[3], float(coords[:, 1].max()))
+
+    def _route_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Home partition per row: minimum static-box distance, lowest id on ties.
+
+        A contained point has distance 0 to every box holding it, so one
+        argmin covers both cases — lowest containing partition when inside,
+        nearest partition when outside every static box.
+        """
+        b = self.static_boxes
+        x = coords[:, 0][:, None]
+        y = coords[:, 1][:, None]
+        dx = np.maximum(np.maximum(b[None, :, 0] - x, x - b[None, :, 2]), 0.0)
+        dy = np.maximum(np.maximum(b[None, :, 1] - y, y - b[None, :, 3]), 0.0)
+        return np.argmin(np.hypot(dx, dy), axis=1)
+
+    def append(self, new_points: list[Point]) -> list[int]:
+        """Route and append points to their delta tails; returns global ids."""
+        coords = kernels.coords_of(new_points)
+        with self._lock:
+            start = len(self.points)
+            homes = self._route_coords(coords)
+            self.points.extend(new_points)  # reprolint: disable=R7 — the delta tier is the sanctioned append seam
+            order = np.argsort(homes, kind="stable")  # stable: admit order kept per partition
+            sorted_homes = homes[order]
+            cuts = np.flatnonzero(np.diff(sorted_homes)) + 1
+            for group in np.split(order, cuts):
+                p = int(homes[group[0]])
+                rows = coords[group]
+                size = self.delta_sizes[p]
+                self._reserve(p, size + group.shape[0])
+                self.delta_coords[p][size : size + group.shape[0]] = rows
+                self.delta_index[p][size : size + group.shape[0]] = start + group
+                self.delta_sizes[p] = size + group.shape[0]
+                self._grow_scan_box(p, rows)
+            self.appended_total += len(new_points)
+            self._snapshot = None
+            return list(range(start, start + len(new_points)))
+
+    def _reserve(self, p: int, need: int) -> None:
+        """Grow partition ``p``'s delta buffers to hold ``need`` rows.
+
+        Filled rows are copied into the fresh buffers *before* they are
+        published, so a snapshot slice taken at any point keeps reading
+        rows that are never rewritten.
+        """
+        capacity = self.delta_coords[p].shape[0]
+        if capacity >= need:
+            return
+        new_cap = max(_DELTA_MIN_CAPACITY, capacity)
+        while new_cap < need:
+            new_cap *= 2
+        size = self.delta_sizes[p]
+        coords = np.empty((new_cap, 2))
+        coords[:size] = self.delta_coords[p][:size]
+        index = np.empty(new_cap, dtype=np.int64)
+        index[:size] = self.delta_index[p][:size]
+        self.delta_coords[p] = coords
+        self.delta_index[p] = index
+
+    def compact_one(self, p: int) -> int:
+        """Fold partition ``p``'s delta tail into its packed base columns.
+
+        The pause is bounded by one partition's size: the lock is held for
+        a single concat/copy, the delta buffer resets to empty, and the new
+        base arrays are fresh objects (snapshots holding the old ones stay
+        valid).  Returns the number of rows folded.
+        """
+        with self._lock:
+            size = self.delta_sizes[p]
+            if size == 0:
+                return 0
+            self.base_coords[p] = np.concatenate(
+                [self.base_coords[p], self.delta_coords[p][:size]]
+            )
+            self.base_index[p] = np.concatenate(
+                [self.base_index[p], self.delta_index[p][:size]]
+            )
+            self.delta_coords[p] = _EMPTY_COORDS
+            self.delta_index[p] = _EMPTY_INDEX
+            self.delta_sizes[p] = 0
+            self._snapshot = None
+            return size
+
+    def snapshot(self) -> _StoreSnapshot:
+        """Consistent read snapshot, cached until the next append/compact."""
+        with self._lock:
+            if self._snapshot is not None:
+                return self._snapshot
+            deltas: list[tuple[np.ndarray, np.ndarray] | None] = []
+            for p in range(self.n_partitions):
+                size = self.delta_sizes[p]
+                if size:
+                    deltas.append(
+                        (self.delta_coords[p][:size], self.delta_index[p][:size])
+                    )
+                else:
+                    deltas.append(None)
+            self._snapshot = _StoreSnapshot(
+                self.scan_boxes.copy(),
+                list(self.base_coords),
+                list(self.base_index),
+                deltas,
+            )
+            return self._snapshot
+
+    def members(self) -> list[np.ndarray]:
+        """Per-partition point ids, base rows then delta rows (admit order)."""
+        with self._lock:
+            return [
+                np.concatenate(
+                    [self.base_index[p], self.delta_index[p][: self.delta_sizes[p]]]
+                )
+                for p in range(self.n_partitions)
+            ]
+
+    def tier_sizes(self) -> tuple[list[int], list[int]]:
+        """(base rows, delta rows) per partition, one consistent read."""
+        with self._lock:
+            return (
+                [a.shape[0] for a in self.base_index],
+                list(self.delta_sizes),
+            )
+
+    def delta_fractions(self) -> list[float]:
+        """Per-partition ``delta / (base + delta)`` (0.0 for empty partitions)."""
+        base, delta = self.tier_sizes()
+        return [
+            d / (b + d) if (b + d) else 0.0 for b, d in zip(base, delta)
+        ]
 
 
 def _route_range(
-    cols: _ColumnarPartitions, centers: np.ndarray, radii: np.ndarray
+    view: _ColumnarView, centers: np.ndarray, radii: np.ndarray
 ) -> tuple[list[list[int]], int]:
     """Range routing: per-query hit lists plus partitions-touched count.
 
-    A partition is *touched* by a query when its bbox overlaps the disk
-    (whether or not any point qualifies), matching the legacy per-query
-    scalar router.  Hits come back in partition order, then in each
-    partition's ``point_indices`` order.  Scans are batched partition-major:
-    one :func:`repro.kernels.range_masks` reduction covers every query
-    routed to a partition.
+    A partition is *touched* by a query when its scan box overlaps the
+    disk (whether or not any point qualifies), matching the legacy
+    per-query scalar router.  Hits come back in partition order, then in
+    each partition's member order (base rows before delta rows).  Scans
+    are batched partition-major: one
+    :func:`repro.kernels.chunked_range_hits` merged scan covers every
+    query routed to a partition across both tiers.
     """
     n_queries = centers.shape[0]
     hits: list[list[int]] = [[] for _ in range(n_queries)]
-    if n_queries == 0 or cols.n_partitions == 0:
+    if n_queries == 0 or view.n_partitions == 0:
         return hits, 0
-    overlap = np.zeros((n_queries, cols.n_partitions), dtype=bool)
+    overlap = np.zeros((n_queries, view.n_partitions), dtype=bool)
     for qi in range(n_queries):
-        overlap[qi] = kernels.box_min_dists(cols.boxes, centers[qi]) <= radii[qi]
+        overlap[qi] = kernels.box_min_dists(view.boxes, centers[qi]) <= radii[qi]
     touched = int(overlap.sum())
-    for p in range(cols.n_partitions):
+    for p in range(view.n_partitions):
         routed = np.flatnonzero(overlap[:, p])
-        if routed.size == 0:
+        if routed.size == 0 or view.part_size(p) == 0:
             continue
-        coords, index = cols.part(p)
-        if coords.shape[0] == 0:
-            continue
-        masks = kernels.range_masks(coords, centers[routed], radii[routed])
-        for qi, mask in zip(routed.tolist(), masks):
-            hits[qi].extend(int(i) for i in index[mask])
+        chunks = list(zip(view.coords_chunks[p], view.index_chunks[p]))
+        per_query = kernels.chunked_range_hits(chunks, centers[routed], radii[routed])
+        for qi, ids in zip(routed.tolist(), per_query):
+            hits[qi].extend(ids.tolist())
     return hits, touched
 
 
 def _route_knn(
-    cols: _ColumnarPartitions, centers: np.ndarray, k: int
+    view: _ColumnarView, centers: np.ndarray, k: int
 ) -> tuple[list[list[int]], int]:
     """kNN routing: scan partitions best-first, prune by the k-th distance.
 
-    Partitions are visited in ascending ``(bbox min-distance, partition
-    index)`` order; scanning stops once ``k`` candidates are known and the
-    next partition's lower bound exceeds the current k-th distance.  Every
-    scanned partition counts as touched.  Ties break by ascending point
+    Partitions are visited in ascending ``(scan-box min-distance,
+    partition index)`` order; scanning stops once ``k`` candidates are
+    known and the next partition's lower bound exceeds the current k-th
+    distance.  Every scanned partition counts as touched, and a scanned
+    partition contributes both its tiers.  Ties break by ascending point
     index (the package-wide ``(distance, id)`` rule).
     """
     n_queries = centers.shape[0]
     out: list[list[int]] = [[] for _ in range(n_queries)]
-    if n_queries == 0 or cols.n_partitions == 0 or k < 1:
+    if n_queries == 0 or view.n_partitions == 0 or k < 1:
         return out, 0
     touched = 0
     for qi in range(n_queries):
-        lower = kernels.box_min_dists(cols.boxes, centers[qi])
-        order = np.lexsort((np.arange(cols.n_partitions), lower))
+        lower = kernels.box_min_dists(view.boxes, centers[qi])
+        order = np.lexsort((np.arange(view.n_partitions), lower))
         d_parts: list[np.ndarray] = []
         id_parts: list[np.ndarray] = []
         total = 0
@@ -254,57 +480,315 @@ def _route_knn(
             if total >= k and lower[p] > kth:
                 break
             touched += 1
-            coords, index = cols.part(p)
-            if coords.shape[0] == 0:
+            size = view.part_size(p)
+            if size == 0:
                 continue
-            d_parts.append(kernels.dists_to(coords, centers[qi]))
-            id_parts.append(index)
-            total += index.shape[0]
+            for coords, index in zip(view.coords_chunks[p], view.index_chunks[p]):
+                if coords.shape[0] == 0:
+                    continue
+                d_parts.append(kernels.dists_to(coords, centers[qi]))
+                id_parts.append(index)
+            total += size
             if total >= k:
                 kth = float(np.partition(np.concatenate(d_parts), k - 1)[k - 1])
         if total:
             sel = kernels.knn_select(np.concatenate(d_parts), np.concatenate(id_parts), k)
-            out[qi] = [int(i) for i in sel]
+            out[qi] = sel.tolist()
     return out, touched
 
 
-def _release_leases(*leases: Any) -> None:
-    """GC-time finalizer: return a dead store's arena leases (idempotent)."""
-    for lease in leases:
-        lease.release()
+class _PartitionLeases:
+    """Single owner of a store's per-partition arena leases.
+
+    Exactly one seam returns a lease to the arena: every path — the lazy
+    re-share in :meth:`lease`, compaction's :meth:`invalidate`, the
+    explicit :meth:`PartitionedStore.close_shared`, and the store's GC
+    finalizer — pops the entry under the lock before releasing it, so the
+    paths can fire in any order (or twice) without a lease ever being
+    returned to the arena twice.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leases: dict[int, tuple[np.ndarray, Any, np.ndarray, Any]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def lease(self, p: int, coords: np.ndarray, index: np.ndarray) -> tuple[Any, Any]:
+        """Live ``(coords, index)`` leases for partition ``p``'s base arrays.
+
+        A cached pair is reused only when it was shared from these exact
+        array objects and both segments are still alive — compaction swaps
+        the base arrays, so identity doubles as a staleness check even if
+        an explicit ``invalidate`` was missed.
+        """
+        from ..parallel.shm import get_arena
+
+        stale: tuple[np.ndarray, Any, np.ndarray, Any] | None = None
+        with self._lock:
+            cached = self._leases.get(p)
+            if cached is not None:
+                src_c, lease_c, src_i, lease_i = cached
+                if src_c is coords and src_i is index and lease_c.alive and lease_i.alive:
+                    return lease_c, lease_i
+                stale = self._leases.pop(p)
+        if stale is not None:
+            stale[1].release()
+            stale[3].release()
+        arena = get_arena()
+        lease_c = arena.share(coords)
+        try:
+            lease_i = arena.share(index)
+        except BaseException:
+            lease_c.release()  # pairs the first lease on the failure path
+            raise
+        with self._lock:
+            displaced = self._leases.get(p)
+            self._leases[p] = (coords, lease_c, index, lease_i)
+        if displaced is not None:  # racing lease for the same partition
+            displaced[1].release()
+            displaced[3].release()
+        return lease_c, lease_i
+
+    def invalidate(self, p: int) -> None:
+        """Return partition ``p``'s leases (compaction's re-lease seam)."""
+        with self._lock:
+            entry = self._leases.pop(p, None)
+        if entry is not None:
+            entry[1].release()
+            entry[3].release()
+
+    def release_all(self) -> None:
+        """Return every lease; naturally idempotent (the dict drains once)."""
+        with self._lock:
+            entries = list(self._leases.values())
+            self._leases.clear()
+        for entry in entries:
+            entry[1].release()
+            entry[3].release()
 
 
 def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
-    """Pool worker: answer one query chunk against the shared columnar store."""
+    """Pool worker: answer one query chunk against the two-tier store.
+
+    ``part_refs`` carries, per partition, the base tier as arena handles
+    (``None`` when empty) and the delta tail inline (``None`` when empty) —
+    base columns stay in shared memory, delta tails ride the payload.
+    """
     from ..parallel import SharedArray
 
-    coords_h, index_h, offsets, boxes, mode, centers, arg = payload
-    # Nested with-items: if the second attach fails, the first still closes.
-    with SharedArray.attach(coords_h) as coords, SharedArray.attach(index_h) as index:
-        cols = _ColumnarPartitions(coords.array, index.array, offsets, boxes)
+    part_refs, boxes, mode, centers, arg = payload
+    coords_chunks: list[list[np.ndarray]] = []
+    index_chunks: list[list[np.ndarray]] = []
+    # One ExitStack pairs every attach with its release on all exit paths
+    # (R2's lexical with-item check cannot see through the stack).
+    with ExitStack() as stack:
+        for base_ref, delta in part_refs:
+            cc: list[np.ndarray] = []
+            ic: list[np.ndarray] = []
+            if base_ref is not None:
+                coords_h, index_h = base_ref
+                cc.append(stack.enter_context(SharedArray.attach(coords_h)).array)  # reprolint: disable=R2 — stack-paired release
+                ic.append(stack.enter_context(SharedArray.attach(index_h)).array)  # reprolint: disable=R2 — stack-paired release
+            if delta is not None:
+                cc.append(delta[0])
+                ic.append(delta[1])
+            coords_chunks.append(cc)
+            index_chunks.append(ic)
+        view = _ColumnarView(boxes, coords_chunks, index_chunks)
         if mode == "range":
-            return _route_range(cols, centers, arg)
-        return _route_knn(cols, centers, arg)
+            return _route_range(view, centers, arg)
+        return _route_knn(view, centers, arg)
+
+
+#: Environment override for the default compaction trigger.
+COMPACT_THRESHOLD_ENV = "REPRO_STORE_COMPACT_THRESHOLD"
+
+#: Default delta fraction above which a partition is folded.
+DEFAULT_COMPACT_THRESHOLD = 0.25
+
+
+def resolve_compact_threshold(value: float | None = None) -> float:
+    """Compaction trigger: explicit value, else the env override, else 0.25."""
+    if value is not None:
+        return float(value)
+    raw = os.environ.get(COMPACT_THRESHOLD_ENV, "")
+    return float(raw) if raw else DEFAULT_COMPACT_THRESHOLD
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """One :meth:`PartitionedStore.compact` call's outcome."""
+
+    partitions: int  # partitions folded
+    points_folded: int  # delta rows moved into base columns
+    seconds: float  # wall time for the whole call
 
 
 class PartitionedStore:
-    """Query router over a partitioned point set.
+    """Query router over a partitioned point set with a live append tier.
+
+    The store is two-tiered, LSM-style: construction packs each
+    partition's points into contiguous base columns, and
+    :meth:`append` / :meth:`append_many` land later points in
+    per-partition columnar delta tails that every query merges on the fly
+    — new data is queryable immediately, no rebuild.  :meth:`compact`
+    folds delta tails back into packed base columns (per-partition, so
+    pauses stay bounded) once their fraction passes a threshold.
 
     Single-query entry points (:meth:`range_query`, :meth:`knn`) are thin
-    wrappers over the batched ones, which scan each partition with the PR-2
-    columnar kernels and optionally fan query chunks out to a process pool
-    (``workers > 1``).  ``partitions_touched`` counts every (query,
-    partition) routing decision regardless of execution backend.
+    wrappers over the batched ones, which scan each partition with the
+    columnar kernels and optionally fan query chunks out to a process
+    pool (``workers > 1``): base columns travel as cached arena leases,
+    delta tails ride the task payload.  Results are bit-identical across
+    worker counts, delta state, and compaction timing — equal to a store
+    rebuilt from scratch with the same membership (:meth:`rebuilt`).
+
+    ``partitions_touched`` counts every (query, partition) routing
+    decision regardless of execution backend.  Appends are thread-safe
+    (ingest shards write concurrently); ``compact`` and parallel query
+    batches must not overlap — the serving layer runs compaction between
+    batches.
     """
 
     def __init__(self, points: list[Point], partitions: list[Partition]) -> None:
-        self.points = points
-        self.partitions = partitions
+        self.points = list(points)
         self.partitions_touched = 0
         self.queries_run = 0
-        self._cols = _ColumnarPartitions.build(points, partitions)
-        self._shm_cache: tuple[Any, Any] | None = None
-        self._shm_finalizer: weakref.finalize | None = None
+        self.compactions = 0
+        self.compacted_points = 0
+        self.last_compaction_seconds = 0.0
+        self._bboxes = [p.bbox for p in partitions]
+        self._tiers = _TwoTierColumns(self.points, partitions)
+        self._leases = _PartitionLeases()
+        self._lease_finalizer = weakref.finalize(
+            self, _PartitionLeases.release_all, self._leases
+        )
+
+    @property
+    def partitions(self) -> list[Partition]:
+        """Live membership: construction assignment plus routed appends."""
+        return [
+            Partition(bbox, tuple(int(i) for i in members))
+            for bbox, members in zip(self._bboxes, self._tiers.members())
+        ]
+
+    # -- the live tier -----------------------------------------------------------
+
+    def append(self, point: Point) -> int:
+        """Append one point to its partition's delta tail; returns its id."""
+        return self.append_many([point])[0]
+
+    def append_many(self, points: Sequence[Point]) -> list[int]:
+        """Append points to the delta tier; queryable immediately.
+
+        Points are routed to the partition whose static bbox contains them
+        (lowest partition index on boundary ties) or the nearest partition
+        when outside every bbox — that partition's scan box grows to keep
+        bbox pruning sound.  Ids continue the store's sequence in admit
+        order, so results stay bit-identical to a from-scratch rebuild
+        with the same membership.
+        """
+        pts = list(points)
+        if not pts:
+            return []
+        if self._tiers.n_partitions == 0:
+            raise ValueError("cannot append to a store with no partitions")
+        ids = self._tiers.append(pts)
+        if OBS.enabled:
+            OBS.metrics.inc("repro_store_appends_total", (), float(len(pts)))
+            OBS.metrics.set_gauge(
+                "repro_store_delta_fraction", (), self.max_delta_fraction()
+            )
+        return ids
+
+    def max_delta_fraction(self) -> float:
+        """Largest per-partition delta fraction (the compaction trigger)."""
+        fractions = self._tiers.delta_fractions()
+        return max(fractions) if fractions else 0.0
+
+    def delta_stats(self) -> dict[str, float]:
+        """Two-tier accounting for ops surfaces and the serving layer."""
+        base, delta = self._tiers.tier_sizes()
+        fractions = self._tiers.delta_fractions()
+        return {
+            "points": float(len(self.points)),
+            "base_points": float(sum(base)),
+            "delta_points": float(sum(delta)),
+            "delta_fraction_max": max(fractions) if fractions else 0.0,
+            "appends_total": float(self._tiers.appended_total),
+            "compactions": float(self.compactions),
+            "compacted_points_total": float(self.compacted_points),
+            "last_compaction_seconds": self.last_compaction_seconds,
+        }
+
+    def compact(
+        self,
+        partition_ids: Sequence[int] | None = None,
+        *,
+        threshold: float | None = None,
+        clock: Any = None,
+    ) -> CompactionStats:
+        """Fold delta tails into packed base columns, one partition at a time.
+
+        With no ``partition_ids``, folds every partition whose delta
+        fraction is at least the threshold (explicit ``threshold``, else
+        ``$REPRO_STORE_COMPACT_THRESHOLD``, else 0.25).  Query results are
+        unchanged by construction — and cached results stay valid:
+        compaction does not bump quality epochs.  Only folded partitions'
+        arena leases are invalidated; the next parallel batch re-leases
+        just those segments.  Must not overlap a parallel query batch.
+        """
+        clk = clock if clock is not None else MonotonicClock()
+        delta_sizes = self._tiers.tier_sizes()[1]
+        if partition_ids is None:
+            thr = resolve_compact_threshold(threshold)
+            fractions = self._tiers.delta_fractions()
+            targets = [
+                p
+                for p in range(self._tiers.n_partitions)
+                if delta_sizes[p] and fractions[p] >= thr
+            ]
+        else:
+            targets = [p for p in partition_ids if delta_sizes[p]]
+        cm = (
+            OBS.tracer.span("store.compact", partitions=len(targets))
+            if OBS.enabled
+            else _NULL
+        )
+        start = clk.now()
+        folded = 0
+        with cm:
+            for p in targets:
+                folded += self._tiers.compact_one(p)
+                self._leases.invalidate(p)
+        seconds = clk.now() - start
+        if targets:
+            self.compactions += 1
+            self.compacted_points += folded
+            self.last_compaction_seconds = seconds
+            if OBS.enabled:
+                OBS.metrics.inc("repro_store_compactions_total")
+                OBS.metrics.inc("repro_store_compacted_points_total", (), float(folded))
+                OBS.metrics.observe("repro_store_compaction_seconds", (), seconds)
+                OBS.metrics.set_gauge(
+                    "repro_store_delta_fraction", (), self.max_delta_fraction()
+                )
+        return CompactionStats(len(targets), folded, seconds)
+
+    def rebuilt(self) -> "PartitionedStore":
+        """A from-scratch store with this store's exact live membership.
+
+        The rebuild packs every partition's base+delta members into fresh
+        base columns in the same order the live store scans them, so its
+        query results are bit-identical to the delta-merged ones — the
+        oracle the tests and ``bench_store.py`` check against.
+        """
+        return PartitionedStore(self.points, self.partitions)
+
+    # -- queries -----------------------------------------------------------------
 
     def range_query(self, center: Point, radius: float) -> list[int]:
         """Route to overlapping partitions; returns matching point indices."""
@@ -360,6 +844,7 @@ class PartitionedStore:
 
         obs_on = OBS.enabled
         self.queries_run += centers.shape[0]
+        snap = self._tiers.snapshot()
         route = _route_range if mode == "range" else _route_knn
         cm = (
             OBS.tracer.span("query.partitioned_batch", mode=mode, queries=centers.shape[0])
@@ -368,16 +853,14 @@ class PartitionedStore:
         )
         with cm, resolve_executor(workers, executor, n_items=centers.shape[0]) as ex:
             if isinstance(ex, SerialExecutor):
-                hits, touched = route(self._cols, centers, arg)
+                hits, touched = route(snap.view(), centers, arg)
             else:
                 spans = chunk_spans(centers.shape[0], None)
-                coords_s, index_s = self._shared_cols()
+                part_refs = self._shared_refs(snap)
                 payloads = [
                     (
-                        coords_s.handle,
-                        index_s.handle,
-                        self._cols.offsets,
-                        self._cols.boxes,
+                        part_refs,
+                        snap.boxes,
                         mode,
                         centers[start:stop],
                         arg[start:stop] if mode == "range" else arg,
@@ -394,43 +877,36 @@ class PartitionedStore:
             )
         return hits
 
-    def _shared_cols(self) -> tuple[Any, Any]:
-        """Arena leases of the columnar arrays, cached across batch calls.
+    def _shared_refs(self, snap: _StoreSnapshot) -> tuple:
+        """Worker-shippable snapshot: arena handles for base, inline deltas.
 
-        The coords/index blocks are immutable for the store's lifetime, so
-        the first parallel batch leases them once from the default arena and
-        every later batch reuses the same segments — no per-call
-        create/copy/unlink, and pool workers keep their cached attachments.
-        Leases invalidated by an arena ``close_all`` are re-shared lazily.
+        Base columns are immutable between compactions, so each
+        partition's pair is leased from the default arena once and reused
+        across batches (pool workers keep their cached attachments); delta
+        tails are small and simply pickled with the task.  Leases
+        invalidated by compaction or an arena ``close_all`` are re-shared
+        lazily — and only for the affected partitions.
         """
-        from ..parallel.shm import get_arena
-
-        cached = self._shm_cache
-        if cached is not None and cached[0].alive and cached[1].alive:
-            return cached
-        self.close_shared()
-        arena = get_arena()
-        coords_s = arena.share(self._cols.coords)
-        try:
-            index_s = arena.share(self._cols.index)
-        except BaseException:
-            coords_s.release()  # pairs the first lease on the failure path
-            raise
-        self._shm_cache = (coords_s, index_s)
-        self._shm_finalizer = weakref.finalize(self, _release_leases, coords_s, index_s)
-        return self._shm_cache
+        refs = []
+        for p in range(snap.boxes.shape[0]):
+            base_coords = snap.base_coords[p]
+            if base_coords.shape[0]:
+                lease_c, lease_i = self._leases.lease(p, base_coords, snap.base_index[p])
+                base_ref = (lease_c.handle, lease_i.handle)
+            else:
+                base_ref = None
+            refs.append((base_ref, snap.deltas[p]))
+        return tuple(refs)
 
     def close_shared(self) -> None:
         """Return this store's cached arena leases (idempotent).
 
-        Called automatically when the store is garbage collected; long-lived
-        applications cycling many stores can call it eagerly to keep the
-        arena's free list tight.
+        Called automatically when the store is garbage collected; the GC
+        finalizer stays registered and simply finds nothing left to
+        release.  Long-lived applications cycling many stores can call it
+        eagerly to keep the arena's free list tight.
         """
-        finalizer, self._shm_finalizer = self._shm_finalizer, None
-        self._shm_cache = None
-        if finalizer is not None:
-            finalizer()
+        self._leases.release_all()
 
     def mean_partitions_per_query(self) -> float:
         """Average partitions touched per query (communication proxy)."""
@@ -442,8 +918,16 @@ class PartitionedStore:
 
     @property
     def partition_boxes(self) -> np.ndarray:
-        """Read-only ``(n_partitions, 4)`` min_x/min_y/max_x/max_y extents."""
-        boxes = self._cols.boxes.view()
+        """Read-only ``(n_partitions, 4)`` min_x/min_y/max_x/max_y extents.
+
+        These are the *static* construction-time boxes — the stable
+        identity the serving layer's :class:`~repro.serve.epochs
+        .EpochRegistry` is built over.  (Internal routing additionally
+        grows per-partition scan boxes as out-of-box points are appended;
+        the dependency oracles below use those, which is strictly
+        conservative for invalidation.)
+        """
+        boxes = self._tiers.static_boxes.view()
         boxes.flags.writeable = False
         return boxes
 
@@ -452,11 +936,11 @@ class PartitionedStore:
     ) -> list[tuple[int, ...]]:
         """Per-query partition dependency sets for range queries.
 
-        A partition belongs to a query's set exactly when its bbox overlaps
-        the query disk — the same predicate the router uses — so a write
-        outside the set provably cannot change the query's answer.  The
-        serving layer keys cached results on these sets for quality-epoch
-        invalidation.
+        A partition belongs to a query's set exactly when its scan box
+        overlaps the query disk — the same predicate the router uses — so
+        a write outside the set provably cannot change the query's answer.
+        The serving layer keys cached results on these sets for
+        quality-epoch invalidation.
         """
         c = kernels.centers_of(centers)
         r = np.asarray(radii, dtype=float)
@@ -464,29 +948,43 @@ class PartitionedStore:
             r = np.full(c.shape[0], float(r))
         elif r.shape != (c.shape[0],):
             raise ValueError("radii must be a scalar or match the number of centers")
+        boxes = self._tiers.snapshot().boxes
         out: list[tuple[int, ...]] = []
         for qi in range(c.shape[0]):
-            overlap = kernels.box_min_dists(self._cols.boxes, c[qi]) <= r[qi]
+            overlap = kernels.box_min_dists(boxes, c[qi]) <= r[qi]
             out.append(tuple(int(p) for p in np.flatnonzero(overlap)))
         return out
 
     def knn_partition_sets(
-        self, centers: Sequence[Point], hits: Sequence[Sequence[int]], k: int | None = None
+        self,
+        centers: Sequence[Point],
+        hits: Sequence[Sequence[int]],
+        k: int | None = None,
+        *,
+        append_only: bool = True,
     ) -> list[tuple[int, ...]]:
         """Per-query partition dependency sets for answered kNN queries.
 
         ``hits`` is the corresponding :meth:`knn_many` output (pass the
-        requested ``k`` to detect short answers).  A new point can enter a
-        full top-k only from a partition whose bbox lower bound is within
-        the current k-th distance, so those partitions form a conservative
-        dependency set: any write elsewhere leaves the answer intact.  A
-        short or empty answer (store held fewer than k points) depends on
-        every partition.
+        requested ``k`` to detect short answers).  A full top-k changes
+        only when a new point lands *strictly* inside the current k-th
+        distance: the store is append-only and new points always get ids
+        above every existing id, so a newcomer at exactly the k-th
+        distance loses the ``(distance, id)`` tie.  Partitions whose scan
+        box lower bound equals the k-th distance can therefore be pruned
+        (pass ``append_only=False`` for the conservative ``<=`` bound,
+        which also covers hypothetical in-place mutation).
+
+        A short or empty answer (the store held fewer than ``k`` points)
+        depends on every partition — *exactly*, not conservatively: a
+        short answer ranks the whole store, so an append anywhere enters
+        it.  No tightening is possible there.
         """
         c = kernels.centers_of(centers)
         if c.shape[0] != len(hits):
             raise ValueError("hits must align with centers")
-        n_parts = self._cols.n_partitions
+        n_parts = self._tiers.n_partitions
+        boxes = self._tiers.snapshot().boxes
         out: list[tuple[int, ...]] = []
         for qi, ids in enumerate(hits):
             if not ids or (k is not None and len(ids) < k):
@@ -494,6 +992,7 @@ class PartitionedStore:
                 continue
             coords = kernels.coords_of([self.points[i] for i in ids])
             kth = float(kernels.dists_to(coords, c[qi]).max())
-            overlap = kernels.box_min_dists(self._cols.boxes, c[qi]) <= kth
+            lower = kernels.box_min_dists(boxes, c[qi])
+            overlap = lower < kth if append_only else lower <= kth
             out.append(tuple(int(p) for p in np.flatnonzero(overlap)))
         return out

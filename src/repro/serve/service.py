@@ -31,7 +31,7 @@ from typing import Awaitable, Callable, Mapping, Sequence
 from ..obs import OBS
 from ..obs.clock import Clock, MonotonicClock
 from ..parallel import Executor, get_executor
-from ..querying.distributed import PartitionedStore
+from ..querying.distributed import PartitionedStore, resolve_compact_threshold
 from .admission import AdmissionController, AdmissionDecision
 from .cache import ResultCache
 from .coalescer import Batch, Coalescer, PendingQuery
@@ -62,6 +62,8 @@ class ServeStats:
     batches: int = 0
     max_batch_seen: int = 0
     max_depth_seen: int = 0
+    compactions: int = 0  # opportunistic store compactions between batches
+    points_compacted: int = 0  # delta rows folded into base columns
 
     def coalesce_ratio(self) -> float:
         """Requests answered per kernel call (1.0 = no coalescing win)."""
@@ -80,6 +82,8 @@ class ServeStats:
             "batches": self.batches,
             "max_batch_seen": self.max_batch_seen,
             "max_depth_seen": self.max_depth_seen,
+            "compactions": self.compactions,
+            "points_compacted": self.points_compacted,
             "coalesce_ratio": self.coalesce_ratio(),
         }
 
@@ -109,6 +113,13 @@ class QueryService:
     plus a virtual pause make the dispatcher fully deterministic under
     test); the default pause wakes early whenever a new request arrives,
     so full batches never wait out their linger.
+
+    With ``auto_compact`` (the default), the dispatcher opportunistically
+    folds the store's delta tails between batches once the worst
+    partition's delta fraction passes ``compact_threshold`` (defaults to
+    the store-wide threshold, env-tunable via
+    ``$REPRO_STORE_COMPACT_THRESHOLD``) — see :meth:`_maybe_compact` and
+    the ``compactions`` / ``points_compacted`` stats.
     """
 
     def __init__(
@@ -126,6 +137,8 @@ class QueryService:
         executor: Executor | None = None,
         clock: Clock | None = None,
         pause: Callable[[float], Awaitable[None]] | None = None,
+        auto_compact: bool = True,
+        compact_threshold: float | None = None,
     ) -> None:
         self.store = store
         self.epochs = epochs if epochs is not None else EpochRegistry(store.partition_boxes)
@@ -138,6 +151,8 @@ class QueryService:
         self._workers = workers
         self._given_executor = executor
         self._executor: Executor | None = None
+        self._auto_compact = auto_compact and hasattr(store, "compact")
+        self._compact_threshold = resolve_compact_threshold(compact_threshold)
         self._state = _Inflight()
         self._wake = asyncio.Event()
         self._capacity = asyncio.Condition()
@@ -340,10 +355,41 @@ class QueryService:
                         # futures must fail here or submitters hang forever.
                         self._fail_batch(batch, exc)
                         raise
+                self._maybe_compact()
                 continue
             deadline = self._coalescer.next_deadline()
             self._wake.clear()
             await self._pause((deadline if deadline is not None else now) - now)
+
+    def _maybe_compact(self) -> None:
+        """Opportunistic store compaction between batches (never during one).
+
+        Live ingest through :class:`~repro.ingest.sinks
+        .PartitionedStoreSink` grows the store's delta tails; once the
+        worst partition's delta fraction passes the threshold, the
+        dispatcher folds them back into packed base columns while no
+        batch is in flight.  Folding changes no results and bumps no
+        quality epochs, so cached entries stay valid — it only restores
+        packed-column scan speed after an ingest burst.
+        """
+        if not self._auto_compact:
+            return
+        if self.store.max_delta_fraction() < self._compact_threshold:
+            return
+        result = self.store.compact(threshold=self._compact_threshold)
+        if result.partitions:
+            self.stats.compactions += 1
+            self.stats.points_compacted += result.points_folded
+            if OBS.enabled:
+                OBS.metrics.inc("repro_serve_compactions_total")
+
+    def store_stats(self) -> dict[str, float]:
+        """Live two-tier store accounting (delta fraction, compactions).
+
+        Empty for duck-typed stores without a delta tier.
+        """
+        stats = getattr(self.store, "delta_stats", None)
+        return stats() if callable(stats) else {}
 
     async def _dispatch(self, batch: Batch) -> None:
         obs_on = OBS.enabled

@@ -12,7 +12,7 @@ import asyncio
 
 import pytest
 
-from repro.core import Point
+from repro.core import BBox, Point
 from repro.ingest import IngestEngine
 from repro.ingest.events import IngestEvent
 from repro.obs import OBS, ManualClock, disable, enable
@@ -462,3 +462,99 @@ class TestPoolReuse:
                 await svc.stop()
 
         asyncio.run(go())
+
+
+class TestLiveIngestCompaction:
+    """Opportunistic compaction between batches (live ingest tentpole)."""
+
+    def heavy_delta(self, store, rng, n=400):
+        region = BBox(0.0, 0.0, 1000.0, 1000.0)
+        extra = skewed_points(rng, n, region, n_hotspots=2, hotspot_sigma=60.0)
+        store.append_many(extra)
+        return extra
+
+    def test_auto_compaction_triggers_after_batch(self, store, rng, box):
+        self.heavy_delta(store, rng)
+        assert store.max_delta_fraction() >= 0.25
+        responses, stats = serve_all(store, range_requests(4), linger=0.0)
+        assert all(r.status is ResponseStatus.OK for r in responses)
+        assert stats.compactions >= 1
+        assert stats.points_compacted >= 1
+        # only partitions at/above the threshold fold; the max must drop below it
+        assert store.max_delta_fraction() < 0.25
+
+    def test_auto_compact_off_leaves_deltas(self, store, rng, box):
+        self.heavy_delta(store, rng)
+        _, stats = serve_all(store, range_requests(4), linger=0.0, auto_compact=False)
+        assert stats.compactions == 0
+        assert store.delta_stats()["delta_points"] > 0.0
+
+    def test_below_threshold_no_compaction(self, store, rng, box):
+        store.append(Point(500.0, 500.0))
+        _, stats = serve_all(
+            store, range_requests(4), linger=0.0, compact_threshold=0.9
+        )
+        assert stats.compactions == 0
+
+    def test_compaction_does_not_invalidate_cache(self, store, rng, box):
+        """Folding deltas is a representation change: cached results must
+        survive it (no epoch bump), unlike a gate-admitted write."""
+        self.heavy_delta(store, rng)
+
+        async def go():
+            async with QueryService(store, linger=0.0) as svc:
+                req = range_requests(1)[0]
+                first = await svc.submit(req)
+                # the dispatcher compacted after the first batch
+                assert svc.stats.compactions >= 1
+                again = await svc.submit(range_requests(1)[0])
+                assert again.results == first.results
+                assert again.cached
+                return svc.stats
+
+        stats = asyncio.run(go())
+        assert stats.cache_hits == 1
+
+    def test_served_results_identical_with_and_without_compaction(self, rng, box):
+        pts = skewed_points(rng, 600, box, n_hotspots=3, hotspot_sigma=40.0)
+        extra = skewed_points(rng, 300, box, n_hotspots=1, hotspot_sigma=80.0)
+        a = PartitionedStore(pts, kd_partition(pts, box, 8))
+        b = PartitionedStore(pts, kd_partition(pts, box, 8))
+        a.append_many(extra)
+        b.append_many(extra)
+        reqs = range_requests(6) + [
+            KnnQueryRequest(Point(300.0, 300.0), 5),
+            KnnQueryRequest(Point(900.0, 100.0), 3),
+        ]
+        ra, _ = serve_all(a, reqs, linger=0.0)
+        rb, _ = serve_all(b, reqs, linger=0.0, auto_compact=False)
+        assert [r.results for r in ra] == [r.results for r in rb]
+
+    def test_store_stats_exposes_delta_accounting(self, store, rng, box):
+        async def go():
+            async with QueryService(store, linger=0.0) as svc:
+                return svc.store_stats()
+
+        stats = asyncio.run(go())
+        assert stats["points"] == 600.0
+        assert "delta_fraction_max" in stats
+
+    def test_store_stats_empty_for_duck_typed_store(self, store):
+        async def go():
+            svc = QueryService(store)
+            svc.store = object()
+            return svc.store_stats()
+
+        assert asyncio.run(go()) == {}
+
+    def test_serve_compaction_metric(self, store, rng, box):
+        self.heavy_delta(store, rng)
+        enable()
+        try:
+            _, stats = serve_all(store, range_requests(4), linger=0.0)
+            assert stats.compactions >= 1
+            snap = OBS.metrics.snapshot()
+            assert snap.counter("repro_serve_compactions_total") >= 1
+            assert snap.counter("repro_store_compactions_total") >= 1
+        finally:
+            disable()

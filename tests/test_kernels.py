@@ -334,6 +334,15 @@ PARITY_BUILDERS = {
         rng.uniform(-100.0, 100.0, size=(5, 2)),
         6,
     ),
+    "chunked_range_hits": lambda rng: (
+        [
+            (_twin_coords(rng, 20), np.arange(20, dtype=np.int64)),
+            (np.zeros((0, 2)), np.zeros(0, dtype=np.int64)),
+            (_twin_coords(rng, 15), np.arange(100, 115, dtype=np.int64)),
+        ],
+        rng.uniform(-100.0, 100.0, size=(6, 2)),
+        rng.uniform(10.0, 200.0, size=6),
+    ),
     "box_min_dists": lambda rng: (_twin_boxes(rng), Point(5.0, 5.0)),
     "box_max_dists": lambda rng: (_twin_boxes(rng), Point(5.0, 5.0)),
     "box_gap_dists": lambda rng: (BBox(-20.0, -20.0, 20.0, 20.0), _twin_boxes(rng)),
@@ -363,6 +372,11 @@ _EMPTY_BUILDERS = {
     "robust_zscores": lambda rng: (np.zeros(0),),
     "both_leg_flags": lambda rng: (np.zeros(0, dtype=bool),),
     "knn_select": lambda rng: (np.zeros(0), np.zeros(0, dtype=np.int64), 4),
+    "chunked_range_hits": lambda rng: (
+        [],
+        rng.uniform(-100.0, 100.0, size=(3, 2)),
+        50.0,
+    ),
 }
 
 
@@ -373,7 +387,7 @@ def _assert_twin_equal(name, got, want):
         assert got == pytest.approx(want, rel=1e-12, abs=1e-12)
     elif name == "knn_select":
         np.testing.assert_array_equal(got, want)
-    elif name == "knn_select_many":
+    elif name in ("knn_select_many", "chunked_range_hits"):
         assert len(got) == len(want)
         for g, w in zip(got, want):
             np.testing.assert_array_equal(g, w)

@@ -532,7 +532,7 @@ class TestSharedMemorySiteHygiene:
             # The first lease went back to the free list, not leaked as leased.
             assert stats["bytes_total"] > 0
             assert stats["bytes_free"] == stats["bytes_total"]
-            assert store._shm_cache is None
+            assert len(store._leases) == 0
         finally:
             arena.close_all()
 
@@ -547,7 +547,7 @@ class TestSharedMemorySiteHygiene:
         box = BBox(0.0, 0.0, 100.0, 100.0)
         points = skewed_points(rng, 60, box, n_hotspots=2, hotspot_sigma=10.0)
         store = PartitionedStore(points, kd_partition(points, box, 4))
-        cols = store._cols
+        snap = store._tiers.snapshot()
 
         closed: list[bool] = []
         real_attach = SharedArray.attach.__func__
@@ -567,14 +567,13 @@ class TestSharedMemorySiteHygiene:
 
         monkeypatch.setattr(SharedArray, "attach", staticmethod(flaky_attach))
         monkeypatch.setattr(SharedArray, "release", tracking_release)
-        with SharedArray.create(cols.coords) as coords_s, SharedArray.create(
-            cols.index
+        with SharedArray.create(snap.base_coords[0]) as coords_s, SharedArray.create(
+            snap.base_index[0]
         ) as index_s:
+            part_refs = (((coords_s.handle, index_s.handle), None),)
             payload = (
-                coords_s.handle,
-                index_s.handle,
-                cols.offsets,
-                cols.boxes,
+                part_refs,
+                snap.boxes[:1],
                 "range",
                 np.array([[50.0, 50.0]]),
                 np.array([10.0]),
@@ -867,7 +866,7 @@ class TestSharedArenaCache:
                     centers, radii, executor=_InProcessPoolStub()
                 )
                 assert got == serial
-            assert store._shm_cache is not None
+            assert len(store._leases) > 0  # one lease pair per non-empty partition
         finally:
             store.close_shared()
 

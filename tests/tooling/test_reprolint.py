@@ -1,7 +1,7 @@
 """Tier-1 tests for the reprolint invariant checker.
 
 Two layers: fixture snippets that trigger (and pragma-suppress) each rule
-R1-R6 against throwaway trees, and the live-tree gate — the real
+R1-R7 against throwaway trees, and the live-tree gate — the real
 repository must be clean against its shipped baseline, which is also what
 makes reprolint a tier-1 invariant rather than an optional linter.
 """
@@ -451,6 +451,76 @@ class TestR6PoolDiscipline:
 
             def make():
                 return ProcessExecutor(2)  # reprolint: disable=R6
+            """,
+        )
+        assert run_reprolint(tmp_path) == []
+
+
+# -- R7: store append discipline -----------------------------------------------
+
+
+class TestR7StoreAppendDiscipline:
+    def test_points_append_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/serve/bad.py",
+            """
+            def admit(store, point):
+                store.points.append(point)
+            """,
+        )
+        findings = run_reprolint(tmp_path)
+        assert [f.rule for f in findings] == ["R7"]
+        assert "append_many" in findings[0].message
+
+    def test_points_extend_and_insert_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/querying/bad.py",
+            """
+            def bulk(store, pts):
+                store.points.extend(pts)
+                store.points.insert(0, pts[0])
+            """,
+        )
+        findings = run_reprolint(tmp_path)
+        assert [f.rule for f in findings] == ["R7", "R7"]
+
+    def test_points_augmented_assign_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/querying/bad.py",
+            """
+            def bulk(store, pts):
+                store.points += pts
+            """,
+        )
+        findings = run_reprolint(tmp_path)
+        assert [f.rule for f in findings] == ["R7"]
+        assert "augmented assignment" in findings[0].message
+
+    def test_sanctioned_api_and_plain_lists_clean(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/serve/ok.py",
+            """
+            def admit(store, pts):
+                store.append_many(pts)
+                local: list[int] = []
+                local.append(1)
+                points = [2]
+                points.append(3)
+            """,
+        )
+        assert run_reprolint(tmp_path) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/querying/waived.py",
+            """
+            def seam(self, pts):
+                self.points.extend(pts)  # reprolint: disable=R7
             """,
         )
         assert run_reprolint(tmp_path) == []

@@ -21,7 +21,7 @@ except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 only
     tomllib = None  # type: ignore[assignment]
 
 #: Every rule reprolint knows about (see tools/reprolint/rules.py).
-RULE_IDS = ("R1", "R2", "R3", "R4", "R5", "R6")
+RULE_IDS = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
 
 #: Inline suppression: ``# reprolint: disable=R1`` or ``disable=R1,R4``.
 PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -196,6 +196,7 @@ def run_reprolint(
         if module.rel.startswith("src/repro/ingest/"):
             findings.extend(rules.rule_r4_lock_discipline(module))
         findings.extend(rules.rule_r6_pool_discipline(module))
+        findings.extend(rules.rule_r7_store_append_discipline(module))
     for finding, pragmas in rules.rule_r3_kernel_parity(root):
         pragma_maps.setdefault(finding.file, pragmas)
         findings.append(finding)

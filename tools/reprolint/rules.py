@@ -1,4 +1,4 @@
-"""The five reprolint rules, each an AST pass returning structured findings.
+"""The seven reprolint rules, each an AST pass returning structured findings.
 
 Every per-module rule takes a parsed :class:`~tools.reprolint.core.Module`
 and returns ``list[Finding]``; the tree-level rules (R3, R5) take the repo
@@ -563,4 +563,59 @@ def rule_r6_pool_discipline(module: Module) -> list[Finding]:
                     "so pools are shared, prewarmed, and closed by `shutdown_all()`",
                 )
             )
+    return findings
+
+
+# -- R7: store append discipline -----------------------------------------------
+
+_R7_MUTATORS = frozenset({"append", "extend", "insert"})
+
+
+def rule_r7_store_append_discipline(module: Module) -> list[Finding]:
+    """In-place mutation of a ``.points`` attribute bypasses the delta tier.
+
+    :class:`~repro.querying.distributed.PartitionedStore` keeps packed base
+    columns plus per-partition delta tails in sync with ``store.points``;
+    calling ``store.points.append(...)`` (or ``extend``/``insert``/``+=``)
+    adds a point the columnar tiers never see, so range/kNN answers silently
+    drop it and ``rebuilt()`` stops agreeing with the live store.  All
+    admission must flow through ``PartitionedStore.append`` /
+    ``append_many``, which route, grow scan boxes, and keep delta accounting
+    honest.  The one sanctioned seam — the delta tier's own bookkeeping in
+    ``_TwoTierColumns.append`` — carries an inline pragma.
+    """
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _R7_MUTATORS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == "points"
+        ):
+            findings.append(
+                Finding(
+                    module.rel,
+                    node.lineno,
+                    "R7",
+                    f"in-place `.points.{node.func.attr}(...)` bypasses the "
+                    "store's delta tier — admit points via "
+                    "`PartitionedStore.append` / `append_many` so columnar "
+                    "tiers, scan boxes, and compaction accounting stay in sync",
+                )
+            )
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Attribute) and target.attr == "points":
+                findings.append(
+                    Finding(
+                        module.rel,
+                        node.lineno,
+                        "R7",
+                        "augmented assignment on `.points` bypasses the "
+                        "store's delta tier — admit points via "
+                        "`PartitionedStore.append` / `append_many` so columnar "
+                        "tiers, scan boxes, and compaction accounting stay in sync",
+                    )
+                )
     return findings
