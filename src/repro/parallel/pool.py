@@ -149,7 +149,10 @@ class WorkerPoolManager:
                 self.stats.pools_restarted += 1
                 pool = None
             if pool is None:
-                pool = self._spawn(key)
+                # Prewarming under the lock is the point: concurrent acquirers
+                # must queue behind the one spawn instead of each cold-starting
+                # a private pool, and nothing else contends for this lock.
+                pool = self._spawn(key)  # reprolint: disable=R9
             else:
                 self.stats.pool_reuses += 1
             self._active_leases[key] = self._active_leases.get(key, 0) + 1
@@ -182,7 +185,9 @@ class WorkerPoolManager:
                 self.stats.pools_restarted += 1
                 pool = None
             if pool is None:
-                pool = self._spawn(key)
+                # Same deliberate spawn-under-lock as acquire(): racing restarts
+                # must converge on a single respawned pool.
+                pool = self._spawn(key)  # reprolint: disable=R9
             self._export_gauge()
             return pool
 

@@ -474,7 +474,7 @@ class SharedTrajectoryBatch:
             else np.zeros((0, 3))
         )
         # Ownership transfers to the returned batch, whose release() pairs it.
-        block = arena.share(packed) if arena is not None else SharedArray.create(packed)  # reprolint: disable=R2
+        block = arena.share(packed) if arena is not None else SharedArray.create(packed)
         return cls(block, tuple(offsets), tuple(t.object_id for t in trajectories))
 
     @property
@@ -485,7 +485,7 @@ class SharedTrajectoryBatch:
     def attach(cls, handle: TrajectoryBatchHandle) -> "SharedTrajectoryBatch":
         # Ownership transfers to the returned batch, whose release() pairs it.
         return cls(
-            SharedArray.attach(handle.block),  # reprolint: disable=R2
+            SharedArray.attach(handle.block),
             handle.offsets,
             handle.object_ids,
         )

@@ -544,9 +544,14 @@ class _PartitionLeases:
         except BaseException:
             lease_c.release()  # pairs the first lease on the failure path
             raise
-        with self._lock:
-            displaced = self._leases.get(p)
-            self._leases[p] = (coords, lease_c, index, lease_i)
+        try:
+            with self._lock:
+                displaced = self._leases.get(p)
+                self._leases[p] = (coords, lease_c, index, lease_i)
+        except BaseException:  # cache bookkeeping failed: both leases are still ours
+            lease_c.release()
+            lease_i.release()
+            raise
         if displaced is not None:  # racing lease for the same partition
             displaced[1].release()
             displaced[3].release()
@@ -582,16 +587,16 @@ def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
     part_refs, boxes, mode, centers, arg = payload
     coords_chunks: list[list[np.ndarray]] = []
     index_chunks: list[list[np.ndarray]] = []
-    # One ExitStack pairs every attach with its release on all exit paths
-    # (R2's lexical with-item check cannot see through the stack).
+    # One ExitStack pairs every attach with its release on all exit paths;
+    # flow-based R2 sees the enter_context ownership transfer directly.
     with ExitStack() as stack:
         for base_ref, delta in part_refs:
             cc: list[np.ndarray] = []
             ic: list[np.ndarray] = []
             if base_ref is not None:
                 coords_h, index_h = base_ref
-                cc.append(stack.enter_context(SharedArray.attach(coords_h)).array)  # reprolint: disable=R2 — stack-paired release
-                ic.append(stack.enter_context(SharedArray.attach(index_h)).array)  # reprolint: disable=R2 — stack-paired release
+                cc.append(stack.enter_context(SharedArray.attach(coords_h)).array)
+                ic.append(stack.enter_context(SharedArray.attach(index_h)).array)
             if delta is not None:
                 cc.append(delta[0])
                 ic.append(delta[1])
@@ -753,13 +758,13 @@ class PartitionedStore:
             ]
         else:
             targets = [p for p in partition_ids if delta_sizes[p]]
+        start = clk.now()
+        folded = 0
         cm = (
             OBS.tracer.span("store.compact", partitions=len(targets))
             if OBS.enabled
             else _NULL
         )
-        start = clk.now()
-        folded = 0
         with cm:
             for p in targets:
                 folded += self._tiers.compact_one(p)

@@ -209,3 +209,78 @@ class TestPartitionDependencySets:
         assert boxes.shape == (4, 4)
         with pytest.raises(ValueError):
             boxes[0, 0] = 99.0
+
+
+class TestPartitionLeaseExceptionSafety:
+    """Regression tests for the R2-flow findings fixed in _PartitionLeases.lease:
+    a failure anywhere between acquiring the arena leases and registering them
+    in the cache must return every acquired lease to the arena."""
+
+    class _FakeLease:
+        def __init__(self):
+            self.alive = True
+
+        def release(self):
+            self.alive = False
+
+    def _fake_arena(self, fail_on_share=None):
+        leases = []
+        test = self
+
+        class _FakeArena:
+            def share(self, arr):
+                if fail_on_share is not None and len(leases) + 1 == fail_on_share:
+                    raise RuntimeError("arena exhausted")
+                lease = test._FakeLease()
+                leases.append(lease)
+                return lease
+
+        return _FakeArena(), leases
+
+    def test_second_share_failure_releases_first_lease(self, monkeypatch):
+        import numpy as np
+
+        from repro.parallel import shm
+        from repro.querying.distributed import _PartitionLeases
+
+        arena, leases = self._fake_arena(fail_on_share=2)
+        monkeypatch.setattr(shm, "get_arena", lambda: arena)
+        pl = _PartitionLeases()
+        with pytest.raises(RuntimeError, match="arena exhausted"):
+            pl.lease(0, np.zeros((3, 3)), np.arange(3))
+        assert len(leases) == 1 and not leases[0].alive
+        assert len(pl) == 0
+
+    def test_cache_registration_failure_releases_both_leases(self, monkeypatch):
+        import numpy as np
+
+        from repro.parallel import shm
+        from repro.querying.distributed import _PartitionLeases
+
+        arena, leases = self._fake_arena()
+        monkeypatch.setattr(shm, "get_arena", lambda: arena)
+
+        class _BoomDict(dict):
+            def __setitem__(self, key, value):
+                raise RuntimeError("bookkeeping failed")
+
+        pl = _PartitionLeases()
+        pl._leases = _BoomDict()
+        with pytest.raises(RuntimeError, match="bookkeeping failed"):
+            pl.lease(0, np.zeros((3, 3)), np.arange(3))
+        assert len(leases) == 2
+        assert all(not lease.alive for lease in leases)
+
+    def test_successful_lease_is_cached_and_alive(self, monkeypatch):
+        import numpy as np
+
+        from repro.parallel import shm
+        from repro.querying.distributed import _PartitionLeases
+
+        arena, leases = self._fake_arena()
+        monkeypatch.setattr(shm, "get_arena", lambda: arena)
+        pl = _PartitionLeases()
+        coords, index = np.zeros((3, 3)), np.arange(3)
+        lease_c, lease_i = pl.lease(0, coords, index)
+        assert lease_c.alive and lease_i.alive
+        assert len(pl) == 1

@@ -2,24 +2,56 @@
 
 Exit status is 0 when the tree is clean against the baseline and nonzero
 when any unwaived finding remains — the contract the CI ``lint-invariants``
-job and the tier-1 test both rely on.
+job and the tier-1 test both rely on.  The incremental cache
+(``.reprolint_cache.json`` at the root, gitignored) is on by default;
+``--changed`` scopes the per-file findings to files touched since HEAD for
+a fast pre-commit pass, while the whole-program and tree rules always see
+the full index.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
-from .core import DEFAULT_BASELINE, Baseline, run_reprolint
+from .core import DEFAULT_BASELINE, DEFAULT_CACHE, Baseline, analyze
+from .sarif import render_sarif
+
+
+def _git_changed_files(root: Path) -> set[str] | None:
+    """Repo-relative paths changed vs HEAD (worktree + index + untracked).
+
+    Returns None when git is unavailable or the tree is not a repository —
+    the caller falls back to a full run.
+    """
+    commands = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    changed: set[str] = set()
+    for cmd in commands:
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, timeout=30, check=False
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return {rel for rel in changed if rel.endswith(".py")}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.reprolint",
-        description="AST invariant checks: determinism, shm lifecycle, kernel "
-        "parity, lock discipline, export hygiene.",
+        description="AST invariant checks: determinism, resource lifecycle (flow), "
+        "kernel parity, lock discipline, export hygiene, architecture layering, "
+        "lock-order/deadlock.",
     )
     parser.add_argument(
         "paths",
@@ -40,7 +72,31 @@ def main(argv: list[str] | None = None) -> int:
         "--no-baseline", action="store_true", help="ignore the baseline entirely"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="output format"
+        "--format", choices=("text", "json", "sarif"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report per-file findings only for files changed vs HEAD "
+        "(whole-program and tree rules still see everything); the fast "
+        "pre-commit path",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"skip the incremental cache (<root>/{DEFAULT_CACHE.as_posix()})",
+    )
+    parser.add_argument(
+        "--cache-path",
+        type=Path,
+        default=None,
+        help="override the incremental cache location",
     )
     args = parser.parse_args(argv)
 
@@ -53,17 +109,44 @@ def main(argv: list[str] | None = None) -> int:
         default = root / DEFAULT_BASELINE
         baseline = Baseline.load(default) if default.exists() else Baseline.empty()
 
-    findings = run_reprolint(root, paths=args.paths or None, baseline=baseline)
+    if args.no_cache:
+        cache_path = None
+    elif args.cache_path is not None:
+        cache_path = args.cache_path
+    else:
+        cache_path = root / DEFAULT_CACHE
+
+    result = analyze(root, paths=args.paths or None, baseline=baseline, cache_path=cache_path)
+
+    if args.changed:
+        changed = _git_changed_files(root)
+        if changed is None:
+            print(
+                "reprolint: --changed requested but git state is unavailable; "
+                "running on the full tree",
+                file=sys.stderr,
+            )
+            findings = result.findings
+        else:
+            scoped = [f for f in result.per_file if f.file in changed]
+            findings = sorted(set(scoped + result.whole_program + result.tree))
+    else:
+        findings = result.findings
 
     if args.format == "json":
-        print(json.dumps([f.as_dict() for f in findings], indent=2))
+        report = json.dumps([f.as_dict() for f in findings], indent=2)
+    elif args.format == "sarif":
+        report = render_sarif(findings)
     else:
-        for finding in findings:
-            print(finding.render())
-        if findings:
-            print(f"reprolint: {len(findings)} finding(s)")
-        else:
-            print("reprolint: clean")
+        lines = [f.render() for f in findings]
+        lines.append(f"reprolint: {len(findings)} finding(s)" if findings else "reprolint: clean")
+        report = "\n".join(lines)
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
     return 1 if findings else 0
 
 

@@ -1,27 +1,50 @@
-"""Shared reprolint infrastructure: findings, pragmas, baseline, runner.
+"""Shared reprolint infrastructure: findings, pragmas, baseline, two-phase runner.
 
-Rule implementations live in :mod:`tools.reprolint.rules`; this module
+Rule implementations live in :mod:`tools.reprolint.rules` (per-module and
+tree rules), :mod:`tools.reprolint.flow` (R2-flow), :mod:`tools.reprolint.graph`
+(R8 layering), and :mod:`tools.reprolint.locks` (R9 lock order); this module
 holds everything they share — the :class:`Finding` record, parsed
-:class:`Module` wrappers with their pragma maps, the
-``reprolint_baseline.toml`` waiver file, and :func:`run_reprolint`, the
-single entry point the CLI and the tier-1 test both call.
+:class:`Module` wrappers with their pragma maps, the per-file
+:class:`ModuleInfo` summaries the whole-program rules consume, the
+``reprolint_baseline.toml`` waiver/manifest file, and :func:`analyze`, the
+two-phase entry point.  :func:`run_reprolint` remains the thin uncached
+wrapper the CLI and the tier-1 test both call.
+
+Phase 1 parses each file once into a ``ModuleInfo`` (imports, lock
+definitions, per-function lock/blocking summaries) and runs the per-module
+rules; both are cached per file keyed on a content hash.  Phase 2 runs the
+whole-program rules (R8, R9) over the combined index, re-running only when
+the import graph, the lock index, the layer manifest, or the architecture
+marker changes.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
+
+from .cache import (
+    CacheStats,
+    FileEntry,
+    LintCache,
+    digest_bytes,
+    digest_file,
+    tree_rules_key,
+    whole_program_key,
+)
+from .graph import ImportRecord
+from .locks import FunctionSummary
 
 try:  # Python >= 3.11
     import tomllib
 except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 only
     tomllib = None  # type: ignore[assignment]
 
-#: Every rule reprolint knows about (see tools/reprolint/rules.py).
-RULE_IDS = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
+#: Every rule reprolint knows about (R1–R7 per-module/tree, R8/R9 whole-program).
+RULE_IDS = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9")
 
 #: Inline suppression: ``# reprolint: disable=R1`` or ``disable=R1,R4``.
 PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -78,6 +101,82 @@ class Module:
         return rule in self.pragmas.get(line, ())
 
 
+def _module_identity(rel: str) -> tuple[str, str | None, bool]:
+    """(dotted module, top-level subpackage or None, is __init__) from a rel path."""
+    parts = rel.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    is_package = bool(parts) and parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    elif parts and parts[-1].endswith(".py"):
+        parts = parts[:-1] + [parts[-1][:-3]]
+    dotted = ".".join(parts)
+    package: str | None = None
+    if parts and parts[0] == "repro":
+        # ``repro/querying/index.py`` -> querying; ``repro/types.py`` -> None
+        # (root modules are the facade and sit outside the layer stack)
+        if is_package and len(parts) >= 2:
+            package = parts[1]
+        elif len(parts) >= 3:
+            package = parts[1]
+    return dotted, package, is_package
+
+
+@dataclass
+class ModuleInfo:
+    """Phase-1 summary of one module: everything the whole-program rules read.
+
+    JSON-round-trippable so the incremental cache can restore it without
+    re-parsing the source.
+    """
+
+    rel: str
+    module: str  # dotted path, e.g. ``repro.querying.index``
+    package: str | None  # top-level subpackage for layering, e.g. ``querying``
+    imports: list[ImportRecord]
+    lock_defs: dict[str, str]  # ``Class.attr``/``NAME`` -> "Lock"/"RLock"
+    functions: list[FunctionSummary]
+
+    @classmethod
+    def extract(cls, module: Module) -> "ModuleInfo":
+        from . import graph, locks, rules
+
+        dotted, package, is_package = _module_identity(module.rel)
+        aliases = rules.import_aliases(module.tree)
+        lock_defs, functions = locks.extract_lock_info(module.tree, aliases)
+        imports = graph.extract_imports(module.tree, dotted, is_package)
+        return cls(
+            rel=module.rel,
+            module=dotted,
+            package=package,
+            imports=imports,
+            lock_defs=lock_defs,
+            functions=functions,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rel": self.rel,
+            "module": self.module,
+            "package": self.package,
+            "imports": [r.as_dict() for r in self.imports],
+            "lock_defs": dict(self.lock_defs),
+            "functions": [f.as_dict() for f in self.functions],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleInfo":
+        return cls(
+            rel=str(d["rel"]),
+            module=str(d["module"]),
+            package=d["package"] if d["package"] is None else str(d["package"]),
+            imports=[ImportRecord.from_dict(r) for r in d["imports"]],
+            lock_defs={str(k): str(v) for k, v in d["lock_defs"].items()},
+            functions=[FunctionSummary.from_dict(f) for f in d["functions"]],
+        )
+
+
 # -- baseline ------------------------------------------------------------------
 
 
@@ -86,7 +185,8 @@ def _parse_minimal_toml(text: str) -> dict[str, dict[str, object]]:
 
     Supports ``[section]`` headers and ``key = value`` lines where the
     value is an integer, a double-quoted string, or an array of
-    double-quoted strings — exactly what ``reprolint_baseline.toml`` uses.
+    double-quoted strings — exactly what ``reprolint_baseline.toml`` uses
+    (the ``[layers]`` manifest is deliberately flat ``package = level``).
     """
     data: dict[str, dict[str, object]] = {}
     section: dict[str, object] | None = None
@@ -117,10 +217,13 @@ def _parse_minimal_toml(text: str) -> dict[str, dict[str, object]]:
 
 @dataclass
 class Baseline:
-    """Checked-in waivers: per-file rule exemptions plus the mypy ceiling."""
+    """Checked-in config: waivers, the mypy ceiling, and the layer manifest."""
 
     waivers: dict[str, set[str]]
     mypy_strict_errors: int | None = None
+    #: R8 layer manifest: package name -> level (lower = nearer the bottom).
+    #: Empty means R8 does not run — fixture trees are exempt by construction.
+    layers: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def empty(cls) -> "Baseline":
@@ -139,7 +242,16 @@ class Baseline:
         }
         mypy = data.get("mypy", {})
         strict = mypy.get("strict_errors")
-        return cls(waivers=waivers, mypy_strict_errors=int(strict) if strict is not None else None)
+        layers = {
+            str(pkg): int(level)
+            for pkg, level in data.get("layers", {}).items()
+            if isinstance(level, int) and not isinstance(level, bool)
+        }
+        return cls(
+            waivers=waivers,
+            mypy_strict_errors=int(strict) if strict is not None else None,
+            layers=layers,
+        )
 
     def is_waived(self, rel: str, rule: str) -> bool:
         return rule in self.waivers.get(rel, ())
@@ -147,6 +259,9 @@ class Baseline:
 
 #: Default baseline location, relative to the repo root.
 DEFAULT_BASELINE = Path("tools") / "reprolint" / "reprolint_baseline.toml"
+
+#: Default incremental-cache location, relative to the repo root (gitignored).
+DEFAULT_CACHE = Path(".reprolint_cache.json")
 
 
 # -- runner --------------------------------------------------------------------
@@ -163,20 +278,34 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
     return sorted(out)
 
 
-def run_reprolint(
+@dataclass
+class LintResult:
+    """Findings partitioned by provenance, plus what the cache did."""
+
+    findings: list[Finding]  # everything, sorted and deduplicated
+    per_file: list[Finding]  # per-module rules (R1/R2/R4/R6/R7)
+    whole_program: list[Finding]  # R8 layering + R9 lock order
+    tree: list[Finding]  # R3 kernel parity + R5 export hygiene
+    stats: CacheStats
+
+
+def analyze(
     root: Path,
     paths: Iterable[Path] | None = None,
     baseline: Baseline | None = None,
-) -> list[Finding]:
-    """Run every rule over the tree; returns unsuppressed, unwaived findings.
+    cache_path: Path | None = None,
+) -> LintResult:
+    """Two-phase run: per-file extraction + rules, then whole-program rules.
 
-    ``paths`` restricts the per-module rules (R1/R2/R4) to specific files;
-    the tree-level rules (R3 kernel parity, R5 export hygiene) always run
-    against ``root`` and silently skip when their anchor files are absent.
-    Pragmas suppress findings on their exact line; the baseline waives
-    whole (file, rule) pairs.
+    ``paths`` restricts the scanned file set (default ``src/repro``); the
+    tree-level rules (R3, R5) always run against ``root`` and silently skip
+    when their anchor files are absent.  With ``cache_path`` set, unchanged
+    files are restored from the cache and the whole-program/tree rule
+    groups re-run only when their fingerprints change.  Pragmas suppress
+    findings on their exact line; the baseline waives whole (file, rule)
+    pairs.
     """
-    from . import rules
+    from . import flow, graph, locks, rules
 
     root = Path(root).resolve()
     if baseline is None:
@@ -184,30 +313,120 @@ def run_reprolint(
         baseline = Baseline.load(baseline_path) if baseline_path.exists() else Baseline.empty()
 
     scan_paths = list(paths) if paths is not None else [root / "src" / "repro"]
-    modules: list[Module] = []
-    for path in iter_python_files(scan_paths):
-        modules.append(Module.parse(path, root))
+    files = iter_python_files(scan_paths)
+    cache = LintCache.load(Path(cache_path)) if cache_path is not None else None
+    stats = CacheStats()
 
-    findings: list[Finding] = []
-    pragma_maps: dict[str, dict[int, set[str]]] = {m.rel: m.pragmas for m in modules}
-    for module in modules:
-        findings.extend(rules.rule_r1_determinism(module))
-        findings.extend(rules.rule_r2_shm_lifecycle(module))
-        if module.rel.startswith("src/repro/ingest/"):
-            findings.extend(rules.rule_r4_lock_discipline(module))
-        findings.extend(rules.rule_r6_pool_discipline(module))
-        findings.extend(rules.rule_r7_store_append_discipline(module))
-    for finding, pragmas in rules.rule_r3_kernel_parity(root):
-        pragma_maps.setdefault(finding.file, pragmas)
-        findings.append(finding)
-    for finding, pragmas in rules.rule_r5_export_hygiene(root):
-        pragma_maps.setdefault(finding.file, pragmas)
-        findings.append(finding)
+    infos: dict[str, ModuleInfo] = {}
+    raw_per_file: list[Finding] = []
+    pragma_maps: dict[str, dict[int, set[str]]] = {}
 
-    kept = [
-        f
-        for f in findings
-        if f.rule not in pragma_maps.get(f.file, {}).get(f.line, set())
-        and not baseline.is_waived(f.file, f.rule)
-    ]
-    return sorted(set(kept))
+    for path in files:
+        rel = path.resolve().relative_to(root).as_posix()
+        data = path.read_bytes()
+        digest = digest_bytes(data)
+        entry = cache.files.get(rel) if cache is not None else None
+        if entry is not None and entry.digest == digest:
+            info = ModuleInfo.from_dict(entry.info)
+            file_findings = [Finding(**f) for f in entry.findings]
+            pragmas = {int(k): set(v) for k, v in entry.pragmas.items()}
+            stats.files_cached += 1
+        else:
+            source = data.decode("utf-8")
+            module = Module(
+                path=path,
+                rel=rel,
+                source=source,
+                tree=ast.parse(source, filename=str(path)),
+                pragmas=pragma_lines(source),
+            )
+            info = ModuleInfo.extract(module)
+            file_findings = list(rules.rule_r1_determinism(module))
+            file_findings.extend(flow.rule_r2_flow(module))
+            if rel.startswith("src/repro/ingest/"):
+                file_findings.extend(rules.rule_r4_lock_discipline(module))
+            file_findings.extend(rules.rule_r6_pool_discipline(module))
+            file_findings.extend(rules.rule_r7_store_append_discipline(module))
+            pragmas = module.pragmas
+            stats.files_analyzed += 1
+            if cache is not None:
+                cache.files[rel] = FileEntry(
+                    digest=digest,
+                    info=info.as_dict(),
+                    findings=[f.as_dict() for f in sorted(set(file_findings))],
+                    pragmas={str(ln): sorted(rs) for ln, rs in pragmas.items()},
+                )
+        infos[rel] = info
+        raw_per_file.extend(file_findings)
+        pragma_maps[rel] = pragmas
+
+    # phase 2: whole-program rules over the combined index (raw findings are
+    # cached; pragma/baseline filtering happens below so a suppression edit
+    # does not require a re-run)
+    marker_digest = digest_file(root / "docs" / "ARCHITECTURE.md")
+    wp_key = whole_program_key(
+        [infos[r].as_dict() for r in sorted(infos)], baseline.layers, marker_digest
+    )
+    if cache is not None and cache.whole_program.get("key") == wp_key:
+        wp_raw = [Finding(**f) for f in cache.whole_program.get("findings", [])]
+        stats.whole_program_reused = True
+    else:
+        wp_raw = list(graph.rule_r8_layering(infos, baseline, root))
+        wp_raw.extend(locks.rule_r9_lock_order(infos))
+        if cache is not None:
+            cache.whole_program = {
+                "key": wp_key,
+                "findings": [f.as_dict() for f in sorted(set(wp_raw))],
+            }
+
+    # tree rules key on the digests of exactly the files they read, so their
+    # cached findings can be stored pragma-filtered (a pragma edit changes a
+    # keyed digest and forces a re-run)
+    anchors = ["docs/API.md", "tests/test_kernels.py", "src/repro/kernels/reference.py"]
+    anchors += [f"src/repro/kernels/{m}.py" for m in rules.KERNEL_MODULES]
+    pkg_root = root / "src" / "repro"
+    if pkg_root.is_dir():
+        anchors += sorted(
+            p.resolve().relative_to(root).as_posix() for p in pkg_root.glob("*/__init__.py")
+        )
+    tr_key = tree_rules_key(root, anchors)
+    if cache is not None and cache.tree_rules.get("key") == tr_key:
+        tree_kept = [Finding(**f) for f in cache.tree_rules.get("findings", [])]
+        stats.tree_rules_reused = True
+    else:
+        tree_pairs = list(rules.rule_r3_kernel_parity(root))
+        tree_pairs.extend(rules.rule_r5_export_hygiene(root))
+        tree_kept = [f for f, pr in tree_pairs if f.rule not in pr.get(f.line, set())]
+        if cache is not None:
+            cache.tree_rules = {
+                "key": tr_key,
+                "findings": [f.as_dict() for f in sorted(set(tree_kept))],
+            }
+
+    if cache is not None:
+        cache.save(set(infos))
+
+    def kept(f: Finding) -> bool:
+        if f.rule in pragma_maps.get(f.file, {}).get(f.line, set()):
+            return False
+        return not baseline.is_waived(f.file, f.rule)
+
+    per_file_kept = sorted({f for f in raw_per_file if kept(f)})
+    wp_kept = sorted({f for f in wp_raw if kept(f)})
+    tree_final = sorted({f for f in tree_kept if not baseline.is_waived(f.file, f.rule)})
+    return LintResult(
+        findings=sorted(set(per_file_kept + wp_kept + tree_final)),
+        per_file=per_file_kept,
+        whole_program=wp_kept,
+        tree=tree_final,
+        stats=stats,
+    )
+
+
+def run_reprolint(
+    root: Path,
+    paths: Iterable[Path] | None = None,
+    baseline: Baseline | None = None,
+) -> list[Finding]:
+    """Uncached convenience wrapper: all rules, unsuppressed findings only."""
+    return analyze(root, paths=paths, baseline=baseline, cache_path=None).findings

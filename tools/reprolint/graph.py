@@ -1,0 +1,296 @@
+"""Import-graph extraction and R8 architecture-layering enforcement.
+
+Phase 1 (:func:`extract_imports`) records every import a module makes —
+eager module-level imports, lazy function-scope imports, and
+``TYPE_CHECKING``-only imports — with relative imports resolved against
+the module's dotted path.
+
+Phase 2 (:func:`rule_r8_layering`) checks the *eager* cross-package edges
+against the ``[layers]`` manifest in ``reprolint_baseline.toml``: a
+package may only import packages at its own level or below, same-level
+edges must stay acyclic, and every package that participates in an edge
+must be declared.  Lazy (function-scope) and ``TYPE_CHECKING`` imports
+are the sanctioned upward seams — they cannot create an import-time cycle
+— so R8 ignores them.  The manifest is also cross-checked against the
+machine-readable ``reprolint-layers`` marker in ``docs/ARCHITECTURE.md``
+so the prose diagram and the enforced graph cannot drift apart.
+
+The rule runs only when the baseline declares a ``[layers]`` section;
+fixture trees without one are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .core import Baseline, Finding, ModuleInfo
+
+#: Machine-readable layer marker in docs/ARCHITECTURE.md, e.g.
+#: ``<!-- reprolint-layers: obs < kernels < core < parallel = synth < serve -->``
+MARKER_RE = re.compile(r"reprolint-layers:\s*([A-Za-z0-9_ =<]+?)\s*(?:-->|$)")
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import edge out of a module."""
+
+    target: str  # dotted module, relative imports resolved
+    line: int
+    eager: bool  # module-level (True) vs function-scope (False)
+    type_checking: bool  # guarded by ``if TYPE_CHECKING:``
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "target": self.target,
+            "line": self.line,
+            "eager": self.eager,
+            "type_checking": self.type_checking,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ImportRecord":
+        return cls(
+            target=str(d["target"]),
+            line=int(d["line"]),
+            eager=bool(d["eager"]),
+            type_checking=bool(d["type_checking"]),
+        )
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def extract_imports(tree: ast.Module, module_dotted: str, is_package: bool) -> list[ImportRecord]:
+    """Every import in the module, with relative targets resolved."""
+    parts = module_dotted.split(".")
+    pkg_parts = parts if is_package else parts[:-1]
+
+    records: list[ImportRecord] = []
+
+    def visit(body: list[ast.stmt], eager: bool, type_checking: bool) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(node.body, False, type_checking)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, eager, type_checking)
+            elif isinstance(node, ast.If):
+                tc = type_checking or _is_type_checking_test(node.test)
+                visit(node.body, eager, tc)
+                visit(node.orelse, eager, type_checking)
+            elif isinstance(node, (ast.Try, ast.With, ast.AsyncWith, ast.For, ast.While)):
+                visit(node.body, eager, type_checking)
+                visit(getattr(node, "orelse", []), eager, type_checking)
+                visit(getattr(node, "finalbody", []), eager, type_checking)
+                for handler in getattr(node, "handlers", []):
+                    visit(handler.body, eager, type_checking)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    records.append(ImportRecord(alias.name, node.lineno, eager, type_checking))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    if node.module:
+                        records.append(
+                            ImportRecord(node.module, node.lineno, eager, type_checking)
+                        )
+                    continue
+                base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                if node.module:
+                    target = ".".join(base + node.module.split("."))
+                    records.append(ImportRecord(target, node.lineno, eager, type_checking))
+                else:
+                    # ``from .. import kernels`` — each alias names a module
+                    for alias in node.names:
+                        records.append(
+                            ImportRecord(
+                                ".".join(base + [alias.name]), node.lineno, eager, type_checking
+                            )
+                        )
+
+    visit(tree.body, True, False)
+    return records
+
+
+def parse_layer_marker(text: str) -> tuple[dict[str, int] | None, int]:
+    """(package -> level, marker line) from the ARCHITECTURE.md marker.
+
+    ``a < b = c < d`` reads bottom-up: ``a`` is the lowest layer, ``b``
+    and ``c`` share a level above it.  Returns ``(None, 0)`` when no
+    marker is present.
+    """
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = MARKER_RE.search(line)
+        if m:
+            levels: dict[str, int] = {}
+            for level, group in enumerate(m.group(1).split("<")):
+                for name in group.split("="):
+                    name = name.strip()
+                    if name:
+                        levels[name] = level
+            return levels, lineno
+    return None, 0
+
+
+def _normalized(levels: dict[str, int]) -> dict[str, int]:
+    """Collapse arbitrary level ints to dense ranks so 0/1/2 == 10/20/30."""
+    ranks = {lv: i for i, lv in enumerate(sorted(set(levels.values())))}
+    return {name: ranks[lv] for name, lv in levels.items()}
+
+
+def rule_r8_layering(
+    infos: dict[str, "ModuleInfo"], baseline: "Baseline", root: Path
+) -> list["Finding"]:
+    """Upward imports, same-level cycles, and manifest drift."""
+    from .core import Finding
+
+    layers = baseline.layers
+    if not layers:
+        return []
+
+    known_packages = {mi.package for mi in infos.values() if mi.package is not None}
+
+    findings: list[Finding] = []
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    missing: dict[str, tuple[str, int]] = {}
+
+    for rel in sorted(infos):
+        mi = infos[rel]
+        sp = mi.package
+        if sp is None:
+            continue  # src/repro/*.py root modules and non-src files are the facade
+        for imp in mi.imports:
+            if not imp.eager or imp.type_checking:
+                continue
+            parts = imp.target.split(".")
+            if parts[0] != "repro" or len(parts) < 2:
+                continue
+            dp = parts[1]
+            if dp == sp or dp not in known_packages:
+                continue
+            if dp not in layers:
+                missing.setdefault(dp, (mi.rel, imp.line))
+                continue
+            if sp not in layers:
+                missing.setdefault(sp, (mi.rel, imp.line))
+                continue
+            edges.setdefault((sp, dp), (mi.rel, imp.line))
+            if layers[dp] > layers[sp]:
+                findings.append(
+                    Finding(
+                        mi.rel,
+                        imp.line,
+                        "R8",
+                        f"upward import: `repro.{sp}` (layer {layers[sp]}) eagerly "
+                        f"imports `repro.{dp}` (layer {layers[dp]}) — higher layers "
+                        "may not be imported at module scope; invert the dependency "
+                        "or use a function-scope (lazy) import for the seam",
+                    )
+                )
+
+    for pkg in sorted(missing):
+        rel, line = missing[pkg]
+        findings.append(
+            Finding(
+                rel,
+                line,
+                "R8",
+                f"package `repro.{pkg}` participates in the import graph but has "
+                "no level in the [layers] manifest of reprolint_baseline.toml — "
+                "declare where it sits in the stack",
+            )
+        )
+
+    findings.extend(_same_level_cycles(edges, layers))
+    findings.extend(_marker_drift(layers, root))
+    return findings
+
+
+def _same_level_cycles(
+    edges: dict[tuple[str, str], tuple[str, int]], layers: dict[str, int]
+) -> list["Finding"]:
+    """Cycles among equal-level packages (unequal levels already flag upward)."""
+    from .core import Finding
+
+    same = {
+        (a, b): site
+        for (a, b), site in edges.items()
+        if layers.get(a) is not None and layers.get(a) == layers.get(b)
+    }
+    adj: dict[str, set[str]] = {}
+    for a, b in same:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+
+    findings: list[Finding] = []
+    seen_cycles: set[frozenset[str]] = set()
+    for start in sorted(adj):
+        # DFS looking for a path back to start
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        visited: set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(adj.get(node, ())):
+                if nxt == start:
+                    cycle = frozenset(path)
+                    if cycle in seen_cycles:
+                        continue
+                    seen_cycles.add(cycle)
+                    loop = path + [start]
+                    sites = [same[(loop[i], loop[i + 1])] for i in range(len(loop) - 1)]
+                    rel0, line0 = min(sites)
+                    findings.append(
+                        Finding(
+                            rel0,
+                            line0,
+                            "R8",
+                            "cyclic same-level imports: "
+                            + " -> ".join(f"`repro.{p}`" for p in loop)
+                            + " — same-level packages must stay acyclic; extract "
+                            "the shared piece downward or make one edge lazy",
+                        )
+                    )
+                elif nxt not in visited and nxt not in path:
+                    visited.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+    return findings
+
+
+def _marker_drift(layers: dict[str, int], root: Path) -> list["Finding"]:
+    """The docs/ARCHITECTURE.md marker must agree with the manifest."""
+    from .core import Finding
+
+    arch = root / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        return []  # fixture trees without docs are exempt from the cross-check
+    text = arch.read_text(encoding="utf-8")
+    marker, lineno = parse_layer_marker(text)
+    if marker is None:
+        return [
+            Finding(
+                "docs/ARCHITECTURE.md",
+                1,
+                "R8",
+                "no `reprolint-layers:` marker found — add "
+                "`<!-- reprolint-layers: low < mid = mid2 < high -->` matching "
+                "the [layers] manifest so the diagram stays machine-checked",
+            )
+        ]
+    if _normalized(marker) != _normalized(layers):
+        return [
+            Finding(
+                "docs/ARCHITECTURE.md",
+                lineno,
+                "R8",
+                "the `reprolint-layers:` marker disagrees with the [layers] "
+                "manifest in reprolint_baseline.toml — the manifest is the "
+                "source of truth; update the marker (and the diagram) to match",
+            )
+        ]
+    return []

@@ -1,9 +1,11 @@
-"""The seven reprolint rules, each an AST pass returning structured findings.
+"""The per-module and tree-level reprolint rules (R1, R3–R7).
 
 Every per-module rule takes a parsed :class:`~tools.reprolint.core.Module`
 and returns ``list[Finding]``; the tree-level rules (R3, R5) take the repo
 root and return ``(Finding, pragma_map)`` pairs so the runner can honor
-inline pragmas in files it did not itself scan.
+inline pragmas in files it did not itself scan.  The flow-based R2 lives
+in :mod:`tools.reprolint.flow`; the whole-program R8/R9 live in
+:mod:`tools.reprolint.graph` and :mod:`tools.reprolint.locks`.
 """
 
 from __future__ import annotations
@@ -56,10 +58,6 @@ def resolve_call_name(node: ast.Call, aliases: dict[str, str]) -> str | None:
 
 def parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
     return {child: parent for parent in ast.walk(tree) for child in ast.iter_child_nodes(parent)}
-
-
-def _contains(node: ast.AST, target: ast.AST) -> bool:
-    return any(sub is target for sub in ast.walk(node))
 
 
 # -- R1: determinism -----------------------------------------------------------
@@ -147,123 +145,6 @@ def rule_r1_determinism(module: Module) -> list[Finding]:
                         "injected `np.random.Generator`",
                     )
                 )
-    return findings
-
-
-# -- R2: shared-memory lifecycle -----------------------------------------------
-
-SHM_CLASSES = {"SharedArray", "SharedTrajectoryBatch"}
-RELEASE_METHODS = {"release", "close", "unlink"}
-
-
-def _shm_acquisitions(tree: ast.Module) -> list[ast.Call]:
-    out = []
-    for node in ast.walk(tree):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in {"create", "attach"}
-        ):
-            base = dotted_name(node.func.value)
-            if base is not None and base.rsplit(".", 1)[-1] in SHM_CLASSES:
-                out.append(node)
-    return out
-
-
-def _enclosing_statement(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> ast.stmt | None:
-    """Nearest ancestor statement that sits directly in some body list."""
-    cur: ast.AST | None = node
-    while cur is not None:
-        parent = parents.get(cur)
-        if isinstance(cur, ast.stmt) and parent is not None:
-            for field in ("body", "orelse", "finalbody"):
-                body = getattr(parent, field, None)
-                if isinstance(body, list) and cur in body:
-                    return cur
-        cur = parent
-    return None
-
-
-def _releases_name(stmts: list[ast.stmt], name: str | None) -> bool:
-    """True when some statement calls ``<name>.release/close/unlink()``."""
-    for stmt in stmts:
-        for node in ast.walk(stmt):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in RELEASE_METHODS
-            ):
-                if name is None:
-                    return True
-                target = node.func.value
-                if isinstance(target, ast.Name) and target.id == name:
-                    return True
-    return False
-
-
-def rule_r2_shm_lifecycle(module: Module) -> list[Finding]:
-    """Shared-memory acquisition must be lexically paired with its release.
-
-    Accepted shapes, all within the acquiring function:
-
-    * the ``create``/``attach`` call is a ``with``-item context expression,
-    * ``name = X.create(...)`` immediately followed by a ``try`` whose
-      ``finally`` calls ``name.release()`` (or ``close``/``unlink``),
-    * the call sits inside a ``try`` body whose ``finally`` releases the
-      assigned name.
-
-    Anything else — including acquisition *before* the ``try`` when a
-    second acquisition can still fail — is a leak path.
-    """
-    calls = _shm_acquisitions(module.tree)
-    if not calls:
-        return []
-    parents = parent_map(module.tree)
-    findings: list[Finding] = []
-    for call in calls:
-        stmt = _enclosing_statement(call, parents)
-        bound: str | None = None
-        if (
-            isinstance(stmt, ast.Assign)
-            and len(stmt.targets) == 1
-            and isinstance(stmt.targets[0], ast.Name)
-        ):
-            bound = stmt.targets[0].id
-
-        ok = False
-        cur: ast.AST | None = call
-        while cur is not None and not ok:
-            parent = parents.get(cur)
-            if isinstance(parent, (ast.With, ast.AsyncWith)):
-                ok = any(_contains(item.context_expr, call) for item in parent.items)
-            elif isinstance(parent, ast.Try) and cur in parent.body:
-                ok = _releases_name(parent.finalbody, bound)
-            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                break
-            cur = parent
-
-        if not ok and stmt is not None and bound is not None:
-            container = parents.get(stmt)
-            for field in ("body", "orelse", "finalbody"):
-                body = getattr(container, field, None)
-                if isinstance(body, list) and stmt in body:
-                    idx = body.index(stmt)
-                    if idx + 1 < len(body) and isinstance(body[idx + 1], ast.Try):
-                        ok = _releases_name(body[idx + 1].finalbody, bound)
-                    break
-
-        if not ok:
-            kind = call.func.attr if isinstance(call.func, ast.Attribute) else "create"
-            findings.append(
-                Finding(
-                    module.rel,
-                    call.lineno,
-                    "R2",
-                    f"shared-memory `{kind}` is not lexically paired with a release "
-                    "— use a `with` block or an immediately-following try/finally "
-                    "(unlink-on-error contract)",
-                )
-            )
     return findings
 
 

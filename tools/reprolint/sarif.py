@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 emitter for reprolint findings.
+
+Produces a single-run log consumable by GitHub code scanning
+(``github/codeql-action/upload-sarif``) and any SARIF viewer.  Findings
+are mapped 1:1 to ``results`` with repo-relative URIs under the
+``SRCROOT`` base, and every rule carries metadata so viewers can group
+and describe findings without reprolint installed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .core import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: id -> (shortDescription, level)
+RULE_META: dict[str, tuple[str, str]] = {
+    "R1": ("No wall-clock or unseeded randomness outside sanctioned seams", "error"),
+    "R2": ("Resource acquisitions must release on every path (flow-based)", "error"),
+    "R3": ("Accelerated kernels must keep a reference implementation in parity", "error"),
+    "R4": ("Ingest mutable state must be guarded by the module lock discipline", "error"),
+    "R5": ("Public exports must match the documented API surface", "error"),
+    "R6": ("Process pools only via repro.parallel", "error"),
+    "R7": ("No raw `.points` mutation outside the core types", "error"),
+    "R8": ("Architecture layering: no upward or cyclic eager imports", "error"),
+    "R9": ("Lock order: no cycles, no blocking calls or `await` under a lock", "error"),
+}
+
+
+def _rules_array() -> list[dict]:
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": text},
+            "defaultConfiguration": {"level": level},
+        }
+        for rule_id, (text, level) in sorted(RULE_META.items())
+    ]
+
+
+def to_sarif(findings: Iterable["Finding"]) -> dict:
+    """Build the SARIF log object for a set of findings."""
+    rules = _rules_array()
+    index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for f in sorted(set(findings)):
+        level = RULE_META.get(f.rule, ("", "error"))[1]
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": index.get(f.rule, -1),
+                "level": level,
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.file.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": max(1, f.line)},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable["Finding"]) -> str:
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=False)
