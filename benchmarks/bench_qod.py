@@ -1,0 +1,333 @@
+"""Benchmark: does QoD weighting actually improve exploitation? (ISSUE 10)
+
+Builds a :class:`~repro.synth.SmoothField` world, reads it with a sensor
+fleet, corrupts a quarter of the fleet with one fault injector at a time
+(bias, stuck, noise, drift, spikes), scores the fleet with
+:class:`~repro.qod.QodRegistry`, and compares plain vs quality-weighted
+exploitation against the noise-free field truth on three tasks:
+
+* **knn** — value estimate from the k nearest sensors, where the
+  weighted variant selects neighbors by effective distance ``d / w``
+  through :meth:`PartitionedStore.knn_many(..., weighted=True)`,
+* **aggregation** — regional mean over the sensors inside a circle,
+  plain mean vs :func:`~repro.qod.weighted_mean`,
+* **interpolation** — :func:`~repro.cleaning.idw_interpolate` vs
+  :func:`~repro.qod.weighted_idw_interpolate` at space-time probes.
+
+An injector counts as a *win* when weighting lowers RMSE on at least two
+of the three tasks.  Writes ``BENCH_qod.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_qod.py            # full run
+    PYTHONPATH=src python benchmarks/bench_qod.py --smoke    # CI gate
+
+``--smoke`` runs a smaller world and *asserts* the headline claim: QoD
+weighting beats unweighted exploitation on at least three of the five
+injectors.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cleaning import idw_interpolate
+from repro.core import BBox, Point, STSeries, records_from_series
+from repro.ingest.events import IngestEvent
+from repro.qod import (
+    QodConfig,
+    QodRegistry,
+    weighted_idw_interpolate,
+    weighted_mean,
+)
+from repro.querying import PartitionedStore, kd_partition
+from repro.synth import SmoothField, random_sensor_sites, stuck_sensor
+from repro.synth.corrupt import add_sensor_bias, spike_values
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_qod.json"
+
+SEED = 2022
+BOX = BBox(0.0, 0.0, 1000.0, 1000.0)
+
+#: Fraction of the fleet each injector corrupts.
+FAULT_FRACTION = 0.25
+#: Smoke gate: weighted must beat unweighted on at least this many injectors.
+MIN_WINNING_INJECTORS = 3
+
+
+# -- fault injectors (STSeries -> STSeries) ------------------------------------
+
+
+def inject_bias(series: STSeries, rng: np.random.Generator) -> STSeries:
+    return add_sensor_bias(series, 8.0)
+
+
+def inject_stuck(series: STSeries, rng: np.random.Generator) -> STSeries:
+    return stuck_sensor(series, 0, len(series.values))
+
+
+def inject_noise(series: STSeries, rng: np.random.Generator) -> STSeries:
+    return series.with_values(
+        series.values + rng.normal(0.0, 6.0, len(series.values))
+    )
+
+
+def inject_drift(series: STSeries, rng: np.random.Generator) -> STSeries:
+    t = series.times
+    return series.with_values(series.values + 0.01 * (t - t[0]))
+
+
+def inject_spikes(series: STSeries, rng: np.random.Generator) -> STSeries:
+    corrupted, _ = spike_values(series, rng, rate=0.3, magnitude=15.0)
+    return corrupted
+
+
+INJECTORS = {
+    "bias": inject_bias,
+    "stuck": inject_stuck,
+    "noise": inject_noise,
+    "drift": inject_drift,
+    "spikes": inject_spikes,
+}
+
+
+# -- world construction --------------------------------------------------------
+
+
+def make_world(rng, n_sensors: int, n_readings: int):
+    # period=7200 makes the field move visibly within the run, so a stuck
+    # sensor's frozen reading goes genuinely stale instead of staying lucky.
+    field = SmoothField(
+        rng, BOX, n_bumps=5, length_scale=250.0, drift_speed=0.05, period=7200.0
+    )
+    sites = random_sensor_sites(rng, n_sensors, BOX)
+    times = np.arange(n_readings, dtype=float) * 60.0
+    series = field.sample_sensors(sites, times, rng, noise_sigma=0.3)
+    return field, sites, times, series
+
+
+def corrupt_fleet(series, injector, rng):
+    """Apply ``injector`` to a deterministic quarter of the fleet."""
+    n_bad = max(1, int(round(FAULT_FRACTION * len(series))))
+    bad = set(rng.choice(len(series), size=n_bad, replace=False).tolist())
+    return [injector(s, rng) if i in bad else s for i, s in enumerate(series)], bad
+
+
+def score_fleet(series, times):
+    """Feed the corrupted readings through the registry, return weights."""
+    events = [
+        IngestEvent(s.sensor_id, s.location.x, s.location.y, float(t), float(v), float(t))
+        for s in series
+        for t, v in zip(s.times, s.values)
+    ]
+    # Tolerances sized to the world: the field's spatial gradient makes
+    # honest neighbor disagreement of a few units normal (cqc_tolerance),
+    # its drifting bumps give every healthy sensor a small local trend
+    # (drift_tolerance), and healthy consecutive readings move well under
+    # 0.05 units/s (value_rate_bounds catch noise/spike faults).
+    config = QodConfig(
+        value_bounds=(-50.0, 100.0),
+        value_rate_bounds=(-0.05, 0.05),
+        expected_interval=60.0,
+        min_readings=8,
+        cqc_tolerance=4.0,
+        cqc_min_scale=1.0,
+        drift_tolerance=5e-3,
+    )
+    start = time.perf_counter()
+    registry = QodRegistry.from_events(events, config)
+    weights = registry.weights()
+    elapsed = time.perf_counter() - start
+    return weights, len(events), elapsed
+
+
+# -- the three exploitation tasks ----------------------------------------------
+
+
+def value_at(series, ti: int) -> float:
+    return float(series.values[ti])
+
+
+def rmse(errors) -> float:
+    e = np.asarray(errors)
+    return float(np.sqrt(np.mean(e * e)))
+
+
+def knn_task(field, sites, times, series, weights, rng, n_queries: int, k: int = 5):
+    """Estimate the field from the k nearest sensors; weighting changes
+    *which* sensors answer (effective-distance selection via the store)."""
+    points = [Point(s.x, s.y) for s in sites]
+    store = PartitionedStore(points, kd_partition(points, BOX, 8))
+    store.set_quality_weights(
+        np.clip([weights[s.sensor_id] for s in series], 1e-6, 1.0)
+    )
+    queries = [
+        Point(rng.uniform(50, 950), rng.uniform(50, 950)) for _ in range(n_queries)
+    ]
+    ti = len(times) - 1  # evaluate at end-of-run, when stale readings hurt most
+    plain_hits = store.knn_many(queries, k)
+    qod_hits = store.knn_many(queries, k, weighted=True)
+    plain_err, qod_err = [], []
+    for q, ph, wh in zip(queries, plain_hits, qod_hits):
+        truth = field.value(q, float(times[ti]))
+        plain_err.append(np.mean([value_at(series[i], ti) for i in ph]) - truth)
+        qod_err.append(np.mean([value_at(series[i], ti) for i in wh]) - truth)
+    return rmse(plain_err), rmse(qod_err)
+
+
+def aggregation_task(field, sites, times, series, weights, rng, n_queries: int):
+    """Regional mean over the sensors inside a circle, plain vs weighted."""
+    ti = len(times) - 1
+    t = float(times[ti])
+    plain_err, qod_err = [], []
+    for _ in range(n_queries):
+        center = Point(rng.uniform(200, 800), rng.uniform(200, 800))
+        members = [
+            i for i, s in enumerate(sites) if s.distance_to(center) <= 300.0
+        ]
+        if len(members) < 3:
+            continue
+        truth = float(np.mean([field.value(sites[i], t) for i in members]))
+        vals = [value_at(series[i], ti) for i in members]
+        ws = [weights[series[i].sensor_id] for i in members]
+        plain_err.append(float(np.mean(vals)) - truth)
+        qod_err.append(weighted_mean(vals, ws) - truth)
+    return rmse(plain_err), rmse(qod_err)
+
+
+def interpolation_task(field, sites, times, series, weights, rng, n_queries: int):
+    """IDW at space-time probes, plain vs quality-weighted kernels."""
+    records = records_from_series(series)
+    t_lo, t_hi = float(times[len(times) // 4]), float(times[3 * len(times) // 4])
+    plain_err, qod_err = [], []
+    for _ in range(n_queries):
+        where = Point(rng.uniform(50, 950), rng.uniform(50, 950))
+        when = float(rng.uniform(t_lo, t_hi))
+        truth = field.value(where, when)
+        plain_err.append(
+            idw_interpolate(records, where, when, time_scale=2.0) - truth
+        )
+        qod_err.append(
+            weighted_idw_interpolate(records, where, when, weights, time_scale=2.0)
+            - truth
+        )
+    return rmse(plain_err), rmse(qod_err)
+
+
+TASKS = {
+    "knn": knn_task,
+    "aggregation": aggregation_task,
+    "interpolation": interpolation_task,
+}
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def run_injector(name, injector, n_sensors, n_readings, n_queries):
+    rng = np.random.default_rng(SEED)
+    field, sites, times, clean = make_world(rng, n_sensors, n_readings)
+    corrupted, bad = corrupt_fleet(clean, injector, rng)
+    weights, n_events, scoring_s = score_fleet(corrupted, times)
+    bad_ids = {corrupted[i].sensor_id for i in bad}
+    good_w = [w for sid, w in weights.items() if sid not in bad_ids]
+    bad_w = [w for sid, w in weights.items() if sid in bad_ids]
+    result = {
+        "corrupted_sensors": len(bad),
+        "events_scored": n_events,
+        "scoring_seconds": scoring_s,
+        "mean_weight_healthy": float(np.mean(good_w)),
+        "mean_weight_corrupted": float(np.mean(bad_w)),
+        "tasks": {},
+    }
+    task_wins = 0
+    for task_name, task in TASKS.items():
+        task_rng = np.random.default_rng(SEED + 1)
+        plain, weighted = task(
+            field, sites, times, corrupted, weights, task_rng, n_queries
+        )
+        result["tasks"][task_name] = {
+            "rmse_unweighted": plain,
+            "rmse_weighted": weighted,
+            "improvement": (plain - weighted) / plain if plain > 0 else 0.0,
+        }
+        task_wins += weighted < plain
+    result["task_wins"] = task_wins
+    result["weighted_wins"] = task_wins >= 2
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"small world; assert weighted wins on >= {MIN_WINNING_INJECTORS} injectors",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_sensors, n_readings, n_queries = 40, 40, 40
+    else:
+        n_sensors, n_readings, n_queries = 80, 60, 150
+
+    results = {}
+    for name, injector in INJECTORS.items():
+        results[name] = run_injector(name, injector, n_sensors, n_readings, n_queries)
+
+    print(f"{'injector':<10} {'task':<14} {'plain rmse':>11} {'qod rmse':>10} {'gain':>7}")
+    for name, r in results.items():
+        for task_name, t in r["tasks"].items():
+            print(
+                f"{name:<10} {task_name:<14} {t['rmse_unweighted']:>11.3f} "
+                f"{t['rmse_weighted']:>10.3f} {t['improvement']:>6.1%}"
+            )
+        print(
+            f"{name:<10} weights: healthy {r['mean_weight_healthy']:.2f} vs "
+            f"corrupted {r['mean_weight_corrupted']:.2f} -> "
+            f"{'WIN' if r['weighted_wins'] else 'loss'} ({r['task_wins']}/3 tasks)"
+        )
+    wins = sum(r["weighted_wins"] for r in results.values())
+    print(f"weighted exploitation wins on {wins}/{len(INJECTORS)} injectors")
+
+    if args.smoke:
+        assert wins >= MIN_WINNING_INJECTORS, (
+            f"QoD weighting won only {wins}/{len(INJECTORS)} injectors "
+            f"(need >= {MIN_WINNING_INJECTORS})"
+        )
+        for name, r in results.items():
+            assert r["mean_weight_corrupted"] < r["mean_weight_healthy"], (
+                f"{name}: corrupted sensors not down-weighted"
+            )
+        print("smoke OK: weighting beats plain exploitation, faults down-weighted")
+        return 0
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "seed": SEED,
+                "cpu_count": os.cpu_count(),
+                "world": {
+                    "sensors": n_sensors,
+                    "readings_per_sensor": n_readings,
+                    "queries_per_task": n_queries,
+                    "fault_fraction": FAULT_FRACTION,
+                },
+                "injectors": results,
+                "winning_injectors": wins,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,10 @@ the tutorial's taxonomy (Figure 2):
   default; a single guard check when disabled),
 * :mod:`repro.serve` — the quality-aware serving layer: an asyncio query
   service with request coalescing, admission control, and an
-  epoch-invalidated result cache over the partitioned store.
+  epoch-invalidated result cache over the partitioned store,
+* :mod:`repro.qod` — per-sensor Quality-of-Data scoring (self checks,
+  neighbor reference checks, deployment-status detectors) feeding
+  quality-weighted kNN, aggregation, and interpolation.
 """
 
 __version__ = "1.0.0"
@@ -45,6 +48,7 @@ from . import (
     localization,
     obs,
     parallel,
+    qod,
     querying,
     reduction,
     serve,
@@ -64,6 +68,7 @@ __all__ = [
     "localization",
     "obs",
     "parallel",
+    "qod",
     "querying",
     "reduction",
     "serve",

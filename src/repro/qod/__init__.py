@@ -1,0 +1,89 @@
+"""Composite Quality-of-Data scoring and quality-weighted exploitation.
+
+The paper's exploitation half argues that low-quality IoT data should be
+*used with confidence weights*, not merely cleaned.  This subsystem
+computes those weights, WeatherXM-style: every sensor carries a composite
+QoD score built from three layered control points —
+
+* **self checks** (:mod:`~repro.qod.checks`) — the sensor against its own
+  physics: out-of-bounds fraction, change-rate consistency, and sampling
+  completeness, accumulated by the ingest layer's
+  :class:`~repro.ingest.online_stats.OnlineSensorStats`;
+* **reference checks** (:mod:`~repro.qod.reference`) — comparative
+  quality control against the spatial-neighbor consensus, batched through
+  the kernels/index layer;
+* **deployment-status detectors** (:mod:`~repro.qod.checks`) —
+  stuck/constant output, indoor/obstructed attenuation, and drift
+  heuristics over windowed statistics.
+
+A thread-safe :class:`~repro.qod.registry.QodRegistry` maintains the
+evidence incrementally from the ingest engine's ``on_admit`` seam
+(:func:`~repro.qod.registry.qod_ingest_hook`), and
+:mod:`~repro.qod.weighting` threads the scores through exploitation:
+weighted kNN ranking (via
+:meth:`repro.querying.distributed.PartitionedStore.knn_many` with
+``weighted=True`` and serve's ``KnnQueryRequest(weighted=True)``),
+weighted aggregation, and weighted interpolation.  The model, knobs, and
+semantics are documented in ``docs/QOD.md``; ``benchmarks/bench_qod.py``
+shows weighted beating unweighted under every fault injector.
+"""
+
+from .checks import (
+    QodScore,
+    SensorSummary,
+    composite_score,
+    deployment_score,
+    drift_score,
+    obstruction_score,
+    out_of_bounds_score,
+    reference_score,
+    self_check_score,
+    self_consistency_score,
+    staleness_factor,
+    stuck_score,
+)
+from .config import (
+    QodConfig,
+    resolve_neighbors,
+    resolve_weight_floor,
+    resolve_weight_power,
+    resolve_window,
+)
+from .reference import fleet_dispersion, fleet_slope, neighbor_consensus
+from .registry import QodRegistry, compose_admit_hooks, qod_ingest_hook
+from .weighting import (
+    point_weights,
+    quality_weights,
+    weighted_idw_interpolate,
+    weighted_mean,
+)
+
+__all__ = [
+    "QodScore",
+    "SensorSummary",
+    "composite_score",
+    "deployment_score",
+    "drift_score",
+    "obstruction_score",
+    "out_of_bounds_score",
+    "reference_score",
+    "self_check_score",
+    "self_consistency_score",
+    "staleness_factor",
+    "stuck_score",
+    "QodConfig",
+    "resolve_neighbors",
+    "resolve_weight_floor",
+    "resolve_weight_power",
+    "resolve_window",
+    "fleet_dispersion",
+    "fleet_slope",
+    "neighbor_consensus",
+    "QodRegistry",
+    "compose_admit_hooks",
+    "qod_ingest_hook",
+    "point_weights",
+    "quality_weights",
+    "weighted_idw_interpolate",
+    "weighted_mean",
+]

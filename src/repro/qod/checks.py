@@ -1,0 +1,200 @@
+"""Pure scoring functions of the three QoD control points.
+
+Every function here maps a per-sensor :class:`SensorSummary` (plus fleet
+context computed by the registry's scoring pass) to a score in ``[0, 1]``
+— 1.0 is a fully trusted signal, 0.0 a worthless one.  The three layers
+follow the WeatherXM QoD decomposition:
+
+* **self checks** — the sensor against its own physics: out-of-bounds
+  fraction, change-rate consistency, sampling completeness;
+* **reference check** — the sensor against its spatial neighborhood:
+  comparative quality control (CQC) of its mean level vs the neighbor
+  consensus;
+* **deployment-status detectors** — is the installation itself bad:
+  stuck/constant output, indoor/obstructed attenuation, drift.
+
+All functions are deterministic and side-effect free; the registry
+composites them with :func:`composite_score` (a weighted geometric mean,
+so any single failing control point collapses the composite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SensorSummary:
+    """One sensor's accumulated evidence, snapshotted for a scoring pass.
+
+    ``dispersion`` is the (windowed) standard deviation of in-bounds
+    values, ``slope`` the least-squares trend of value over event time
+    (units/s), ``consistency`` the in-bounds fraction of feasible change
+    rates (None when ``value_rate_bounds`` is unset or no pairs exist),
+    ``completeness`` the filled fraction of expected sampling slots (None
+    when ``expected_interval`` is unset).
+    """
+
+    sensor_id: str
+    x: float
+    y: float
+    n: int
+    n_out_of_bounds: int
+    mean: float
+    dispersion: float
+    slope: float
+    consistency: float | None
+    completeness: float | None
+    last_t: float
+
+
+@dataclass(frozen=True, slots=True)
+class QodScore:
+    """The composite QoD verdict for one sensor, with its full breakdown.
+
+    ``composite`` is the weighted geometric mean of the three control
+    points; the remaining fields expose each layer and each individual
+    detector so operators (and tests) can see *why* a sensor scored low.
+    """
+
+    sensor_id: str
+    composite: float
+    self_check: float
+    reference: float
+    deployment: float
+    out_of_bounds: float
+    consistency: float
+    completeness: float
+    stuck: float
+    obstruction: float
+    drift: float
+    n: int
+
+
+def _clip01(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+# -- self checks ---------------------------------------------------------------
+
+
+def out_of_bounds_score(n: int, n_out_of_bounds: int) -> float:
+    """OBC: fraction of readings inside the physical plausibility bounds."""
+    if n <= 0:
+        return 1.0
+    return _clip01(1.0 - n_out_of_bounds / n)
+
+
+def self_consistency_score(consistency: float | None, completeness: float | None) -> float:
+    """SQC: feasible-change-rate fraction times sampling completeness.
+
+    Either factor defaults to 1.0 when its input is unconfigured —
+    an unchecked dimension never penalizes.
+    """
+    c = 1.0 if consistency is None else _clip01(consistency)
+    f = 1.0 if completeness is None else _clip01(completeness)
+    return c * f
+
+
+def self_check_score(summary: SensorSummary) -> float:
+    """The self-check layer: OBC × SQC."""
+    return out_of_bounds_score(summary.n, summary.n_out_of_bounds) * self_consistency_score(
+        summary.consistency, summary.completeness
+    )
+
+
+# -- reference check -----------------------------------------------------------
+
+
+def reference_score(
+    mean: float, neighbor_consensus: float, scale: float, tolerance: float
+) -> float:
+    """CQC: Gaussian falloff of the deviation from the neighbor consensus.
+
+    ``scale`` is the fleet's typical dispersion (floored by config so a
+    quiet phenomenon does not amplify noise); ``tolerance`` says how many
+    scale units of deviation cost one sigma.  A sensor matching its
+    neighborhood scores 1.0; a sensor ``3 * tolerance * scale`` away
+    scores ``e^{-4.5} ≈ 0.011``.
+    """
+    z = abs(mean - neighbor_consensus) / (tolerance * scale)
+    return math.exp(-0.5 * z * z)
+
+
+# -- deployment-status detectors -----------------------------------------------
+
+
+def stuck_score(dispersion: float, stuck_sigma: float) -> float:
+    """Stuck/constant detector: dispersion ramp below ``stuck_sigma``.
+
+    A literally constant output scores 0.0; dispersion at or above the
+    threshold scores 1.0, with a linear ramp between (so the score stays
+    continuous as a sensor degrades).
+    """
+    if stuck_sigma <= 0:
+        return 1.0
+    return _clip01(dispersion / stuck_sigma)
+
+
+def obstruction_score(
+    dispersion: float, fleet_dispersion: float, indoor_ratio: float
+) -> float:
+    """Indoor/obstructed detector: attenuated dynamics vs the fleet.
+
+    An indoor or shadowed sensor still varies, but much less than the
+    open-air fleet.  The score is the sensor's dispersion as a fraction
+    of ``indoor_ratio`` times the fleet median dispersion, clipped to 1.0
+    — a sensor with at least that much variability is fully trusted.
+    """
+    floor = indoor_ratio * fleet_dispersion
+    if floor <= 0:
+        return 1.0
+    return _clip01(dispersion / floor)
+
+
+def drift_score(slope: float, fleet_slope: float, drift_tolerance: float) -> float:
+    """Drift detector: Gaussian falloff of the excess trend slope.
+
+    The fleet median slope is the phenomenon's real trend (diurnal ramp,
+    seasonal warming); what counts against a sensor is its *excess* slope
+    over that consensus, in units of ``drift_tolerance`` per sigma.
+    """
+    z = abs(slope - fleet_slope) / drift_tolerance
+    return math.exp(-0.5 * z * z)
+
+
+def deployment_score(stuck: float, obstruction: float, drift: float) -> float:
+    """The deployment layer: its worst detector dominates."""
+    return min(stuck, obstruction, drift)
+
+
+# -- compositing ---------------------------------------------------------------
+
+
+def composite_score(
+    self_check: float,
+    reference: float,
+    deployment: float,
+    weights: tuple[float, float, float],
+) -> float:
+    """Weighted geometric mean of the three control points.
+
+    Exponents are the normalized ``weights``; any control point at zero
+    zeroes the composite (a sensor failing one layer outright cannot be
+    rescued by acing the others), and a sensor scoring 1.0 everywhere
+    composites to exactly 1.0.
+    """
+    total = weights[0] + weights[1] + weights[2]
+    parts = (self_check, reference, deployment)
+    if any(p <= 0.0 for p in parts):
+        return 0.0
+    log_sum = sum(w * math.log(min(1.0, p)) for w, p in zip(weights, parts))
+    return math.exp(log_sum / total)
+
+
+def staleness_factor(silence: float, horizon: float | None) -> float:
+    """Exponential decay once a sensor has been silent past the horizon."""
+    if horizon is None or silence <= horizon:
+        return 1.0
+    return math.exp(-(silence - horizon) / horizon)

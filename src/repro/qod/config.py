@@ -1,0 +1,179 @@
+"""Tuning knobs of the QoD scoring engine, with environment overrides.
+
+:class:`QodConfig` collects every threshold the three control points
+(self checks, reference checks, deployment-status detectors — see
+``docs/QOD.md``) and the score→weight mapping consume.  All fields have
+conservative defaults; the four deployment-facing knobs most likely to be
+tuned per fleet also read ``REPRO_QOD_*`` environment variables through
+:meth:`QodConfig.from_env`, following the same *explicit value > env >
+default* resolution as the store's compaction threshold
+(:func:`repro.querying.distributed.resolve_compact_threshold`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Environment override for the reference-check neighbor count.
+QOD_NEIGHBORS_ENV = "REPRO_QOD_NEIGHBORS"
+
+#: Environment override for the minimum weight a sensor can be assigned.
+QOD_WEIGHT_FLOOR_ENV = "REPRO_QOD_WEIGHT_FLOOR"
+
+#: Environment override for the score→weight sharpening exponent.
+QOD_WEIGHT_POWER_ENV = "REPRO_QOD_WEIGHT_POWER"
+
+#: Environment override for the sliding stats window (seconds).
+QOD_WINDOW_ENV = "REPRO_QOD_WINDOW"
+
+#: Default spatial-neighbor count for comparative quality control.
+DEFAULT_NEIGHBORS = 5
+
+#: Default weight floor: even a zero-score sensor keeps 5% influence.
+DEFAULT_WEIGHT_FLOOR = 0.05
+
+#: Default sharpening exponent of the score→weight mapping.
+DEFAULT_WEIGHT_POWER = 2.0
+
+
+def resolve_neighbors(value: int | None = None) -> int:
+    """CQC neighbor count: explicit value, else ``$REPRO_QOD_NEIGHBORS``, else 5."""
+    if value is not None:
+        return int(value)
+    raw = os.environ.get(QOD_NEIGHBORS_ENV, "")
+    return int(raw) if raw else DEFAULT_NEIGHBORS
+
+
+def resolve_weight_floor(value: float | None = None) -> float:
+    """Weight floor: explicit value, else ``$REPRO_QOD_WEIGHT_FLOOR``, else 0.05."""
+    if value is not None:
+        return float(value)
+    raw = os.environ.get(QOD_WEIGHT_FLOOR_ENV, "")
+    return float(raw) if raw else DEFAULT_WEIGHT_FLOOR
+
+
+def resolve_weight_power(value: float | None = None) -> float:
+    """Weight exponent: explicit value, else ``$REPRO_QOD_WEIGHT_POWER``, else 2.0."""
+    if value is not None:
+        return float(value)
+    raw = os.environ.get(QOD_WEIGHT_POWER_ENV, "")
+    return float(raw) if raw else DEFAULT_WEIGHT_POWER
+
+
+def resolve_window(value: float | None = None) -> float | None:
+    """Stats window (s): explicit value, else ``$REPRO_QOD_WINDOW``, else None.
+
+    ``None`` (and an unset/empty variable) means cumulative statistics:
+    detectors see the sensor's whole history instead of a sliding horizon.
+    """
+    if value is not None:
+        return float(value)
+    raw = os.environ.get(QOD_WINDOW_ENV, "")
+    return float(raw) if raw else None
+
+
+@dataclass(frozen=True, slots=True)
+class QodConfig:
+    """Thresholds and weights of the composite QoD score.
+
+    Self checks
+        ``value_bounds`` — physical plausibility interval for the
+        out-of-bounds check (None disables it); ``value_rate_bounds`` —
+        feasible change-rate interval (units/s) for the self-consistency
+        check; ``expected_interval`` — sampling period (s) enabling the
+        completeness factor.
+
+    Reference check
+        ``neighbors`` — spatial neighbors per sensor for comparative
+        quality control; ``cqc_tolerance`` — how many fleet-scale units of
+        deviation from the neighborhood consensus cost one sigma of
+        reference score; ``cqc_min_scale`` — floor on the fleet scale so
+        a near-constant phenomenon does not turn measurement noise into
+        huge z-scores.
+
+    Deployment-status detectors
+        ``stuck_sigma`` — value dispersion (std) below which a sensor
+        reads as stuck/constant; ``indoor_ratio`` — fraction of the fleet
+        median dispersion below which a sensor reads as indoor/obstructed
+        (attenuated dynamics); ``drift_tolerance`` — excess trend slope
+        (units/s vs the fleet median) costing one sigma of drift score;
+        ``window`` — sliding horizon (s) for the windowed stats the
+        detectors read (None = cumulative).
+
+    Compositing and weighting
+        ``control_weights`` — ``(self, reference, deployment)`` exponents
+        of the weighted geometric mean (normalized internally);
+        ``min_readings`` / ``provisional_score`` — sensors with fewer
+        than ``min_readings`` admitted readings score ``provisional_score``
+        until the detectors have data; ``staleness_horizon`` — event-time
+        silence (s) beyond which the composite decays exponentially
+        (None disables); ``weight_floor`` / ``weight_power`` — the
+        score→weight mapping ``w = floor + (1 - floor) * score ** power``.
+    """
+
+    value_bounds: tuple[float, float] | None = None
+    value_rate_bounds: tuple[float, float] | None = None
+    expected_interval: float | None = None
+    neighbors: int = DEFAULT_NEIGHBORS
+    cqc_tolerance: float = 3.0
+    cqc_min_scale: float = 0.5
+    stuck_sigma: float = 0.05
+    indoor_ratio: float = 0.5
+    drift_tolerance: float = 1e-3
+    window: float | None = None
+    control_weights: tuple[float, float, float] = (0.4, 0.35, 0.25)
+    min_readings: int = 8
+    provisional_score: float = 1.0
+    staleness_horizon: float | None = None
+    weight_floor: float = DEFAULT_WEIGHT_FLOOR
+    weight_power: float = DEFAULT_WEIGHT_POWER
+
+    def __post_init__(self) -> None:
+        if self.value_bounds is not None and self.value_bounds[0] > self.value_bounds[1]:
+            raise ValueError("value_bounds must be (lo, hi) with lo <= hi")
+        if self.neighbors < 1:
+            raise ValueError("neighbors must be at least 1")
+        if self.cqc_tolerance <= 0 or self.cqc_min_scale <= 0:
+            raise ValueError("cqc_tolerance and cqc_min_scale must be positive")
+        if self.stuck_sigma < 0 or self.indoor_ratio <= 0 or self.drift_tolerance <= 0:
+            raise ValueError("detector thresholds must be positive (stuck_sigma >= 0)")
+        if self.window is not None and self.window <= 0:
+            raise ValueError("window must be positive when set")
+        if len(self.control_weights) != 3 or any(w < 0 for w in self.control_weights):
+            raise ValueError("control_weights must be three non-negative values")
+        if sum(self.control_weights) <= 0:
+            raise ValueError("control_weights must not all be zero")
+        if self.min_readings < 1:
+            raise ValueError("min_readings must be at least 1")
+        if not 0.0 <= self.provisional_score <= 1.0:
+            raise ValueError("provisional_score must lie in [0, 1]")
+        if self.staleness_horizon is not None and self.staleness_horizon <= 0:
+            raise ValueError("staleness_horizon must be positive when set")
+        if not 0.0 < self.weight_floor <= 1.0:
+            raise ValueError("weight_floor must lie in (0, 1]")
+        if self.weight_power <= 0:
+            raise ValueError("weight_power must be positive")
+
+    @classmethod
+    def from_env(
+        cls,
+        *,
+        neighbors: int | None = None,
+        weight_floor: float | None = None,
+        weight_power: float | None = None,
+        window: float | None = None,
+        **overrides: object,
+    ) -> "QodConfig":
+        """A config whose env-tunable knobs read ``REPRO_QOD_*`` variables.
+
+        Explicit keyword values win over the environment; every other
+        field passes through ``overrides`` unchanged.
+        """
+        return cls(
+            neighbors=resolve_neighbors(neighbors),
+            weight_floor=resolve_weight_floor(weight_floor),
+            weight_power=resolve_weight_power(weight_power),
+            window=resolve_window(window),
+            **overrides,  # type: ignore[arg-type]
+        )

@@ -1,0 +1,76 @@
+"""Comparative quality control: each sensor versus its spatial neighbors.
+
+The reference control point asks whether a sensor *agrees with the
+phenomenon around it*.  For every sensor this module finds the ``k``
+nearest *other* sensor sites — one batched
+:func:`repro.querying.index.brute_force_knn_many` call over the whole
+fleet, which runs on the PR-2 columnar kernels — and takes the median of
+their (windowed) mean values as the neighborhood consensus.  The median
+makes the consensus robust: a bad sensor cannot poison its neighbors'
+reference values unless a majority of a neighborhood is bad.
+
+Fleet-level robust statistics (median dispersion, median trend slope)
+come from the same summaries and anchor the deployment detectors in
+:mod:`repro.qod.checks`.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from ..core.geometry import Point
+from ..obs import OBS
+from ..querying.index import brute_force_knn_many, build_entries
+from .checks import SensorSummary
+
+#: Shared no-op context for disabled-observability paths.
+_NULL = nullcontext()
+
+
+def neighbor_consensus(summaries: list[SensorSummary], k: int) -> list[float | None]:
+    """Per-sensor median of the ``k`` nearest *other* sensors' mean values.
+
+    One batched kNN call covers the whole fleet (``k + 1`` neighbors per
+    site, self dropped by id).  Sensors with no neighbors — a fleet of
+    one — get ``None``, which the reference check reads as "unchecked,
+    never penalize".  The output aligns with ``summaries``.
+    """
+    n = len(summaries)
+    if n == 0:
+        return []
+    if n == 1:
+        return [None]
+    sites = [Point(s.x, s.y) for s in summaries]
+    entries = build_entries(sites)
+    means = np.array([s.mean for s in summaries], dtype=float)
+    cm = (
+        OBS.tracer.span("qod.reference", sensors=n, k=k)
+        if OBS.enabled
+        else _NULL
+    )
+    with cm:
+        hits = brute_force_knn_many(entries, sites, min(k, n - 1) + 1)
+    out: list[float | None] = []
+    for i, ids in enumerate(hits):
+        neighbor_ids = [j for j in ids if j != i][: min(k, n - 1)]
+        if not neighbor_ids:
+            out.append(None)
+            continue
+        out.append(float(np.median(means[neighbor_ids])))
+    return out
+
+
+def fleet_dispersion(summaries: list[SensorSummary]) -> float:
+    """Robust fleet-typical value dispersion: the median over sensors."""
+    if not summaries:
+        return 0.0
+    return float(np.median([s.dispersion for s in summaries]))
+
+
+def fleet_slope(summaries: list[SensorSummary]) -> float:
+    """Robust fleet-typical value trend (units/s): the median over sensors."""
+    if not summaries:
+        return 0.0
+    return float(np.median([s.slope for s in summaries]))

@@ -453,7 +453,10 @@ def _route_range(
 
 
 def _route_knn(
-    view: _ColumnarView, centers: np.ndarray, k: int
+    view: _ColumnarView,
+    centers: np.ndarray,
+    k: int,
+    weights: list[list[np.ndarray]] | None = None,
 ) -> tuple[list[list[int]], int]:
     """kNN routing: scan partitions best-first, prune by the k-th distance.
 
@@ -463,6 +466,13 @@ def _route_knn(
     distance.  Every scanned partition counts as touched, and a scanned
     partition contributes both its tiers.  Ties break by ascending point
     index (the package-wide ``(distance, id)`` rule).
+
+    ``weights`` (chunk lists aligned with ``view``'s) turns the scan into
+    quality-weighted ranking: candidates order by *effective* distance
+    ``d / w``.  Weights are capped at 1.0, so ``d / w >= d >=`` every
+    scan-box lower bound — the best-first pruning stays sound (merely
+    less tight) and weighted results stay exact and bit-identical across
+    worker counts.
     """
     n_queries = centers.shape[0]
     out: list[list[int]] = [[] for _ in range(n_queries)]
@@ -483,10 +493,15 @@ def _route_knn(
             size = view.part_size(p)
             if size == 0:
                 continue
-            for coords, index in zip(view.coords_chunks[p], view.index_chunks[p]):
+            for ci, (coords, index) in enumerate(
+                zip(view.coords_chunks[p], view.index_chunks[p])
+            ):
                 if coords.shape[0] == 0:
                     continue
-                d_parts.append(kernels.dists_to(coords, centers[qi]))
+                d = kernels.dists_to(coords, centers[qi])
+                if weights is not None:
+                    d = d / weights[p][ci]
+                d_parts.append(d)
                 id_parts.append(index)
             total += size
             if total >= k:
@@ -495,6 +510,19 @@ def _route_knn(
             sel = kernels.knn_select(np.concatenate(d_parts), np.concatenate(id_parts), k)
             out[qi] = sel.tolist()
     return out, touched
+
+
+def _weights_for(index: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-row weights for one column chunk's global point ids.
+
+    Points appended after ``set_quality_weights`` sit past the end of the
+    weight vector and default to 1.0 (fully trusted until the next QoD
+    pass assigns them a weight).
+    """
+    out = np.ones(index.shape[0])
+    known = index < weights.shape[0]
+    out[known] = weights[index[known]]
+    return out
 
 
 class _PartitionLeases:
@@ -581,10 +609,13 @@ def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
     ``part_refs`` carries, per partition, the base tier as arena handles
     (``None`` when empty) and the delta tail inline (``None`` when empty) —
     base columns stay in shared memory, delta tails ride the payload.
+    Quality-weight chunks (``None`` for unweighted batches) ride inline
+    too, pre-sliced to the same chunk layout the view rebuilds.
     """
     from ..parallel import SharedArray
 
-    part_refs, boxes, mode, centers, arg = payload
+    part_refs, boxes, mode, centers, arg, *rest = payload
+    wchunks = rest[0] if rest else None
     coords_chunks: list[list[np.ndarray]] = []
     index_chunks: list[list[np.ndarray]] = []
     # One ExitStack pairs every attach with its release on all exit paths;
@@ -605,7 +636,7 @@ def _query_chunk_task(payload: tuple) -> tuple[list[list[int]], int]:
         view = _ColumnarView(boxes, coords_chunks, index_chunks)
         if mode == "range":
             return _route_range(view, centers, arg)
-        return _route_knn(view, centers, arg)
+        return _route_knn(view, centers, arg, wchunks)
 
 
 #: Environment override for the default compaction trigger.
@@ -665,6 +696,8 @@ class PartitionedStore:
         self.compactions = 0
         self.compacted_points = 0
         self.last_compaction_seconds = 0.0
+        self.weights_epoch = 0
+        self._weights: np.ndarray | None = None
         self._bboxes = [p.bbox for p in partitions]
         self._tiers = _TwoTierColumns(self.points, partitions)
         self._leases = _PartitionLeases()
@@ -783,6 +816,68 @@ class PartitionedStore:
                 )
         return CompactionStats(len(targets), folded, seconds)
 
+    # -- quality weights (the QoD exploitation seam) -----------------------------
+
+    def set_quality_weights(self, weights: Sequence[float] | np.ndarray | None) -> int:
+        """Install per-point quality weights for weighted kNN ranking.
+
+        ``weights[i]`` weights point ``i`` (typically
+        :func:`repro.qod.weighting.point_weights` over the per-sensor
+        output of a :class:`~repro.qod.registry.QodRegistry` pass); points
+        beyond the vector's length — appended after this call — default
+        to 1.0 until the next pass.  ``None`` clears weighting.
+
+        Every weight must lie in ``(0, 1]``: weighted ranking divides
+        distances by weights, and the cap keeps effective distances at or
+        above raw ones, so best-first partition pruning stays exact.
+
+        Bumps and returns :attr:`weights_epoch` — the serving layer keys
+        weighted cached results on it, so an update (or a clear) can
+        never serve a stale weighted answer.  Like :meth:`compact`, calls
+        must not overlap an in-flight query batch; the serving layer
+        updates weights between batches.
+        """
+        if weights is None:
+            self._weights = None
+        else:
+            w = np.asarray(weights, dtype=float).copy()
+            if w.ndim != 1:
+                raise ValueError("weights must be one-dimensional")
+            if w.size and (not np.all(np.isfinite(w)) or w.min() <= 0 or w.max() > 1.0):
+                raise ValueError("weights must be finite and lie in (0, 1]")
+            self._weights = w
+        self.weights_epoch += 1
+        return self.weights_epoch
+
+    def quality_weights(self) -> np.ndarray | None:
+        """The installed per-point weight vector (read-only view), or None."""
+        if self._weights is None:
+            return None
+        view = self._weights.view()
+        view.flags.writeable = False
+        return view
+
+    def _weight_chunks(self, snap: _StoreSnapshot) -> list[list[np.ndarray]] | None:
+        """Per-partition weight chunks aligned with the snapshot's view.
+
+        Chunk order matches :meth:`_StoreSnapshot.view` (packed base
+        first, then the delta tail), so both the in-process scan and the
+        pool workers index the same weight rows.
+        """
+        w = self._weights
+        if w is None:
+            return None
+        out: list[list[np.ndarray]] = []
+        for p in range(snap.boxes.shape[0]):
+            chunks: list[np.ndarray] = []
+            if snap.base_coords[p].shape[0]:
+                chunks.append(_weights_for(snap.base_index[p], w))
+            delta = snap.deltas[p]
+            if delta is not None:
+                chunks.append(_weights_for(delta[1], w))
+            out.append(chunks)
+        return out
+
     def rebuilt(self) -> "PartitionedStore":
         """A from-scratch store with this store's exact live membership.
 
@@ -819,9 +914,9 @@ class PartitionedStore:
             raise ValueError("radii must be a scalar or match the number of centers")
         return self._run_batch("range", c, r, workers, executor)
 
-    def knn(self, center: Point, k: int) -> list[int]:
+    def knn(self, center: Point, k: int, *, weighted: bool = False) -> list[int]:
         """Indices of the k nearest points (``(distance, index)`` tie rule)."""
-        return self.knn_many([center], k)[0]
+        return self.knn_many([center], k, weighted=weighted)[0]
 
     def knn_many(
         self,
@@ -830,12 +925,20 @@ class PartitionedStore:
         *,
         workers: int | None = None,
         executor: Any = None,
+        weighted: bool = False,
     ) -> list[list[int]]:
-        """Batch kNN routing with best-first partition pruning."""
+        """Batch kNN routing with best-first partition pruning.
+
+        With ``weighted=True`` and quality weights installed
+        (:meth:`set_quality_weights`), candidates rank by effective
+        distance ``d / w`` — low-QoD points must be proportionally closer
+        to make the top-k — under the same ``(distance, id)`` tie rule.
+        Without installed weights the flag is a no-op.
+        """
         if k < 1:
             raise ValueError("k must be at least 1")
         c = kernels.centers_of(centers)
-        return self._run_batch("knn", c, k, workers, executor)
+        return self._run_batch("knn", c, k, workers, executor, weighted=weighted)
 
     def _run_batch(
         self,
@@ -844,13 +947,15 @@ class PartitionedStore:
         arg,
         workers: int | None,
         executor: Any,
+        *,
+        weighted: bool = False,
     ) -> list[list[int]]:
         from ..parallel import SerialExecutor, chunk_spans, resolve_executor
 
         obs_on = OBS.enabled
         self.queries_run += centers.shape[0]
         snap = self._tiers.snapshot()
-        route = _route_range if mode == "range" else _route_knn
+        wchunks = self._weight_chunks(snap) if (weighted and mode == "knn") else None
         cm = (
             OBS.tracer.span("query.partitioned_batch", mode=mode, queries=centers.shape[0])
             if obs_on
@@ -858,7 +963,10 @@ class PartitionedStore:
         )
         with cm, resolve_executor(workers, executor, n_items=centers.shape[0]) as ex:
             if isinstance(ex, SerialExecutor):
-                hits, touched = route(snap.view(), centers, arg)
+                if mode == "range":
+                    hits, touched = _route_range(snap.view(), centers, arg)
+                else:
+                    hits, touched = _route_knn(snap.view(), centers, arg, wchunks)
             else:
                 spans = chunk_spans(centers.shape[0], None)
                 part_refs = self._shared_refs(snap)
@@ -869,6 +977,7 @@ class PartitionedStore:
                         mode,
                         centers[start:stop],
                         arg[start:stop] if mode == "range" else arg,
+                        wchunks,
                     )
                     for start, stop in spans
                 ]
@@ -967,6 +1076,7 @@ class PartitionedStore:
         k: int | None = None,
         *,
         append_only: bool = True,
+        weighted: bool = False,
     ) -> list[tuple[int, ...]]:
         """Per-query partition dependency sets for answered kNN queries.
 
@@ -984,19 +1094,31 @@ class PartitionedStore:
         depends on every partition — *exactly*, not conservatively: a
         short answer ranks the whole store, so an append anywhere enters
         it.  No tightening is possible there.
+
+        For hits computed with ``knn_many(..., weighted=True)``, pass
+        ``weighted=True``: the k-th distance is then the k-th *effective*
+        distance ``d / w``.  New appends default to weight 1.0, so a
+        newcomer's effective distance equals its raw distance and the raw
+        scan-box lower bound still under-estimates it — the same pruning
+        logic holds, just against the weighted k-th.
         """
         c = kernels.centers_of(centers)
         if c.shape[0] != len(hits):
             raise ValueError("hits must align with centers")
         n_parts = self._tiers.n_partitions
         boxes = self._tiers.snapshot().boxes
+        w = self._weights if weighted else None
         out: list[tuple[int, ...]] = []
         for qi, ids in enumerate(hits):
             if not ids or (k is not None and len(ids) < k):
                 out.append(tuple(range(n_parts)))
                 continue
             coords = kernels.coords_of([self.points[i] for i in ids])
-            kth = float(kernels.dists_to(coords, c[qi]).max())
+            dists = kernels.dists_to(coords, c[qi])
+            if w is not None:
+                id_arr = np.asarray(ids, dtype=np.int64)
+                dists = dists / _weights_for(id_arr, w)
+            kth = float(dists.max())
             lower = kernels.box_min_dists(boxes, c[qi])
             overlap = lower < kth if append_only else lower <= kth
             out.append(tuple(int(p) for p in np.flatnonzero(overlap)))

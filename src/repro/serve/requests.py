@@ -30,7 +30,7 @@ from ..core.geometry import Point
 #: its answer.
 Signature = tuple[object, ...]
 
-#: Coalesce-bucket key: ``("range",)`` or ``("knn", k)``.
+#: Coalesce-bucket key: ``("range",)`` or ``("knn", k, weighted)``.
 BatchKey = tuple[object, ...]
 
 
@@ -68,11 +68,22 @@ class RangeQueryRequest:
 
 @dataclass(frozen=True, slots=True)
 class KnnQueryRequest:
-    """The ``k`` nearest point indices to ``center`` (``(distance, id)`` ties)."""
+    """The ``k`` nearest point indices to ``center`` (``(distance, id)`` ties).
+
+    ``weighted=True`` asks for quality-weighted ranking: the store orders
+    candidates by effective distance ``d / w`` under the QoD weights
+    installed via ``PartitionedStore.set_quality_weights`` (a plain kNN
+    when none are installed).  The flag is part of both the cache
+    signature and the coalesce bucket — a weighted and an unweighted
+    query at the same point are different questions — and the service
+    additionally keys weighted cached results on the store's
+    ``weights_epoch`` so a weight update can never serve a stale answer.
+    """
 
     center: Point
     k: int
     priority: int = 0
+    weighted: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -84,11 +95,11 @@ class KnnQueryRequest:
 
     def signature(self) -> Signature:
         """Cache identity (excludes priority — same query, same answer)."""
-        return ("knn", self.center.x, self.center.y, self.k)
+        return ("knn", self.center.x, self.center.y, self.k, self.weighted)
 
     def batch_key(self) -> BatchKey:
-        """kNN queries coalesce per ``k`` (``knn_many`` takes one k)."""
-        return ("knn", self.k)
+        """kNN queries coalesce per ``(k, weighted)`` (one ``knn_many`` call)."""
+        return ("knn", self.k, self.weighted)
 
 
 #: Union the service accepts; both satisfy the same structural contract.

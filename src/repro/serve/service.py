@@ -239,9 +239,29 @@ class QueryService:
         """Submit a batch concurrently; responses in request order."""
         return list(await asyncio.gather(*(self.submit(r) for r in requests)))
 
+    def _signature(self, request: QueryRequest, weights_epoch: int | None = None) -> tuple:
+        """Cache key: the request signature, epoch-stamped when weighted.
+
+        Weighted kNN answers depend on the store's installed quality
+        weights, so their cache identity carries the store's
+        ``weights_epoch`` — toggling or updating weights changes the key
+        and can never serve a stale weighted (or stale unweighted)
+        result.  ``weights_epoch`` pins the epoch sampled *before* a
+        kernel dispatch; lookups pass None to read the live value.
+        """
+        sig = request.signature()
+        if getattr(request, "weighted", False):
+            epoch = (
+                weights_epoch
+                if weights_epoch is not None
+                else getattr(self.store, "weights_epoch", 0)
+            )
+            sig = sig + ("qod-epoch", epoch)
+        return sig
+
     async def _submit_inner(self, request: QueryRequest, obs_on: bool) -> QueryResponse:
         self.stats.submitted += 1
-        cached, lookup = self.cache.get(request.signature())
+        cached, lookup = self.cache.get(self._signature(request))
         if obs_on:
             OBS.metrics.inc("repro_serve_cache_total", (("result", lookup),))
         if cached is not None:
@@ -396,10 +416,13 @@ class QueryService:
         requests = [p.request for p in batch.items]
         centers = [r.center for r in requests]
         mode = str(batch.key[0])
-        # Epochs are sampled BEFORE the kernel call: a write racing the
-        # computation leaves the cached vector behind the live registry, so
-        # the race costs a future miss, never a stale serve.
+        # Epochs are sampled BEFORE the kernel call — quality epochs and,
+        # for weighted batches, the store's weights epoch: a write (or a
+        # weight update) racing the computation leaves the cached entry
+        # keyed behind the live registry, so the race costs a future miss,
+        # never a stale serve.
         epoch_snap = self.epochs.snapshot()
+        weights_epoch = int(getattr(self.store, "weights_epoch", 0))
         cm = (
             OBS.tracer.span("serve.batch", mode=mode, size=len(batch))
             if obs_on
@@ -412,8 +435,17 @@ class QueryService:
                 pid_sets = self.store.range_partition_sets(centers, radii)
             else:
                 k = int(batch.key[1])  # type: ignore[arg-type]
-                hits = self.store.knn_many(centers, k, executor=self._executor)
-                pid_sets = self.store.knn_partition_sets(centers, hits, k)
+                weighted = len(batch.key) > 2 and bool(batch.key[2])
+                if weighted:
+                    hits = self.store.knn_many(
+                        centers, k, executor=self._executor, weighted=True
+                    )
+                    pid_sets = self.store.knn_partition_sets(
+                        centers, hits, k, weighted=True
+                    )
+                else:
+                    hits = self.store.knn_many(centers, k, executor=self._executor)
+                    pid_sets = self.store.knn_partition_sets(centers, hits, k)
         if self.stats.kernel_calls > 0:
             self.stats.executor_reuses += 1
             if obs_on:
@@ -427,7 +459,9 @@ class QueryService:
             OBS.metrics.observe("repro_serve_batch_size", (("mode", mode),), float(len(batch)))
         now = self._clock.now()
         for pending, result, pids in zip(batch.items, hits, pid_sets):
-            self._resolve(pending, result, pids, epoch_snap, len(batch), mode, now, obs_on)
+            self._resolve(
+                pending, result, pids, epoch_snap, weights_epoch, len(batch), mode, now, obs_on
+            )
         async with self._capacity:
             self._capacity.notify_all()
 
@@ -437,6 +471,7 @@ class QueryService:
         result: list[int],
         pids: tuple[int, ...],
         epoch_snap: tuple[int, ...],
+        weights_epoch: int,
         batch_size: int,
         mode: str,
         now: float,
@@ -444,7 +479,7 @@ class QueryService:
     ) -> None:
         results = tuple(int(i) for i in result)
         vector = tuple(epoch_snap[pid] for pid in pids)
-        self.cache.put(pending.request.signature(), results, pids, vector)
+        self.cache.put(self._signature(pending.request, weights_epoch), results, pids, vector)
         self.stats.served += 1
         self._state.depth -= 1
         if obs_on:

@@ -1,0 +1,1 @@
+"""Tests of the composite QoD scoring engine and weighted exploitation."""

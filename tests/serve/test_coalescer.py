@@ -81,8 +81,8 @@ class TestRelease:
         c.add(kq(4, k=3), _FakeFuture(), clock.now())
         batches = c.take_due(clock.now())
         assert [(b.key, len(b)) for b in batches] == [
-            (("knn", 3), 2),
-            (("knn", 5), 1),
+            (("knn", 3, False), 2),
+            (("knn", 5, False), 1),
             (("range",), 1),
         ]
 

@@ -32,8 +32,19 @@ class TestSignatures:
     def test_batch_keys(self):
         assert RangeQueryRequest(Point(0, 0), 1.0).batch_key() == ("range",)
         assert RangeQueryRequest(Point(9, 9), 2.0).batch_key() == ("range",)
-        assert KnnQueryRequest(Point(0, 0), 3).batch_key() == ("knn", 3)
-        assert KnnQueryRequest(Point(0, 0), 4).batch_key() == ("knn", 4)
+        assert KnnQueryRequest(Point(0, 0), 3).batch_key() == ("knn", 3, False)
+        assert KnnQueryRequest(Point(0, 0), 4).batch_key() == ("knn", 4, False)
+        assert KnnQueryRequest(Point(0, 0), 4, weighted=True).batch_key() == (
+            "knn",
+            4,
+            True,
+        )
+
+    def test_weighted_flag_distinguishes_signature_and_bucket(self):
+        plain = KnnQueryRequest(Point(1, 2), 5)
+        weighted = KnnQueryRequest(Point(1, 2), 5, weighted=True)
+        assert plain.signature() != weighted.signature()
+        assert plain.batch_key() != weighted.batch_key()
 
     def test_modes(self):
         assert RangeQueryRequest(Point(0, 0), 1.0).mode == "range"

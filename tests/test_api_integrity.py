@@ -26,8 +26,10 @@ SUBPACKAGES = [
     "repro.localization",
     "repro.obs",
     "repro.parallel",
+    "repro.qod",
     "repro.querying",
     "repro.reduction",
+    "repro.serve",
     "repro.synth",
 ]
 
